@@ -1,0 +1,95 @@
+// Ablation A4 — longest-task-only vs. clustered multi-task extrapolation.
+//
+// Section VI (future work): the current method extrapolates only the most
+// computationally demanding task; clustering MPI tasks and extrapolating
+// per-cluster centroid traces should capture the work *distribution*
+// better.  We trace four representative ranks per core count, run both
+// modes, and compare how well each predicts the per-rank work distribution
+// at the target count (measured against the application model's true
+// per-rank work units).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cluster.hpp"
+#include "core/extrapolator.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Ablation A4 — single-task vs. clustered extrapolation (future work)");
+
+  const auto& machine = bench::bluewaters_profile();
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const auto experiment = bench::specfem_experiment();
+  const std::uint32_t target = experiment.target_core_count;
+  const auto tracer = bench::tracer_for(machine);
+
+  // Trace four relative rank positions at every small core count.
+  std::vector<trace::AppSignature> signatures;
+  for (std::uint32_t cores : experiment.small_core_counts) {
+    const std::vector<std::uint32_t> ranks = {0, cores / 4, cores / 2, cores - cores / 4};
+    signatures.push_back(synth::collect_signature(app, cores, tracer, ranks));
+  }
+
+  // Clustered mode.
+  const auto clustered = core::extrapolate_clustered(signatures, target);
+  std::printf("clusters found: %zu\n", clustered.k);
+  util::Table cluster_table({"Cluster", "Members (ranks @1536)", "Rank Share",
+                             "Extrap Mem Ops @6144"});
+  for (std::size_t c = 0; c < clustered.clusters.size(); ++c) {
+    const auto& cluster = clustered.clusters[c];
+    std::string members;
+    for (std::uint32_t r : cluster.member_ranks)
+      members += (members.empty() ? "" : ",") + std::to_string(r);
+    cluster_table.add_row({std::to_string(c), members,
+                           util::human_percent(cluster.rank_share, 0),
+                           util::format("%.3g",
+                                        cluster.representative.total_memory_ops())});
+  }
+  cluster_table.print(std::cout);
+
+  // Work-distribution fidelity: single-task mode assumes every rank works
+  // like the demanding one; clustered mode assigns cluster-specific work.
+  std::vector<trace::TaskTrace> demanding_series;
+  for (const auto& sig : signatures) demanding_series.push_back(sig.demanding_task());
+  const auto single = core::extrapolate_task(demanding_series, target);
+
+  const auto weights = clustered.rank_work_weights(target);
+  double true_total = 0.0, single_err = 0.0, cluster_err = 0.0;
+  const double single_work = single.trace.total_memory_ops();
+  // Normalize both models to the true total so the comparison is about the
+  // *distribution*, not the absolute scale.
+  std::vector<double> true_work(target);
+  double weights_total = 0.0;
+  for (std::uint32_t r = 0; r < target; ++r) {
+    true_work[r] = app.work_units(target, r);
+    true_total += true_work[r];
+    weights_total += weights[r];
+  }
+  for (std::uint32_t r = 0; r < target; ++r) {
+    const double truth = true_work[r] / true_total;
+    const double uniform = 1.0 / target;  // single-task mode: flat distribution
+    const double bucketed = weights[r] / weights_total;
+    single_err += (uniform - truth) * (truth > 0 ? 1.0 : 0.0) * (uniform - truth);
+    cluster_err += (bucketed - truth) * (bucketed - truth);
+  }
+  (void)single_work;
+
+  util::Table fidelity({"Mode", "Work-Distribution RMSE (x1e6)"});
+  fidelity.add_row({"single-task (paper)",
+                    util::format("%.3f", std::sqrt(single_err / target) * 1e6)});
+  fidelity.add_row({"clustered (future work)",
+                    util::format("%.3f", std::sqrt(cluster_err / target) * 1e6)});
+  fidelity.print(std::cout, "\nPer-rank work-distribution fidelity at 6144 cores:");
+
+  std::printf(
+      "\nReading: with SPECFEM3D's smooth cos^2 imbalance the single-task mode's\n"
+      "flat distribution is already close; clustering buys distribution fidelity\n"
+      "when rank behaviours form distinct groups (see core_cluster_test for a\n"
+      "two-population case where it is decisive).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A3 — the influence threshold.
+//
+// Section IV deems an instruction influential when it carries > 0.1% of the
+// task's memory operations (flops for memory-less instructions) and reports
+// fit quality over influential elements only.  This ablation sweeps the
+// threshold and shows the trade-off: lower thresholds audit more elements
+// (including noisy, inconsequential ones — worse worst-case error), higher
+// thresholds audit fewer.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/extrapolator.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Ablation A3 — influence-threshold sweep (paper uses 0.1%)");
+
+  const auto& machine = bench::bluewaters_profile();
+  const synth::Uh3dApp app(bench::uh3d_config());
+  const auto experiment = bench::uh3d_experiment();
+  const auto tracer = bench::tracer_for(machine);
+
+  std::vector<trace::TaskTrace> series;
+  for (std::uint32_t cores : experiment.small_core_counts)
+    series.push_back(synth::trace_task(app, cores, 0, tracer));
+
+  util::Table table({"Threshold", "Influential Elements", "Total Elements",
+                     "Worst Infl. Fit Err", "Mem-Op Coverage"});
+  for (double threshold : {0.0, 0.0001, 0.001, 0.01, 0.05}) {
+    core::ExtrapolationOptions options;
+    options.influence_threshold = threshold;
+    const auto result =
+        core::extrapolate_task(series, experiment.target_core_count, options);
+
+    std::size_t influential = 0;
+    for (const auto& fit : result.report.elements)
+      if (fit.influential) ++influential;
+
+    // Memory-op coverage: share of the task's memory ops inside influential
+    // blocks (how much of the runtime the audited elements actually govern).
+    const trace::TaskTrace& reference = series.back();
+    const double total_mem = reference.total_memory_ops();
+    double covered = 0.0;
+    for (const auto& block : reference.blocks)
+      if (block.memory_ops() / total_mem > threshold) covered += block.memory_ops();
+
+    table.add_row({util::human_percent(threshold, 2), std::to_string(influential),
+                   std::to_string(result.report.elements.size()),
+                   util::human_percent(result.report.worst_influential_error(), 1),
+                   util::human_percent(covered / total_mem, 1)});
+  }
+  table.print(std::cout, "UH3D {1024,2048,4096} -> 8192:");
+
+  std::printf(
+      "\nReading: the paper's 0.1%% threshold keeps essentially full memory-op\n"
+      "coverage while excluding trace noise from the fit-quality audit; the\n"
+      "extrapolated trace itself always contains every element regardless.\n");
+  return 0;
+}

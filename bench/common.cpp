@@ -1,0 +1,89 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "machine/targets.hpp"
+#include "util/log.hpp"
+
+namespace pmacx::bench {
+
+machine::MultiMapsOptions standard_probe() {
+  machine::MultiMapsOptions options;
+  options.working_sets = {16ull << 10, 64ull << 10, 256ull << 10, 1ull << 20,
+                          4ull << 20,  16ull << 20, 48ull << 20};
+  options.strides = {1, 2, 4, 8};
+  options.min_refs_per_probe = 150'000;
+  options.max_refs_per_probe = 1'000'000;
+  return options;
+}
+
+const machine::MachineProfile& bluewaters_profile() {
+  static const machine::MachineProfile profile = [] {
+    util::set_log_level(util::LogLevel::Warn);
+    return machine::build_profile(machine::bluewaters_p1(), standard_probe());
+  }();
+  return profile;
+}
+
+synth::TracerOptions tracer_for(const machine::MachineProfile& machine) {
+  synth::TracerOptions options;
+  options.target = machine.system.hierarchy;
+  options.max_refs_per_kernel = 1'500'000;
+  return options;
+}
+
+Experiment specfem_experiment() { return {"SPECFEM3D", {96, 384, 1536}, 6144}; }
+
+Experiment uh3d_experiment() { return {"UH3D", {1024, 2048, 4096}, 8192}; }
+
+synth::SpecfemConfig specfem_config() {
+  // Defaults already match the experiment scale; pinned here so every bench
+  // agrees even if library defaults evolve.
+  synth::SpecfemConfig config;
+  config.global_elements = 1'000'000;
+  config.global_field_bytes = 100'000'000'000;
+  config.timesteps = 10;
+  // Folds the work of a production-length run (tens of thousands of
+  // timesteps) into the 10 traced steps, calibrated so the measured
+  // 6144-core runtime lands near the paper's 143 s.
+  config.work_scale = 23'700;
+  return config;
+}
+
+synth::Uh3dConfig uh3d_config() {
+  synth::Uh3dConfig config;
+  // 5G particles keep the dominant kernels' footprints far above the target
+  // L3 (4 MB) through 8192 cores, so their hit-rate migration stays in the
+  // gentle regime the canonical forms capture (crossing the capacity cliff
+  // *between* the last training count and the target is the one shape no
+  // smooth form family can track — see ablation_forms).
+  config.global_particles = 5'000'000'000;
+  config.global_grid_cells = 100'000'000;
+  config.timesteps = 10;
+  // Production-length folding (see specfem_config), targeting the paper's
+  // 536 s at 8192 cores.
+  config.work_scale = 183;
+  return config;
+}
+
+core::PipelineConfig pipeline_for(const Experiment& experiment,
+                                  const machine::MachineProfile& machine) {
+  core::PipelineConfig config;
+  config.small_core_counts = experiment.small_core_counts;
+  config.target_core_count = experiment.target_core_count;
+  config.tracer = tracer_for(machine);
+  config.collect_at_target = true;
+  config.measure_at_target = true;
+  config.reference.max_refs_per_kernel = 2'000'000;
+  return config;
+}
+
+void banner(const std::string& what) {
+  std::printf("==========================================================\n");
+  std::printf("pmacx reproduction: %s\n", what.c_str());
+  std::printf("Carrington, Laurenzano, Tiwari — \"Inferring Large-scale\n");
+  std::printf("Computation Behavior via Trace Extrapolation\", IPDPSW 2013\n");
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace pmacx::bench

@@ -1,0 +1,58 @@
+// Shared configuration for the experiment-reproduction binaries.
+//
+// Every bench binary reproduces one table or figure of the paper at the
+// paper's core counts.  The shared pieces here keep the experiments
+// consistent: the Blue-Waters-like prediction target (profiled once), the
+// tracer defaults, and the per-application experiment layouts
+// (SPECFEM3D: {96, 384, 1536} → 6144; UH3D: {1024, 2048, 4096} → 8192).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "machine/profile.hpp"
+#include "synth/app.hpp"
+#include "synth/specfem.hpp"
+#include "synth/tracer.hpp"
+#include "synth/uh3d.hpp"
+
+namespace pmacx::bench {
+
+/// The standard MultiMAPS probe used by all experiments (denser than the
+/// unit tests', still seconds to run).
+machine::MultiMapsOptions standard_probe();
+
+/// The Phase-I-BlueWaters-like prediction target, profiled once per process.
+const machine::MachineProfile& bluewaters_profile();
+
+/// Tracer options mimicking `machine`'s hierarchy with the standard
+/// sampling cap.
+synth::TracerOptions tracer_for(const machine::MachineProfile& machine);
+
+/// One application's experiment layout.
+struct Experiment {
+  std::string name;
+  std::vector<std::uint32_t> small_core_counts;
+  std::uint32_t target_core_count = 0;
+};
+
+/// SPECFEM3D's layout from Section V: extrapolate {96, 384, 1536} → 6144.
+Experiment specfem_experiment();
+/// UH3D's layout from Section V: extrapolate {1024, 2048, 4096} → 8192.
+Experiment uh3d_experiment();
+
+/// Paper-scale application instances (tuned so footprints sweep the target's
+/// cache levels across the experiment's core counts).
+synth::SpecfemConfig specfem_config();
+synth::Uh3dConfig uh3d_config();
+
+/// Ready-to-run pipeline configuration for an experiment.
+core::PipelineConfig pipeline_for(const Experiment& experiment,
+                                  const machine::MachineProfile& machine);
+
+/// Prints the standard experiment banner (what is being reproduced).
+void banner(const std::string& what);
+
+}  // namespace pmacx::bench

@@ -1,0 +1,59 @@
+// Extension E4 — Table I protocol across target machines.
+//
+// Section III-A's cross-architectural claim: a signature simulated against
+// a target's caches predicts that target without the application ever
+// running there.  This experiment runs the full extrapolate-and-predict
+// protocol for SPECFEM3D on *two* targets — the BlueWaters-like POWER7 and
+// the Kraken-like XT5 (torus interconnect, different cache geometry) — and
+// checks the accuracy holds on both.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/pipeline.hpp"
+#include "machine/targets.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Extension E4 — the Table I protocol on two target machines");
+
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const auto experiment = bench::specfem_experiment();
+
+  util::Table table({"Target", "Measured (s)", "Extrap. Pred (s)", "Err",
+                     "Coll. Pred (s)", "Err"});
+  for (const std::string& target_name : {std::string("bluewaters-p1"),
+                                         std::string("cray-xt5")}) {
+    const machine::MachineProfile profile = machine::build_profile(
+        machine::target_by_name(target_name), bench::standard_probe());
+    const auto config = bench::pipeline_for(experiment, profile);
+    const auto result = core::run_pipeline(app, profile, config);
+
+    const double measured = result.measured->runtime_seconds;
+    const double extrap = result.prediction_from_extrapolated.runtime_seconds;
+    const double coll = result.prediction_from_collected->runtime_seconds;
+    table.add_row({target_name, util::format("%.1f", measured),
+                   util::format("%.1f", extrap),
+                   util::human_percent(stats::absolute_relative_error(extrap, measured), 1),
+                   util::format("%.1f", coll),
+                   util::human_percent(stats::absolute_relative_error(coll, measured), 1)});
+  }
+  table.print(std::cout, util::format("SPECFEM3D {96,384,1536} -> %u cores:",
+                                      experiment.target_core_count));
+
+  std::printf(
+      "\nReading: collected-trace predictions hit both targets within ~3%% — the\n"
+      "cross-architectural workflow of Section III-A works as advertised (the\n"
+      "XT5 row also exercises the torus-topology and eager-protocol interconnect\n"
+      "model).  The *extrapolated* XT5 prediction, however, degrades: the same\n"
+      "footprints that shrink gently past BlueWaters' 4 MB L3 cross the XT5's\n"
+      "8 MB L3 *between* the last training count and the target, the one\n"
+      "transition shape no canonical form can anticipate (DESIGN.md §6,\n"
+      "ablation_forms).  Cliff placement is target-dependent, so extrapolation\n"
+      "fidelity must be assessed per target — a practical caveat the paper's\n"
+      "single-target evaluation could not surface.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension E3 — hardware-feature exploration: a stride prefetcher.
+//
+// Table III explores L1 sizing on systems that do not exist; the same
+// machinery explores microarchitectural features.  Here the Blue-Waters-
+// like target is profiled twice — without and with a stride prefetcher —
+// and SPECFEM3D's signature is re-simulated against both.  The prefetcher
+// changes the MultiMAPS surface (streaming bandwidth rises), the per-block
+// hit rates, and the predicted runtime, quantifying what the feature buys
+// this workload before any hardware exists.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "machine/targets.hpp"
+#include "psins/predictor.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Extension E3 — design exploration of a stride prefetcher");
+
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const std::uint32_t cores = 1536;
+
+  util::Table table({"Prefetcher", "Stream BW (probe)", "App L1 HR", "Predicted Runtime"});
+  for (const bool enabled : {false, true}) {
+    machine::TargetSystem system = machine::bluewaters_p1();
+    system.hierarchy.prefetch.enabled = enabled;
+    system.hierarchy.prefetch.degree = 4;
+    system.name = enabled ? "bluewaters-p1+pf" : "bluewaters-p1";
+    system.hierarchy.name = system.name;
+
+    const machine::MachineProfile profile =
+        machine::build_profile(system, bench::standard_probe());
+
+    // Streaming bandwidth the probe measured (stride-1, memory-resident).
+    double stream_bw = 0.0;
+    for (const auto& sample : profile.surface.samples())
+      if (!sample.random && sample.stride_elems == 1 &&
+          sample.working_set_bytes == 48ull << 20)
+        stream_bw = sample.bandwidth_bytes_per_s;
+
+    synth::TracerOptions options = bench::tracer_for(profile);
+    const auto signature = synth::collect_signature(app, cores, options);
+    const auto prediction = psins::predict(signature, profile);
+
+    // Memory-op-weighted application L1 hit rate.
+    const trace::TaskTrace& task = signature.demanding_task();
+    double weight = 0.0, l1 = 0.0;
+    for (const auto& block : task.blocks) {
+      weight += block.memory_ops();
+      l1 += block.memory_ops() * block.get(trace::BlockElement::HitRateL1);
+    }
+
+    table.add_row({enabled ? "stride, degree 4" : "none",
+                   util::human_rate(stream_bw), util::human_percent(l1 / weight, 1),
+                   util::format("%.1f s", prediction.runtime_seconds)});
+  }
+  table.print(std::cout,
+              util::format("SPECFEM3D at %u cores, identical caches, prefetcher toggled:",
+                           cores));
+
+  std::printf(
+      "\nReading: the prefetcher lifts the streaming kernels' L1 hit rates above\n"
+      "the 7/8 spatial-locality bound, which raises probed streaming bandwidth\n"
+      "and shortens the predicted runtime — a microarchitecture decision\n"
+      "evaluated entirely from base-system traces.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1 reproduction — the MultiMAPS bandwidth surface.
+//
+// "Measured bandwidth as function of cache hit rates for Opteron": run the
+// MultiMAPS benchmark against the two-cache-level Opteron-like machine and
+// print (a) the raw probe samples (working set, stride → hit rates,
+// bandwidth) and (b) the surface evaluated on a regular hit-rate grid — the
+// data behind the figure's 3-D plot.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "machine/multimaps.hpp"
+#include "machine/targets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Figure 1 — MultiMAPS bandwidth vs. cache hit rates (2-level Opteron)");
+
+  const machine::TargetSystem system = machine::opteron_2level();
+  const machine::MemTimingModel timing(system.hierarchy, system.clock_ghz,
+                                       system.latency_exposure);
+  const auto samples = machine::run_multimaps(system.hierarchy, timing,
+                                              bench::standard_probe());
+
+  util::Table probe_table(
+      {"Working Set", "Stride", "Pattern", "L1 HR", "L2 HR", "Bandwidth"});
+  for (const auto& s : samples) {
+    probe_table.add_row({util::human_bytes(static_cast<double>(s.working_set_bytes)),
+                         std::to_string(s.stride_elems), s.random ? "random" : "strided",
+                         util::human_percent(s.hit_rates[0], 1),
+                         util::human_percent(s.hit_rates[1], 1),
+                         util::human_rate(s.bandwidth_bytes_per_s)});
+  }
+  probe_table.print(std::cout, "MultiMAPS probe samples:");
+
+  // The figure's surface: bandwidth over the (L1 HR, L2 HR) plane.
+  const machine::BandwidthSurface surface(samples);
+  std::printf("\nSurface: bandwidth (GB/s) over (L1 hit rate rows, L2 hit rate cols)\n");
+  std::printf("%8s", "L1\\L2");
+  for (double hr2 = 0.5; hr2 <= 1.001; hr2 += 0.1) std::printf("%8.2f", hr2);
+  std::printf("\n");
+  for (double hr1 = 0.0; hr1 <= 1.001; hr1 += 0.1) {
+    std::printf("%8.2f", hr1);
+    for (double hr2 = 0.5; hr2 <= 1.001; hr2 += 0.1) {
+      const double clamped_hr2 = hr2 < hr1 ? hr1 : hr2;  // cumulative rates
+      const double bw = surface.lookup({hr1, clamped_hr2, clamped_hr2});
+      std::printf("%8.2f", bw / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check (paper's Fig. 1): bandwidth climbs steeply toward the\n"
+      "high-hit-rate corner and falls to memory bandwidth at low hit rates.\n");
+  return 0;
+}

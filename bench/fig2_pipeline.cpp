@@ -1,0 +1,58 @@
+// Figure 2 reproduction — the signature-collection pipeline.
+//
+// The figure is a diagram: each MPI task's memory address stream is
+// processed on the fly through a cache simulator for the target system,
+// producing one summary trace file per task.  This binary demonstrates the
+// pipeline live on SPECFEM3D's demanding rank at 96 cores, showing the
+// compression the on-the-fly design buys (raw address stream size vs. the
+// summary trace file) and the per-block contents of that trace file.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Figure 2 — on-the-fly application signature collection");
+
+  const auto& machine = bench::bluewaters_profile();
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const std::uint32_t cores = 96;
+  const auto options = bench::tracer_for(machine);
+
+  const trace::TaskTrace task = synth::trace_task(app, cores, 0, options);
+
+  // The compression argument (Section III-A: ">2 TB of data per hour").
+  double total_refs = 0;
+  for (const auto& block : task.blocks) total_refs += block.memory_ops();
+  const double raw_stream_bytes = total_refs * 8;  // 8 B per recorded address
+  const double trace_bytes = static_cast<double>(task.to_text().size());
+  std::printf("rank 0 of %u issued %.3g memory references\n", cores, total_refs);
+  std::printf("raw address stream:   %s\n", util::human_bytes(raw_stream_bytes).c_str());
+  std::printf("summary trace file:   %s  (%.0fx smaller, built on the fly)\n\n",
+              util::human_bytes(trace_bytes).c_str(), raw_stream_bytes / trace_bytes);
+
+  util::Table table({"Block", "Location", "Visits", "Mem Ops", "FP Ops", "L1 HR", "L2 HR",
+                     "L3 HR", "Working Set"});
+  for (const auto& block : task.blocks) {
+    table.add_row({std::to_string(block.id),
+                   block.location.function,
+                   util::format("%.3g", block.get(trace::BlockElement::VisitCount)),
+                   util::format("%.3g", block.memory_ops()),
+                   util::format("%.3g", block.fp_ops()),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL1), 1),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL2), 1),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL3), 1),
+                   util::human_bytes(block.get(trace::BlockElement::WorkingSetBytes))});
+  }
+  table.print(std::cout,
+              "Summary trace file for the demanding task (target: " +
+                  machine.system.name + "):");
+
+  std::printf("\nEach block also carries %zu per-instruction sub-records (Section IV).\n",
+              task.blocks.front().instructions.size());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 reproduction — "Logarithmic Model captures the scaling behavior
+// of the number of memory operations".
+//
+// The figure plots one instruction's memory-operation count growing with
+// core count, with the log form fitting best.  Our SPECFEM3D model's
+// residual-norm reduction block carries exactly this shape (its on-node
+// combine work grows with the log2(p)-deep reduction tree); we trace it at
+// the paper's training counts plus validation counts and print the measured
+// series with all four canonical-form curves.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/canonical.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Figure 5 — canonical-form fits of an instruction's memory-op count");
+
+  const auto& machine = bench::bluewaters_profile();
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const auto options = bench::tracer_for(machine);
+
+  const std::vector<std::uint32_t> all_counts = {96, 384, 1536, 3072, 6144};
+  constexpr std::size_t kTraining = 3;
+  constexpr std::uint64_t kBlock = 5;  // reduce_norm
+  constexpr std::uint32_t kInstr = 0;
+
+  std::vector<double> measured;
+  for (std::uint32_t cores : all_counts) {
+    const auto task = synth::trace_task(app, cores, 0, options);
+    const auto* block = task.find_block(kBlock);
+    measured.push_back(block->instructions[kInstr].get(trace::InstrElement::MemOps));
+  }
+
+  std::vector<double> train_p(all_counts.begin(), all_counts.begin() + kTraining);
+  std::vector<double> train_y(measured.begin(), measured.begin() + kTraining);
+  std::vector<stats::FittedModel> fits;
+  for (stats::Form form : stats::paper_forms())
+    fits.push_back(stats::fit_form(form, train_p, train_y));
+
+  util::Table table({"Cores", "Role", "Measured", "Constant", "Linear", "Log", "Exp"});
+  for (std::size_t i = 0; i < all_counts.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(all_counts[i]),
+                                    i < kTraining ? "train" : "validate",
+                                    util::format("%.5g", measured[i])};
+    for (const auto& fit : fits)
+      row.push_back(fit.ok ? util::format("%.5g", fit.evaluate(all_counts[i])) : "n/a");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout,
+              "Memory ops of reduce_norm instr 0 vs. core count, with all four fits:");
+
+  stats::FitOptions paper;
+  paper.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+  const auto best = stats::select_best(train_p, train_y, paper);
+  std::printf("\nwinning form: %s (paper's Fig. 5 shows the log model winning)\n",
+              stats::form_name(best.form).c_str());
+  std::printf("per-form SSE: ");
+  for (const auto& fit : fits)
+    std::printf("%s=%.3g  ", stats::form_name(fit.form).c_str(), fit.sse);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Microbenchmark P1 — cache-simulator throughput.
+//
+// The tracer's cost is dominated by the on-the-fly cache simulation, so its
+// throughput bounds how cheap "collect at small core counts" really is.
+// Measured per access pattern and per hierarchy depth.
+#include <benchmark/benchmark.h>
+
+#include "machine/targets.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/reuse.hpp"
+#include "synth/patterns.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+synth::RefStream make_stream(synth::Pattern pattern, std::uint64_t footprint) {
+  synth::StreamSpec spec;
+  spec.pattern = pattern;
+  spec.base_addr = 1ull << 40;
+  spec.footprint_bytes = footprint;
+  spec.elem_bytes = 8;
+  spec.stride_elems = 4;
+  spec.store_fraction = 0.3;
+  return synth::RefStream(spec, 42);
+}
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  const auto pattern = static_cast<synth::Pattern>(state.range(0));
+  const std::uint64_t footprint = 1ull << state.range(1);
+  memsim::CacheHierarchy hierarchy(machine::bluewaters_p1().hierarchy);
+  auto stream = make_stream(pattern, footprint);
+  hierarchy.set_scope(1);
+  for (auto _ : state) {
+    hierarchy.access(stream.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(synth::pattern_name(pattern) + "/" +
+                 std::to_string(footprint >> 20) + "MiB");
+}
+BENCHMARK(BM_HierarchyAccess)
+    ->Args({static_cast<int>(synth::Pattern::Sequential), 24})
+    ->Args({static_cast<int>(synth::Pattern::Strided), 24})
+    ->Args({static_cast<int>(synth::Pattern::Random), 24})
+    ->Args({static_cast<int>(synth::Pattern::Random), 21})
+    ->Args({static_cast<int>(synth::Pattern::Stencil3d), 24});
+
+void BM_ReuseDistance(benchmark::State& state) {
+  const std::uint64_t footprint = 1ull << state.range(0);
+  auto stream = make_stream(synth::Pattern::Random, footprint);
+  memsim::ReuseDistanceAnalyzer analyzer;
+  for (auto _ : state) {
+    analyzer.access(stream.next().addr >> 6);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReuseDistance)->Arg(18)->Arg(22);
+
+void BM_ScopeSwitching(benchmark::State& state) {
+  // Cost of per-instruction scope attribution in the tracer's hot loop.
+  memsim::CacheHierarchy hierarchy(machine::bluewaters_p1().hierarchy);
+  auto stream = make_stream(synth::Pattern::Sequential, 1 << 22);
+  std::uint64_t scope = 0;
+  for (auto _ : state) {
+    hierarchy.set_scope(1024 + (scope++ % 8));
+    hierarchy.access(stream.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopeSwitching);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Microbenchmark P3 — end-to-end extrapolation throughput.
+//
+// Cost of align + fit + synthesize per task trace, as a function of the
+// number of basic blocks (a full application has hundreds to thousands).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/extrapolator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+trace::TaskTrace synthetic_trace(double p, std::size_t blocks, std::uint64_t seed) {
+  util::Rng rng(seed);
+  trace::TaskTrace task;
+  task.app = "perf";
+  task.core_count = static_cast<std::uint32_t>(p);
+  task.target_system = "t";
+  for (std::size_t b = 1; b <= blocks; ++b) {
+    trace::BasicBlockRecord block;
+    block.id = b;
+    block.location = {"perf.c", static_cast<std::uint32_t>(b), "k" + std::to_string(b)};
+    block.set(trace::BlockElement::VisitCount, 10);
+    block.set(trace::BlockElement::MemLoads, 1e9 / p * (1 + 0.1 * (b % 7)));
+    block.set(trace::BlockElement::MemStores, 4e8 / p);
+    block.set(trace::BlockElement::BytesPerRef, 8);
+    block.set(trace::BlockElement::HitRateL1, 0.6 + 0.05 * (b % 5));
+    block.set(trace::BlockElement::HitRateL2, 0.8 + 0.00001 * p);
+    block.set(trace::BlockElement::HitRateL3, 0.95);
+    block.set(trace::BlockElement::WorkingSetBytes, 1e9 / p);
+    block.set(trace::BlockElement::Ilp, 3);
+    block.set(trace::BlockElement::DepChainLength, 4);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      trace::InstructionRecord instr;
+      instr.index = i;
+      instr.set(trace::InstrElement::ExecCount, 1e8 / p);
+      instr.set(trace::InstrElement::MemOps, 1e8 / p);
+      instr.set(trace::InstrElement::BytesPerOp, 8);
+      instr.set(trace::InstrElement::HitRateL1, 0.7);
+      instr.set(trace::InstrElement::HitRateL2, 0.85);
+      instr.set(trace::InstrElement::HitRateL3, 0.95);
+      block.instructions.push_back(instr);
+    }
+    task.blocks.push_back(std::move(block));
+  }
+  task.sort_blocks();
+  return task;
+}
+
+void BM_ExtrapolateTask(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const std::vector<trace::TaskTrace> series = {
+      synthetic_trace(1024, blocks, 1),
+      synthetic_trace(2048, blocks, 2),
+      synthetic_trace(4096, blocks, 3),
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extrapolate_task(series, 8192));
+  }
+  // Elements processed per iteration: blocks × (block + 6 instr vectors).
+  state.SetItemsProcessed(
+      state.iterations() *
+      blocks * (trace::kBlockElementCount + 6 * trace::kInstrElementCount));
+}
+BENCHMARK(BM_ExtrapolateTask)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_AlignOnly(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const std::vector<trace::TaskTrace> series = {
+      synthetic_trace(1024, blocks, 1),
+      synthetic_trace(2048, blocks, 2),
+      synthetic_trace(4096, blocks, 3),
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::align_traces(series, core::MissingPolicy::ZeroFill));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_AlignOnly)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Microbenchmark P2 — canonical-form fitting throughput.
+//
+// Extrapolation fits every element of every basic block (thousands of
+// series per task); the per-series cost of fit_all/select_best sets the
+// post-processing budget.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "stats/canonical.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+std::vector<double> series_for(stats::Form form, std::span<const double> cores,
+                               util::Rng& rng) {
+  std::vector<double> y;
+  for (double p : cores) {
+    double v = 0.0;
+    switch (form) {
+      case stats::Form::Linear: v = 2.0 + 0.001 * p; break;
+      case stats::Form::Logarithmic: v = 1e6 + 4e5 * std::log(p); break;
+      case stats::Form::Exponential: v = 5e6 * std::exp(-4e-4 * p); break;
+      default: v = 42.0; break;
+    }
+    y.push_back(v * (1.0 + 0.005 * rng.normal()));
+  }
+  return y;
+}
+
+void BM_FitSingleForm(benchmark::State& state) {
+  const auto form = static_cast<stats::Form>(state.range(0));
+  const std::vector<double> cores = {1024, 2048, 4096};
+  util::Rng rng(7);
+  const auto y = series_for(form, cores, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_form(form, cores, y));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(stats::form_name(form));
+}
+BENCHMARK(BM_FitSingleForm)
+    ->Arg(static_cast<int>(stats::Form::Constant))
+    ->Arg(static_cast<int>(stats::Form::Linear))
+    ->Arg(static_cast<int>(stats::Form::Logarithmic))
+    ->Arg(static_cast<int>(stats::Form::Exponential))
+    ->Arg(static_cast<int>(stats::Form::Power))
+    ->Arg(static_cast<int>(stats::Form::Quadratic));
+
+void BM_SelectBestPaperForms(benchmark::State& state) {
+  const std::vector<double> cores = {1024, 2048, 4096};
+  util::Rng rng(7);
+  const auto y = series_for(stats::Form::Logarithmic, cores, rng);
+  stats::FitOptions options;
+  options.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::select_best(cores, y, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectBestPaperForms);
+
+void BM_SelectBestDefaultForms(benchmark::State& state) {
+  const std::vector<double> cores = {1024, 2048, 4096};
+  util::Rng rng(7);
+  const auto y = series_for(stats::Form::Exponential, cores, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::select_best(cores, y));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectBestDefaultForms);
+
+void BM_SelectBestLooCv(benchmark::State& state) {
+  const std::vector<double> cores = {256, 512, 1024, 2048, 4096};
+  util::Rng rng(7);
+  const auto y = series_for(stats::Form::Linear, cores, rng);
+  stats::FitOptions options;
+  options.loo_cv = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::select_best(cores, y, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectBestLooCv);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Table I reproduction — the paper's headline result.
+//
+// For SPECFEM3D (extrapolated {96,384,1536} → 6144) and UH3D (extrapolated
+// {1024,2048,4096} → 8192), predict the target-system runtime twice: once
+// from the extrapolated trace and once from a trace actually collected at
+// the large core count.  Compare both against the measured ("reference
+// simulator") runtime.  The paper reports ≤ 5% absolute relative error with
+// extrapolated and collected traces agreeing almost exactly.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+void run_experiment(const synth::SyntheticApp& app, const bench::Experiment& experiment,
+                    util::Table& table) {
+  const auto& machine = bench::bluewaters_profile();
+  const auto config = bench::pipeline_for(experiment, machine);
+  const auto result = core::run_pipeline(app, machine, config);
+
+  const double measured = result.measured->runtime_seconds;
+  const double extrap = result.prediction_from_extrapolated.runtime_seconds;
+  const double collected = result.prediction_from_collected->runtime_seconds;
+
+  auto row = [&](const char* type, double predicted) {
+    table.add_row({experiment.name, std::to_string(experiment.target_core_count), type,
+                   util::format("%.1f", predicted),
+                   util::human_percent(stats::absolute_relative_error(predicted, measured), 1)});
+  };
+  row("Extrap.", extrap);
+  row("Coll.", collected);
+
+  std::printf("%s: measured (reference-simulated) runtime at %u cores: %.1f s\n",
+              experiment.name.c_str(), experiment.target_core_count, measured);
+  std::printf("%s: extrapolation fit report:\n%s\n", experiment.name.c_str(),
+              result.report.summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I — prediction errors using extrapolated vs. collected traces");
+
+  util::Table table({"Application", "Core Count", "Trace Type", "Predicted Runtime (s)",
+                     "% Error"});
+
+  const synth::Specfem3dApp specfem(bench::specfem_config());
+  run_experiment(specfem, bench::specfem_experiment(), table);
+
+  const synth::Uh3dApp uh3d(bench::uh3d_config());
+  run_experiment(uh3d, bench::uh3d_experiment(), table);
+
+  table.print(std::cout, "Table I (reproduced):");
+  std::printf(
+      "\nPaper reports: SPECFEM3D 139s/139s at 1%% error; UH3D 537s/536s at 5%% error.\n"
+      "Absolute seconds differ (our substrate is a simulator, not Kraken/BlueWaters);\n"
+      "the reproduced *shape* — extrapolated ≈ collected, both within a few %% of\n"
+      "measured — is the claim under test.\n");
+  std::printf("\nCSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

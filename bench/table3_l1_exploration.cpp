@@ -1,0 +1,54 @@
+// Table III reproduction — cache-structure exploration on systems that do
+// not exist.
+//
+// "the L1 cache hit rate for two systems which have identical L2 and L3
+// caches but which differ in their L1 cache size (12KB vs. 56KB)": a
+// SPECFEM3D block whose footprint is insensitive to strong scaling (source
+// injection, fixed ~24 KB working set) keeps a flat, low L1 hit rate on the
+// 12 KB system and a flat, high one on the 56 KB system — demonstrating
+// target-system exploration from base-system traces only.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "machine/targets.hpp"
+#include "synth/tracer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pmacx;
+  bench::banner("Table III — L1 hit rate of one block on 12 KB vs. 56 KB L1 targets");
+
+  const synth::Specfem3dApp app(bench::specfem_config());
+  const std::vector<std::uint32_t> core_counts = {96, 384, 1536, 6144};
+  constexpr std::uint64_t kBlock = 4;  // source_injection: scale-invariant footprint
+
+  util::Table table({"System", "96 cores", "384 cores", "1536 cores", "6144 cores"});
+  for (const machine::TargetSystem& system :
+       {machine::system_a_12kb(), machine::system_b_56kb()}) {
+    synth::TracerOptions options;
+    options.target = system.hierarchy;
+    options.max_refs_per_kernel = 1'500'000;
+    std::vector<std::string> row = {
+        util::format("%s (%s L1)", system.name.c_str(),
+                     util::human_bytes(static_cast<double>(
+                                           system.hierarchy.levels[0].size_bytes))
+                         .c_str())};
+    for (std::uint32_t cores : core_counts) {
+      const auto task = synth::trace_task(app, cores, 0, options);
+      const auto* block = task.find_block(kBlock);
+      row.push_back(
+          util::format("%.1f", 100 * block->get(trace::BlockElement::HitRateL1)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, "L1 hit rate (%) of block 4 (source_injection):");
+
+  std::printf(
+      "\nShape check (paper's Table III: 85.6-85.8%% on system A vs. 99.6%% on B):\n"
+      "the block's ~24 KB footprint misses a 12 KB L1 at every core count but\n"
+      "fits a 56 KB L1 — its behaviour is invariant under strong scaling, and\n"
+      "the exploration needs neither target system to exist.\n");
+  return 0;
+}

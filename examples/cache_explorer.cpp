@@ -1,0 +1,88 @@
+// Cache-structure design-space exploration (the Table III workflow).
+//
+// Because the tracer's cache simulator mimics the *target* hierarchy, a
+// single application can be "run" against cache designs that do not exist:
+// sweep L1 and L2 sizes, trace the application against each candidate, and
+// report how the dominant blocks' hit rates respond — data a system
+// architect can weigh against area/power budgets.
+#include <cstdio>
+#include <iostream>
+
+#include "machine/targets.hpp"
+#include "synth/specfem.hpp"
+#include "synth/tracer.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+
+  util::Cli cli("cache_explorer", "sweep candidate cache designs for one application");
+  cli.add_u64("cores", 64, "core count to trace at");
+  cli.add_u64("refs-cap", 400'000, "simulated references cap per kernel");
+  if (!cli.parse(argc, argv)) return 0;
+  util::set_log_level(util::LogLevel::Warn);
+
+  synth::SpecfemConfig app_config;
+  app_config.global_elements = 100'000;
+  app_config.global_field_bytes = 500'000'000;
+  app_config.timesteps = 5;
+  const synth::Specfem3dApp app(app_config);
+  const auto cores = static_cast<std::uint32_t>(cli.get_u64("cores"));
+
+  // Candidate designs: L1 size × L2 size, common L3.
+  struct Candidate {
+    std::uint64_t l1_bytes;
+    std::uint32_t l1_ways;
+    std::uint64_t l2_bytes;
+  };
+  const std::vector<Candidate> candidates = {
+      {12ull << 10, 3, 256ull << 10}, {32ull << 10, 8, 256ull << 10},
+      {56ull << 10, 7, 256ull << 10}, {32ull << 10, 8, 1ull << 20},
+      {56ull << 10, 7, 1ull << 20},
+  };
+
+  util::Table table({"L1", "L2", "app L1 HR", "app L2 HR", "app L3 HR",
+                     "dominant-block L1 HR"});
+  for (const Candidate& candidate : candidates) {
+    machine::TargetSystem system = machine::bluewaters_p1();
+    system.hierarchy.levels[0].size_bytes = candidate.l1_bytes;
+    system.hierarchy.levels[0].associativity = candidate.l1_ways;
+    system.hierarchy.levels[1].size_bytes = candidate.l2_bytes;
+    system.name = util::format("candidate-%lluK-%lluK",
+                               static_cast<unsigned long long>(candidate.l1_bytes >> 10),
+                               static_cast<unsigned long long>(candidate.l2_bytes >> 10));
+    system.hierarchy.name = system.name;
+
+    synth::TracerOptions options;
+    options.target = system.hierarchy;
+    options.max_refs_per_kernel = cli.get_u64("refs-cap");
+    const trace::TaskTrace task = synth::trace_task(app, cores, 0, options);
+
+    // Memory-op-weighted application hit rates.
+    double total = 0.0, h1 = 0.0, h2 = 0.0, h3 = 0.0;
+    for (const auto& block : task.blocks) {
+      const double w = block.memory_ops();
+      total += w;
+      h1 += w * block.get(trace::BlockElement::HitRateL1);
+      h2 += w * block.get(trace::BlockElement::HitRateL2);
+      h3 += w * block.get(trace::BlockElement::HitRateL3);
+    }
+    const auto* dominant = task.find_block(1);
+    table.add_row({util::human_bytes(static_cast<double>(candidate.l1_bytes)),
+                   util::human_bytes(static_cast<double>(candidate.l2_bytes)),
+                   util::human_percent(h1 / total, 1), util::human_percent(h2 / total, 1),
+                   util::human_percent(h3 / total, 1),
+                   util::human_percent(dominant->get(trace::BlockElement::HitRateL1), 1)});
+  }
+  table.print(std::cout,
+              util::format("SPECFEM3D-like app at %u cores under candidate cache designs "
+                           "(no such machine exists):",
+                           cores));
+  std::printf(
+      "\nEvery row was produced from the same application model — only the\n"
+      "simulated target hierarchy changed, exactly as in the paper's Table III.\n");
+  return 0;
+}

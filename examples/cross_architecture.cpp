@@ -1,0 +1,65 @@
+// Cross-architectural prediction.
+//
+// Section III-A: "a model for the application running on the target system
+// can be generated without ever having ported the application to the
+// system, or without the existence of a target system."  This example
+// traces one application against two different targets' cache structures
+// and predicts its runtime on both — then compares, answering "which
+// machine should we buy time on?" without access to either.
+#include <cstdio>
+#include <iostream>
+
+#include "machine/targets.hpp"
+#include "psins/predictor.hpp"
+#include "synth/tracer.hpp"
+#include "synth/uh3d.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+
+  util::Cli cli("cross_architecture", "predict one app on two target machines");
+  cli.add_u64("cores", 128, "core count of the run to predict");
+  cli.add_u64("refs-cap", 400'000, "simulated references cap per kernel");
+  if (!cli.parse(argc, argv)) return 0;
+  util::set_log_level(util::LogLevel::Warn);
+
+  synth::Uh3dConfig app_config;
+  app_config.global_particles = 20'000'000;
+  app_config.global_grid_cells = 4'000'000;
+  app_config.timesteps = 5;
+  const synth::Uh3dApp app(app_config);
+  const auto cores = static_cast<std::uint32_t>(cli.get_u64("cores"));
+
+  machine::MultiMapsOptions probe;
+  probe.max_refs_per_probe = 400'000;
+
+  util::Table table({"Target", "Predicted Runtime", "Compute (demanding rank)",
+                     "Comm (demanding rank)"});
+  for (const machine::TargetSystem& system :
+       {machine::xt5_base(), machine::bluewaters_p1()}) {
+    std::printf("profiling %s and tracing against its hierarchy...\n",
+                system.name.c_str());
+    const machine::MachineProfile profile = machine::build_profile(system, probe);
+
+    synth::TracerOptions options;
+    options.target = profile.system.hierarchy;
+    options.max_refs_per_kernel = cli.get_u64("refs-cap");
+    const trace::AppSignature signature = synth::collect_signature(app, cores, options);
+    const psins::PredictionResult prediction = psins::predict(signature, profile);
+
+    table.add_row({system.name, util::format("%.2f s", prediction.runtime_seconds),
+                   util::format("%.2f s", prediction.compute_seconds),
+                   util::format("%.2f s", prediction.comm_seconds)});
+  }
+  std::printf("\n");
+  table.print(std::cout,
+              util::format("UH3D-like app at %u cores, predicted on both targets:", cores));
+  std::printf(
+      "\nThe traces were \"collected\" on the base system in both cases; only the\n"
+      "simulated target hierarchy and the machine profile changed.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Hybrid MPI/OpenMP what-if analysis.
+//
+// Section III-A requires tracing in the parallelization mode the target
+// will use; with the thread-aware cache simulator the framework can answer
+// the classic layout question: on C cores, is pure MPI (C ranks × 1 thread)
+// or hybrid (C/T ranks × T threads) faster?  Hybrid halves the rank count
+// (fewer, larger messages; fewer collective participants) but threads
+// contend for the shared L3 — both effects come out of the models, not
+// assumptions.
+#include <cstdio>
+#include <iostream>
+
+#include "machine/targets.hpp"
+#include "psins/predictor.hpp"
+#include "synth/tracer.hpp"
+#include "synth/uh3d.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+
+  util::Cli cli("hybrid_mode", "pure-MPI vs hybrid MPI/OpenMP on the same cores");
+  cli.add_u64("cores", 512, "total cores of the run");
+  cli.add_u64("refs-cap", 400'000, "simulated references cap per kernel");
+  cli.add_double("efficiency", 0.9, "OpenMP parallel efficiency inside a rank");
+  if (!cli.parse(argc, argv)) return 0;
+  util::set_log_level(util::LogLevel::Warn);
+
+  const auto cores = static_cast<std::uint32_t>(cli.get_u64("cores"));
+  const double efficiency = cli.get_double("efficiency");
+
+  synth::Uh3dConfig app_config;
+  app_config.global_particles = 100'000'000;
+  app_config.global_grid_cells = 4'000'000;
+  app_config.timesteps = 5;
+  const synth::Uh3dApp app(app_config);
+
+  machine::MultiMapsOptions probe;
+  probe.max_refs_per_probe = 400'000;
+  const machine::MachineProfile target =
+      machine::build_profile(machine::bluewaters_p1(), probe);
+
+  util::Table table({"Layout", "Ranks", "Dominant L3 HR", "Compute (s)", "Comm (s)",
+                     "Runtime (s)"});
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const std::uint32_t ranks = cores / threads;
+    synth::TracerOptions options;
+    options.target = target.system.hierarchy;
+    options.max_refs_per_kernel = cli.get_u64("refs-cap");
+    options.threads_per_rank = threads;
+
+    std::printf("tracing %u ranks x %u threads...\n", ranks, threads);
+    const auto signature = synth::collect_signature(app, ranks, options);
+    const auto prediction =
+        threads == 1 ? psins::predict(signature, target)
+                     : psins::predict_hybrid(signature, target, threads, efficiency);
+
+    const auto* dominant = signature.demanding_task().find_block(101);  // particle_push
+    table.add_row({util::format("%u ranks x %u threads", ranks, threads),
+                   std::to_string(ranks),
+                   util::human_percent(dominant->get(trace::BlockElement::HitRateL3), 1),
+                   util::format("%.3f", prediction.compute_seconds),
+                   util::format("%.3f", prediction.comm_seconds),
+                   util::format("%.3f", prediction.runtime_seconds)});
+  }
+  std::printf("\n");
+  table.print(std::cout,
+              util::format("UH3D-like app on %u cores, layouts compared:", cores));
+
+  std::printf(
+      "\nReading: hybrid layouts shrink the rank count (cheaper collectives,\n"
+      "fewer/larger halo messages) while threads share the L3 (hit rates shift\n"
+      "as slices of a larger per-rank footprint contend).  The crossover point\n"
+      "is workload- and machine-specific — which is exactly why the paper\n"
+      "insists traces be collected in the target's parallelization mode.\n");
+  return 0;
+}

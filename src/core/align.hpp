@@ -1,0 +1,76 @@
+// Trace alignment across core counts.
+//
+// Extrapolation needs, for every feature-vector element, its value series
+// across the input core counts (Fig. 3).  Alignment matches basic blocks by
+// their stable id and instructions by (block id, instruction index).  Blocks
+// can genuinely appear or disappear between core counts (e.g. a code path
+// taken only above some rank count); the MissingPolicy decides how such
+// series are completed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/task_trace.hpp"
+
+namespace pmacx::core {
+
+/// What to do when a block/instruction is absent from some input traces.
+enum class MissingPolicy {
+  Drop,        ///< exclude the element from extrapolation entirely
+  ZeroFill,    ///< treat missing occurrences as 0 (block didn't execute)
+  CarryLast,   ///< reuse the nearest available core count's value
+  FitPresent,  ///< keep the block but fit only the counts where it appears
+               ///< (falls back to ZeroFill semantics below 2 observations)
+};
+
+/// Identifies one extrapolatable element.
+struct ElementKey {
+  std::uint64_t block_id = 0;
+  /// Instruction index within the block, or -1 for a block-level element.
+  std::int32_t instr_index = -1;
+  /// Index into BlockElement (instr_index < 0) or InstrElement (≥ 0).
+  std::uint32_t element = 0;
+
+  bool is_block_level() const { return instr_index < 0; }
+  /// "block 5 / instr 2 / hit_rate_l2"-style label for reports.
+  std::string describe() const;
+
+  auto operator<=>(const ElementKey&) const = default;
+};
+
+/// One aligned element: the key plus its value at every input core count
+/// (same order as the input traces).
+struct AlignedElement {
+  ElementKey key;
+  std::vector<double> values;
+  /// True where the value was synthesized by the MissingPolicy rather than
+  /// present in the input trace.
+  std::vector<bool> filled;
+};
+
+/// The alignment of a set of traces: every element's series plus the block
+/// skeleton (location, instruction arity) used to rebuild an output trace.
+struct Alignment {
+  /// The abscissa each trace sits at — core counts for the paper's scaling
+  /// axis, or an input-parameter value for Section VI's parameter axis.
+  std::vector<double> axis;
+  std::vector<AlignedElement> elements;   ///< sorted by key
+  /// Blocks in the union (after policy), with location metadata from the
+  /// last (largest-axis) trace that has them.
+  std::vector<trace::BasicBlockRecord> skeleton;
+};
+
+/// Aligns `traces` (all same app/target, strictly increasing core counts,
+/// ≥ 2 of them) along the core-count axis.  Throws util::Error on
+/// inconsistent inputs.
+Alignment align_traces(std::span<const trace::TaskTrace> traces, MissingPolicy policy);
+
+/// Aligns `traces` along an arbitrary strictly increasing axis (e.g. an
+/// input-size parameter); core counts are not constrained.
+Alignment align_over(std::span<const trace::TaskTrace> traces,
+                     std::span<const double> axis, MissingPolicy policy);
+
+}  // namespace pmacx::core

@@ -1,0 +1,157 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/kmeans.hpp"
+#include "util/error.hpp"
+
+namespace pmacx::core {
+namespace {
+
+/// Aggregate feature point of one task trace, log-scaled and normalized so
+/// k-means distances are meaningful across wildly different magnitudes.
+std::vector<double> task_features(const trace::TaskTrace& task) {
+  auto log_scale = [](double v) { return std::log10(std::max(v, 1.0)); };
+  double ws = 0.0;
+  double hit1 = 0.0, hit3 = 0.0;
+  for (const auto& block : task.blocks) {
+    ws += block.get(trace::BlockElement::WorkingSetBytes);
+    const double weight = block.memory_ops();
+    hit1 += weight * block.get(trace::BlockElement::HitRateL1);
+    hit3 += weight * block.get(trace::BlockElement::HitRateL3);
+  }
+  const double mem = std::max(task.total_memory_ops(), 1.0);
+  return {
+      log_scale(task.total_memory_ops()),
+      log_scale(task.total_fp_ops()),
+      log_scale(ws),
+      hit1 / mem,  // memory-op-weighted mean hit rates
+      hit3 / mem,
+  };
+}
+
+/// Finds the traced rank in `signature` whose relative position rank/cores
+/// is closest to `fraction`.
+const trace::TaskTrace& closest_by_fraction(const trace::AppSignature& signature,
+                                            double fraction) {
+  PMACX_CHECK(!signature.tasks.empty(), "signature has no traced ranks");
+  const trace::TaskTrace* best = &signature.tasks.front();
+  double best_distance = 2.0;
+  for (const auto& task : signature.tasks) {
+    const double position =
+        static_cast<double>(task.rank) / static_cast<double>(signature.core_count);
+    const double distance = std::fabs(position - fraction);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &task;
+    }
+  }
+  return *best;
+}
+
+}  // namespace
+
+std::vector<double> ClusteredExtrapolation::rank_work_weights(
+    std::uint32_t target_cores) const {
+  PMACX_CHECK(!clusters.empty(), "no clusters");
+  std::vector<double> weights(target_cores, 0.0);
+  // Assign each target rank to the cluster whose share band it falls in,
+  // preserving the relative ordering of clusters by their member ranks.
+  std::vector<std::size_t> order(clusters.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return clusters[a].member_ranks.front() < clusters[b].member_ranks.front();
+  });
+
+  std::uint32_t next = 0;
+  for (std::size_t idx : order) {
+    const auto span = static_cast<std::uint32_t>(
+        std::round(clusters[idx].rank_share * static_cast<double>(target_cores)));
+    const std::uint32_t end = std::min(target_cores, next + std::max<std::uint32_t>(span, 1));
+    const double work = clusters[idx].representative.total_memory_ops();
+    for (std::uint32_t r = next; r < end; ++r) weights[r] = work;
+    next = end;
+  }
+  // Any remainder inherits the last cluster's weight.
+  const double tail = clusters[order.back()].representative.total_memory_ops();
+  for (std::uint32_t r = next; r < target_cores; ++r) weights[r] = tail;
+  return weights;
+}
+
+ClusteredExtrapolation extrapolate_clustered(std::span<const trace::AppSignature> inputs,
+                                             std::uint32_t target_cores,
+                                             const ClusterOptions& options) {
+  PMACX_CHECK(inputs.size() >= 2, "clustered extrapolation requires >= 2 signatures");
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    PMACX_CHECK(inputs[i].core_count > inputs[i - 1].core_count,
+                "signatures must have strictly increasing core counts");
+
+  const trace::AppSignature& largest = inputs.back();
+  PMACX_CHECK(!largest.tasks.empty(), "largest signature has no traced ranks");
+
+  // Cluster the largest signature's traced ranks on aggregate features.
+  std::vector<std::vector<double>> points;
+  points.reserve(largest.tasks.size());
+  for (const auto& task : largest.tasks) points.push_back(task_features(task));
+
+  stats::KMeansOptions kopts;
+  kopts.seed = options.seed;
+  const std::size_t k = stats::pick_k_elbow(points, options.max_clusters,
+                                            options.elbow_threshold, kopts);
+  const stats::KMeansResult clustering = stats::kmeans(points, k, kopts);
+
+  ClusteredExtrapolation result;
+  result.k = k;
+  result.clusters.resize(k);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    ExtrapolatedCluster& cluster = result.clusters[c];
+    // Members and the medoid (member closest to the centroid).
+    double best_distance = std::numeric_limits<double>::infinity();
+    std::size_t medoid = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (clustering.assignment[i] != c) continue;
+      cluster.member_ranks.push_back(largest.tasks[i].rank);
+      double d2 = 0.0;
+      for (std::size_t dim = 0; dim < points[i].size(); ++dim) {
+        const double d = points[i][dim] - clustering.centroids[c][dim];
+        d2 += d * d;
+      }
+      if (d2 < best_distance) {
+        best_distance = d2;
+        medoid = i;
+      }
+    }
+    PMACX_ASSERT(!cluster.member_ranks.empty(), "k-means produced an empty cluster");
+    std::sort(cluster.member_ranks.begin(), cluster.member_ranks.end());
+    cluster.rank_share = static_cast<double>(cluster.member_ranks.size()) /
+                         static_cast<double>(largest.tasks.size());
+
+    // Build the medoid's series across core counts by relative rank
+    // position, then extrapolate it like the single demanding task.
+    const double fraction = static_cast<double>(largest.tasks[medoid].rank) /
+                            static_cast<double>(largest.core_count);
+    std::vector<trace::TaskTrace> series;
+    series.reserve(inputs.size());
+    for (const auto& signature : inputs)
+      series.push_back(closest_by_fraction(signature, fraction));
+
+    ExtrapolationResult extrapolated =
+        extrapolate_task(series, target_cores, options.extrapolation);
+    // Representative keeps the medoid's rank scaled to the target count.
+    extrapolated.trace.rank = static_cast<std::uint32_t>(
+        std::min<double>(fraction * target_cores, target_cores - 1));
+    cluster.representative = std::move(extrapolated.trace);
+    cluster.report = std::move(extrapolated.report);
+  }
+
+  // Order clusters by their first member rank for stable reporting.
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const ExtrapolatedCluster& a, const ExtrapolatedCluster& b) {
+              return a.member_ranks.front() < b.member_ranks.front();
+            });
+  return result;
+}
+
+}  // namespace pmacx::core

@@ -1,0 +1,55 @@
+// Clustered multi-task extrapolation — the paper's future-work direction.
+//
+// Section VI: a full signature at 8192 cores is 8192 trace files, and the
+// open question is how per-task work migrates as the app strong-scales.
+// "These algorithms could be used to first cluster MPI-tasks with similar
+// properties and then use the 'centroid' file from each cluster as a base to
+// extrapolate data in the centroid trace files."  This module implements
+// that: tasks of the largest input signature are clustered on aggregate
+// feature vectors (k-means, elbow-selected k), each cluster's centroid task
+// is matched across core counts by relative rank position, and each centroid
+// series is extrapolated like the single demanding task is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/extrapolator.hpp"
+#include "trace/signature.hpp"
+
+namespace pmacx::core {
+
+/// Clustering policy.
+struct ClusterOptions {
+  std::size_t max_clusters = 4;
+  double elbow_threshold = 0.15;
+  ExtrapolationOptions extrapolation;
+  std::uint64_t seed = 0xc105;  ///< deterministic k-means seeding
+};
+
+/// One cluster's extrapolated representative.
+struct ExtrapolatedCluster {
+  std::vector<std::uint32_t> member_ranks;  ///< ranks (largest input signature)
+  double rank_share = 0.0;                  ///< |members| / traced ranks
+  trace::TaskTrace representative;          ///< extrapolated centroid trace
+  FitReport report;
+};
+
+/// Result of clustered extrapolation.
+struct ClusteredExtrapolation {
+  std::size_t k = 0;
+  std::vector<ExtrapolatedCluster> clusters;
+
+  /// Synthesizes per-rank compute-work weights at the target core count:
+  /// each rank inherits its cluster representative's work share (uniform
+  /// within cluster).  Useful for building full target signatures.
+  std::vector<double> rank_work_weights(std::uint32_t target_cores) const;
+};
+
+/// Runs clustered extrapolation.  Every input signature must trace the same
+/// number of ranks (≥ 2 ranks recommended); core counts strictly increase.
+ClusteredExtrapolation extrapolate_clustered(std::span<const trace::AppSignature> inputs,
+                                             std::uint32_t target_cores,
+                                             const ClusterOptions& options = {});
+
+}  // namespace pmacx::core

@@ -1,0 +1,235 @@
+#include "core/comm_extrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace pmacx::core {
+namespace {
+
+/// Rank-role classes induced by the two-phase neighbour exchange.
+constexpr std::uint32_t kClasses = 2;  // even / odd
+
+std::uint32_t class_of(std::uint32_t rank) { return rank % kClasses; }
+
+/// Template source rank of a class in an input signature (rank 0 or 1).
+const trace::CommTrace& class_template(const trace::AppSignature& signature,
+                                       std::uint32_t cls) {
+  PMACX_CHECK(signature.comm.size() > cls, "signature lacks comm traces");
+  return signature.comm[cls];
+}
+
+/// Peer delta of an event relative to its rank, in [0, P).
+std::int64_t peer_delta(const trace::CommEvent& event, std::uint32_t rank,
+                        std::uint32_t cores) {
+  const std::int64_t p = static_cast<std::int64_t>(cores);
+  const std::int64_t d = (static_cast<std::int64_t>(event.peer) - rank) % p;
+  return (d + p) % p;
+}
+
+/// Exact affine model delta = a + b·P fitted through the input points;
+/// ok=false when no integer-exact affine law reproduces every input.
+struct AffineDelta {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  bool ok = false;
+};
+
+AffineDelta fit_affine_delta(std::span<const std::int64_t> deltas,
+                             std::span<const double> cores) {
+  AffineDelta model;
+  const std::size_t n = deltas.size();
+  PMACX_ASSERT(n >= 2, "affine delta needs two points");
+
+  // Constant first (the common case: fixed neighbour offsets).
+  bool constant = true;
+  for (std::size_t i = 1; i < n; ++i)
+    if (deltas[i] != deltas[0]) constant = false;
+  if (constant) {
+    model.a = deltas[0];
+    model.b = 0;
+    model.ok = true;
+    return model;
+  }
+
+  // Affine through the first two points, verified on the rest.
+  const double p0 = cores[0], p1 = cores[1];
+  const double b = static_cast<double>(deltas[1] - deltas[0]) / (p1 - p0);
+  const double a = static_cast<double>(deltas[0]) - b * p0;
+  const double b_rounded = std::round(b);
+  const double a_rounded = std::round(a);
+  if (std::fabs(b - b_rounded) > 1e-9 || std::fabs(a - a_rounded) > 1e-9) return model;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double predicted = a_rounded + b_rounded * cores[i];
+    if (std::llround(predicted) != deltas[i]) return model;
+  }
+  model.a = static_cast<std::int64_t>(a_rounded);
+  model.b = static_cast<std::int64_t>(b_rounded);
+  model.ok = true;
+  return model;
+}
+
+}  // namespace
+
+CommExtrapolation extrapolate_comm(std::span<const trace::AppSignature> inputs,
+                                   std::uint32_t target_cores,
+                                   const CommExtrapolationOptions& options) {
+  PMACX_CHECK(inputs.size() >= 2, "comm extrapolation requires >= 2 input signatures");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    PMACX_CHECK(!inputs[i].comm.empty(), "input signature lacks comm traces");
+    PMACX_CHECK(inputs[i].comm.size() == inputs[i].core_count,
+                "input signature must carry comm traces for every rank");
+    if (i > 0)
+      PMACX_CHECK(inputs[i].core_count > inputs[i - 1].core_count,
+                  "input core counts must be strictly increasing");
+    PMACX_CHECK(inputs[i].core_count >= kClasses, "input core count too small");
+  }
+  PMACX_CHECK(target_cores >= kClasses && target_cores % 2 == 0,
+              "target core count must be even and >= 2");
+
+  std::vector<double> cores;
+  cores.reserve(inputs.size());
+  for (const auto& signature : inputs) cores.push_back(signature.core_count);
+
+  CommExtrapolation result;
+
+  // ---- Per-class structural models: ops, bytes, peer deltas, tail. -------
+  struct EventModel {
+    trace::CommOp op;
+    stats::FittedModel bytes;
+    AffineDelta delta;        ///< p2p only
+    std::int64_t carried_delta = 0;
+  };
+  struct ClassModel {
+    std::vector<EventModel> events;
+  };
+  std::vector<ClassModel> classes(kClasses);
+
+  for (std::uint32_t cls = 0; cls < kClasses; ++cls) {
+    const trace::CommTrace& reference = class_template(inputs.back(), cls);
+    const std::size_t event_count = reference.events.size();
+    for (const auto& signature : inputs) {
+      const trace::CommTrace& tmpl = class_template(signature, cls);
+      PMACX_CHECK(tmpl.events.size() == event_count,
+                  "comm structure is not SPMD-stable: event count differs across "
+                  "core counts for rank class " + std::to_string(cls));
+    }
+
+    ClassModel& model = classes[cls];
+    model.events.reserve(event_count);
+    for (std::size_t k = 0; k < event_count; ++k) {
+      EventModel event_model;
+      event_model.op = reference.events[k].op;
+
+      std::vector<double> bytes_series;
+      std::vector<std::int64_t> deltas;
+      for (const auto& signature : inputs) {
+        const trace::CommEvent& event = class_template(signature, cls).events[k];
+        PMACX_CHECK(event.op == event_model.op,
+                    "comm structure is not SPMD-stable: op differs at event " +
+                        std::to_string(k) + " of rank class " + std::to_string(cls));
+        bytes_series.push_back(static_cast<double>(event.bytes));
+        if (!trace::comm_op_is_collective(event.op))
+          deltas.push_back(peer_delta(event, cls, signature.core_count));
+      }
+
+      event_model.bytes = stats::select_best(cores, bytes_series, options.fit);
+      if (!deltas.empty()) {
+        event_model.delta = fit_affine_delta(deltas, cores);
+        event_model.carried_delta = deltas.back();
+        if (event_model.delta.ok)
+          ++result.affine_peer_events;
+        else
+          ++result.carried_peer_events;
+      }
+      model.events.push_back(std::move(event_model));
+    }
+    result.events_per_rank = std::max(result.events_per_rank, model.events.size());
+  }
+
+  // ---- Compute-unit models, cached by rank-fraction-matched source tuple.
+  // For a target rank r at fraction f = r/P_target, the source series comes
+  // from rank round(f·P_i) (parity-adjusted to r's class) in each input, so
+  // the application's load-imbalance profile is sampled at the same relative
+  // position across core counts.
+  struct UnitsModel {
+    std::vector<stats::FittedModel> per_event;
+    stats::FittedModel tail;
+  };
+  std::map<std::vector<std::uint32_t>, UnitsModel> units_cache;
+
+  auto source_ranks_for = [&](std::uint32_t target_rank) {
+    std::vector<std::uint32_t> sources;
+    sources.reserve(inputs.size());
+    const double fraction =
+        static_cast<double>(target_rank) / static_cast<double>(target_cores);
+    for (const auto& signature : inputs) {
+      auto s = static_cast<std::uint32_t>(
+          std::llround(fraction * static_cast<double>(signature.core_count)));
+      if (s % kClasses != target_rank % kClasses) s = s > 0 ? s - 1 : s + 1;
+      s = std::min(s, signature.core_count - 1);
+      sources.push_back(s);
+    }
+    return sources;
+  };
+
+  auto units_model_for = [&](const std::vector<std::uint32_t>& sources,
+                             std::uint32_t cls) -> const UnitsModel& {
+    const auto it = units_cache.find(sources);
+    if (it != units_cache.end()) return it->second;
+
+    UnitsModel model;
+    const std::size_t event_count = classes[cls].events.size();
+    model.per_event.reserve(event_count);
+    for (std::size_t k = 0; k < event_count; ++k) {
+      std::vector<double> series;
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        series.push_back(inputs[i].comm[sources[i]].events[k].compute_units_before);
+      model.per_event.push_back(stats::select_best(cores, series, options.fit));
+    }
+    std::vector<double> tail_series;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      tail_series.push_back(inputs[i].comm[sources[i]].tail_compute_units);
+    model.tail = stats::select_best(cores, tail_series, options.fit);
+    return units_cache.emplace(sources, std::move(model)).first->second;
+  };
+
+  // ---- Instantiate every target rank. ------------------------------------
+  const double target = static_cast<double>(target_cores);
+  result.comm.reserve(target_cores);
+  for (std::uint32_t rank = 0; rank < target_cores; ++rank) {
+    const std::uint32_t cls = class_of(rank);
+    const ClassModel& model = classes[cls];
+    const UnitsModel& units = units_model_for(source_ranks_for(rank), cls);
+
+    trace::CommTrace comm;
+    comm.rank = rank;
+    comm.core_count = target_cores;
+    comm.events.reserve(model.events.size());
+    for (std::size_t k = 0; k < model.events.size(); ++k) {
+      const EventModel& em = model.events[k];
+      trace::CommEvent event;
+      event.op = em.op;
+      event.bytes = static_cast<std::uint64_t>(
+          std::max(0.0, std::round(em.bytes.evaluate(target))));
+      if (trace::comm_op_is_collective(em.op)) {
+        event.peer = -1;
+      } else {
+        const std::int64_t delta =
+            em.delta.ok ? em.delta.a + em.delta.b * static_cast<std::int64_t>(target_cores)
+                        : em.carried_delta;
+        const std::int64_t p = static_cast<std::int64_t>(target_cores);
+        event.peer = static_cast<std::int32_t>(((rank + delta) % p + p) % p);
+      }
+      event.compute_units_before = std::max(0.0, units.per_event[k].evaluate(target));
+      comm.events.push_back(event);
+    }
+    comm.tail_compute_units = std::max(0.0, units.tail.evaluate(target));
+    result.comm.push_back(std::move(comm));
+  }
+  return result;
+}
+
+}  // namespace pmacx::core

@@ -1,0 +1,61 @@
+// Communication-trace extrapolation (ScalaExtrap-style).
+//
+// The paper extrapolates the *computation* side of the signature and cites
+// Wu & Mueller's ScalaExtrap [22] as the complementary technique for the
+// communication side ("The work presented in this paper is for scaling an
+// application's computation behavior, which can be complemented by
+// communication trace extrapolation").  This module implements that
+// complement for SPMD bulk-synchronous applications, so a full signature at
+// the target core count can be synthesized from small-count collections
+// alone:
+//
+//   * Events are aligned positionally per rank-role class (even/odd rank —
+//     the classes a two-phase neighbour exchange induces); the op sequence
+//     must be identical across core counts within a class.
+//   * Point-to-point partners are modeled as rank-relative deltas
+//     ((peer - rank) mod P).  A delta that is constant or affine in the
+//     core count across the inputs (e.g. the wrap-around neighbour P-1 =
+//     1·P - 1) is evaluated at the target; anything else carries the
+//     largest input's delta.
+//   * Payload bytes and per-event compute units are extrapolated with the
+//     same canonical-form machinery as computation elements; compute-unit
+//     series are taken from rank-fraction-matched source ranks so load
+//     imbalance profiles survive the scaling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/canonical.hpp"
+#include "trace/signature.hpp"
+
+namespace pmacx::core {
+
+/// Policy knobs for communication extrapolation.
+struct CommExtrapolationOptions {
+  /// Forms used for bytes and compute-unit series.
+  stats::FitOptions fit;
+};
+
+/// Result: the synthesized per-rank comm traces plus diagnostics.
+struct CommExtrapolation {
+  std::vector<trace::CommTrace> comm;  ///< index = target rank
+  std::size_t events_per_rank = 0;
+  /// P2p events whose peer delta was exactly affine in the core count
+  /// (constant deltas count too).
+  std::size_t affine_peer_events = 0;
+  /// P2p events that fell back to carrying the largest input's delta.
+  std::size_t carried_peer_events = 0;
+};
+
+/// Synthesizes the communication side of a target-count signature from the
+/// comm traces of the input signatures (each must carry comm traces for all
+/// of its ranks; ≥ 2 inputs with strictly increasing core counts; even core
+/// counts, as the two-phase exchange requires).  Throws util::Error when
+/// the event structure is not SPMD-stable across the inputs.
+CommExtrapolation extrapolate_comm(std::span<const trace::AppSignature> inputs,
+                                   std::uint32_t target_cores,
+                                   const CommExtrapolationOptions& options = {});
+
+}  // namespace pmacx::core

@@ -1,0 +1,303 @@
+#include "core/extrapolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace pmacx::core {
+namespace {
+
+bool block_element_is_count(trace::BlockElement element) {
+  switch (element) {
+    case trace::BlockElement::VisitCount:
+    case trace::BlockElement::FpAdd:
+    case trace::BlockElement::FpMul:
+    case trace::BlockElement::FpFma:
+    case trace::BlockElement::FpDivSqrt:
+    case trace::BlockElement::MemLoads:
+    case trace::BlockElement::MemStores: return true;
+    default: return false;
+  }
+}
+
+bool instr_element_is_count(trace::InstrElement element) {
+  switch (element) {
+    case trace::InstrElement::ExecCount:
+    case trace::InstrElement::MemOps:
+    case trace::InstrElement::FpOps: return true;
+    default: return false;
+  }
+}
+
+/// Element domain classification shared by clamping and domain-aware
+/// candidate rejection.
+struct ElementDomain {
+  bool is_rate = false;
+  bool is_count = false;
+};
+
+ElementDomain domain_of(const ElementKey& key) {
+  ElementDomain domain;
+  if (key.is_block_level()) {
+    const auto element = static_cast<trace::BlockElement>(key.element);
+    domain.is_rate = trace::block_element_is_rate(element);
+    domain.is_count = block_element_is_count(element);
+  } else {
+    const auto element = static_cast<trace::InstrElement>(key.element);
+    domain.is_rate = trace::instr_element_is_rate(element);
+    domain.is_count = instr_element_is_count(element);
+  }
+  return domain;
+}
+
+bool in_domain(const ElementDomain& domain, double value) {
+  if (!std::isfinite(value)) return false;
+  if (domain.is_rate) return value >= 0.0 && value <= 1.0;
+  return value >= 0.0;  // every element in the schema is non-negative
+}
+
+/// Clamps an extrapolated value into its element's valid domain.
+double clamp_value(const ElementDomain& domain, double value, bool round_counts) {
+  if (domain.is_rate) return std::clamp(value, 0.0, 1.0);
+  double clamped = std::max(value, 0.0);
+  if (domain.is_count && round_counts) clamped = std::round(clamped);
+  return clamped;
+}
+
+/// Selects the best fit like stats::select_best (min SSE, simplicity
+/// tie-break) but, when requested, skips candidates whose extrapolation at
+/// `target` leaves the element's domain.
+stats::FittedModel select_model(std::span<const double> core_counts,
+                                std::span<const double> values, double target,
+                                const ElementDomain& domain,
+                                const ExtrapolationOptions& options) {
+  if (!options.reject_out_of_domain)
+    return stats::select_best(core_counts, values, options.fit);
+
+  const std::vector<stats::FittedModel> fits =
+      stats::fit_all(core_counts, values, options.fit);
+  const stats::FittedModel* best = nullptr;
+  auto better = [&](const stats::FittedModel& a, const stats::FittedModel& b) {
+    const double tolerance = options.fit.tie_tolerance * (1.0 + b.sse);
+    if (a.sse < b.sse - tolerance) return true;
+    if (std::fabs(a.sse - b.sse) <= tolerance)
+      return stats::form_complexity(a.form) < stats::form_complexity(b.form);
+    return false;
+  };
+  for (const stats::FittedModel& fit : fits) {
+    if (!fit.ok || !in_domain(domain, fit.evaluate(target))) continue;
+    if (best == nullptr || better(fit, *best)) best = &fit;
+  }
+  if (best != nullptr) return *best;
+  // Nothing extrapolates in-domain: fall back to the raw best (clamped later).
+  return stats::select_best(core_counts, values, options.fit);
+}
+
+/// max_i |fit(p_i) - y_i| / |y_i|, with a scale-aware denominator floor so
+/// zero-valued samples don't blow the metric up.
+double max_fit_relative_error(const stats::FittedModel& model,
+                              std::span<const double> core_counts,
+                              std::span<const double> values) {
+  double scale = 0.0;
+  for (double v : values) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.0) return 0.0;
+  const double floor = 1e-9 * scale;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    const double fitted = model.evaluate(core_counts[i]);
+    const double denom = std::max(std::fabs(values[i]), floor);
+    worst = std::max(worst, std::fabs(fitted - values[i]) / denom);
+  }
+  return worst;
+}
+
+/// Re-monotonizes cumulative hit rates: a reference resolved by level j is
+/// also resolved by every deeper level, so L1 ≤ L2 ≤ L3 must hold.
+void monotonize_hit_rates(trace::BasicBlockRecord& block) {
+  double rate = block.get(trace::BlockElement::HitRateL1);
+  rate = std::max(rate, block.get(trace::BlockElement::HitRateL2));
+  block.set(trace::BlockElement::HitRateL2, rate);
+  rate = std::max(rate, block.get(trace::BlockElement::HitRateL3));
+  block.set(trace::BlockElement::HitRateL3, rate);
+
+  for (auto& instr : block.instructions) {
+    double r = instr.get(trace::InstrElement::HitRateL1);
+    r = std::max(r, instr.get(trace::InstrElement::HitRateL2));
+    instr.set(trace::InstrElement::HitRateL2, r);
+    r = std::max(r, instr.get(trace::InstrElement::HitRateL3));
+    instr.set(trace::InstrElement::HitRateL3, r);
+  }
+}
+
+/// Influence flags per the paper's 0.1 % rule, computed on the reference
+/// (largest core count) trace.
+struct InfluenceIndex {
+  std::unordered_map<std::uint64_t, bool> blocks;
+  std::unordered_map<std::uint64_t, bool> instrs;  ///< key: block_id*4096+index
+
+  static std::uint64_t instr_key(std::uint64_t block_id, std::uint32_t index) {
+    return block_id * 4096 + index;
+  }
+
+  InfluenceIndex(const trace::TaskTrace& reference, double threshold) {
+    const double total_mem = reference.total_memory_ops();
+    const double total_fp = reference.total_fp_ops();
+    for (const auto& block : reference.blocks) {
+      const double mem = block.memory_ops();
+      bool influential = false;
+      if (mem > 0 && total_mem > 0) {
+        influential = mem / total_mem > threshold;
+      } else if (total_fp > 0) {
+        influential = block.fp_ops() / total_fp > threshold;
+      }
+      blocks[block.id] = influential;
+      for (const auto& instr : block.instructions) {
+        const double imem = instr.get(trace::InstrElement::MemOps);
+        bool instr_influential = false;
+        if (imem > 0 && total_mem > 0) {
+          instr_influential = imem / total_mem > threshold;
+        } else if (total_fp > 0) {
+          instr_influential = instr.get(trace::InstrElement::FpOps) / total_fp > threshold;
+        }
+        instrs[instr_key(block.id, instr.index)] = instr_influential;
+      }
+    }
+  }
+
+  bool lookup(const ElementKey& key) const {
+    if (key.is_block_level()) {
+      const auto it = blocks.find(key.block_id);
+      return it != blocks.end() && it->second;
+    }
+    const auto it = instrs.find(instr_key(key.block_id, static_cast<std::uint32_t>(key.instr_index)));
+    return it != instrs.end() && it->second;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Shared core of both extrapolation axes: fit every aligned element over
+/// `alignment.axis`, evaluate at `target`, and synthesize the output trace.
+ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inputs,
+                                          const Alignment& alignment, double target,
+                                          std::uint32_t out_core_count,
+                                          const std::string& axis_name,
+                                          const ExtrapolationOptions& options) {
+  const InfluenceIndex influence(inputs.back(), options.influence_threshold);
+
+  ExtrapolationResult result;
+  result.report.axis = alignment.axis;
+  result.report.target = target;
+  result.report.axis_name = axis_name;
+
+  // Output skeleton.
+  trace::TaskTrace& out = result.trace;
+  out.app = inputs.back().app;
+  out.rank = inputs.back().rank;
+  out.core_count = out_core_count;
+  out.target_system = inputs.back().target_system;
+  out.extrapolated = true;
+  out.blocks = alignment.skeleton;
+  out.sort_blocks();
+
+  // Index the output blocks for element writes.
+  std::unordered_map<std::uint64_t, trace::BasicBlockRecord*> block_index;
+  for (auto& block : out.blocks) block_index[block.id] = &block;
+
+  result.report.elements.reserve(alignment.elements.size());
+  std::vector<double> present_axis, present_values;
+  for (const AlignedElement& element : alignment.elements) {
+    const ElementDomain domain = domain_of(element.key);
+
+    // FitPresent: restrict the fit to the counts where the element was
+    // actually observed (≥ 2 needed; otherwise fall back to the full,
+    // zero-filled series).
+    std::span<const double> fit_axis = alignment.axis;
+    std::span<const double> fit_values = element.values;
+    if (options.missing == MissingPolicy::FitPresent) {
+      present_axis.clear();
+      present_values.clear();
+      for (std::size_t i = 0; i < element.values.size(); ++i) {
+        if (element.filled[i]) continue;
+        present_axis.push_back(alignment.axis[i]);
+        present_values.push_back(element.values[i]);
+      }
+      if (present_axis.size() >= 2) {
+        fit_axis = present_axis;
+        fit_values = present_values;
+      }
+    }
+
+    const stats::FittedModel model =
+        select_model(fit_axis, fit_values, target, domain, options);
+    const double raw = model.evaluate(target);
+    const double clamped = clamp_value(domain, raw, options.round_counts);
+
+    trace::BasicBlockRecord* block = block_index.at(element.key.block_id);
+    if (element.key.is_block_level()) {
+      block->features[element.key.element] = clamped;
+    } else {
+      bool written = false;
+      for (auto& instr : block->instructions) {
+        if (static_cast<std::int32_t>(instr.index) == element.key.instr_index) {
+          instr.features[element.key.element] = clamped;
+          written = true;
+          break;
+        }
+      }
+      PMACX_ASSERT(written, "aligned instruction missing from skeleton");
+    }
+
+    ElementFit fit;
+    fit.key = element.key;
+    fit.model = model;
+    fit.inputs = element.values;
+    fit.extrapolated = raw;
+    fit.clamped = clamped;
+    fit.max_fit_rel_error = max_fit_relative_error(model, fit_axis, fit_values);
+    fit.influential = influence.lookup(element.key);
+    if (fit.influential && options.bootstrap_resamples > 0) {
+      fit.has_interval = true;
+      fit.interval = stats::bootstrap_interval(
+          alignment.axis, element.values, target, options.fit,
+          options.bootstrap_resamples, 0.9,
+          /*seed=*/element.key.block_id * 131 + element.key.element);
+    }
+    result.report.elements.push_back(std::move(fit));
+  }
+
+  for (auto& block : out.blocks) monotonize_hit_rates(block);
+  return result;
+}
+
+}  // namespace
+
+ExtrapolationResult extrapolate_task(std::span<const trace::TaskTrace> inputs,
+                                     std::uint32_t target_cores,
+                                     const ExtrapolationOptions& options) {
+  PMACX_CHECK(inputs.size() >= 2, "extrapolation requires at least two input traces");
+  PMACX_CHECK(target_cores > 0, "target core count must be positive");
+  const Alignment alignment = align_traces(inputs, options.missing);
+  return extrapolate_alignment(inputs, alignment, static_cast<double>(target_cores),
+                               target_cores, "cores", options);
+}
+
+ExtrapolationResult extrapolate_parameter(std::span<const trace::TaskTrace> inputs,
+                                          std::span<const double> parameter_values,
+                                          double target_value,
+                                          const ExtrapolationOptions& options) {
+  PMACX_CHECK(inputs.size() >= 2, "extrapolation requires at least two input traces");
+  PMACX_CHECK(target_value > 0, "target parameter value must be positive");
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    PMACX_CHECK(inputs[i].core_count == inputs[0].core_count,
+                "parameter extrapolation requires a fixed core count");
+  const Alignment alignment = align_over(inputs, parameter_values, options.missing);
+  return extrapolate_alignment(inputs, alignment, target_value, inputs[0].core_count,
+                               "parameter", options);
+}
+
+}  // namespace pmacx::core

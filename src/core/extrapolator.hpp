@@ -1,0 +1,72 @@
+// The trace extrapolator — the paper's primary contribution (Section IV).
+//
+// Given the demanding task's trace files at a series of small core counts,
+// every element of every basic block's (and instruction's) feature vector is
+// fitted against the core count with each canonical form — constant, linear,
+// logarithmic, exponential (plus optional extension forms) — and the best
+// fit, evaluated at the target core count, becomes that element's value in
+// the synthesized trace.  Domain knowledge is applied after evaluation:
+// rates clamp into [0, 1], counts floor at 0, and cumulative hit rates are
+// re-monotonized (L1 ≤ L2 ≤ L3).
+#pragma once
+
+#include <span>
+
+#include "core/align.hpp"
+#include "core/report.hpp"
+#include "stats/canonical.hpp"
+#include "trace/task_trace.hpp"
+
+namespace pmacx::core {
+
+/// Extrapolation policy knobs.
+struct ExtrapolationOptions {
+  stats::FitOptions fit;                   ///< canonical form set & selection
+  MissingPolicy missing = MissingPolicy::ZeroFill;
+  /// Influence threshold: an element is influential when its instruction
+  /// (or block) carries more than this fraction of the task's total memory
+  /// operations — or floating-point operations for memory-less instructions.
+  /// The paper uses 0.1 %.
+  double influence_threshold = 0.001;
+  /// Round count-like elements (visits, op counts) to integers in the
+  /// output trace.
+  bool round_counts = false;
+  /// When > 0, attach residual-bootstrap confidence intervals (this many
+  /// resamples, 90 % coverage) to every *influential* element's report
+  /// entry.  Off by default: it multiplies fitting cost by the resample
+  /// count.
+  std::size_t bootstrap_resamples = 0;
+  /// Domain-aware selection: a candidate fit whose *extrapolated* value
+  /// falls outside the element's valid domain (negative count, rate outside
+  /// [0,1]) is rejected in favour of the next-best in-domain candidate —
+  /// e.g. a log fit of decaying counts that extrapolates negative loses to
+  /// the exponential, and a linear fit of a rising hit rate that overshoots
+  /// 1.0 loses to the saturating inverse-p.  When no candidate is in-domain
+  /// the overall best fit is used and its value clamped.
+  bool reject_out_of_domain = true;
+};
+
+/// Result of one extrapolation: the synthetic trace plus the fit report.
+struct ExtrapolationResult {
+  trace::TaskTrace trace;
+  FitReport report;
+};
+
+/// Extrapolates the series of traces (strictly increasing core counts, ≥ 2,
+/// same app/rank/target) to `target_cores`.  The output trace is marked
+/// extrapolated=true.
+ExtrapolationResult extrapolate_task(std::span<const trace::TaskTrace> inputs,
+                                     std::uint32_t target_cores,
+                                     const ExtrapolationOptions& options = {});
+
+/// Input-parameter extrapolation (Section VI future work): the same
+/// machinery along a problem-size axis at a *fixed* core count.  `inputs`
+/// were traced with strictly increasing `parameter_values` (e.g. mesh
+/// elements, particle counts); the result predicts the feature vectors at
+/// `target_value`.  All inputs must share one core count.
+ExtrapolationResult extrapolate_parameter(std::span<const trace::TaskTrace> inputs,
+                                          std::span<const double> parameter_values,
+                                          double target_value,
+                                          const ExtrapolationOptions& options = {});
+
+}  // namespace pmacx::core

@@ -1,0 +1,96 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/comm_extrap.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pmacx::core {
+
+double PipelineResult::extrapolated_error() const {
+  PMACX_CHECK(measured.has_value(), "pipeline did not measure the target run");
+  return stats::absolute_relative_error(prediction_from_extrapolated.runtime_seconds,
+                                        measured->runtime_seconds);
+}
+
+double PipelineResult::collected_error() const {
+  PMACX_CHECK(measured.has_value(), "pipeline did not measure the target run");
+  PMACX_CHECK(prediction_from_collected.has_value(),
+              "pipeline did not collect at the target count");
+  return stats::absolute_relative_error(prediction_from_collected->runtime_seconds,
+                                        measured->runtime_seconds);
+}
+
+PipelineResult run_pipeline(const synth::SyntheticApp& app,
+                            const machine::MachineProfile& machine,
+                            const PipelineConfig& config) {
+  PMACX_CHECK(config.small_core_counts.size() >= 2,
+              "pipeline needs at least two small core counts");
+  PMACX_CHECK(std::is_sorted(config.small_core_counts.begin(), config.small_core_counts.end()),
+              "small core counts must be ascending");
+  PMACX_CHECK(config.target_core_count > config.small_core_counts.back(),
+              "target core count must exceed the largest small count");
+  PMACX_CHECK(config.tracer.target.name == machine.system.hierarchy.name,
+              "tracer must simulate the prediction target's hierarchy");
+
+  PipelineResult result;
+
+  // 1. Collect at the small counts.
+  std::vector<trace::TaskTrace> series;
+  for (std::uint32_t cores : config.small_core_counts) {
+    PMACX_LOG_INFO << app.name() << ": collecting signature at " << cores << " cores";
+    result.small_signatures.push_back(synth::collect_signature(app, cores, config.tracer));
+    series.push_back(result.small_signatures.back().demanding_task());
+  }
+
+  // 2. Extrapolate the demanding task to the target count.
+  PMACX_LOG_INFO << app.name() << ": extrapolating to " << config.target_core_count
+                 << " cores";
+  ExtrapolationResult extrapolated =
+      extrapolate_task(series, config.target_core_count, config.extrapolation);
+  result.report = std::move(extrapolated.report);
+
+  // 3. Assemble the synthetic signature and predict.
+  trace::AppSignature& synthetic = result.extrapolated_signature;
+  synthetic.app = app.name();
+  synthetic.core_count = config.target_core_count;
+  synthetic.target_system = config.tracer.target.name;
+  synthetic.demanding_rank = app.demanding_rank(config.target_core_count);
+  extrapolated.trace.rank = synthetic.demanding_rank;
+  synthetic.tasks.push_back(std::move(extrapolated.trace));
+  if (config.extrapolate_comm) {
+    PMACX_LOG_INFO << app.name() << ": extrapolating communication traces";
+    synthetic.comm =
+        extrapolate_comm(result.small_signatures, config.target_core_count).comm;
+  } else {
+    synthetic.comm.reserve(config.target_core_count);
+    for (std::uint32_t rank = 0; rank < config.target_core_count; ++rank)
+      synthetic.comm.push_back(app.comm_trace(config.target_core_count, rank));
+  }
+  synthetic.validate();
+
+  result.prediction_from_extrapolated = psins::predict(synthetic, machine);
+
+  // 4. Optionally collect at the target count and predict from that.
+  if (config.collect_at_target) {
+    PMACX_LOG_INFO << app.name() << ": collecting signature at target count "
+                   << config.target_core_count;
+    result.collected_signature =
+        synth::collect_signature(app, config.target_core_count, config.tracer);
+    result.prediction_from_collected = psins::predict(*result.collected_signature, machine);
+  }
+
+  // 5. Optionally measure the "real" runtime.
+  if (config.measure_at_target) {
+    PMACX_LOG_INFO << app.name() << ": measuring reference run at "
+                   << config.target_core_count;
+    result.measured =
+        psins::measure_run(app, config.target_core_count, machine, config.reference);
+  }
+
+  return result;
+}
+
+}  // namespace pmacx::core

@@ -1,0 +1,36 @@
+#include "machine/dvfs.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::machine {
+
+TargetSystem scale_frequency(const TargetSystem& base, double clock_ghz) {
+  PMACX_CHECK(clock_ghz > 0, "scale_frequency: non-positive clock");
+  const double ratio = clock_ghz / base.clock_ghz;
+
+  TargetSystem scaled = base;
+  scaled.clock_ghz = clock_ghz;
+  scaled.name = base.name + util::format("@%.2fGHz", clock_ghz);
+  scaled.hierarchy.name = scaled.name;
+
+  // Main memory is off-chip: constant nanoseconds and bytes/second, so the
+  // cycle-domain figures move with the clock.
+  scaled.hierarchy.memory_latency_cycles = base.hierarchy.memory_latency_cycles * ratio;
+  scaled.hierarchy.memory_bandwidth_bytes_per_cycle =
+      base.hierarchy.memory_bandwidth_bytes_per_cycle / ratio;
+
+  // Core-side energies ∝ V² with V tracking f; memory access energy stays;
+  // static (leakage) power ∝ V.
+  const double v2 = ratio * ratio;
+  for (double& nj : scaled.energy.level_nj) nj = nj * v2;
+  scaled.energy.fp_nj = base.energy.fp_nj * v2;
+  scaled.energy.div_extra_nj = base.energy.div_extra_nj * v2;
+  scaled.energy.static_watts_per_core = base.energy.static_watts_per_core * ratio;
+
+  scaled.hierarchy.validate();
+  scaled.energy.validate();
+  return scaled;
+}
+
+}  // namespace pmacx::machine

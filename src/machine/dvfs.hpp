@@ -1,0 +1,28 @@
+// Frequency-scaling (DVFS) what-if transformations.
+//
+// The PMaC line of work this paper builds on uses exactly these models for
+// "memory and computation-aware dynamic frequency scaling" [paper refs 23,
+// 24]: memory-bound phases lose little runtime at lower clocks while core
+// energy drops steeply, so the energy-optimal frequency is workload-
+// dependent.  scale_frequency() produces a frequency-scaled variant of a
+// target system under first-order hardware scaling rules:
+//
+//   * main-memory latency and bandwidth are physical (ns, bytes/s): their
+//     cycle-domain parameters rescale with the clock;
+//   * on-chip cache latencies and widths track the core clock: their
+//     cycle-domain parameters are unchanged;
+//   * per-operation core energies scale ~quadratically with frequency
+//     (E ∝ C·V² with voltage tracking frequency), per-access memory energy
+//     is unchanged, and static power scales ~linearly (leakage ∝ V).
+#pragma once
+
+#include "machine/profile.hpp"
+
+namespace pmacx::machine {
+
+/// Returns `base` re-clocked to `clock_ghz` under the rules above.  The
+/// cache *geometry* is untouched, so traces collected against the base
+/// hierarchy remain valid for every frequency variant.
+TargetSystem scale_frequency(const TargetSystem& base, double clock_ghz);
+
+}  // namespace pmacx::machine

@@ -1,0 +1,21 @@
+#include "machine/energy.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::machine {
+
+void EnergyModel::validate() const {
+  double previous = 0.0;
+  for (std::size_t lvl = 0; lvl < memsim::kMaxLevels; ++lvl) {
+    PMACX_CHECK(level_nj[lvl] > 0, "non-positive cache access energy");
+    PMACX_CHECK(level_nj[lvl] >= previous,
+                "access energy must not shrink with cache depth");
+    previous = level_nj[lvl];
+  }
+  PMACX_CHECK(memory_nj >= previous, "memory access energy below last cache level");
+  PMACX_CHECK(fp_nj > 0, "non-positive fp energy");
+  PMACX_CHECK(div_extra_nj >= 0, "negative divide energy");
+  PMACX_CHECK(static_watts_per_core >= 0, "negative static power");
+}
+
+}  // namespace pmacx::machine

@@ -1,0 +1,35 @@
+// Energy model of a target system.
+//
+// The paper motivates its feature set as "important for both performance
+// and energy" (Section I) and builds on PMaC's energy-modeling line of work
+// [refs 23, 24].  This module adds the energy half: a per-event energy
+// model — access energy by the cache level that served the reference,
+// per-flop energy, and static (leakage + uncore) power integrated over the
+// predicted runtime — that the PSiNS energy convolution applies to the same
+// per-block feature vectors the performance model consumes.
+#pragma once
+
+#include <array>
+
+#include "memsim/hierarchy.hpp"
+
+namespace pmacx::machine {
+
+/// Per-event energies in nanojoules plus static power.
+struct EnergyModel {
+  /// Energy of one line access served by cache level i.
+  std::array<double, memsim::kMaxLevels> level_nj{0.6, 1.8, 6.0};
+  /// Energy of one line access served by main memory.
+  double memory_nj = 25.0;
+  /// Energy of one pipelined floating-point operation.
+  double fp_nj = 0.15;
+  /// Extra energy of one divide/sqrt.
+  double div_extra_nj = 1.5;
+  /// Static power drawn per active core (leakage, clocks, uncore share).
+  double static_watts_per_core = 12.0;
+
+  /// Throws util::Error on non-physical parameters.
+  void validate() const;
+};
+
+}  // namespace pmacx::machine

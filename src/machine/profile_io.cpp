@@ -1,0 +1,180 @@
+#include "machine/profile_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::machine {
+namespace {
+
+constexpr const char* kMagic = "pmacx-profile";
+constexpr const char* kVersion = "1";
+
+}  // namespace
+
+std::string profile_to_text(const MachineProfile& profile) {
+  std::ostringstream out;
+  out.precision(17);
+  const TargetSystem& sys = profile.system;
+  out << kMagic << '\t' << kVersion << '\n';
+  out << "name\t" << sys.name << '\n';
+  out << "clock_ghz\t" << sys.clock_ghz << '\n';
+  out << "flops_per_cycle\t" << sys.flops_per_cycle << '\n';
+  out << "issue_width\t" << sys.issue_width << '\n';
+  out << "div_cycles\t" << sys.div_cycles << '\n';
+  out << "latency_exposure\t" << sys.latency_exposure << '\n';
+  out << "mem_fp_overlap\t" << sys.mem_fp_overlap << '\n';
+
+  const memsim::HierarchyConfig& h = sys.hierarchy;
+  out << "memory\t" << h.memory_latency_cycles << '\t'
+      << h.memory_bandwidth_bytes_per_cycle << '\t' << (h.inclusive ? 1 : 0) << '\n';
+  out << "levels\t" << h.levels.size() << '\n';
+  for (const auto& level : h.levels) {
+    out << "level\t" << level.name << '\t' << level.size_bytes << '\t' << level.line_bytes
+        << '\t' << level.associativity << '\t'
+        << static_cast<int>(level.replacement) << '\t' << level.latency_cycles << '\t'
+        << level.bandwidth_bytes_per_cycle << '\n';
+  }
+
+  const simmpi::NetworkModel& net = sys.network;
+  out << "network\t" << net.name << '\t' << net.latency_s << '\t'
+      << net.bandwidth_bytes_per_s << '\t' << net.per_stage_overhead_s << '\t'
+      << net.eager_threshold_bytes << '\t' << net.allreduce_ring_threshold_bytes << '\n';
+  out << "torus\t" << (net.torus.enabled ? 1 : 0) << '\t' << net.torus.dims[0] << '\t'
+      << net.torus.dims[1] << '\t' << net.torus.dims[2] << '\t'
+      << net.torus.per_hop_latency_s << '\n';
+
+  const EnergyModel& energy = sys.energy;
+  out << "energy\t" << energy.level_nj[0] << '\t' << energy.level_nj[1] << '\t'
+      << energy.level_nj[2] << '\t' << energy.memory_nj << '\t' << energy.fp_nj << '\t'
+      << energy.div_extra_nj << '\t' << energy.static_watts_per_core << '\n';
+
+  out << "samples\t" << profile.surface.samples().size() << '\n';
+  for (const BandwidthSample& s : profile.surface.samples()) {
+    out << "s\t" << s.working_set_bytes << '\t' << s.stride_elems << '\t'
+        << (s.random ? 1 : 0) << '\t' << s.hit_rates[0] << '\t' << s.hit_rates[1] << '\t'
+        << s.hit_rates[2] << '\t' << s.bandwidth_bytes_per_s << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+MachineProfile profile_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  auto next = [&](const char* what) {
+    while (std::getline(in, line)) {
+      if (!line.empty()) return util::split(line, '\t');
+    }
+    PMACX_CHECK(false, std::string("unexpected end of profile reading ") + what);
+    return std::vector<std::string>{};
+  };
+  auto expect = [&](const char* key, std::size_t min_fields) {
+    auto fields = next(key);
+    PMACX_CHECK(!fields.empty() && fields[0] == key,
+                std::string("expected '") + key + "' in profile");
+    PMACX_CHECK(fields.size() >= min_fields + 1,
+                std::string("too few fields for '") + key + "'");
+    return fields;
+  };
+
+  auto header = next("header");
+  PMACX_CHECK(header.size() >= 2 && header[0] == kMagic && header[1] == kVersion,
+              "not a pmacx machine profile");
+
+  TargetSystem sys;
+  sys.name = expect("name", 1)[1];
+  sys.clock_ghz = util::parse_double(expect("clock_ghz", 1)[1], "clock");
+  sys.flops_per_cycle = util::parse_double(expect("flops_per_cycle", 1)[1], "flops");
+  sys.issue_width = util::parse_double(expect("issue_width", 1)[1], "issue");
+  sys.div_cycles = util::parse_double(expect("div_cycles", 1)[1], "div");
+  sys.latency_exposure = util::parse_double(expect("latency_exposure", 1)[1], "exposure");
+  sys.mem_fp_overlap = util::parse_double(expect("mem_fp_overlap", 1)[1], "overlap");
+
+  auto memory = expect("memory", 3);
+  sys.hierarchy.name = sys.name;
+  sys.hierarchy.memory_latency_cycles = util::parse_double(memory[1], "mem latency");
+  sys.hierarchy.memory_bandwidth_bytes_per_cycle =
+      util::parse_double(memory[2], "mem bandwidth");
+  sys.hierarchy.inclusive = util::parse_u64(memory[3], "inclusive") != 0;
+
+  const std::uint64_t level_count = util::parse_u64(expect("levels", 1)[1], "levels");
+  for (std::uint64_t i = 0; i < level_count; ++i) {
+    auto fields = expect("level", 7);
+    memsim::CacheLevelConfig level;
+    level.name = fields[1];
+    level.size_bytes = util::parse_u64(fields[2], "size");
+    level.line_bytes = static_cast<std::uint32_t>(util::parse_u64(fields[3], "line"));
+    level.associativity = static_cast<std::uint32_t>(util::parse_u64(fields[4], "assoc"));
+    level.replacement =
+        static_cast<memsim::Replacement>(util::parse_u64(fields[5], "replacement"));
+    level.latency_cycles = util::parse_double(fields[6], "latency");
+    level.bandwidth_bytes_per_cycle = util::parse_double(fields[7], "bandwidth");
+    sys.hierarchy.levels.push_back(level);
+  }
+
+  auto net = expect("network", 6);
+  sys.network.name = net[1];
+  sys.network.latency_s = util::parse_double(net[2], "net latency");
+  sys.network.bandwidth_bytes_per_s = util::parse_double(net[3], "net bandwidth");
+  sys.network.per_stage_overhead_s = util::parse_double(net[4], "net overhead");
+  sys.network.eager_threshold_bytes = util::parse_u64(net[5], "eager threshold");
+  sys.network.allreduce_ring_threshold_bytes = util::parse_u64(net[6], "ring threshold");
+
+  auto torus = expect("torus", 5);
+  sys.network.torus.enabled = util::parse_u64(torus[1], "torus enabled") != 0;
+  for (int d = 0; d < 3; ++d)
+    sys.network.torus.dims[d] =
+        static_cast<std::uint32_t>(util::parse_u64(torus[2 + d], "torus dim"));
+  sys.network.torus.per_hop_latency_s = util::parse_double(torus[5], "hop latency");
+
+  auto energy = expect("energy", 7);
+  for (int i = 0; i < 3; ++i)
+    sys.energy.level_nj[i] = util::parse_double(energy[1 + i], "level energy");
+  sys.energy.memory_nj = util::parse_double(energy[4], "memory energy");
+  sys.energy.fp_nj = util::parse_double(energy[5], "fp energy");
+  sys.energy.div_extra_nj = util::parse_double(energy[6], "div energy");
+  sys.energy.static_watts_per_core = util::parse_double(energy[7], "static power");
+
+  const std::uint64_t sample_count = util::parse_u64(expect("samples", 1)[1], "samples");
+  std::vector<BandwidthSample> samples;
+  samples.reserve(sample_count);
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    auto fields = expect("s", 7);
+    BandwidthSample s;
+    s.working_set_bytes = util::parse_u64(fields[1], "ws");
+    s.stride_elems = static_cast<std::uint32_t>(util::parse_u64(fields[2], "stride"));
+    s.random = util::parse_u64(fields[3], "random") != 0;
+    for (int lvl = 0; lvl < 3; ++lvl)
+      s.hit_rates[lvl] = util::parse_double(fields[4 + lvl], "hit rate");
+    s.bandwidth_bytes_per_s = util::parse_double(fields[7], "bandwidth");
+    samples.push_back(s);
+  }
+  auto tail = next("end");
+  PMACX_CHECK(!tail.empty() && tail[0] == "end", "missing profile end marker");
+
+  sys.hierarchy.validate();
+  sys.energy.validate();
+  BandwidthSurface surface(std::move(samples));
+  MemTimingModel timing(sys.hierarchy, sys.clock_ghz, sys.latency_exposure);
+  return MachineProfile{std::move(sys), std::move(surface), std::move(timing)};
+}
+
+void save_profile(const MachineProfile& profile, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << profile_to_text(profile);
+  PMACX_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+MachineProfile load_profile(const std::string& path) {
+  std::ifstream in(path);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return profile_from_text(buffer.str());
+}
+
+}  // namespace pmacx::machine

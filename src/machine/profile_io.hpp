@@ -1,0 +1,26 @@
+// Machine-profile persistence.
+//
+// MultiMAPS probing takes seconds per target; tools that predict repeatedly
+// against the same machine cache the profile on disk instead.  The file
+// holds the complete target description plus the probed bandwidth samples,
+// so a loaded profile reproduces the probing run exactly (the surface
+// regression is refit deterministically from the samples).
+#pragma once
+
+#include <string>
+
+#include "machine/profile.hpp"
+
+namespace pmacx::machine {
+
+/// Versioned text serialization of a full profile.
+std::string profile_to_text(const MachineProfile& profile);
+
+/// Parses profile_to_text output; throws util::Error on malformed input.
+MachineProfile profile_from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_profile(const MachineProfile& profile, const std::string& path);
+MachineProfile load_profile(const std::string& path);
+
+}  // namespace pmacx::machine

@@ -1,0 +1,137 @@
+#include "machine/targets.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::machine {
+namespace {
+
+memsim::CacheLevelConfig level(const char* name, std::uint64_t size, std::uint32_t assoc,
+                               double latency, double bw_bytes_per_cycle) {
+  memsim::CacheLevelConfig cfg;
+  cfg.name = name;
+  cfg.size_bytes = size;
+  cfg.line_bytes = 64;
+  cfg.associativity = assoc;
+  cfg.replacement = memsim::Replacement::Lru;
+  cfg.latency_cycles = latency;
+  cfg.bandwidth_bytes_per_cycle = bw_bytes_per_cycle;
+  return cfg;
+}
+
+}  // namespace
+
+TargetSystem xt5_base() {
+  TargetSystem sys;
+  sys.name = "cray-xt5";
+  sys.hierarchy.name = sys.name;
+  sys.hierarchy.levels = {
+      level("L1", 64ull << 10, 2, 3, 32),
+      level("L2", 512ull << 10, 8, 15, 16),
+      level("L3", 8ull << 20, 16, 40, 8),
+  };
+  sys.hierarchy.memory_latency_cycles = 220;
+  sys.hierarchy.memory_bandwidth_bytes_per_cycle = 4;
+  sys.clock_ghz = 2.6;
+  sys.flops_per_cycle = 4.0;
+  sys.issue_width = 3.0;
+  sys.div_cycles = 20.0;
+  sys.network.name = "seastar2+";
+  sys.network.latency_s = 5.0e-6;
+  sys.network.bandwidth_bytes_per_s = 3.2e9;
+  sys.network.eager_threshold_bytes = 8192;
+  // Kraken's SeaStar interconnect is a 3-D torus; distant pairs pay hops.
+  sys.network.torus.enabled = true;
+  sys.network.torus.dims = {16, 16, 24};
+  sys.network.torus.per_hop_latency_s = 5.0e-8;
+  return sys;
+}
+
+TargetSystem bluewaters_p1() {
+  TargetSystem sys;
+  sys.name = "bluewaters-p1";
+  sys.hierarchy.name = sys.name;
+  sys.hierarchy.levels = {
+      level("L1", 32ull << 10, 8, 2, 64),
+      level("L2", 256ull << 10, 8, 8, 32),
+      level("L3", 4ull << 20, 8, 25, 16),
+  };
+  sys.hierarchy.memory_latency_cycles = 300;
+  sys.hierarchy.memory_bandwidth_bytes_per_cycle = 8;
+  sys.clock_ghz = 3.8;
+  sys.flops_per_cycle = 8.0;  // POWER7: 4 FPUs × FMA
+  sys.issue_width = 4.0;
+  sys.div_cycles = 26.0;
+  sys.network.name = "torrent-hub";
+  sys.network.latency_s = 2.0e-6;
+  sys.network.bandwidth_bytes_per_s = 1.0e10;
+  sys.network.eager_threshold_bytes = 16384;
+  return sys;
+}
+
+TargetSystem opteron_2level() {
+  TargetSystem sys;
+  sys.name = "opteron-2level";
+  sys.hierarchy.name = sys.name;
+  sys.hierarchy.levels = {
+      level("L1", 64ull << 10, 2, 3, 32),
+      level("L2", 1ull << 20, 16, 12, 16),
+  };
+  sys.hierarchy.memory_latency_cycles = 180;
+  sys.hierarchy.memory_bandwidth_bytes_per_cycle = 4;
+  sys.clock_ghz = 2.4;
+  sys.flops_per_cycle = 2.0;
+  sys.issue_width = 3.0;
+  sys.network.name = "gigE";
+  sys.network.latency_s = 30e-6;
+  sys.network.bandwidth_bytes_per_s = 1.2e8;
+  return sys;
+}
+
+namespace {
+
+/// Shared L2/L3 of the Table III exploration pair.
+TargetSystem table3_common() {
+  TargetSystem sys = bluewaters_p1();
+  sys.hierarchy.levels.resize(1);  // keep placeholder L1; replaced by callers
+  sys.hierarchy.levels.push_back(level("L2", 256ull << 10, 8, 8, 32));
+  sys.hierarchy.levels.push_back(level("L3", 4ull << 20, 8, 25, 16));
+  return sys;
+}
+
+}  // namespace
+
+TargetSystem system_a_12kb() {
+  TargetSystem sys = table3_common();
+  sys.name = "system-a-12kb-l1";
+  sys.hierarchy.name = sys.name;
+  // 12 KB / 64 B = 192 lines; 3-way → 64 sets (power of two).
+  sys.hierarchy.levels[0] = level("L1", 12ull << 10, 3, 2, 64);
+  return sys;
+}
+
+TargetSystem system_b_56kb() {
+  TargetSystem sys = table3_common();
+  sys.name = "system-b-56kb-l1";
+  sys.hierarchy.name = sys.name;
+  // 56 KB / 64 B = 896 lines; 7-way → 128 sets (power of two).
+  sys.hierarchy.levels[0] = level("L1", 56ull << 10, 7, 2, 64);
+  return sys;
+}
+
+std::vector<std::string> target_names() {
+  return {"cray-xt5", "bluewaters-p1", "opteron-2level", "system-a-12kb-l1",
+          "system-b-56kb-l1"};
+}
+
+TargetSystem target_by_name(const std::string& name) {
+  for (TargetSystem sys : {xt5_base(), bluewaters_p1(), opteron_2level(), system_a_12kb(),
+                           system_b_56kb()}) {
+    if (sys.name == name) return sys;
+  }
+  std::string known;
+  for (const auto& candidate : target_names()) known += " " + candidate;
+  PMACX_CHECK(false, "unknown target system '" + name + "'; known:" + known);
+  return {};
+}
+
+}  // namespace pmacx::machine

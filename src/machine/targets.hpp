@@ -1,0 +1,49 @@
+// Predefined target systems used by the paper's experiments.
+//
+//   * xt5_base()        — Cray XT5 "Kraken"-like node (Istanbul Opteron):
+//                         the base system all traces were collected on.
+//   * bluewaters_p1()   — Phase-I Blue Waters-like (POWER7) node: the target
+//                         system of the Table I predictions.
+//   * opteron_2level()  — the two-cache-level Opteron of Fig. 1's MultiMAPS
+//                         surface.
+//   * system_a_12kb()   — Table III's System A: 12 KB L1, shared L2/L3.
+//   * system_b_56kb()   — Table III's System B: 56 KB L1, same L2/L3.
+//
+// Cache geometries are chosen to satisfy the simulator's power-of-two set
+// constraint while matching the published capacities; latency/bandwidth
+// parameters are first-order public figures for the respective
+// microarchitectures (the reproduction matches *shapes*, not testbed
+// absolute numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/profile.hpp"
+
+namespace pmacx::machine {
+
+/// Cray XT5 (Kraken)-like base system.
+TargetSystem xt5_base();
+
+/// Phase-I Blue Waters (POWER7)-like target system.
+TargetSystem bluewaters_p1();
+
+/// Two-level Opteron of Fig. 1.
+TargetSystem opteron_2level();
+
+/// Table III System A: 12 KB L1 (3-way), common L2/L3.
+TargetSystem system_a_12kb();
+
+/// Table III System B: 56 KB L1 (7-way), common L2/L3.
+TargetSystem system_b_56kb();
+
+/// Names accepted by target_by_name.
+std::vector<std::string> target_names();
+
+/// Looks a predefined target up by name ("cray-xt5", "bluewaters-p1",
+/// "opteron-2level", "system-a-12kb-l1", "system-b-56kb-l1"); throws
+/// util::Error for unknown names, listing the valid ones.
+TargetSystem target_by_name(const std::string& name);
+
+}  // namespace pmacx::machine

@@ -1,0 +1,43 @@
+#include "machine/timing.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::machine {
+
+MemTimingModel::MemTimingModel(const memsim::HierarchyConfig& hierarchy, double clock_ghz,
+                               double exposure)
+    : hierarchy_(hierarchy), clock_ghz_(clock_ghz), exposure_(exposure) {
+  hierarchy_.validate();
+  PMACX_CHECK(clock_ghz > 0, "clock rate must be positive");
+  PMACX_CHECK(exposure >= 0.0 && exposure <= 1.0, "latency exposure out of [0,1]");
+}
+
+double MemTimingModel::level_seconds(std::size_t level) const {
+  PMACX_CHECK(level < hierarchy_.levels.size(), "timing level out of range");
+  const memsim::CacheLevelConfig& cfg = hierarchy_.levels[level];
+  const double cycles = exposure_ * cfg.latency_cycles +
+                        static_cast<double>(cfg.line_bytes) / cfg.bandwidth_bytes_per_cycle;
+  return cycles / (clock_ghz_ * 1e9);
+}
+
+double MemTimingModel::memory_seconds() const {
+  const double line = static_cast<double>(hierarchy_.line_bytes());
+  const double cycles = exposure_ * hierarchy_.memory_latency_cycles +
+                        line / hierarchy_.memory_bandwidth_bytes_per_cycle;
+  return cycles / (clock_ghz_ * 1e9);
+}
+
+double MemTimingModel::seconds_for(const memsim::AccessCounters& counters) const {
+  double seconds = 0.0;
+  for (std::size_t lvl = 0; lvl < hierarchy_.levels.size(); ++lvl)
+    seconds += static_cast<double>(counters.level_hits[lvl]) * level_seconds(lvl);
+  seconds += static_cast<double>(counters.memory_accesses) * memory_seconds();
+  // Page-walk cost when a TLB is simulated; write-back traffic is tracked
+  // for energy/statistics but assumed hidden by write buffers here.
+  if (hierarchy_.tlb.enabled)
+    seconds += static_cast<double>(counters.tlb_misses) * hierarchy_.tlb.miss_cycles /
+               (clock_ghz_ * 1e9);
+  return seconds;
+}
+
+}  // namespace pmacx::machine

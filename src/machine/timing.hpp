@@ -1,0 +1,40 @@
+// Parametric memory-system timing model.
+//
+// Stands in for the physical machine under the MultiMAPS probes and under
+// the reference ("measured") simulator: given which cache level resolved a
+// line access, it charges an exposed-latency plus transfer cost.  The same
+// hierarchy description drives both the cache *placement* simulation
+// (memsim) and this *timing* model, the way real hardware couples the two.
+#pragma once
+
+#include "memsim/config.hpp"
+#include "memsim/hierarchy.hpp"
+
+namespace pmacx::machine {
+
+/// Charges time per line access by resolving level.
+class MemTimingModel {
+ public:
+  /// `exposure` is the fraction of load-to-use latency not hidden by
+  /// out-of-order overlap/prefetch (0 = perfectly hidden, 1 = fully exposed).
+  MemTimingModel(const memsim::HierarchyConfig& hierarchy, double clock_ghz,
+                 double exposure = 0.35);
+
+  /// Seconds for one line access resolved at cache level `level` (0-based).
+  double level_seconds(std::size_t level) const;
+
+  /// Seconds for one line access that missed every cache level.
+  double memory_seconds() const;
+
+  /// Total seconds implied by a counter set (level hits × level costs).
+  double seconds_for(const memsim::AccessCounters& counters) const;
+
+  double clock_ghz() const { return clock_ghz_; }
+
+ private:
+  memsim::HierarchyConfig hierarchy_;
+  double clock_ghz_;
+  double exposure_;
+};
+
+}  // namespace pmacx::machine

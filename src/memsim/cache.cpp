@@ -1,0 +1,102 @@
+#include "memsim/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::memsim {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config, std::uint64_t seed)
+    : config_(config),
+      sets_(config.sets()),
+      ways_(config.associativity == 0
+                ? static_cast<std::uint32_t>(config.size_bytes / config.line_bytes)
+                : config.associativity),
+      set_mask_(sets_ - 1),
+      ways_storage_(sets_ * ways_),
+      rng_(seed) {
+  PMACX_ASSERT((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
+}
+
+AccessOutcome CacheLevel::touch(std::uint64_t line_addr, bool is_store, bool demand) {
+  ++clock_;
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+
+  // Hit path: refresh the LRU stamp only (FIFO keeps its fill time).
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == line_addr) {
+      if (config_.replacement == Replacement::Lru) way.stamp = clock_;
+      if (is_store) way.dirty = true;
+      return {true, false};
+    }
+  }
+
+  // Miss: install into the victim way.  The stored tag is the full line
+  // address, trading a few bits of space for simpler invariants.
+  const std::size_t victim = victim_in_set(base);
+  Way& way = ways_storage_[victim];
+  AccessOutcome outcome;
+  outcome.writeback = way.valid && way.dirty;
+  outcome.evicted = way.valid;
+  outcome.evicted_line = way.tag;
+  way.tag = line_addr;
+  way.valid = true;
+  way.stamp = clock_;
+  // Demand stores dirty the line; prefetched lines arrive clean.
+  way.dirty = demand && is_store;
+  return outcome;
+}
+
+bool CacheLevel::invalidate(std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == line_addr) {
+      way = Way{};
+      return true;
+    }
+  }
+  return false;
+}
+
+AccessOutcome CacheLevel::access(std::uint64_t line_addr, bool is_store) {
+  return touch(line_addr, is_store, /*demand=*/true);
+}
+
+AccessOutcome CacheLevel::install(std::uint64_t line_addr) {
+  return touch(line_addr, /*is_store=*/false, /*demand=*/false);
+}
+
+bool CacheLevel::contains(std::uint64_t line_addr) const {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == line_addr) return true;
+  }
+  return false;
+}
+
+void CacheLevel::clear() {
+  for (Way& way : ways_storage_) way = Way{};
+  clock_ = 0;
+}
+
+std::size_t CacheLevel::victim_in_set(std::size_t set_base) {
+  // Prefer an invalid way.
+  for (std::size_t w = 0; w < ways_; ++w)
+    if (!ways_storage_[set_base + w].valid) return set_base + w;
+
+  if (config_.replacement == Replacement::Random)
+    return set_base + static_cast<std::size_t>(rng_.below(ways_));
+
+  // LRU and FIFO both evict the smallest stamp (last-use vs. fill time).
+  std::size_t victim = set_base;
+  for (std::size_t w = 1; w < ways_; ++w)
+    if (ways_storage_[set_base + w].stamp < ways_storage_[victim].stamp)
+      victim = set_base + w;
+  return victim;
+}
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,82 @@
+// Single set-associative cache level.
+//
+// Operates on line addresses (byte address >> log2(line size)); the
+// hierarchy handles line splitting of multi-byte references.  Supports LRU,
+// FIFO and (seeded, deterministic) random replacement, write-back dirty
+// tracking, and a side-door install path for prefetches.  LRU is
+// implemented with per-way timestamps, which is exact and keeps the
+// structure a flat array — fast and cache-friendly for the simulator
+// itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/config.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::memsim {
+
+/// What one demand access or install did.
+struct AccessOutcome {
+  bool hit = false;        ///< line was resident
+  bool writeback = false;  ///< a dirty victim was evicted
+  bool evicted = false;    ///< a valid victim was displaced
+  std::uint64_t evicted_line = 0;  ///< its line address (when evicted)
+};
+
+/// One level of cache.  Copyable so hierarchies can be cloned for
+/// what-if exploration.
+class CacheLevel {
+ public:
+  /// `config` must already be validated by HierarchyConfig::validate().
+  CacheLevel(const CacheLevelConfig& config, std::uint64_t seed);
+
+  /// Demand access: looks up `line_addr`; on miss, installs it
+  /// (write-allocate) evicting the policy's victim.  Stores mark the line
+  /// dirty; evicting a dirty victim reports a writeback.
+  AccessOutcome access(std::uint64_t line_addr, bool is_store);
+
+  /// Load-only convenience overload.
+  bool access(std::uint64_t line_addr) { return access(line_addr, false).hit; }
+
+  /// Prefetch install: inserts the line clean if absent (reporting any
+  /// dirty-victim writeback); a resident line only refreshes LRU state.
+  /// Returns hit=true when the line was already present.
+  AccessOutcome install(std::uint64_t line_addr);
+
+  /// Probe without side effects: true if the line is currently resident.
+  bool contains(std::uint64_t line_addr) const;
+
+  /// Removes the line if resident (back-invalidation for inclusive
+  /// hierarchies).  Returns true when something was invalidated.
+  bool invalidate(std::uint64_t line_addr);
+
+  /// Drops all contents and timestamps.
+  void clear();
+
+  const CacheLevelConfig& config() const { return config_; }
+  std::uint64_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;  ///< LRU: last use; FIFO: fill time
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  AccessOutcome touch(std::uint64_t line_addr, bool is_store, bool demand);
+  std::size_t victim_in_set(std::size_t set_base);
+
+  CacheLevelConfig config_;
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t set_mask_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_storage_;  ///< sets_ * ways_, set-major
+  util::Rng rng_;
+};
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,78 @@
+#include "memsim/config.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::memsim {
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::string replacement_name(Replacement policy) {
+  switch (policy) {
+    case Replacement::Lru: return "lru";
+    case Replacement::Fifo: return "fifo";
+    case Replacement::Random: return "random";
+  }
+  return "?";
+}
+
+std::uint64_t CacheLevelConfig::sets() const {
+  const std::uint64_t lines = size_bytes / line_bytes;
+  if (associativity == 0) return 1;  // fully associative: one set of all ways
+  return lines / associativity;
+}
+
+void HierarchyConfig::validate() const {
+  PMACX_CHECK(!levels.empty() && levels.size() <= 3,
+              "hierarchy '" + name + "' must have 1-3 cache levels");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const CacheLevelConfig& level = levels[i];
+    PMACX_CHECK(is_pow2(level.line_bytes), level.name + ": line size must be a power of two");
+    PMACX_CHECK(level.line_bytes == levels[0].line_bytes,
+                level.name + ": all levels must share one line size");
+    PMACX_CHECK(level.size_bytes >= level.line_bytes, level.name + ": cache smaller than a line");
+    PMACX_CHECK(level.size_bytes % level.line_bytes == 0,
+                level.name + ": size must be a multiple of the line size");
+    const std::uint64_t lines = level.size_bytes / level.line_bytes;
+    if (level.associativity != 0) {
+      PMACX_CHECK(lines % level.associativity == 0,
+                  level.name + ": line count must be a multiple of associativity");
+      PMACX_CHECK(is_pow2(lines / level.associativity),
+                  level.name + ": set count must be a power of two");
+    }
+    if (i > 0)
+      PMACX_CHECK(level.size_bytes > levels[i - 1].size_bytes,
+                  level.name + ": capacities must strictly grow with level");
+    PMACX_CHECK(level.latency_cycles >= 0, level.name + ": negative latency");
+    PMACX_CHECK(level.bandwidth_bytes_per_cycle > 0, level.name + ": non-positive bandwidth");
+  }
+  PMACX_CHECK(memory_latency_cycles >= 0, "negative memory latency");
+  PMACX_CHECK(memory_bandwidth_bytes_per_cycle > 0, "non-positive memory bandwidth");
+  if (prefetch.enabled) {
+    PMACX_CHECK(prefetch.streams > 0, "prefetcher needs at least one stream");
+    PMACX_CHECK(prefetch.degree > 0, "prefetcher needs a positive degree");
+    PMACX_CHECK(prefetch.install_level < levels.size(),
+                "prefetch install level out of range");
+  }
+  PMACX_CHECK(sample_shift < 16, "sample shift beyond 1/65536 is meaningless");
+  if (sample_shift != 0) {
+    for (const CacheLevelConfig& level : levels)
+      PMACX_CHECK(level.sets() >= (1ull << sample_shift),
+                  level.name + ": fewer sets than the sampling factor");
+  }
+  if (tlb.enabled) {
+    PMACX_CHECK(tlb.entries > 0, "TLB needs at least one entry");
+    PMACX_CHECK(is_pow2(tlb.page_bytes), "TLB page size must be a power of two");
+    PMACX_CHECK(tlb.page_bytes >= levels[0].line_bytes, "TLB page smaller than a line");
+    PMACX_CHECK(tlb.miss_cycles >= 0, "negative TLB miss cost");
+  }
+}
+
+std::uint32_t HierarchyConfig::line_bytes() const {
+  PMACX_CHECK(!levels.empty(), "hierarchy has no levels");
+  return levels[0].line_bytes;
+}
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,91 @@
+// Cache hierarchy configuration.
+//
+// The paper's tracer feeds each application memory reference through a cache
+// simulator configured to *mimic the target system* (Section III-A), so the
+// collected hit rates describe the target machine even though the trace was
+// collected on the base system.  These structs describe such a target
+// hierarchy; machine/targets.hpp provides the predefined systems used in the
+// experiments (Cray-XT5-like base, BlueWaters-like target, and the Table III
+// systems A and B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmacx::memsim {
+
+/// Replacement policy of one cache level.
+enum class Replacement {
+  Lru,    ///< least recently used (default; matches the stack property tests)
+  Fifo,   ///< first in, first out
+  Random  ///< uniform random victim (deterministic given the level's seed)
+};
+
+/// Human-readable policy name.
+std::string replacement_name(Replacement policy);
+
+/// Geometry and policy of a single cache level.
+struct CacheLevelConfig {
+  std::string name = "L1";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;       ///< power of two, shared by all levels
+  std::uint32_t associativity = 8;     ///< ways per set; 0 means fully associative
+  Replacement replacement = Replacement::Lru;
+  double latency_cycles = 4;           ///< load-to-use latency when hitting here
+  double bandwidth_bytes_per_cycle = 64;  ///< sustained transfer rate from this level
+
+  /// Number of sets implied by the geometry (after validate()).
+  std::uint64_t sets() const;
+};
+
+/// Hardware stride prefetcher (off by default so baseline behaviour stays
+/// the paper's pure demand-fetch model; ext_prefetch quantifies its effect).
+struct PrefetcherConfig {
+  bool enabled = false;
+  std::uint32_t streams = 8;        ///< concurrently tracked access streams
+  std::uint32_t degree = 2;         ///< lines fetched ahead on a stream hit
+  std::uint32_t install_level = 0;  ///< shallowest level prefetches land in
+};
+
+/// Translation lookaside buffer (off by default, as above).
+struct TlbConfig {
+  bool enabled = false;
+  std::uint32_t entries = 64;       ///< fully associative, LRU
+  std::uint32_t page_bytes = 4096;  ///< power of two
+  double miss_cycles = 30;          ///< page-walk cost charged per miss
+};
+
+/// A full hierarchy: 1–3 levels plus main memory parameters.
+struct HierarchyConfig {
+  std::string name = "generic";
+  std::vector<CacheLevelConfig> levels;
+  double memory_latency_cycles = 200;
+  double memory_bandwidth_bytes_per_cycle = 8;
+  /// Inclusive hierarchy: evicting a line from level i+1 back-invalidates
+  /// it from every shallower level (Intel-style).  Off = non-inclusive
+  /// (the default, and the paper-era AMD/Cray behaviour).
+  bool inclusive = false;
+  /// Set sampling: when > 0, only the 1/2^sample_shift of cache lines whose
+  /// low address bits are zero is simulated.  Those lines map to exactly
+  /// the matching fraction of every level's sets, so the sample competes
+  /// for a proportionally shrunk cache and hit-*rate* estimates stay
+  /// unbiased (the classic set-sampling technique).  Absolute hit/miss
+  /// *counts* then cover only the sample; consumers that need totals must
+  /// scale by 2^sample_shift.  Every level needs ≥ 2^sample_shift sets.
+  /// 0 = simulate every line.
+  std::uint32_t sample_shift = 0;
+  PrefetcherConfig prefetch;
+  TlbConfig tlb;
+  std::uint64_t seed = 0x5eed;  ///< used only by Random replacement
+
+  /// Throws util::Error unless every level is well-formed: power-of-two line
+  /// and set counts, identical line size across levels, strictly growing
+  /// capacities, 1–3 levels.
+  void validate() const;
+
+  /// Line size shared by all levels.
+  std::uint32_t line_bytes() const;
+};
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,205 @@
+#include "memsim/hierarchy.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace pmacx::memsim {
+
+double AccessCounters::cumulative_hit_rate(std::size_t level) const {
+  PMACX_CHECK(level < kMaxLevels, "cache level out of range");
+  if (line_accesses == 0) return 0.0;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i <= level; ++i) hits += level_hits[i];
+  return static_cast<double>(hits) / static_cast<double>(line_accesses);
+}
+
+void AccessCounters::merge(const AccessCounters& other) {
+  refs += other.refs;
+  loads += other.loads;
+  stores += other.stores;
+  bytes += other.bytes;
+  line_accesses += other.line_accesses;
+  for (std::size_t i = 0; i < kMaxLevels; ++i) level_hits[i] += other.level_hits[i];
+  memory_accesses += other.memory_accesses;
+  tlb_misses += other.tlb_misses;
+  writebacks += other.writebacks;
+}
+
+CacheHierarchy::CacheHierarchy(HierarchyConfig config) : config_(std::move(config)) {
+  config_.validate();
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(config_.line_bytes())));
+  levels_.reserve(config_.levels.size());
+  for (std::size_t i = 0; i < config_.levels.size(); ++i)
+    levels_.emplace_back(config_.levels[i], config_.seed + i);
+  if (config_.prefetch.enabled) streams_.resize(config_.prefetch.streams);
+}
+
+void CacheHierarchy::tlb_access(std::uint64_t page, AccessCounters& scoped) {
+  ++tlb_clock_;
+  const auto it = tlb_.find(page);
+  if (it != tlb_.end()) {
+    it->second = tlb_clock_;
+    return;
+  }
+  ++totals_.tlb_misses;
+  ++scoped.tlb_misses;
+  if (tlb_.size() >= config_.tlb.entries) {
+    // Evict the least recently used entry (linear scan over ≤ `entries`
+    // map nodes; only on misses, so the common path stays O(1)).
+    auto victim = tlb_.begin();
+    for (auto walk = tlb_.begin(); walk != tlb_.end(); ++walk)
+      if (walk->second < victim->second) victim = walk;
+    tlb_.erase(victim);
+  }
+  tlb_.emplace(page, tlb_clock_);
+}
+
+void CacheHierarchy::prefetcher_observe_miss(std::uint64_t line) {
+  const PrefetcherConfig& pf = config_.prefetch;
+
+  auto issue = [&](const Stream& stream) {
+    for (std::uint32_t k = 1; k <= pf.degree; ++k) {
+      const std::int64_t target = static_cast<std::int64_t>(stream.next_line) +
+                                  stream.stride * static_cast<std::int64_t>(k - 1);
+      if (target < 0) continue;
+      const AccessOutcome outcome =
+          levels_[pf.install_level].install(static_cast<std::uint64_t>(target));
+      if (!outcome.hit) ++prefetches_issued_;
+      if (outcome.writeback) ++totals_.writebacks;
+    }
+  };
+
+  // Continuation of a locked stream?
+  for (Stream& stream : streams_) {
+    if (stream.valid && stream.stride != 0 &&
+        line == stream.next_line - stream.stride) {
+      // Re-detected the previous miss (multi-line refs); nothing new.
+      return;
+    }
+    if (stream.valid && stream.stride != 0 && line == stream.next_line) {
+      stream.next_line = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(stream.next_line) + stream.stride);
+      issue(stream);
+      return;
+    }
+  }
+  // Lock a stride on a nearby previous miss?
+  for (Stream& stream : streams_) {
+    if (!stream.valid) continue;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) - static_cast<std::int64_t>(stream.next_line);
+    if (delta != 0 && delta >= -4 && delta <= 4) {
+      stream.stride = delta;
+      stream.next_line = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(line) + delta);
+      issue(stream);
+      return;
+    }
+  }
+  // Allocate a fresh stream round-robin.
+  Stream& fresh = streams_[stream_cursor_];
+  stream_cursor_ = (stream_cursor_ + 1) % streams_.size();
+  fresh.valid = true;
+  fresh.stride = 0;
+  fresh.next_line = line;
+}
+
+void CacheHierarchy::set_scope(std::uint64_t block_id) {
+  scope_ = block_id;
+  current_ = &scopes_[block_id];
+}
+
+void CacheHierarchy::access(const MemRef& ref) {
+  PMACX_CHECK(ref.size > 0, "zero-size memory reference");
+  if (current_ == nullptr) current_ = &scopes_[scope_];
+  AccessCounters& scoped = *current_;
+
+  auto count_ref = [&](AccessCounters& c) {
+    ++c.refs;
+    if (ref.is_store)
+      ++c.stores;
+    else
+      ++c.loads;
+    c.bytes += ref.size;
+  };
+  count_ref(totals_);
+  count_ref(scoped);
+
+  if (config_.tlb.enabled) {
+    const std::uint64_t page_shift = static_cast<std::uint64_t>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.tlb.page_bytes)));
+    const std::uint64_t first_page = ref.addr >> page_shift;
+    const std::uint64_t last_page = (ref.addr + ref.size - 1) >> page_shift;
+    for (std::uint64_t page = first_page; page <= last_page; ++page)
+      tlb_access(page, scoped);
+  }
+
+  const std::uint64_t first_line = ref.addr >> line_shift_;
+  const std::uint64_t last_line = (ref.addr + ref.size - 1) >> line_shift_;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    // Set sampling: keep only lines whose low bits are zero.  Those lines
+    // map to exactly the 1/2^shift of each level's sets with zero low
+    // index bits, so the sampled population competes for a proportionally
+    // shrunk cache — the condition that keeps hit-rate estimates unbiased.
+    // (Sampling on *hashed* bits instead would let the sample enjoy the
+    // full capacity and inflate hit rates.)
+    if (config_.sample_shift != 0 &&
+        (line & ((1ull << config_.sample_shift) - 1)) != 0)
+      continue;
+    ++totals_.line_accesses;
+    ++scoped.line_accesses;
+    bool resolved = false;
+    bool l1_hit = false;
+    for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+      const AccessOutcome outcome = levels_[lvl].access(line, ref.is_store);
+      if (outcome.writeback) {
+        ++totals_.writebacks;
+        ++scoped.writebacks;
+      }
+      // Inclusive hierarchy: a victim leaving level lvl must also leave
+      // every shallower level.
+      if (config_.inclusive && outcome.evicted && lvl > 0) {
+        for (std::size_t upper = 0; upper < lvl; ++upper)
+          levels_[upper].invalidate(outcome.evicted_line);
+      }
+      if (outcome.hit) {
+        ++totals_.level_hits[lvl];
+        ++scoped.level_hits[lvl];
+        if (lvl == 0) l1_hit = true;
+        resolved = true;
+        break;
+      }
+      // Missed this level: the line was installed here (write-allocate) and
+      // the probe continues downward.
+    }
+    if (!resolved) {
+      ++totals_.memory_accesses;
+      ++scoped.memory_accesses;
+    }
+    // The stride prefetcher trains on L1 demand misses.
+    if (config_.prefetch.enabled && !l1_hit) prefetcher_observe_miss(line);
+  }
+}
+
+const AccessCounters& CacheHierarchy::scope(std::uint64_t block_id) const {
+  static const AccessCounters kEmpty{};
+  const auto it = scopes_.find(block_id);
+  return it == scopes_.end() ? kEmpty : it->second;
+}
+
+void CacheHierarchy::reset() {
+  for (CacheLevel& level : levels_) level.clear();
+  totals_ = AccessCounters{};
+  scopes_.clear();
+  scope_ = 0;
+  current_ = nullptr;
+  tlb_.clear();
+  tlb_clock_ = 0;
+  for (Stream& stream : streams_) stream = Stream{};
+  stream_cursor_ = 0;
+  prefetches_issued_ = 0;
+}
+
+}  // namespace pmacx::memsim

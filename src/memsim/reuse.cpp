@@ -1,0 +1,103 @@
+#include "memsim/reuse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pmacx::memsim {
+
+void ReuseDistanceAnalyzer::fenwick_add(std::size_t index, std::int64_t delta) {
+  for (std::size_t i = index + 1; i <= tree_.size(); i += i & (~i + 1))
+    tree_[i - 1] += delta;
+}
+
+std::int64_t ReuseDistanceAnalyzer::fenwick_sum(std::size_t index) const {
+  std::int64_t total = 0;
+  for (std::size_t i = std::min(index + 1, tree_.size()); i > 0; i -= i & (~i + 1))
+    total += tree_[i - 1];
+  return total;
+}
+
+void ReuseDistanceAnalyzer::rebuild_tree(std::size_t capacity) {
+  // A Fenwick tree cannot simply be zero-extended (new nodes cover ranges of
+  // old indices), so growth and compaction both rebuild from `marks_`.
+  marks_.resize(capacity, 0);
+  tree_.assign(capacity, 0);
+  for (std::size_t i = 0; i < capacity; ++i)
+    if (marks_[i]) fenwick_add(i, +1);
+}
+
+void ReuseDistanceAnalyzer::compact() {
+  // Renumber live lines by their last-access order, shrinking the timeline
+  // back to exactly `distinct lines` slots.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (time, line)
+  order.reserve(last_time_.size());
+  for (const auto& [line, time] : last_time_) order.emplace_back(time, line);
+  std::sort(order.begin(), order.end());
+
+  now_ = 0;
+  // Leave headroom: a compaction that ends exactly full would immediately
+  // index one past the timeline on the caller's next write.
+  const std::size_t capacity = std::max<std::size_t>(2 * order.size(), 1024);
+  marks_.assign(capacity, 0);
+  for (const auto& [time, line] : order) {
+    last_time_[line] = now_;
+    marks_[static_cast<std::size_t>(now_)] = 1;
+    ++now_;
+  }
+  live_marks_ = order.size();
+  rebuild_tree(capacity);
+}
+
+std::uint64_t ReuseDistanceAnalyzer::access(std::uint64_t line_addr) {
+  ++total_;
+  // Keep the timeline bounded: compact when it is twice the footprint,
+  // otherwise double it.  Both rebuild the Fenwick tree, amortized O(1).
+  if (now_ >= tree_.size()) {
+    if (live_marks_ > 0 && now_ >= 2 * live_marks_ && now_ >= 1024) {
+      compact();
+    } else {
+      rebuild_tree(tree_.empty() ? 1024 : tree_.size() * 2);
+    }
+  }
+
+  std::uint64_t distance = kInfinite;
+  const auto it = last_time_.find(line_addr);
+  if (it == last_time_.end()) {
+    ++cold_;
+  } else {
+    const std::uint64_t prev = it->second;
+    // Marked slots strictly after `prev`: distinct lines touched since.
+    const std::int64_t later =
+        fenwick_sum(tree_.size() - 1) - fenwick_sum(static_cast<std::size_t>(prev));
+    PMACX_ASSERT(later >= 0, "negative reuse distance");
+    distance = static_cast<std::uint64_t>(later);
+    fenwick_add(static_cast<std::size_t>(prev), -1);
+    marks_[static_cast<std::size_t>(prev)] = 0;
+    --live_marks_;
+    ++histogram_[distance];
+  }
+
+  last_time_[line_addr] = now_;
+  fenwick_add(static_cast<std::size_t>(now_), +1);
+  marks_[static_cast<std::size_t>(now_)] = 1;
+  ++live_marks_;
+  ++now_;
+  return distance;
+}
+
+std::uint64_t ReuseDistanceAnalyzer::count_at(std::uint64_t distance) const {
+  const auto it = histogram_.find(distance);
+  return it == histogram_.end() ? 0 : it->second;
+}
+
+std::uint64_t ReuseDistanceAnalyzer::hits_for_capacity(std::uint64_t capacity_lines) const {
+  std::uint64_t hits = 0;
+  for (const auto& [distance, count] : histogram_) {
+    if (distance >= capacity_lines) break;
+    hits += count;
+  }
+  return hits;
+}
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,72 @@
+// Exact LRU stack-distance (reuse-distance) analysis.
+//
+// The stack distance of an access is the number of *distinct* lines touched
+// since the previous access to the same line; a fully-associative LRU cache
+// of capacity C lines hits exactly the accesses with stack distance < C.
+// This gives a machine-independent locality profile of an address stream and
+// a ground truth against which the set-associative simulator is property-
+// tested (tests/memsim_property_test.cpp).
+//
+// Implementation: classic Bennett–Kruskal style counting.  Each line stores
+// its last access time; a Fenwick tree over the timeline marks "this time is
+// the most recent access of some line", so the distance is a prefix-sum
+// query.  The timeline is compacted when it grows past 2× the number of
+// live lines, keeping memory proportional to the footprint.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace pmacx::memsim {
+
+/// Streaming reuse-distance histogram over line addresses.
+class ReuseDistanceAnalyzer {
+ public:
+  /// Distance reported for first-ever accesses (cold misses).
+  static constexpr std::uint64_t kInfinite = std::numeric_limits<std::uint64_t>::max();
+
+  ReuseDistanceAnalyzer() = default;
+
+  /// Processes one access to `line_addr` and returns its stack distance
+  /// (kInfinite for the first access to the line).
+  std::uint64_t access(std::uint64_t line_addr);
+
+  /// Number of accesses with finite distance exactly d.
+  std::uint64_t count_at(std::uint64_t distance) const;
+
+  /// Number of accesses with finite distance < `capacity_lines` — i.e. the
+  /// hits of a fully-associative LRU cache of that capacity.
+  std::uint64_t hits_for_capacity(std::uint64_t capacity_lines) const;
+
+  /// Cold (first-touch) accesses.
+  std::uint64_t cold_accesses() const { return cold_; }
+
+  /// Total accesses processed.
+  std::uint64_t total_accesses() const { return total_; }
+
+  /// Distinct lines seen.
+  std::uint64_t distinct_lines() const { return last_time_.size(); }
+
+  /// Full finite-distance histogram (distance → count), ordered.
+  const std::map<std::uint64_t, std::uint64_t>& histogram() const { return histogram_; }
+
+ private:
+  void fenwick_add(std::size_t index, std::int64_t delta);
+  std::int64_t fenwick_sum(std::size_t index) const;  ///< sum of [0, index]
+  void rebuild_tree(std::size_t capacity);
+  void compact();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_time_;  ///< line → time
+  std::vector<std::int64_t> tree_;    ///< Fenwick tree over the timeline
+  std::vector<std::uint8_t> marks_;   ///< source of truth for tree rebuilds
+  std::uint64_t now_ = 0;           ///< next timestamp to assign
+  std::uint64_t live_marks_ = 0;    ///< marked slots (== distinct lines)
+  std::uint64_t cold_ = 0;
+  std::uint64_t total_ = 0;
+  std::map<std::uint64_t, std::uint64_t> histogram_;
+};
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,43 @@
+#include "memsim/working_set.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace pmacx::memsim {
+
+WorkingSetTracker::WorkingSetTracker(std::uint32_t line_bytes) : line_bytes_(line_bytes) {
+  PMACX_CHECK(line_bytes != 0 && (line_bytes & (line_bytes - 1)) == 0,
+              "line size must be a power of two");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(line_bytes)));
+}
+
+void WorkingSetTracker::touch(std::uint64_t addr, std::uint32_t size) {
+  PMACX_CHECK(size > 0, "zero-size touch");
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + size - 1) >> line_shift_;
+  auto& scoped = scope_lines_[scope_];
+  for (std::uint64_t line = first; line <= last; ++line) {
+    total_lines_.insert(line);
+    scoped.insert(line);
+  }
+}
+
+std::uint64_t WorkingSetTracker::scope_bytes(std::uint64_t block_id) const {
+  const auto it = scope_lines_.find(block_id);
+  if (it == scope_lines_.end()) return 0;
+  return static_cast<std::uint64_t>(it->second.size()) * line_bytes_;
+}
+
+std::uint64_t WorkingSetTracker::total_bytes() const {
+  return static_cast<std::uint64_t>(total_lines_.size()) * line_bytes_;
+}
+
+void WorkingSetTracker::reset() {
+  total_lines_.clear();
+  scope_lines_.clear();
+  scope_ = 0;
+}
+
+}  // namespace pmacx::memsim

@@ -1,0 +1,47 @@
+// Working-set (data footprint) tracking.
+//
+// Element (5) of the paper's per-block feature vector is the block's working
+// set size; the tracer measures it as the number of distinct cache lines the
+// block touches, times the line size.  Tracked per scope so every basic
+// block gets its own footprint, plus a global footprint for the task.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pmacx::memsim {
+
+/// Counts distinct cache lines per scope and overall.
+class WorkingSetTracker {
+ public:
+  /// `line_bytes` must be a power of two (same as the simulated hierarchy).
+  explicit WorkingSetTracker(std::uint32_t line_bytes);
+
+  /// Selects the accounting scope for subsequent touches.
+  void set_scope(std::uint64_t block_id) { scope_ = block_id; }
+
+  /// Records that [addr, addr+size) was referenced.
+  void touch(std::uint64_t addr, std::uint32_t size);
+
+  /// Footprint of one scope in bytes (0 for unknown scopes).
+  std::uint64_t scope_bytes(std::uint64_t block_id) const;
+
+  /// Footprint of the entire stream in bytes.
+  std::uint64_t total_bytes() const;
+
+  /// Distinct lines in the entire stream.
+  std::uint64_t total_lines() const { return total_lines_.size(); }
+
+  /// Clears all state.
+  void reset();
+
+ private:
+  std::uint32_t line_bytes_;
+  std::uint32_t line_shift_;
+  std::uint64_t scope_ = 0;
+  std::unordered_set<std::uint64_t> total_lines_;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> scope_lines_;
+};
+
+}  // namespace pmacx::memsim

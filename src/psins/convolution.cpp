@@ -1,0 +1,48 @@
+#include "psins/convolution.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pmacx::psins {
+
+ComputePrediction convolve_task(const trace::TaskTrace& task,
+                                const machine::MachineProfile& machine) {
+  ComputePrediction prediction;
+  prediction.blocks.reserve(task.blocks.size());
+
+  for (const trace::BasicBlockRecord& block : task.blocks) {
+    BlockTime bt;
+    bt.block_id = block.id;
+
+    const double bytes = block.bytes_moved();
+    if (bytes > 0) {
+      bt.bandwidth_bytes_per_s = machine.surface.lookup({
+          block.get(trace::BlockElement::HitRateL1),
+          block.get(trace::BlockElement::HitRateL2),
+          block.get(trace::BlockElement::HitRateL3),
+      });
+      PMACX_ASSERT(bt.bandwidth_bytes_per_s > 0, "surface returned non-positive bandwidth");
+      bt.memory_seconds = bytes / bt.bandwidth_bytes_per_s;
+    }
+
+    const double ilp = std::max(block.get(trace::BlockElement::Ilp), 1e-6);
+    bt.fp_seconds = machine.fp_seconds(block.get(trace::BlockElement::FpAdd),
+                                       block.get(trace::BlockElement::FpMul),
+                                       block.get(trace::BlockElement::FpFma),
+                                       block.get(trace::BlockElement::FpDivSqrt), ilp);
+
+    // Overlap model: the overlapped fraction of the shorter stream hides
+    // under the longer one; the remainder serializes.
+    const double overlap = machine.system.mem_fp_overlap;
+    const double longer = std::max(bt.memory_seconds, bt.fp_seconds);
+    const double shorter = std::min(bt.memory_seconds, bt.fp_seconds);
+    bt.block_seconds = longer + (1.0 - overlap) * shorter;
+
+    prediction.seconds += bt.block_seconds;
+    prediction.blocks.push_back(bt);
+  }
+  return prediction;
+}
+
+}  // namespace pmacx::psins

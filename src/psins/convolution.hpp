@@ -1,0 +1,42 @@
+// The PMaC convolution: application signature × machine profile.
+//
+// Implements Equation 1 of the paper:
+//
+//     memory_time = Σ_blocks Σ_type (memory_ref_{i,j} × size_of_ref) / memory_BW_j
+//
+// where a block's "type" — its working set and access pattern as expressed
+// through its cache hit rates — selects the bandwidth from the MultiMAPS
+// surface.  Floating-point time uses the profile's issue model with the
+// block's ILP, and memory/FP work overlap by the machine's overlap factor
+// ("Floating point time is modeled in a similar way with some overlap of
+// memory and floating-point work", Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/profile.hpp"
+#include "trace/task_trace.hpp"
+
+namespace pmacx::psins {
+
+/// Predicted time of one basic block on the target machine.
+struct BlockTime {
+  std::uint64_t block_id = 0;
+  double memory_seconds = 0.0;
+  double fp_seconds = 0.0;
+  double block_seconds = 0.0;  ///< after memory/FP overlap
+  double bandwidth_bytes_per_s = 0.0;  ///< surface lookup used
+};
+
+/// Predicted computation time of one task.
+struct ComputePrediction {
+  double seconds = 0.0;
+  std::vector<BlockTime> blocks;
+};
+
+/// Applies Equation 1 to every block of `task` against `machine`.
+ComputePrediction convolve_task(const trace::TaskTrace& task,
+                                const machine::MachineProfile& machine);
+
+}  // namespace pmacx::psins

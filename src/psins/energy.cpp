@@ -1,0 +1,80 @@
+#include "psins/energy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pmacx::psins {
+namespace {
+
+/// Dynamic energy of one block from its feature vector.
+BlockEnergy block_energy(const trace::BasicBlockRecord& block,
+                         const machine::EnergyModel& model) {
+  BlockEnergy energy;
+  energy.block_id = block.id;
+
+  // Split the block's references by resolving level: the incremental hit
+  // fraction at level i is hr_i - hr_{i-1}; the remainder goes to memory.
+  const double refs = block.memory_ops();
+  if (refs > 0) {
+    const double rates[] = {block.get(trace::BlockElement::HitRateL1),
+                            block.get(trace::BlockElement::HitRateL2),
+                            block.get(trace::BlockElement::HitRateL3)};
+    double previous = 0.0;
+    double joules = 0.0;
+    for (std::size_t lvl = 0; lvl < memsim::kMaxLevels; ++lvl) {
+      const double fraction = std::max(rates[lvl] - previous, 0.0);
+      joules += refs * fraction * model.level_nj[lvl] * 1e-9;
+      previous = std::max(previous, rates[lvl]);
+    }
+    joules += refs * std::max(1.0 - previous, 0.0) * model.memory_nj * 1e-9;
+    energy.memory_joules = joules;
+  }
+
+  const double pipelined = block.get(trace::BlockElement::FpAdd) +
+                           block.get(trace::BlockElement::FpMul) +
+                           2.0 * block.get(trace::BlockElement::FpFma);
+  const double divs = block.get(trace::BlockElement::FpDivSqrt);
+  energy.fp_joules =
+      pipelined * model.fp_nj * 1e-9 + divs * (model.fp_nj + model.div_extra_nj) * 1e-9;
+  return energy;
+}
+
+}  // namespace
+
+EnergyPrediction estimate_energy(const trace::AppSignature& signature,
+                                 const machine::MachineProfile& machine,
+                                 const PredictionResult& prediction) {
+  signature.validate();
+  PMACX_CHECK(prediction.runtime_seconds > 0, "energy needs a positive predicted runtime");
+  const machine::EnergyModel& model = machine.system.energy;
+
+  EnergyPrediction result;
+  const trace::TaskTrace& demanding = signature.demanding_task();
+  double demanding_joules = 0.0;
+  result.blocks.reserve(demanding.blocks.size());
+  for (const auto& block : demanding.blocks) {
+    BlockEnergy energy = block_energy(block, model);
+    demanding_joules += energy.memory_joules + energy.fp_joules;
+    result.blocks.push_back(energy);
+  }
+
+  // Scale to all ranks by their work-unit share (all ranks run the same
+  // code; dynamic energy tracks work almost linearly).
+  PMACX_CHECK(!signature.comm.empty(), "energy scaling needs comm traces");
+  const double demanding_units =
+      signature.comm[signature.demanding_rank].total_compute_units();
+  PMACX_CHECK(demanding_units > 0, "demanding rank reports zero work units");
+  double total_units = 0.0;
+  for (const auto& comm : signature.comm) total_units += comm.total_compute_units();
+  result.dynamic_joules = demanding_joules * total_units / demanding_units;
+
+  result.static_joules = model.static_watts_per_core *
+                         static_cast<double>(signature.core_count) *
+                         prediction.runtime_seconds;
+  result.total_joules = result.dynamic_joules + result.static_joules;
+  result.mean_watts = result.total_joules / prediction.runtime_seconds;
+  return result;
+}
+
+}  // namespace pmacx::psins

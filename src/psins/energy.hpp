@@ -1,0 +1,44 @@
+// The PSiNS energy convolution — the energy counterpart of Equation 1.
+//
+// Dynamic energy of a basic block is the sum over its references of the
+// per-level access energy (weighted by the block's cumulative hit-rate
+// split) plus its floating-point operation energies; static energy is the
+// target's per-core static power integrated over the predicted runtime
+// across all cores.  The same feature vectors drive both convolutions, so
+// the extrapolated trace predicts energy at scale for free — the "important
+// for both performance and energy" motivation of the paper's Section I.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/profile.hpp"
+#include "psins/predictor.hpp"
+#include "trace/signature.hpp"
+
+namespace pmacx::psins {
+
+/// Predicted energy of one block (demanding rank).
+struct BlockEnergy {
+  std::uint64_t block_id = 0;
+  double memory_joules = 0.0;  ///< cache + memory access energy
+  double fp_joules = 0.0;
+};
+
+/// Whole-run energy prediction.
+struct EnergyPrediction {
+  double dynamic_joules = 0.0;  ///< all ranks' access + fp energy
+  double static_joules = 0.0;   ///< static power × cores × runtime
+  double total_joules = 0.0;
+  double mean_watts = 0.0;      ///< total / runtime
+  std::vector<BlockEnergy> blocks;  ///< demanding rank's breakdown
+};
+
+/// Applies the energy convolution to `signature`, scaling the demanding
+/// rank's dynamic energy to all ranks via their comm-trace work units and
+/// integrating static power over `prediction`'s runtime.
+EnergyPrediction estimate_energy(const trace::AppSignature& signature,
+                                 const machine::MachineProfile& machine,
+                                 const PredictionResult& prediction);
+
+}  // namespace pmacx::psins

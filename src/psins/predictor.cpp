@@ -1,0 +1,69 @@
+#include "psins/predictor.hpp"
+
+#include "simmpi/replay.hpp"
+#include "util/error.hpp"
+
+namespace pmacx::psins {
+
+namespace {
+
+PredictionResult predict_scaled(const trace::AppSignature& signature,
+                                const machine::MachineProfile& machine,
+                                double compute_speedup);
+
+}  // namespace
+
+PredictionResult predict(const trace::AppSignature& signature,
+                         const machine::MachineProfile& machine) {
+  return predict_scaled(signature, machine, 1.0);
+}
+
+PredictionResult predict_hybrid(const trace::AppSignature& signature,
+                                const machine::MachineProfile& machine,
+                                std::uint32_t threads_per_rank,
+                                double thread_efficiency) {
+  PMACX_CHECK(threads_per_rank >= 1, "hybrid prediction needs >= 1 thread per rank");
+  PMACX_CHECK(thread_efficiency > 0.0 && thread_efficiency <= 1.0,
+              "thread efficiency out of (0, 1]");
+  return predict_scaled(signature, machine,
+                        static_cast<double>(threads_per_rank) * thread_efficiency);
+}
+
+namespace {
+
+PredictionResult predict_scaled(const trace::AppSignature& signature,
+                                const machine::MachineProfile& machine,
+                                double compute_speedup) {
+  signature.validate();
+  PMACX_CHECK(!signature.comm.empty(),
+              "prediction requires communication traces for every rank");
+
+  const trace::TaskTrace& demanding = signature.demanding_task();
+
+  PredictionResult result;
+  result.from_extrapolated_trace = demanding.extrapolated;
+  result.blocks = convolve_task(demanding, machine);
+  // Hybrid mode: the rank's work executes on several cores in parallel.
+  result.compute_seconds = result.blocks.seconds / compute_speedup;
+
+  // All ranks run the same code, so one convolution calibrates the
+  // seconds-per-work-unit rate; each rank's compute bursts scale by its own
+  // unit count carried in its comm trace.
+  const double demanding_units =
+      signature.comm[signature.demanding_rank].total_compute_units();
+  PMACX_CHECK(demanding_units > 0, "demanding rank reports zero compute units");
+  const double seconds_per_unit = result.compute_seconds / demanding_units;
+
+  std::vector<double> scales(signature.core_count, seconds_per_unit);
+  const std::vector<simmpi::RankTimeline> timelines =
+      simmpi::timelines_from_comm(signature.comm, scales);
+  const simmpi::ReplayResult replayed = simmpi::replay(timelines, machine.system.network);
+
+  result.runtime_seconds = replayed.runtime;
+  result.comm_seconds = replayed.ranks[signature.demanding_rank].comm_seconds;
+  return result;
+}
+
+}  // namespace
+
+}  // namespace pmacx::psins

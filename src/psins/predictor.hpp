@@ -1,0 +1,45 @@
+// Whole-application performance prediction.
+//
+// Combines the convolution (computation model) with the replay engine
+// (communication model): the demanding task's trace is convolved into
+// compute seconds, every rank's compute bursts are scaled from its abstract
+// work units, and the full run is replayed over the target's network model.
+// "This mapping takes place in the PSiNS simulator that replays the entire
+// execution of the HPC application on the target/predicted system"
+// (Section III).
+#pragma once
+
+#include <cstdint>
+
+#include "machine/profile.hpp"
+#include "psins/convolution.hpp"
+#include "trace/signature.hpp"
+
+namespace pmacx::psins {
+
+/// Outcome of one prediction.
+struct PredictionResult {
+  double runtime_seconds = 0.0;       ///< predicted wall clock of the run
+  double compute_seconds = 0.0;       ///< demanding rank's computation time
+  double comm_seconds = 0.0;          ///< demanding rank's communication time
+  bool from_extrapolated_trace = false;  ///< provenance of the input trace
+  ComputePrediction blocks;           ///< per-block breakdown (demanding rank)
+};
+
+/// Predicts the runtime of the run described by `signature` on `machine`.
+/// The signature must contain the demanding rank's computation trace and the
+/// comm traces of all ranks.
+PredictionResult predict(const trace::AppSignature& signature,
+                         const machine::MachineProfile& machine);
+
+/// Hybrid MPI/OpenMP prediction: the signature describes per-*rank* work
+/// (its traces collected in hybrid mode so hit rates include shared-cache
+/// contention — synth::TracerOptions::threads_per_rank), and each rank's
+/// computation executes on `threads_per_rank` cores at the given parallel
+/// efficiency.  Communication replays over the (fewer) ranks unchanged.
+PredictionResult predict_hybrid(const trace::AppSignature& signature,
+                                const machine::MachineProfile& machine,
+                                std::uint32_t threads_per_rank,
+                                double thread_efficiency = 0.9);
+
+}  // namespace pmacx::psins

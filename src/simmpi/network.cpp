@@ -1,0 +1,86 @@
+#include "simmpi/network.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace pmacx::simmpi {
+
+double NetworkModel::p2p_time(std::uint64_t bytes) const {
+  return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+std::uint32_t NetworkModel::torus_hops(std::uint32_t src, std::uint32_t dst) const {
+  if (!torus.enabled) return 0;
+  const std::uint64_t nodes = static_cast<std::uint64_t>(torus.dims[0]) * torus.dims[1] *
+                              torus.dims[2];
+  PMACX_CHECK(nodes > 0, "torus with zero nodes");
+  std::uint64_t a = src % nodes;
+  std::uint64_t b = dst % nodes;
+  std::uint32_t hops = 0;
+  for (std::uint32_t dim : torus.dims) {
+    const auto ca = static_cast<std::int64_t>(a % dim);
+    const auto cb = static_cast<std::int64_t>(b % dim);
+    const std::int64_t direct = std::llabs(ca - cb);
+    hops += static_cast<std::uint32_t>(std::min<std::int64_t>(direct, dim - direct));
+    a /= dim;
+    b /= dim;
+  }
+  return hops;
+}
+
+double NetworkModel::p2p_time_between(std::uint32_t src, std::uint32_t dst,
+                                      std::uint64_t bytes) const {
+  return p2p_time(bytes) + torus_hops(src, dst) * torus.per_hop_latency_s;
+}
+
+double NetworkModel::collective_time(trace::CommOp op, std::uint64_t bytes,
+                                     std::uint32_t ranks) const {
+  PMACX_CHECK(ranks > 0, "collective over zero ranks");
+  if (ranks == 1) return per_stage_overhead_s;
+  const double stages = std::ceil(std::log2(static_cast<double>(ranks)));
+  const double stage_cost = p2p_time(bytes) + per_stage_overhead_s;
+
+  switch (op) {
+    case trace::CommOp::Barrier:
+      // Payload-free dissemination barrier.
+      return stages * (latency_s + per_stage_overhead_s);
+    case trace::CommOp::Bcast:
+    case trace::CommOp::Reduce:
+      return stages * stage_cost;
+    case trace::CommOp::Allreduce: {
+      // Small payloads: recursive doubling (latency-optimal, 2·log2 P
+      // stages).  Large payloads: the ring algorithm — 2·(P-1) cheap stages
+      // moving only bytes/P each, bandwidth-optimal (what real MPI
+      // implementations switch to).
+      const double tree = 2.0 * stages * stage_cost;
+      if (bytes < allreduce_ring_threshold_bytes) return tree;
+      const double chunk = static_cast<double>(bytes) / static_cast<double>(ranks);
+      const double ring =
+          2.0 * static_cast<double>(ranks - 1) *
+          (latency_s + per_stage_overhead_s + chunk / bandwidth_bytes_per_s);
+      return std::min(tree, ring);
+    }
+    case trace::CommOp::Allgather:
+      // Recursive doubling: payload grows each stage; bound with the final
+      // full payload per stage (conservative first-order model).
+      return stages * (latency_s + per_stage_overhead_s) +
+             static_cast<double>(bytes) * static_cast<double>(ranks - 1) /
+                 bandwidth_bytes_per_s;
+    case trace::CommOp::Alltoall:
+      // P-1 personalized exchanges, pipelined.
+      return static_cast<double>(ranks - 1) * latency_s +
+             static_cast<double>(bytes) * static_cast<double>(ranks - 1) /
+                 bandwidth_bytes_per_s;
+    case trace::CommOp::Send:
+    case trace::CommOp::Recv:
+      break;
+  }
+  PMACX_CHECK(false, "collective_time called with point-to-point op");
+  return 0.0;
+}
+
+}  // namespace pmacx::simmpi

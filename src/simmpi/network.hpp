@@ -1,0 +1,68 @@
+// Interconnect timing model.
+//
+// The machine profile's communication side: point-to-point transfers follow
+// a latency + size/bandwidth model, collectives follow log₂(P)-stage tree
+// models — the same first-order models PMaC's machine profiles use for
+// "communications events ... at various message sizes" (Section III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/comm.hpp"
+
+namespace pmacx::simmpi {
+
+/// Optional 3-D torus topology (Cray SeaStar-style): ranks map row-major
+/// onto the torus and each hop adds latency, so physically distant pairs
+/// pay more than neighbours.
+struct TorusTopology {
+  bool enabled = false;
+  std::array<std::uint32_t, 3> dims{1, 1, 1};
+  double per_hop_latency_s = 5.0e-8;
+};
+
+/// Interconnect parameters of one machine.
+struct NetworkModel {
+  std::string name = "generic-ib";
+  double latency_s = 2.0e-6;            ///< per-message launch latency
+  double bandwidth_bytes_per_s = 5e9;   ///< sustained point-to-point bandwidth
+  double per_stage_overhead_s = 1.0e-6; ///< software overhead per tree stage
+  /// Messages of at most this many bytes use the *eager* protocol: the
+  /// sender deposits into a remote buffer and continues without waiting for
+  /// the receive to be posted (real MPI behaviour for small messages).
+  /// Larger messages rendezvous — both sides synchronize for the transfer.
+  /// 0 disables eager entirely (every send rendezvouses).
+  std::uint64_t eager_threshold_bytes = 0;
+  /// Allreduce algorithm switch (as real MPI libraries do): payloads at or
+  /// above this use the bandwidth-optimal ring algorithm, smaller ones the
+  /// latency-optimal recursive-doubling tree.
+  std::uint64_t allreduce_ring_threshold_bytes = 32768;
+
+  /// True when a message of this size uses the eager protocol.
+  bool is_eager(std::uint64_t bytes) const {
+    return eager_threshold_bytes > 0 && bytes <= eager_threshold_bytes;
+  }
+
+  TorusTopology torus;
+
+  /// Topology-blind point-to-point transfer time for `bytes`.
+  double p2p_time(std::uint64_t bytes) const;
+
+  /// Manhattan hop distance between two ranks mapped row-major onto the
+  /// torus (0 when the topology is disabled).  Ranks beyond the torus's
+  /// node count wrap modulo the node count.
+  std::uint32_t torus_hops(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Topology-aware point-to-point time: p2p_time plus per-hop latency.
+  double p2p_time_between(std::uint32_t src, std::uint32_t dst,
+                          std::uint64_t bytes) const;
+
+  /// Time for collective `op` over `ranks` participants moving `bytes` per
+  /// rank.  Tree collectives cost ceil(log2 P) stages of p2p transfers;
+  /// all-to-all pays an extra linear factor for its P-way personalization.
+  double collective_time(trace::CommOp op, std::uint64_t bytes, std::uint32_t ranks) const;
+};
+
+}  // namespace pmacx::simmpi

@@ -1,0 +1,31 @@
+#include "simmpi/profiler.hpp"
+
+namespace pmacx::simmpi {
+
+double RunProfile::comm_fraction() const {
+  double comm = 0.0, total = 0.0;
+  for (const RankProfile& r : ranks) {
+    comm += r.comm_seconds;
+    total += r.total_seconds;
+  }
+  return total > 0.0 ? comm / total : 0.0;
+}
+
+RunProfile profile_run(std::span<const trace::CommTrace> traces,
+                       std::span<const double> seconds_per_unit,
+                       const NetworkModel& network) {
+  const std::vector<RankTimeline> timelines = timelines_from_comm(traces, seconds_per_unit);
+  const ReplayResult replayed = replay(timelines, network);
+
+  RunProfile profile;
+  profile.runtime = replayed.runtime;
+  profile.most_demanding_rank = replayed.most_demanding_rank();
+  profile.ranks.reserve(replayed.ranks.size());
+  for (std::uint32_t r = 0; r < replayed.ranks.size(); ++r) {
+    const RankOutcome& o = replayed.ranks[r];
+    profile.ranks.push_back(RankProfile{r, o.compute_seconds, o.comm_seconds, o.finish_time});
+  }
+  return profile;
+}
+
+}  // namespace pmacx::simmpi

@@ -1,0 +1,45 @@
+// Lightweight MPI profiling — the PSiNSTracer role.
+//
+// Section IV: "this task is identified using a lightweight MPI profiling
+// library based on the PSiNSTracer package".  Given the per-rank
+// communication timelines and a per-rank computation-cost estimate, the
+// profiler replays the run once and reports per-rank computation and
+// communication time, exposing the most computationally demanding task that
+// the extrapolation methodology focuses on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/replay.hpp"
+#include "trace/comm.hpp"
+
+namespace pmacx::simmpi {
+
+/// Per-rank profile line.
+struct RankProfile {
+  std::uint32_t rank = 0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Whole-run profile.
+struct RunProfile {
+  std::vector<RankProfile> ranks;
+  double runtime = 0.0;
+  std::uint32_t most_demanding_rank = 0;  ///< argmax compute_seconds
+
+  /// Fraction of aggregate time spent communicating (load-balance signal).
+  double comm_fraction() const;
+};
+
+/// Profiles a run described by comm traces whose compute bursts are scaled
+/// by `seconds_per_unit` (one entry per rank).
+RunProfile profile_run(std::span<const trace::CommTrace> traces,
+                       std::span<const double> seconds_per_unit,
+                       const NetworkModel& network);
+
+}  // namespace pmacx::simmpi

@@ -1,0 +1,69 @@
+// Deterministic replay of per-rank MPI timelines.
+//
+// This is the execution-replay half of PSiNS: every rank's timeline is an
+// alternating sequence of computation bursts (already converted to seconds
+// by the caller's computation model) and MPI events.  The engine advances
+// each rank until it blocks — a point-to-point event blocks until its
+// partner has arrived, a collective blocks until every rank has arrived at
+// the same occurrence — and resolves matches with the network model's
+// transfer times.  Semantics:
+//
+//   * Send/Recv are rendezvous: the k-th send from a to b matches the k-th
+//     recv on b from a; both sides complete at
+//     max(sender arrival, receiver arrival) + p2p transfer time.
+//   * Collectives are SPMD-matched by occurrence index: the k-th collective
+//     executed by each rank is the same operation on every rank (validated);
+//     all ranks complete at max(arrivals) + collective time.
+//
+// The engine detects deadlock (no rank can make progress) and reports the
+// stuck ranks, which turns malformed synthetic comm traces into loud errors
+// instead of hangs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simmpi/network.hpp"
+#include "trace/comm.hpp"
+
+namespace pmacx::simmpi {
+
+/// One rank's timeline, ready for replay (compute already in seconds).
+struct RankTimeline {
+  struct Step {
+    trace::CommEvent event;
+    double compute_seconds_before = 0.0;  ///< CPU burst preceding the event
+  };
+  std::vector<Step> steps;
+  double tail_compute_seconds = 0.0;  ///< CPU burst after the last event
+};
+
+/// Replay outcome for one rank.
+struct RankOutcome {
+  double finish_time = 0.0;
+  double compute_seconds = 0.0;  ///< time spent in CPU bursts
+  double comm_seconds = 0.0;     ///< time spent blocked in / transferring MPI
+};
+
+/// Whole-run replay outcome.
+struct ReplayResult {
+  std::vector<RankOutcome> ranks;
+  double runtime = 0.0;  ///< max finish time across ranks
+
+  /// Rank with the largest compute_seconds — the paper's "most
+  /// computationally demanding MPI task".
+  std::uint32_t most_demanding_rank() const;
+};
+
+/// Replays the timelines (index = rank).  Throws util::Error on deadlock or
+/// mismatched collective sequences.
+ReplayResult replay(std::span<const RankTimeline> timelines, const NetworkModel& network);
+
+/// Builds replay-ready timelines from comm traces by scaling each rank's
+/// abstract compute units with `seconds_per_unit[rank]`.
+std::vector<RankTimeline> timelines_from_comm(std::span<const trace::CommTrace> traces,
+                                              std::span<const double> seconds_per_unit);
+
+}  // namespace pmacx::simmpi

@@ -1,0 +1,361 @@
+#include "stats/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/ols.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::stats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double clamped_exp(double exponent) {
+  // exp(±709) is the double range edge; clamp a bit inside it.
+  return std::exp(std::clamp(exponent, -690.0, 690.0));
+}
+
+double r_squared(std::span<const double> y, double sse) {
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double sst = 0.0;
+  for (double v : y) sst += (v - mean) * (v - mean);
+  if (sst <= 0.0) return sse <= 1e-300 ? 1.0 : 0.0;
+  return 1.0 - sse / sst;
+}
+
+void finish(FittedModel& model, std::span<const double> p, std::span<const double> y) {
+  model.sse = sse_of(p, y, [&](double pi) { return model.evaluate(pi); });
+  model.r2 = r_squared(y, model.sse);
+  model.ok = std::isfinite(model.sse);
+  if (!model.ok) model.sse = kInf;
+}
+
+FittedModel fail(Form form) {
+  FittedModel model;
+  model.form = form;
+  model.sse = kInf;
+  model.r2 = -kInf;
+  model.ok = false;
+  return model;
+}
+
+FittedModel fit_constant(std::span<const double> p, std::span<const double> y) {
+  FittedModel model;
+  model.form = Form::Constant;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  model.params[0] = mean / static_cast<double>(y.size());
+  finish(model, p, y);
+  return model;
+}
+
+FittedModel fit_transformed_linear(Form form, std::span<const double> p,
+                                   std::span<const double> y) {
+  // Linear / Logarithmic / InverseP are OLS on a transformed abscissa.
+  std::vector<double> x(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    switch (form) {
+      case Form::Linear: x[i] = p[i]; break;
+      case Form::Logarithmic: x[i] = std::log(p[i]); break;
+      case Form::InverseP: x[i] = 1.0 / p[i]; break;
+      default: PMACX_ASSERT(false, "not a transformed-linear form");
+    }
+  }
+  const LinearFit ols = fit_linear(x, y);
+  if (!ols.ok) return fail(form);
+  FittedModel model;
+  model.form = form;
+  model.params[0] = ols.intercept;
+  model.params[1] = ols.slope;
+  finish(model, p, y);
+  return model;
+}
+
+/// Exponential y = a·e^(b·p) and power y = a·p^b share a log-space OLS with
+/// a post-hoc refinement of the scale `a` in the original space.  Both need
+/// strictly one-signed y; negative data is handled by fitting -y.
+FittedModel fit_log_space(Form form, std::span<const double> p, std::span<const double> y) {
+  const std::size_t n = y.size();
+  if (n < 2) return fail(form);
+  double sign = 0.0;
+  for (double v : y) {
+    if (v > 0.0 && sign >= 0.0) sign = 1.0;
+    else if (v < 0.0 && sign <= 0.0) sign = -1.0;
+    else return fail(form);  // zero or mixed-sign data
+  }
+
+  std::vector<double> x(n), ln_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = form == Form::Power ? std::log(p[i]) : p[i];
+    ln_y[i] = std::log(sign * y[i]);
+  }
+  const LinearFit ols = fit_linear(x, ln_y);
+  if (!ols.ok) return fail(form);
+  const double b = ols.slope;
+
+  // Given b, the least-squares scale in the original space is closed-form:
+  // a = Σ y_i·g_i / Σ g_i²  with g_i = e^(b·p_i) or p_i^b.
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = form == Form::Power ? std::pow(p[i], b) : clamped_exp(b * p[i]);
+    num += y[i] * g;
+    den += g * g;
+  }
+  if (den <= 0.0 || !std::isfinite(den)) return fail(form);
+
+  FittedModel model;
+  model.form = form;
+  model.params[0] = num / den;
+  model.params[1] = b;
+  finish(model, p, y);
+  return model;
+}
+
+FittedModel fit_quadratic(std::span<const double> p, std::span<const double> y) {
+  // A quadratic through exactly three samples interpolates them (SSE = 0),
+  // so it would beat every other form in selection while extrapolating
+  // wildly.  Require an over-determined fit: at least four samples.
+  if (p.size() < 4) return fail(Form::Quadratic);
+  const std::vector<double> coeffs = fit_polynomial(p, y, 2);
+  if (coeffs.empty()) return fail(Form::Quadratic);
+  FittedModel model;
+  model.form = Form::Quadratic;
+  model.params = {coeffs[0], coeffs[1], coeffs[2]};
+  finish(model, p, y);
+  return model;
+}
+
+/// Leave-one-out cross-validation error of `form` over the samples; kInf when
+/// any sub-fit fails.
+double loo_error(Form form, std::span<const double> p, std::span<const double> y) {
+  const std::size_t n = p.size();
+  double total = 0.0;
+  std::vector<double> sub_p(n - 1), sub_y(n - 1);
+  for (std::size_t hold = 0; hold < n; ++hold) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == hold) continue;
+      sub_p[k] = p[i];
+      sub_y[k] = y[i];
+      ++k;
+    }
+    const FittedModel sub = fit_form(form, sub_p, sub_y);
+    if (!sub.ok) return kInf;
+    const double r = y[hold] - sub.evaluate(p[hold]);
+    total += r * r;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string form_name(Form form) {
+  switch (form) {
+    case Form::Constant: return "constant";
+    case Form::Linear: return "linear";
+    case Form::Logarithmic: return "log";
+    case Form::Exponential: return "exp";
+    case Form::Power: return "power";
+    case Form::InverseP: return "inverse-p";
+    case Form::Quadratic: return "quadratic";
+  }
+  return "?";
+}
+
+std::span<const Form> all_forms() {
+  static const Form kAll[] = {Form::Constant,    Form::Linear,   Form::Logarithmic,
+                              Form::Exponential, Form::Power,    Form::InverseP,
+                              Form::Quadratic};
+  return kAll;
+}
+
+std::span<const Form> paper_forms() {
+  static const Form kPaper[] = {Form::Constant, Form::Linear, Form::Logarithmic,
+                                Form::Exponential};
+  return kPaper;
+}
+
+std::span<const Form> default_forms() {
+  static const Form kDefault[] = {Form::Constant,    Form::Linear, Form::Logarithmic,
+                                  Form::Exponential, Form::Power,  Form::InverseP};
+  return kDefault;
+}
+
+int form_complexity(Form form) {
+  // Fewer effective degrees of freedom / tamer extrapolation behaviour
+  // ranks earlier.  Exponential ranks late because it extrapolates most
+  // aggressively.
+  switch (form) {
+    case Form::Constant: return 0;
+    case Form::Linear: return 1;
+    case Form::Logarithmic: return 2;
+    case Form::InverseP: return 3;
+    case Form::Power: return 4;
+    case Form::Exponential: return 5;
+    case Form::Quadratic: return 6;
+  }
+  return 99;
+}
+
+double FittedModel::evaluate(double p) const {
+  const double a = params[0], b = params[1], c = params[2];
+  const double safe_p = std::max(p, 1e-300);
+  switch (form) {
+    case Form::Constant: return a;
+    case Form::Linear: return a + b * p;
+    case Form::Logarithmic: return a + b * std::log(safe_p);
+    case Form::Exponential: return a * clamped_exp(b * p);
+    case Form::Power: return a * std::pow(safe_p, b);
+    case Form::InverseP: return a + b / safe_p;
+    case Form::Quadratic: return a + b * p + c * p * p;
+  }
+  return a;
+}
+
+std::string FittedModel::describe() const {
+  if (form == Form::Quadratic)
+    return util::format("%s(a=%.6g, b=%.6g, c=%.6g)", form_name(form).c_str(), params[0],
+                        params[1], params[2]);
+  if (form == Form::Constant)
+    return util::format("%s(a=%.6g)", form_name(form).c_str(), params[0]);
+  return util::format("%s(a=%.6g, b=%.6g)", form_name(form).c_str(), params[0], params[1]);
+}
+
+FittedModel fit_form(Form form, std::span<const double> p, std::span<const double> y) {
+  PMACX_CHECK(p.size() == y.size(), "fit_form: p/y size mismatch");
+  PMACX_CHECK(!p.empty(), "fit_form: no samples");
+  for (double pi : p) PMACX_CHECK(pi > 0.0, "fit_form: core counts must be positive");
+
+  switch (form) {
+    case Form::Constant: return fit_constant(p, y);
+    case Form::Linear:
+    case Form::Logarithmic:
+    case Form::InverseP: return fit_transformed_linear(form, p, y);
+    case Form::Exponential:
+    case Form::Power: return fit_log_space(form, p, y);
+    case Form::Quadratic: return fit_quadratic(p, y);
+  }
+  return fail(form);
+}
+
+std::vector<FittedModel> fit_all(std::span<const double> p, std::span<const double> y,
+                                 const FitOptions& opts) {
+  std::vector<FittedModel> fits;
+  fits.reserve(opts.forms.size());
+  for (Form form : opts.forms) fits.push_back(fit_form(form, p, y));
+  return fits;
+}
+
+int form_parameter_count(Form form) {
+  switch (form) {
+    case Form::Constant: return 1;
+    case Form::Quadratic: return 3;
+    default: return 2;
+  }
+}
+
+namespace {
+
+/// Small-sample-corrected Akaike criterion; kInf when under-sampled.
+double aicc_score(const FittedModel& fit, std::size_t n) {
+  const int k = form_parameter_count(fit.form);
+  const double denom = static_cast<double>(n) - k - 1.0;
+  if (denom <= 0.0) return kInf;
+  const double mean_sse = std::max(fit.sse / static_cast<double>(n), 1e-300);
+  return static_cast<double>(n) * std::log(mean_sse) + 2.0 * k +
+         2.0 * k * (k + 1.0) / denom;
+}
+
+}  // namespace
+
+FittedModel select_best(std::span<const double> p, std::span<const double> y,
+                        const FitOptions& opts) {
+  PMACX_CHECK(!opts.forms.empty(), "select_best: empty form set");
+  SelectionCriterion criterion = opts.criterion;
+  if (opts.loo_cv) criterion = SelectionCriterion::LooCv;
+  // Criteria that need more samples than available degrade to MinSse.
+  if (criterion == SelectionCriterion::LooCv && p.size() < 4)
+    criterion = SelectionCriterion::MinSse;
+
+  FittedModel best;
+  double best_score = kInf;
+  bool have_best = false;
+  for (Form form : opts.forms) {
+    FittedModel fit = fit_form(form, p, y);
+    if (!fit.ok) continue;
+    double score = fit.sse;
+    if (criterion == SelectionCriterion::LooCv) {
+      score = loo_error(form, p, y);
+    } else if (criterion == SelectionCriterion::Aicc) {
+      score = aicc_score(fit, p.size());
+      // An under-sampled AICc falls back to SSE so some fit always ranks.
+      if (!std::isfinite(score)) score = fit.sse;
+    }
+    if (!std::isfinite(score)) continue;
+    const double tolerance = opts.tie_tolerance * (1.0 + best_score);
+    const bool better = !have_best || score < best_score - tolerance;
+    const bool tied = have_best && std::fabs(score - best_score) <= tolerance &&
+                      form_complexity(form) < form_complexity(best.form);
+    if (better || tied) {
+      best = fit;
+      best_score = score;
+      have_best = true;
+    }
+  }
+  if (have_best) return best;
+  // Every candidate failed (e.g. single sample with an exotic form set):
+  // fall back to the constant mean so callers always get a usable model.
+  return fit_constant(p, y);
+}
+
+PredictionInterval bootstrap_interval(std::span<const double> p, std::span<const double> y,
+                                      double target, const FitOptions& opts,
+                                      std::size_t resamples, double confidence,
+                                      std::uint64_t seed) {
+  PMACX_CHECK(!p.empty() && p.size() == y.size(), "bootstrap: bad series");
+  PMACX_CHECK(resamples >= 2, "bootstrap: need at least two resamples");
+  PMACX_CHECK(confidence > 0.0 && confidence < 1.0, "bootstrap: confidence out of (0,1)");
+
+  const FittedModel base = select_best(p, y, opts);
+  PredictionInterval interval;
+  interval.point = base.evaluate(target);
+
+  // Residual bootstrap: resample the fit residuals onto the fitted curve,
+  // refit with the same selection policy, and collect the predictions.
+  std::vector<double> fitted(p.size()), residuals(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    fitted[i] = base.evaluate(p[i]);
+    residuals[i] = y[i] - fitted[i];
+  }
+
+  util::Rng rng(seed);
+  std::vector<double> predictions;
+  predictions.reserve(resamples);
+  std::vector<double> resampled(p.size());
+  for (std::size_t b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < p.size(); ++i)
+      resampled[i] = fitted[i] + residuals[rng.below(residuals.size())];
+    predictions.push_back(select_best(p, resampled, opts).evaluate(target));
+  }
+  std::sort(predictions.begin(), predictions.end());
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto percentile = [&](double q) {
+    const double idx = q * static_cast<double>(predictions.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(idx);
+    const std::size_t hi_idx = std::min(lo_idx + 1, predictions.size() - 1);
+    const double t = idx - static_cast<double>(lo_idx);
+    return predictions[lo_idx] + t * (predictions[hi_idx] - predictions[lo_idx]);
+  };
+  interval.lo = percentile(alpha);
+  interval.hi = percentile(1.0 - alpha);
+  return interval;
+}
+
+}  // namespace pmacx::stats

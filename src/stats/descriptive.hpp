@@ -1,0 +1,33 @@
+// Descriptive statistics used by fit-quality reports and the experiment
+// harnesses (error summaries, distribution sketches).
+#pragma once
+
+#include <span>
+
+namespace pmacx::stats {
+
+/// Summary of a sample: count, extremes, central moments and median.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the summary of `values`; an empty span yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+
+/// Mean of `values`; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Absolute relative error |predicted - actual| / |actual|; when actual is 0
+/// returns 0 if predicted is also 0, else infinity.
+double absolute_relative_error(double predicted, double actual);
+
+/// Euclidean distance between equal-length vectors.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace pmacx::stats

@@ -1,0 +1,75 @@
+#include "stats/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pmacx::stats {
+namespace {
+
+/// Index i such that xs[i] <= x < xs[i+1], clamped into [0, xs.size()-2];
+/// assumes xs.size() >= 2.
+std::size_t bracket(std::span<const double> xs, double x) {
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::ptrdiff_t raw = (it - xs.begin()) - 1;
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(raw, 0, static_cast<std::ptrdiff_t>(xs.size()) - 2));
+}
+
+void check_axis(std::span<const double> xs, const char* name) {
+  PMACX_CHECK(!xs.empty(), std::string(name) + " axis is empty");
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    PMACX_CHECK(xs[i] > xs[i - 1], std::string(name) + " axis must be strictly increasing");
+}
+
+}  // namespace
+
+double interp1(std::span<const double> xs, std::span<const double> ys, double x) {
+  check_axis(xs, "x");
+  PMACX_CHECK(xs.size() == ys.size(), "interp1: xs/ys size mismatch");
+  if (xs.size() == 1) return ys[0];
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const std::size_t i = bracket(xs, x);
+  const double t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+  return ys[i] + t * (ys[i + 1] - ys[i]);
+}
+
+Grid2::Grid2(std::vector<double> xs, std::vector<double> ys, std::vector<double> values)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)) {
+  check_axis(xs_, "x");
+  check_axis(ys_, "y");
+  PMACX_CHECK(values_.size() == xs_.size() * ys_.size(),
+              "Grid2: values size must be xs.size()*ys.size()");
+}
+
+double Grid2::at(double x, double y) const {
+  const double cx = std::clamp(x, xs_.front(), xs_.back());
+  const double cy = std::clamp(y, ys_.front(), ys_.back());
+  if (xs_.size() == 1 && ys_.size() == 1) return values_[0];
+
+  auto value = [&](std::size_t i, std::size_t j) { return values_[i * ys_.size() + j]; };
+
+  if (xs_.size() == 1) {
+    const std::size_t j = bracket(ys_, cy);
+    const double t = (cy - ys_[j]) / (ys_[j + 1] - ys_[j]);
+    return value(0, j) + t * (value(0, j + 1) - value(0, j));
+  }
+  if (ys_.size() == 1) {
+    const std::size_t i = bracket(xs_, cx);
+    const double t = (cx - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    return value(i, 0) + t * (value(i + 1, 0) - value(i, 0));
+  }
+
+  const std::size_t i = bracket(xs_, cx);
+  const std::size_t j = bracket(ys_, cy);
+  const double tx = (cx - xs_[i]) / (xs_[i + 1] - xs_[i]);
+  const double ty = (cy - ys_[j]) / (ys_[j + 1] - ys_[j]);
+  const double v00 = value(i, j), v01 = value(i, j + 1);
+  const double v10 = value(i + 1, j), v11 = value(i + 1, j + 1);
+  const double lo = v00 + ty * (v01 - v00);
+  const double hi = v10 + ty * (v11 - v10);
+  return lo + tx * (hi - lo);
+}
+
+}  // namespace pmacx::stats

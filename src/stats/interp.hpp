@@ -1,0 +1,39 @@
+// Interpolation utilities.
+//
+// The MultiMAPS machine-profile surface (Fig. 1 of the paper) maps a basic
+// block's cache hit rates to an achievable memory bandwidth; PSiNS looks
+// blocks up on that surface.  These helpers provide clamped 1-D piecewise-
+// linear interpolation and 2-D bilinear interpolation over rectilinear grids.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pmacx::stats {
+
+/// Clamped piecewise-linear interpolation: xs must be strictly increasing
+/// and the same length as ys (≥ 1).  Queries outside [xs.front, xs.back]
+/// clamp to the boundary value.
+double interp1(std::span<const double> xs, std::span<const double> ys, double x);
+
+/// Rectilinear 2-D grid with bilinear interpolation and boundary clamping.
+class Grid2 {
+ public:
+  /// `values` is row-major with rows indexed by xs and columns by ys:
+  /// values[i * ys.size() + j] = f(xs[i], ys[j]).  Axes must be strictly
+  /// increasing and non-empty.
+  Grid2(std::vector<double> xs, std::vector<double> ys, std::vector<double> values);
+
+  /// Bilinear interpolation at (x, y), clamped to the grid's bounding box.
+  double at(double x, double y) const;
+
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> values_;
+};
+
+}  // namespace pmacx::stats

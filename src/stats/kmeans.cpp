@@ -1,0 +1,150 @@
+#include "stats/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::stats {
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> seed_centroids(std::span<const std::vector<double>> points,
+                                                std::size_t k, util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.below(points.size())]);
+
+  std::vector<double> dist2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) best = std::min(best, squared_distance(points[i], c));
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(points[rng.below(points.size())]);
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const std::vector<double>> points, std::size_t k,
+                    const KMeansOptions& opts) {
+  PMACX_CHECK(!points.empty(), "kmeans: no points");
+  PMACX_CHECK(k >= 1 && k <= points.size(), "kmeans: k out of range");
+  const std::size_t dim = points[0].size();
+  for (const auto& pt : points)
+    PMACX_CHECK(pt.size() == dim, "kmeans: inconsistent point dimensions");
+
+  util::Rng rng(opts.seed);
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d = squared_distance(points[i], result.centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        result.centroids[c] = points[far];
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.inertia += squared_distance(points[i], result.centroids[result.assignment[i]]);
+  return result;
+}
+
+std::size_t pick_k_elbow(std::span<const std::vector<double>> points, std::size_t k_max,
+                         double threshold, const KMeansOptions& opts) {
+  PMACX_CHECK(k_max >= 1, "pick_k_elbow: k_max must be >= 1");
+  k_max = std::min(k_max, points.size());
+  const double base_inertia = kmeans(points, 1, opts).inertia;
+  if (base_inertia <= 0.0) return 1;
+  // Improvements are measured against the k=1 inertia: once the clustering
+  // has explained nearly all the variance, further relative gains between
+  // tiny inertias are noise, not structure.
+  double prev_inertia = base_inertia;
+  for (std::size_t k = 2; k <= k_max; ++k) {
+    const double inertia = kmeans(points, k, opts).inertia;
+    const double improvement = (prev_inertia - inertia) / base_inertia;
+    if (improvement < threshold) return k - 1;
+    prev_inertia = inertia;
+    if (prev_inertia <= 0.0) return k;
+  }
+  return k_max;
+}
+
+}  // namespace pmacx::stats

@@ -1,0 +1,42 @@
+// k-means clustering over feature vectors.
+//
+// Implements the paper's future-work direction (Section VI): instead of
+// extrapolating only the longest-running MPI task's trace, cluster the tasks
+// by their aggregate feature vectors and extrapolate each cluster's centroid
+// trace.  Uses k-means++ seeding and Lloyd iterations, fully deterministic
+// given the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmacx::stats {
+
+/// Clustering result: one centroid per cluster plus a cluster id per point.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<std::size_t> assignment;  ///< assignment[i] = cluster of point i
+  double inertia = 0.0;                 ///< sum of squared point→centroid distances
+  std::size_t iterations = 0;           ///< Lloyd iterations actually run
+};
+
+/// Options controlling the clustering.
+struct KMeansOptions {
+  std::size_t max_iterations = 64;
+  /// Converged when no assignment changes between iterations.
+  std::uint64_t seed = 42;
+};
+
+/// Clusters `points` (all the same dimension, k ≤ points.size(), k ≥ 1) into
+/// k groups.  Deterministic for a fixed seed.  Empty clusters are re-seeded
+/// from the point farthest from its centroid.
+KMeansResult kmeans(std::span<const std::vector<double>> points, std::size_t k,
+                    const KMeansOptions& opts = {});
+
+/// Picks k by the "elbow" criterion over k ∈ [1, k_max]: the smallest k whose
+/// relative inertia improvement over k-1 drops below `threshold`.
+std::size_t pick_k_elbow(std::span<const std::vector<double>> points, std::size_t k_max,
+                         double threshold = 0.15, const KMeansOptions& opts = {});
+
+}  // namespace pmacx::stats

@@ -1,0 +1,105 @@
+#include "stats/ols.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pmacx::stats {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  PMACX_CHECK(x.size() == y.size(), "fit_linear: x/y size mismatch");
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (y[i] - mean_y);
+  }
+
+  if (sxx <= 0.0) {
+    // All x identical: the line is only determined if y is constant too.
+    bool constant_y = true;
+    for (std::size_t i = 1; i < n; ++i)
+      if (y[i] != y[0]) constant_y = false;
+    if (!constant_y) return fit;
+    fit.intercept = y[0];
+    fit.slope = 0.0;
+    fit.sse = 0.0;
+    fit.ok = true;
+    return fit;
+  }
+
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.sse = sse_of(x, y, [&](double xi) { return fit.intercept + fit.slope * xi; });
+  fit.ok = std::isfinite(fit.slope) && std::isfinite(fit.intercept);
+  return fit;
+}
+
+bool solve_dense(std::vector<double> a, std::vector<double> b, std::span<double> out) {
+  const std::size_t n = b.size();
+  PMACX_CHECK(a.size() == n * n, "solve_dense: matrix size mismatch");
+  PMACX_CHECK(out.size() == n, "solve_dense: output size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) pivot = row;
+    if (std::fabs(a[pivot * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i * n + k] * out[k];
+    out[i] = sum / a[i * n + i];
+    if (!std::isfinite(out[i])) return false;
+  }
+  return true;
+}
+
+std::vector<double> fit_polynomial(std::span<const double> x, std::span<const double> y,
+                                   int degree) {
+  PMACX_CHECK(x.size() == y.size(), "fit_polynomial: x/y size mismatch");
+  PMACX_CHECK(degree >= 0, "fit_polynomial: negative degree");
+  const std::size_t terms = static_cast<std::size_t>(degree) + 1;
+  if (x.size() < terms) return {};
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(terms * terms, 0.0);
+  std::vector<double> aty(terms, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double powers[8];  // degree <= 7 is far beyond anything we use
+    PMACX_CHECK(terms <= 8, "fit_polynomial: degree too large");
+    powers[0] = 1.0;
+    for (std::size_t t = 1; t < terms; ++t) powers[t] = powers[t - 1] * x[i];
+    for (std::size_t r = 0; r < terms; ++r) {
+      aty[r] += powers[r] * y[i];
+      for (std::size_t c = 0; c < terms; ++c) ata[r * terms + c] += powers[r] * powers[c];
+    }
+  }
+  std::vector<double> coeffs(terms, 0.0);
+  if (!solve_dense(std::move(ata), std::move(aty), coeffs)) return {};
+  return coeffs;
+}
+
+}  // namespace pmacx::stats

@@ -1,0 +1,47 @@
+// Ordinary least squares building blocks used by the canonical-form fitter.
+//
+// Only two shapes are needed: simple linear regression y = a + b·x (all of
+// the paper's four forms reduce to it after a transform of x and/or y) and a
+// small dense normal-equations solve for the polynomial extension forms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pmacx::stats {
+
+/// Result of a simple linear regression y ≈ intercept + slope·x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Sum of squared residuals in the (possibly transformed) fitting space.
+  double sse = 0.0;
+  /// True when the regression was well-posed (≥ 2 points, non-degenerate x).
+  bool ok = false;
+};
+
+/// Fits y ≈ a + b·x by least squares.  Degenerate x (all equal) yields
+/// ok=false unless y is also constant, in which case slope=0 is returned.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Solves the n×n system A·x = b by Gaussian elimination with partial
+/// pivoting.  `a` is row-major n*n.  Returns false if (near-)singular.
+bool solve_dense(std::vector<double> a, std::vector<double> b, std::span<double> out);
+
+/// Fits a polynomial of degree `degree` (coeffs[0] + coeffs[1]·x + ...) by
+/// normal equations.  Returns empty vector when underdetermined or singular.
+std::vector<double> fit_polynomial(std::span<const double> x, std::span<const double> y,
+                                   int degree);
+
+/// Sum of squared residuals of `predict(x_i)` against y_i.
+template <typename Fn>
+double sse_of(std::span<const double> x, std::span<const double> y, Fn&& predict) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - predict(x[i]);
+    total += r * r;
+  }
+  return total;
+}
+
+}  // namespace pmacx::stats

@@ -1,0 +1,217 @@
+#include "synth/hpcg.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::synth {
+namespace {
+
+/// Block ids stable across core counts; disjoint from the other apps'.
+enum BlockId : std::uint64_t {
+  kSpmv = 201,
+  kDotProducts = 202,
+  kAxpyUpdates = 203,
+  kJacobiPrecondition = 204,
+  kHaloPack = 205,
+  kResidualNorm = 206,
+  kIterationControl = 207,
+};
+
+double jitter(const HpcgConfig& cfg, std::uint64_t block, std::uint32_t cores,
+              std::uint64_t salt) {
+  std::uint64_t key =
+      util::derive_seed(cfg.seed, (block << 24) ^ (std::uint64_t(cores) << 4) ^ salt);
+  util::Rng rng(key);
+  return 1.0 + cfg.noise * rng.normal();
+}
+
+std::uint64_t at_least_one(double value) {
+  return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+HpcgApp::HpcgApp(HpcgConfig config) : config_(config) {
+  PMACX_CHECK(config_.global_rows > 0, "hpcg: zero rows");
+  PMACX_CHECK(config_.nonzeros_per_row > 0, "hpcg: zero stencil width");
+  PMACX_CHECK(config_.iterations > 0, "hpcg: zero iterations");
+  PMACX_CHECK(config_.noise >= 0 && config_.noise < 0.2, "hpcg: unreasonable noise");
+}
+
+std::vector<KernelSpec> HpcgApp::kernels(std::uint32_t cores, std::uint32_t rank) const {
+  PMACX_CHECK(cores > 0, "hpcg: zero cores");
+  PMACX_CHECK(rank < cores, "hpcg: rank out of range");
+
+  const double p = static_cast<double>(cores);
+  const double iters = static_cast<double>(config_.iterations);
+  const double imb = imbalance_factor(rank, cores, config_.imbalance);
+  const double rows = laws::per_core(static_cast<double>(config_.global_rows), p) * imb;
+  const double nnz = static_cast<double>(config_.nonzeros_per_row);
+  // CSR-ish bytes per local row: nnz values (8 B) + nnz column indices
+  // (4 B) + row pointer, plus the x/y vectors.
+  const double matrix_bytes = rows * (nnz * 12.0 + 8.0);
+  const double vector_bytes = rows * 8.0;
+
+  std::vector<KernelSpec> kernels;
+
+  {
+    // Sparse matrix-vector product: one visit per iteration; each row reads
+    // nnz values + indices and gathers nnz x-entries.
+    KernelSpec k;
+    k.block_id = kSpmv;
+    k.location = {"hpcg/spmv.cpp", 44, "spmv"};
+    k.pattern = Pattern::Gather;
+    k.visits = config_.iterations;
+    k.refs_per_visit = at_least_one(rows * nnz * 2.2 * jitter(config_, k.block_id, cores, 1));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.04;  // only the y-vector writes
+    k.footprint_bytes = at_least_one(matrix_bytes + 2.0 * vector_bytes) + 4096;
+    k.fp_per_visit = {0.0, 0.0, rows * nnz, 0.0};  // one FMA per nonzero
+    k.ilp = 2.8;
+    k.dep_chain = 4.0;
+    k.mem_instructions = 6;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // The two CG dot products (r·z and p·Ap) fused: streaming reads.
+    KernelSpec k;
+    k.block_id = kDotProducts;
+    k.location = {"hpcg/dot.cpp", 18, "dot_products"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.iterations * 2;
+    k.refs_per_visit = at_least_one(2.0 * rows * jitter(config_, k.block_id, cores, 2));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.0;
+    k.footprint_bytes = at_least_one(2.0 * vector_bytes) + 4096;
+    k.fp_per_visit = {0.0, 0.0, rows, 0.0};
+    k.ilp = 3.2;
+    k.dep_chain = 6.0;  // the reduction chain
+    k.mem_instructions = 3;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // The three axpy-style vector updates per iteration.
+    KernelSpec k;
+    k.block_id = kAxpyUpdates;
+    k.location = {"hpcg/axpy.cpp", 9, "axpy_updates"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.iterations * 3;
+    k.refs_per_visit = at_least_one(3.0 * rows * jitter(config_, k.block_id, cores, 3));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.33;
+    k.footprint_bytes = at_least_one(3.0 * vector_bytes) + 4096;
+    k.fp_per_visit = {0.0, 0.0, rows, 0.0};
+    k.ilp = 4.0;
+    k.dep_chain = 1.5;
+    k.mem_instructions = 3;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Jacobi (diagonal) preconditioner application.
+    KernelSpec k;
+    k.block_id = kJacobiPrecondition;
+    k.location = {"hpcg/precond.cpp", 27, "jacobi_precondition"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.iterations;
+    k.refs_per_visit = at_least_one(3.0 * rows * jitter(config_, k.block_id, cores, 4));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.33;
+    k.footprint_bytes = at_least_one(3.0 * vector_bytes) + 4096;
+    k.fp_per_visit = {0.0, rows, 0.0, 0.0};
+    k.ilp = 4.0;
+    k.dep_chain = 1.5;
+    k.mem_instructions = 2;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Halo pack/unpack: gathers boundary x-entries out of the vector
+    // region (surface law for counts, vector-sized footprint).
+    KernelSpec k;
+    k.block_id = kHaloPack;
+    k.location = {"hpcg/exchange.cpp", 61, "halo_pack"};
+    k.pattern = Pattern::Gather;
+    const double boundary = laws::surface(static_cast<double>(config_.global_rows), p, 2.0);
+    k.visits = config_.iterations * 2;
+    k.refs_per_visit = at_least_one(2.0 * boundary * jitter(config_, k.block_id, cores, 5));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.45;
+    k.footprint_bytes = at_least_one(vector_bytes) + 4096;
+    k.fp_per_visit = {0.0, 0.0, 0.0, 0.0};
+    k.ilp = 2.0;
+    k.dep_chain = 2.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 0;
+    kernels.push_back(k);
+  }
+  {
+    // Residual-norm combine: log2(p)-deep tree stages on the host side.
+    KernelSpec k;
+    k.block_id = kResidualNorm;
+    k.location = {"hpcg/norm.cpp", 12, "residual_norm"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.iterations;
+    k.refs_per_visit = at_least_one(laws::log_growth(2048.0, 2048.0, p) *
+                                    jitter(config_, k.block_id, cores, 6));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.1;
+    k.footprint_bytes = 128u << 10;
+    k.fp_per_visit = {laws::log_growth(2048.0, 2048.0, p), 0.0, 0.0, 1.0};
+    k.ilp = 3.0;
+    k.dep_chain = 8.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Iteration control: scale-invariant bookkeeping.
+    KernelSpec k;
+    k.block_id = kIterationControl;
+    k.location = {"hpcg/cg.cpp", 88, "iteration_control"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.iterations;
+    k.refs_per_visit = at_least_one(600.0 * jitter(config_, k.block_id, cores, 7));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.25;
+    k.footprint_bytes = 16u << 10;
+    k.fp_per_visit = {300.0, 100.0, 0.0, 2.0};
+    k.ilp = 2.0;
+    k.dep_chain = 3.0;
+    k.mem_instructions = 1;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+
+  for (KernelSpec& kernel : kernels) {
+    if (config_.work_scale != 1.0) {
+      kernel.refs_per_visit = at_least_one(
+          static_cast<double>(kernel.refs_per_visit) * config_.work_scale);
+      kernel.fp_per_visit.adds *= config_.work_scale;
+      kernel.fp_per_visit.muls *= config_.work_scale;
+      kernel.fp_per_visit.fmas *= config_.work_scale;
+      kernel.fp_per_visit.divs *= config_.work_scale;
+    }
+    kernel.validate();
+  }
+  return kernels;
+}
+
+trace::CommTrace HpcgApp::comm_trace(std::uint32_t cores, std::uint32_t rank) const {
+  CommPattern pattern;
+  pattern.timesteps = config_.iterations;
+  const double boundary = laws::surface(static_cast<double>(config_.global_rows),
+                                        static_cast<double>(cores), 2.0);
+  pattern.halo_bytes = at_least_one(boundary * 8.0 * config_.work_scale);
+  pattern.allreduce_every = 1;
+  pattern.allreduce_count = 2;  // the two CG dot products
+  pattern.allreduce_bytes = at_least_one(8.0 * config_.work_scale);
+  pattern.units_per_step = work_units(cores, rank) / static_cast<double>(config_.iterations);
+  return build_comm_trace(cores, rank, pattern);
+}
+
+}  // namespace pmacx::synth

@@ -1,0 +1,94 @@
+#include "synth/patterns.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pmacx::synth {
+
+std::string pattern_name(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::Sequential: return "sequential";
+    case Pattern::Strided: return "strided";
+    case Pattern::Random: return "random";
+    case Pattern::Gather: return "gather";
+    case Pattern::Stencil3d: return "stencil3d";
+  }
+  return "?";
+}
+
+RefStream::RefStream(const StreamSpec& spec, std::uint64_t seed) : spec_(spec), rng_(seed) {
+  PMACX_CHECK(spec_.elem_bytes > 0, "stream element size must be positive");
+  PMACX_CHECK(spec_.footprint_bytes >= spec_.elem_bytes,
+              "stream footprint smaller than one element");
+  PMACX_CHECK(spec_.stride_elems > 0, "stream stride must be positive");
+  PMACX_CHECK(spec_.store_fraction >= 0.0 && spec_.store_fraction <= 1.0,
+              "store fraction out of [0,1]");
+  elems_ = spec_.footprint_bytes / spec_.elem_bytes;
+
+  if (spec_.pattern == Pattern::Stencil3d) {
+    side_ = static_cast<std::uint64_t>(std::cbrt(static_cast<double>(elems_)));
+    if (side_ < 4) side_ = 4;
+    while (side_ * side_ * side_ > elems_ && side_ > 4) --side_;
+    plane_ = side_ * side_;
+  }
+}
+
+memsim::MemRef RefStream::next() {
+  std::uint64_t elem = 0;
+  switch (spec_.pattern) {
+    case Pattern::Sequential:
+      elem = cursor_ % elems_;
+      ++cursor_;
+      break;
+    case Pattern::Strided:
+      elem = (cursor_ * spec_.stride_elems) % elems_;
+      ++cursor_;
+      break;
+    case Pattern::Random:
+      elem = rng_.below(elems_);
+      break;
+    case Pattern::Gather:
+      // Alternate a sequential index-array read with a random data read,
+      // modeling a[idx[i]]-style indirection.
+      if (cursor_ % 2 == 0) {
+        elem = (cursor_ / 2) % elems_;
+      } else {
+        elem = rng_.below(elems_);
+      }
+      ++cursor_;
+      break;
+    case Pattern::Stencil3d: {
+      // Sweep grid points in order; each point touches itself and its six
+      // face neighbours across successive calls.
+      const std::uint64_t points = plane_ * side_;
+      const std::uint64_t point = (cursor_ / 7) % points;
+      const std::uint32_t arm = stencil_point_;
+      stencil_point_ = (stencil_point_ + 1) % 7;
+      ++cursor_;
+      std::int64_t offset = 0;
+      switch (arm) {
+        case 0: offset = 0; break;
+        case 1: offset = 1; break;
+        case 2: offset = -1; break;
+        case 3: offset = static_cast<std::int64_t>(side_); break;
+        case 4: offset = -static_cast<std::int64_t>(side_); break;
+        case 5: offset = static_cast<std::int64_t>(plane_); break;
+        case 6: offset = -static_cast<std::int64_t>(plane_); break;
+      }
+      const std::int64_t raw = static_cast<std::int64_t>(point) + offset;
+      elem = static_cast<std::uint64_t>((raw % static_cast<std::int64_t>(points) +
+                                         static_cast<std::int64_t>(points)) %
+                                        static_cast<std::int64_t>(points));
+      break;
+    }
+  }
+
+  memsim::MemRef ref;
+  ref.addr = spec_.base_addr + elem * spec_.elem_bytes;
+  ref.size = spec_.elem_bytes;
+  ref.is_store = rng_.uniform() < spec_.store_fraction;
+  return ref;
+}
+
+}  // namespace pmacx::synth

@@ -1,0 +1,35 @@
+#include "synth/registry.hpp"
+
+#include "synth/hpcg.hpp"
+#include "synth/specfem.hpp"
+#include "synth/uh3d.hpp"
+#include "util/error.hpp"
+
+namespace pmacx::synth {
+
+std::vector<std::string> app_names() { return {"specfem3d", "uh3d", "hpcg"}; }
+
+std::unique_ptr<SyntheticApp> make_app(const std::string& name, double work_scale) {
+  PMACX_CHECK(work_scale > 0, "work scale must be positive");
+  if (name == "specfem3d") {
+    SpecfemConfig config;
+    config.work_scale = work_scale;
+    return std::make_unique<Specfem3dApp>(config);
+  }
+  if (name == "uh3d") {
+    Uh3dConfig config;
+    config.work_scale = work_scale;
+    return std::make_unique<Uh3dApp>(config);
+  }
+  if (name == "hpcg") {
+    HpcgConfig config;
+    config.work_scale = work_scale;
+    return std::make_unique<HpcgApp>(config);
+  }
+  std::string known;
+  for (const auto& candidate : app_names()) known += " " + candidate;
+  PMACX_CHECK(false, "unknown application '" + name + "'; known:" + known);
+  return nullptr;
+}
+
+}  // namespace pmacx::synth

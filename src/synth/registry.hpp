@@ -1,0 +1,21 @@
+// Application registry: construct the built-in synthetic applications by
+// name — the lookup the command-line tools and scripted experiments use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/app.hpp"
+
+namespace pmacx::synth {
+
+/// Names accepted by make_app ("specfem3d", "uh3d", "hpcg").
+std::vector<std::string> app_names();
+
+/// Creates the named application with its default (paper-scale)
+/// configuration, scaled by `work_scale`.  Throws util::Error for unknown
+/// names (the message lists the valid ones).
+std::unique_ptr<SyntheticApp> make_app(const std::string& name, double work_scale = 1.0);
+
+}  // namespace pmacx::synth

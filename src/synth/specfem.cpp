@@ -1,0 +1,209 @@
+#include "synth/specfem.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::synth {
+namespace {
+
+/// Block ids stable across core counts (alignment key for extrapolation).
+enum BlockId : std::uint64_t {
+  kComputeForces = 1,
+  kUpdateAcceleration = 2,
+  kAssembleBoundary = 3,
+  kSourceInjection = 4,
+  kReduceNorm = 5,
+  kRankBookkeeping = 6,
+};
+
+/// Deterministic ~noise-sized jitter for a (seed, block, cores, salt) key, so
+/// a given element's measured value is reproducible but not exactly on-law.
+double jitter(const SpecfemConfig& cfg, std::uint64_t block, std::uint32_t cores,
+              std::uint64_t salt) {
+  std::uint64_t key = util::derive_seed(cfg.seed, (block << 24) ^ (std::uint64_t(cores) << 4) ^ salt);
+  util::Rng rng(key);
+  return 1.0 + cfg.noise * rng.normal();
+}
+
+std::uint64_t at_least_one(double value) {
+  return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+Specfem3dApp::Specfem3dApp(SpecfemConfig config) : config_(config) {
+  PMACX_CHECK(config_.global_elements > 0, "specfem: zero elements");
+  PMACX_CHECK(config_.timesteps > 0, "specfem: zero timesteps");
+  PMACX_CHECK(config_.noise >= 0 && config_.noise < 0.2, "specfem: unreasonable noise");
+}
+
+std::vector<KernelSpec> Specfem3dApp::kernels(std::uint32_t cores, std::uint32_t rank) const {
+  PMACX_CHECK(cores > 0, "specfem: zero cores");
+  PMACX_CHECK(rank < cores, "specfem: rank out of range");
+
+  const double p = static_cast<double>(cores);
+  const double t = static_cast<double>(config_.timesteps);
+  const double imb = imbalance_factor(rank, cores, config_.imbalance);
+  const double elems_per_rank =
+      laws::per_core(static_cast<double>(config_.global_elements), p) * imb;
+  const double field_bytes_per_rank =
+      laws::per_core(static_cast<double>(config_.global_field_bytes), p, 4096.0) * imb;
+  const double points_per_rank = elems_per_rank * 125.0;  // 5³ GLL points
+
+  std::vector<KernelSpec> kernels;
+
+  {
+    // Dominant stiffness kernel: one visit per element per timestep, stencil
+    // locality over the wavefield arrays.
+    KernelSpec k;
+    k.block_id = kComputeForces;
+    k.location = {"specfem3d/compute_forces_elastic.f90", 212, "compute_forces_elastic"};
+    k.pattern = Pattern::Stencil3d;
+    k.visits = at_least_one(t * elems_per_rank * jitter(config_, k.block_id, cores, 1));
+    k.refs_per_visit = 350;
+    k.elem_bytes = 8;
+    k.store_fraction = 0.28;
+    k.footprint_bytes = at_least_one(field_bytes_per_rank * 0.70) + (128u << 10);
+    k.fp_per_visit = {80.0, 60.0, 220.0, 2.0};
+    k.ilp = 3.5;
+    k.dep_chain = 6.0;
+    k.mem_instructions = 6;
+    k.fp_instructions = 3;
+    kernels.push_back(k);
+  }
+  {
+    // Newmark time-scheme update: pure streaming over the field arrays.
+    KernelSpec k;
+    k.block_id = kUpdateAcceleration;
+    k.location = {"specfem3d/update_displacement.f90", 88, "update_displ_newmark"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.timesteps;
+    k.refs_per_visit =
+        at_least_one(3.0 * points_per_rank * jitter(config_, k.block_id, cores, 2));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.5;
+    k.footprint_bytes = at_least_one(field_bytes_per_rank * 0.30) + 4096;
+    k.fp_per_visit = {2.0 * points_per_rank, points_per_rank, 0.0, 0.0};
+    k.ilp = 4.0;
+    k.dep_chain = 2.0;
+    k.mem_instructions = 4;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // MPI boundary assembly: gathers partition-surface points into buffers.
+    // Surface law: (volume/p)^(2/3).
+    KernelSpec k;
+    k.block_id = kAssembleBoundary;
+    k.location = {"specfem3d/assemble_MPI_vector.f90", 141, "assemble_boundary"};
+    k.pattern = Pattern::Gather;
+    const double halo_points =
+        laws::surface(static_cast<double>(config_.global_elements) * 125.0, p, 6.0);
+    k.visits = config_.timesteps * 2;  // pack + unpack
+    k.refs_per_visit = at_least_one(2.0 * halo_points * jitter(config_, k.block_id, cores, 3));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.45;
+    // The gather reads partition-surface points out of the wavefield arrays
+    // themselves, so its irregular accesses span a field-sized region even
+    // though the packed buffers are small.
+    k.footprint_bytes = at_least_one(field_bytes_per_rank * 0.5) + 4096;
+    k.fp_per_visit = {halo_points, 0.0, 0.0, 0.0};
+    k.ilp = 2.0;
+    k.dep_chain = 3.0;
+    k.mem_instructions = 4;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Source injection: constant work regardless of scale (the Table III
+    // block whose behaviour is invariant under strong scaling).
+    KernelSpec k;
+    k.block_id = kSourceInjection;
+    k.location = {"specfem3d/compute_add_sources.f90", 55, "compute_add_sources"};
+    k.pattern = Pattern::Random;
+    k.visits = config_.timesteps;
+    k.refs_per_visit = at_least_one(2000.0 * jitter(config_, k.block_id, cores, 4));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.33;
+    k.footprint_bytes = 24u << 10;  // 24 KB: inside a 56 KB L1, outside 12 KB
+    k.fp_per_visit = {4000.0, 2000.0, 1000.0, 0.0};
+    k.ilp = 2.5;
+    k.dep_chain = 4.0;
+    k.mem_instructions = 3;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // Residual-norm reduction: on-node combine work grows with the
+    // log2(p)-deep reduction tree — the paper's Fig. 5 log-growth shape.
+    KernelSpec k;
+    k.block_id = kReduceNorm;
+    k.location = {"specfem3d/check_stability.f90", 77, "reduce_norm"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.timesteps;
+    k.refs_per_visit = at_least_one(laws::log_growth(4096.0, 4096.0, p) *
+                                    jitter(config_, k.block_id, cores, 5));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.1;
+    k.footprint_bytes = 128u << 10;  // comfortably inside L2 on all targets
+    k.fp_per_visit = {laws::log_growth(4096.0, 4096.0, p), 0.0, 0.0, 1.0};
+    k.ilp = 3.0;
+    k.dep_chain = 8.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Rank-table bookkeeping: scans per-rank neighbour/offset tables whose
+    // length is the core count — a linearly growing element (Fig. 4 shape).
+    KernelSpec k;
+    k.block_id = kRankBookkeeping;
+    k.location = {"specfem3d/prepare_assemble.f90", 30, "rank_bookkeeping"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.timesteps;
+    k.refs_per_visit =
+        at_least_one(laws::linear_growth(64.0, 2.0, p) * jitter(config_, k.block_id, cores, 6));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.2;
+    // The scan re-walks a compact table, so the *references* grow with p
+    // while the footprint stays small and cache-resident.
+    k.footprint_bytes = 16u << 10;
+    k.fp_per_visit = {0.0, 0.0, 0.0, 0.0};
+    k.ilp = 1.5;
+    k.dep_chain = 2.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 0;
+    kernels.push_back(k);
+  }
+
+  for (KernelSpec& kernel : kernels) {
+    if (config_.work_scale != 1.0) {
+      kernel.refs_per_visit = at_least_one(
+          static_cast<double>(kernel.refs_per_visit) * config_.work_scale);
+      kernel.fp_per_visit.adds *= config_.work_scale;
+      kernel.fp_per_visit.muls *= config_.work_scale;
+      kernel.fp_per_visit.fmas *= config_.work_scale;
+      kernel.fp_per_visit.divs *= config_.work_scale;
+    }
+    kernel.validate();
+  }
+  return kernels;
+}
+
+trace::CommTrace Specfem3dApp::comm_trace(std::uint32_t cores, std::uint32_t rank) const {
+  CommPattern pattern;
+  pattern.timesteps = config_.timesteps;
+  const double halo_points = laws::surface(
+      static_cast<double>(config_.global_elements) * 125.0, static_cast<double>(cores), 6.0);
+  // work_scale folds the work of many physical timesteps into each traced
+  // step, so the exchanged volume aggregates the same way.
+  pattern.halo_bytes = at_least_one(halo_points * 24.0 * config_.work_scale);
+  pattern.allreduce_every = 2;  // stability check every other step
+  pattern.allreduce_bytes = at_least_one(8.0 * config_.work_scale);
+  pattern.units_per_step = work_units(cores, rank) / static_cast<double>(config_.timesteps);
+  return build_comm_trace(cores, rank, pattern);
+}
+
+}  // namespace pmacx::synth

@@ -1,0 +1,69 @@
+// SPECFEM3D_GLOBE-like synthetic application.
+//
+// SPECFEM3D simulates global seismic wave propagation with spectral elements
+// [paper ref 2]: the dominant kernel applies elastic stiffness stencils per
+// element, flanked by streaming field updates, halo assembly over the
+// partition surface, per-step source injection, residual-norm reductions and
+// rank-table bookkeeping.  The model reproduces the *scaling shapes* of
+// those phases under strong scaling:
+//
+//   kernel                 dominant element law in core count p
+//   ---------------------  ------------------------------------
+//   compute_forces         visits ~ E/p (footprint shrinks into cache)
+//   update_acceleration    refs ~ points/p, streaming
+//   assemble_boundary      refs ~ (V/p)^(2/3) surface law
+//   source_injection       constant
+//   reduce_norm            refs ~ log2(p) growth (reduction-tree stages)
+//   rank_bookkeeping       refs ~ linear in p (rank-table scans)
+//
+// which gives the extrapolator the constant/linear/log/decay element
+// diversity the paper's Figures 3-5 illustrate.  Mild deterministic noise
+// (~0.5 %) is baked into the counts so canonical-form fits are imperfect,
+// as they are on real traces.
+#pragma once
+
+#include "synth/app.hpp"
+
+namespace pmacx::synth {
+
+/// Tunable problem dimensions; defaults reproduce the paper's experiments at
+/// tractable tracing cost.
+struct SpecfemConfig {
+  std::uint64_t global_elements = 1'000'000;   ///< spectral elements world-wide
+  /// Total wavefield array bytes.  Sized ("unprecedented resolution") so
+  /// that on the 96-6144-core sweep the field-sweeping kernels stay
+  /// memory-resident (footprint > target L3) all the way to the target:
+  /// their hit rates then move gently across the sweep instead of stepping
+  /// when a footprint crosses a cache-capacity boundary — a transition
+  /// real machines smooth out but a pure-LRU simulator turns into a cliff
+  /// no canonical form can extrapolate through (see DESIGN.md and
+  /// bench/ablation_forms).
+  std::uint64_t global_field_bytes = 100'000'000'000;
+  std::uint32_t timesteps = 10;
+  double imbalance = 0.08;   ///< peak load imbalance on rank 0
+  double noise = 0.005;      ///< relative jitter on dynamic counts
+  /// Multiplies every kernel's per-visit reference and flop counts without
+  /// touching footprints: scales the simulated wall clock (real SPECFEM3D
+  /// does hundreds of ops per point where the model's base counts are kept
+  /// small for tracing cost) while leaving cache behaviour unchanged.
+  double work_scale = 1.0;
+  std::uint64_t seed = 0x5ecf3;
+};
+
+/// The synthetic SPECFEM3D.
+class Specfem3dApp final : public SyntheticApp {
+ public:
+  explicit Specfem3dApp(SpecfemConfig config = {});
+
+  std::string name() const override { return "specfem3d"; }
+  std::uint32_t timesteps() const override { return config_.timesteps; }
+  std::vector<KernelSpec> kernels(std::uint32_t cores, std::uint32_t rank) const override;
+  trace::CommTrace comm_trace(std::uint32_t cores, std::uint32_t rank) const override;
+
+  const SpecfemConfig& config() const { return config_; }
+
+ private:
+  SpecfemConfig config_;
+};
+
+}  // namespace pmacx::synth

@@ -1,0 +1,241 @@
+#include "synth/tracer.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "memsim/hierarchy.hpp"
+#include "memsim/threaded.hpp"
+#include "memsim/working_set.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::synth {
+namespace {
+
+/// Scope ids: each (block, memory-instruction) pair gets its own accounting
+/// scope so per-instruction hit rates are *measured*, not modeled.  Block
+/// stats are the merge of its instruction scopes.
+constexpr std::uint64_t kScopeStride = 1024;
+
+std::uint64_t instr_scope(std::uint64_t block_id, std::uint32_t instr) {
+  return block_id * kScopeStride + instr + 1;
+}
+
+/// Fills the three hit-rate slots from counters; levels beyond the simulated
+/// hierarchy inherit the deepest simulated level's cumulative rate (a 2-level
+/// machine's "L3" rate equals its L2 rate).
+template <typename SetRate>
+void fill_hit_rates(const memsim::AccessCounters& counters, std::size_t levels,
+                    SetRate&& set_rate) {
+  double rate = 0.0;
+  for (std::size_t lvl = 0; lvl < memsim::kMaxLevels; ++lvl) {
+    if (lvl < levels) rate = counters.cumulative_hit_rate(lvl);
+    set_rate(lvl, rate);
+  }
+}
+
+}  // namespace
+
+trace::TaskTrace trace_task(const SyntheticApp& app, std::uint32_t cores, std::uint32_t rank,
+                            const TracerOptions& options) {
+  PMACX_CHECK(options.max_refs_per_kernel > 0, "max_refs_per_kernel must be positive");
+
+  memsim::HierarchyConfig target = options.target;
+  target.sample_shift = options.sample_shift;
+
+  // Pure-MPI mode uses the scalar hierarchy; hybrid mode the thread-aware
+  // one (private shallow levels, shared deep levels).  The thin adapters
+  // below keep the kernel loop common to both.
+  const std::uint32_t threads = std::max<std::uint32_t>(options.threads_per_rank, 1);
+  std::optional<memsim::CacheHierarchy> flat;
+  std::optional<memsim::ThreadedHierarchy> threaded;
+  if (threads == 1) {
+    flat.emplace(target);
+  } else {
+    const std::size_t shared_from =
+        std::min(options.shared_from_level, target.levels.size());
+    threaded.emplace(target, threads, shared_from);
+  }
+  auto set_scope = [&](std::uint64_t scope_id) {
+    if (flat)
+      flat->set_scope(scope_id);
+    else
+      threaded->set_scope(scope_id);
+  };
+  auto access = [&](std::uint32_t thread, const memsim::MemRef& ref) {
+    if (flat)
+      flat->access(ref);
+    else
+      threaded->access(thread, ref);
+  };
+  auto scope_of = [&](std::uint64_t scope_id) -> const memsim::AccessCounters& {
+    return flat ? flat->scope(scope_id) : threaded->scope(scope_id);
+  };
+
+  memsim::WorkingSetTracker working_set(options.target.line_bytes());
+  const std::size_t levels = options.target.levels.size();
+
+  trace::TaskTrace task;
+  task.app = app.name();
+  task.rank = rank;
+  task.core_count = cores;
+  task.target_system = options.target.name;
+
+  const std::vector<KernelSpec> kernels = app.kernels(cores, rank);
+  PMACX_CHECK(!kernels.empty(), "application yields no kernels");
+
+  for (const KernelSpec& kernel : kernels) {
+    const std::uint64_t total_refs = kernel.total_refs();
+    const std::uint64_t sim_refs = std::min(total_refs, options.max_refs_per_kernel);
+    const double count_scale =
+        sim_refs > 0 ? static_cast<double>(total_refs) / static_cast<double>(sim_refs) : 0.0;
+
+    // One stream per thread, each over its slice of the kernel's footprint
+    // (an OpenMP-style static partition); pure MPI is the 1-thread case
+    // over the whole region.  Disjoint address regions per block keep
+    // kernels from aliasing in the simulated caches, like distinct
+    // allocations do in a real address space.
+    const std::uint64_t slice_bytes =
+        thread_slice_bytes(kernel.footprint_bytes, threads, options.target.line_bytes());
+    std::vector<RefStream> streams;
+    streams.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      StreamSpec stream_spec;
+      stream_spec.pattern = kernel.pattern;
+      stream_spec.base_addr = (kernel.block_id << 40) + t * slice_bytes;
+      stream_spec.footprint_bytes = slice_bytes;
+      stream_spec.elem_bytes = kernel.elem_bytes;
+      stream_spec.stride_elems = kernel.stride_elems;
+      stream_spec.store_fraction = kernel.store_fraction;
+      streams.emplace_back(stream_spec,
+                           util::derive_seed(options.seed, kernel.block_id * 64 + t));
+    }
+
+    const std::uint32_t mem_instrs = std::max<std::uint32_t>(kernel.mem_instructions, 1);
+    working_set.set_scope(kernel.block_id);
+    for (std::uint64_t i = 0; i < sim_refs; ++i) {
+      // Chunked instruction attribution: instruction k owns the k-th slice
+      // of the kernel's reference stream, so early instructions absorb the
+      // cold misses and later ones run warm — per-instruction hit-rate
+      // diversity as in the paper's Fig. 4/5.
+      const std::uint32_t instr =
+          static_cast<std::uint32_t>((i * mem_instrs) / std::max<std::uint64_t>(sim_refs, 1));
+      set_scope(instr_scope(kernel.block_id, instr));
+      const auto thread = static_cast<std::uint32_t>(i % threads);
+      const memsim::MemRef ref = streams[thread].next();
+      access(thread, ref);
+      working_set.touch(ref.addr, ref.size);
+    }
+
+    // Merge instruction scopes into the block aggregate.
+    memsim::AccessCounters block_counters;
+    for (std::uint32_t instr = 0; instr < mem_instrs; ++instr)
+      block_counters.merge(scope_of(instr_scope(kernel.block_id, instr)));
+
+    trace::BasicBlockRecord record;
+    record.id = kernel.block_id;
+    record.location = kernel.location;
+    record.set(trace::BlockElement::VisitCount, static_cast<double>(kernel.visits));
+    record.set(trace::BlockElement::FpAdd,
+               static_cast<double>(kernel.visits) * kernel.fp_per_visit.adds);
+    record.set(trace::BlockElement::FpMul,
+               static_cast<double>(kernel.visits) * kernel.fp_per_visit.muls);
+    record.set(trace::BlockElement::FpFma,
+               static_cast<double>(kernel.visits) * kernel.fp_per_visit.fmas);
+    record.set(trace::BlockElement::FpDivSqrt,
+               static_cast<double>(kernel.visits) * kernel.fp_per_visit.divs);
+
+    // Counts: analytic totals, split by the sampled load/store proportion.
+    const double sim_total = static_cast<double>(block_counters.refs);
+    const double load_fraction =
+        sim_total > 0 ? static_cast<double>(block_counters.loads) / sim_total
+                      : 1.0 - kernel.store_fraction;
+    record.set(trace::BlockElement::MemLoads,
+               static_cast<double>(total_refs) * load_fraction);
+    record.set(trace::BlockElement::MemStores,
+               static_cast<double>(total_refs) * (1.0 - load_fraction));
+    record.set(trace::BlockElement::BytesPerRef, static_cast<double>(kernel.elem_bytes));
+
+    fill_hit_rates(block_counters, levels, [&](std::size_t lvl, double rate) {
+      const trace::BlockElement slots[] = {trace::BlockElement::HitRateL1,
+                                           trace::BlockElement::HitRateL2,
+                                           trace::BlockElement::HitRateL3};
+      record.set(slots[lvl], rate);
+    });
+
+    // The block's true data region; sampling would under-report footprints
+    // of heavily sampled kernels, so report the region size (what a full
+    // trace would observe — all patterns sweep their whole region).
+    record.set(trace::BlockElement::WorkingSetBytes,
+               static_cast<double>(kernel.footprint_bytes));
+    record.set(trace::BlockElement::Ilp, kernel.ilp);
+    record.set(trace::BlockElement::DepChainLength, kernel.dep_chain);
+
+    if (options.instruction_detail) {
+      // Memory instructions: measured per-slice rates, analytic counts.
+      for (std::uint32_t instr = 0; instr < mem_instrs && kernel.refs_per_visit > 0; ++instr) {
+        const memsim::AccessCounters& c = scope_of(instr_scope(kernel.block_id, instr));
+        trace::InstructionRecord rec;
+        rec.index = instr;
+        rec.set(trace::InstrElement::ExecCount, static_cast<double>(c.refs) * count_scale);
+        rec.set(trace::InstrElement::MemOps, static_cast<double>(c.refs) * count_scale);
+        rec.set(trace::InstrElement::BytesPerOp, static_cast<double>(kernel.elem_bytes));
+        rec.set(trace::InstrElement::FpOps, 0.0);
+        fill_hit_rates(c, levels, [&](std::size_t lvl, double rate) {
+          const trace::InstrElement slots[] = {trace::InstrElement::HitRateL1,
+                                               trace::InstrElement::HitRateL2,
+                                               trace::InstrElement::HitRateL3};
+          rec.set(slots[lvl], rate);
+        });
+        record.instructions.push_back(rec);
+      }
+      // Floating-point instructions: analytic shares of the fp mix.
+      const double fp_total = kernel.total_fp_ops();
+      for (std::uint32_t instr = 0; instr < kernel.fp_instructions && fp_total > 0; ++instr) {
+        trace::InstructionRecord rec;
+        rec.index = mem_instrs + instr;
+        const double share = fp_total / static_cast<double>(kernel.fp_instructions);
+        rec.set(trace::InstrElement::ExecCount, static_cast<double>(kernel.visits));
+        rec.set(trace::InstrElement::MemOps, 0.0);
+        rec.set(trace::InstrElement::BytesPerOp, 0.0);
+        rec.set(trace::InstrElement::FpOps, share);
+        record.instructions.push_back(rec);
+      }
+    }
+
+    task.blocks.push_back(std::move(record));
+  }
+
+  task.sort_blocks();
+  return task;
+}
+
+trace::AppSignature collect_signature(const SyntheticApp& app, std::uint32_t cores,
+                                      const TracerOptions& options,
+                                      std::vector<std::uint32_t> ranks_to_trace) {
+  trace::AppSignature signature;
+  signature.app = app.name();
+  signature.core_count = cores;
+  signature.target_system = options.target.name;
+  signature.demanding_rank = app.demanding_rank(cores);
+
+  if (ranks_to_trace.empty()) ranks_to_trace.push_back(signature.demanding_rank);
+  std::sort(ranks_to_trace.begin(), ranks_to_trace.end());
+  ranks_to_trace.erase(std::unique(ranks_to_trace.begin(), ranks_to_trace.end()),
+                       ranks_to_trace.end());
+
+  for (std::uint32_t rank : ranks_to_trace) {
+    PMACX_LOG_DEBUG << app.name() << ": tracing rank " << rank << " of " << cores;
+    signature.tasks.push_back(trace_task(app, cores, rank, options));
+  }
+
+  signature.comm.reserve(cores);
+  for (std::uint32_t rank = 0; rank < cores; ++rank)
+    signature.comm.push_back(app.comm_trace(cores, rank));
+
+  signature.validate();
+  return signature;
+}
+
+}  // namespace pmacx::synth

@@ -1,0 +1,232 @@
+#include "synth/uh3d.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::synth {
+namespace {
+
+/// Block ids stable across core counts; disjoint from SPECFEM's.
+enum BlockId : std::uint64_t {
+  kParticlePush = 101,
+  kFieldInterpolate = 102,
+  kCurrentDeposit = 103,
+  kFieldSolve = 104,
+  kParticleSort = 105,
+  kBoundaryParticles = 106,
+  kDiagnostics = 107,
+};
+
+double jitter(const Uh3dConfig& cfg, std::uint64_t block, std::uint32_t cores,
+              std::uint64_t salt) {
+  std::uint64_t key =
+      util::derive_seed(cfg.seed, (block << 24) ^ (std::uint64_t(cores) << 4) ^ salt);
+  util::Rng rng(key);
+  return 1.0 + cfg.noise * rng.normal();
+}
+
+std::uint64_t at_least_one(double value) {
+  return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+Uh3dApp::Uh3dApp(Uh3dConfig config) : config_(config) {
+  PMACX_CHECK(config_.global_particles > 0, "uh3d: zero particles");
+  PMACX_CHECK(config_.timesteps > 0, "uh3d: zero timesteps");
+  PMACX_CHECK(config_.noise >= 0 && config_.noise < 0.2, "uh3d: unreasonable noise");
+}
+
+std::vector<KernelSpec> Uh3dApp::kernels(std::uint32_t cores, std::uint32_t rank) const {
+  PMACX_CHECK(cores > 0, "uh3d: zero cores");
+  PMACX_CHECK(rank < cores, "uh3d: rank out of range");
+
+  const double p = static_cast<double>(cores);
+  const double t = static_cast<double>(config_.timesteps);
+  const double imb = imbalance_factor(rank, cores, config_.imbalance);
+  const double particles_per_rank =
+      laws::per_core(static_cast<double>(config_.global_particles), p) * imb;
+  const double particle_bytes_per_rank =
+      particles_per_rank * static_cast<double>(config_.particle_bytes);
+  const double cells_per_rank =
+      laws::per_core(static_cast<double>(config_.global_grid_cells), p) * imb;
+  const double grid_bytes_per_rank = cells_per_rank * static_cast<double>(config_.cell_bytes);
+
+  std::vector<KernelSpec> kernels;
+
+  {
+    // Boris push over the rank's particles: the dominant kernel, with
+    // effectively random locality as particles decorrelate from memory order.
+    KernelSpec k;
+    k.block_id = kParticlePush;
+    k.location = {"uh3d/push_ions.f90", 301, "particle_push"};
+    k.pattern = Pattern::Random;
+    k.visits = config_.timesteps;
+    k.refs_per_visit =
+        at_least_one(12.0 * particles_per_rank * jitter(config_, k.block_id, cores, 1));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.42;
+    k.footprint_bytes = at_least_one(particle_bytes_per_rank) + 4096;
+    k.fp_per_visit = {18.0 * particles_per_rank, 12.0 * particles_per_rank,
+                      9.0 * particles_per_rank, 1.0 * particles_per_rank};
+    k.ilp = 3.0;
+    k.dep_chain = 5.0;
+    k.mem_instructions = 6;
+    k.fp_instructions = 3;
+    kernels.push_back(k);
+  }
+  {
+    // E/B interpolation to particle positions: gather through the grid.
+    KernelSpec k;
+    k.block_id = kFieldInterpolate;
+    k.location = {"uh3d/interp_fields.f90", 120, "field_interpolate"};
+    k.pattern = Pattern::Gather;
+    k.visits = config_.timesteps;
+    k.refs_per_visit =
+        at_least_one(8.0 * particles_per_rank * jitter(config_, k.block_id, cores, 2));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.12;
+    // The gather's irregular component lands in the *grid* fields (particle
+    // position reads stream and stay in L1); footprint is grid-dominated.
+    k.footprint_bytes = at_least_one(grid_bytes_per_rank) + 4096;
+    k.fp_per_visit = {12.0 * particles_per_rank, 8.0 * particles_per_rank,
+                      4.0 * particles_per_rank, 0.0};
+    k.ilp = 2.5;
+    k.dep_chain = 4.0;
+    k.mem_instructions = 5;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // Current/moment deposition: scatter with a high store fraction.
+    KernelSpec k;
+    k.block_id = kCurrentDeposit;
+    k.location = {"uh3d/deposit_current.f90", 88, "current_deposit"};
+    k.pattern = Pattern::Random;
+    k.visits = config_.timesteps;
+    k.refs_per_visit =
+        at_least_one(6.0 * particles_per_rank * jitter(config_, k.block_id, cores, 3));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.78;
+    k.footprint_bytes = at_least_one(grid_bytes_per_rank) + 4096;
+    k.fp_per_visit = {6.0 * particles_per_rank, 3.0 * particles_per_rank, 0.0, 0.0};
+    k.ilp = 2.0;
+    k.dep_chain = 3.0;
+    k.mem_instructions = 4;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // Fluid-electron field solve: iteration count grows ~log2(p) as the
+    // subdomain aspect worsens solver conditioning — a log-growth element.
+    KernelSpec k;
+    k.block_id = kFieldSolve;
+    k.location = {"uh3d/field_solve.f90", 240, "field_solve"};
+    k.pattern = Pattern::Sequential;
+    k.visits = at_least_one(t * laws::log_growth(5.0, 2.0, p) *
+                            jitter(config_, k.block_id, cores, 4));
+    k.refs_per_visit = at_least_one(4.0 * cells_per_rank);
+    k.elem_bytes = 8;
+    k.store_fraction = 0.35;
+    k.footprint_bytes = at_least_one(grid_bytes_per_rank) + 4096;
+    k.fp_per_visit = {5.0 * cells_per_rank, 3.0 * cells_per_rank, 2.0 * cells_per_rank, 0.0};
+    k.ilp = 3.5;
+    k.dep_chain = 4.0;
+    k.mem_instructions = 4;
+    k.fp_instructions = 2;
+    kernels.push_back(k);
+  }
+  {
+    // Periodic particle sort for locality: n·log2(n) over rank particles.
+    KernelSpec k;
+    k.block_id = kParticleSort;
+    k.location = {"uh3d/sort_particles.f90", 45, "particle_sort"};
+    k.pattern = Pattern::Strided;
+    k.stride_elems = 16;
+    k.visits = config_.timesteps / 5 + 1;
+    const double n = particles_per_rank;
+    k.refs_per_visit =
+        at_least_one(n * std::log2(std::max(n, 2.0)) * 0.5 *
+                     jitter(config_, k.block_id, cores, 5));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.5;
+    k.footprint_bytes = at_least_one(particle_bytes_per_rank) + 4096;
+    k.fp_per_visit = {0.0, 0.0, 0.0, 0.0};
+    k.ilp = 1.8;
+    k.dep_chain = 2.5;
+    k.mem_instructions = 3;
+    k.fp_instructions = 0;
+    kernels.push_back(k);
+  }
+  {
+    // Staging of boundary-crossing particles: surface-law volume.
+    KernelSpec k;
+    k.block_id = kBoundaryParticles;
+    k.location = {"uh3d/exchange_particles.f90", 160, "boundary_particles"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.timesteps;
+    const double crossing = laws::surface(static_cast<double>(config_.global_particles), p, 1.2);
+    k.refs_per_visit = at_least_one(3.0 * crossing * jitter(config_, k.block_id, cores, 6));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.5;
+    k.footprint_bytes = at_least_one(crossing * 48.0) + 4096;
+    k.fp_per_visit = {crossing, 0.0, 0.0, 0.0};
+    k.ilp = 2.0;
+    k.dep_chain = 2.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+  {
+    // Diagnostics: fixed probes regardless of scale.
+    KernelSpec k;
+    k.block_id = kDiagnostics;
+    k.location = {"uh3d/diagnostics.f90", 20, "diagnostics"};
+    k.pattern = Pattern::Sequential;
+    k.visits = config_.timesteps;
+    k.refs_per_visit = at_least_one(1500.0 * jitter(config_, k.block_id, cores, 7));
+    k.elem_bytes = 8;
+    k.store_fraction = 0.25;
+    k.footprint_bytes = 96u << 10;
+    k.fp_per_visit = {3000.0, 1500.0, 0.0, 10.0};
+    k.ilp = 2.2;
+    k.dep_chain = 3.0;
+    k.mem_instructions = 2;
+    k.fp_instructions = 1;
+    kernels.push_back(k);
+  }
+
+  for (KernelSpec& kernel : kernels) {
+    if (config_.work_scale != 1.0) {
+      kernel.refs_per_visit = at_least_one(
+          static_cast<double>(kernel.refs_per_visit) * config_.work_scale);
+      kernel.fp_per_visit.adds *= config_.work_scale;
+      kernel.fp_per_visit.muls *= config_.work_scale;
+      kernel.fp_per_visit.fmas *= config_.work_scale;
+      kernel.fp_per_visit.divs *= config_.work_scale;
+    }
+    kernel.validate();
+  }
+  return kernels;
+}
+
+trace::CommTrace Uh3dApp::comm_trace(std::uint32_t cores, std::uint32_t rank) const {
+  CommPattern pattern;
+  pattern.timesteps = config_.timesteps;
+  const double crossing = laws::surface(static_cast<double>(config_.global_particles),
+                                        static_cast<double>(cores), 1.2);
+  // work_scale folds many physical timesteps into each traced step (see
+  // Specfem3dApp::comm_trace), so exchanged volumes aggregate with it.
+  pattern.halo_bytes = at_least_one(crossing * static_cast<double>(config_.particle_bytes) *
+                                    config_.work_scale);
+  pattern.allreduce_every = 1;  // field solve needs a global dot product
+  pattern.allreduce_bytes = at_least_one(64.0 * config_.work_scale);
+  pattern.alltoall_every = 5;   // long-range moment redistribution
+  pattern.alltoall_bytes = at_least_one(4096.0 * config_.work_scale);
+  pattern.units_per_step = work_units(cores, rank) / static_cast<double>(config_.timesteps);
+  return build_comm_trace(cores, rank, pattern);
+}
+
+}  // namespace pmacx::synth

@@ -1,0 +1,62 @@
+// UH3D-like synthetic application.
+//
+// UH3D is UCSD's global hybrid (kinetic-ion / fluid-electron) simulation of
+// the Earth's magnetosphere [paper ref 3].  The synthetic model reproduces
+// the phase structure and scaling shapes of a particle-in-cell hybrid code:
+//
+//   kernel               dominant element law in core count p
+//   -------------------  ------------------------------------
+//   particle_push        visits ~ Npart/p, random locality over particles
+//   field_interpolate    gather (particle → grid indirection)
+//   current_deposit      scatter-heavy stores
+//   field_solve          iterations ~ log2(p) growth (solver conditioning)
+//   particle_sort        refs ~ (n/p)·log2(n/p)
+//   boundary_particles   surface law exchange staging
+//   diagnostics          constant
+//
+// Particle footprints are several times larger than SPECFEM's field arrays
+// at equal core counts, which is why the paper traces UH3D at 1024-8192
+// cores rather than 96-6144.
+#pragma once
+
+#include "synth/app.hpp"
+
+namespace pmacx::synth {
+
+/// Tunable problem dimensions for the UH3D model.
+struct Uh3dConfig {
+  /// Petascale-realistic particle count, sized so the dominant kernels stay
+  /// memory-bound (footprint ≫ L3) through 8192 cores: their hit rates then
+  /// move gently across the whole sweep instead of saturating between the
+  /// last training count and the target — the transition shape no canonical
+  /// form can extrapolate through (see SpecfemConfig::global_field_bytes).
+  std::uint64_t global_particles = 5'000'000'000;
+  std::uint64_t particle_bytes = 48;      ///< position+velocity+weight per particle
+  std::uint64_t global_grid_cells = 100'000'000;
+  std::uint64_t cell_bytes = 32;          ///< E, B, density moments per cell
+  std::uint32_t timesteps = 10;
+  double imbalance = 0.10;                ///< magnetotail concentration on rank 0
+  double noise = 0.005;
+  /// Multiplies per-visit reference and flop counts without touching
+  /// footprints (see SpecfemConfig::work_scale).
+  double work_scale = 1.0;
+  std::uint64_t seed = 0x0d3d;
+};
+
+/// The synthetic UH3D.
+class Uh3dApp final : public SyntheticApp {
+ public:
+  explicit Uh3dApp(Uh3dConfig config = {});
+
+  std::string name() const override { return "uh3d"; }
+  std::uint32_t timesteps() const override { return config_.timesteps; }
+  std::vector<KernelSpec> kernels(std::uint32_t cores, std::uint32_t rank) const override;
+  trace::CommTrace comm_trace(std::uint32_t cores, std::uint32_t rank) const override;
+
+  const Uh3dConfig& config() const { return config_; }
+
+ private:
+  Uh3dConfig config_;
+};
+
+}  // namespace pmacx::synth

@@ -1,0 +1,154 @@
+#include "trace/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pmacx::trace {
+namespace {
+
+// The format assumes a little-endian host (x86-64/aarch64); a big-endian
+// port would need byte swaps here.
+
+class Writer {
+ public:
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  void raw(void* out, std::size_t size) {
+    PMACX_CHECK(offset_ + size <= bytes_.size(), "binary trace truncated");
+    std::memcpy(out, bytes_.data() + offset_, size);
+    offset_ += size;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    PMACX_CHECK(offset_ + size <= bytes_.size(), "binary trace truncated in string");
+    std::string s = bytes_.substr(offset_, size);
+    offset_ += size;
+    return s;
+  }
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+bool looks_binary(const std::string& bytes) {
+  return bytes.size() >= sizeof(kBinaryMagic) &&
+         std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+}
+
+std::string to_binary(const TaskTrace& task) {
+  Writer w;
+  w.raw(kBinaryMagic, sizeof(kBinaryMagic));
+  w.str(task.app);
+  w.u32(task.rank);
+  w.u32(task.core_count);
+  w.str(task.target_system);
+  w.u32(task.extrapolated ? 1 : 0);
+  w.u64(task.blocks.size());
+  for (const auto& block : task.blocks) {
+    w.u64(block.id);
+    w.str(block.location.file);
+    w.u32(block.location.line);
+    w.str(block.location.function);
+    for (double v : block.features) w.f64(v);
+    w.u64(block.instructions.size());
+    for (const auto& instr : block.instructions) {
+      w.u32(instr.index);
+      for (double v : instr.features) w.f64(v);
+    }
+  }
+  return w.take();
+}
+
+TaskTrace from_binary(const std::string& bytes) {
+  PMACX_CHECK(looks_binary(bytes), "not a pmacx binary trace");
+  Reader r(bytes);
+  char magic[sizeof(kBinaryMagic)];
+  r.raw(magic, sizeof magic);
+
+  TaskTrace task;
+  task.app = r.str();
+  task.rank = r.u32();
+  task.core_count = r.u32();
+  task.target_system = r.str();
+  task.extrapolated = r.u32() != 0;
+  const std::uint64_t block_count = r.u64();
+  task.blocks.reserve(block_count);
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    BasicBlockRecord block;
+    block.id = r.u64();
+    block.location.file = r.str();
+    block.location.line = r.u32();
+    block.location.function = r.str();
+    for (double& v : block.features) v = r.f64();
+    const std::uint64_t instr_count = r.u64();
+    block.instructions.reserve(instr_count);
+    for (std::uint64_t k = 0; k < instr_count; ++k) {
+      InstructionRecord instr;
+      instr.index = r.u32();
+      for (double& v : instr.features) v = r.f64();
+      block.instructions.push_back(std::move(instr));
+    }
+    task.blocks.push_back(std::move(block));
+  }
+  PMACX_CHECK(r.exhausted(), "trailing bytes after binary trace");
+  task.sort_blocks();
+  return task;
+}
+
+void save_binary(const TaskTrace& task, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  const std::string bytes = to_binary(task);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  PMACX_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+TaskTrace load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_binary(buffer.str());
+}
+
+}  // namespace pmacx::trace

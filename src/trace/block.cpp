@@ -1,0 +1,18 @@
+#include "trace/block.hpp"
+
+namespace pmacx::trace {
+
+double BasicBlockRecord::memory_ops() const {
+  return get(BlockElement::MemLoads) + get(BlockElement::MemStores);
+}
+
+double BasicBlockRecord::fp_ops() const {
+  return get(BlockElement::FpAdd) + get(BlockElement::FpMul) +
+         2.0 * get(BlockElement::FpFma) + get(BlockElement::FpDivSqrt);
+}
+
+double BasicBlockRecord::bytes_moved() const {
+  return memory_ops() * get(BlockElement::BytesPerRef);
+}
+
+}  // namespace pmacx::trace

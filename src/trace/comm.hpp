@@ -1,0 +1,68 @@
+// Communication traces.
+//
+// The PMaC framework pairs the computation model with a communication model
+// (Section III); PSiNS replays each task's ordered sequence of MPI events
+// interleaved with its computation bursts.  CommTrace is that sequence for
+// one rank.  Computation between events is carried as abstract work units
+// (this library's convolution converts units to seconds per target machine),
+// so the same comm trace replays correctly on any target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmacx::trace {
+
+/// MPI operation kinds modeled by the replay simulator.
+enum class CommOp {
+  Send,       ///< blocking point-to-point send
+  Recv,       ///< blocking point-to-point receive
+  Barrier,    ///< full synchronization
+  Bcast,      ///< one-to-all broadcast
+  Reduce,     ///< all-to-one reduction
+  Allreduce,  ///< reduction + broadcast
+  Allgather,  ///< all-to-all gather of equal chunks
+  Alltoall,   ///< personalized all-to-all exchange
+};
+
+/// Stable name for serialization and reports.
+std::string comm_op_name(CommOp op);
+/// Inverse of comm_op_name; throws util::Error on unknown names.
+CommOp comm_op_from_name(const std::string& name);
+/// True for collective operations (everything except Send/Recv).
+bool comm_op_is_collective(CommOp op);
+
+/// One MPI event in a rank's timeline.
+struct CommEvent {
+  CommOp op = CommOp::Barrier;
+  std::int32_t peer = -1;     ///< partner rank for Send/Recv; root for rooted collectives
+  std::uint64_t bytes = 0;    ///< payload bytes (per-rank contribution for collectives)
+  /// Abstract computation units executed by this rank since the previous
+  /// event (or since start).  The convolution scales units to seconds.
+  double compute_units_before = 0.0;
+
+  bool operator==(const CommEvent&) const = default;
+};
+
+/// One rank's ordered communication timeline at one core count.
+struct CommTrace {
+  std::uint32_t rank = 0;
+  std::uint32_t core_count = 0;
+  std::vector<CommEvent> events;
+  /// Computation units after the last event (tail burst).
+  double tail_compute_units = 0.0;
+
+  /// Sum of compute units across the whole timeline.
+  double total_compute_units() const;
+  /// Sum of bytes across all events.
+  std::uint64_t total_bytes() const;
+
+  /// Versioned text round-trip, mirroring TaskTrace's format.
+  std::string to_text() const;
+  static CommTrace from_text(const std::string& text);
+
+  bool operator==(const CommTrace&) const = default;
+};
+
+}  // namespace pmacx::trace

@@ -1,0 +1,74 @@
+#include "trace/elements.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::trace {
+
+std::string block_element_name(BlockElement element) {
+  switch (element) {
+    case BlockElement::VisitCount: return "visit_count";
+    case BlockElement::FpAdd: return "fp_add";
+    case BlockElement::FpMul: return "fp_mul";
+    case BlockElement::FpFma: return "fp_fma";
+    case BlockElement::FpDivSqrt: return "fp_div_sqrt";
+    case BlockElement::MemLoads: return "mem_loads";
+    case BlockElement::MemStores: return "mem_stores";
+    case BlockElement::BytesPerRef: return "bytes_per_ref";
+    case BlockElement::HitRateL1: return "hit_rate_l1";
+    case BlockElement::HitRateL2: return "hit_rate_l2";
+    case BlockElement::HitRateL3: return "hit_rate_l3";
+    case BlockElement::WorkingSetBytes: return "working_set_bytes";
+    case BlockElement::Ilp: return "ilp";
+    case BlockElement::DepChainLength: return "dep_chain_length";
+    case BlockElement::kCount: break;
+  }
+  PMACX_ASSERT(false, "bad BlockElement");
+  return "?";
+}
+
+std::string instr_element_name(InstrElement element) {
+  switch (element) {
+    case InstrElement::ExecCount: return "exec_count";
+    case InstrElement::MemOps: return "mem_ops";
+    case InstrElement::BytesPerOp: return "bytes_per_op";
+    case InstrElement::FpOps: return "fp_ops";
+    case InstrElement::HitRateL1: return "hit_rate_l1";
+    case InstrElement::HitRateL2: return "hit_rate_l2";
+    case InstrElement::HitRateL3: return "hit_rate_l3";
+    case InstrElement::kCount: break;
+  }
+  PMACX_ASSERT(false, "bad InstrElement");
+  return "?";
+}
+
+bool block_element_is_rate(BlockElement element) {
+  switch (element) {
+    case BlockElement::HitRateL1:
+    case BlockElement::HitRateL2:
+    case BlockElement::HitRateL3: return true;
+    default: return false;
+  }
+}
+
+bool instr_element_is_rate(InstrElement element) {
+  switch (element) {
+    case InstrElement::HitRateL1:
+    case InstrElement::HitRateL2:
+    case InstrElement::HitRateL3: return true;
+    default: return false;
+  }
+}
+
+bool block_element_is_nonnegative(BlockElement element) {
+  // Everything in the block vector is a count, size, rate or mean of
+  // non-negative quantities.
+  (void)element;
+  return true;
+}
+
+bool instr_element_is_nonnegative(InstrElement element) {
+  (void)element;
+  return true;
+}
+
+}  // namespace pmacx::trace

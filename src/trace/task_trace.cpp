@@ -1,0 +1,241 @@
+#include "trace/task_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "trace/binary_io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::trace {
+namespace {
+
+constexpr const char* kMagic = "pmacx-trace";
+constexpr const char* kVersion = "1";
+
+/// Line-oriented reader that tracks position for error messages.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  /// Next non-empty line, split on tabs; throws at EOF.
+  std::vector<std::string> next(const char* expectation) {
+    std::string line;
+    while (std::getline(stream_, line)) {
+      ++line_number_;
+      if (!line.empty()) return util::split(line, '\t');
+    }
+    PMACX_CHECK(false, std::string("unexpected end of trace while reading ") + expectation);
+    return {};
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istringstream stream_;
+  int line_number_ = 0;
+};
+
+std::string field(const std::vector<std::string>& fields, std::size_t index,
+                  const char* what) {
+  PMACX_CHECK(index < fields.size(), std::string("missing field: ") + what);
+  return fields[index];
+}
+
+}  // namespace
+
+const BasicBlockRecord* TaskTrace::find_block(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), id,
+      [](const BasicBlockRecord& block, std::uint64_t key) { return block.id < key; });
+  if (it == blocks.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+void TaskTrace::sort_blocks() {
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BasicBlockRecord& a, const BasicBlockRecord& b) { return a.id < b.id; });
+}
+
+void TaskTrace::validate() const {
+  PMACX_CHECK(core_count > 0, "trace has zero core count");
+  PMACX_CHECK(rank < core_count, "trace rank out of range");
+  const BasicBlockRecord* previous = nullptr;
+  for (const BasicBlockRecord& block : blocks) {
+    const std::string where = "block " + std::to_string(block.id);
+    PMACX_CHECK(block.id != 0, "block id 0 is reserved");
+    if (previous != nullptr)
+      PMACX_CHECK(previous->id < block.id, where + ": ids must be sorted and unique");
+    previous = &block;
+
+    for (std::size_t e = 0; e < kBlockElementCount; ++e) {
+      const auto element = static_cast<BlockElement>(e);
+      const double value = block.features[e];
+      PMACX_CHECK(std::isfinite(value),
+                  where + ": non-finite " + block_element_name(element));
+      PMACX_CHECK(value >= 0.0, where + ": negative " + block_element_name(element));
+      if (block_element_is_rate(element))
+        PMACX_CHECK(value <= 1.0, where + ": " + block_element_name(element) + " > 1");
+    }
+    PMACX_CHECK(block.get(BlockElement::HitRateL1) <=
+                    block.get(BlockElement::HitRateL2) + 1e-12,
+                where + ": cumulative hit rates must satisfy L1 <= L2");
+    PMACX_CHECK(block.get(BlockElement::HitRateL2) <=
+                    block.get(BlockElement::HitRateL3) + 1e-12,
+                where + ": cumulative hit rates must satisfy L2 <= L3");
+
+    const InstructionRecord* previous_instr = nullptr;
+    for (const InstructionRecord& instr : block.instructions) {
+      const std::string iwhere = where + " instr " + std::to_string(instr.index);
+      if (previous_instr != nullptr)
+        PMACX_CHECK(previous_instr->index < instr.index,
+                    iwhere + ": instruction indices must be sorted and unique");
+      previous_instr = &instr;
+      for (std::size_t e = 0; e < kInstrElementCount; ++e) {
+        const auto element = static_cast<InstrElement>(e);
+        const double value = instr.features[e];
+        PMACX_CHECK(std::isfinite(value),
+                    iwhere + ": non-finite " + instr_element_name(element));
+        PMACX_CHECK(value >= 0.0, iwhere + ": negative " + instr_element_name(element));
+        if (instr_element_is_rate(element))
+          PMACX_CHECK(value <= 1.0, iwhere + ": " + instr_element_name(element) + " > 1");
+      }
+    }
+  }
+}
+
+double TaskTrace::total_memory_ops() const {
+  double total = 0.0;
+  for (const auto& block : blocks) total += block.memory_ops();
+  return total;
+}
+
+double TaskTrace::total_fp_ops() const {
+  double total = 0.0;
+  for (const auto& block : blocks) total += block.fp_ops();
+  return total;
+}
+
+double TaskTrace::total_bytes_moved() const {
+  double total = 0.0;
+  for (const auto& block : blocks) total += block.bytes_moved();
+  return total;
+}
+
+std::string TaskTrace::to_text() const {
+  std::ostringstream out;
+  out.precision(17);  // exact double round-trip
+  out << kMagic << '\t' << kVersion << '\n';
+  out << "app\t" << app << '\n';
+  out << "rank\t" << rank << '\n';
+  out << "cores\t" << core_count << '\n';
+  out << "target\t" << target_system << '\n';
+  out << "extrapolated\t" << (extrapolated ? 1 : 0) << '\n';
+  out << "blocks\t" << blocks.size() << '\n';
+  for (const auto& block : blocks) {
+    out << "block\t" << block.id << '\t' << block.location.file << '\t'
+        << block.location.line << '\t' << block.location.function << '\n';
+    out << "features";
+    for (double v : block.features) out << '\t' << v;
+    out << '\n';
+    out << "instrs\t" << block.instructions.size() << '\n';
+    for (const auto& instr : block.instructions) {
+      out << "i\t" << instr.index;
+      for (double v : instr.features) out << '\t' << v;
+      out << '\n';
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+TaskTrace TaskTrace::from_text(const std::string& text) {
+  LineReader reader(text);
+  TaskTrace trace;
+
+  auto header = reader.next("magic header");
+  PMACX_CHECK(field(header, 0, "magic") == kMagic, "not a pmacx trace file");
+  PMACX_CHECK(field(header, 1, "version") == kVersion,
+              "unsupported trace version " + field(header, 1, "version"));
+
+  auto expect_kv = [&](const char* key) {
+    auto fields = reader.next(key);
+    PMACX_CHECK(field(fields, 0, key) == key,
+                std::string("expected '") + key + "' at line " +
+                    std::to_string(reader.line_number()));
+    return fields;
+  };
+
+  trace.app = field(expect_kv("app"), 1, "app name");
+  trace.rank = static_cast<std::uint32_t>(
+      util::parse_u64(field(expect_kv("rank"), 1, "rank"), "rank"));
+  trace.core_count = static_cast<std::uint32_t>(
+      util::parse_u64(field(expect_kv("cores"), 1, "cores"), "cores"));
+  trace.target_system = field(expect_kv("target"), 1, "target");
+  trace.extrapolated =
+      util::parse_u64(field(expect_kv("extrapolated"), 1, "extrapolated"), "extrapolated") != 0;
+
+  const std::uint64_t block_count =
+      util::parse_u64(field(expect_kv("blocks"), 1, "block count"), "blocks");
+  trace.blocks.reserve(block_count);
+
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    auto block_fields = expect_kv("block");
+    BasicBlockRecord block;
+    block.id = util::parse_u64(field(block_fields, 1, "block id"), "block id");
+    block.location.file = field(block_fields, 2, "file");
+    block.location.line = static_cast<std::uint32_t>(
+        util::parse_u64(field(block_fields, 3, "line"), "line"));
+    block.location.function = field(block_fields, 4, "function");
+
+    auto feature_fields = expect_kv("features");
+    PMACX_CHECK(feature_fields.size() == 1 + kBlockElementCount,
+                "block feature arity mismatch at line " + std::to_string(reader.line_number()));
+    for (std::size_t e = 0; e < kBlockElementCount; ++e)
+      block.features[e] = util::parse_double(feature_fields[1 + e], "block feature");
+
+    const std::uint64_t instr_count =
+        util::parse_u64(field(expect_kv("instrs"), 1, "instr count"), "instrs");
+    block.instructions.reserve(instr_count);
+    for (std::uint64_t k = 0; k < instr_count; ++k) {
+      auto instr_fields = expect_kv("i");
+      PMACX_CHECK(instr_fields.size() == 2 + kInstrElementCount,
+                  "instr feature arity mismatch at line " + std::to_string(reader.line_number()));
+      InstructionRecord instr;
+      instr.index = static_cast<std::uint32_t>(
+          util::parse_u64(instr_fields[1], "instr index"));
+      for (std::size_t e = 0; e < kInstrElementCount; ++e)
+        instr.features[e] = util::parse_double(instr_fields[2 + e], "instr feature");
+      block.instructions.push_back(std::move(instr));
+    }
+    trace.blocks.push_back(std::move(block));
+  }
+
+  auto end_fields = reader.next("end marker");
+  PMACX_CHECK(field(end_fields, 0, "end") == "end", "missing end marker");
+  trace.sort_blocks();
+  return trace;
+}
+
+void TaskTrace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << to_text();
+  PMACX_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+TaskTrace TaskTrace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  // Auto-detect: binary traces start with the binary magic, text ones with
+  // the "pmacx-trace" header.
+  if (looks_binary(bytes)) return from_binary(bytes);
+  return from_text(bytes);
+}
+
+}  // namespace pmacx::trace

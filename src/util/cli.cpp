@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::util {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_string(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  PMACX_CHECK(!options_.count(name), "duplicate option --" + name);
+  options_[name] = Option{Kind::String, default_value, default_value, help};
+  order_.push_back(name);
+}
+
+void Cli::add_u64(const std::string& name, std::uint64_t default_value, const std::string& help) {
+  PMACX_CHECK(!options_.count(name), "duplicate option --" + name);
+  const std::string text = std::to_string(default_value);
+  options_[name] = Option{Kind::U64, text, text, help};
+  order_.push_back(name);
+}
+
+void Cli::add_double(const std::string& name, double default_value, const std::string& help) {
+  PMACX_CHECK(!options_.count(name), "duplicate option --" + name);
+  const std::string text = format("%g", default_value);
+  options_[name] = Option{Kind::Double, text, text, help};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  PMACX_CHECK(!options_.count(name), "duplicate option --" + name);
+  options_[name] = Option{Kind::Flag, "0", "0", help};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    PMACX_CHECK(starts_with(arg, "--"), "unexpected positional argument '" + arg + "'");
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = options_.find(name);
+    PMACX_CHECK(it != options_.end(), "unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      PMACX_CHECK(!have_value, "flag --" + name + " does not take a value");
+      opt.value = "1";
+      continue;
+    }
+    if (!have_value) {
+      PMACX_CHECK(i + 1 < argc, "option --" + name + " requires a value");
+      value = argv[++i];
+    }
+    // Validate eagerly so errors point at the offending option.
+    if (opt.kind == Kind::U64) (void)parse_u64(value, "--" + name);
+    if (opt.kind == Kind::Double) (void)parse_double(value, "--" + name);
+    opt.value = value;
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  PMACX_CHECK(it != options_.end(), "option --" + name + " was never registered");
+  PMACX_CHECK(it->second.kind == kind, "option --" + name + " accessed with wrong type");
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+std::uint64_t Cli::get_u64(const std::string& name) const {
+  return parse_u64(find(name, Kind::U64).value, "--" + name);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return parse_double(find(name, Kind::Double).value, "--" + name);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).value == "1";
+}
+
+std::string Cli::help() const {
+  std::ostringstream out;
+  out << program_ << " — " << summary_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out << "  --" << name;
+    if (opt.kind != Kind::Flag) out << " <" << opt.default_value << ">";
+    out << "\n      " << opt.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pmacx::util

@@ -1,0 +1,61 @@
+// Tiny command-line option parser for the example and bench executables.
+//
+// Supports `--name value` and `--name=value` long options plus `--flag`
+// booleans.  Unknown options are an error so typos surface immediately;
+// `--help` text is generated from the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmacx::util {
+
+/// Declarative option set; register options, then parse(argc, argv).
+class Cli {
+ public:
+  /// `program` and `summary` appear in --help output.
+  Cli(std::string program, std::string summary);
+
+  /// Registers a string option with a default.
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Registers an integer option with a default.
+  void add_u64(const std::string& name, std::uint64_t default_value, const std::string& help);
+  /// Registers a floating-point option with a default.
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  /// Registers a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text printed
+  /// to stdout); throws util::Error on unknown options or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; throw util::Error if `name` was never registered.
+  std::string get_string(const std::string& name) const;
+  std::uint64_t get_u64(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Generated usage text.
+  std::string help() const;
+
+ private:
+  enum class Kind { String, U64, Double, Flag };
+  struct Option {
+    Kind kind;
+    std::string value;  // textual form; flags store "0"/"1"
+    std::string default_value;
+    std::string help;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pmacx::util

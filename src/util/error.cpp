@@ -1,0 +1,9 @@
+#include "util/error.hpp"
+
+namespace pmacx::util {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace pmacx::util

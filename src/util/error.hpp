@@ -1,0 +1,49 @@
+// Error handling primitives for pmacx.
+//
+// The library reports contract violations and unrecoverable conditions via
+// pmacx::util::Error (derived from std::runtime_error) so callers can catch a
+// single type at API boundaries.  PMACX_CHECK is used for preconditions on
+// public entry points; internal invariants use PMACX_ASSERT which compiles to
+// the same check (this is a modelling library, not a hot inner loop — we keep
+// checks on in release builds).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pmacx::util {
+
+/// Exception type thrown by all pmacx components on contract violation or
+/// unrecoverable error (bad input file, impossible configuration, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the "file:line: message" text and throws Error.  Out-of-line so the
+/// check macros stay cheap at call sites.
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+
+}  // namespace pmacx::util
+
+/// Precondition / invariant check: throws pmacx::util::Error with location
+/// info when `cond` is false.  `msg` may use stream-free string concatenation.
+#define PMACX_CHECK(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::pmacx::util::throw_error(__FILE__, __LINE__,             \
+                                 std::string("check failed: ") + \
+                                     #cond + " — " + (msg));     \
+    }                                                            \
+  } while (0)
+
+/// Internal invariant check; identical behaviour to PMACX_CHECK but signals
+/// a library bug rather than caller misuse.
+#define PMACX_ASSERT(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::pmacx::util::throw_error(__FILE__, __LINE__,                  \
+                                 std::string("internal invariant: ") + \
+                                     #cond + " — " + (msg));          \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// Experiment harnesses and the tracing pipeline emit progress at Info level;
+// tests silence it by setting the level to Warn.  A single global sink keeps
+// the interface trivial; this library is single-process by design (parallelism
+// lives inside the discrete-event simulator, not in threads).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pmacx::util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+/// Emits one line to stderr as "[level] message" if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot builder: `LogLine(LogLevel::Info) << "x=" << x;`
+/// emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pmacx::util
+
+#define PMACX_LOG_DEBUG ::pmacx::util::detail::LogLine(::pmacx::util::LogLevel::Debug)
+#define PMACX_LOG_INFO ::pmacx::util::detail::LogLine(::pmacx::util::LogLevel::Info)
+#define PMACX_LOG_WARN ::pmacx::util::detail::LogLine(::pmacx::util::LogLevel::Warn)
+#define PMACX_LOG_ERROR ::pmacx::util::detail::LogLine(::pmacx::util::LogLevel::Error)

@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in pmacx (synthetic address streams, noise on
+// scaling laws, k-means seeding) draws from an Xoshiro256** stream seeded by
+// SplitMix64 so that the entire pipeline — trace collection through
+// prediction — is reproducible bit-for-bit across runs and platforms.  Seeds
+// are derived hierarchically (app → rank → block) via `derive_seed` so that
+// changing one block's stream does not perturb any other stream.
+#pragma once
+
+#include <cstdint>
+
+namespace pmacx::util {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used for seeding and for hierarchical seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derives an independent child seed from a parent seed and an index.
+/// derive_seed(s, i) != derive_seed(s, j) for i != j with high probability.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t index);
+
+/// Xoshiro256** PRNG — fast, high-quality, 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 as recommended by the
+  /// generator's authors; any seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Standard normal deviate (Box–Muller, stateless variant using two draws).
+  double normal();
+
+  /// Normal deviate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace pmacx::util

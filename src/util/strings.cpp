@@ -1,0 +1,96 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace pmacx::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view text, std::string_view context) {
+  const std::string_view body = trim(text);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+  PMACX_CHECK(ec == std::errc{} && ptr == body.data() + body.size(),
+              std::string("cannot parse '") + std::string(body) + "' as double in " +
+                  std::string(context));
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view context) {
+  const std::string_view body = trim(text);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+  PMACX_CHECK(ec == std::errc{} && ptr == body.data() + body.size(),
+              std::string("cannot parse '") + std::string(body) + "' as u64 in " +
+                  std::string(context));
+  return value;
+}
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+namespace {
+
+std::string scaled(double value, const char* const* units, int count) {
+  int unit = 0;
+  while (value >= 1024.0 && unit + 1 < count) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return format("%.1f %s", value, units[unit]);
+}
+
+}  // namespace
+
+std::string human_bytes(double bytes) {
+  static const char* const kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return scaled(bytes, kUnits, 6);
+}
+
+std::string human_rate(double bytes_per_second) {
+  static const char* const kUnits[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return scaled(bytes_per_second, kUnits, 5);
+}
+
+std::string human_percent(double fraction, int decimals) {
+  return format("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace pmacx::util

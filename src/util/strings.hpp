@@ -1,0 +1,42 @@
+// Small string utilities shared across pmacx: splitting, trimming, numeric
+// parsing with error reporting, and human-readable formatting of quantities
+// (bytes, rates, percentages) used by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmacx::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a double; throws util::Error naming `context` on failure or
+/// trailing garbage.
+double parse_double(std::string_view text, std::string_view context);
+
+/// Parses a non-negative integer; throws util::Error naming `context` on
+/// failure.
+std::uint64_t parse_u64(std::string_view text, std::string_view context);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.5 KB", "3.2 MB", ... (powers of 1024, one decimal).
+std::string human_bytes(double bytes);
+
+/// "1.5 GB/s" style rate formatting.
+std::string human_rate(double bytes_per_second);
+
+/// Fixed-precision percentage: human_percent(0.8735) == "87.35%".
+std::string human_percent(double fraction, int decimals = 2);
+
+}  // namespace pmacx::util

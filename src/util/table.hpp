@@ -1,0 +1,42 @@
+// ASCII table and CSV emission for the experiment harnesses.
+//
+// Every bench binary reproduces one of the paper's tables or figures; Table
+// renders the rows the paper reports both as an aligned ASCII table (for the
+// terminal) and as CSV (for downstream plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmacx::util {
+
+/// Column-aligned table builder.  All rows must have the same arity as the
+/// header.  Cells are stored as strings; use util::format for numbers.
+class Table {
+ public:
+  /// Creates a table with the given column headers (must be non-empty).
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; throws util::Error if the arity differs from header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned ASCII table with a header separator line.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  std::string to_csv() const;
+
+  /// Writes the ASCII rendering to `out`, prefixed by `title` if non-empty.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmacx::util

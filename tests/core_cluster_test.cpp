@@ -1,0 +1,139 @@
+// Tests for clustered multi-task extrapolation (the paper's future-work
+// Section VI direction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cluster.hpp"
+#include "util/error.hpp"
+
+namespace pmacx {
+namespace {
+
+using core::ClusterOptions;
+using core::extrapolate_clustered;
+using trace::BlockElement;
+
+/// Builds a signature at `cores` whose traced ranks form two behaviour
+/// groups: "bulk" ranks (first half) with heavy memory work and "halo"
+/// ranks (second half) with ~100× less.
+trace::AppSignature grouped_signature(std::uint32_t cores) {
+  trace::AppSignature sig;
+  sig.app = "clustered-demo";
+  sig.core_count = cores;
+  sig.target_system = "t";
+  sig.demanding_rank = 0;
+
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75};
+  for (double fraction : fractions) {
+    const auto rank = static_cast<std::uint32_t>(fraction * cores);
+    const bool bulk = fraction < 0.5;
+    trace::TaskTrace task;
+    task.app = sig.app;
+    task.rank = rank;
+    task.core_count = cores;
+    task.target_system = "t";
+    trace::BasicBlockRecord block;
+    block.id = 1;
+    block.location = {"k.c", 1, "kernel"};
+    const double base = bulk ? 1e10 : 1e8;
+    block.set(BlockElement::VisitCount, 10);
+    block.set(BlockElement::MemLoads, base / cores);
+    block.set(BlockElement::BytesPerRef, 8);
+    block.set(BlockElement::HitRateL1, bulk ? 0.6 : 0.95);
+    block.set(BlockElement::HitRateL2, bulk ? 0.7 : 0.97);
+    block.set(BlockElement::HitRateL3, bulk ? 0.8 : 0.99);
+    block.set(BlockElement::WorkingSetBytes, base / cores);
+    block.set(BlockElement::Ilp, 3);
+    block.set(BlockElement::DepChainLength, 4);
+    task.blocks.push_back(block);
+    sig.tasks.push_back(task);
+  }
+
+  for (std::uint32_t r = 0; r < cores; ++r) {
+    trace::CommTrace comm;
+    comm.rank = r;
+    comm.core_count = cores;
+    sig.comm.push_back(comm);
+  }
+  return sig;
+}
+
+std::vector<trace::AppSignature> grouped_series() {
+  return {grouped_signature(256), grouped_signature(512), grouped_signature(1024)};
+}
+
+TEST(ClusterTest, FindsTwoBehaviourGroups) {
+  const auto result = extrapolate_clustered(grouped_series(), 2048);
+  EXPECT_EQ(result.k, 2u);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  // Each cluster has half the traced ranks.
+  EXPECT_EQ(result.clusters[0].member_ranks.size(), 2u);
+  EXPECT_EQ(result.clusters[1].member_ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.clusters[0].rank_share, 0.5);
+}
+
+TEST(ClusterTest, RepresentativesExtrapolateTheirGroupsLaw) {
+  const auto result = extrapolate_clustered(grouped_series(), 2048);
+  // The bulk cluster's representative should carry ~1e10/2048 loads, the
+  // halo cluster ~1e8/2048 (within extrapolation slack for the 1/p law).
+  const double bulk = result.clusters[0].representative.find_block(1)->get(
+      BlockElement::MemLoads);
+  const double halo = result.clusters[1].representative.find_block(1)->get(
+      BlockElement::MemLoads);
+  EXPECT_GT(bulk, 20.0 * halo);
+  EXPECT_NEAR(bulk, 1e10 / 2048, 0.25 * (1e10 / 2048));
+}
+
+TEST(ClusterTest, RepresentativesMarkedExtrapolatedAtTarget) {
+  const auto result = extrapolate_clustered(grouped_series(), 2048);
+  for (const auto& cluster : result.clusters) {
+    EXPECT_TRUE(cluster.representative.extrapolated);
+    EXPECT_EQ(cluster.representative.core_count, 2048u);
+    EXPECT_LT(cluster.representative.rank, 2048u);
+  }
+}
+
+TEST(ClusterTest, RankWorkWeightsCoverAllRanks) {
+  const auto result = extrapolate_clustered(grouped_series(), 2048);
+  const auto weights = result.rank_work_weights(2048);
+  ASSERT_EQ(weights.size(), 2048u);
+  for (double w : weights) EXPECT_GT(w, 0.0);
+  // Bulk ranks (early) carry more work than halo ranks (late).
+  EXPECT_GT(weights.front(), weights.back());
+}
+
+TEST(ClusterTest, SingleBehaviourCollapsesToOneCluster) {
+  // Make all ranks identical: elbow should settle at k=1.
+  auto series = grouped_series();
+  for (auto& sig : series)
+    for (auto& task : sig.tasks)
+      for (auto& block : task.blocks) {
+        block.set(BlockElement::MemLoads, 1e9 / sig.core_count);
+        block.set(BlockElement::HitRateL1, 0.9);
+        block.set(BlockElement::HitRateL3, 0.95);
+        block.set(BlockElement::WorkingSetBytes, 1e9 / sig.core_count);
+      }
+  const auto result = extrapolate_clustered(series, 2048);
+  EXPECT_EQ(result.k, 1u);
+}
+
+TEST(ClusterTest, DeterministicClustering) {
+  const auto a = extrapolate_clustered(grouped_series(), 2048);
+  const auto b = extrapolate_clustered(grouped_series(), 2048);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t c = 0; c < a.clusters.size(); ++c)
+    EXPECT_EQ(a.clusters[c].member_ranks, b.clusters[c].member_ranks);
+}
+
+TEST(ClusterTest, RejectsBadInputs) {
+  std::vector<trace::AppSignature> one = {grouped_signature(256)};
+  EXPECT_THROW(extrapolate_clustered(one, 2048), util::Error);
+
+  auto unsorted = grouped_series();
+  std::swap(unsorted[0], unsorted[2]);
+  EXPECT_THROW(extrapolate_clustered(unsorted, 2048), util::Error);
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,347 @@
+// Tests for the trace extrapolator: exact recovery of canonical scaling
+// laws, domain clamping, influence accounting and the fit report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extrapolator.hpp"
+#include "util/error.hpp"
+
+namespace pmacx {
+namespace {
+
+using core::ExtrapolationOptions;
+using core::extrapolate_task;
+using trace::BlockElement;
+using trace::InstrElement;
+using trace::TaskTrace;
+
+/// Builds a trace whose elements follow known laws of the core count:
+///   block 1: mem loads ~ C/p (strong scaling), L2 rate linear in p,
+///            visit count constant;
+///   block 2: mem loads ~ log2(p) growth (the Fig. 5 shape), tiny volume.
+TaskTrace law_trace(double p) {
+  TaskTrace task;
+  task.app = "law-demo";
+  task.core_count = static_cast<std::uint32_t>(p);
+  task.target_system = "t";
+
+  trace::BasicBlockRecord dominant;
+  dominant.id = 1;
+  dominant.location = {"a.c", 1, "dominant"};
+  dominant.set(BlockElement::VisitCount, 42.0);
+  dominant.set(BlockElement::MemLoads, 1e10 / p);
+  dominant.set(BlockElement::MemStores, 4e9 / p);
+  dominant.set(BlockElement::BytesPerRef, 8.0);
+  dominant.set(BlockElement::HitRateL1, 0.4);
+  dominant.set(BlockElement::HitRateL2, 0.5 + 0.00004 * p);  // linear (Fig. 4)
+  dominant.set(BlockElement::HitRateL3, 0.95);
+  dominant.set(BlockElement::WorkingSetBytes, 4.6e9 / p);
+  dominant.set(BlockElement::Ilp, 3.5);
+  dominant.set(BlockElement::DepChainLength, 6.0);
+  trace::InstructionRecord instr;
+  instr.index = 0;
+  instr.set(InstrElement::ExecCount, 1e10 / p);
+  instr.set(InstrElement::MemOps, 1e10 / p);
+  instr.set(InstrElement::BytesPerOp, 8.0);
+  instr.set(InstrElement::HitRateL1, 0.4);
+  instr.set(InstrElement::HitRateL2, 0.5 + 0.00004 * p);
+  instr.set(InstrElement::HitRateL3, 0.97);
+  dominant.instructions.push_back(instr);
+  task.blocks.push_back(dominant);
+
+  trace::BasicBlockRecord reduction;
+  reduction.id = 2;
+  reduction.location = {"b.c", 2, "reduction"};
+  reduction.set(BlockElement::VisitCount, 10.0);
+  reduction.set(BlockElement::MemLoads, 4096.0 * (1.0 + std::log2(p)));  // log growth
+  reduction.set(BlockElement::BytesPerRef, 8.0);
+  reduction.set(BlockElement::HitRateL1, 0.99);
+  reduction.set(BlockElement::HitRateL2, 0.99);
+  reduction.set(BlockElement::HitRateL3, 0.99);
+  reduction.set(BlockElement::Ilp, 2.0);
+  reduction.set(BlockElement::DepChainLength, 3.0);
+  task.blocks.push_back(reduction);
+  task.sort_blocks();
+  return task;
+}
+
+std::vector<TaskTrace> law_series() {
+  return {law_trace(1024), law_trace(2048), law_trace(4096)};
+}
+
+TEST(ExtrapolatorTest, RecoversStrongScalingLaw) {
+  const auto series = law_series();
+  const auto result = extrapolate_task(series, 8192);
+  const auto* block = result.trace.find_block(1);
+  ASSERT_NE(block, nullptr);
+  // 1e10/8192 within a few percent (1/p isn't exactly any of the four paper
+  // forms, but exp/log fits track it closely over one octave extrapolation).
+  EXPECT_NEAR(block->get(BlockElement::MemLoads), 1e10 / 8192, 0.20 * (1e10 / 8192));
+}
+
+TEST(ExtrapolatorTest, RecoversLinearHitRateExactly) {
+  const auto series = law_series();
+  const auto result = extrapolate_task(series, 8192);
+  const auto* block = result.trace.find_block(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_NEAR(block->get(BlockElement::HitRateL2), 0.5 + 0.00004 * 8192, 1e-9);
+}
+
+TEST(ExtrapolatorTest, RecoversLogGrowthExactly) {
+  const auto series = law_series();
+  const auto result = extrapolate_task(series, 8192);
+  const auto* block = result.trace.find_block(2);
+  ASSERT_NE(block, nullptr);
+  EXPECT_NEAR(block->get(BlockElement::MemLoads), 4096.0 * (1.0 + std::log2(8192)),
+              1.0);
+}
+
+TEST(ExtrapolatorTest, ConstantElementsStayConstant) {
+  const auto series = law_series();
+  const auto result = extrapolate_task(series, 8192);
+  const auto* block = result.trace.find_block(1);
+  EXPECT_DOUBLE_EQ(block->get(BlockElement::VisitCount), 42.0);
+  EXPECT_DOUBLE_EQ(block->get(BlockElement::Ilp), 3.5);
+}
+
+TEST(ExtrapolatorTest, InstructionElementsExtrapolated) {
+  const auto series = law_series();
+  const auto result = extrapolate_task(series, 8192);
+  const auto* block = result.trace.find_block(1);
+  ASSERT_EQ(block->instructions.size(), 1u);
+  EXPECT_NEAR(block->instructions[0].get(InstrElement::HitRateL2),
+              0.5 + 0.00004 * 8192, 1e-9);
+}
+
+TEST(ExtrapolatorTest, OutputMarkedExtrapolated) {
+  const auto result = extrapolate_task(law_series(), 8192);
+  EXPECT_TRUE(result.trace.extrapolated);
+  EXPECT_EQ(result.trace.core_count, 8192u);
+  EXPECT_EQ(result.trace.app, "law-demo");
+}
+
+TEST(ExtrapolatorTest, RatesClampedIntoUnitInterval) {
+  // Push the linear L2 law far enough that the unclamped fit exceeds 1.
+  std::vector<TaskTrace> series = law_series();
+  const auto result = extrapolate_task(series, 2'000'000);
+  const auto* block = result.trace.find_block(1);
+  EXPECT_LE(block->get(BlockElement::HitRateL2), 1.0);
+  EXPECT_GE(block->get(BlockElement::HitRateL2), 0.0);
+}
+
+TEST(ExtrapolatorTest, HitRatesMonotoneAfterClamping) {
+  const auto result = extrapolate_task(law_series(), 500'000);
+  for (const auto& block : result.trace.blocks) {
+    EXPECT_LE(block.get(BlockElement::HitRateL1), block.get(BlockElement::HitRateL2));
+    EXPECT_LE(block.get(BlockElement::HitRateL2), block.get(BlockElement::HitRateL3));
+  }
+}
+
+TEST(ExtrapolatorTest, CountsNeverNegative) {
+  // A steep decay extrapolated far out must floor at zero, not go negative.
+  std::vector<TaskTrace> series;
+  for (double p : {64.0, 128.0, 256.0}) {
+    TaskTrace task = law_trace(p);
+    task.core_count = static_cast<std::uint32_t>(p);
+    task.blocks[0].set(BlockElement::MemStores, 1000.0 - 3.0 * p);  // linear decay
+    series.push_back(task);
+  }
+  const auto result = extrapolate_task(series, 8192);
+  EXPECT_GE(result.trace.find_block(1)->get(BlockElement::MemStores), 0.0);
+}
+
+TEST(ExtrapolatorTest, RoundCountsOptionYieldsIntegers) {
+  ExtrapolationOptions options;
+  options.round_counts = true;
+  const auto result = extrapolate_task(law_series(), 8192, options);
+  const double visits = result.trace.find_block(1)->get(BlockElement::VisitCount);
+  EXPECT_DOUBLE_EQ(visits, std::round(visits));
+}
+
+TEST(ExtrapolatorTest, InfluenceFollowsPaperRule) {
+  const auto result = extrapolate_task(law_series(), 8192);
+  // Block 1 carries ~all memory ops → influential; block 2 is tiny (~50k of
+  // ~3.4e6 at 4096 cores... actually compare against 0.1%): block 2 has
+  // 4096·13 ≈ 53k of ≈ 3.4e6 ops ≈ 1.6% → influential too.  Use elements'
+  // flags to check consistency rather than exact partition.
+  bool block1_flagged = false;
+  for (const auto& fit : result.report.elements) {
+    if (fit.key.block_id == 1 && fit.influential) block1_flagged = true;
+  }
+  EXPECT_TRUE(block1_flagged);
+
+  // With an absurdly high threshold nothing is influential.
+  ExtrapolationOptions strict;
+  strict.influence_threshold = 1.1;
+  const auto none = extrapolate_task(law_series(), 8192, strict);
+  for (const auto& fit : none.report.elements) EXPECT_FALSE(fit.influential);
+}
+
+TEST(ExtrapolatorTest, ReportCoversEveryElement) {
+  const auto result = extrapolate_task(law_series(), 8192);
+  // 2 blocks × block elements + 1 instruction × instr elements.
+  EXPECT_EQ(result.report.elements.size(),
+            2 * trace::kBlockElementCount + trace::kInstrElementCount);
+  EXPECT_EQ(result.report.axis.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.report.target, 8192.0);
+}
+
+TEST(ExtrapolatorTest, PerfectLawsFitWithinPaperBound) {
+  // The paper: every influential element fit within 20% absolute relative
+  // error.  On exact-law data we do far better.
+  const auto result = extrapolate_task(law_series(), 8192);
+  EXPECT_LT(result.report.worst_influential_error(), 0.05);
+}
+
+TEST(ExtrapolatorTest, ReportSummaryMentionsForms) {
+  const auto result = extrapolate_task(law_series(), 8192);
+  const std::string summary = result.report.summary();
+  EXPECT_NE(summary.find("8192"), std::string::npos);
+  EXPECT_NE(summary.find("influential"), std::string::npos);
+  EXPECT_FALSE(result.report.form_histogram().empty());
+  EXPECT_FALSE(result.report.worst_elements(3).empty());
+}
+
+TEST(ExtrapolatorTest, ExtensionFormsImproveInversePLaw) {
+  // 1/p work split is exactly InverseP; with extension forms enabled the
+  // extrapolation of mem loads should be nearly exact.
+  ExtrapolationOptions options;
+  options.fit.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+  const auto result = extrapolate_task(law_series(), 8192, options);
+  const auto* block = result.trace.find_block(1);
+  EXPECT_NEAR(block->get(BlockElement::MemLoads), 1e10 / 8192, 1e-2 * (1e10 / 8192));
+}
+
+TEST(ExtrapolatorTest, RejectsBadArguments) {
+  std::vector<TaskTrace> one = {law_trace(1024)};
+  EXPECT_THROW(extrapolate_task(one, 8192), util::Error);
+  EXPECT_THROW(extrapolate_task(law_series(), 0), util::Error);
+}
+
+TEST(ExtrapolatorTest, DeterministicOutput) {
+  const auto a = extrapolate_task(law_series(), 8192);
+  const auto b = extrapolate_task(law_series(), 8192);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ExtrapolatorTest, FitPresentIgnoresMissingObservations) {
+  // Block 2 follows its log law everywhere but is unobserved at 2048; with
+  // three present points FitPresent recovers the law exactly, while
+  // ZeroFill gets dragged by the injected zero.  (With only two present
+  // points every 2-parameter form interpolates — the law is unidentifiable,
+  // which is why this test uses a 4-count series.)
+  std::vector<TaskTrace> series = {law_trace(1024), law_trace(2048), law_trace(4096),
+                                   law_trace(8192)};
+  std::erase_if(series[1].blocks, [](const auto& block) { return block.id == 2; });
+
+  core::ExtrapolationOptions fit_present;
+  fit_present.missing = core::MissingPolicy::FitPresent;
+  const auto good = extrapolate_task(series, 16384, fit_present);
+  const double expected = 4096.0 * (1.0 + std::log2(16384));
+  EXPECT_NEAR(good.trace.find_block(2)->get(BlockElement::MemLoads), expected,
+              0.01 * expected);
+
+  core::ExtrapolationOptions zero_fill;
+  zero_fill.missing = core::MissingPolicy::ZeroFill;
+  const auto bad = extrapolate_task(series, 16384, zero_fill);
+  EXPECT_GT(std::fabs(bad.trace.find_block(2)->get(BlockElement::MemLoads) - expected),
+            0.05 * expected);
+}
+
+TEST(ExtrapolatorTest, FitPresentFallsBackWithOneObservation) {
+  // Present at only one count: fall back to the zero-filled series rather
+  // than fitting a single point.
+  std::vector<TaskTrace> series = law_series();
+  std::erase_if(series[0].blocks, [](const auto& block) { return block.id == 2; });
+  std::erase_if(series[1].blocks, [](const auto& block) { return block.id == 2; });
+  core::ExtrapolationOptions options;
+  options.missing = core::MissingPolicy::FitPresent;
+  const auto result = extrapolate_task(series, 8192, options);
+  EXPECT_NE(result.trace.find_block(2), nullptr);
+  EXPECT_GE(result.trace.find_block(2)->get(BlockElement::MemLoads), 0.0);
+}
+
+TEST(ExtrapolatorTest, BootstrapIntervalsOnInfluentialElements) {
+  ExtrapolationOptions options;
+  options.bootstrap_resamples = 50;
+  const auto result = extrapolate_task(law_series(), 8192, options);
+  std::size_t with_interval = 0;
+  for (const auto& fit : result.report.elements) {
+    if (!fit.influential) {
+      EXPECT_FALSE(fit.has_interval);
+      continue;
+    }
+    ASSERT_TRUE(fit.has_interval) << fit.key.describe();
+    EXPECT_LE(fit.interval.lo, fit.interval.hi);
+    ++with_interval;
+  }
+  EXPECT_GT(with_interval, 0u);
+}
+
+TEST(ExtrapolatorTest, BootstrapOffByDefault) {
+  const auto result = extrapolate_task(law_series(), 8192);
+  for (const auto& fit : result.report.elements) EXPECT_FALSE(fit.has_interval);
+}
+
+// ------------------------------------------- input-parameter extrapolation ----
+
+/// Trace at fixed cores whose elements follow laws of the problem size N:
+/// mem loads ∝ N, working set ∝ N, hit rate saturating like a - b/N.
+TaskTrace size_trace(double n) {
+  TaskTrace task;
+  task.app = "param-demo";
+  task.core_count = 64;
+  task.target_system = "t";
+  trace::BasicBlockRecord block;
+  block.id = 1;
+  block.location = {"k.c", 1, "kernel"};
+  block.set(BlockElement::VisitCount, 10.0);
+  block.set(BlockElement::MemLoads, 25.0 * n);
+  block.set(BlockElement::BytesPerRef, 8.0);
+  block.set(BlockElement::HitRateL1, 0.875);
+  block.set(BlockElement::HitRateL2, 0.875);
+  block.set(BlockElement::HitRateL3, 0.99 - 2e5 / n);
+  block.set(BlockElement::WorkingSetBytes, 40.0 * n);
+  block.set(BlockElement::Ilp, 3.0);
+  block.set(BlockElement::DepChainLength, 4.0);
+  task.blocks.push_back(block);
+  return task;
+}
+
+TEST(ParamExtrapTest, RecoversSizeLaws) {
+  const std::vector<TaskTrace> series = {size_trace(1e6), size_trace(2e6), size_trace(4e6)};
+  const std::vector<double> ns = {1e6, 2e6, 4e6};
+  const auto result = core::extrapolate_parameter(series, ns, 8e6);
+  const auto* block = result.trace.find_block(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_NEAR(block->get(BlockElement::MemLoads), 25.0 * 8e6, 1.0);
+  EXPECT_NEAR(block->get(BlockElement::WorkingSetBytes), 40.0 * 8e6, 1.0);
+  EXPECT_NEAR(block->get(BlockElement::HitRateL3), 0.99 - 2e5 / 8e6, 1e-6);
+}
+
+TEST(ParamExtrapTest, KeepsCoreCountAndMarksExtrapolated) {
+  const std::vector<TaskTrace> series = {size_trace(1e6), size_trace(2e6), size_trace(4e6)};
+  const std::vector<double> ns = {1e6, 2e6, 4e6};
+  const auto result = core::extrapolate_parameter(series, ns, 8e6);
+  EXPECT_EQ(result.trace.core_count, 64u);
+  EXPECT_TRUE(result.trace.extrapolated);
+  EXPECT_EQ(result.report.axis_name, "parameter");
+  EXPECT_DOUBLE_EQ(result.report.target, 8e6);
+}
+
+TEST(ParamExtrapTest, RejectsMixedCoreCounts) {
+  std::vector<TaskTrace> series = {size_trace(1e6), size_trace(2e6)};
+  series[1].core_count = 128;
+  const std::vector<double> ns = {1e6, 2e6};
+  EXPECT_THROW(core::extrapolate_parameter(series, ns, 4e6), util::Error);
+}
+
+TEST(ParamExtrapTest, RejectsNonIncreasingAxis) {
+  const std::vector<TaskTrace> series = {size_trace(1e6), size_trace(2e6)};
+  const std::vector<double> ns = {2e6, 1e6};
+  EXPECT_THROW(core::extrapolate_parameter(series, ns, 4e6), util::Error);
+}
+
+}  // namespace
+}  // namespace pmacx

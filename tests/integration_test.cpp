@@ -1,0 +1,166 @@
+// End-to-end integration tests: the full paper pipeline (collect at small
+// core counts → extrapolate → predict; collect at target → predict; measure)
+// on scaled-down problems, plus trace-file persistence through the pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "machine/targets.hpp"
+#include "synth/specfem.hpp"
+#include "synth/uh3d.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pmacx {
+namespace {
+
+machine::MultiMapsOptions fast_probe() {
+  machine::MultiMapsOptions options;
+  options.working_sets = {16ull << 10, 128ull << 10, 1ull << 20, 8ull << 20, 32ull << 20};
+  options.strides = {1, 4};
+  options.min_refs_per_probe = 60'000;
+  options.max_refs_per_probe = 250'000;
+  return options;
+}
+
+const machine::MachineProfile& target_profile() {
+  static const machine::MachineProfile profile =
+      machine::build_profile(machine::bluewaters_p1(), fast_probe());
+  return profile;
+}
+
+synth::SpecfemConfig small_specfem() {
+  synth::SpecfemConfig config;
+  config.global_elements = 20'000;
+  // Sized so the dominant kernel's footprint stays above the target L3
+  // through 128 cores: capacity crossings *between* the last training count
+  // and the target are the one shape no smooth canonical form tracks (the
+  // paper-scale benches are laid out the same way).
+  config.global_field_bytes = 2'000'000'000;
+  config.timesteps = 4;
+  return config;
+}
+
+core::PipelineConfig small_pipeline() {
+  core::PipelineConfig config;
+  config.small_core_counts = {8, 16, 32};
+  config.target_core_count = 128;
+  config.tracer.target = target_profile().system.hierarchy;
+  config.tracer.max_refs_per_kernel = 150'000;
+  config.collect_at_target = true;
+  config.measure_at_target = true;
+  config.reference.max_refs_per_kernel = 300'000;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::set_log_level(util::LogLevel::Warn);
+    result_ = new core::PipelineResult(core::run_pipeline(
+        synth::Specfem3dApp(small_specfem()), target_profile(), small_pipeline()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static core::PipelineResult* result_;
+};
+
+core::PipelineResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, CollectsAllSmallSignatures) {
+  EXPECT_EQ(result_->small_signatures.size(), 3u);
+  EXPECT_EQ(result_->small_signatures[0].core_count, 8u);
+  EXPECT_EQ(result_->small_signatures[2].core_count, 32u);
+}
+
+TEST_F(PipelineTest, ExtrapolatedSignatureValidAtTarget) {
+  EXPECT_NO_THROW(result_->extrapolated_signature.validate());
+  EXPECT_EQ(result_->extrapolated_signature.core_count, 128u);
+  EXPECT_TRUE(result_->extrapolated_signature.demanding_task().extrapolated);
+}
+
+TEST_F(PipelineTest, BothPredictionsProduced) {
+  EXPECT_GT(result_->prediction_from_extrapolated.runtime_seconds, 0.0);
+  ASSERT_TRUE(result_->prediction_from_collected.has_value());
+  EXPECT_GT(result_->prediction_from_collected->runtime_seconds, 0.0);
+  EXPECT_TRUE(result_->prediction_from_extrapolated.from_extrapolated_trace);
+  EXPECT_FALSE(result_->prediction_from_collected->from_extrapolated_trace);
+}
+
+TEST_F(PipelineTest, ExtrapolatedMatchesCollectedPrediction) {
+  // The paper's central claim (Table I): predictions from extrapolated and
+  // collected traces are nearly identical.
+  const double extrap = result_->prediction_from_extrapolated.runtime_seconds;
+  const double collected = result_->prediction_from_collected->runtime_seconds;
+  EXPECT_NEAR(extrap, collected, 0.10 * collected)
+      << "extrapolated " << extrap << "s vs collected " << collected << "s";
+}
+
+TEST_F(PipelineTest, PredictionsTrackMeasuredRuntime) {
+  ASSERT_TRUE(result_->measured.has_value());
+  EXPECT_GT(result_->measured->runtime_seconds, 0.0);
+  EXPECT_LT(result_->extrapolated_error(), 0.35);
+  EXPECT_LT(result_->collected_error(), 0.35);
+}
+
+TEST_F(PipelineTest, InfluentialFitsWithinReasonableBound) {
+  // Section IV reports ≤ 20% fit error on all influential elements at
+  // 96-4096 cores.  This scaled-down test runs at 8-32 cores where
+  // footprints cross cache-capacity cliffs between adjacent counts, which
+  // no smooth canonical form can track exactly — allow a little extra
+  // slack here; table1_prediction_error reports the paper-scale figure.
+  EXPECT_LT(result_->report.worst_influential_error(), 0.30);
+}
+
+TEST_F(PipelineTest, ReportHasDiverseWinningForms) {
+  // The synthetic app has constant, decaying, linear-growth and log-growth
+  // elements; at least two distinct forms must win somewhere.
+  EXPECT_GE(result_->report.form_histogram().size(), 2u);
+}
+
+TEST_F(PipelineTest, ExtrapolatedTraceRoundTripsThroughDisk) {
+  const trace::TaskTrace& task = result_->extrapolated_signature.demanding_task();
+  const std::string path = ::testing::TempDir() + "/pmacx_pipeline.trace";
+  task.save(path);
+  EXPECT_EQ(trace::TaskTrace::load(path), task);
+  std::remove(path.c_str());
+}
+
+TEST(PipelineConfigTest, RejectsBadConfigs) {
+  const synth::Specfem3dApp app(small_specfem());
+  core::PipelineConfig config = small_pipeline();
+  config.small_core_counts = {8};
+  EXPECT_THROW(core::run_pipeline(app, target_profile(), config), util::Error);
+
+  config = small_pipeline();
+  config.target_core_count = 16;  // not above largest small count
+  EXPECT_THROW(core::run_pipeline(app, target_profile(), config), util::Error);
+
+  config = small_pipeline();
+  config.tracer.target = machine::xt5_base().hierarchy;  // wrong target
+  EXPECT_THROW(core::run_pipeline(app, target_profile(), config), util::Error);
+}
+
+TEST(PipelineUh3dTest, RunsOnSecondApplication) {
+  util::set_log_level(util::LogLevel::Warn);
+  synth::Uh3dConfig config;
+  config.global_particles = 20'000'000;  // particle footprint > L3 through 128 cores
+  config.global_grid_cells = 400'000;
+  config.timesteps = 3;
+  const synth::Uh3dApp app(config);
+
+  core::PipelineConfig pipeline = small_pipeline();
+  pipeline.collect_at_target = true;
+  pipeline.measure_at_target = true;
+  const auto result = core::run_pipeline(app, target_profile(), pipeline);
+  const double extrap = result.prediction_from_extrapolated.runtime_seconds;
+  const double collected = result.prediction_from_collected->runtime_seconds;
+  EXPECT_NEAR(extrap, collected, 0.15 * collected);
+  EXPECT_LT(result.extrapolated_error(), 0.40);
+}
+
+}  // namespace
+}  // namespace pmacx

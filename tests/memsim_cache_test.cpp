@@ -1,0 +1,181 @@
+// Unit tests for a single cache level and the hierarchy configuration.
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+#include "memsim/config.hpp"
+#include "util/error.hpp"
+
+namespace pmacx {
+namespace {
+
+using memsim::CacheLevel;
+using memsim::CacheLevelConfig;
+using memsim::HierarchyConfig;
+using memsim::Replacement;
+
+CacheLevelConfig tiny_cache(std::uint32_t assoc, Replacement policy = Replacement::Lru) {
+  CacheLevelConfig cfg;
+  cfg.name = "L1";
+  cfg.size_bytes = 8 * 64;  // 8 lines
+  cfg.line_bytes = 64;
+  cfg.associativity = assoc;
+  cfg.replacement = policy;
+  return cfg;
+}
+
+// ----------------------------------------------------------------- config ----
+
+TEST(CacheConfigTest, SetsComputed) {
+  EXPECT_EQ(tiny_cache(2).sets(), 4u);
+  EXPECT_EQ(tiny_cache(0).sets(), 1u);  // fully associative
+}
+
+TEST(CacheConfigTest, ValidHierarchyPasses) {
+  HierarchyConfig cfg;
+  cfg.levels = {tiny_cache(2)};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CacheConfigTest, RejectsZeroLevels) {
+  HierarchyConfig cfg;
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, RejectsFourLevels) {
+  HierarchyConfig cfg;
+  auto mk = [&](std::uint64_t size) {
+    CacheLevelConfig level = tiny_cache(2);
+    level.size_bytes = size;
+    return level;
+  };
+  cfg.levels = {mk(512), mk(1024), mk(2048), mk(4096)};
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, RejectsNonPow2Line) {
+  HierarchyConfig cfg;
+  cfg.levels = {tiny_cache(2)};
+  cfg.levels[0].line_bytes = 48;
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, RejectsMixedLineSizes) {
+  HierarchyConfig cfg;
+  CacheLevelConfig l2 = tiny_cache(2);
+  l2.size_bytes = 16 * 128;
+  l2.line_bytes = 128;
+  cfg.levels = {tiny_cache(2), l2};
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, RejectsShrinkingCapacity) {
+  HierarchyConfig cfg;
+  CacheLevelConfig l2 = tiny_cache(2);
+  cfg.levels = {tiny_cache(2), l2};  // same size, not strictly larger
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, RejectsNonPow2Sets) {
+  HierarchyConfig cfg;
+  CacheLevelConfig odd = tiny_cache(2);
+  odd.size_bytes = 6 * 64;  // 6 lines / 2-way = 3 sets
+  cfg.levels = {odd};
+  EXPECT_THROW(cfg.validate(), util::Error);
+}
+
+TEST(CacheConfigTest, Table3Geometries) {
+  // The 12 KB / 3-way and 56 KB / 7-way L1s used by Table III are valid.
+  CacheLevelConfig a = tiny_cache(3);
+  a.size_bytes = 12ull << 10;
+  HierarchyConfig cfg_a;
+  cfg_a.levels = {a};
+  EXPECT_NO_THROW(cfg_a.validate());
+  EXPECT_EQ(a.sets(), 64u);
+
+  CacheLevelConfig b = tiny_cache(7);
+  b.size_bytes = 56ull << 10;
+  HierarchyConfig cfg_b;
+  cfg_b.levels = {b};
+  EXPECT_NO_THROW(cfg_b.validate());
+  EXPECT_EQ(b.sets(), 128u);
+}
+
+TEST(CacheConfigTest, ReplacementNames) {
+  EXPECT_EQ(memsim::replacement_name(Replacement::Lru), "lru");
+  EXPECT_EQ(memsim::replacement_name(Replacement::Fifo), "fifo");
+  EXPECT_EQ(memsim::replacement_name(Replacement::Random), "random");
+}
+
+// ------------------------------------------------------------------ level ----
+
+TEST(CacheLevelTest, MissThenHit) {
+  CacheLevel cache(tiny_cache(2), 1);
+  EXPECT_FALSE(cache.access(100));
+  EXPECT_TRUE(cache.access(100));
+  EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(CacheLevelTest, LruEvictsLeastRecentlyUsed) {
+  // Fully associative, 8 lines.  Fill 8, touch line 0 again, insert a 9th:
+  // the victim must be line 1 (the least recently used).
+  CacheLevel cache(tiny_cache(0), 1);
+  for (std::uint64_t line = 0; line < 8; ++line) EXPECT_FALSE(cache.access(line));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(100));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(CacheLevelTest, FifoIgnoresRecency) {
+  // FIFO evicts the oldest *fill* even if recently touched.
+  CacheLevel cache(tiny_cache(0, Replacement::Fifo), 1);
+  for (std::uint64_t line = 0; line < 8; ++line) cache.access(line);
+  EXPECT_TRUE(cache.access(0));   // touch does not refresh FIFO age
+  cache.access(100);              // evicts line 0 (oldest fill)
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(CacheLevelTest, RandomIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    CacheLevel cache(tiny_cache(0, Replacement::Random), seed);
+    std::vector<bool> hits;
+    for (std::uint64_t i = 0; i < 64; ++i) hits.push_back(cache.access(i % 12));
+    return hits;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(CacheLevelTest, SetConflictsEvict) {
+  // 4 sets × 2 ways: lines 0, 4, 8 all map to set 0; the third insert
+  // evicts the LRU of the first two.
+  CacheLevel cache(tiny_cache(2), 1);
+  cache.access(0);
+  cache.access(4);
+  cache.access(8);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(8));
+}
+
+TEST(CacheLevelTest, ClearEmptiesContents) {
+  CacheLevel cache(tiny_cache(2), 1);
+  cache.access(3);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_FALSE(cache.access(3));
+}
+
+TEST(CacheLevelTest, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  CacheLevel cache(tiny_cache(0), 1);
+  for (std::uint64_t pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t line = 0; line < 8; ++line) {
+      const bool hit = cache.access(line);
+      if (pass > 0) EXPECT_TRUE(hit) << "pass " << pass << " line " << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmacx

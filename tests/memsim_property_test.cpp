@@ -1,0 +1,178 @@
+// Property tests tying the set-associative simulator to the exact
+// reuse-distance analysis:
+//
+//   * a fully-associative LRU cache of capacity C hits exactly the accesses
+//     whose stack distance is < C (the Mattson inclusion theorem);
+//   * LRU caches satisfy the stack property: growing a fully-associative
+//     LRU cache never turns a hit into a miss;
+//   * the analyzer's histogram is internally consistent under compaction.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memsim/cache.hpp"
+#include "memsim/hierarchy.hpp"
+#include "memsim/reuse.hpp"
+#include "synth/patterns.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx {
+namespace {
+
+using memsim::ReuseDistanceAnalyzer;
+using synth::Pattern;
+
+/// Generates a line-address stream for a pattern over `lines` distinct lines.
+std::vector<std::uint64_t> make_stream(Pattern pattern, std::uint64_t lines,
+                                       std::size_t count, std::uint64_t seed) {
+  synth::StreamSpec spec;
+  spec.pattern = pattern;
+  spec.base_addr = 0;
+  spec.footprint_bytes = lines * 64;
+  spec.elem_bytes = 64;  // one element per line keeps addresses line-aligned
+  spec.stride_elems = 3;
+  synth::RefStream stream(spec, seed);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(stream.next().addr / 64);
+  return out;
+}
+
+memsim::CacheLevelConfig fully_assoc(std::uint64_t capacity_lines) {
+  memsim::CacheLevelConfig cfg;
+  cfg.size_bytes = capacity_lines * 64;
+  cfg.line_bytes = 64;
+  cfg.associativity = 0;
+  cfg.replacement = memsim::Replacement::Lru;
+  return cfg;
+}
+
+// --------------------------------------------- Mattson stack equivalence ----
+
+class StackEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Pattern, std::uint64_t>> {};
+
+TEST_P(StackEquivalenceTest, LruHitsEqualStackDistancePrediction) {
+  const auto [pattern, capacity] = GetParam();
+  const auto stream = make_stream(pattern, /*lines=*/96, /*count=*/6000, /*seed=*/17);
+
+  memsim::CacheLevel cache(fully_assoc(capacity), 1);
+  ReuseDistanceAnalyzer analyzer;
+  std::uint64_t cache_hits = 0;
+  for (std::uint64_t line : stream) {
+    if (cache.access(line)) ++cache_hits;
+    analyzer.access(line);
+  }
+  EXPECT_EQ(cache_hits, analyzer.hits_for_capacity(capacity))
+      << synth::pattern_name(pattern) << " capacity " << capacity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndCapacities, StackEquivalenceTest,
+    ::testing::Combine(::testing::Values(Pattern::Sequential, Pattern::Strided,
+                                         Pattern::Random, Pattern::Gather,
+                                         Pattern::Stencil3d),
+                       ::testing::Values(4u, 16u, 64u, 128u)),
+    [](const auto& info) {
+      return synth::pattern_name(std::get<0>(info.param)) + "_cap" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------- stack property ----
+
+class StackPropertyTest : public ::testing::TestWithParam<Pattern> {};
+
+TEST_P(StackPropertyTest, BiggerLruCacheNeverHitsLess) {
+  const auto stream = make_stream(GetParam(), 80, 4000, 23);
+  std::uint64_t previous_hits = 0;
+  for (std::uint64_t capacity : {4, 8, 16, 32, 64, 128}) {
+    memsim::CacheLevel cache(fully_assoc(capacity), 1);
+    std::uint64_t hits = 0;
+    for (std::uint64_t line : stream)
+      if (cache.access(line)) ++hits;
+    EXPECT_GE(hits, previous_hits) << "capacity " << capacity;
+    previous_hits = hits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, StackPropertyTest,
+                         ::testing::Values(Pattern::Sequential, Pattern::Strided,
+                                           Pattern::Random, Pattern::Gather,
+                                           Pattern::Stencil3d),
+                         [](const auto& info) { return synth::pattern_name(info.param); });
+
+// --------------------------------------------------------- reuse basics ----
+
+TEST(ReuseTest, FirstAccessIsInfinite) {
+  ReuseDistanceAnalyzer analyzer;
+  EXPECT_EQ(analyzer.access(1), ReuseDistanceAnalyzer::kInfinite);
+  EXPECT_EQ(analyzer.cold_accesses(), 1u);
+}
+
+TEST(ReuseTest, ImmediateReuseIsZero) {
+  ReuseDistanceAnalyzer analyzer;
+  analyzer.access(1);
+  EXPECT_EQ(analyzer.access(1), 0u);
+}
+
+TEST(ReuseTest, DistanceCountsDistinctIntervening) {
+  ReuseDistanceAnalyzer analyzer;
+  analyzer.access(1);
+  analyzer.access(2);
+  analyzer.access(3);
+  analyzer.access(2);          // lines since last 2: {3} -> distance 1
+  EXPECT_EQ(analyzer.access(1), 2u);  // {2, 3}
+}
+
+TEST(ReuseTest, RepeatsDoNotInflateDistance) {
+  ReuseDistanceAnalyzer analyzer;
+  analyzer.access(1);
+  analyzer.access(2);
+  analyzer.access(2);
+  analyzer.access(2);
+  EXPECT_EQ(analyzer.access(1), 1u);  // only {2} intervenes
+}
+
+TEST(ReuseTest, HistogramAccounting) {
+  ReuseDistanceAnalyzer analyzer;
+  // Cyclic sweep over 4 lines, 5 passes: after the cold pass every access
+  // has distance 3.
+  for (int pass = 0; pass < 5; ++pass)
+    for (std::uint64_t line = 0; line < 4; ++line) analyzer.access(line);
+  EXPECT_EQ(analyzer.total_accesses(), 20u);
+  EXPECT_EQ(analyzer.cold_accesses(), 4u);
+  EXPECT_EQ(analyzer.count_at(3), 16u);
+  EXPECT_EQ(analyzer.hits_for_capacity(4), 16u);
+  EXPECT_EQ(analyzer.hits_for_capacity(3), 0u);
+  EXPECT_EQ(analyzer.distinct_lines(), 4u);
+}
+
+TEST(ReuseTest, CompactionPreservesCorrectness) {
+  // Long stream over a small footprint forces many compactions; distances
+  // stay exact (cross-checked by the cyclic-sweep invariant).
+  ReuseDistanceAnalyzer analyzer;
+  const std::uint64_t lines = 50;
+  const int passes = 400;  // 20000 accesses over 50 live lines
+  for (int pass = 0; pass < passes; ++pass)
+    for (std::uint64_t line = 0; line < lines; ++line) analyzer.access(line);
+  EXPECT_EQ(analyzer.count_at(lines - 1),
+            static_cast<std::uint64_t>(passes - 1) * lines);
+  EXPECT_EQ(analyzer.cold_accesses(), lines);
+}
+
+TEST(ReuseTest, HitsForCapacityMonotone) {
+  ReuseDistanceAnalyzer analyzer;
+  util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) analyzer.access(rng.below(200));
+  std::uint64_t previous = 0;
+  for (std::uint64_t capacity : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const std::uint64_t hits = analyzer.hits_for_capacity(capacity);
+    EXPECT_GE(hits, previous);
+    previous = hits;
+  }
+  EXPECT_EQ(analyzer.hits_for_capacity(1u << 30),
+            analyzer.total_accesses() - analyzer.cold_accesses());
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,167 @@
+// Cross-cutting property tests: randomized serialization round-trips (both
+// formats), extrapolation self-consistency laws, and pipeline invariants
+// that must hold for any seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extrapolator.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/task_trace.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx {
+namespace {
+
+using trace::TaskTrace;
+
+/// A randomized but structurally valid trace.
+TaskTrace random_trace(std::uint64_t seed, std::uint32_t cores = 64) {
+  util::Rng rng(seed);
+  TaskTrace task;
+  task.app = "fuzz-" + std::to_string(seed % 7);
+  task.rank = static_cast<std::uint32_t>(rng.below(cores));
+  task.core_count = cores;
+  task.target_system = "target-" + std::to_string(seed % 3);
+  task.extrapolated = rng.uniform() < 0.5;
+
+  const std::size_t blocks = 1 + rng.below(12);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    trace::BasicBlockRecord block;
+    block.id = 1 + b * (1 + rng.below(5));
+    block.location.file = "file_" + std::to_string(rng.below(100)) + ".f90";
+    block.location.line = static_cast<std::uint32_t>(rng.below(10000));
+    block.location.function = "fn with spaces " + std::to_string(b);
+    for (double& v : block.features) v = rng.uniform(0.0, 1e12);
+    // Keep hit rates in-domain and cumulative.
+    double hr = rng.uniform(0, 0.9);
+    block.set(trace::BlockElement::HitRateL1, hr);
+    hr = std::min(1.0, hr + rng.uniform(0, 0.1));
+    block.set(trace::BlockElement::HitRateL2, hr);
+    block.set(trace::BlockElement::HitRateL3, std::min(1.0, hr + rng.uniform(0, 0.1)));
+
+    const std::size_t instrs = rng.below(6);
+    for (std::size_t k = 0; k < instrs; ++k) {
+      trace::InstructionRecord instr;
+      instr.index = static_cast<std::uint32_t>(k);
+      for (double& v : instr.features) v = rng.uniform(0.0, 1e9);
+      block.instructions.push_back(instr);
+    }
+    task.blocks.push_back(std::move(block));
+  }
+  task.sort_blocks();
+  // Duplicate ids can arise from the generator; drop duplicates to keep the
+  // structural invariant (unique, sorted ids).
+  task.blocks.erase(std::unique(task.blocks.begin(), task.blocks.end(),
+                                [](const auto& a, const auto& b) { return a.id == b.id; }),
+                    task.blocks.end());
+  return task;
+}
+
+class SerializationFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationFuzzTest, TextRoundTripsExactly) {
+  const TaskTrace task = random_trace(GetParam());
+  EXPECT_EQ(TaskTrace::from_text(task.to_text()), task);
+}
+
+TEST_P(SerializationFuzzTest, BinaryRoundTripsExactly) {
+  const TaskTrace task = random_trace(GetParam());
+  EXPECT_EQ(trace::from_binary(trace::to_binary(task)), task);
+}
+
+TEST_P(SerializationFuzzTest, FormatsAgree) {
+  const TaskTrace task = random_trace(GetParam());
+  EXPECT_EQ(TaskTrace::from_text(task.to_text()),
+            trace::from_binary(trace::to_binary(task)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ------------------------------------------------ extrapolation properties ----
+
+/// If every input trace is identical, every element series is constant and
+/// the extrapolation must reproduce the inputs exactly at any target.
+TEST(ExtrapolationPropertyTest, IdenticalInputsExtrapolateToThemselves) {
+  for (std::uint64_t seed : {7u, 19u, 42u}) {
+    TaskTrace base = random_trace(seed);
+    std::vector<TaskTrace> series;
+    for (std::uint32_t cores : {64u, 128u, 256u}) {
+      TaskTrace copy = base;
+      copy.core_count = cores;
+      series.push_back(std::move(copy));
+    }
+    const auto result = core::extrapolate_task(series, 1024);
+    ASSERT_EQ(result.trace.blocks.size(), base.blocks.size());
+    for (std::size_t b = 0; b < base.blocks.size(); ++b) {
+      for (std::size_t e = 0; e < trace::kBlockElementCount; ++e)
+        EXPECT_NEAR(result.trace.blocks[b].features[e], base.blocks[b].features[e],
+                    1e-9 * (1.0 + std::fabs(base.blocks[b].features[e])))
+            << "seed " << seed << " block " << b << " element " << e;
+    }
+    EXPECT_NEAR(result.report.worst_influential_error(), 0.0, 1e-9);
+  }
+}
+
+/// Extrapolating *to* the largest input count must reproduce that input
+/// (within fit error) — the interpolation consistency law.
+TEST(ExtrapolationPropertyTest, TargetAtLastInputReproducesIt) {
+  // Construct traces following smooth laws so fits are near-exact.
+  auto law_trace = [](double p) {
+    TaskTrace task;
+    task.app = "law";
+    task.core_count = static_cast<std::uint32_t>(p);
+    task.target_system = "t";
+    trace::BasicBlockRecord block;
+    block.id = 1;
+    block.location = {"a.c", 1, "k"};
+    block.set(trace::BlockElement::VisitCount, 7);
+    block.set(trace::BlockElement::MemLoads, 1e9 / p);
+    block.set(trace::BlockElement::BytesPerRef, 8);
+    block.set(trace::BlockElement::HitRateL1, 0.8);
+    block.set(trace::BlockElement::HitRateL2, 0.85);
+    block.set(trace::BlockElement::HitRateL3, 0.9);
+    block.set(trace::BlockElement::Ilp, 3);
+    block.set(trace::BlockElement::DepChainLength, 2);
+    task.blocks.push_back(block);
+    return task;
+  };
+  const std::vector<TaskTrace> series = {law_trace(128), law_trace(256), law_trace(512)};
+  // extrapolate_task requires target > inputs? No — any positive target.
+  const auto result = core::extrapolate_task(series, 512);
+  EXPECT_NEAR(result.trace.find_block(1)->get(trace::BlockElement::MemLoads), 1e9 / 512,
+              1e-3 * (1e9 / 512));
+}
+
+/// Scaling every input element by a constant scales the extrapolation by
+/// the same constant (linearity of least squares in y).
+TEST(ExtrapolationPropertyTest, HomogeneityInValues) {
+  auto make = [](double p, double scale) {
+    TaskTrace task;
+    task.app = "hom";
+    task.core_count = static_cast<std::uint32_t>(p);
+    task.target_system = "t";
+    trace::BasicBlockRecord block;
+    block.id = 1;
+    block.location = {"a.c", 1, "k"};
+    block.set(trace::BlockElement::MemLoads, scale * (1e6 + 300.0 * p));
+    block.set(trace::BlockElement::BytesPerRef, 8);
+    block.set(trace::BlockElement::Ilp, 2);
+    block.set(trace::BlockElement::DepChainLength, 2);
+    task.blocks.push_back(block);
+    return task;
+  };
+  const std::vector<TaskTrace> base = {make(128, 1), make(256, 1), make(512, 1)};
+  const std::vector<TaskTrace> scaled = {make(128, 3), make(256, 3), make(512, 3)};
+  const double a =
+      core::extrapolate_task(base, 2048).trace.find_block(1)->get(
+          trace::BlockElement::MemLoads);
+  const double b =
+      core::extrapolate_task(scaled, 2048).trace.find_block(1)->get(
+          trace::BlockElement::MemLoads);
+  EXPECT_NEAR(b, 3.0 * a, 1e-6 * b);
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,379 @@
+// Tests for the canonical-form fitting machinery — exact recovery of each
+// generating form, model selection, tie-breaking, domain failures, and the
+// leave-one-out extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <span>
+
+#include "stats/canonical.hpp"
+#include "stats/ols.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx {
+namespace {
+
+using stats::FitOptions;
+using stats::fit_form;
+using stats::FittedModel;
+using stats::Form;
+using stats::select_best;
+
+const std::vector<double> kCores = {1024, 2048, 4096};
+const std::vector<double> kCores5 = {256, 512, 1024, 2048, 4096};
+
+/// gtest parameter names must be alphanumeric; "inverse-p" is not.
+std::string sanitize(std::string name) {
+  for (char& ch : name)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return name;
+}
+
+std::vector<double> apply(Form form, std::span<const double> p, double a, double b,
+                          double c = 0.0) {
+  std::vector<double> y;
+  for (double pi : p) {
+    switch (form) {
+      case Form::Constant: y.push_back(a); break;
+      case Form::Linear: y.push_back(a + b * pi); break;
+      case Form::Logarithmic: y.push_back(a + b * std::log(pi)); break;
+      case Form::Exponential: y.push_back(a * std::exp(b * pi)); break;
+      case Form::Power: y.push_back(a * std::pow(pi, b)); break;
+      case Form::InverseP: y.push_back(a + b / pi); break;
+      case Form::Quadratic: y.push_back(a + b * pi + c * pi * pi); break;
+    }
+  }
+  return y;
+}
+
+// ------------------------------------------------------------------ OLS ----
+
+TEST(OlsTest, ExactLineRecovery) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};  // 1 + 2x
+  const auto fit = stats::fit_linear(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-18);
+}
+
+TEST(OlsTest, DegenerateXConstantY) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {5, 5, 5};
+  const auto fit = stats::fit_linear(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(OlsTest, DegenerateXVaryingYFails) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(stats::fit_linear(x, y).ok);
+}
+
+TEST(OlsTest, SinglePointNotOk) {
+  const std::vector<double> x = {1};
+  const std::vector<double> y = {1};
+  EXPECT_FALSE(stats::fit_linear(x, y).ok);
+}
+
+TEST(OlsTest, MismatchedSizesThrow) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(stats::fit_linear(x, y), util::Error);
+}
+
+TEST(OlsTest, PolynomialExactQuadratic) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {6, 17, 34, 57};  // 1 + 2x + 3x²
+  const auto coeffs = stats::fit_polynomial(x, y, 2);
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_NEAR(coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(coeffs[1], 2.0, 1e-9);
+  EXPECT_NEAR(coeffs[2], 3.0, 1e-9);
+}
+
+TEST(OlsTest, PolynomialUnderdeterminedEmpty) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2};
+  EXPECT_TRUE(stats::fit_polynomial(x, y, 2).empty());
+}
+
+TEST(OlsTest, SolveDenseSingularFails) {
+  std::vector<double> a = {1, 2, 2, 4};  // rank 1
+  std::vector<double> b = {1, 2};
+  std::vector<double> out(2);
+  EXPECT_FALSE(stats::solve_dense(a, b, out));
+}
+
+// ---------------------------------------------------- per-form recovery ----
+
+struct FormCase {
+  Form form;
+  double a, b, c;
+};
+
+class FormRecoveryTest : public ::testing::TestWithParam<FormCase> {};
+
+TEST_P(FormRecoveryTest, RecoversGeneratingParameters) {
+  const FormCase& fc = GetParam();
+  // Quadratic refuses under-determined (3-sample) inputs by design.
+  const std::vector<double>& cores = fc.form == Form::Quadratic ? kCores5 : kCores;
+  const auto y = apply(fc.form, cores, fc.a, fc.b, fc.c);
+  const FittedModel fit = fit_form(fc.form, cores, y);
+  ASSERT_TRUE(fit.ok) << stats::form_name(fc.form);
+  // Perfect data → near-zero residual and faithful evaluation at a new p.
+  EXPECT_LT(fit.sse, 1e-6 * (1.0 + fc.a * fc.a));
+  const double target = 8192;
+  const auto expected = apply(fc.form, std::vector<double>{target}, fc.a, fc.b, fc.c);
+  const double rel = std::fabs(fit.evaluate(target) - expected[0]) /
+                     std::max(std::fabs(expected[0]), 1e-12);
+  EXPECT_LT(rel, 1e-6) << stats::form_name(fc.form);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, FormRecoveryTest,
+    ::testing::Values(FormCase{Form::Constant, 7.5, 0, 0},
+                      FormCase{Form::Linear, 2.0, 0.003, 0},
+                      FormCase{Form::Logarithmic, 1.0, 0.25, 0},
+                      FormCase{Form::Exponential, 5.0, -0.0004, 0},
+                      FormCase{Form::Power, 3.0, -0.6667, 0},
+                      FormCase{Form::InverseP, 0.5, 2048.0, 0},
+                      FormCase{Form::Quadratic, 1.0, 0.001, 1e-7}),
+    [](const auto& info) { return sanitize(stats::form_name(info.param.form)); });
+
+// ------------------------------------------------------- model selection ----
+
+class SelectionTest : public ::testing::TestWithParam<FormCase> {};
+
+TEST_P(SelectionTest, PicksGeneratingFormOrEquivalent) {
+  const FormCase& fc = GetParam();
+  const auto y = apply(fc.form, kCores5, fc.a, fc.b, fc.c);
+  FitOptions opts;
+  opts.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+  const FittedModel best = select_best(kCores5, y, opts);
+  // The winner must reproduce the data essentially perfectly (another form
+  // may tie exactly — e.g. constant data fits every form).
+  for (std::size_t i = 0; i < kCores5.size(); ++i) {
+    const double rel = std::fabs(best.evaluate(kCores5[i]) - y[i]) /
+                       std::max(std::fabs(y[i]), 1e-12);
+    EXPECT_LT(rel, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, SelectionTest,
+    ::testing::Values(FormCase{Form::Constant, 7.5, 0, 0},
+                      FormCase{Form::Linear, 2.0, 0.003, 0},
+                      FormCase{Form::Logarithmic, 1.0, 0.25, 0},
+                      FormCase{Form::Exponential, 5.0, -0.0006, 0},
+                      FormCase{Form::Power, 3.0, 0.5, 0},
+                      FormCase{Form::InverseP, 0.5, 2048.0, 0},
+                      FormCase{Form::Quadratic, 1.0, 0.001, 1e-7}),
+    [](const auto& info) { return sanitize(stats::form_name(info.param.form)); });
+
+TEST(SelectionTest, ConstantDataPrefersConstantForm) {
+  const std::vector<double> y = {4.2, 4.2, 4.2};
+  const FittedModel best = select_best(kCores, y);
+  EXPECT_EQ(best.form, Form::Constant);
+  EXPECT_DOUBLE_EQ(best.params[0], 4.2);
+}
+
+TEST(SelectionTest, LinearDataPrefersLinearOverExponential) {
+  const auto y = apply(Form::Linear, kCores, 10.0, 0.01);
+  const FittedModel best = select_best(kCores, y);
+  EXPECT_EQ(best.form, Form::Linear);
+}
+
+TEST(SelectionTest, LogGrowthPicksLog) {
+  // The paper's Fig. 5: memory-op counts growing logarithmically.
+  const auto y = apply(Form::Logarithmic, kCores5, 1e9, 5e8);
+  const FittedModel best = select_best(kCores5, y);
+  EXPECT_EQ(best.form, Form::Logarithmic);
+}
+
+TEST(SelectionTest, MixedSignDataStillSelectsSomething) {
+  const std::vector<double> y = {-1.0, 0.5, 2.0};  // exp/power cannot fit
+  const FittedModel best = select_best(kCores, y);
+  EXPECT_TRUE(best.ok);
+}
+
+TEST(SelectionTest, SingleSampleFallsBackToConstant) {
+  const std::vector<double> p = {1024};
+  const std::vector<double> y = {3.0};
+  const FittedModel best = select_best(p, y);
+  EXPECT_EQ(best.form, Form::Constant);
+  EXPECT_DOUBLE_EQ(best.params[0], 3.0);
+  EXPECT_DOUBLE_EQ(best.evaluate(8192), 3.0);
+}
+
+TEST(SelectionTest, EmptyFormSetThrows) {
+  FitOptions opts;
+  opts.forms.clear();
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(select_best(kCores, y, opts), util::Error);
+}
+
+TEST(SelectionTest, RestrictedFormSetHonored) {
+  const auto y = apply(Form::Linear, kCores, 1.0, 0.01);
+  FitOptions opts;
+  opts.forms = {Form::Constant};
+  const FittedModel best = select_best(kCores, y, opts);
+  EXPECT_EQ(best.form, Form::Constant);
+}
+
+TEST(SelectionTest, LooCvUsedWithFourPlusPoints) {
+  // A noisy linear series: LOO-CV should still pick a sensible (low-order)
+  // model and never crash.
+  std::vector<double> y = apply(Form::Linear, kCores5, 5.0, 0.002);
+  y[2] *= 1.01;
+  FitOptions opts;
+  opts.loo_cv = true;
+  const FittedModel best = select_best(kCores5, y, opts);
+  EXPECT_TRUE(best.ok);
+  EXPECT_LT(std::fabs(best.evaluate(8192) - (5.0 + 0.002 * 8192)) / (5.0 + 0.002 * 8192),
+            0.05);
+}
+
+// ------------------------------------------------------------- domains ----
+
+TEST(FitFormTest, ExponentialRejectsMixedSigns) {
+  const std::vector<double> y = {-1.0, 1.0, 2.0};
+  EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
+}
+
+TEST(FitFormTest, ExponentialRejectsZeros) {
+  const std::vector<double> y = {0.0, 1.0, 2.0};
+  EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
+}
+
+TEST(FitFormTest, ExponentialHandlesAllNegative) {
+  const auto pos = apply(Form::Exponential, kCores, 5.0, -0.0004);
+  std::vector<double> neg;
+  for (double v : pos) neg.push_back(-v);
+  const FittedModel fit = fit_form(Form::Exponential, kCores, neg);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.evaluate(2048), -pos[1], std::fabs(pos[1]) * 1e-6);
+}
+
+TEST(FitFormTest, NonPositiveCoreCountThrows) {
+  const std::vector<double> p = {0, 1, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(fit_form(Form::Linear, p, y), util::Error);
+}
+
+TEST(FitFormTest, EvaluateClampsExponentialOverflow) {
+  FittedModel model;
+  model.form = Form::Exponential;
+  model.params = {1.0, 10.0, 0.0};  // e^(10·p) would overflow
+  EXPECT_TRUE(std::isfinite(model.evaluate(1e6)));
+}
+
+TEST(FitFormTest, R2IsOneForPerfectFit) {
+  const auto y = apply(Form::Linear, kCores, 1.0, 0.5);
+  const FittedModel fit = fit_form(Form::Linear, kCores, y);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitFormTest, DescribeNamesFormAndParams) {
+  const auto y = apply(Form::Linear, kCores, 1.0, 0.5);
+  const FittedModel fit = fit_form(Form::Linear, kCores, y);
+  const std::string desc = fit.describe();
+  EXPECT_NE(desc.find("linear"), std::string::npos);
+  EXPECT_NE(desc.find("a="), std::string::npos);
+}
+
+TEST(FitFormTest, PaperFormsAreTheFirstFour) {
+  const auto forms = stats::paper_forms();
+  ASSERT_EQ(forms.size(), 4u);
+  EXPECT_EQ(forms[0], Form::Constant);
+  EXPECT_EQ(forms[3], Form::Exponential);
+}
+
+TEST(FitFormTest, FormNamesDistinct) {
+  std::set<std::string> names;
+  for (Form form : stats::all_forms()) names.insert(stats::form_name(form));
+  EXPECT_EQ(names.size(), stats::all_forms().size());
+}
+
+TEST(FitFormTest, ParameterCounts) {
+  EXPECT_EQ(stats::form_parameter_count(Form::Constant), 1);
+  EXPECT_EQ(stats::form_parameter_count(Form::Linear), 2);
+  EXPECT_EQ(stats::form_parameter_count(Form::Quadratic), 3);
+}
+
+// ----------------------------------------------------- AICc & bootstrap ----
+
+TEST(AiccTest, PrefersSimplerModelOnNoisyFlatData) {
+  // Nearly flat, lightly noisy data over 6 points: AICc's complexity
+  // penalty should keep the constant form ahead of wigglier candidates.
+  const std::vector<double> p = {128, 256, 512, 1024, 2048, 4096};
+  const std::vector<double> y = {5.01, 4.98, 5.02, 4.99, 5.01, 5.00};
+  FitOptions opts;
+  opts.criterion = stats::SelectionCriterion::Aicc;
+  const FittedModel best = select_best(p, y, opts);
+  EXPECT_EQ(best.form, Form::Constant);
+}
+
+TEST(AiccTest, StillFindsStrongSignals) {
+  const auto y = apply(Form::Logarithmic, kCores5, 1e6, 3e5);
+  FitOptions opts;
+  opts.criterion = stats::SelectionCriterion::Aicc;
+  const FittedModel best = select_best(kCores5, y, opts);
+  for (std::size_t i = 0; i < kCores5.size(); ++i)
+    EXPECT_NEAR(best.evaluate(kCores5[i]), y[i], 1e-3 * y[i]);
+}
+
+TEST(AiccTest, UnderSampledFallsBackGracefully) {
+  // 3 points: AICc for 2-parameter forms is undefined; selection must still
+  // return a usable fit.
+  const auto y = apply(Form::Linear, kCores, 1.0, 0.01);
+  FitOptions opts;
+  opts.criterion = stats::SelectionCriterion::Aicc;
+  const FittedModel best = select_best(kCores, y, opts);
+  EXPECT_TRUE(best.ok);
+  EXPECT_NEAR(best.evaluate(2048), 1.0 + 0.01 * 2048, 1e-6);
+}
+
+TEST(BootstrapTest, IntervalCoversTruthOnNoisyLinear) {
+  util::Rng rng(99);
+  const std::vector<double> p = {256, 512, 1024, 2048, 4096};
+  std::vector<double> y;
+  for (double pi : p) y.push_back((2.0 + 0.001 * pi) * (1.0 + 0.01 * rng.normal()));
+  const auto interval = stats::bootstrap_interval(p, y, 8192);
+  const double truth = 2.0 + 0.001 * 8192;
+  EXPECT_LT(interval.lo, interval.hi);
+  EXPECT_GT(truth, interval.lo * 0.9);
+  EXPECT_LT(truth, interval.hi * 1.1);
+  EXPECT_GT(interval.point, interval.lo - 1e-12);
+  EXPECT_LT(interval.point, interval.hi + 1e-12);
+}
+
+TEST(BootstrapTest, NoiselessDataCollapsesInterval) {
+  const auto y = apply(Form::Linear, kCores5, 3.0, 0.002);
+  const auto interval = stats::bootstrap_interval(kCores5, y, 8192);
+  EXPECT_NEAR(interval.hi - interval.lo, 0.0, 1e-6 * interval.point);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  const std::vector<double> p = {256, 512, 1024};
+  const std::vector<double> y = {10.0, 5.2, 2.4};
+  const auto a = stats::bootstrap_interval(p, y, 4096, {}, 100, 0.9, 7);
+  const auto b = stats::bootstrap_interval(p, y, 4096, {}, 100, 0.9, 7);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, RejectsBadArguments) {
+  const std::vector<double> p = {256, 512};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(stats::bootstrap_interval(p, y, 1024, {}, 1), util::Error);
+  EXPECT_THROW(stats::bootstrap_interval(p, y, 1024, {}, 10, 1.5), util::Error);
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,293 @@
+// Unit tests for pmacx::util — error handling, deterministic RNG, string
+// helpers, table rendering, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pmacx {
+namespace {
+
+using util::Error;
+
+// ---------------------------------------------------------------- error ----
+
+TEST(ErrorTest, CheckThrowsWithLocationAndMessage) {
+  try {
+    PMACX_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(PMACX_CHECK(true, "never"));
+}
+
+TEST(ErrorTest, AssertThrowsErrorType) {
+  EXPECT_THROW(PMACX_ASSERT(false, "bug"), Error);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  util::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reachable
+}
+
+TEST(RngTest, BelowRejectsZero) {
+  util::Rng rng(9);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  util::Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaled) {
+  util::Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, DeriveSeedDistinctPerIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(util::derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(RngTest, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = util::splitmix64(s);
+  const std::uint64_t b = util::splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------- strings ----
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto fields = util::split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto fields = util::split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(util::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(util::starts_with("hello", "he"));
+  EXPECT_FALSE(util::starts_with("hello", "hello!"));
+  EXPECT_TRUE(util::starts_with("x", ""));
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(util::parse_double("3.25", "t"), 3.25);
+  EXPECT_DOUBLE_EQ(util::parse_double(" -1e3 ", "t"), -1000.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_THROW(util::parse_double("12x", "t"), Error);
+  EXPECT_THROW(util::parse_double("", "t"), Error);
+}
+
+TEST(StringsTest, ParseU64Valid) {
+  EXPECT_EQ(util::parse_u64("8192", "t"), 8192u);
+}
+
+TEST(StringsTest, ParseU64RejectsNegativeAndGarbage) {
+  EXPECT_THROW(util::parse_u64("-1", "t"), Error);
+  EXPECT_THROW(util::parse_u64("1.5", "t"), Error);
+}
+
+TEST(StringsTest, FormatBasic) {
+  EXPECT_EQ(util::format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(util::format("%.2f", 1.239), "1.24");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(util::human_bytes(512), "512.0 B");
+  EXPECT_EQ(util::human_bytes(2048), "2.0 KB");
+  EXPECT_EQ(util::human_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(StringsTest, HumanRateAndPercent) {
+  EXPECT_EQ(util::human_rate(2.0 * 1024 * 1024 * 1024), "2.0 GB/s");
+  EXPECT_EQ(util::human_percent(0.8735), "87.35%");
+  EXPECT_EQ(util::human_percent(0.05, 0), "5%");
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(TableTest, AsciiAlignsColumns) {
+  util::Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("alpha  1"), std::string::npos);
+  EXPECT_NE(ascii.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  util::Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(util::Table({}), Error);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  util::Table table({"x"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainCellsUnquoted) {
+  util::Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+// ------------------------------------------------------------------ cli ----
+
+TEST(CliTest, ParsesTypedOptions) {
+  util::Cli cli("prog", "test");
+  cli.add_string("name", "default", "a name");
+  cli.add_u64("count", 5, "a count");
+  cli.add_double("scale", 1.5, "a scale");
+  cli.add_flag("verbose", "chatty");
+
+  const char* argv[] = {"prog", "--name", "x", "--count=9", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_EQ(cli.get_u64("count"), 9u);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);  // default preserved
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(CliTest, UnknownOptionThrows) {
+  util::Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(CliTest, BadValueThrowsEagerly) {
+  util::Cli cli("prog", "test");
+  cli.add_u64("count", 5, "a count");
+  const char* argv[] = {"prog", "--count", "abc"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  util::Cli cli("prog", "test");
+  cli.add_u64("count", 5, "a count");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  util::Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, FlagRejectsValue) {
+  util::Cli cli("prog", "test");
+  cli.add_flag("v", "flag");
+  const char* argv[] = {"prog", "--v=1"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(CliTest, WrongTypeAccessThrows) {
+  util::Cli cli("prog", "test");
+  cli.add_u64("count", 5, "a count");
+  EXPECT_THROW(cli.get_string("count"), Error);
+  EXPECT_THROW(cli.get_u64("never-registered"), Error);
+}
+
+TEST(CliTest, HelpTextListsOptions) {
+  util::Cli cli("prog", "summary line");
+  cli.add_u64("count", 5, "how many");
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("summary line"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,180 @@
+// pmacx_extrapolate — synthesize a trace at a larger core count.
+//
+// Reads a series of trace files collected at increasing small core counts
+// (positional arguments), fits every feature-vector element with the
+// canonical forms, and writes the extrapolated trace for the target count —
+// the paper's Section IV as a command.
+//
+//   pmacx_extrapolate --target-cores 6144 --out s6144.trace \
+//       s96.trace s384.trace s1536.trace
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/comm_extrap.hpp"
+#include "core/extrapolator.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void usage() {
+  std::puts(
+      "pmacx_extrapolate — extrapolate a trace series to a larger core count\n"
+      "\n"
+      "usage: pmacx_extrapolate [options] <trace files, ascending core counts>\n"
+      "       pmacx_extrapolate --signatures [options] <signature dirs, ascending>\n"
+      "\n"
+      "options:\n"
+      "  --target-cores <n>     core count to extrapolate to (required)\n"
+      "  --signatures           inputs are signature directories (from\n"
+      "                         pmacx_trace --signature-dir); extrapolates the\n"
+      "                         communication timelines too and writes a full\n"
+      "                         signature directory to --out\n"
+      "  --out <file|dir>       output path (default: extrapolated.trace)\n"
+      "  --forms <set>          paper | default | all   (default: default)\n"
+      "  --missing <policy>     drop | zero | carry | fit-present (default: zero)\n"
+      "  --influence <frac>     influence threshold     (default: 0.001)\n"
+      "  --loo-cv               leave-one-out selection (needs >= 4 inputs)\n"
+      "  --report               print the fit-quality report\n"
+      "  --worst <n>            with --report, list the n worst elements\n"
+      "  --csv <file>           write the full per-element fit report as CSV\n"
+      "  --bootstrap <n>        attach n-resample 90% intervals to the report\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+
+  std::vector<std::string> inputs;
+  std::uint32_t target_cores = 0;
+  std::string out = "extrapolated.trace";
+  std::string forms = "default";
+  std::string missing = "zero";
+  double influence = 0.001;
+  bool loo = false, report = false, signatures = false;
+  std::uint64_t worst = 5;
+  std::string csv;
+  std::uint64_t bootstrap = 0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        PMACX_CHECK(i + 1 < argc, "option " + arg + " requires a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--target-cores") {
+        target_cores = static_cast<std::uint32_t>(util::parse_u64(value(), arg));
+      } else if (arg == "--out") {
+        out = value();
+      } else if (arg == "--forms") {
+        forms = value();
+      } else if (arg == "--missing") {
+        missing = value();
+      } else if (arg == "--influence") {
+        influence = util::parse_double(value(), arg);
+      } else if (arg == "--loo-cv") {
+        loo = true;
+      } else if (arg == "--signatures") {
+        signatures = true;
+      } else if (arg == "--report") {
+        report = true;
+      } else if (arg == "--worst") {
+        worst = util::parse_u64(value(), arg);
+      } else if (arg == "--csv") {
+        csv = value();
+      } else if (arg == "--bootstrap") {
+        bootstrap = util::parse_u64(value(), arg);
+      } else if (util::starts_with(arg, "--")) {
+        PMACX_CHECK(false, "unknown option " + arg);
+      } else {
+        inputs.push_back(arg);
+      }
+    }
+    PMACX_CHECK(target_cores > 0, "--target-cores is required");
+    PMACX_CHECK(inputs.size() >= 2, "need at least two inputs");
+
+    std::vector<trace::AppSignature> input_signatures;
+    std::vector<trace::TaskTrace> traces;
+    traces.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+      if (signatures) {
+        input_signatures.push_back(trace::AppSignature::load(path));
+        traces.push_back(input_signatures.back().demanding_task());
+      } else {
+        traces.push_back(trace::TaskTrace::load(path));
+      }
+      traces.back().validate();
+    }
+
+    core::ExtrapolationOptions options;
+    if (forms == "paper") {
+      options.fit.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+    } else if (forms == "all") {
+      options.fit.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+    } else {
+      PMACX_CHECK(forms == "default", "unknown --forms value '" + forms + "'");
+    }
+    if (missing == "drop") {
+      options.missing = core::MissingPolicy::Drop;
+    } else if (missing == "carry") {
+      options.missing = core::MissingPolicy::CarryLast;
+    } else if (missing == "fit-present") {
+      options.missing = core::MissingPolicy::FitPresent;
+    } else {
+      PMACX_CHECK(missing == "zero", "unknown --missing value '" + missing + "'");
+    }
+    options.influence_threshold = influence;
+    options.fit.loo_cv = loo;
+    options.bootstrap_resamples = bootstrap;
+
+    const auto result = core::extrapolate_task(traces, target_cores, options);
+    if (signatures) {
+      // Full-signature mode: extrapolate the communication side too and
+      // write a self-contained signature directory.
+      if (out == "extrapolated.trace") out = "extrapolated.sig";
+      const auto comm = core::extrapolate_comm(input_signatures, target_cores);
+      trace::AppSignature synthesized;
+      synthesized.app = result.trace.app;
+      synthesized.core_count = target_cores;
+      synthesized.target_system = result.trace.target_system;
+      synthesized.demanding_rank = result.trace.rank;
+      synthesized.tasks.push_back(result.trace);
+      synthesized.comm = comm.comm;
+      synthesized.save(out);
+      std::printf("extrapolated %zu blocks + %u comm timelines to %u cores -> %s\n",
+                  result.trace.blocks.size(), target_cores, target_cores, out.c_str());
+    } else {
+      result.trace.save(out);
+      std::printf("extrapolated %zu blocks to %u cores -> %s\n",
+                  result.trace.blocks.size(), target_cores, out.c_str());
+    }
+
+    if (!csv.empty()) {
+      std::ofstream out(csv, std::ios::trunc);
+      PMACX_CHECK(out.good(), "cannot open '" + csv + "' for writing");
+      out << result.report.to_csv();
+      std::printf("fit report CSV -> %s\n", csv.c_str());
+    }
+
+    if (report) {
+      std::printf("\n%s", result.report.summary().c_str());
+      std::printf("\nworst-fitting influential elements:\n");
+      for (const auto* fit : result.report.worst_elements(worst)) {
+        std::printf("  %-40s %-28s fit err %s\n", fit->key.describe().c_str(),
+                    fit->model.describe().c_str(),
+                    util::human_percent(fit->max_fit_rel_error, 1).c_str());
+      }
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_extrapolate: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+// pmacx_fit — fit canonical forms to a (core count, value) series.
+//
+// The paper's Figures 4 and 5 as a command: give it a series, it fits every
+// canonical form, prints the comparison, and evaluates the winner at the
+// requested core counts.
+//
+//   pmacx_fit --series "1024:0.36,2048:0.30,4096:0.22" --at 8192
+//   pmacx_fit --csv measurements.csv --at 8192 --forms all
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/canonical.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+/// Parses "p:v,p:v,..." pairs.
+void parse_series(const std::string& text, std::vector<double>& p, std::vector<double>& y) {
+  for (const std::string& pair : util::split(text, ',')) {
+    const auto fields = util::split(pair, ':');
+    PMACX_CHECK(fields.size() == 2, "series entries must be cores:value, got '" + pair + "'");
+    p.push_back(util::parse_double(fields[0], "cores"));
+    y.push_back(util::parse_double(fields[1], "value"));
+  }
+}
+
+/// Parses a two-column CSV (header line optional).
+void parse_csv(const std::string& path, std::vector<double>& p, std::vector<double>& y) {
+  std::ifstream in(path);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "'");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::split(trimmed, ',');
+    PMACX_CHECK(fields.size() >= 2, "csv rows need two columns: '" + line + "'");
+    try {
+      p.push_back(util::parse_double(fields[0], "cores"));
+      y.push_back(util::parse_double(fields[1], "value"));
+    } catch (const util::Error&) {
+      PMACX_CHECK(p.empty() && y.empty(), "malformed csv row: '" + line + "'");
+      // Header line: skip.
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("pmacx_fit", "fit canonical scaling forms to a measurement series");
+  cli.add_string("series", "", "inline series \"cores:value,cores:value,...\"");
+  cli.add_string("csv", "", "two-column csv file (cores,value)");
+  cli.add_string("at", "", "comma-separated core counts to evaluate the best fit at");
+  cli.add_string("forms", "default", "paper | default | all");
+  cli.add_flag("loo-cv", "leave-one-out selection (needs >= 4 points)");
+  cli.add_flag("aicc", "AICc selection (penalizes parameters; needs >= k+2 points)");
+  cli.add_u64("bootstrap", 0,
+              "residual-bootstrap resamples for a 90% interval at --at (0 = off)");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    std::vector<double> p, y;
+    if (!cli.get_string("series").empty()) parse_series(cli.get_string("series"), p, y);
+    if (!cli.get_string("csv").empty()) parse_csv(cli.get_string("csv"), p, y);
+    PMACX_CHECK(!p.empty(), "provide --series or --csv");
+
+    stats::FitOptions options;
+    const std::string forms = cli.get_string("forms");
+    if (forms == "paper") {
+      options.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+    } else if (forms == "all") {
+      options.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+    } else {
+      PMACX_CHECK(forms == "default", "unknown --forms value '" + forms + "'");
+    }
+    options.loo_cv = cli.get_flag("loo-cv");
+    if (cli.get_flag("aicc")) options.criterion = stats::SelectionCriterion::Aicc;
+
+    util::Table table({"Form", "Parameters", "SSE", "R2"});
+    for (const auto& fit : stats::fit_all(p, y, options)) {
+      table.add_row({stats::form_name(fit.form),
+                     fit.ok ? fit.describe() : "(cannot represent this data)",
+                     fit.ok ? util::format("%.4g", fit.sse) : "-",
+                     fit.ok ? util::format("%.6f", fit.r2) : "-"});
+    }
+    std::printf("%s", table.to_ascii().c_str());
+
+    const auto best = stats::select_best(p, y, options);
+    std::printf("\nbest fit: %s\n", best.describe().c_str());
+
+    if (!cli.get_string("at").empty()) {
+      const std::uint64_t resamples = cli.get_u64("bootstrap");
+      for (const std::string& target : util::split(cli.get_string("at"), ',')) {
+        const double cores = util::parse_double(target, "--at");
+        if (resamples > 0) {
+          const auto interval =
+              stats::bootstrap_interval(p, y, cores, options, resamples);
+          std::printf("  at %g cores: %.6g  (90%% interval [%.6g, %.6g])\n", cores,
+                      interval.point, interval.lo, interval.hi);
+        } else {
+          std::printf("  at %g cores: %.6g\n", cores, best.evaluate(cores));
+        }
+      }
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_fit: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,170 @@
+// pmacx_inspect — summarize a trace file, or diff two of them.
+//
+// Single-trace mode prints the header and the per-block feature table (the
+// paper's Fig. 2 view).  Diff mode compares two traces element-by-element —
+// exactly how the paper evaluates an extrapolated trace against one
+// collected at the same core count — and reports the worst-diverging
+// elements plus aggregate statistics.
+//
+//   pmacx_inspect s6144.trace
+//   pmacx_inspect --diff extrapolated.trace collected.trace
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "trace/task_trace.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+void summarize(const trace::TaskTrace& task) {
+  std::printf("app:          %s\n", task.app.c_str());
+  std::printf("rank:         %u of %u cores\n", task.rank, task.core_count);
+  std::printf("target:       %s\n", task.target_system.c_str());
+  std::printf("provenance:   %s\n", task.extrapolated ? "extrapolated" : "collected");
+  std::printf("blocks:       %zu\n", task.blocks.size());
+  std::printf("memory ops:   %.4g\n", task.total_memory_ops());
+  std::printf("fp ops:       %.4g\n", task.total_fp_ops());
+  std::printf("bytes moved:  %s\n\n", util::human_bytes(task.total_bytes_moved()).c_str());
+
+  util::Table table({"Block", "Location", "Visits", "Mem Ops", "FP Ops", "L1 HR", "L2 HR",
+                     "L3 HR", "Working Set", "Instrs"});
+  for (const auto& block : task.blocks) {
+    table.add_row({std::to_string(block.id),
+                   block.location.function + " @ " + block.location.file + ":" +
+                       std::to_string(block.location.line),
+                   util::format("%.3g", block.get(trace::BlockElement::VisitCount)),
+                   util::format("%.3g", block.memory_ops()),
+                   util::format("%.3g", block.fp_ops()),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL1), 1),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL2), 1),
+                   util::human_percent(block.get(trace::BlockElement::HitRateL3), 1),
+                   util::human_bytes(block.get(trace::BlockElement::WorkingSetBytes)),
+                   std::to_string(block.instructions.size())});
+  }
+  table.print(std::cout);
+}
+
+struct DiffEntry {
+  std::string label;
+  double a = 0.0;
+  double b = 0.0;
+  double rel = 0.0;
+};
+
+int diff(const trace::TaskTrace& a, const trace::TaskTrace& b, double threshold,
+         std::size_t worst_count) {
+  std::vector<DiffEntry> entries;
+  std::size_t only_a = 0, only_b = 0;
+
+  for (const auto& block_b : b.blocks)
+    if (a.find_block(block_b.id) == nullptr) ++only_b;
+
+  for (const auto& block_a : a.blocks) {
+    const auto* block_b = b.find_block(block_a.id);
+    if (block_b == nullptr) {
+      ++only_a;
+      continue;
+    }
+    for (std::size_t e = 0; e < trace::kBlockElementCount; ++e) {
+      DiffEntry entry;
+      entry.label = "block " + std::to_string(block_a.id) + " / " +
+                    trace::block_element_name(static_cast<trace::BlockElement>(e));
+      entry.a = block_a.features[e];
+      entry.b = block_b->features[e];
+      const double scale = std::max(std::fabs(entry.a), std::fabs(entry.b));
+      entry.rel = scale > 0 ? std::fabs(entry.a - entry.b) / scale : 0.0;
+      entries.push_back(std::move(entry));
+    }
+  }
+
+  std::vector<double> rels;
+  rels.reserve(entries.size());
+  for (const auto& entry : entries) rels.push_back(entry.rel);
+  const auto summary = stats::summarize(rels);
+
+  std::printf("compared %zu elements across %zu shared blocks "
+              "(%zu only in first, %zu only in second)\n\n",
+              entries.size(), a.blocks.size() - only_a, only_a, only_b);
+  std::printf("relative difference: mean %s, median %s, max %s\n\n",
+              util::human_percent(summary.mean, 2).c_str(),
+              util::human_percent(summary.median, 2).c_str(),
+              util::human_percent(summary.max, 2).c_str());
+
+  std::sort(entries.begin(), entries.end(),
+            [](const DiffEntry& x, const DiffEntry& y) { return x.rel > y.rel; });
+  util::Table table({"Element", "First", "Second", "Rel Diff"});
+  for (std::size_t i = 0; i < std::min(worst_count, entries.size()); ++i) {
+    const DiffEntry& entry = entries[i];
+    if (entry.rel == 0.0) break;
+    table.add_row({entry.label, util::format("%.6g", entry.a),
+                   util::format("%.6g", entry.b), util::human_percent(entry.rel, 2)});
+  }
+  if (table.rows() > 0) table.print(std::cout, "largest differences:");
+
+  return summary.max > threshold ? 2 : 0;
+}
+
+void usage() {
+  std::puts(
+      "pmacx_inspect — summarize a trace file, or diff two\n"
+      "\n"
+      "usage: pmacx_inspect <trace>\n"
+      "       pmacx_inspect --diff <first> <second> [--threshold <rel>] [--worst <n>]\n"
+      "\n"
+      "Diff mode exits 2 when the largest relative difference exceeds the\n"
+      "threshold (default 0.05), making it usable as a regression gate.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool diff_mode = false;
+  double threshold = 0.05;
+  std::size_t worst_count = 15;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        PMACX_CHECK(i + 1 < argc, "option " + arg + " requires a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--diff") {
+        diff_mode = true;
+      } else if (arg == "--threshold") {
+        threshold = util::parse_double(value(), arg);
+      } else if (arg == "--worst") {
+        worst_count = util::parse_u64(value(), arg);
+      } else if (util::starts_with(arg, "--")) {
+        PMACX_CHECK(false, "unknown option " + arg);
+      } else {
+        paths.push_back(arg);
+      }
+    }
+
+    if (diff_mode) {
+      PMACX_CHECK(paths.size() == 2, "--diff needs exactly two trace files");
+      return diff(trace::TaskTrace::load(paths[0]), trace::TaskTrace::load(paths[1]),
+                  threshold, worst_count);
+    }
+    PMACX_CHECK(paths.size() == 1, "give one trace file (or --diff with two)");
+    summarize(trace::TaskTrace::load(paths[0]));
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_inspect: %s\n", e.what());
+    return 1;
+  }
+}
