@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commextrap.dir/ablation_commextrap.cpp.o"
+  "CMakeFiles/ablation_commextrap.dir/ablation_commextrap.cpp.o.d"
+  "ablation_commextrap"
+  "ablation_commextrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commextrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

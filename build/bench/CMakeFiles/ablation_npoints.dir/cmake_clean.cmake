@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_npoints.dir/ablation_npoints.cpp.o"
+  "CMakeFiles/ablation_npoints.dir/ablation_npoints.cpp.o.d"
+  "ablation_npoints"
+  "ablation_npoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_npoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crossmachine.dir/ext_crossmachine.cpp.o"
+  "CMakeFiles/ext_crossmachine.dir/ext_crossmachine.cpp.o.d"
+  "ext_crossmachine"
+  "ext_crossmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crossmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

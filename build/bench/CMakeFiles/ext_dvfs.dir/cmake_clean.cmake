@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dvfs.dir/ext_dvfs.cpp.o"
+  "CMakeFiles/ext_dvfs.dir/ext_dvfs.cpp.o.d"
+  "ext_dvfs"
+  "ext_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

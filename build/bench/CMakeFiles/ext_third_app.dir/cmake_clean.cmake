@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_third_app.dir/ext_third_app.cpp.o"
+  "CMakeFiles/ext_third_app.dir/ext_third_app.cpp.o.d"
+  "ext_third_app"
+  "ext_third_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_third_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

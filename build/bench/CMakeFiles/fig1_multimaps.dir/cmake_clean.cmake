@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_multimaps.dir/fig1_multimaps.cpp.o"
+  "CMakeFiles/fig1_multimaps.dir/fig1_multimaps.cpp.o.d"
+  "fig1_multimaps"
+  "fig1_multimaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_multimaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

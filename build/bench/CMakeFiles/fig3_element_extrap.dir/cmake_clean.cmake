@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_element_extrap.dir/fig3_element_extrap.cpp.o"
+  "CMakeFiles/fig3_element_extrap.dir/fig3_element_extrap.cpp.o.d"
+  "fig3_element_extrap"
+  "fig3_element_extrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_element_extrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

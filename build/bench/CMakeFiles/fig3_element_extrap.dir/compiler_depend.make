@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_element_extrap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_l2_hitrate_fit.dir/fig4_l2_hitrate_fit.cpp.o"
+  "CMakeFiles/fig4_l2_hitrate_fit.dir/fig4_l2_hitrate_fit.cpp.o.d"
+  "fig4_l2_hitrate_fit"
+  "fig4_l2_hitrate_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_l2_hitrate_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_memops_fit.dir/fig5_memops_fit.cpp.o"
+  "CMakeFiles/fig5_memops_fit.dir/fig5_memops_fit.cpp.o.d"
+  "fig5_memops_fit"
+  "fig5_memops_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memops_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

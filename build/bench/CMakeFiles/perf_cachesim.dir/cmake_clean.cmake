@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cachesim.dir/perf_cachesim.cpp.o"
+  "CMakeFiles/perf_cachesim.dir/perf_cachesim.cpp.o.d"
+  "perf_cachesim"
+  "perf_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_extrapolation.dir/perf_extrapolation.cpp.o"
+  "CMakeFiles/perf_extrapolation.dir/perf_extrapolation.cpp.o.d"
+  "perf_extrapolation"
+  "perf_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fitting.dir/perf_fitting.cpp.o"
+  "CMakeFiles/perf_fitting.dir/perf_fitting.cpp.o.d"
+  "perf_fitting"
+  "perf_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

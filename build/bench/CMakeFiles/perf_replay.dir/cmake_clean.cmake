@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_replay.dir/perf_replay.cpp.o"
+  "CMakeFiles/perf_replay.dir/perf_replay.cpp.o.d"
+  "perf_replay"
+  "perf_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpmacx_bench_common.a"
+  "../lib/libpmacx_bench_common.pdb"
+  "CMakeFiles/pmacx_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pmacx_bench_common.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpmacx_bench_common.a"
+)

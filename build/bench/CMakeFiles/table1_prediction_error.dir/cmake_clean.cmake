@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_prediction_error.dir/table1_prediction_error.cpp.o"
+  "CMakeFiles/table1_prediction_error.dir/table1_prediction_error.cpp.o.d"
+  "table1_prediction_error"
+  "table1_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

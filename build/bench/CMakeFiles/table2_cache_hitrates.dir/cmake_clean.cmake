@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cache_hitrates.dir/table2_cache_hitrates.cpp.o"
+  "CMakeFiles/table2_cache_hitrates.dir/table2_cache_hitrates.cpp.o.d"
+  "table2_cache_hitrates"
+  "table2_cache_hitrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cache_hitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_l1_exploration.dir/table3_l1_exploration.cpp.o"
+  "CMakeFiles/table3_l1_exploration.dir/table3_l1_exploration.cpp.o.d"
+  "table3_l1_exploration"
+  "table3_l1_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_l1_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_extrapolation.dir/cluster_extrapolation.cpp.o"
+  "CMakeFiles/cluster_extrapolation.dir/cluster_extrapolation.cpp.o.d"
+  "cluster_extrapolation"
+  "cluster_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_mode.dir/hybrid_mode.cpp.o"
+  "CMakeFiles/hybrid_mode.dir/hybrid_mode.cpp.o.d"
+  "hybrid_mode"
+  "hybrid_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_scaling.dir/input_scaling.cpp.o"
+  "CMakeFiles/input_scaling.dir/input_scaling.cpp.o.d"
+  "input_scaling"
+  "input_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/align.cpp" "src/core/CMakeFiles/pmacx_core.dir/align.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/align.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/pmacx_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/comm_extrap.cpp" "src/core/CMakeFiles/pmacx_core.dir/comm_extrap.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/comm_extrap.cpp.o.d"
+  "/root/repo/src/core/extrapolator.cpp" "src/core/CMakeFiles/pmacx_core.dir/extrapolator.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/extrapolator.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pmacx_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/pmacx_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/pmacx_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmacx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmacx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/psins/CMakeFiles/pmacx_psins.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pmacx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmacx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/pmacx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmacx_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_core.dir/align.cpp.o"
+  "CMakeFiles/pmacx_core.dir/align.cpp.o.d"
+  "CMakeFiles/pmacx_core.dir/cluster.cpp.o"
+  "CMakeFiles/pmacx_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/pmacx_core.dir/comm_extrap.cpp.o"
+  "CMakeFiles/pmacx_core.dir/comm_extrap.cpp.o.d"
+  "CMakeFiles/pmacx_core.dir/extrapolator.cpp.o"
+  "CMakeFiles/pmacx_core.dir/extrapolator.cpp.o.d"
+  "CMakeFiles/pmacx_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pmacx_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pmacx_core.dir/report.cpp.o"
+  "CMakeFiles/pmacx_core.dir/report.cpp.o.d"
+  "libpmacx_core.a"
+  "libpmacx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

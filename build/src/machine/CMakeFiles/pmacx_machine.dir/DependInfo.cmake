@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/dvfs.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/dvfs.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/dvfs.cpp.o.d"
+  "/root/repo/src/machine/energy.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/energy.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/energy.cpp.o.d"
+  "/root/repo/src/machine/multimaps.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/multimaps.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/multimaps.cpp.o.d"
+  "/root/repo/src/machine/profile.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/profile.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/profile.cpp.o.d"
+  "/root/repo/src/machine/profile_io.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/profile_io.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/profile_io.cpp.o.d"
+  "/root/repo/src/machine/targets.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/targets.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/targets.cpp.o.d"
+  "/root/repo/src/machine/timing.cpp" "src/machine/CMakeFiles/pmacx_machine.dir/timing.cpp.o" "gcc" "src/machine/CMakeFiles/pmacx_machine.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmacx_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmacx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/pmacx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmacx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmacx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_machine.dir/dvfs.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/dvfs.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/energy.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/energy.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/multimaps.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/multimaps.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/profile.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/profile.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/profile_io.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/profile_io.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/targets.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/targets.cpp.o.d"
+  "CMakeFiles/pmacx_machine.dir/timing.cpp.o"
+  "CMakeFiles/pmacx_machine.dir/timing.cpp.o.d"
+  "libpmacx_machine.a"
+  "libpmacx_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/config.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/config.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/config.cpp.o.d"
+  "/root/repo/src/memsim/hierarchy.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/hierarchy.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/memsim/reuse.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/reuse.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/reuse.cpp.o.d"
+  "/root/repo/src/memsim/threaded.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/threaded.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/threaded.cpp.o.d"
+  "/root/repo/src/memsim/working_set.cpp" "src/memsim/CMakeFiles/pmacx_memsim.dir/working_set.cpp.o" "gcc" "src/memsim/CMakeFiles/pmacx_memsim.dir/working_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

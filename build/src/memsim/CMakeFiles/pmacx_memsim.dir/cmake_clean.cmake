@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_memsim.dir/cache.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/pmacx_memsim.dir/config.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/config.cpp.o.d"
+  "CMakeFiles/pmacx_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/pmacx_memsim.dir/reuse.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/reuse.cpp.o.d"
+  "CMakeFiles/pmacx_memsim.dir/threaded.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/threaded.cpp.o.d"
+  "CMakeFiles/pmacx_memsim.dir/working_set.cpp.o"
+  "CMakeFiles/pmacx_memsim.dir/working_set.cpp.o.d"
+  "libpmacx_memsim.a"
+  "libpmacx_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

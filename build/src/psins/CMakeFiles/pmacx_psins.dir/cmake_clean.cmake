@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_psins.dir/convolution.cpp.o"
+  "CMakeFiles/pmacx_psins.dir/convolution.cpp.o.d"
+  "CMakeFiles/pmacx_psins.dir/energy.cpp.o"
+  "CMakeFiles/pmacx_psins.dir/energy.cpp.o.d"
+  "CMakeFiles/pmacx_psins.dir/predictor.cpp.o"
+  "CMakeFiles/pmacx_psins.dir/predictor.cpp.o.d"
+  "CMakeFiles/pmacx_psins.dir/reference.cpp.o"
+  "CMakeFiles/pmacx_psins.dir/reference.cpp.o.d"
+  "libpmacx_psins.a"
+  "libpmacx_psins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_psins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

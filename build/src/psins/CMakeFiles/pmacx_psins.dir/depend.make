@@ -1,0 +1,2 @@
+# Empty dependencies file for pmacx_psins.
+# This may be replaced when dependencies are built.

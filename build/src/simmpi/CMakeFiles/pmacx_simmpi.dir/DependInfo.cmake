@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/network.cpp" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/network.cpp.o" "gcc" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/network.cpp.o.d"
+  "/root/repo/src/simmpi/profiler.cpp" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/profiler.cpp.o" "gcc" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/profiler.cpp.o.d"
+  "/root/repo/src/simmpi/replay.cpp" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/replay.cpp.o" "gcc" "src/simmpi/CMakeFiles/pmacx_simmpi.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmacx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

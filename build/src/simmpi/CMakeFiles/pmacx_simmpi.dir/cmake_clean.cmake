@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_simmpi.dir/network.cpp.o"
+  "CMakeFiles/pmacx_simmpi.dir/network.cpp.o.d"
+  "CMakeFiles/pmacx_simmpi.dir/profiler.cpp.o"
+  "CMakeFiles/pmacx_simmpi.dir/profiler.cpp.o.d"
+  "CMakeFiles/pmacx_simmpi.dir/replay.cpp.o"
+  "CMakeFiles/pmacx_simmpi.dir/replay.cpp.o.d"
+  "libpmacx_simmpi.a"
+  "libpmacx_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/canonical.cpp" "src/stats/CMakeFiles/pmacx_stats.dir/canonical.cpp.o" "gcc" "src/stats/CMakeFiles/pmacx_stats.dir/canonical.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/pmacx_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/pmacx_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/interp.cpp" "src/stats/CMakeFiles/pmacx_stats.dir/interp.cpp.o" "gcc" "src/stats/CMakeFiles/pmacx_stats.dir/interp.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/pmacx_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/pmacx_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/pmacx_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/pmacx_stats.dir/ols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

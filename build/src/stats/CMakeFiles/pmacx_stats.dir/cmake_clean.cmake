@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_stats.dir/canonical.cpp.o"
+  "CMakeFiles/pmacx_stats.dir/canonical.cpp.o.d"
+  "CMakeFiles/pmacx_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/pmacx_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/pmacx_stats.dir/interp.cpp.o"
+  "CMakeFiles/pmacx_stats.dir/interp.cpp.o.d"
+  "CMakeFiles/pmacx_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/pmacx_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/pmacx_stats.dir/ols.cpp.o"
+  "CMakeFiles/pmacx_stats.dir/ols.cpp.o.d"
+  "libpmacx_stats.a"
+  "libpmacx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/app.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/app.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/app.cpp.o.d"
+  "/root/repo/src/synth/hpcg.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/hpcg.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/hpcg.cpp.o.d"
+  "/root/repo/src/synth/kernel.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/kernel.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/kernel.cpp.o.d"
+  "/root/repo/src/synth/patterns.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/patterns.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/patterns.cpp.o.d"
+  "/root/repo/src/synth/registry.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/registry.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/registry.cpp.o.d"
+  "/root/repo/src/synth/specfem.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/specfem.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/specfem.cpp.o.d"
+  "/root/repo/src/synth/tracer.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/tracer.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/tracer.cpp.o.d"
+  "/root/repo/src/synth/uh3d.cpp" "src/synth/CMakeFiles/pmacx_synth.dir/uh3d.cpp.o" "gcc" "src/synth/CMakeFiles/pmacx_synth.dir/uh3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmacx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmacx_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/pmacx_simmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_synth.dir/app.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/app.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/hpcg.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/hpcg.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/kernel.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/kernel.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/patterns.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/patterns.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/registry.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/registry.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/specfem.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/specfem.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/tracer.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/tracer.cpp.o.d"
+  "CMakeFiles/pmacx_synth.dir/uh3d.cpp.o"
+  "CMakeFiles/pmacx_synth.dir/uh3d.cpp.o.d"
+  "libpmacx_synth.a"
+  "libpmacx_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

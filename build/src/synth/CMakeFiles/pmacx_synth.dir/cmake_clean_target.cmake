@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmacx_synth.a"
+)

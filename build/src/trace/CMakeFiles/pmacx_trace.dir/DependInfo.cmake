@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/block.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/block.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/block.cpp.o.d"
+  "/root/repo/src/trace/comm.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/comm.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/comm.cpp.o.d"
+  "/root/repo/src/trace/elements.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/elements.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/elements.cpp.o.d"
+  "/root/repo/src/trace/signature.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/signature.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/signature.cpp.o.d"
+  "/root/repo/src/trace/task_trace.cpp" "src/trace/CMakeFiles/pmacx_trace.dir/task_trace.cpp.o" "gcc" "src/trace/CMakeFiles/pmacx_trace.dir/task_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/pmacx_trace.dir/block.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/block.cpp.o.d"
+  "CMakeFiles/pmacx_trace.dir/comm.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/comm.cpp.o.d"
+  "CMakeFiles/pmacx_trace.dir/elements.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/elements.cpp.o.d"
+  "CMakeFiles/pmacx_trace.dir/signature.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/signature.cpp.o.d"
+  "CMakeFiles/pmacx_trace.dir/task_trace.cpp.o"
+  "CMakeFiles/pmacx_trace.dir/task_trace.cpp.o.d"
+  "libpmacx_trace.a"
+  "libpmacx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

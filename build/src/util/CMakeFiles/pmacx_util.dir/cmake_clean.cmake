@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmacx_util.dir/cli.cpp.o"
+  "CMakeFiles/pmacx_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pmacx_util.dir/error.cpp.o"
+  "CMakeFiles/pmacx_util.dir/error.cpp.o.d"
+  "CMakeFiles/pmacx_util.dir/log.cpp.o"
+  "CMakeFiles/pmacx_util.dir/log.cpp.o.d"
+  "CMakeFiles/pmacx_util.dir/rng.cpp.o"
+  "CMakeFiles/pmacx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pmacx_util.dir/strings.cpp.o"
+  "CMakeFiles/pmacx_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pmacx_util.dir/table.cpp.o"
+  "CMakeFiles/pmacx_util.dir/table.cpp.o.d"
+  "libpmacx_util.a"
+  "libpmacx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmacx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

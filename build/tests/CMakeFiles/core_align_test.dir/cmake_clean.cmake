@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_align_test.dir/core_align_test.cpp.o"
+  "CMakeFiles/core_align_test.dir/core_align_test.cpp.o.d"
+  "core_align_test"
+  "core_align_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

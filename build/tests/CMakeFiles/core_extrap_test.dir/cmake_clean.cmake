@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extrap_test.dir/core_extrap_test.cpp.o"
+  "CMakeFiles/core_extrap_test.dir/core_extrap_test.cpp.o.d"
+  "core_extrap_test"
+  "core_extrap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_cache_test.dir/memsim_cache_test.cpp.o"
+  "CMakeFiles/memsim_cache_test.dir/memsim_cache_test.cpp.o.d"
+  "memsim_cache_test"
+  "memsim_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

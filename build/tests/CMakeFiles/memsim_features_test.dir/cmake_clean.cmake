@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_features_test.dir/memsim_features_test.cpp.o"
+  "CMakeFiles/memsim_features_test.dir/memsim_features_test.cpp.o.d"
+  "memsim_features_test"
+  "memsim_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_hierarchy_test.dir/memsim_hierarchy_test.cpp.o"
+  "CMakeFiles/memsim_hierarchy_test.dir/memsim_hierarchy_test.cpp.o.d"
+  "memsim_hierarchy_test"
+  "memsim_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

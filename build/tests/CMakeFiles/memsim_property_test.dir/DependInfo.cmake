@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim_property_test.cpp" "tests/CMakeFiles/memsim_property_test.dir/memsim_property_test.cpp.o" "gcc" "tests/CMakeFiles/memsim_property_test.dir/memsim_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmacx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/psins/CMakeFiles/pmacx_psins.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pmacx_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pmacx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/pmacx_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pmacx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pmacx_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pmacx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmacx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_property_test.dir/memsim_property_test.cpp.o"
+  "CMakeFiles/memsim_property_test.dir/memsim_property_test.cpp.o.d"
+  "memsim_property_test"
+  "memsim_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_threaded_test.dir/memsim_threaded_test.cpp.o"
+  "CMakeFiles/memsim_threaded_test.dir/memsim_threaded_test.cpp.o.d"
+  "memsim_threaded_test"
+  "memsim_threaded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_threaded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psins_test.dir/psins_test.cpp.o"
+  "CMakeFiles/psins_test.dir/psins_test.cpp.o.d"
+  "psins_test"
+  "psins_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o"
+  "CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o.d"
+  "simmpi_test"
+  "simmpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_misc_test.dir/stats_misc_test.cpp.o"
+  "CMakeFiles/stats_misc_test.dir/stats_misc_test.cpp.o.d"
+  "stats_misc_test"
+  "stats_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

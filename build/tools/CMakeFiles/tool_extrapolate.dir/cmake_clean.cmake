@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_extrapolate.dir/pmacx_extrapolate.cpp.o"
+  "CMakeFiles/tool_extrapolate.dir/pmacx_extrapolate.cpp.o.d"
+  "pmacx_extrapolate"
+  "pmacx_extrapolate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_extrapolate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

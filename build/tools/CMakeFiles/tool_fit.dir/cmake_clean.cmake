@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_fit.dir/pmacx_fit.cpp.o"
+  "CMakeFiles/tool_fit.dir/pmacx_fit.cpp.o.d"
+  "pmacx_fit"
+  "pmacx_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_inspect.dir/pmacx_inspect.cpp.o"
+  "CMakeFiles/tool_inspect.dir/pmacx_inspect.cpp.o.d"
+  "pmacx_inspect"
+  "pmacx_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_predict.dir/pmacx_predict.cpp.o"
+  "CMakeFiles/tool_predict.dir/pmacx_predict.cpp.o.d"
+  "pmacx_predict"
+  "pmacx_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_trace.dir/pmacx_trace.cpp.o"
+  "CMakeFiles/tool_trace.dir/pmacx_trace.cpp.o.d"
+  "pmacx_trace"
+  "pmacx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
