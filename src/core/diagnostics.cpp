@@ -1,0 +1,46 @@
+#include "core/diagnostics.hpp"
+
+#include <sstream>
+
+namespace pmacx::core {
+
+void DiagnosticsReport::warn(std::string message) {
+  if (warnings.size() < kMaxWarnings) {
+    warnings.push_back(std::move(message));
+  } else {
+    ++suppressed_warnings;
+  }
+}
+
+void DiagnosticsReport::merge(const DiagnosticsReport& other) {
+  salvaged_blocks += other.salvaged_blocks;
+  lost_blocks += other.lost_blocks;
+  salvaged_files += other.salvaged_files;
+  fallback_fits += other.fallback_fits;
+  clamped_values += other.clamped_values;
+  suppressed_warnings += other.suppressed_warnings;
+  for (const std::string& warning : other.warnings) warn(warning);
+}
+
+bool DiagnosticsReport::clean() const {
+  return salvaged_blocks == 0 && lost_blocks == 0 && salvaged_files == 0 &&
+         fallback_fits == 0 && clamped_values == 0 && warnings.empty() &&
+         suppressed_warnings == 0;
+}
+
+std::string DiagnosticsReport::summary() const {
+  if (clean()) return "diagnostics: clean (no salvage, fallbacks, or clamps)\n";
+  std::ostringstream out;
+  out << "diagnostics:\n";
+  if (salvaged_files > 0)
+    out << "  salvaged files:   " << salvaged_files << " (" << salvaged_blocks
+        << " blocks recovered, " << lost_blocks << " lost)\n";
+  if (fallback_fits > 0) out << "  fallback fits:    " << fallback_fits << "\n";
+  if (clamped_values > 0) out << "  clamped values:   " << clamped_values << "\n";
+  for (const std::string& warning : warnings) out << "  warning: " << warning << "\n";
+  if (suppressed_warnings > 0)
+    out << "  (+" << suppressed_warnings << " further warnings suppressed)\n";
+  return out.str();
+}
+
+}  // namespace pmacx::core

@@ -1,0 +1,58 @@
+// Per-run degradation accounting.
+//
+// The pipeline is designed to *degrade* rather than abort on imperfect
+// input: damaged binary traces are salvaged block-by-block, failed or
+// non-finite canonical fits fall back to the constant form, and
+// out-of-domain extrapolations are clamped.  Each of those recoveries is
+// silent at the point it happens — which is exactly how a corrupted trace
+// poisons a Table I prediction unnoticed.  DiagnosticsReport is the ledger:
+// every layer records what it salvaged, substituted, or clamped, the
+// pipeline merges the ledgers, and the tools print them so a run that
+// degraded is visibly different from a clean one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmacx::core {
+
+/// Counts of every graceful-degradation event in one run, plus a bounded
+/// list of human-readable warnings describing the first offenders.
+struct DiagnosticsReport {
+  /// Warnings kept verbatim; beyond this only the count grows.
+  static constexpr std::size_t kMaxWarnings = 32;
+
+  /// Blocks recovered from damaged trace files via salvage loading.
+  std::size_t salvaged_blocks = 0;
+  /// Blocks the damaged files declared but salvage could not recover.
+  std::uint64_t lost_blocks = 0;
+  /// Input files that needed salvage at all.
+  std::size_t salvaged_files = 0;
+  /// Element fits where no canonical form produced a usable (finite)
+  /// extrapolation and the constant fallback was substituted.
+  std::size_t fallback_fits = 0;
+  /// Extrapolated values clamped back into their element's domain
+  /// (negative counts floored, rates clipped to [0, 1]).
+  std::size_t clamped_values = 0;
+
+  std::vector<std::string> warnings;
+  /// Warnings dropped after `warnings` filled up.
+  std::size_t suppressed_warnings = 0;
+
+  /// Records a warning, keeping at most kMaxWarnings verbatim.
+  void warn(std::string message);
+
+  /// Accumulates another report (e.g. per-file salvage into the run total).
+  void merge(const DiagnosticsReport& other);
+
+  /// True when nothing degraded — every input parsed cleanly and every fit
+  /// extrapolated in-domain.
+  bool clean() const;
+
+  /// Multi-line human-readable account ("clean" collapses to one line).
+  std::string summary() const;
+};
+
+}  // namespace pmacx::core

@@ -95,6 +95,23 @@ stats::FittedModel select_model(std::span<const double> core_counts,
   return stats::select_best(core_counts, values, options.fit);
 }
 
+/// Last-resort model when no canonical form yields a finite extrapolation:
+/// a constant through the mean of the finite samples (0 when none are).
+stats::FittedModel constant_fallback(std::span<const double> values) {
+  double sum = 0.0;
+  std::size_t finite = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    ++finite;
+  }
+  stats::FittedModel model;
+  model.form = stats::Form::Constant;
+  model.params = {finite > 0 ? sum / static_cast<double>(finite) : 0.0, 0.0, 0.0};
+  model.ok = true;
+  return model;
+}
+
 /// max_i |fit(p_i) - y_i| / |y_i|, with a scale-aware denominator floor so
 /// zero-valued samples don't blow the metric up.
 double max_fit_relative_error(const stats::FittedModel& model,
@@ -232,10 +249,23 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
       }
     }
 
-    const stats::FittedModel model =
+    stats::FittedModel model =
         select_model(fit_axis, fit_values, target, domain, options);
-    const double raw = model.evaluate(target);
+    double raw = model.evaluate(target);
+    if (!model.ok || !std::isfinite(raw)) {
+      // Graceful degradation: no canonical form produced a usable
+      // extrapolation (degenerate series, overflowed evaluation).  Rather
+      // than poisoning the synthetic trace with a non-finite value, fall
+      // back to the constant form through the mean of the finite samples
+      // and record the substitution.
+      model = constant_fallback(fit_values);
+      raw = model.evaluate(target);
+      ++result.diagnostics.fallback_fits;
+      result.diagnostics.warn(element.key.describe() +
+                              ": no finite canonical fit; using constant fallback");
+    }
     const double clamped = clamp_value(domain, raw, options.round_counts);
+    if (clamped != raw) ++result.diagnostics.clamped_values;
 
     trace::BasicBlockRecord* block = block_index.at(element.key.block_id);
     if (element.key.is_block_level()) {

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "core/align.hpp"
+#include "core/diagnostics.hpp"
 #include "core/report.hpp"
 #include "stats/canonical.hpp"
 #include "trace/task_trace.hpp"
@@ -46,10 +47,12 @@ struct ExtrapolationOptions {
   bool reject_out_of_domain = true;
 };
 
-/// Result of one extrapolation: the synthetic trace plus the fit report.
+/// Result of one extrapolation: the synthetic trace plus the fit report
+/// and the degradation ledger (fallback fits, clamped values).
 struct ExtrapolationResult {
   trace::TaskTrace trace;
   FitReport report;
+  DiagnosticsReport diagnostics;
 };
 
 /// Extrapolates the series of traces (strictly increasing core counts, ≥ 2,

@@ -51,6 +51,11 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
   ExtrapolationResult extrapolated =
       extrapolate_task(series, config.target_core_count, config.extrapolation);
   result.report = std::move(extrapolated.report);
+  result.diagnostics.merge(extrapolated.diagnostics);
+  if (!result.diagnostics.clean())
+    PMACX_LOG_WARN << app.name() << ": extrapolation degraded — "
+                   << result.diagnostics.fallback_fits << " fallback fits, "
+                   << result.diagnostics.clamped_values << " clamped values";
 
   // 3. Assemble the synthetic signature and predict.
   trace::AppSignature& synthetic = result.extrapolated_signature;

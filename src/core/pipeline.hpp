@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "core/extrapolator.hpp"
 #include "machine/profile.hpp"
 #include "psins/predictor.hpp"
@@ -50,6 +51,10 @@ struct PipelineConfig {
 struct PipelineResult {
   std::vector<trace::AppSignature> small_signatures;
   FitReport report;                             ///< extrapolation fit quality
+  /// Degradation ledger for the whole run (salvaged inputs, fallback fits,
+  /// clamped values).  A non-clean report means the prediction rests on
+  /// recovered or substituted data — check it before trusting Table I rows.
+  DiagnosticsReport diagnostics;
   trace::AppSignature extrapolated_signature;   ///< synthetic, at target count
   psins::PredictionResult prediction_from_extrapolated;
   std::optional<trace::AppSignature> collected_signature;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse_error.hpp"
 #include "util/strings.hpp"
 
 namespace pmacx::machine {
@@ -61,11 +62,16 @@ std::string profile_to_text(const MachineProfile& profile) {
   return out.str();
 }
 
-MachineProfile profile_from_text(const std::string& text) {
+namespace {
+
+/// Parse core; `line_number` tracks progress so the wrapper can report the
+/// line any check failure happened on.
+MachineProfile parse_profile_text(const std::string& text, int& line_number) {
   std::istringstream in(text);
   std::string line;
   auto next = [&](const char* what) {
     while (std::getline(in, line)) {
+      ++line_number;
       if (!line.empty()) return util::split(line, '\t');
     }
     PMACX_CHECK(false, std::string("unexpected end of profile reading ") + what);
@@ -162,6 +168,22 @@ MachineProfile profile_from_text(const std::string& text) {
   return MachineProfile{std::move(sys), std::move(surface), std::move(timing)};
 }
 
+}  // namespace
+
+MachineProfile profile_from_text(const std::string& text) {
+  int line_number = 0;
+  try {
+    return parse_profile_text(text, line_number);
+  } catch (const util::ParseError&) {
+    throw;
+  } catch (const util::Error& e) {
+    // Uniform taxonomy: corrupt profiles surface as ParseError with the
+    // line the parser had reached.
+    throw util::ParseError("", util::ParseError::kNoOffset,
+                           "line " + std::to_string(line_number), e.what());
+  }
+}
+
 void save_profile(const MachineProfile& profile, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
@@ -174,7 +196,9 @@ MachineProfile load_profile(const std::string& path) {
   PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return profile_from_text(buffer.str());
+  const std::string text = buffer.str();
+  // Attach the path to parse errors — profile_from_text cannot know it.
+  return util::with_parse_context(path, [&] { return profile_from_text(text); });
 }
 
 }  // namespace pmacx::machine

@@ -1,16 +1,33 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/parse_error.hpp"
 
 namespace pmacx::trace {
 namespace {
 
 // The format assumes a little-endian host (x86-64/aarch64); a big-endian
 // port would need byte swaps here.
+
+// v002 section tags.
+constexpr std::uint32_t kSectionHeader = 'H';
+constexpr std::uint32_t kSectionBlock = 'B';
+constexpr std::uint32_t kSectionEnd = 'E';
+
+// Per-section overhead: tag (u32) + payload size (u64) + CRC32 (u32).
+constexpr std::size_t kSectionFrameBytes = 4 + 8 + 4;
+
+// Smallest possible encodings, used to bounds-check declared counts before
+// reserving: a corrupted count must be caught here, not in the allocator.
+constexpr std::size_t kMinInstrBytes = 4 + sizeof(double) * kInstrElementCount;
+constexpr std::size_t kMinBlockBytes =
+    8 + 4 + 4 + 4 + sizeof(double) * kBlockElementCount + 8;
 
 class Writer {
  public:
@@ -24,115 +41,315 @@ class Writer {
     u32(static_cast<std::uint32_t>(s.size()));
     raw(s.data(), s.size());
   }
+  /// Appends a framed v002 section: tag, size, CRC32, payload.
+  void section(std::uint32_t tag, const std::string& payload) {
+    u32(tag);
+    u64(payload.size());
+    u32(util::crc32(payload));
+    raw(payload.data(), payload.size());
+  }
   std::string take() { return std::move(buffer_); }
 
  private:
   std::string buffer_;
 };
 
+/// Bounded reader over a byte range.  Every failure throws ParseError with
+/// the *absolute* byte offset (sub-readers over section payloads carry
+/// their base offset) and the name of the section being read.
 class Reader {
  public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+  Reader(const char* data, std::size_t size, std::size_t base_offset,
+         const char* section)
+      : data_(data), size_(size), base_(base_offset), section_(section) {}
 
-  void raw(void* out, std::size_t size) {
-    PMACX_CHECK(offset_ + size <= bytes_.size(), "binary trace truncated");
-    std::memcpy(out, bytes_.data() + offset_, size);
+  explicit Reader(const std::string& bytes)
+      : Reader(bytes.data(), bytes.size(), 0, "file") {}
+
+  void set_section(const char* section) { section_ = section; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw util::ParseError("", base_ + offset_, section_, message);
+  }
+
+  void need(std::size_t size, const char* what) const {
+    if (size_ - offset_ < size)
+      fail(std::string("truncated reading ") + what + " (need " +
+           std::to_string(size) + " bytes, " + std::to_string(size_ - offset_) +
+           " remain)");
+  }
+
+  void raw(void* out, std::size_t size, const char* what) {
+    need(size, what);
+    std::memcpy(out, data_ + offset_, size);
     offset_ += size;
   }
-  std::uint32_t u32() {
+  std::uint32_t u32(const char* what) {
     std::uint32_t v;
-    raw(&v, sizeof v);
+    raw(&v, sizeof v, what);
     return v;
   }
-  std::uint64_t u64() {
+  std::uint64_t u64(const char* what) {
     std::uint64_t v;
-    raw(&v, sizeof v);
+    raw(&v, sizeof v, what);
     return v;
   }
-  double f64() {
+  double f64(const char* what) {
     double v;
-    raw(&v, sizeof v);
+    raw(&v, sizeof v, what);
     return v;
   }
-  std::string str() {
-    const std::uint32_t size = u32();
-    PMACX_CHECK(offset_ + size <= bytes_.size(), "binary trace truncated in string");
-    std::string s = bytes_.substr(offset_, size);
+  std::string str(const char* what) {
+    const std::uint32_t size = u32(what);
+    need(size, what);
+    std::string s(data_ + offset_, size);
     offset_ += size;
     return s;
   }
-  bool exhausted() const { return offset_ == bytes_.size(); }
+
+  /// A sub-reader bounded to the next `size` bytes (a section payload);
+  /// advances this reader past them.
+  Reader sub(std::size_t size, const char* section) {
+    need(size, section);
+    Reader r(data_ + offset_, size, base_ + offset_, section);
+    offset_ += size;
+    return r;
+  }
+
+  const char* cursor() const { return data_ + offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  std::size_t absolute_offset() const { return base_ + offset_; }
+  bool exhausted() const { return offset_ == size_; }
 
  private:
-  const std::string& bytes_;
+  const char* data_;
+  std::size_t size_;
+  std::size_t base_;
+  const char* section_;
   std::size_t offset_ = 0;
 };
 
-}  // namespace
-
-bool looks_binary(const std::string& bytes) {
-  return bytes.size() >= sizeof(kBinaryMagic) &&
-         std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+void write_block(Writer& w, const BasicBlockRecord& block) {
+  w.u64(block.id);
+  w.str(block.location.file);
+  w.u32(block.location.line);
+  w.str(block.location.function);
+  for (double v : block.features) w.f64(v);
+  w.u64(block.instructions.size());
+  for (const auto& instr : block.instructions) {
+    w.u32(instr.index);
+    for (double v : instr.features) w.f64(v);
+  }
 }
 
-std::string to_binary(const TaskTrace& task) {
-  Writer w;
-  w.raw(kBinaryMagic, sizeof(kBinaryMagic));
+BasicBlockRecord read_block(Reader& r) {
+  BasicBlockRecord block;
+  block.id = r.u64("block id");
+  block.location.file = r.str("block source file");
+  block.location.line = r.u32("block line");
+  block.location.function = r.str("block function");
+  for (double& v : block.features) v = r.f64("block feature");
+  const std::uint64_t instr_count = r.u64("instruction count");
+  if (instr_count > r.remaining() / kMinInstrBytes)
+    r.fail("instruction count " + std::to_string(instr_count) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  block.instructions.reserve(instr_count);
+  for (std::uint64_t k = 0; k < instr_count; ++k) {
+    InstructionRecord instr;
+    instr.index = r.u32("instruction index");
+    for (double& v : instr.features) v = r.f64("instruction feature");
+    block.instructions.push_back(std::move(instr));
+  }
+  return block;
+}
+
+void write_task_header(Writer& w, const TaskTrace& task) {
   w.str(task.app);
   w.u32(task.rank);
   w.u32(task.core_count);
   w.str(task.target_system);
   w.u32(task.extrapolated ? 1 : 0);
   w.u64(task.blocks.size());
-  for (const auto& block : task.blocks) {
-    w.u64(block.id);
-    w.str(block.location.file);
-    w.u32(block.location.line);
-    w.str(block.location.function);
-    for (double v : block.features) w.f64(v);
-    w.u64(block.instructions.size());
-    for (const auto& instr : block.instructions) {
-      w.u32(instr.index);
-      for (double v : instr.features) w.f64(v);
+}
+
+std::uint64_t read_task_header(Reader& r, TaskTrace& task) {
+  task.app = r.str("app name");
+  task.rank = r.u32("rank");
+  task.core_count = r.u32("core count");
+  task.target_system = r.str("target system");
+  task.extrapolated = r.u32("extrapolated flag") != 0;
+  return r.u64("block count");
+}
+
+/// Reads one v002 section frame, validates the declared size against the
+/// remaining input and the payload against its CRC, and returns a bounded
+/// payload reader.
+Reader read_section(Reader& r, std::uint32_t expected_tag, const char* section) {
+  r.set_section(section);
+  const std::uint32_t tag = r.u32("section tag");
+  if (tag != expected_tag)
+    r.fail("unexpected section tag " + std::to_string(tag) + " (expected " +
+           std::to_string(expected_tag) + ")");
+  const std::uint64_t size = r.u64("section size");
+  if (size > r.remaining())
+    r.fail("declared section size " + std::to_string(size) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  const std::uint32_t declared_crc = r.u32("section checksum");
+  const std::uint32_t actual_crc = util::crc32(r.cursor(), size);
+  if (actual_crc != declared_crc)
+    r.fail("checksum mismatch (stored " + std::to_string(declared_crc) +
+           ", computed " + std::to_string(actual_crc) + ")");
+  return r.sub(static_cast<std::size_t>(size), section);
+}
+
+/// Parses the v001 layout (everything after the magic is one unframed
+/// record stream).  When `salvage` is set, block-level errors stop the
+/// parse and keep the blocks read so far instead of propagating.
+TaskTrace parse_v001(Reader& r, SalvageReport* salvage) {
+  TaskTrace task;
+  r.set_section("v001 header");
+  const std::uint64_t block_count = read_task_header(r, task);
+  const std::uint64_t fit_count = r.remaining() / kMinBlockBytes;
+  if (block_count > fit_count && salvage == nullptr)
+    r.fail("block count " + std::to_string(block_count) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  if (salvage != nullptr) salvage->blocks_expected = block_count;
+  task.blocks.reserve(std::min(block_count, fit_count));
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    r.set_section("v001 block record");
+    if (salvage == nullptr) {
+      task.blocks.push_back(read_block(r));
+      continue;
+    }
+    try {
+      task.blocks.push_back(read_block(r));
+      ++salvage->blocks_recovered;
+    } catch (const util::ParseError& e) {
+      salvage->used = true;
+      salvage->error = e.what();
+      task.sort_blocks();
+      return task;
     }
   }
+  r.set_section("v001 trailer");
+  if (!r.exhausted()) r.fail("trailing bytes after binary trace");
+  task.sort_blocks();
+  return task;
+}
+
+/// Parses the sectioned v002 layout.  The header section must be intact
+/// (there is nothing to salvage without it); with `salvage` set, damage in
+/// any later section keeps all blocks recovered up to that point.
+TaskTrace parse_v002(Reader& r, SalvageReport* salvage) {
+  TaskTrace task;
+  Reader header = read_section(r, kSectionHeader, "header section");
+  const std::uint64_t block_count = read_task_header(header, task);
+  if (!header.exhausted()) header.fail("trailing bytes in header section");
+  // The declared count bounds reserve(); a count the remaining bytes cannot
+  // possibly hold is fatal in strict mode, while salvage mode clamps the
+  // pre-allocation and recovers whatever blocks actually follow.
+  const std::uint64_t fit_count = r.remaining() / (kSectionFrameBytes + kMinBlockBytes);
+  if (block_count > fit_count && salvage == nullptr)
+    r.fail("block count " + std::to_string(block_count) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  if (salvage != nullptr) salvage->blocks_expected = block_count;
+  task.blocks.reserve(std::min(block_count, fit_count));
+
+  auto read_body = [&](auto on_error) {
+    for (std::uint64_t b = 0; b < block_count; ++b) {
+      try {
+        Reader payload = read_section(r, kSectionBlock, "block section");
+        task.blocks.push_back(read_block(payload));
+        if (!payload.exhausted()) payload.fail("trailing bytes in block section");
+      } catch (const util::ParseError& e) {
+        on_error(e);
+        return;
+      }
+      if (salvage != nullptr) ++salvage->blocks_recovered;
+    }
+    try {
+      Reader end = read_section(r, kSectionEnd, "end marker");
+      if (!end.exhausted()) end.fail("non-empty end marker");
+      r.set_section("v002 trailer");
+      if (!r.exhausted()) r.fail("trailing bytes after binary trace");
+    } catch (const util::ParseError& e) {
+      on_error(e);
+    }
+  };
+
+  if (salvage == nullptr) {
+    read_body([](const util::ParseError& e) -> void { throw e; });
+  } else {
+    read_body([&](const util::ParseError& e) {
+      salvage->used = true;
+      salvage->error = e.what();
+    });
+  }
+  task.sort_blocks();
+  return task;
+}
+
+bool has_magic(const std::string& bytes, const char (&magic)[8]) {
+  return bytes.size() >= sizeof magic &&
+         std::memcmp(bytes.data(), magic, sizeof magic) == 0;
+}
+
+TaskTrace parse_binary(const std::string& bytes, SalvageReport* salvage) {
+  if (!looks_binary(bytes))
+    throw util::ParseError("", 0, "magic", "not a pmacx binary trace");
+  Reader r(bytes);
+  char magic[sizeof(kBinaryMagicV002)];
+  r.set_section("magic");
+  r.raw(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kBinaryMagicV001, sizeof magic) == 0)
+    return parse_v001(r, salvage);
+  return parse_v002(r, salvage);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+bool looks_binary(const std::string& bytes) {
+  return has_magic(bytes, kBinaryMagicV001) || has_magic(bytes, kBinaryMagicV002);
+}
+
+std::string to_binary(const TaskTrace& task) {
+  Writer w;
+  w.raw(kBinaryMagicV002, sizeof(kBinaryMagicV002));
+  Writer header;
+  write_task_header(header, task);
+  w.section(kSectionHeader, header.take());
+  for (const auto& block : task.blocks) {
+    Writer payload;
+    write_block(payload, block);
+    w.section(kSectionBlock, payload.take());
+  }
+  w.section(kSectionEnd, std::string());
+  return w.take();
+}
+
+std::string to_binary_v001(const TaskTrace& task) {
+  Writer w;
+  w.raw(kBinaryMagicV001, sizeof(kBinaryMagicV001));
+  write_task_header(w, task);
+  for (const auto& block : task.blocks) write_block(w, block);
   return w.take();
 }
 
 TaskTrace from_binary(const std::string& bytes) {
-  PMACX_CHECK(looks_binary(bytes), "not a pmacx binary trace");
-  Reader r(bytes);
-  char magic[sizeof(kBinaryMagic)];
-  r.raw(magic, sizeof magic);
+  return parse_binary(bytes, nullptr);
+}
 
-  TaskTrace task;
-  task.app = r.str();
-  task.rank = r.u32();
-  task.core_count = r.u32();
-  task.target_system = r.str();
-  task.extrapolated = r.u32() != 0;
-  const std::uint64_t block_count = r.u64();
-  task.blocks.reserve(block_count);
-  for (std::uint64_t b = 0; b < block_count; ++b) {
-    BasicBlockRecord block;
-    block.id = r.u64();
-    block.location.file = r.str();
-    block.location.line = r.u32();
-    block.location.function = r.str();
-    for (double& v : block.features) v = r.f64();
-    const std::uint64_t instr_count = r.u64();
-    block.instructions.reserve(instr_count);
-    for (std::uint64_t k = 0; k < instr_count; ++k) {
-      InstructionRecord instr;
-      instr.index = r.u32();
-      for (double& v : instr.features) v = r.f64();
-      block.instructions.push_back(std::move(instr));
-    }
-    task.blocks.push_back(std::move(block));
-  }
-  PMACX_CHECK(r.exhausted(), "trailing bytes after binary trace");
-  task.sort_blocks();
-  return task;
+TaskTrace salvage_binary(const std::string& bytes, SalvageReport& report) {
+  report = SalvageReport{};
+  return parse_binary(bytes, &report);
 }
 
 void save_binary(const TaskTrace& task, const std::string& path) {
@@ -144,11 +361,17 @@ void save_binary(const TaskTrace& task, const std::string& path) {
 }
 
 TaskTrace load_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return from_binary(buffer.str());
+  const std::string bytes = read_file(path);
+  return util::with_parse_context(path, [&] { return from_binary(bytes); });
+}
+
+TaskTrace load_salvage(const std::string& path, SalvageReport& report) {
+  report = SalvageReport{};
+  const std::string bytes = read_file(path);
+  return util::with_parse_context(path, [&] {
+    if (looks_binary(bytes)) return salvage_binary(bytes, report);
+    return TaskTrace::from_text(bytes);
+  });
 }
 
 }  // namespace pmacx::trace

@@ -3,32 +3,85 @@
 // The text format (task_trace.hpp) is the interchange format — greppable,
 // diffable, stable.  Production traces with thousands of blocks are better
 // stored in this binary form: ~4× smaller and parsed without number
-// formatting.  Layout: an 8-byte magic+version, then length-prefixed strings
-// and raw little-endian integers/doubles in the exact field order of the
-// text format.  TaskTrace::load() auto-detects the format by magic.
+// formatting.  TaskTrace::load() auto-detects the format by magic.
+//
+// Two on-disk versions exist:
+//
+//   v001 ("PMCXB001") — the original layout: an 8-byte magic, then
+//   length-prefixed strings and raw little-endian integers/doubles in the
+//   exact field order of the text format.  Still readable; no longer
+//   written.
+//
+//   v002 ("PMCXB002") — the hardened layout written by to_binary().  After
+//   the magic the file is a sequence of *sections*, each carrying a tag, a
+//   declared payload size, and a CRC32 of the payload: one header section
+//   (task metadata + block count), one section per basic block, and an end
+//   marker.  Declared sizes let the reader bounds-check before allocating
+//   (a corrupted count can no longer trigger a multi-GB reserve) and the
+//   per-section checksums catch bit-rot and torn writes at load time.  The
+//   sectioned layout also enables *salvage*: every intact block before the
+//   first bad checksum or truncation point can be recovered from a damaged
+//   file (salvage_binary / load_salvage).
+//
+// All parse failures throw util::ParseError carrying the byte offset, the
+// section being read, and — for the file-level loaders — the path.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "trace/task_trace.hpp"
 
 namespace pmacx::trace {
 
-/// The binary file magic ("PMCXB" + format version).
-inline constexpr char kBinaryMagic[8] = {'P', 'M', 'C', 'X', 'B', '0', '0', '1'};
+/// File magics ("PMCXB" + format version).  v002 is written; both load.
+inline constexpr char kBinaryMagicV001[8] = {'P', 'M', 'C', 'X', 'B', '0', '0', '1'};
+inline constexpr char kBinaryMagicV002[8] = {'P', 'M', 'C', 'X', 'B', '0', '0', '2'};
 
-/// Serializes to the binary format.
+/// What salvage_binary recovered from a damaged file.
+struct SalvageReport {
+  /// True when the clean parse failed and salvage kicked in; false means
+  /// the file parsed completely (nothing was lost).
+  bool used = false;
+  /// Block count the file header declared.
+  std::uint64_t blocks_expected = 0;
+  /// Intact blocks recovered before the first corruption.
+  std::size_t blocks_recovered = 0;
+  /// The parse error that stopped the clean read (empty when !used).
+  std::string error;
+
+  /// Declared-minus-recovered (0 when nothing was lost).
+  std::uint64_t blocks_lost() const {
+    return blocks_expected > blocks_recovered ? blocks_expected - blocks_recovered : 0;
+  }
+};
+
+/// Serializes to the current (v002) binary format.
 std::string to_binary(const TaskTrace& task);
 
-/// Parses the binary format; throws util::Error on malformed or truncated
-/// input.
+/// Serializes to the legacy v001 layout.  Kept so compatibility and
+/// fault-injection tests can fabricate v001 files; new code writes v002.
+std::string to_binary_v001(const TaskTrace& task);
+
+/// Parses either binary version strictly; throws util::ParseError on any
+/// malformed, truncated, or checksum-failing input.
 TaskTrace from_binary(const std::string& bytes);
 
-/// True when `bytes` starts with the binary magic.
+/// Lenient parse: recovers every intact block before the first corruption
+/// and reports what was lost.  Throws only when not even the header is
+/// readable (nothing to salvage).
+TaskTrace salvage_binary(const std::string& bytes, SalvageReport& report);
+
+/// True when `bytes` starts with either binary magic.
 bool looks_binary(const std::string& bytes);
 
-/// File helpers.
+/// File helpers.  Errors carry the path.
 void save_binary(const TaskTrace& task, const std::string& path);
 TaskTrace load_binary(const std::string& path);
+
+/// Loads a trace file of either format (auto-detected), salvaging damaged
+/// binary files instead of rejecting them.  Text files parse strictly
+/// (line-oriented text has no checksums to salvage by).
+TaskTrace load_salvage(const std::string& path, SalvageReport& report);
 
 }  // namespace pmacx::trace

@@ -7,6 +7,7 @@
 
 #include "trace/binary_io.hpp"
 #include "util/error.hpp"
+#include "util/parse_error.hpp"
 #include "util/strings.hpp"
 
 namespace pmacx::trace {
@@ -151,8 +152,9 @@ std::string TaskTrace::to_text() const {
   return out.str();
 }
 
-TaskTrace TaskTrace::from_text(const std::string& text) {
-  LineReader reader(text);
+namespace {
+
+TaskTrace parse_text(LineReader& reader) {
   TaskTrace trace;
 
   auto header = reader.next("magic header");
@@ -219,6 +221,22 @@ TaskTrace TaskTrace::from_text(const std::string& text) {
   return trace;
 }
 
+}  // namespace
+
+TaskTrace TaskTrace::from_text(const std::string& text) {
+  LineReader reader(text);
+  try {
+    return parse_text(reader);
+  } catch (const util::ParseError&) {
+    throw;
+  } catch (const util::Error& e) {
+    // Re-type plain check failures as ParseError so callers get the uniform
+    // taxonomy (and the line the parser had reached) for any corrupt input.
+    throw util::ParseError("", util::ParseError::kNoOffset,
+                           "line " + std::to_string(reader.line_number()), e.what());
+  }
+}
+
 void TaskTrace::save(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
@@ -233,9 +251,12 @@ TaskTrace TaskTrace::load(const std::string& path) {
   buffer << in.rdbuf();
   const std::string bytes = buffer.str();
   // Auto-detect: binary traces start with the binary magic, text ones with
-  // the "pmacx-trace" header.
-  if (looks_binary(bytes)) return from_binary(bytes);
-  return from_text(bytes);
+  // the "pmacx-trace" header.  Parse errors gain the path here — the
+  // in-memory parsers cannot know it.
+  return util::with_parse_context(path, [&] {
+    if (looks_binary(bytes)) return from_binary(bytes);
+    return from_text(bytes);
+  });
 }
 
 }  // namespace pmacx::trace

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the binary trace format v002 to checksum every section so that
+// bit-rot, torn writes, and transfer corruption are detected at load time
+// instead of silently poisoning an extrapolation.  This is the standard
+// zlib-compatible CRC so externally produced files can be verified with
+// stock tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pmacx::util {
+
+/// CRC-32 of `size` bytes starting at `data`.  Pass a previous result as
+/// `seed` to checksum discontiguous ranges incrementally.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// Convenience overload for string payloads.
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+}  // namespace pmacx::util

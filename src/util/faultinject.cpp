@@ -1,0 +1,89 @@
+#include "util/faultinject.hpp"
+
+#include "util/error.hpp"
+
+namespace pmacx::util {
+
+std::string Corruption::describe() const {
+  switch (kind) {
+    case Kind::BitFlip:
+      return "bitflip@" + std::to_string(position) + "." + std::to_string(value & 7);
+    case Kind::Truncate: return "truncate@" + std::to_string(position);
+    case Kind::MutateByte:
+      return "byte@" + std::to_string(position) + "=" + std::to_string(value);
+    case Kind::Extend:
+      return "extend+" + std::to_string(position) + "#" + std::to_string(value);
+  }
+  return "unknown";
+}
+
+std::string apply_corruption(std::string bytes, const Corruption& corruption) {
+  switch (corruption.kind) {
+    case Corruption::Kind::BitFlip:
+      PMACX_CHECK(corruption.position < bytes.size(), "bit flip past end of input");
+      bytes[corruption.position] = static_cast<char>(
+          static_cast<unsigned char>(bytes[corruption.position]) ^
+          (1u << (corruption.value & 7)));
+      break;
+    case Corruption::Kind::Truncate:
+      PMACX_CHECK(corruption.position <= bytes.size(), "truncation past end of input");
+      bytes.resize(corruption.position);
+      break;
+    case Corruption::Kind::MutateByte:
+      PMACX_CHECK(corruption.position < bytes.size(), "mutation past end of input");
+      bytes[corruption.position] = static_cast<char>(corruption.value);
+      break;
+    case Corruption::Kind::Extend: {
+      // Deterministic garbage derived from the seed byte.
+      std::uint64_t state = corruption.value + 1;
+      for (std::size_t i = 0; i < corruption.position; ++i)
+        bytes.push_back(static_cast<char>(splitmix64(state) & 0xFF));
+      break;
+    }
+  }
+  return bytes;
+}
+
+Corruption random_corruption(Rng& rng, std::size_t size) {
+  Corruption corruption;
+  // Weight toward bit-flips and mutations — the corruptions that exercise
+  // checksum and bounds paths rather than just the truncation path.
+  const std::uint64_t draw = rng.below(10);
+  if (draw < 4) {
+    corruption.kind = Corruption::Kind::BitFlip;
+    corruption.position = size > 0 ? rng.below(size) : 0;
+    corruption.value = static_cast<std::uint8_t>(rng.below(8));
+  } else if (draw < 7) {
+    corruption.kind = Corruption::Kind::MutateByte;
+    corruption.position = size > 0 ? rng.below(size) : 0;
+    corruption.value = static_cast<std::uint8_t>(rng.below(256));
+  } else if (draw < 9) {
+    corruption.kind = Corruption::Kind::Truncate;
+    corruption.position = size > 0 ? rng.below(size) : 0;
+  } else {
+    corruption.kind = Corruption::Kind::Extend;
+    corruption.position = 1 + rng.below(64);
+    corruption.value = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return corruption;
+}
+
+std::vector<Corruption> truncation_sweep(std::size_t size, std::size_t step) {
+  PMACX_CHECK(step > 0, "truncation sweep step must be positive");
+  std::vector<Corruption> plan;
+  plan.reserve(size / step + 1);
+  for (std::size_t at = 0; at < size; at += step)
+    plan.push_back({Corruption::Kind::Truncate, at, 0});
+  return plan;
+}
+
+std::vector<Corruption> bit_flip_sweep(std::size_t prefix_bytes) {
+  std::vector<Corruption> plan;
+  plan.reserve(prefix_bytes * 8);
+  for (std::size_t byte = 0; byte < prefix_bytes; ++byte)
+    for (std::uint8_t bit = 0; bit < 8; ++bit)
+      plan.push_back({Corruption::Kind::BitFlip, byte, bit});
+  return plan;
+}
+
+}  // namespace pmacx::util

@@ -1,0 +1,51 @@
+// Deterministic fault injection for serialized inputs.
+//
+// The robustness contract for every pmacx loader is: given *any* corruption
+// of a valid file, the loader must parse, salvage, or throw util::ParseError
+// — never crash, hang, or silently mis-parse.  This library generates the
+// corruptions: seeded random plans (bit-flips, truncations, byte mutations,
+// garbage extensions) plus exhaustive sweeps (truncate at every position,
+// flip every bit of a prefix).  Both tests/robustness_test.cpp and the
+// pmacx_faultinject tool drive loaders through it; determinism (util::Rng)
+// makes every reported failure replayable from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pmacx::util {
+
+/// One corruption of a byte string.
+struct Corruption {
+  enum class Kind {
+    BitFlip,     ///< flip bit (position*8 + bit_index)
+    Truncate,    ///< drop everything from byte `position` on
+    MutateByte,  ///< overwrite byte `position` with `value`
+    Extend,      ///< append `value`-seeded garbage of length `position`
+  };
+
+  Kind kind = Kind::BitFlip;
+  std::size_t position = 0;  ///< byte index, new size, or appended length
+  std::uint8_t value = 0;    ///< replacement byte / bit index / garbage seed
+
+  /// "bitflip@123.5", "truncate@64", ... — replayable description.
+  std::string describe() const;
+};
+
+/// Applies one corruption; the input is taken by value and mutated.
+std::string apply_corruption(std::string bytes, const Corruption& corruption);
+
+/// Draws a random corruption plan for an input of `size` bytes.  All kinds
+/// are reachable; positions cover the whole input uniformly.
+Corruption random_corruption(Rng& rng, std::size_t size);
+
+/// Exhaustive plan: truncate at every multiple of `step` in [0, size).
+std::vector<Corruption> truncation_sweep(std::size_t size, std::size_t step = 1);
+
+/// Exhaustive plan: flip every bit of the first `prefix_bytes` bytes.
+std::vector<Corruption> bit_flip_sweep(std::size_t prefix_bytes);
+
+}  // namespace pmacx::util

@@ -1,0 +1,31 @@
+#include "util/parse_error.hpp"
+
+namespace pmacx::util {
+namespace {
+
+std::string render(const std::string& path, std::uint64_t byte_offset,
+                   const std::string& section, const std::string& message) {
+  std::string text;
+  if (!path.empty()) text += path + ": ";
+  if (!section.empty()) text += section + ": ";
+  text += message;
+  if (byte_offset != ParseError::kNoOffset)
+    text += " (at byte " + std::to_string(byte_offset) + ")";
+  return text;
+}
+
+}  // namespace
+
+ParseError::ParseError(std::string path, std::uint64_t byte_offset,
+                       std::string section, std::string message)
+    : Error(render(path, byte_offset, section, message)),
+      path_(std::move(path)),
+      byte_offset_(byte_offset),
+      section_(std::move(section)),
+      message_(std::move(message)) {}
+
+ParseError ParseError::with_path(const std::string& path) const {
+  return ParseError(path, byte_offset_, section_, message_);
+}
+
+}  // namespace pmacx::util

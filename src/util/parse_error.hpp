@@ -1,0 +1,61 @@
+// Structured parse errors for untrusted input files.
+//
+// Loaders for traces and machine profiles consume multi-gigabyte files
+// collected across many runs and machines; when one is corrupted the error
+// must say *which file*, *where in it*, and *what was being read* — not just
+// "truncated".  ParseError subclasses util::Error (so existing catch sites
+// keep working) and carries the file path, the byte offset (or line number
+// for text formats), and the section being parsed.  Parsers that work on
+// in-memory bytes throw without a path; the file-level wrappers catch and
+// re-throw with the path attached via with_path().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pmacx::util {
+
+/// Error thrown by input parsers on malformed, truncated, or corrupted
+/// input.  what() renders all known context:
+/// "<path>: <section>: <message> (at byte <offset>)".
+class ParseError : public Error {
+ public:
+  /// Sentinel for "offset unknown / not applicable" (e.g. stream errors).
+  static constexpr std::uint64_t kNoOffset = ~std::uint64_t{0};
+
+  ParseError(std::string path, std::uint64_t byte_offset, std::string section,
+             std::string message);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t byte_offset() const { return byte_offset_; }
+  const std::string& section() const { return section_; }
+  const std::string& message() const { return message_; }
+
+  /// Copy of this error with the path filled in; used by file-level loaders
+  /// to add the path to errors thrown by in-memory parsers.
+  ParseError with_path(const std::string& path) const;
+
+ private:
+  std::string path_;
+  std::uint64_t byte_offset_ = kNoOffset;
+  std::string section_;
+  std::string message_;
+};
+
+/// Runs `body()`, re-throwing any ParseError with `path` attached and
+/// wrapping any other util::Error as "<path>: <original message>".  Keeps
+/// the file-level loaders' error paths uniform.
+template <typename Fn>
+auto with_parse_context(const std::string& path, Fn&& body) {
+  try {
+    return body();
+  } catch (const ParseError& e) {
+    throw e.with_path(path);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+}  // namespace pmacx::util

@@ -1,0 +1,524 @@
+// Fault-injection sweeps over every pmacx input loader, plus the graceful
+// degradation paths they feed (salvage reports, fallback fits, clamping
+// diagnostics).  The contract under test: for ANY corruption of a valid
+// input, a loader either parses, salvages with an accurate report, or
+// throws util::ParseError — it never crashes, loops, silently mis-parses,
+// or attempts an unbounded allocation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "core/extrapolator.hpp"
+#include "machine/multimaps.hpp"
+#include "machine/profile.hpp"
+#include "machine/profile_io.hpp"
+#include "machine/targets.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/task_trace.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/parse_error.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx {
+namespace {
+
+using trace::BasicBlockRecord;
+using trace::BlockElement;
+using trace::InstrElement;
+using trace::InstructionRecord;
+using trace::TaskTrace;
+using util::Corruption;
+
+TaskTrace sample_trace(std::size_t block_count = 4) {
+  TaskTrace task;
+  task.app = "robust";
+  task.rank = 1;
+  task.core_count = 64;
+  task.target_system = "test target";
+  for (std::size_t b = 0; b < block_count; ++b) {
+    BasicBlockRecord block;
+    block.id = 10 + b;
+    block.location = {"kernel.f90", static_cast<std::uint32_t>(100 + b), "kernel"};
+    block.set(BlockElement::VisitCount, 100.0 + static_cast<double>(b));
+    block.set(BlockElement::MemLoads, 5000.0);
+    block.set(BlockElement::MemStores, 2500.0);
+    block.set(BlockElement::BytesPerRef, 8.0);
+    block.set(BlockElement::HitRateL1, 0.9);
+    block.set(BlockElement::HitRateL2, 0.95);
+    block.set(BlockElement::HitRateL3, 0.99);
+    InstructionRecord instr;
+    instr.index = 1;
+    instr.set(InstrElement::ExecCount, 100.0);
+    instr.set(InstrElement::MemOps, 75.0);
+    instr.set(InstrElement::HitRateL1, 0.5);
+    instr.set(InstrElement::HitRateL2, 0.6);
+    instr.set(InstrElement::HitRateL3, 0.7);
+    block.instructions.push_back(instr);
+    task.blocks.push_back(block);
+  }
+  task.sort_blocks();
+  return task;
+}
+
+/// True when `recovered` is consistent with salvage semantics: every block
+/// it carries equals the matching original block.
+bool blocks_are_subset(const TaskTrace& recovered, const TaskTrace& original) {
+  for (const auto& block : recovered.blocks) {
+    const BasicBlockRecord* match = original.find_block(block.id);
+    if (match == nullptr || !(*match == block)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ crc32 ----
+
+TEST(Crc32Test, MatchesStandardCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(""), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = util::crc32(data);
+  const std::uint32_t split =
+      util::crc32(data.substr(10), util::crc32(data.substr(0, 10)));
+  EXPECT_EQ(split, oneshot);
+}
+
+// ------------------------------------------------------------- parse error ----
+
+TEST(ParseErrorTest, RendersAllContext) {
+  const util::ParseError e("a.trace", 128, "block section", "checksum mismatch");
+  EXPECT_NE(std::string(e.what()).find("a.trace"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("block section"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("at byte 128"), std::string::npos);
+  EXPECT_EQ(e.path(), "a.trace");
+  EXPECT_EQ(e.byte_offset(), 128u);
+}
+
+TEST(ParseErrorTest, WithPathPreservesLocation) {
+  const util::ParseError bare("", 7, "header", "bad");
+  const util::ParseError contextual = bare.with_path("x.trace");
+  EXPECT_EQ(contextual.path(), "x.trace");
+  EXPECT_EQ(contextual.byte_offset(), 7u);
+  EXPECT_EQ(contextual.section(), "header");
+}
+
+TEST(ParseErrorTest, LoadersAttachThePath) {
+  const std::string path = ::testing::TempDir() + "/pmacx_robust_corrupt.btrace";
+  std::string bytes = trace::to_binary(sample_trace());
+  bytes[bytes.size() / 2] ^= 0x40;  // payload damage -> checksum mismatch
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    (void)trace::load_binary(path);
+    FAIL() << "corrupted file parsed cleanly";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(e.byte_offset(), util::ParseError::kNoOffset);
+  }
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- fault library ----
+
+TEST(FaultInjectTest, CorruptionsAreDeterministic) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    const Corruption ca = util::random_corruption(a, 1000);
+    const Corruption cb = util::random_corruption(b, 1000);
+    EXPECT_EQ(ca.kind, cb.kind);
+    EXPECT_EQ(ca.position, cb.position);
+    EXPECT_EQ(ca.value, cb.value);
+  }
+}
+
+TEST(FaultInjectTest, ApplyMatchesDescription) {
+  const std::string bytes = "abcdef";
+  EXPECT_EQ(util::apply_corruption(bytes, {Corruption::Kind::Truncate, 3, 0}), "abc");
+  EXPECT_EQ(util::apply_corruption(bytes, {Corruption::Kind::MutateByte, 1, 'X'}),
+            "aXcdef");
+  const std::string flipped =
+      util::apply_corruption(bytes, {Corruption::Kind::BitFlip, 0, 0});
+  EXPECT_EQ(flipped[0], 'a' ^ 1);
+  EXPECT_EQ(util::apply_corruption(bytes, {Corruption::Kind::Extend, 4, 9}).size(),
+            bytes.size() + 4);
+}
+
+TEST(FaultInjectTest, SweepsCoverEveryPosition) {
+  EXPECT_EQ(util::truncation_sweep(10).size(), 10u);
+  EXPECT_EQ(util::truncation_sweep(10, 3).size(), 4u);  // 0, 3, 6, 9
+  EXPECT_EQ(util::bit_flip_sweep(4).size(), 32u);
+}
+
+// -------------------------------------------------- binary trace contract ----
+
+/// Drives one corrupted byte string through the strict and salvage binary
+/// loaders, asserting the contract.  Returns true when strict parsing
+/// succeeded (caller may want to check content).
+bool check_binary_contract(const TaskTrace& original, const std::string& corrupted) {
+  try {
+    const TaskTrace parsed = trace::from_binary(corrupted);
+    // Strict success on a corrupted v002 input must mean the corruption
+    // was immaterial — never a silently different trace.
+    EXPECT_EQ(parsed, original) << "silent mis-parse";
+    return true;
+  } catch (const util::ParseError&) {
+    // Expected rejection; salvage must still uphold the contract.
+    try {
+      trace::SalvageReport report;
+      const TaskTrace recovered = trace::salvage_binary(corrupted, report);
+      EXPECT_LE(recovered.blocks.size(), original.blocks.size());
+      EXPECT_TRUE(blocks_are_subset(recovered, original)) << "salvage invented data";
+    } catch (const util::ParseError&) {
+      // Not even a header to salvage — acceptable.
+    }
+    return false;
+  }
+  // Any other exception type escapes and fails the test.
+}
+
+TEST(BinaryRobustnessTest, SeededCorruptionSweep) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary(original);
+  util::Rng rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    const Corruption corruption = util::random_corruption(rng, bytes.size());
+    SCOPED_TRACE(corruption.describe());
+    check_binary_contract(original, util::apply_corruption(bytes, corruption));
+  }
+}
+
+TEST(BinaryRobustnessTest, TruncateAtEveryByte) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary(original);
+  for (const Corruption& c : util::truncation_sweep(bytes.size())) {
+    SCOPED_TRACE(c.describe());
+    // Every strict parse of a strictly shorter file must fail: the end
+    // marker is gone.
+    EXPECT_THROW((void)trace::from_binary(util::apply_corruption(bytes, c)),
+                 util::ParseError);
+    check_binary_contract(original, util::apply_corruption(bytes, c));
+  }
+}
+
+TEST(BinaryRobustnessTest, FlipEveryHeaderBit) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary(original);
+  // Magic + header section frame + header payload.
+  for (const Corruption& c : util::bit_flip_sweep(64)) {
+    SCOPED_TRACE(c.describe());
+    check_binary_contract(original, util::apply_corruption(bytes, c));
+  }
+}
+
+TEST(BinaryRobustnessTest, V001SeededCorruptionSweep) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary_v001(original);
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Corruption corruption = util::random_corruption(rng, bytes.size());
+    SCOPED_TRACE(corruption.describe());
+    const std::string corrupted = util::apply_corruption(bytes, corruption);
+    // v001 has no checksums, so flips inside numeric payloads can parse to
+    // different values — the contract is only parse/salvage/ParseError.
+    try {
+      (void)trace::from_binary(corrupted);
+    } catch (const util::ParseError&) {
+      try {
+        trace::SalvageReport report;
+        (void)trace::salvage_binary(corrupted, report);
+      } catch (const util::ParseError&) {
+      }
+    }
+  }
+}
+
+TEST(BinaryRobustnessTest, CorruptedCountCannotForceHugeAllocation) {
+  // A flipped block/instruction count used to feed reserve() unchecked
+  // (binary_io.cpp v001 path); both versions must now reject it before
+  // allocating.
+  const TaskTrace original = sample_trace();
+  for (std::string bytes : {trace::to_binary_v001(original), trace::to_binary(original)}) {
+    // The block count is the trailing u64 of the header fields; overwrite
+    // every u64-sized window with a huge value and require clean failure.
+    const std::uint64_t huge = 1ull << 60;
+    for (std::size_t at = 8; at + 8 <= std::min<std::size_t>(bytes.size(), 96); ++at) {
+      std::string corrupted = bytes;
+      std::memcpy(corrupted.data() + at, &huge, sizeof huge);
+      try {
+        (void)trace::from_binary(corrupted);
+      } catch (const util::ParseError&) {
+      }
+    }
+  }
+}
+
+TEST(BinaryRobustnessTest, SalvageRecoversPrefixOfTruncatedFile) {
+  const TaskTrace original = sample_trace(6);
+  const std::string bytes = trace::to_binary(original);
+  // Cut the file in half: the header and the first blocks survive.
+  trace::SalvageReport report;
+  const TaskTrace recovered =
+      trace::salvage_binary(bytes.substr(0, bytes.size() / 2), report);
+  EXPECT_TRUE(report.used);
+  EXPECT_EQ(report.blocks_expected, original.blocks.size());
+  EXPECT_GT(report.blocks_recovered, 0u);
+  EXPECT_LT(report.blocks_recovered, original.blocks.size());
+  EXPECT_EQ(report.blocks_recovered + report.blocks_lost(), original.blocks.size());
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_EQ(recovered.blocks.size(), report.blocks_recovered);
+  EXPECT_TRUE(blocks_are_subset(recovered, original));
+  EXPECT_EQ(recovered.app, original.app);
+  EXPECT_EQ(recovered.core_count, original.core_count);
+}
+
+TEST(BinaryRobustnessTest, SalvageStopsAtFirstBadChecksum) {
+  const TaskTrace original = sample_trace(6);
+  std::string bytes = trace::to_binary(original);
+  // Damage a byte ~60% into the file: some block section's payload.
+  bytes[bytes.size() * 6 / 10] ^= 0x10;
+  trace::SalvageReport report;
+  const TaskTrace recovered = trace::salvage_binary(bytes, report);
+  EXPECT_TRUE(report.used);
+  EXPECT_NE(report.error.find("checksum"), std::string::npos) << report.error;
+  EXPECT_LT(recovered.blocks.size(), original.blocks.size());
+  EXPECT_TRUE(blocks_are_subset(recovered, original));
+}
+
+TEST(BinaryRobustnessTest, SalvageOfCleanFileReportsNothingLost) {
+  const TaskTrace original = sample_trace();
+  trace::SalvageReport report;
+  const TaskTrace recovered = trace::salvage_binary(trace::to_binary(original), report);
+  EXPECT_FALSE(report.used);
+  EXPECT_EQ(report.blocks_lost(), 0u);
+  EXPECT_EQ(recovered, original);
+}
+
+TEST(BinaryRobustnessTest, LoadSalvageHandlesBothFormats) {
+  const TaskTrace original = sample_trace();
+  const std::string dir = ::testing::TempDir();
+
+  const std::string text_path = dir + "/pmacx_robust_text.trace";
+  original.save(text_path);
+  trace::SalvageReport report;
+  EXPECT_EQ(trace::load_salvage(text_path, report), original);
+  EXPECT_FALSE(report.used);
+  std::remove(text_path.c_str());
+
+  const std::string bin_path = dir + "/pmacx_robust_bin.btrace";
+  std::string bytes = trace::to_binary(original);
+  bytes.resize(bytes.size() - 10);  // damaged end marker
+  {
+    std::ofstream out(bin_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const TaskTrace recovered = trace::load_salvage(bin_path, report);
+  EXPECT_TRUE(report.used);
+  EXPECT_EQ(recovered.blocks.size(), original.blocks.size());
+  std::remove(bin_path.c_str());
+}
+
+// ----------------------------------------------------- text trace contract ----
+
+TEST(TextRobustnessTest, SeededCorruptionSweep) {
+  const std::string text = sample_trace().to_text();
+  util::Rng rng(99);
+  for (int i = 0; i < 1500; ++i) {
+    const Corruption corruption = util::random_corruption(rng, text.size());
+    SCOPED_TRACE(corruption.describe());
+    try {
+      (void)TaskTrace::from_text(util::apply_corruption(text, corruption));
+    } catch (const util::ParseError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST(TextRobustnessTest, TruncateAtEveryByte) {
+  const TaskTrace original = sample_trace();
+  const std::string text = original.to_text();
+  for (const Corruption& c : util::truncation_sweep(text.size())) {
+    SCOPED_TRACE(c.describe());
+    try {
+      // A truncation that only sheds trailing formatting may still parse —
+      // but then it must parse to exactly the original trace.
+      EXPECT_EQ(TaskTrace::from_text(util::apply_corruption(text, c)), original);
+    } catch (const util::ParseError&) {
+      // The expected outcome for every truncation that loses data.
+    }
+  }
+}
+
+TEST(TextRobustnessTest, ErrorsCarryTheLine) {
+  std::string text = sample_trace().to_text();
+  text.replace(text.find("cores"), 5, "cares");
+  try {
+    (void)TaskTrace::from_text(text);
+    FAIL() << "corrupted key parsed cleanly";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(e.section().find("line"), std::string::npos) << e.what();
+  }
+}
+
+// ------------------------------------------------ machine profile contract ----
+
+machine::MachineProfile sample_profile() {
+  machine::MultiMapsOptions options;
+  options.working_sets = {16ull << 10, 256ull << 10};
+  options.strides = {1, 8};
+  options.min_refs_per_probe = 20'000;
+  options.max_refs_per_probe = 50'000;
+  return machine::build_profile(machine::xt5_base(), options);
+}
+
+TEST(ProfileRobustnessTest, SeededCorruptionSweep) {
+  const std::string text = machine::profile_to_text(sample_profile());
+  util::Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const Corruption corruption = util::random_corruption(rng, text.size());
+    SCOPED_TRACE(corruption.describe());
+    try {
+      (void)machine::profile_from_text(util::apply_corruption(text, corruption));
+    } catch (const util::ParseError&) {
+    } catch (const util::Error&) {
+      // Hierarchy/energy validation rejects semantically impossible but
+      // well-formed values; still a clean, typed refusal.
+    }
+  }
+}
+
+TEST(ProfileRobustnessTest, TruncateAtEveryLine) {
+  const std::string text = machine::profile_to_text(sample_profile());
+  for (std::size_t at = text.find('\n'); at != std::string::npos;
+       at = text.find('\n', at + 1)) {
+    try {
+      (void)machine::profile_from_text(text.substr(0, at));
+      // Only a truncation that sheds nothing but trailing formatting may
+      // still parse.
+      EXPECT_GT(at + 2, text.size()) << "truncated at byte " << at;
+    } catch (const util::Error&) {
+      // Typed rejection — the expected outcome.
+    }
+  }
+}
+
+TEST(ProfileRobustnessTest, LoadAttachesPath) {
+  const std::string path = ::testing::TempDir() + "/pmacx_robust_profile.prof";
+  std::string text = machine::profile_to_text(sample_profile());
+  text.resize(text.size() / 2);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  try {
+    (void)machine::load_profile(path);
+    FAIL() << "truncated profile parsed cleanly";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- graceful degradation ----
+
+TEST(DiagnosticsTest, CleanReportCollapses) {
+  core::DiagnosticsReport report;
+  EXPECT_TRUE(report.clean());
+  EXPECT_NE(report.summary().find("clean"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, WarningsAreCapped) {
+  core::DiagnosticsReport report;
+  for (std::size_t i = 0; i < core::DiagnosticsReport::kMaxWarnings + 10; ++i)
+    report.warn("w" + std::to_string(i));
+  EXPECT_EQ(report.warnings.size(), core::DiagnosticsReport::kMaxWarnings);
+  EXPECT_EQ(report.suppressed_warnings, 10u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(DiagnosticsTest, MergeAccumulates) {
+  core::DiagnosticsReport a, b;
+  a.fallback_fits = 2;
+  a.warn("first");
+  b.clamped_values = 3;
+  b.salvaged_files = 1;
+  b.salvaged_blocks = 7;
+  b.lost_blocks = 5;
+  b.warn("second");
+  a.merge(b);
+  EXPECT_EQ(a.fallback_fits, 2u);
+  EXPECT_EQ(a.clamped_values, 3u);
+  EXPECT_EQ(a.salvaged_blocks, 7u);
+  EXPECT_EQ(a.lost_blocks, 5u);
+  EXPECT_EQ(a.warnings.size(), 2u);
+  const std::string summary = a.summary();
+  EXPECT_NE(summary.find("fallback"), std::string::npos);
+  EXPECT_NE(summary.find("clamped"), std::string::npos);
+  EXPECT_NE(summary.find("salvaged"), std::string::npos);
+}
+
+/// A two-point trace series whose chosen element series is set explicitly.
+std::vector<TaskTrace> series_with_visits(double v_small, double v_large) {
+  std::vector<TaskTrace> series;
+  for (double value : {v_small, v_large}) {
+    TaskTrace task = sample_trace(1);
+    task.core_count = value == v_small ? 8 : 16;
+    task.blocks[0].set(BlockElement::VisitCount, value);
+    series.push_back(std::move(task));
+  }
+  return series;
+}
+
+TEST(DegradationTest, CleanExtrapolationReportsClean) {
+  const auto series = series_with_visits(100.0, 200.0);
+  const auto result = core::extrapolate_task(series, 64);
+  EXPECT_TRUE(result.diagnostics.clean()) << result.diagnostics.summary();
+}
+
+TEST(DegradationTest, ClampedValuesAreCounted) {
+  // A steeply decaying count under a linear-only form set extrapolates
+  // negative at the target; the value must be clamped to 0 and counted.
+  const auto series = series_with_visits(1000.0, 10.0);
+  core::ExtrapolationOptions options;
+  options.fit.forms = {stats::Form::Linear};
+  options.reject_out_of_domain = false;
+  const auto result = core::extrapolate_task(series, 1024, options);
+  EXPECT_GT(result.diagnostics.clamped_values, 0u);
+  EXPECT_FALSE(result.diagnostics.clean());
+  const auto* block = result.trace.find_block(10);
+  ASSERT_NE(block, nullptr);
+  EXPECT_GE(block->get(BlockElement::VisitCount), 0.0);
+}
+
+TEST(DegradationTest, OverflowingFitFallsBackToConstant) {
+  // A slope of ~1e305/8 overflows past the largest double at p = 1e6; the
+  // extrapolator must substitute the constant fallback, not emit inf.
+  const auto series = series_with_visits(1.0e305, 1.7e308);
+  core::ExtrapolationOptions options;
+  options.fit.forms = {stats::Form::Linear};
+  options.reject_out_of_domain = false;
+  const auto result = core::extrapolate_task(series, 1'000'000, options);
+  EXPECT_GT(result.diagnostics.fallback_fits, 0u) << result.diagnostics.summary();
+  EXPECT_FALSE(result.diagnostics.warnings.empty());
+  const auto* block = result.trace.find_block(10);
+  ASSERT_NE(block, nullptr);
+  EXPECT_TRUE(std::isfinite(block->get(BlockElement::VisitCount)));
+  // The synthetic trace must remain structurally valid despite degradation.
+  EXPECT_NO_THROW(result.trace.validate());
+}
+
+}  // namespace
+}  // namespace pmacx

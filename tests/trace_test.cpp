@@ -2,8 +2,10 @@
 // serialization round-trips, comm traces and signature validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -14,6 +16,7 @@
 #include "trace/signature.hpp"
 #include "trace/task_trace.hpp"
 #include "util/error.hpp"
+#include "util/parse_error.hpp"
 
 namespace pmacx {
 namespace {
@@ -278,6 +281,67 @@ TEST(BinaryTraceTest, RejectsTrailingGarbage) {
 TEST(BinaryTraceTest, RejectsForeignBytes) {
   EXPECT_FALSE(trace::looks_binary("pmacx-trace\t1\n"));
   EXPECT_THROW(trace::from_binary("definitely not a trace"), util::Error);
+}
+
+TEST(BinaryTraceTest, WritesV002Magic) {
+  const std::string bytes = trace::to_binary(sample_trace());
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), std::string(trace::kBinaryMagicV002, 8));
+  EXPECT_TRUE(trace::looks_binary(bytes));
+}
+
+TEST(BinaryTraceTest, StillReadsV001) {
+  // Traces written by the unframed v001 writer (the seed format) must keep
+  // loading through the same entry points.
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary_v001(original);
+  EXPECT_EQ(bytes.substr(0, 8), std::string(trace::kBinaryMagicV001, 8));
+  EXPECT_TRUE(trace::looks_binary(bytes));
+  EXPECT_EQ(trace::from_binary(bytes), original);
+
+  const std::string path = ::testing::TempDir() + "/pmacx_trace_test_v001.btrace";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(TaskTrace::load(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTraceTest, DetectsSingleFlippedPayloadBit) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary(original);
+  // Flip one bit inside a feature value: v001 would silently deliver a
+  // different number; v002's per-section checksum must refuse.
+  std::string corrupted = bytes;
+  corrupted[bytes.size() - 40] ^= 0x04;
+  EXPECT_THROW(trace::from_binary(corrupted), util::ParseError);
+}
+
+TEST(BinaryTraceTest, RejectsCorruptBlockCountWithoutAllocating) {
+  // block_count is the last u64 of the header payload; inflating it must
+  // hit the declared-size bounds check, not reserve() petabytes.
+  std::string bytes = trace::to_binary(sample_trace());
+  const std::uint64_t huge = 1ull << 62;
+  // Header section payload starts at byte 24 (magic 8 + tag 4 + size 8 +
+  // crc 4); hunt for the real count field and inflate every candidate.
+  for (std::size_t at = 24; at + 8 <= std::min<std::size_t>(bytes.size(), 120); ++at) {
+    std::string corrupted = bytes;
+    std::memcpy(corrupted.data() + at, &huge, sizeof huge);
+    EXPECT_THROW(trace::from_binary(corrupted), util::ParseError);
+  }
+}
+
+TEST(BinaryTraceTest, ParseErrorCarriesOffsetAndSection) {
+  std::string bytes = trace::to_binary(sample_trace());
+  bytes[bytes.size() - 40] ^= 0x04;
+  try {
+    (void)trace::from_binary(bytes);
+    FAIL() << "corrupted trace parsed cleanly";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(e.byte_offset(), util::ParseError::kNoOffset);
+    EXPECT_FALSE(e.section().empty());
+  }
 }
 
 // ------------------------------------------------------------------ comm ----

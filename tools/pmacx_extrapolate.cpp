@@ -14,6 +14,7 @@
 
 #include "core/comm_extrap.hpp"
 #include "core/extrapolator.hpp"
+#include "trace/binary_io.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -37,6 +38,9 @@ void usage() {
       "  --missing <policy>     drop | zero | carry | fit-present (default: zero)\n"
       "  --influence <frac>     influence threshold     (default: 0.001)\n"
       "  --loo-cv               leave-one-out selection (needs >= 4 inputs)\n"
+      "  --salvage              recover damaged binary traces block-by-block\n"
+      "                         instead of rejecting them (lost blocks are\n"
+      "                         reported in the diagnostics)\n"
       "  --report               print the fit-quality report\n"
       "  --worst <n>            with --report, list the n worst elements\n"
       "  --csv <file>           write the full per-element fit report as CSV\n"
@@ -54,7 +58,7 @@ int main(int argc, char** argv) {
   std::string forms = "default";
   std::string missing = "zero";
   double influence = 0.001;
-  bool loo = false, report = false, signatures = false;
+  bool loo = false, report = false, signatures = false, salvage = false;
   std::uint64_t worst = 5;
   std::string csv;
   std::uint64_t bootstrap = 0;
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
         influence = util::parse_double(value(), arg);
       } else if (arg == "--loo-cv") {
         loo = true;
+      } else if (arg == "--salvage") {
+        salvage = true;
       } else if (arg == "--signatures") {
         signatures = true;
       } else if (arg == "--report") {
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
     PMACX_CHECK(target_cores > 0, "--target-cores is required");
     PMACX_CHECK(inputs.size() >= 2, "need at least two inputs");
 
+    core::DiagnosticsReport diagnostics;
     std::vector<trace::AppSignature> input_signatures;
     std::vector<trace::TaskTrace> traces;
     traces.reserve(inputs.size());
@@ -107,6 +114,18 @@ int main(int argc, char** argv) {
       if (signatures) {
         input_signatures.push_back(trace::AppSignature::load(path));
         traces.push_back(input_signatures.back().demanding_task());
+      } else if (salvage) {
+        trace::SalvageReport salvaged;
+        traces.push_back(trace::load_salvage(path, salvaged));
+        if (salvaged.used) {
+          ++diagnostics.salvaged_files;
+          diagnostics.salvaged_blocks += salvaged.blocks_recovered;
+          diagnostics.lost_blocks += salvaged.blocks_lost();
+          diagnostics.warn(path + ": salvaged " +
+                           std::to_string(salvaged.blocks_recovered) + " of " +
+                           std::to_string(salvaged.blocks_expected) + " blocks (" +
+                           salvaged.error + ")");
+        }
       } else {
         traces.push_back(trace::TaskTrace::load(path));
       }
@@ -135,6 +154,7 @@ int main(int argc, char** argv) {
     options.bootstrap_resamples = bootstrap;
 
     const auto result = core::extrapolate_task(traces, target_cores, options);
+    diagnostics.merge(result.diagnostics);
     if (signatures) {
       // Full-signature mode: extrapolate the communication side too and
       // write a self-contained signature directory.
@@ -172,6 +192,10 @@ int main(int argc, char** argv) {
                     util::human_percent(fit->max_fit_rel_error, 1).c_str());
       }
     }
+    // A degraded run must be visibly different from a clean one, report
+    // flag or not.
+    if (report || !diagnostics.clean())
+      std::printf("\n%s", diagnostics.summary().c_str());
     return 0;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_extrapolate: %s\n", e.what());

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "stats/descriptive.hpp"
+#include "trace/binary_io.hpp"
 #include "trace/task_trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -117,11 +118,13 @@ void usage() {
   std::puts(
       "pmacx_inspect — summarize a trace file, or diff two\n"
       "\n"
-      "usage: pmacx_inspect <trace>\n"
+      "usage: pmacx_inspect [--salvage] <trace>\n"
       "       pmacx_inspect --diff <first> <second> [--threshold <rel>] [--worst <n>]\n"
       "\n"
       "Diff mode exits 2 when the largest relative difference exceeds the\n"
-      "threshold (default 0.05), making it usable as a regression gate.\n");
+      "threshold (default 0.05), making it usable as a regression gate.\n"
+      "--salvage recovers what it can from a damaged binary trace (every\n"
+      "intact block before the first bad checksum) instead of rejecting it.\n");
 }
 
 }  // namespace
@@ -129,6 +132,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool diff_mode = false;
+  bool salvage_mode = false;
   double threshold = 0.05;
   std::size_t worst_count = 15;
 
@@ -144,6 +148,8 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--diff") {
         diff_mode = true;
+      } else if (arg == "--salvage") {
+        salvage_mode = true;
       } else if (arg == "--threshold") {
         threshold = util::parse_double(value(), arg);
       } else if (arg == "--worst") {
@@ -161,6 +167,17 @@ int main(int argc, char** argv) {
                   threshold, worst_count);
     }
     PMACX_CHECK(paths.size() == 1, "give one trace file (or --diff with two)");
+    if (salvage_mode) {
+      trace::SalvageReport salvaged;
+      const trace::TaskTrace task = trace::load_salvage(paths[0], salvaged);
+      if (salvaged.used)
+        std::printf("salvaged:     %zu of %llu blocks (%s)\n",
+                    salvaged.blocks_recovered,
+                    static_cast<unsigned long long>(salvaged.blocks_expected),
+                    salvaged.error.c_str());
+      summarize(task);
+      return 0;
+    }
     summarize(trace::TaskTrace::load(paths[0]));
     return 0;
   } catch (const util::Error& e) {

@@ -11,6 +11,7 @@
 
 #include "machine/targets.hpp"
 #include "synth/registry.hpp"
+#include "trace/binary_io.hpp"
 #include "synth/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   cli.add_double("work-scale", 1.0, "production-run folding factor");
   cli.add_flag("no-instructions", "omit per-instruction sub-records");
   cli.add_string("out", "task.trace", "output trace file path");
+  cli.add_flag("binary", "write the checksummed binary format (v002) instead of text");
   cli.add_string("signature-dir", "",
                  "also collect the full signature (demanding-rank trace + all "
                  "ranks' comm timelines) into this directory");
@@ -52,7 +54,11 @@ int main(int argc, char** argv) {
     PMACX_LOG_INFO << "tracing " << app->name() << " rank " << rank << " of " << cores
                    << " against " << target.name;
     const trace::TaskTrace task = synth::trace_task(*app, cores, rank, options);
-    task.save(cli.get_string("out"));
+    if (cli.get_flag("binary")) {
+      trace::save_binary(task, cli.get_string("out"));
+    } else {
+      task.save(cli.get_string("out"));
+    }
 
     if (!cli.get_flag("quiet")) {
       std::printf("%s: %zu blocks, %.3g memory ops, %.3g fp ops -> %s\n",
