@@ -1,5 +1,6 @@
 #include "machine/profile_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -12,6 +13,10 @@ namespace {
 
 constexpr const char* kMagic = "pmacx-profile";
 constexpr const char* kVersion = "1";
+
+// Smallest possible "s" sample line ("s" plus 7 single-character fields),
+// used to clamp reserve() against a corrupted declared sample count.
+constexpr std::size_t kMinSampleLineBytes = 16;
 
 }  // namespace
 
@@ -146,7 +151,8 @@ MachineProfile parse_profile_text(const std::string& text, int& line_number) {
 
   const std::uint64_t sample_count = util::parse_u64(expect("samples", 1)[1], "samples");
   std::vector<BandwidthSample> samples;
-  samples.reserve(sample_count);
+  samples.reserve(
+      std::min<std::uint64_t>(sample_count, text.size() / kMinSampleLineBytes));
   for (std::uint64_t i = 0; i < sample_count; ++i) {
     auto fields = expect("s", 7);
     BandwidthSample s;

@@ -191,10 +191,12 @@ Reader read_section(Reader& r, std::uint32_t expected_tag, const char* section) 
     r.fail("unexpected section tag " + std::to_string(tag) + " (expected " +
            std::to_string(expected_tag) + ")");
   const std::uint64_t size = r.u64("section size");
+  const std::uint32_t declared_crc = r.u32("section checksum");
+  // Checked only after the CRC field is consumed: remaining() must cover the
+  // payload alone, or crc32 below would read past the end of the input.
   if (size > r.remaining())
     r.fail("declared section size " + std::to_string(size) +
            " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
-  const std::uint32_t declared_crc = r.u32("section checksum");
   const std::uint32_t actual_crc = util::crc32(r.cursor(), size);
   if (actual_crc != declared_crc)
     r.fail("checksum mismatch (stored " + std::to_string(declared_crc) +

@@ -16,6 +16,15 @@ namespace {
 constexpr const char* kMagic = "pmacx-trace";
 constexpr const char* kVersion = "1";
 
+// Smallest possible text encodings, used to clamp reserve() calls against a
+// corrupted declared count (the parse then fails at end-of-input with the
+// usual ParseError instead of attempting an unbounded allocation).  A block
+// is at least a "block", a "features", and an "instrs" line; an instruction
+// is one "i" line.
+constexpr std::size_t kMinTextBlockBytes =
+    12 + (9 + 2 * kBlockElementCount) + 9;
+constexpr std::size_t kMinTextInstrBytes = 4 + 2 * kInstrElementCount;
+
 /// Line-oriented reader that tracks position for error messages.
 class LineReader {
  public:
@@ -154,7 +163,7 @@ std::string TaskTrace::to_text() const {
 
 namespace {
 
-TaskTrace parse_text(LineReader& reader) {
+TaskTrace parse_text(LineReader& reader, std::size_t text_size) {
   TaskTrace trace;
 
   auto header = reader.next("magic header");
@@ -181,7 +190,8 @@ TaskTrace parse_text(LineReader& reader) {
 
   const std::uint64_t block_count =
       util::parse_u64(field(expect_kv("blocks"), 1, "block count"), "blocks");
-  trace.blocks.reserve(block_count);
+  trace.blocks.reserve(
+      std::min<std::uint64_t>(block_count, text_size / kMinTextBlockBytes));
 
   for (std::uint64_t b = 0; b < block_count; ++b) {
     auto block_fields = expect_kv("block");
@@ -200,7 +210,8 @@ TaskTrace parse_text(LineReader& reader) {
 
     const std::uint64_t instr_count =
         util::parse_u64(field(expect_kv("instrs"), 1, "instr count"), "instrs");
-    block.instructions.reserve(instr_count);
+    block.instructions.reserve(
+        std::min<std::uint64_t>(instr_count, text_size / kMinTextInstrBytes));
     for (std::uint64_t k = 0; k < instr_count; ++k) {
       auto instr_fields = expect_kv("i");
       PMACX_CHECK(instr_fields.size() == 2 + kInstrElementCount,
@@ -226,7 +237,7 @@ TaskTrace parse_text(LineReader& reader) {
 TaskTrace TaskTrace::from_text(const std::string& text) {
   LineReader reader(text);
   try {
-    return parse_text(reader);
+    return parse_text(reader, text.size());
   } catch (const util::ParseError&) {
     throw;
   } catch (const util::Error& e) {

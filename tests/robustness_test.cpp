@@ -362,6 +362,20 @@ TEST(TextRobustnessTest, TruncateAtEveryByte) {
   }
 }
 
+TEST(TextRobustnessTest, HugeDeclaredCountCannotForceHugeAllocation) {
+  // A corrupted "blocks" or "instrs" count used to feed reserve() unchecked,
+  // escaping from_text as std::length_error/std::bad_alloc; the loader must
+  // clamp the reservation and fail with the usual typed error instead.
+  const std::string text = sample_trace().to_text();
+  for (const char* key : {"blocks\t", "instrs\t"}) {
+    std::string corrupted = text;
+    const std::size_t at = corrupted.find(key);
+    ASSERT_NE(at, std::string::npos);
+    corrupted.replace(at + std::strlen(key), 1, "1152921504606846976");
+    EXPECT_THROW((void)TaskTrace::from_text(corrupted), util::ParseError);
+  }
+}
+
 TEST(TextRobustnessTest, ErrorsCarryTheLine) {
   std::string text = sample_trace().to_text();
   text.replace(text.find("cores"), 5, "cares");
@@ -413,6 +427,15 @@ TEST(ProfileRobustnessTest, TruncateAtEveryLine) {
       // Typed rejection — the expected outcome.
     }
   }
+}
+
+TEST(ProfileRobustnessTest, HugeDeclaredSampleCountCannotForceHugeAllocation) {
+  const std::string text = machine::profile_to_text(sample_profile());
+  std::string corrupted = text;
+  const std::size_t at = corrupted.find("samples\t");
+  ASSERT_NE(at, std::string::npos);
+  corrupted.replace(at + std::strlen("samples\t"), 1, "1152921504606846976");
+  EXPECT_THROW((void)machine::profile_from_text(corrupted), util::ParseError);
 }
 
 TEST(ProfileRobustnessTest, LoadAttachesPath) {
