@@ -8,6 +8,7 @@
 
 #include "core/extrapolator.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -57,8 +58,12 @@ void BM_ExtrapolateTask(benchmark::State& state) {
       synthetic_trace(2048, blocks, 2),
       synthetic_trace(4096, blocks, 3),
   };
+  // Pin the serial baseline so the bench gate compares like with like
+  // regardless of the runner's core count or PMACX_THREADS.
+  core::ExtrapolationOptions options;
+  options.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extrapolate_task(series, 8192));
+    benchmark::DoNotOptimize(core::extrapolate_task(series, 8192, options));
   }
   // Elements processed per iteration: blocks × (block + 6 instr vectors).
   state.SetItemsProcessed(
@@ -66,6 +71,32 @@ void BM_ExtrapolateTask(benchmark::State& state) {
       blocks * (trace::kBlockElementCount + 6 * trace::kInstrElementCount));
 }
 BENCHMARK(BM_ExtrapolateTask)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ExtrapolateTaskThreaded(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::vector<trace::TaskTrace> series = {
+      synthetic_trace(1024, blocks, 1),
+      synthetic_trace(2048, blocks, 2),
+      synthetic_trace(4096, blocks, 3),
+  };
+  // One pool amortized across iterations, like a long pipeline run.
+  util::ThreadPool pool(threads);
+  core::ExtrapolationOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extrapolate_task(series, 8192, options));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      blocks * (trace::kBlockElementCount + 6 * trace::kInstrElementCount));
+  state.SetLabel(std::to_string(threads) + "thr");
+}
+BENCHMARK(BM_ExtrapolateTaskThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AlignOnly(benchmark::State& state) {
   const std::size_t blocks = static_cast<std::size_t>(state.range(0));

@@ -9,6 +9,7 @@
 
 #include "stats/canonical.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -72,6 +73,32 @@ void BM_SelectBestDefaultForms(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SelectBestDefaultForms);
+
+void BM_SelectBestManySeriesThreaded(benchmark::State& state) {
+  // A task trace is thousands of independent element series; this measures
+  // select_best fanned across the pool the way the extrapolator drives it.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSeries = 4096;
+  const std::vector<double> cores = {1024, 2048, 4096};
+  util::Rng rng(7);
+  std::vector<std::vector<double>> ys;
+  ys.reserve(kSeries);
+  for (std::size_t s = 0; s < kSeries; ++s)
+    ys.push_back(series_for(static_cast<stats::Form>(s % 6), cores, rng));
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    if (pool.serial()) {
+      for (const auto& y : ys) benchmark::DoNotOptimize(stats::select_best(cores, y));
+    } else {
+      benchmark::DoNotOptimize(pool.parallel_map<stats::FittedModel>(
+          ys.size(), [&](std::size_t s) { return stats::select_best(cores, ys[s]); },
+          /*grain=*/64));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kSeries);
+  state.SetLabel(std::to_string(threads) + "thr");
+}
+BENCHMARK(BM_SelectBestManySeriesThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SelectBestLooCv(benchmark::State& state) {
   const std::vector<double> cores = {256, 512, 1024, 2048, 4096};

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace pmacx::core {
 namespace {
@@ -197,8 +199,80 @@ struct InfluenceIndex {
 
 namespace {
 
+/// Everything one element's (pure, thread-safe) fit stage produces; the
+/// apply stage consumes these strictly in element order so diagnostics and
+/// the report are bit-identical however the fits were scheduled.
+struct ElementOutcome {
+  ElementFit fit;
+  bool fallback = false;
+};
+
+/// The parallelizable part of one element's extrapolation: choose the fit
+/// axis, select the model, evaluate, degrade to the constant fallback if
+/// needed, clamp, and (for influential elements) bootstrap.  Touches no
+/// shared mutable state.
+ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& element,
+                           double target, const InfluenceIndex& influence,
+                           const ExtrapolationOptions& options) {
+  const ElementDomain domain = domain_of(element.key);
+
+  // FitPresent: restrict the fit to the counts where the element was
+  // actually observed (≥ 2 needed; otherwise fall back to the full,
+  // zero-filled series).
+  std::span<const double> fit_axis = alignment.axis;
+  std::span<const double> fit_values = element.values;
+  std::vector<double> present_axis, present_values;
+  if (options.missing == MissingPolicy::FitPresent) {
+    for (std::size_t i = 0; i < element.values.size(); ++i) {
+      if (element.filled[i]) continue;
+      present_axis.push_back(alignment.axis[i]);
+      present_values.push_back(element.values[i]);
+    }
+    if (present_axis.size() >= 2) {
+      fit_axis = present_axis;
+      fit_values = present_values;
+    }
+  }
+
+  ElementOutcome outcome;
+  stats::FittedModel model =
+      select_model(fit_axis, fit_values, target, domain, options);
+  double raw = model.evaluate(target);
+  if (!model.ok || !std::isfinite(raw)) {
+    // Graceful degradation: no canonical form produced a usable
+    // extrapolation (degenerate series, overflowed evaluation).  Rather
+    // than poisoning the synthetic trace with a non-finite value, fall
+    // back to the constant form through the mean of the finite samples
+    // and record the substitution.
+    model = constant_fallback(fit_values);
+    raw = model.evaluate(target);
+    outcome.fallback = true;
+  }
+  const double clamped = clamp_value(domain, raw, options.round_counts);
+
+  ElementFit& fit = outcome.fit;
+  fit.key = element.key;
+  fit.model = model;
+  fit.inputs = element.values;
+  fit.extrapolated = raw;
+  fit.clamped = clamped;
+  fit.max_fit_rel_error = max_fit_relative_error(model, fit_axis, fit_values);
+  fit.influential = influence.lookup(element.key);
+  if (fit.influential && options.bootstrap_resamples > 0) {
+    fit.has_interval = true;
+    fit.interval = stats::bootstrap_interval(
+        alignment.axis, element.values, target, options.fit,
+        options.bootstrap_resamples, 0.9,
+        /*seed=*/element.key.block_id * 131 + element.key.element);
+  }
+  return outcome;
+}
+
 /// Shared core of both extrapolation axes: fit every aligned element over
 /// `alignment.axis`, evaluate at `target`, and synthesize the output trace.
+/// Fitting fans out across the pool (when one is configured); the results
+/// are applied serially in element order, so parallel runs emit the same
+/// bytes, the same report, and the same diagnostics as serial ones.
 ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inputs,
                                           const Alignment& alignment, double target,
                                           std::uint32_t out_core_count,
@@ -225,79 +299,57 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
   std::unordered_map<std::uint64_t, trace::BasicBlockRecord*> block_index;
   for (auto& block : out.blocks) block_index[block.id] = &block;
 
-  result.report.elements.reserve(alignment.elements.size());
-  std::vector<double> present_axis, present_values;
-  for (const AlignedElement& element : alignment.elements) {
-    const ElementDomain domain = domain_of(element.key);
-
-    // FitPresent: restrict the fit to the counts where the element was
-    // actually observed (≥ 2 needed; otherwise fall back to the full,
-    // zero-filled series).
-    std::span<const double> fit_axis = alignment.axis;
-    std::span<const double> fit_values = element.values;
-    if (options.missing == MissingPolicy::FitPresent) {
-      present_axis.clear();
-      present_values.clear();
-      for (std::size_t i = 0; i < element.values.size(); ++i) {
-        if (element.filled[i]) continue;
-        present_axis.push_back(alignment.axis[i]);
-        present_values.push_back(element.values[i]);
-      }
-      if (present_axis.size() >= 2) {
-        fit_axis = present_axis;
-        fit_values = present_values;
-      }
+  // Stage 1 — fit every element (the hot loop; embarrassingly parallel).
+  const std::size_t count = alignment.elements.size();
+  auto compute = [&](std::size_t i) {
+    return fit_element(alignment, alignment.elements[i], target, influence, options);
+  };
+  std::vector<ElementOutcome> outcomes;
+  util::ThreadPool* pool = options.pool;
+  std::optional<util::ThreadPool> local_pool;
+  if (pool == nullptr) {
+    const std::size_t threads = util::ThreadPool::resolve_threads(options.threads);
+    if (threads > 1) {
+      local_pool.emplace(threads);
+      pool = &*local_pool;
     }
+  }
+  if (pool != nullptr && !pool->serial()) {
+    outcomes = pool->parallel_map<ElementOutcome>(count, compute, /*grain=*/16);
+  } else {
+    outcomes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) outcomes.push_back(compute(i));
+  }
 
-    stats::FittedModel model =
-        select_model(fit_axis, fit_values, target, domain, options);
-    double raw = model.evaluate(target);
-    if (!model.ok || !std::isfinite(raw)) {
-      // Graceful degradation: no canonical form produced a usable
-      // extrapolation (degenerate series, overflowed evaluation).  Rather
-      // than poisoning the synthetic trace with a non-finite value, fall
-      // back to the constant form through the mean of the finite samples
-      // and record the substitution.
-      model = constant_fallback(fit_values);
-      raw = model.evaluate(target);
+  // Stage 2 — apply in element order: trace writes, degradation tallies,
+  // report rows.  Serial by construction, so the merge is deterministic.
+  result.report.elements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const AlignedElement& element = alignment.elements[i];
+    ElementOutcome& outcome = outcomes[i];
+    if (outcome.fallback) {
       ++result.diagnostics.fallback_fits;
       result.diagnostics.warn(element.key.describe() +
                               ": no finite canonical fit; using constant fallback");
     }
-    const double clamped = clamp_value(domain, raw, options.round_counts);
-    if (clamped != raw) ++result.diagnostics.clamped_values;
+    if (outcome.fit.clamped != outcome.fit.extrapolated)
+      ++result.diagnostics.clamped_values;
 
     trace::BasicBlockRecord* block = block_index.at(element.key.block_id);
     if (element.key.is_block_level()) {
-      block->features[element.key.element] = clamped;
+      block->features[element.key.element] = outcome.fit.clamped;
     } else {
       bool written = false;
       for (auto& instr : block->instructions) {
         if (static_cast<std::int32_t>(instr.index) == element.key.instr_index) {
-          instr.features[element.key.element] = clamped;
+          instr.features[element.key.element] = outcome.fit.clamped;
           written = true;
           break;
         }
       }
       PMACX_ASSERT(written, "aligned instruction missing from skeleton");
     }
-
-    ElementFit fit;
-    fit.key = element.key;
-    fit.model = model;
-    fit.inputs = element.values;
-    fit.extrapolated = raw;
-    fit.clamped = clamped;
-    fit.max_fit_rel_error = max_fit_relative_error(model, fit_axis, fit_values);
-    fit.influential = influence.lookup(element.key);
-    if (fit.influential && options.bootstrap_resamples > 0) {
-      fit.has_interval = true;
-      fit.interval = stats::bootstrap_interval(
-          alignment.axis, element.values, target, options.fit,
-          options.bootstrap_resamples, 0.9,
-          /*seed=*/element.key.block_id * 131 + element.key.element);
-    }
-    result.report.elements.push_back(std::move(fit));
+    result.report.elements.push_back(std::move(outcome.fit));
   }
 
   for (auto& block : out.blocks) monotonize_hit_rates(block);

@@ -18,6 +18,10 @@
 #include "stats/canonical.hpp"
 #include "trace/task_trace.hpp"
 
+namespace pmacx::util {
+class ThreadPool;
+}
+
 namespace pmacx::core {
 
 /// Extrapolation policy knobs.
@@ -45,6 +49,17 @@ struct ExtrapolationOptions {
   /// 1.0 loses to the saturating inverse-p.  When no candidate is in-domain
   /// the overall best fit is used and its value clamped.
   bool reject_out_of_domain = true;
+  /// Execution parallelism for per-element fitting and synthesis.
+  /// 0 = resolve from PMACX_THREADS (else the hardware thread count);
+  /// 1 = serial; N > 1 = fan out across N workers.  The parallel path
+  /// produces byte-identical traces, reports, and diagnostics to the
+  /// serial path: fits run concurrently but results are applied in
+  /// element order.
+  std::size_t threads = 0;
+  /// Externally owned pool to run on (overrides `threads`); not owned.
+  /// Lets the pipeline, tools, and benches amortize one pool across many
+  /// extrapolations instead of spawning workers per call.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Result of one extrapolation: the synthetic trace plus the fit report

@@ -1,11 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/comm_extrap.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 namespace pmacx::core {
 
@@ -37,19 +39,48 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
 
   PipelineResult result;
 
-  // 1. Collect at the small counts.
-  std::vector<trace::TaskTrace> series;
-  for (std::uint32_t cores : config.small_core_counts) {
-    PMACX_LOG_INFO << app.name() << ": collecting signature at " << cores << " cores";
-    result.small_signatures.push_back(synth::collect_signature(app, cores, config.tracer));
-    series.push_back(result.small_signatures.back().demanding_task());
+  // Resolve the run's pool once and share it across collection, fitting,
+  // and comm synthesis.  An externally supplied extrapolation pool wins.
+  util::ThreadPool* pool = config.extrapolation.pool;
+  std::optional<util::ThreadPool> pool_storage;
+  if (pool == nullptr) {
+    const std::size_t threads = util::ThreadPool::resolve_threads(config.threads);
+    if (threads > 1) {
+      pool_storage.emplace(threads);
+      pool = &*pool_storage;
+    }
   }
+  const bool parallel = pool != nullptr && !pool->serial();
+
+  // 1. Collect at the small counts.  Each count's collection is an
+  // independent simulation, so they overlap across the pool; parallel_map
+  // keeps the signatures in ascending-count order.
+  auto collect = [&](std::size_t i) {
+    const std::uint32_t cores = config.small_core_counts[i];
+    PMACX_LOG_INFO << app.name() << ": collecting signature at " << cores << " cores";
+    synth::TracerOptions tracer = config.tracer;
+    tracer.pool = pool;  // nested fan-out: waiting tasks help, so this is safe
+    return synth::collect_signature(app, cores, tracer);
+  };
+  if (parallel) {
+    result.small_signatures = pool->parallel_map<trace::AppSignature>(
+        config.small_core_counts.size(), collect);
+  } else {
+    for (std::size_t i = 0; i < config.small_core_counts.size(); ++i)
+      result.small_signatures.push_back(collect(i));
+  }
+  std::vector<trace::TaskTrace> series;
+  for (const trace::AppSignature& signature : result.small_signatures)
+    series.push_back(signature.demanding_task());
 
   // 2. Extrapolate the demanding task to the target count.
   PMACX_LOG_INFO << app.name() << ": extrapolating to " << config.target_core_count
                  << " cores";
+  ExtrapolationOptions extrapolation = config.extrapolation;
+  extrapolation.pool = pool;
+  if (pool == nullptr) extrapolation.threads = 1;
   ExtrapolationResult extrapolated =
-      extrapolate_task(series, config.target_core_count, config.extrapolation);
+      extrapolate_task(series, config.target_core_count, extrapolation);
   result.report = std::move(extrapolated.report);
   result.diagnostics.merge(extrapolated.diagnostics);
   if (!result.diagnostics.clean())
@@ -69,6 +100,16 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
     PMACX_LOG_INFO << app.name() << ": extrapolating communication traces";
     synthetic.comm =
         extrapolate_comm(result.small_signatures, config.target_core_count).comm;
+  } else if (parallel) {
+    // Instantiating one comm trace per target rank is the widest loop in
+    // the pipeline (e.g. 6144 ranks); rank order is preserved.
+    synthetic.comm = pool->parallel_map<trace::CommTrace>(
+        config.target_core_count,
+        [&](std::size_t rank) {
+          return app.comm_trace(config.target_core_count,
+                                static_cast<std::uint32_t>(rank));
+        },
+        /*grain=*/64);
   } else {
     synthetic.comm.reserve(config.target_core_count);
     for (std::uint32_t rank = 0; rank < config.target_core_count; ++rank)
@@ -82,8 +123,10 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
   if (config.collect_at_target) {
     PMACX_LOG_INFO << app.name() << ": collecting signature at target count "
                    << config.target_core_count;
+    synth::TracerOptions tracer = config.tracer;
+    tracer.pool = pool;
     result.collected_signature =
-        synth::collect_signature(app, config.target_core_count, config.tracer);
+        synth::collect_signature(app, config.target_core_count, tracer);
     result.prediction_from_collected = psins::predict(*result.collected_signature, machine);
   }
 

@@ -45,6 +45,15 @@ struct PipelineConfig {
   /// (ScalaExtrap-style) instead of taking them from the application model.
   bool extrapolate_comm = false;
   psins::ReferenceOptions reference;
+  /// Execution parallelism for the whole run: signature collection at the
+  /// small counts proceeds concurrently (overlapping the per-count cache
+  /// simulation), element fitting fans out inside the extrapolator, and
+  /// target-count comm timelines instantiate in parallel.  0 = resolve from
+  /// PMACX_THREADS (else hardware threads); 1 = serial.  Results are
+  /// identical to the serial path — all merges happen in deterministic
+  /// (count/rank/element) order.  Ignored when `extrapolation.pool` is set,
+  /// which then supplies the workers.
+  std::size_t threads = 0;
 };
 
 /// Everything the Table I comparison needs.

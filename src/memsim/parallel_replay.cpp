@@ -1,0 +1,35 @@
+#include "memsim/parallel_replay.hpp"
+
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace pmacx::memsim {
+
+std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_t ranks,
+                                     std::uint64_t refs_per_rank,
+                                     const RankStreamFactory& make_stream,
+                                     util::ThreadPool* pool) {
+  PMACX_CHECK(static_cast<bool>(make_stream), "replay_ranks requires a stream factory");
+
+  auto replay_one = [&](std::size_t index) {
+    const auto rank = static_cast<std::uint32_t>(index);
+    RankReplay result;
+    result.rank = rank;
+    CacheHierarchy hierarchy(config);  // private: no sharing across ranks
+    hierarchy.set_scope(rank + 1);
+    RefGenerator next = make_stream(rank);
+    for (std::uint64_t i = 0; i < refs_per_rank; ++i) hierarchy.access(next());
+    result.counters = hierarchy.totals();
+    return result;
+  };
+
+  if (pool != nullptr && !pool->serial() && ranks > 1) {
+    return pool->parallel_map<RankReplay>(ranks, replay_one);
+  }
+  std::vector<RankReplay> results;
+  results.reserve(ranks);
+  for (std::uint32_t rank = 0; rank < ranks; ++rank) results.push_back(replay_one(rank));
+  return results;
+}
+
+}  // namespace pmacx::memsim

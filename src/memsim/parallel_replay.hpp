@@ -1,0 +1,50 @@
+// Concurrent replay of independent rank hierarchies.
+//
+// A CacheHierarchy is deliberately not thread-safe: each simulated MPI task
+// owns one (hierarchy.hpp).  That ownership structure is exactly what makes
+// multi-rank replay embarrassingly parallel — every rank streams its own
+// references through its own private hierarchy, so N ranks simulate
+// concurrently with zero shared mutable state.  replay_ranks fans the rank
+// simulations out across a util::ThreadPool and returns the per-rank
+// counters in rank order; because nothing is shared, the parallel result is
+// bit-identical to a serial rank-by-rank replay regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memsim/hierarchy.hpp"
+
+namespace pmacx::util {
+class ThreadPool;
+}
+
+namespace pmacx::memsim {
+
+/// One rank's replay outcome: its aggregate counters after streaming its
+/// references through a private copy of the hierarchy.
+struct RankReplay {
+  std::uint32_t rank = 0;
+  AccessCounters counters;
+};
+
+/// Produces one rank's reference stream; called `refs_per_rank` times.
+using RefGenerator = std::function<MemRef()>;
+
+/// Builds a rank-local generator.  Must be callable concurrently for
+/// different ranks (each invocation should capture only rank-local state,
+/// e.g. a per-rank seeded stream).
+using RankStreamFactory = std::function<RefGenerator(std::uint32_t rank)>;
+
+/// Replays `ranks` independent rank streams, each through its own private
+/// hierarchy configured from `config`, fanning the simulations out across
+/// `pool` (serial when `pool` is null or single-threaded).  Every rank's
+/// stream is drawn from `make_stream(rank)` and driven for `refs_per_rank`
+/// references under accounting scope `rank + 1` (scope 0 is reserved).
+std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_t ranks,
+                                     std::uint64_t refs_per_rank,
+                                     const RankStreamFactory& make_stream,
+                                     util::ThreadPool* pool = nullptr);
+
+}  // namespace pmacx::memsim

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace pmacx::synth {
 namespace {
@@ -225,14 +226,34 @@ trace::AppSignature collect_signature(const SyntheticApp& app, std::uint32_t cor
   ranks_to_trace.erase(std::unique(ranks_to_trace.begin(), ranks_to_trace.end()),
                        ranks_to_trace.end());
 
-  for (std::uint32_t rank : ranks_to_trace) {
+  // Every rank's simulation is self-contained (own hierarchy, own streams),
+  // so tracing fans out across the pool; parallel_map keeps rank order.
+  util::ThreadPool* pool = options.pool;
+  const bool parallel = pool != nullptr && !pool->serial();
+  auto trace_rank = [&](std::size_t i) {
+    const std::uint32_t rank = ranks_to_trace[i];
     PMACX_LOG_DEBUG << app.name() << ": tracing rank " << rank << " of " << cores;
-    signature.tasks.push_back(trace_task(app, cores, rank, options));
+    return trace_task(app, cores, rank, options);
+  };
+  if (parallel && ranks_to_trace.size() > 1) {
+    signature.tasks =
+        pool->parallel_map<trace::TaskTrace>(ranks_to_trace.size(), trace_rank);
+  } else {
+    for (std::size_t i = 0; i < ranks_to_trace.size(); ++i)
+      signature.tasks.push_back(trace_rank(i));
   }
 
-  signature.comm.reserve(cores);
-  for (std::uint32_t rank = 0; rank < cores; ++rank)
-    signature.comm.push_back(app.comm_trace(cores, rank));
+  if (parallel) {
+    signature.comm = pool->parallel_map<trace::CommTrace>(
+        cores, [&](std::size_t rank) {
+          return app.comm_trace(cores, static_cast<std::uint32_t>(rank));
+        },
+        /*grain=*/64);
+  } else {
+    signature.comm.reserve(cores);
+    for (std::uint32_t rank = 0; rank < cores; ++rank)
+      signature.comm.push_back(app.comm_trace(cores, rank));
+  }
 
   signature.validate();
   return signature;

@@ -20,6 +20,10 @@
 #include "synth/app.hpp"
 #include "trace/signature.hpp"
 
+namespace pmacx::util {
+class ThreadPool;
+}
+
 namespace pmacx::synth {
 
 /// Knobs for signature collection.
@@ -47,6 +51,13 @@ struct TracerOptions {
   bool instruction_detail = true;
   /// Seed for the generated address streams.
   std::uint64_t seed = 0x7ace;
+  /// Host-side execution pool (not owned; null = serial).  collect_signature
+  /// fans independent per-rank trace_task simulations and per-rank comm
+  /// trace instantiation across it.  This is an *execution* knob — distinct
+  /// from threads_per_rank, which *models* hybrid OpenMP threads inside the
+  /// traced rank — and never changes the collected signature: every rank's
+  /// simulation is self-contained and results are kept in rank order.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Traces one rank of `app` at `cores`, producing its summary trace file.

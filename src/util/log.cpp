@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace pmacx::util {
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+/// Serializes sink writes so lines from pool workers never interleave.
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,12 +25,13 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::scoped_lock lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -2,8 +2,8 @@
 //
 // Experiment harnesses and the tracing pipeline emit progress at Info level;
 // tests silence it by setting the level to Warn.  A single global sink keeps
-// the interface trivial; this library is single-process by design (parallelism
-// lives inside the discrete-event simulator, not in threads).
+// the interface trivial.  The sink is thread-safe: util::ThreadPool workers
+// log concurrently, so the level is atomic and line emission is serialized.
 #pragma once
 
 #include <sstream>

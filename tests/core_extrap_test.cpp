@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "core/extrapolator.hpp"
+#include "trace/binary_io.hpp"
 #include "util/error.hpp"
+#include "util/threadpool.hpp"
 
 namespace pmacx {
 namespace {
@@ -282,6 +284,66 @@ TEST(ExtrapolatorTest, BootstrapIntervalsOnInfluentialElements) {
 TEST(ExtrapolatorTest, BootstrapOffByDefault) {
   const auto result = extrapolate_task(law_series(), 8192);
   for (const auto& fit : result.report.elements) EXPECT_FALSE(fit.has_interval);
+}
+
+// ----------------------------------------------- parallel golden equality ----
+
+/// The parallel fit stage must be invisible in the output: the v002 binary
+/// serialization of the extrapolated trace, the per-element CSV report and
+/// the diagnostics ledger are asserted byte-identical between threads=1 and
+/// threads=4 runs of the same series.
+void expect_identical_results(const core::ExtrapolationResult& serial,
+                              const core::ExtrapolationResult& parallel) {
+  EXPECT_EQ(trace::to_binary(serial.trace), trace::to_binary(parallel.trace));
+  EXPECT_EQ(serial.report.to_csv(), parallel.report.to_csv());
+  EXPECT_EQ(serial.diagnostics.fallback_fits, parallel.diagnostics.fallback_fits);
+  EXPECT_EQ(serial.diagnostics.clamped_values, parallel.diagnostics.clamped_values);
+  EXPECT_EQ(serial.diagnostics.warnings, parallel.diagnostics.warnings);
+}
+
+TEST(ExtrapolatorTest, ParallelMatchesSerialByteIdentical) {
+  ExtrapolationOptions serial_options;
+  serial_options.threads = 1;
+  ExtrapolationOptions parallel_options;
+  parallel_options.threads = 4;
+  for (int round = 0; round < 3; ++round) {
+    const auto serial = extrapolate_task(law_series(), 8192, serial_options);
+    const auto parallel = extrapolate_task(law_series(), 8192, parallel_options);
+    expect_identical_results(serial, parallel);
+  }
+}
+
+TEST(ExtrapolatorTest, ParallelMatchesSerialWithBootstrapAndFallbacks) {
+  // Bootstrap intervals are seeded per element and the degenerate series
+  // forces constant fallbacks + clamping — all of it must survive the
+  // parallel fit stage unchanged, warnings in element order included.
+  std::vector<TaskTrace> series = law_series();
+  series[1].blocks[0].set(BlockElement::MemStores, 0.0);  // breaks the law → fallback
+
+  ExtrapolationOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.bootstrap_resamples = 40;
+  // Allow out-of-domain fits so the linear hit-rate law wins selection and
+  // the clamp path (and its tally) actually executes.
+  serial_options.reject_out_of_domain = false;
+  ExtrapolationOptions parallel_options = serial_options;
+  parallel_options.threads = 4;
+
+  const auto serial = extrapolate_task(series, 2'000'000, serial_options);
+  const auto parallel = extrapolate_task(series, 2'000'000, parallel_options);
+  expect_identical_results(serial, parallel);
+  EXPECT_GT(serial.diagnostics.clamped_values, 0u);
+}
+
+TEST(ExtrapolatorTest, ExternalPoolMatchesSerial) {
+  util::ThreadPool pool(4);
+  ExtrapolationOptions pooled;
+  pooled.pool = &pool;
+  ExtrapolationOptions serial_options;
+  serial_options.threads = 1;
+  const auto serial = extrapolate_task(law_series(), 8192, serial_options);
+  const auto parallel = extrapolate_task(law_series(), 8192, pooled);
+  expect_identical_results(serial, parallel);
 }
 
 // ------------------------------------------- input-parameter extrapolation ----

@@ -1,0 +1,82 @@
+// Tests for memsim::replay_ranks: concurrent replay of independent rank
+// hierarchies must be bit-identical to the serial rank-by-rank replay —
+// each rank owns its hierarchy and stream, so scheduling cannot perturb a
+// single counter.
+#include <gtest/gtest.h>
+
+#include "machine/targets.hpp"
+#include "memsim/parallel_replay.hpp"
+#include "synth/patterns.hpp"
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace pmacx {
+namespace {
+
+memsim::RankStreamFactory test_factory(synth::Pattern pattern) {
+  return [pattern](std::uint32_t rank) -> memsim::RefGenerator {
+    synth::StreamSpec spec;
+    spec.pattern = pattern;
+    spec.base_addr = (1ull << 40) + (static_cast<std::uint64_t>(rank) << 30);
+    spec.footprint_bytes = 1u << 20;
+    spec.elem_bytes = 8;
+    spec.stride_elems = 3;
+    spec.store_fraction = 0.25;
+    synth::RefStream stream(spec, 1000 + rank);
+    return [stream]() mutable { return stream.next(); };
+  };
+}
+
+void expect_identical(const memsim::AccessCounters& a, const memsim::AccessCounters& b) {
+  EXPECT_EQ(a.refs, b.refs);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.line_accesses, b.line_accesses);
+  for (std::size_t lvl = 0; lvl < memsim::kMaxLevels; ++lvl)
+    EXPECT_EQ(a.level_hits[lvl], b.level_hits[lvl]);
+  EXPECT_EQ(a.memory_accesses, b.memory_accesses);
+  EXPECT_EQ(a.tlb_misses, b.tlb_misses);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+}
+
+TEST(ParallelReplay, MatchesSerialBitIdentical) {
+  const memsim::HierarchyConfig config = machine::bluewaters_p1().hierarchy;
+  for (const synth::Pattern pattern :
+       {synth::Pattern::Sequential, synth::Pattern::Random, synth::Pattern::Strided}) {
+    const auto serial =
+        memsim::replay_ranks(config, 6, 20'000, test_factory(pattern), nullptr);
+
+    util::ThreadPool pool(4);
+    const auto parallel =
+        memsim::replay_ranks(config, 6, 20'000, test_factory(pattern), &pool);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      EXPECT_EQ(serial[r].rank, r);
+      EXPECT_EQ(parallel[r].rank, r);
+      expect_identical(serial[r].counters, parallel[r].counters);
+    }
+  }
+}
+
+TEST(ParallelReplay, SerialPoolTakesTheInlinePath) {
+  const memsim::HierarchyConfig config = machine::bluewaters_p1().hierarchy;
+  util::ThreadPool serial_pool(1);
+  const auto via_pool = memsim::replay_ranks(config, 3, 5'000,
+                                             test_factory(synth::Pattern::Random),
+                                             &serial_pool);
+  const auto no_pool =
+      memsim::replay_ranks(config, 3, 5'000, test_factory(synth::Pattern::Random));
+  ASSERT_EQ(via_pool.size(), 3u);
+  for (std::size_t r = 0; r < via_pool.size(); ++r)
+    expect_identical(via_pool[r].counters, no_pool[r].counters);
+}
+
+TEST(ParallelReplay, RequiresFactory) {
+  const memsim::HierarchyConfig config = machine::bluewaters_p1().hierarchy;
+  EXPECT_THROW(memsim::replay_ranks(config, 1, 10, nullptr), util::Error);
+}
+
+}  // namespace
+}  // namespace pmacx

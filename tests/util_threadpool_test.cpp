@@ -1,0 +1,180 @@
+// Tests for util::ThreadPool: deterministic result ordering however the
+// scheduler shuffles completion, typed exception propagation (lowest failing
+// index, original util::Error types preserved, foreign exceptions wrapped
+// into TaskError), nested submit/parallel_for without deadlock, and the
+// single-thread degeneracy the PMACX_THREADS=1 fallback relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parse_error.hpp"
+#include "util/threadpool.hpp"
+
+namespace pmacx {
+namespace {
+
+std::uint64_t mix(std::size_t i) { return (i * 2654435761ull) ^ (i << 7); }
+
+TEST(ThreadPool, SerialPoolRunsInlineOnCaller) {
+  util::ThreadPool pool(1);
+  EXPECT_TRUE(pool.serial());
+  EXPECT_EQ(pool.worker_count(), 0u);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on{};
+  auto future = pool.submit([&] {
+    ran_on = std::this_thread::get_id();
+    return 7;
+  });
+  EXPECT_EQ(future.get(), 7);
+  EXPECT_EQ(ran_on, caller);
+
+  const auto out =
+      pool.parallel_map<std::uint64_t>(257, [](std::size_t i) { return mix(i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], mix(i));
+}
+
+TEST(ThreadPool, DefaultThreadsReadsEnvironment) {
+  setenv("PMACX_THREADS", "3", 1);
+  EXPECT_EQ(util::ThreadPool::default_threads(), 3u);
+  EXPECT_EQ(util::ThreadPool::resolve_threads(0), 3u);
+  EXPECT_EQ(util::ThreadPool::resolve_threads(8), 8u);
+
+  // Invalid values degrade to single-threaded instead of aborting a run.
+  setenv("PMACX_THREADS", "banana", 1);
+  EXPECT_EQ(util::ThreadPool::default_threads(), 1u);
+  setenv("PMACX_THREADS", "0", 1);
+  EXPECT_EQ(util::ThreadPool::default_threads(), 1u);
+
+  // PMACX_THREADS=1 is the documented graceful serial fallback.
+  setenv("PMACX_THREADS", "1", 1);
+  util::ThreadPool pool;  // threads = 0 resolves through the environment
+  EXPECT_TRUE(pool.serial());
+  unsetenv("PMACX_THREADS");
+}
+
+TEST(ThreadPool, DeterministicOrderingUnderShuffle) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  // Jitter a different residue class each round so chunk completion order
+  // genuinely shuffles; the result vector must never notice.
+  for (int round = 0; round < 5; ++round) {
+    const auto out = pool.parallel_map<std::uint64_t>(503, [&](std::size_t i) {
+      if (i % 11 == static_cast<std::size_t>(round) % 11)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return mix(i);
+    });
+    ASSERT_EQ(out.size(), 503u);
+    for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], mix(i));
+  }
+}
+
+TEST(ThreadPool, WorkIsActuallyDistributed) {
+  util::ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::scoped_lock lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, PropagatesTypedErrorsFromLowestFailingIndex) {
+  util::ThreadPool pool(4);
+  // Several indices fail, with a foreign exception *after* the typed ones;
+  // the caller must always see the lowest index's ParseError, original type
+  // and context intact, no matter how chunks were scheduled.
+  for (int round = 0; round < 8; ++round) {
+    try {
+      pool.parallel_for(1000, [](std::size_t i) {
+        if (i == 333 || i == 700 || i == 901)
+          throw util::ParseError("file-" + std::to_string(i), i, "header", "bad magic");
+        if (i == 950) throw std::runtime_error("plain failure");
+      });
+      FAIL() << "expected ParseError";
+    } catch (const util::ParseError& e) {
+      EXPECT_EQ(e.path(), "file-333");
+      EXPECT_EQ(e.byte_offset(), 333u);
+      EXPECT_EQ(e.section(), "header");
+    }
+  }
+}
+
+TEST(ThreadPool, WrapsForeignExceptionsIntoTaskError) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i >= 40) throw std::runtime_error("boom");
+      });
+      FAIL() << "expected TaskError";
+    } catch (const util::TaskError& e) {
+      EXPECT_EQ(e.task_index(), 40u);
+      EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("40"), std::string::npos);
+    }
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesErrorsThroughGet) {
+  util::ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw util::Error("submitted failure"); });
+  try {
+    future.get();
+    FAIL() << "expected Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("submitted failure"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  // More blocking outer tasks than workers: each outer task submits inner
+  // work and blocks on it.  Waiters help (run queued tasks), so this must
+  // complete even though naive blocking would exhaust the pool.
+  util::ThreadPool pool(2);
+  std::vector<util::TaskFuture<int>> futures;
+  for (int k = 0; k < 8; ++k) {
+    futures.push_back(pool.submit([&pool, k] {
+      auto inner = pool.submit([k] { return k * 10; });
+      return inner.get() + 1;
+    }));
+  }
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(futures[static_cast<std::size_t>(k)].get(), k * 10 + 1);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  util::ThreadPool pool(4);
+  const auto out = pool.parallel_map<std::uint64_t>(16, [&](std::size_t i) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t j) {
+      sum.fetch_add(i * j, std::memory_order_relaxed);
+    });
+    return sum.load();
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * (64u * 63u / 2));
+}
+
+TEST(ThreadPool, EdgeCounts) {
+  util::ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  const auto one = pool.parallel_map<int>(1, [](std::size_t) { return 9; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 9);
+  // Fewer items than workers still covers every index exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace pmacx

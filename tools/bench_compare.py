@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Merge and compare Google Benchmark JSON results for the CI bench gate.
+
+Two subcommands:
+
+  merge <out.json> <in1.json> [in2.json ...]
+      Combine several --benchmark_format=json outputs into one file.  The
+      first input's context is kept (it records the machine the numbers came
+      from); benchmarks are concatenated in input order.
+
+  compare <baseline.json> <current.json> [--tolerance 0.15]
+                                         [--metric items_per_second]
+                                         [--allow-context-drift]
+      Fail (exit 1) when any benchmark present in the baseline regressed by
+      more than `tolerance` on the chosen throughput metric, or disappeared
+      from the current run.  Benchmarks only in the current run are reported
+      as new and never fail the gate.  With --allow-context-drift, a baseline
+      recorded on a machine with a different CPU count (or a far-off clock)
+      downgrades regressions to warnings — the numbers aren't comparable, so
+      the gate reports instead of failing.  Refresh the baseline from a CI
+      artifact to re-arm the gate (see README).
+
+Aggregate entries (_mean/_median/_stddev/_cv) and aggregate-only runs are
+skipped; the gate compares raw repetitions by exact benchmark name.
+"""
+
+import argparse
+import json
+import sys
+
+
+SKIPPED_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+
+
+def bench_map(doc, metric):
+    """name -> metric value for every comparable benchmark in the document."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name or name.endswith(SKIPPED_SUFFIXES):
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        if metric in bench:
+            out[name] = float(bench[metric])
+        elif metric == "items_per_second" and "real_time" in bench:
+            # Benchmarks without SetItemsProcessed: fall back to inverse time
+            # so they are still gated (higher is better either way).
+            real = float(bench["real_time"])
+            if real > 0:
+                out[name] = 1.0 / real
+    return out
+
+
+def context_drift(baseline, current):
+    """Human-readable reasons the two runs' machines are not comparable."""
+    base = baseline.get("context", {})
+    cur = current.get("context", {})
+    reasons = []
+    if base.get("num_cpus") != cur.get("num_cpus"):
+        reasons.append(
+            f"num_cpus {base.get('num_cpus')} -> {cur.get('num_cpus')}")
+    base_mhz = base.get("mhz_per_cpu") or 0
+    cur_mhz = cur.get("mhz_per_cpu") or 0
+    if base_mhz and cur_mhz:
+        ratio = cur_mhz / base_mhz
+        if ratio < 0.75 or ratio > 1.25:
+            reasons.append(f"mhz_per_cpu {base_mhz} -> {cur_mhz}")
+    if base.get("library_build_type") != cur.get("library_build_type"):
+        reasons.append(
+            f"build type {base.get('library_build_type')} -> "
+            f"{cur.get('library_build_type')}")
+    return reasons
+
+
+def cmd_merge(args):
+    merged = None
+    for path in args.inputs:
+        doc = load(path)
+        if merged is None:
+            merged = {"context": doc.get("context", {}), "benchmarks": []}
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+    if merged is None:
+        sys.exit("bench_compare merge: no inputs")
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=1)
+        handle.write("\n")
+    print(f"merged {len(args.inputs)} file(s), "
+          f"{len(merged['benchmarks'])} benchmark entries -> {args.out}")
+
+
+def cmd_compare(args):
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    baseline = bench_map(baseline_doc, args.metric)
+    current = bench_map(current_doc, args.metric)
+    if not baseline:
+        sys.exit(f"bench_compare: no comparable benchmarks in {args.baseline}")
+
+    drift = context_drift(baseline_doc, current_doc)
+    advisory = bool(drift) and args.allow_context_drift
+    if drift:
+        print("context drift between baseline and current run:")
+        for reason in drift:
+            print(f"  - {reason}")
+        if advisory:
+            print("  regressions are reported as warnings only "
+                  "(--allow-context-drift); refresh the baseline from a CI "
+                  "artifact to re-arm the gate")
+
+    regressions, missing = [], []
+    width = max(len(name) for name in baseline)
+    print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(baseline):
+        base_value = baseline[name]
+        if name not in current:
+            missing.append(name)
+            print(f"{name:<{width}}  {base_value:>12.4g}  {'MISSING':>12}  -")
+            continue
+        cur_value = current[name]
+        ratio = cur_value / base_value if base_value > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION" if not advisory else "  << regressed (advisory)"
+        print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "
+              f"{ratio:5.2f}{flag}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.4g}  -")
+
+    failed = False
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              "current run (renamed or deleted?)")
+        failed = True
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%} on {args.metric}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {1.0 - ratio:.1%} slower")
+        if not advisory:
+            failed = True
+    if not failed:
+        print("\nbench gate: OK" + (" (advisory)" if advisory else ""))
+    return 1 if failed else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="combine gbench JSON files")
+    merge.add_argument("out")
+    merge.add_argument("inputs", nargs="+")
+    merge.set_defaults(func=cmd_merge)
+
+    compare = sub.add_parser("compare", help="gate current results vs baseline")
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument("--tolerance", type=float, default=0.15,
+                         help="allowed throughput drop (default 0.15)")
+    compare.add_argument("--metric", default="items_per_second")
+    compare.add_argument("--allow-context-drift", action="store_true",
+                         help="warn instead of fail when the baseline came "
+                              "from a different machine")
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args) or 0)
+
+
+if __name__ == "__main__":
+    main()

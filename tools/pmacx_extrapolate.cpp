@@ -9,6 +9,7 @@
 //       s96.trace s384.trace s1536.trace
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "trace/binary_io.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -44,7 +46,11 @@ void usage() {
       "  --report               print the fit-quality report\n"
       "  --worst <n>            with --report, list the n worst elements\n"
       "  --csv <file>           write the full per-element fit report as CSV\n"
-      "  --bootstrap <n>        attach n-resample 90% intervals to the report\n");
+      "  --bootstrap <n>        attach n-resample 90% intervals to the report\n"
+      "  --threads <n>          worker threads for input loading and fitting\n"
+      "                         (default: PMACX_THREADS, else all hardware\n"
+      "                         threads; 1 = serial — output is identical\n"
+      "                         either way)\n");
 }
 
 }  // namespace
@@ -62,6 +68,7 @@ int main(int argc, char** argv) {
   std::uint64_t worst = 5;
   std::string csv;
   std::uint64_t bootstrap = 0;
+  std::uint64_t threads = 0;  // 0 = PMACX_THREADS / hardware
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -97,6 +104,8 @@ int main(int argc, char** argv) {
         csv = value();
       } else if (arg == "--bootstrap") {
         bootstrap = util::parse_u64(value(), arg);
+      } else if (arg == "--threads") {
+        threads = util::parse_u64(value(), arg);
       } else if (util::starts_with(arg, "--")) {
         PMACX_CHECK(false, "unknown option " + arg);
       } else {
@@ -106,30 +115,59 @@ int main(int argc, char** argv) {
     PMACX_CHECK(target_cores > 0, "--target-cores is required");
     PMACX_CHECK(inputs.size() >= 2, "need at least two inputs");
 
+    const std::size_t n_threads = util::ThreadPool::resolve_threads(threads);
+    std::optional<util::ThreadPool> pool;
+    if (n_threads > 1) pool.emplace(n_threads);
+
+    // Ingestion: every input file loads (and validates) independently, so
+    // I/O + parsing overlap across the pool.  Per-file salvage outcomes are
+    // collected per slot and merged into the diagnostics in input order —
+    // identical to the serial loop's ledger.  A failing file's ParseError
+    // propagates with its original type, lowest input index first.
+    struct LoadedInput {
+      trace::TaskTrace trace;
+      std::optional<trace::AppSignature> signature;
+      trace::SalvageReport salvaged;
+    };
     core::DiagnosticsReport diagnostics;
+    auto load_one = [&](std::size_t i) {
+      const std::string& path = inputs[i];
+      LoadedInput loaded;
+      if (signatures) {
+        loaded.signature = trace::AppSignature::load(path);
+        loaded.trace = loaded.signature->demanding_task();
+      } else if (salvage) {
+        loaded.trace = trace::load_salvage(path, loaded.salvaged);
+      } else {
+        loaded.trace = trace::TaskTrace::load(path);
+      }
+      loaded.trace.validate();
+      return loaded;
+    };
+    std::vector<LoadedInput> loaded_inputs;
+    if (pool) {
+      loaded_inputs = pool->parallel_map<LoadedInput>(inputs.size(), load_one);
+    } else {
+      loaded_inputs.reserve(inputs.size());
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        loaded_inputs.push_back(load_one(i));
+    }
     std::vector<trace::AppSignature> input_signatures;
     std::vector<trace::TaskTrace> traces;
     traces.reserve(inputs.size());
-    for (const std::string& path : inputs) {
-      if (signatures) {
-        input_signatures.push_back(trace::AppSignature::load(path));
-        traces.push_back(input_signatures.back().demanding_task());
-      } else if (salvage) {
-        trace::SalvageReport salvaged;
-        traces.push_back(trace::load_salvage(path, salvaged));
-        if (salvaged.used) {
-          ++diagnostics.salvaged_files;
-          diagnostics.salvaged_blocks += salvaged.blocks_recovered;
-          diagnostics.lost_blocks += salvaged.blocks_lost();
-          diagnostics.warn(path + ": salvaged " +
-                           std::to_string(salvaged.blocks_recovered) + " of " +
-                           std::to_string(salvaged.blocks_expected) + " blocks (" +
-                           salvaged.error + ")");
-        }
-      } else {
-        traces.push_back(trace::TaskTrace::load(path));
+    for (std::size_t i = 0; i < loaded_inputs.size(); ++i) {
+      LoadedInput& loaded = loaded_inputs[i];
+      if (loaded.signature) input_signatures.push_back(std::move(*loaded.signature));
+      if (loaded.salvaged.used) {
+        ++diagnostics.salvaged_files;
+        diagnostics.salvaged_blocks += loaded.salvaged.blocks_recovered;
+        diagnostics.lost_blocks += loaded.salvaged.blocks_lost();
+        diagnostics.warn(inputs[i] + ": salvaged " +
+                         std::to_string(loaded.salvaged.blocks_recovered) + " of " +
+                         std::to_string(loaded.salvaged.blocks_expected) + " blocks (" +
+                         loaded.salvaged.error + ")");
       }
-      traces.back().validate();
+      traces.push_back(std::move(loaded.trace));
     }
 
     core::ExtrapolationOptions options;
@@ -152,6 +190,8 @@ int main(int argc, char** argv) {
     options.influence_threshold = influence;
     options.fit.loo_cv = loo;
     options.bootstrap_resamples = bootstrap;
+    options.threads = n_threads;
+    options.pool = pool ? &*pool : nullptr;
 
     const auto result = core::extrapolate_task(traces, target_cores, options);
     diagnostics.merge(result.diagnostics);

@@ -8,6 +8,7 @@
 //   pmacx_trace --app specfem3d --cores 96 --target bluewaters-p1 \
 //               --out specfem3d.96.trace
 #include <cstdio>
+#include <optional>
 
 #include "machine/targets.hpp"
 #include "synth/registry.hpp"
@@ -17,6 +18,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/threadpool.hpp"
 
 int main(int argc, char** argv) {
   using namespace pmacx;
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   cli.add_string("signature-dir", "",
                  "also collect the full signature (demanding-rank trace + all "
                  "ranks' comm timelines) into this directory");
+  cli.add_u64("threads", 0,
+              "worker threads for signature collection (0 = PMACX_THREADS, "
+              "else all hardware threads; 1 = serial — same output either way)");
   cli.add_flag("quiet", "suppress progress output");
 
   try {
@@ -48,6 +53,12 @@ int main(int argc, char** argv) {
     options.target = target.hierarchy;
     options.max_refs_per_kernel = cli.get_u64("refs-cap");
     options.instruction_detail = !cli.get_flag("no-instructions");
+
+    const std::size_t threads =
+        util::ThreadPool::resolve_threads(cli.get_u64("threads"));
+    std::optional<util::ThreadPool> pool;
+    if (threads > 1) pool.emplace(threads);
+    options.pool = pool ? &*pool : nullptr;
 
     const auto cores = static_cast<std::uint32_t>(cli.get_u64("cores"));
     const auto rank = static_cast<std::uint32_t>(cli.get_u64("rank"));
