@@ -308,9 +308,16 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
   util::ThreadPool* pool = options.pool;
   std::optional<util::ThreadPool> local_pool;
   if (pool == nullptr) {
-    const std::size_t threads = util::ThreadPool::resolve_threads(options.threads);
-    if (threads > 1) {
-      local_pool.emplace(threads);
+    if (options.threads == 0) {
+      // Default (no explicit pool or thread count): one lazily created
+      // process-wide pool, sized by PMACX_THREADS / the hardware at first
+      // use, shared by every call — library callers looping over
+      // extrapolate_task must not pay thread spawn/join per call.
+      static util::ThreadPool shared_pool;
+      pool = &shared_pool;
+    } else if (options.threads > 1) {
+      // Explicit width: a private pool of exactly that size for this call.
+      local_pool.emplace(options.threads);
       pool = &*local_pool;
     }
   }

@@ -50,11 +50,12 @@ struct ExtrapolationOptions {
   /// the overall best fit is used and its value clamped.
   bool reject_out_of_domain = true;
   /// Execution parallelism for per-element fitting and synthesis.
-  /// 0 = resolve from PMACX_THREADS (else the hardware thread count);
-  /// 1 = serial; N > 1 = fan out across N workers.  The parallel path
-  /// produces byte-identical traces, reports, and diagnostics to the
-  /// serial path: fits run concurrently but results are applied in
-  /// element order.
+  /// 0 = run on a lazily created process-wide pool, sized once at first use
+  /// from PMACX_THREADS (else the hardware thread count) — repeated calls
+  /// never pay thread spawn/join; 1 = serial; N > 1 = a private pool of N
+  /// workers for this call.  The parallel path produces byte-identical
+  /// traces, reports, and diagnostics to the serial path: fits run
+  /// concurrently but results are applied in element order.
   std::size_t threads = 0;
   /// Externally owned pool to run on (overrides `threads`); not owned.
   /// Lets the pipeline, tools, and benches amortize one pool across many

@@ -135,11 +135,16 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     if (run_pending_task()) continue;
     std::unique_lock<std::mutex> lock(wake_mutex_);
-    if (stop_) return;
+    if (stop_) break;
     wake_cv_.wait(lock, [&] {
       return stop_ || pending_.load(std::memory_order_relaxed) > 0;
     });
-    if (stop_) return;
+    if (stop_) break;
+  }
+  // Shutdown drain: run anything still queued (including work enqueued by
+  // the drained tasks themselves) so futures on submitted work complete
+  // instead of spinning forever in TaskFuture::get.
+  while (run_pending_task()) {
   }
 }
 

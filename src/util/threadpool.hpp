@@ -106,11 +106,15 @@ struct ForFailure {
   std::exception_ptr error;
 };
 
-/// Completion/error state of one parallel_for batch.
+/// Completion/error state of one parallel_for batch.  Heap-allocated and
+/// shared (shared_ptr) between the owner and every chunk: the last chunk's
+/// completion bookkeeping may still be running when the owner wakes, so the
+/// state must not live on the owner's stack.
 struct ForState {
   std::atomic<std::size_t> remaining{0};
   std::mutex wait_mutex;
   std::condition_variable cv;
+  bool done = false;  ///< guarded by wait_mutex; the owner's return gate
   std::mutex error_mutex;
   std::vector<ForFailure> failures;
 
@@ -150,6 +154,9 @@ class ThreadPool {
   /// (PMACX_THREADS, else the hardware thread count); ≤ 1 spawns no workers
   /// and every operation runs inline on the caller.
   explicit ThreadPool(std::size_t threads = 0);
+  /// Joins the workers.  Tasks still queued at destruction are drained (run
+  /// to completion on the exiting workers) rather than dropped, so futures
+  /// on submitted work always complete.
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -272,45 +279,69 @@ void ThreadPool::parallel_for(std::size_t count, Fn&& fn, std::size_t grain) {
                       std::max<std::size_t>(std::size_t{1}, workers * 4));
   }
 
-  detail::ForState state;
-  state.remaining.store(chunks, std::memory_order_relaxed);
+  if (chunks == 1) {
+    // Single chunk: run inline with the exact serial error semantics.
+    detail::ForState state;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        state.failures.push_back({i, std::current_exception()});
+        break;  // a serial loop would not have run the rest
+      }
+    }
+    state.rethrow_first();
+    return;
+  }
 
-  auto run_chunk = [&state, &fn, count, chunks](std::size_t c) {
+  // The state is shared (not stack-allocated) and every enqueued chunk holds
+  // its own reference: the owner may wake and return while the final chunk
+  // is still between its decrement and releasing wait_mutex, so the mutex
+  // and condition variable must outlive the owner's frame.
+  auto state = std::make_shared<detail::ForState>();
+  state->remaining.store(chunks, std::memory_order_relaxed);
+
+  auto run_chunk = [state, &fn, count, chunks](std::size_t c) {
     const std::size_t begin = c * count / chunks;
     const std::size_t end = (c + 1) * count / chunks;
     for (std::size_t i = begin; i < end; ++i) {
       try {
         fn(i);
       } catch (...) {
-        std::scoped_lock lock(state.error_mutex);
-        state.failures.push_back({i, std::current_exception()});
+        std::scoped_lock lock(state->error_mutex);
+        state->failures.push_back({i, std::current_exception()});
         break;  // a serial loop would not have run the rest of this chunk
       }
     }
-    if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last chunk out: publish completion under the wait mutex so the
-      // owner cannot miss the notify between its check and its wait.
-      std::scoped_lock lock(state.wait_mutex);
-      state.cv.notify_all();
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk out: set `done` and notify under wait_mutex so the owner
+      // can only observe completion after this thread holds the same lock —
+      // it cannot miss the notify between its check and its wait.
+      std::scoped_lock lock(state->wait_mutex);
+      state->done = true;
+      state->cv.notify_all();
     }
   };
 
-  if (chunks == 1) {
-    run_chunk(0);
-  } else {
-    for (std::size_t c = 1; c < chunks; ++c) {
-      enqueue(detail::Task([&run_chunk, c] { run_chunk(c); }));
+  for (std::size_t c = 1; c < chunks; ++c) {
+    // Copy run_chunk (and with it a state reference) into each task: the
+    // task may outlive the owner's stack frame for the reason above.
+    enqueue(detail::Task([run_chunk, c] { run_chunk(c); }));
+  }
+  run_chunk(0);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->wait_mutex);
+      if (state->done) break;
     }
-    run_chunk(0);
-    while (state.remaining.load(std::memory_order_acquire) != 0) {
-      if (run_pending_task()) continue;  // help instead of blocking
-      std::unique_lock<std::mutex> lock(state.wait_mutex);
-      state.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return state.remaining.load(std::memory_order_acquire) == 0;
-      });
+    if (run_pending_task()) continue;  // help instead of blocking
+    std::unique_lock<std::mutex> lock(state->wait_mutex);
+    if (state->cv.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return state->done; })) {
+      break;
     }
   }
-  state.rethrow_first();
+  state->rethrow_first();
 }
 
 template <typename T, typename Fn>

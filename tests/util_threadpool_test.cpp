@@ -164,6 +164,38 @@ TEST(ThreadPool, NestedParallelForCompletes) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * (64u * 63u / 2));
 }
 
+TEST(ThreadPool, RepeatedSmallBatchesStressCompletion) {
+  // Hammers the parallel_for completion handshake: each tiny batch tears
+  // down its ForState immediately after the owner observes completion, so a
+  // notifier still touching the state after the last decrement (the
+  // historical use-after-free window) shows up here — loudly under TSan.
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(
+        8, [&](std::size_t) { n.fetch_add(1, std::memory_order_relaxed); },
+        /*grain=*/1);
+    ASSERT_EQ(n.load(), 8);
+  }
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  // Destroying a pool with work still queued must run that work, not drop
+  // it: a future on a dropped task would spin in get() forever.
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int k = 0; k < 64; ++k) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // ~ThreadPool runs here while most of the 64 tasks are still queued.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
 TEST(ThreadPool, EdgeCounts) {
   util::ThreadPool pool(4);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });

@@ -12,8 +12,9 @@ Two subcommands:
                                          [--metric items_per_second]
                                          [--allow-context-drift]
       Fail (exit 1) when any benchmark present in the baseline regressed by
-      more than `tolerance` on the chosen throughput metric, or disappeared
-      from the current run.  Benchmarks only in the current run are reported
+      more than `tolerance` on the chosen throughput metric, disappeared
+      from the current run, or reports a different metric than the baseline
+      (e.g. SetItemsProcessed added/removed — the values are incomparable).  Benchmarks only in the current run are reported
       as new and never fail the gate.  With --allow-context-drift, a baseline
       recorded on a machine with a different CPU count (or a far-off clock)
       downgrades regressions to warnings — the numbers aren't comparable, so
@@ -41,7 +42,13 @@ def load(path):
 
 
 def bench_map(doc, metric):
-    """name -> metric value for every comparable benchmark in the document."""
+    """name -> (value, source) for every comparable benchmark.
+
+    `source` records which field the value came from (the requested metric,
+    or the 1/real_time fallback) so the gate can refuse to compute a ratio
+    between two different metrics — items/sec vs inverse nanoseconds is
+    meaningless.
+    """
     out = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
@@ -50,13 +57,13 @@ def bench_map(doc, metric):
         if bench.get("run_type") == "aggregate":
             continue
         if metric in bench:
-            out[name] = float(bench[metric])
+            out[name] = (float(bench[metric]), metric)
         elif metric == "items_per_second" and "real_time" in bench:
             # Benchmarks without SetItemsProcessed: fall back to inverse time
             # so they are still gated (higher is better either way).
             real = float(bench["real_time"])
             if real > 0:
-                out[name] = 1.0 / real
+                out[name] = (1.0 / real, "1/real_time")
     return out
 
 
@@ -116,16 +123,24 @@ def cmd_compare(args):
                   "(--allow-context-drift); refresh the baseline from a CI "
                   "artifact to re-arm the gate")
 
-    regressions, missing = [], []
+    regressions, missing, mismatched = [], [], []
     width = max(len(name) for name in baseline)
     print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in sorted(baseline):
-        base_value = baseline[name]
+        base_value, base_source = baseline[name]
         if name not in current:
             missing.append(name)
             print(f"{name:<{width}}  {base_value:>12.4g}  {'MISSING':>12}  -")
             continue
-        cur_value = current[name]
+        cur_value, cur_source = current[name]
+        if base_source != cur_source:
+            # One run has SetItemsProcessed and the other does not: the two
+            # numbers measure different things, so flag instead of gating on
+            # a cross-metric ratio.
+            mismatched.append((name, base_source, cur_source))
+            print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "
+                  f"    -  << metric mismatch ({base_source} vs {cur_source})")
+            continue
         ratio = cur_value / base_value if base_value > 0 else float("inf")
         flag = ""
         if ratio < 1.0 - args.tolerance:
@@ -134,12 +149,19 @@ def cmd_compare(args):
         print(f"{name:<{width}}  {base_value:>12.4g}  {cur_value:>12.4g}  "
               f"{ratio:5.2f}{flag}")
     for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<{width}}  {'(new)':>12}  {current[name]:>12.4g}  -")
+        print(f"{name:<{width}}  {'(new)':>12}  {current[name][0]:>12.4g}  -")
 
     failed = False
     if missing:
         print(f"\n{len(missing)} baseline benchmark(s) missing from the "
               "current run (renamed or deleted?)")
+        failed = True
+    if mismatched:
+        print(f"\n{len(mismatched)} benchmark(s) report a different metric in "
+              "baseline vs current (SetItemsProcessed added or removed?); the "
+              "values are incomparable — refresh bench/baseline.json:")
+        for name, base_source, cur_source in mismatched:
+            print(f"  {name}: {base_source} -> {cur_source}")
         failed = True
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
