@@ -1,11 +1,13 @@
 #include "core/extrapolator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <optional>
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace pmacx::core {
@@ -305,42 +307,60 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
     return fit_element(alignment, alignment.elements[i], target, influence, options);
   };
   std::vector<ElementOutcome> outcomes;
-  util::ThreadPool* pool = options.pool;
-  std::optional<util::ThreadPool> local_pool;
-  if (pool == nullptr) {
-    if (options.threads == 0) {
-      // Default (no explicit pool or thread count): one lazily created
-      // process-wide pool, sized by PMACX_THREADS / the hardware at first
-      // use, shared by every call — library callers looping over
-      // extrapolate_task must not pay thread spawn/join per call.
-      static util::ThreadPool shared_pool;
-      pool = &shared_pool;
-    } else if (options.threads > 1) {
-      // Explicit width: a private pool of exactly that size for this call.
-      local_pool.emplace(options.threads);
-      pool = &*local_pool;
+  {
+    util::metrics::StageTimer fit_timer("extrapolate.fit");
+    util::ThreadPool* pool = options.pool;
+    std::optional<util::ThreadPool> local_pool;
+    if (pool == nullptr) {
+      if (options.threads == 0) {
+        // Default (no explicit pool or thread count): one lazily created
+        // process-wide pool, sized by PMACX_THREADS / the hardware at first
+        // use, shared by every call — library callers looping over
+        // extrapolate_task must not pay thread spawn/join per call.
+        static util::ThreadPool shared_pool;
+        pool = &shared_pool;
+      } else if (options.threads > 1) {
+        // Explicit width: a private pool of exactly that size for this call.
+        local_pool.emplace(options.threads);
+        pool = &*local_pool;
+      }
     }
-  }
-  if (pool != nullptr && !pool->serial()) {
-    outcomes = pool->parallel_map<ElementOutcome>(count, compute, /*grain=*/16);
-  } else {
-    outcomes.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) outcomes.push_back(compute(i));
+    if (pool != nullptr && !pool->serial()) {
+      outcomes = pool->parallel_map<ElementOutcome>(count, compute, /*grain=*/16);
+    } else {
+      outcomes.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) outcomes.push_back(compute(i));
+    }
   }
 
   // Stage 2 — apply in element order: trace writes, degradation tallies,
-  // report rows.  Serial by construction, so the merge is deterministic.
+  // report rows.  Serial by construction, so the merge (and every counter
+  // tallied here) is deterministic regardless of how stage 1 was scheduled.
+  util::metrics::StageTimer apply_timer("extrapolate.apply");
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  util::metrics::Counter& fits_total = metrics.counter("fits.total");
+  util::metrics::Counter& fits_fallback = metrics.counter("fits.constant_fallback");
+  util::metrics::Counter& fits_clamped = metrics.counter("fits.clamped_values");
+  std::array<util::metrics::Counter*, 7> fits_won{};
+  for (stats::Form form : stats::all_forms())
+    fits_won[static_cast<std::size_t>(form)] =
+        &metrics.counter("fits.won." + stats::form_name(form));
   result.report.elements.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const AlignedElement& element = alignment.elements[i];
     ElementOutcome& outcome = outcomes[i];
+    fits_total.add();
+    fits_won[static_cast<std::size_t>(outcome.fit.model.form)]->add();
     if (outcome.fallback) {
+      fits_fallback.add();
       ++result.diagnostics.fallback_fits;
       result.diagnostics.warn(element.key.describe() +
                               ": no finite canonical fit; using constant fallback");
     }
-    if (outcome.fit.clamped != outcome.fit.extrapolated)
+    if (outcome.fit.clamped != outcome.fit.extrapolated) {
+      fits_clamped.add();
       ++result.diagnostics.clamped_values;
+    }
 
     trace::BasicBlockRecord* block = block_index.at(element.key.block_id);
     if (element.key.is_block_level()) {

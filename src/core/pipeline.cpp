@@ -7,6 +7,7 @@
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace pmacx::core {
@@ -55,19 +56,22 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
   // 1. Collect at the small counts.  Each count's collection is an
   // independent simulation, so they overlap across the pool; parallel_map
   // keeps the signatures in ascending-count order.
-  auto collect = [&](std::size_t i) {
-    const std::uint32_t cores = config.small_core_counts[i];
-    PMACX_LOG_INFO << app.name() << ": collecting signature at " << cores << " cores";
-    synth::TracerOptions tracer = config.tracer;
-    tracer.pool = pool;  // nested fan-out: waiting tasks help, so this is safe
-    return synth::collect_signature(app, cores, tracer);
-  };
-  if (parallel) {
-    result.small_signatures = pool->parallel_map<trace::AppSignature>(
-        config.small_core_counts.size(), collect);
-  } else {
-    for (std::size_t i = 0; i < config.small_core_counts.size(); ++i)
-      result.small_signatures.push_back(collect(i));
+  {
+    util::metrics::StageTimer timer("pipeline.collect");
+    auto collect = [&](std::size_t i) {
+      const std::uint32_t cores = config.small_core_counts[i];
+      PMACX_LOG_INFO << app.name() << ": collecting signature at " << cores << " cores";
+      synth::TracerOptions tracer = config.tracer;
+      tracer.pool = pool;  // nested fan-out: waiting tasks help, so this is safe
+      return synth::collect_signature(app, cores, tracer);
+    };
+    if (parallel) {
+      result.small_signatures = pool->parallel_map<trace::AppSignature>(
+          config.small_core_counts.size(), collect);
+    } else {
+      for (std::size_t i = 0; i < config.small_core_counts.size(); ++i)
+        result.small_signatures.push_back(collect(i));
+    }
   }
   std::vector<trace::TaskTrace> series;
   for (const trace::AppSignature& signature : result.small_signatures)
@@ -79,8 +83,10 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
   ExtrapolationOptions extrapolation = config.extrapolation;
   extrapolation.pool = pool;
   if (pool == nullptr) extrapolation.threads = 1;
-  ExtrapolationResult extrapolated =
-      extrapolate_task(series, config.target_core_count, extrapolation);
+  ExtrapolationResult extrapolated = [&] {
+    util::metrics::StageTimer timer("pipeline.extrapolate");
+    return extrapolate_task(series, config.target_core_count, extrapolation);
+  }();
   result.report = std::move(extrapolated.report);
   result.diagnostics.merge(extrapolated.diagnostics);
   if (!result.diagnostics.clean())
@@ -89,38 +95,42 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
                    << result.diagnostics.clamped_values << " clamped values";
 
   // 3. Assemble the synthetic signature and predict.
-  trace::AppSignature& synthetic = result.extrapolated_signature;
-  synthetic.app = app.name();
-  synthetic.core_count = config.target_core_count;
-  synthetic.target_system = config.tracer.target.name;
-  synthetic.demanding_rank = app.demanding_rank(config.target_core_count);
-  extrapolated.trace.rank = synthetic.demanding_rank;
-  synthetic.tasks.push_back(std::move(extrapolated.trace));
-  if (config.extrapolate_comm) {
-    PMACX_LOG_INFO << app.name() << ": extrapolating communication traces";
-    synthetic.comm =
-        extrapolate_comm(result.small_signatures, config.target_core_count).comm;
-  } else if (parallel) {
-    // Instantiating one comm trace per target rank is the widest loop in
-    // the pipeline (e.g. 6144 ranks); rank order is preserved.
-    synthetic.comm = pool->parallel_map<trace::CommTrace>(
-        config.target_core_count,
-        [&](std::size_t rank) {
-          return app.comm_trace(config.target_core_count,
-                                static_cast<std::uint32_t>(rank));
-        },
-        /*grain=*/64);
-  } else {
-    synthetic.comm.reserve(config.target_core_count);
-    for (std::uint32_t rank = 0; rank < config.target_core_count; ++rank)
-      synthetic.comm.push_back(app.comm_trace(config.target_core_count, rank));
-  }
-  synthetic.validate();
+  {
+    util::metrics::StageTimer timer("pipeline.assemble_predict");
+    trace::AppSignature& synthetic = result.extrapolated_signature;
+    synthetic.app = app.name();
+    synthetic.core_count = config.target_core_count;
+    synthetic.target_system = config.tracer.target.name;
+    synthetic.demanding_rank = app.demanding_rank(config.target_core_count);
+    extrapolated.trace.rank = synthetic.demanding_rank;
+    synthetic.tasks.push_back(std::move(extrapolated.trace));
+    if (config.extrapolate_comm) {
+      PMACX_LOG_INFO << app.name() << ": extrapolating communication traces";
+      synthetic.comm =
+          extrapolate_comm(result.small_signatures, config.target_core_count).comm;
+    } else if (parallel) {
+      // Instantiating one comm trace per target rank is the widest loop in
+      // the pipeline (e.g. 6144 ranks); rank order is preserved.
+      synthetic.comm = pool->parallel_map<trace::CommTrace>(
+          config.target_core_count,
+          [&](std::size_t rank) {
+            return app.comm_trace(config.target_core_count,
+                                  static_cast<std::uint32_t>(rank));
+          },
+          /*grain=*/64);
+    } else {
+      synthetic.comm.reserve(config.target_core_count);
+      for (std::uint32_t rank = 0; rank < config.target_core_count; ++rank)
+        synthetic.comm.push_back(app.comm_trace(config.target_core_count, rank));
+    }
+    synthetic.validate();
 
-  result.prediction_from_extrapolated = psins::predict(synthetic, machine);
+    result.prediction_from_extrapolated = psins::predict(synthetic, machine);
+  }
 
   // 4. Optionally collect at the target count and predict from that.
   if (config.collect_at_target) {
+    util::metrics::StageTimer timer("pipeline.collect_target");
     PMACX_LOG_INFO << app.name() << ": collecting signature at target count "
                    << config.target_core_count;
     synth::TracerOptions tracer = config.tracer;
@@ -132,11 +142,20 @@ PipelineResult run_pipeline(const synth::SyntheticApp& app,
 
   // 5. Optionally measure the "real" runtime.
   if (config.measure_at_target) {
+    util::metrics::StageTimer timer("pipeline.measure");
     PMACX_LOG_INFO << app.name() << ": measuring reference run at "
                    << config.target_core_count;
     result.measured =
         psins::measure_run(app, config.target_core_count, machine, config.reference);
   }
+
+  // The DiagnosticsReport above is the per-run ledger; these counters make
+  // the same events visible across runs in metrics snapshots.
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  metrics.counter("pipeline.runs").add();
+  if (!result.diagnostics.clean()) metrics.counter("pipeline.degraded_runs").add();
+  metrics.counter("pipeline.salvaged_files").add(result.diagnostics.salvaged_files);
+  metrics.counter("pipeline.lost_blocks").add(result.diagnostics.lost_blocks);
 
   return result;
 }

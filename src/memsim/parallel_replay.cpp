@@ -1,6 +1,9 @@
 #include "memsim/parallel_replay.hpp"
 
+#include <string>
+
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/threadpool.hpp"
 
 namespace pmacx::memsim {
@@ -10,6 +13,7 @@ std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_
                                      const RankStreamFactory& make_stream,
                                      util::ThreadPool* pool) {
   PMACX_CHECK(static_cast<bool>(make_stream), "replay_ranks requires a stream factory");
+  util::metrics::StageTimer timer("memsim.replay");
 
   auto replay_one = [&](std::size_t index) {
     const auto rank = static_cast<std::uint32_t>(index);
@@ -23,12 +27,29 @@ std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_
     return result;
   };
 
-  if (pool != nullptr && !pool->serial() && ranks > 1) {
-    return pool->parallel_map<RankReplay>(ranks, replay_one);
-  }
   std::vector<RankReplay> results;
-  results.reserve(ranks);
-  for (std::uint32_t rank = 0; rank < ranks; ++rank) results.push_back(replay_one(rank));
+  if (pool != nullptr && !pool->serial() && ranks > 1) {
+    results = pool->parallel_map<RankReplay>(ranks, replay_one);
+  } else {
+    results.reserve(ranks);
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) results.push_back(replay_one(rank));
+  }
+
+  // Flush aggregate tallies once per call, in rank order — the per-access
+  // path stays atomic-free and the totals match the serial path exactly.
+  AccessCounters totals;
+  for (const RankReplay& replay : results) totals.merge(replay.counters);
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  metrics.counter("memsim.replay.ranks").add(ranks);
+  metrics.counter("memsim.refs").add(totals.refs);
+  metrics.counter("memsim.loads").add(totals.loads);
+  metrics.counter("memsim.stores").add(totals.stores);
+  metrics.counter("memsim.bytes").add(totals.bytes);
+  metrics.counter("memsim.line_accesses").add(totals.line_accesses);
+  for (std::size_t lvl = 0; lvl < config.levels.size() && lvl < kMaxLevels; ++lvl)
+    metrics.counter("memsim.hits.l" + std::to_string(lvl + 1)).add(totals.level_hits[lvl]);
+  metrics.counter("memsim.memory_accesses").add(totals.memory_accesses);
+  metrics.counter("memsim.writebacks").add(totals.writebacks);
   return results;
 }
 

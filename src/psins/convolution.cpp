@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace pmacx::psins {
 
 ComputePrediction convolve_task(const trace::TaskTrace& task,
                                 const machine::MachineProfile& machine) {
+  util::metrics::StageTimer timer("psins.convolve");
+  util::metrics::Registry::global().counter("psins.blocks_convolved").add(task.blocks.size());
   ComputePrediction prediction;
   prediction.blocks.reserve(task.blocks.size());
 

@@ -2,6 +2,7 @@
 
 #include "simmpi/replay.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace pmacx::psins {
 
@@ -34,6 +35,8 @@ namespace {
 PredictionResult predict_scaled(const trace::AppSignature& signature,
                                 const machine::MachineProfile& machine,
                                 double compute_speedup) {
+  util::metrics::StageTimer timer("psins.predict");
+  util::metrics::Registry::global().counter("psins.predictions").add();
   signature.validate();
   PMACX_CHECK(!signature.comm.empty(),
               "prediction requires communication traces for every rank");

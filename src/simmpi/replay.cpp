@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace pmacx::simmpi {
 namespace {
@@ -56,6 +57,26 @@ std::uint32_t ReplayResult::most_demanding_rank() const {
 ReplayResult replay(std::span<const RankTimeline> timelines, const NetworkModel& network) {
   const std::uint32_t n = static_cast<std::uint32_t>(timelines.size());
   PMACX_CHECK(n > 0, "replay requires at least one rank");
+  util::metrics::StageTimer timer("simmpi.replay");
+
+  // Tally the replayed workload up front from the timelines themselves —
+  // deterministic and independent of how the engine below makes progress.
+  {
+    std::uint64_t events = 0, collectives = 0, bytes = 0;
+    for (const RankTimeline& tl : timelines) {
+      events += tl.steps.size();
+      for (const RankTimeline::Step& step : tl.steps) {
+        bytes += step.event.bytes;
+        if (trace::comm_op_is_collective(step.event.op)) ++collectives;
+      }
+    }
+    util::metrics::Registry& metrics = util::metrics::Registry::global();
+    metrics.counter("simmpi.replays").add();
+    metrics.counter("simmpi.ranks_replayed").add(n);
+    metrics.counter("simmpi.events_replayed").add(events);
+    metrics.counter("simmpi.collectives_replayed").add(collectives);
+    metrics.counter("simmpi.bytes_replayed").add(bytes);
+  }
 
   std::vector<RankState> st(n);
   // Pending point-to-point arrivals keyed by (sender, receiver).

@@ -6,6 +6,7 @@
 
 #include "stats/ols.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -13,6 +14,23 @@ namespace pmacx::stats {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-form attempt counters, resolved once: fit_form is the fitting hot
+/// loop, so the registry lookup must not sit on its path.
+// Incremented once per form per series from fit_all/select_best — not from
+// fit_form itself, whose fast-fail paths run in a few ns and cannot afford
+// an atomic RMW (see BM_FitSingleForm).  Pre-resolved so the per-series
+// cost is one relaxed fetch_add, no registry lock.
+util::metrics::Counter& attempts_counter(Form form) {
+  static const std::array<util::metrics::Counter*, 7> counters = [] {
+    std::array<util::metrics::Counter*, 7> built{};
+    for (Form f : all_forms())
+      built[static_cast<std::size_t>(f)] =
+          &util::metrics::Registry::global().counter("fits.attempted." + form_name(f));
+    return built;
+  }();
+  return *counters[static_cast<std::size_t>(form)];
+}
 
 double clamped_exp(double exponent) {
   // exp(±709) is the double range edge; clamp a bit inside it.
@@ -79,21 +97,41 @@ FittedModel fit_transformed_linear(Form form, std::span<const double> p,
 
 /// Exponential y = a·e^(b·p) and power y = a·p^b share a log-space OLS with
 /// a post-hoc refinement of the scale `a` in the original space.  Both need
-/// strictly one-signed y; negative data is handled by fitting -y.
+/// one-signed y (negative data is handled by fitting -y); exact zeros are
+/// *dropped* from the log-space regression — ln 0 is undefined, but a hit
+/// rate that bottoms out at zero at one core count must not disqualify the
+/// whole series — while still participating in the original-space scale
+/// refinement and the SSE that ranks the fit.  Mixed-sign data still fails.
 FittedModel fit_log_space(Form form, std::span<const double> p, std::span<const double> y) {
   const std::size_t n = y.size();
   if (n < 2) return fail(form);
   double sign = 0.0;
+  std::size_t zeros = 0;
   for (double v : y) {
-    if (v > 0.0 && sign >= 0.0) sign = 1.0;
-    else if (v < 0.0 && sign <= 0.0) sign = -1.0;
-    else return fail(form);  // zero or mixed-sign data
+    if (v > 0.0) {
+      if (sign < 0.0) return fail(form);  // mixed-sign data
+      sign = 1.0;
+    } else if (v < 0.0) {
+      if (sign > 0.0) return fail(form);
+      sign = -1.0;
+    } else {
+      ++zeros;
+    }
   }
+  if (sign == 0.0 || n - zeros < 2) return fail(form);  // all/nearly-all zero
 
-  std::vector<double> x(n), ln_y(n);
+  std::vector<double> x, ln_y;
+  x.reserve(n - zeros);
+  ln_y.reserve(n - zeros);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = form == Form::Power ? std::log(p[i]) : p[i];
-    ln_y[i] = std::log(sign * y[i]);
+    if (y[i] == 0.0) continue;
+    x.push_back(form == Form::Power ? std::log(p[i]) : p[i]);
+    ln_y.push_back(std::log(sign * y[i]));
+  }
+  if (zeros > 0) {
+    // Observable in snapshots and diffable across runs; deterministic
+    // because the same series are fitted regardless of thread count.
+    util::metrics::Registry::global().counter("fits.zero_dropped_samples").add(zeros);
   }
   const LinearFit ols = fit_linear(x, ln_y);
   if (!ols.ok) return fail(form);
@@ -205,14 +243,28 @@ int form_complexity(Form form) {
 
 double FittedModel::evaluate(double p) const {
   const double a = params[0], b = params[1], c = params[2];
-  const double safe_p = std::max(p, 1e-300);
   switch (form) {
     case Form::Constant: return a;
     case Form::Linear: return a + b * p;
-    case Form::Logarithmic: return a + b * std::log(safe_p);
+    case Form::Logarithmic:
+    case Form::Power:
+    case Form::InverseP: {
+      // Domain error, not a silent clamp: flooring p at 1e-300 used to turn
+      // evaluate(0) into ~a + b·(-690)-style garbage that flowed straight
+      // into predictions.  Core counts are positive by contract (fit_form
+      // enforces it on inputs); surface violations at this call boundary.
+      if (!(p > 0.0)) {
+        util::metrics::Registry::global().counter("fits.evaluate_domain_errors").add();
+        throw util::Error(util::format(
+            "FittedModel::evaluate: %s form is undefined at core count %g "
+            "(must be positive)",
+            form_name(form).c_str(), p));
+      }
+      if (form == Form::Logarithmic) return a + b * std::log(p);
+      if (form == Form::Power) return a * std::pow(p, b);
+      return a + b / p;
+    }
     case Form::Exponential: return a * clamped_exp(b * p);
-    case Form::Power: return a * std::pow(safe_p, b);
-    case Form::InverseP: return a + b / safe_p;
     case Form::Quadratic: return a + b * p + c * p * p;
   }
   return a;
@@ -248,7 +300,10 @@ std::vector<FittedModel> fit_all(std::span<const double> p, std::span<const doub
                                  const FitOptions& opts) {
   std::vector<FittedModel> fits;
   fits.reserve(opts.forms.size());
-  for (Form form : opts.forms) fits.push_back(fit_form(form, p, y));
+  for (Form form : opts.forms) {
+    attempts_counter(form).add();
+    fits.push_back(fit_form(form, p, y));
+  }
   return fits;
 }
 
@@ -287,6 +342,7 @@ FittedModel select_best(std::span<const double> p, std::span<const double> y,
   double best_score = kInf;
   bool have_best = false;
   for (Form form : opts.forms) {
+    attempts_counter(form).add();
     FittedModel fit = fit_form(form, p, y);
     if (!fit.ok) continue;
     double score = fit.sse;
@@ -323,6 +379,7 @@ PredictionInterval bootstrap_interval(std::span<const double> p, std::span<const
   PMACX_CHECK(confidence > 0.0 && confidence < 1.0, "bootstrap: confidence out of (0,1)");
 
   const FittedModel base = select_best(p, y, opts);
+  util::metrics::Registry::global().counter("fits.bootstrap_resamples").add(resamples);
   PredictionInterval interval;
   interval.point = base.evaluate(target);
 

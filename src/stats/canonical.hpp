@@ -69,7 +69,10 @@ struct FittedModel {
   bool ok = false;
 
   /// Evaluates the model at core count p.  Exponential growth is clamped to
-  /// ±1e300 to keep downstream arithmetic finite.
+  /// ±1e300 to keep downstream arithmetic finite.  Log, Power, and InverseP
+  /// are undefined at p ≤ 0: such calls throw util::Error (and count toward
+  /// the fits.evaluate_domain_errors metric) instead of silently returning
+  /// a clamped-garbage value.
   double evaluate(double p) const;
 
   /// "linear(a=…, b=…)" description for reports.
@@ -119,10 +122,18 @@ PredictionInterval bootstrap_interval(std::span<const double> p, std::span<const
 
 /// Fits one specific form to the samples (p_i, y_i).  Core counts must be
 /// positive.  Returns ok=false when the form cannot represent the data
-/// (e.g. exponential/power with non-positive y) or is underdetermined.
+/// (e.g. exponential/power with mixed-sign y) or is underdetermined.  A
+/// series that merely *contains* exact zeros among one-signed samples still
+/// fits exponential/power: the zeros are dropped from the log-space
+/// regression (they cannot be log-transformed) but kept in the SSE that
+/// ranks the fit; the dropped count is tallied in fits.zero_dropped_samples.
 FittedModel fit_form(Form form, std::span<const double> p, std::span<const double> y);
 
 /// Fits every candidate form; results are in the same order as opts.forms.
+/// Each form fitted here (and in select_best) increments the per-series
+/// fits.attempted.<form> counter; raw fit_form calls are not counted so the
+/// single-form hot path stays atomic-free and LOO refits don't inflate the
+/// attempted-vs-won comparison.
 std::vector<FittedModel> fit_all(std::span<const double> p, std::span<const double> y,
                                  const FitOptions& opts = {});
 

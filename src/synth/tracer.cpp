@@ -8,6 +8,7 @@
 #include "memsim/working_set.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -41,6 +42,7 @@ void fill_hit_rates(const memsim::AccessCounters& counters, std::size_t levels,
 trace::TaskTrace trace_task(const SyntheticApp& app, std::uint32_t cores, std::uint32_t rank,
                             const TracerOptions& options) {
   PMACX_CHECK(options.max_refs_per_kernel > 0, "max_refs_per_kernel must be positive");
+  util::metrics::StageTimer task_timer("trace.task");
 
   memsim::HierarchyConfig target = options.target;
   target.sample_shift = options.sample_shift;
@@ -86,9 +88,13 @@ trace::TaskTrace trace_task(const SyntheticApp& app, std::uint32_t cores, std::u
   const std::vector<KernelSpec> kernels = app.kernels(cores, rank);
   PMACX_CHECK(!kernels.empty(), "application yields no kernels");
 
+  std::uint64_t refs_simulated = 0;
+  std::uint64_t sampling_cap_hits = 0;
   for (const KernelSpec& kernel : kernels) {
     const std::uint64_t total_refs = kernel.total_refs();
     const std::uint64_t sim_refs = std::min(total_refs, options.max_refs_per_kernel);
+    refs_simulated += sim_refs;
+    if (total_refs > options.max_refs_per_kernel) ++sampling_cap_hits;
     const double count_scale =
         sim_refs > 0 ? static_cast<double>(total_refs) / static_cast<double>(sim_refs) : 0.0;
 
@@ -209,6 +215,25 @@ trace::TaskTrace trace_task(const SyntheticApp& app, std::uint32_t cores, std::u
   }
 
   task.sort_blocks();
+
+  // Per-task tallies flushed once (never per reference): the simulation's
+  // work totals are identical however the pool scheduled the tasks, so
+  // these counters diff cleanly between 1- and N-thread runs.
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  metrics.counter("trace.tasks_traced").add();
+  metrics.counter("trace.blocks_traced").add(kernels.size());
+  metrics.counter("trace.refs_simulated").add(refs_simulated);
+  metrics.counter("trace.sampling_cap_hits").add(sampling_cap_hits);
+  const memsim::AccessCounters& totals = flat ? flat->totals() : threaded->totals();
+  metrics.counter("memsim.refs").add(totals.refs);
+  metrics.counter("memsim.loads").add(totals.loads);
+  metrics.counter("memsim.stores").add(totals.stores);
+  metrics.counter("memsim.bytes").add(totals.bytes);
+  metrics.counter("memsim.line_accesses").add(totals.line_accesses);
+  for (std::size_t lvl = 0; lvl < levels && lvl < memsim::kMaxLevels; ++lvl)
+    metrics.counter("memsim.hits.l" + std::to_string(lvl + 1)).add(totals.level_hits[lvl]);
+  metrics.counter("memsim.memory_accesses").add(totals.memory_accesses);
+  metrics.counter("memsim.writebacks").add(totals.writebacks);
   return task;
 }
 

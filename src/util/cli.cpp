@@ -1,12 +1,42 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/parse_error.hpp"
 #include "util/strings.hpp"
 
 namespace pmacx::util {
+
+namespace {
+
+[[noreturn]] void throw_flag_error(std::string_view text, std::string_view flag,
+                                   const char* type) {
+  throw ParseError("", ParseError::kNoOffset, std::string(flag),
+                   std::string("cannot parse '") + std::string(text) + "' as " + type);
+}
+
+}  // namespace
+
+std::uint64_t parse_flag_u64(std::string_view text, std::string_view flag) {
+  const std::string_view body = trim(text);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec != std::errc{} || ptr != body.data() + body.size())
+    throw_flag_error(body, flag, "u64");
+  return value;
+}
+
+double parse_flag_double(std::string_view text, std::string_view flag) {
+  const std::string_view body = trim(text);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec != std::errc{} || ptr != body.data() + body.size())
+    throw_flag_error(body, flag, "double");
+  return value;
+}
 
 Cli::Cli(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary)) {}
@@ -68,8 +98,8 @@ bool Cli::parse(int argc, const char* const* argv) {
       value = argv[++i];
     }
     // Validate eagerly so errors point at the offending option.
-    if (opt.kind == Kind::U64) (void)parse_u64(value, "--" + name);
-    if (opt.kind == Kind::Double) (void)parse_double(value, "--" + name);
+    if (opt.kind == Kind::U64) (void)parse_flag_u64(value, "--" + name);
+    if (opt.kind == Kind::Double) (void)parse_flag_double(value, "--" + name);
     opt.value = value;
   }
   return true;
@@ -87,11 +117,11 @@ std::string Cli::get_string(const std::string& name) const {
 }
 
 std::uint64_t Cli::get_u64(const std::string& name) const {
-  return parse_u64(find(name, Kind::U64).value, "--" + name);
+  return parse_flag_u64(find(name, Kind::U64).value, "--" + name);
 }
 
 double Cli::get_double(const std::string& name) const {
-  return parse_double(find(name, Kind::Double).value, "--" + name);
+  return parse_flag_double(find(name, Kind::Double).value, "--" + name);
 }
 
 bool Cli::get_flag(const std::string& name) const {
@@ -108,6 +138,13 @@ std::string Cli::help() const {
     out << "\n      " << opt.help << "\n";
   }
   return out.str();
+}
+
+std::vector<std::pair<std::string, std::string>> Cli::values() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.emplace_back(name, options_.at(name).value);
+  return out;
 }
 
 }  // namespace pmacx::util

@@ -8,9 +8,18 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pmacx::util {
+
+/// Checked numeric parsing for command-line values.  Unlike the generic
+/// strings.hpp parsers these throw ParseError carrying the offending flag
+/// name in its section field, so tool error messages always say which
+/// option was malformed ("--target-cores: cannot parse 'abc' as u64").
+std::uint64_t parse_flag_u64(std::string_view text, std::string_view flag);
+double parse_flag_double(std::string_view text, std::string_view flag);
 
 /// Declarative option set; register options, then parse(argc, argv).
 class Cli {
@@ -40,6 +49,10 @@ class Cli {
 
   /// Generated usage text.
   std::string help() const;
+
+  /// Every option's current textual value in registration order — the
+  /// resolved configuration a tool ran with, for run manifests.
+  std::vector<std::pair<std::string, std::string>> values() const;
 
  private:
   enum class Kind { String, U64, Double, Flag };

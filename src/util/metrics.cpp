@@ -1,0 +1,271 @@
+#include "util/metrics.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+#ifndef PMACX_VERSION
+#define PMACX_VERSION "0.3.0"
+#endif
+#ifndef PMACX_GIT_SHA
+#define PMACX_GIT_SHA "unknown"
+#endif
+
+namespace pmacx::util::metrics {
+
+void Histogram::record(std::uint64_t nanos) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  // min/max via CAS loops: uncontended in practice (stage timers fire once
+  // per stage, not per element).
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (nanos < seen &&
+         !min_.compare_exchange_weak(seen, nanos, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_.compare_exchange_weak(seen, nanos, std::memory_order_relaxed)) {
+  }
+  const std::size_t bucket =
+      nanos == 0 ? 0
+                 : std::min<std::size_t>(kBuckets - 1,
+                                         static_cast<std::size_t>(std::bit_width(nanos)) - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t raw = min_.load(std::memory_order_relaxed);
+  return raw == ~std::uint64_t{0} ? 0 : raw;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace_back(name, counter->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace_back(name, gauge->value());
+  snap.timers.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.min = hist->min();
+    h.max = hist->max();
+    snap.timers.emplace_back(name, h);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+StageTimer::StageTimer(std::string_view stage, Registry& registry)
+    : wall_(registry.histogram(std::string(stage) + ".wall_ns")),
+      cpu_(registry.histogram(std::string(stage) + ".cpu_ns")),
+      start_(std::chrono::steady_clock::now()),
+      cpu_start_(std::clock()) {}
+
+StageTimer::~StageTimer() {
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  wall_.record(wall_ns > 0 ? static_cast<std::uint64_t>(wall_ns) : 0);
+  const std::clock_t cpu_end = std::clock();
+  std::uint64_t cpu_ns = 0;
+  if (cpu_end != std::clock_t(-1) && cpu_start_ != std::clock_t(-1) && cpu_end > cpu_start_)
+    cpu_ns = static_cast<std::uint64_t>(
+        (static_cast<double>(cpu_end - cpu_start_) / CLOCKS_PER_SEC) * 1e9);
+  cpu_.record(cpu_ns);
+}
+
+RunManifest RunManifest::for_tool(std::string tool) {
+  RunManifest manifest;
+  manifest.tool = std::move(tool);
+  manifest.version = PMACX_VERSION;
+  manifest.git_sha = PMACX_GIT_SHA;
+  return manifest;
+}
+
+void RunManifest::add_input(const std::string& path) {
+  InputDigest digest;
+  digest.path = path;
+  std::ifstream in(path, std::ios::binary);
+  if (in.good()) {
+    // Stream in chunks: input traces can be large and the manifest must not
+    // double the tool's peak memory.
+    char buffer[1 << 16];
+    std::uint32_t crc = 0;
+    std::uint64_t bytes = 0;
+    while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+      crc = util::crc32(buffer, static_cast<std::size_t>(in.gcount()), crc);
+      bytes += static_cast<std::uint64_t>(in.gcount());
+      if (in.eof()) break;
+    }
+    // A directory opens but reads nothing on some platforms and fails the
+    // read on others; either way "no bytes and not at EOF" means unreadable.
+    digest.readable = in.eof() || bytes > 0;
+    digest.bytes = bytes;
+    digest.crc32 = crc;
+  }
+  inputs.push_back(std::move(digest));
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_double(double value) {
+  // %.17g round-trips doubles; trim to a plain integer rendering when exact
+  // so counters-as-gauges stay readable.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const RunManifest& manifest, const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": ";
+  append_escaped(out, kSchemaVersion);
+  out += ",\n  \"manifest\": {\n    \"tool\": ";
+  append_escaped(out, manifest.tool);
+  out += ",\n    \"version\": ";
+  append_escaped(out, manifest.version);
+  out += ",\n    \"git_sha\": ";
+  append_escaped(out, manifest.git_sha);
+  out += ",\n    \"threads\": " + std::to_string(manifest.threads);
+  out += ",\n    \"config\": {";
+  for (std::size_t i = 0; i < manifest.config.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "      ";
+    append_escaped(out, manifest.config[i].first);
+    out += ": ";
+    append_escaped(out, manifest.config[i].second);
+  }
+  out += manifest.config.empty() ? "}" : "\n    }";
+  out += ",\n    \"inputs\": [";
+  for (std::size_t i = 0; i < manifest.inputs.size(); ++i) {
+    const InputDigest& input = manifest.inputs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"path\": ";
+    append_escaped(out, input.path);
+    out += ", \"bytes\": " + std::to_string(input.bytes);
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", input.crc32);
+    out += ", \"crc32\": \"";
+    out += crc;
+    out += "\", \"readable\": ";
+    out += input.readable ? "true" : "false";
+    out += "}";
+  }
+  out += manifest.inputs.empty() ? "]" : "\n    ]";
+  out += "\n  },\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snapshot.counters[i].first);
+    out += ": " + std::to_string(snapshot.counters[i].second);
+  }
+  out += snapshot.counters.empty() ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, snapshot.gauges[i].first);
+    out += ": " + json_double(snapshot.gauges[i].second);
+  }
+  out += snapshot.gauges.empty() ? "}" : "\n  }";
+  out += ",\n  \"timers\": {";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const auto& [name, h] = snapshot.timers[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": " +
+           std::to_string(h.sum) + ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) + "}";
+  }
+  out += snapshot.timers.empty() ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+void write_json(const std::string& path, const RunManifest& manifest,
+                const Snapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  PMACX_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  const std::string text = to_json(manifest, snapshot);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  PMACX_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace pmacx::util::metrics

@@ -1,0 +1,202 @@
+// Pipeline observability: a lightweight, thread-safe metrics registry.
+//
+// The prediction pipeline (trace → fit → extrapolate → convolve/replay) is
+// parallel and fault-tolerant, which makes it a black box at runtime: when a
+// Table-I-style run misbehaves there is no way to see where time went, how
+// many fits fell back to constant, or which stage degraded.  Every layer
+// records what it did here — counters (monotonic event tallies), gauges
+// (last-written values), and timing histograms (count/sum/min/max plus log2
+// buckets) — and the tools dump a versioned JSON snapshot with a run
+// manifest via --metrics-json, so CI bench runs and user runs become
+// diffable artifacts (docs/OBSERVABILITY.md lists every metric).
+//
+// Concurrency contract, matched to util::ThreadPool workers:
+//
+//   * Recording (Counter::add, Gauge::set, Histogram::record) is lock-free —
+//     relaxed atomics only — so instrumented hot loops (per-element fitting,
+//     per-kernel tracing) pay one uncontended atomic RMW per event.
+//   * Name lookup (Registry::counter/gauge/histogram) takes a mutex; hot
+//     call sites hoist the returned reference out of their loops (or into a
+//     function-local static).  Returned references are stable for the
+//     registry's lifetime — reset() zeroes values but never removes entries.
+//   * Counters tally *work*, not scheduling: a pipeline run increments them
+//     identically whether it ran on 1 thread or 16.  Timers are the only
+//     values that vary run-to-run; consumers diff counters, not timings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pmacx::util::metrics {
+
+/// Schema identifier written into every JSON snapshot; bump when the layout
+/// of the emitted document changes incompatibly.
+inline constexpr std::string_view kSchemaVersion = "pmacx-metrics-v1";
+
+/// Monotonically increasing event count.  add() is lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (thread count, configured cap, ...).  set() is
+/// lock-free; concurrent writers race benignly (last store wins).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Timing histogram: count, sum, min, max plus log2-bucketed distribution.
+/// Durations are recorded in nanoseconds; bucket i counts samples in
+/// [2^i, 2^(i+1)) ns (bucket 0 additionally holds 0-ns samples).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;  ///< 2^48 ns ≈ 3.3 days
+
+  void record(std::uint64_t nanos);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Minimum recorded value; 0 when empty.
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of one histogram (buckets collapsed to the non-empty
+/// prefix-sum form the JSON emits).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name (the
+/// registry stores names in an ordered map, so snapshots of identical runs
+/// serialize identically).
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> timers;
+};
+
+/// The registry: named metric instances with stable addresses.  One global
+/// instance serves the whole process (the tools snapshot it at exit);
+/// tests may construct private registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every pmacx layer records into.
+  static Registry& global();
+
+  /// Finds or creates the named metric.  The returned reference remains
+  /// valid (and keeps counting) for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every metric's current value, sorted by name.
+  Snapshot snapshot() const;
+
+  /// Zeroes every value.  Registered entries (and references handed out)
+  /// stay valid — this resets the tallies, not the registrations.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII stage timer: records the scope's wall time into "<stage>.wall_ns"
+/// and its process CPU time into "<stage>.cpu_ns" (both histograms) on
+/// destruction.  Nest freely — each scope accounts its own interval.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string_view stage, Registry& registry = Registry::global());
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Histogram& wall_;
+  Histogram& cpu_;
+  std::chrono::steady_clock::time_point start_;
+  std::clock_t cpu_start_;
+};
+
+/// Digest of one input file recorded in the run manifest.  Unreadable paths
+/// (e.g. signature directories) record readable=false with zeroed digests —
+/// the manifest describes the run, it does not re-validate it.
+struct InputDigest {
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32 = 0;
+  bool readable = false;
+};
+
+/// Everything needed to reproduce or diff a tool run: tool identity, build
+/// provenance, effective configuration, parallelism, and input checksums.
+struct RunManifest {
+  std::string tool;
+  std::string version;  ///< pmacx release the binary was built from
+  std::string git_sha;  ///< commit the binary was built from ("unknown" outside git)
+  std::size_t threads = 1;
+  /// Effective option values in registration order (Cli::values(), or built
+  /// by hand for tools with bespoke parsers).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<InputDigest> inputs;
+
+  /// Manifest pre-filled with this build's version and git sha.
+  static RunManifest for_tool(std::string tool);
+
+  /// Reads `path` and appends its size + CRC-32; directories and unreadable
+  /// paths are recorded with readable=false rather than failing the run.
+  void add_input(const std::string& path);
+};
+
+/// Serializes manifest + snapshot as the versioned JSON document
+/// (schema kSchemaVersion; field reference in docs/OBSERVABILITY.md).
+std::string to_json(const RunManifest& manifest, const Snapshot& snapshot);
+
+/// Writes to_json() to `path` (truncating).  Throws util::Error on I/O
+/// failure.
+void write_json(const std::string& path, const RunManifest& manifest,
+                const Snapshot& snapshot);
+
+}  // namespace pmacx::util::metrics

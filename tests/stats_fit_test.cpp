@@ -10,6 +10,7 @@
 #include "stats/canonical.hpp"
 #include "stats/ols.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace pmacx {
@@ -246,9 +247,57 @@ TEST(FitFormTest, ExponentialRejectsMixedSigns) {
   EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
 }
 
-TEST(FitFormTest, ExponentialRejectsZeros) {
+TEST(FitFormTest, ExponentialDropsZeroSamplesInsteadOfRejecting) {
+  // A measurement that bottoms out at exactly zero at one core count must
+  // not disqualify the whole series: the zero is dropped from the log-space
+  // regression (and counted in fits.zero_dropped_samples) while the rest of
+  // the series still produces a candidate.
+  auto& dropped = util::metrics::Registry::global().counter("fits.zero_dropped_samples");
+  const std::uint64_t before = dropped.value();
   const std::vector<double> y = {0.0, 1.0, 2.0};
+  const FittedModel fit = fit_form(Form::Exponential, kCores, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_TRUE(std::isfinite(fit.sse));
+  EXPECT_EQ(dropped.value(), before + 1);
+}
+
+TEST(FitFormTest, PowerDropsZeroSamplesInsteadOfRejecting) {
+  // Power data with one sample zeroed: the remaining four points determine
+  // the exponent; the fit must succeed and recover b from them.
+  auto y = apply(Form::Power, kCores5, 3.0, -0.5);
+  y[2] = 0.0;
+  const FittedModel fit = fit_form(Form::Power, kCores5, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.params[1], -0.5, 1e-9);
+}
+
+TEST(FitFormTest, LogSpaceZeroDropIsByteIdenticalForZeroFreeSeries) {
+  // The zero-drop path must not perturb zero-free fits: the regression
+  // consumes the same samples in the same order, so parameters are
+  // bit-identical to a straight fit of the series.
+  const auto y = apply(Form::Exponential, kCores5, 5.0, -0.0004);
+  const FittedModel a = fit_form(Form::Exponential, kCores5, y);
+  const FittedModel b = fit_form(Form::Exponential, kCores5, y);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.params[0], b.params[0]);
+  EXPECT_EQ(a.params[1], b.params[1]);
+}
+
+TEST(FitFormTest, AllZeroSeriesStillFailsLogSpaceForms) {
+  const std::vector<double> y = {0.0, 0.0, 0.0};
   EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
+  EXPECT_FALSE(fit_form(Form::Power, kCores, y).ok);
+}
+
+TEST(FitFormTest, SingleNonzeroSampleStillFailsLogSpaceForms) {
+  const std::vector<double> y = {0.0, 0.0, 2.0};
+  EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
+}
+
+TEST(FitFormTest, MixedSignWithZeroStillFails) {
+  const std::vector<double> y = {-1.0, 0.0, 1.0};
+  EXPECT_FALSE(fit_form(Form::Exponential, kCores, y).ok);
+  EXPECT_FALSE(fit_form(Form::Power, kCores, y).ok);
 }
 
 TEST(FitFormTest, ExponentialHandlesAllNegative) {
@@ -271,6 +320,47 @@ TEST(FitFormTest, EvaluateClampsExponentialOverflow) {
   model.form = Form::Exponential;
   model.params = {1.0, 10.0, 0.0};  // e^(10·p) would overflow
   EXPECT_TRUE(std::isfinite(model.evaluate(1e6)));
+}
+
+TEST(FitFormTest, EvaluateThrowsOutsideDomainInsteadOfClamping) {
+  // The old 1e-300 floor silently turned evaluate(0) into garbage like
+  // a + b·log(1e-300); the domain violation must now surface as an error
+  // (and be visible in the fits.evaluate_domain_errors counter).
+  auto& errors =
+      util::metrics::Registry::global().counter("fits.evaluate_domain_errors");
+  for (Form form : {Form::Logarithmic, Form::Power, Form::InverseP}) {
+    FittedModel model;
+    model.form = form;
+    model.params = {1.0, 2.0, 0.0};
+    const std::uint64_t before = errors.value();
+    EXPECT_THROW(model.evaluate(0.0), util::Error) << stats::form_name(form);
+    EXPECT_THROW(model.evaluate(-64.0), util::Error) << stats::form_name(form);
+    EXPECT_EQ(errors.value(), before + 2) << stats::form_name(form);
+    EXPECT_TRUE(std::isfinite(model.evaluate(1024.0)));
+  }
+}
+
+TEST(FitFormTest, EvaluateDomainErrorNamesTheForm) {
+  FittedModel model;
+  model.form = Form::Logarithmic;
+  model.params = {1.0, 2.0, 0.0};
+  try {
+    model.evaluate(0.0);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("log"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos);
+  }
+}
+
+TEST(FitFormTest, EvaluateTotalFormsUnaffectedByDomainCheck) {
+  // Forms defined on all of R keep evaluating at any core count.
+  for (Form form : {Form::Constant, Form::Linear, Form::Exponential, Form::Quadratic}) {
+    FittedModel model;
+    model.form = form;
+    model.params = {1.0, -0.001, 0.0};
+    EXPECT_TRUE(std::isfinite(model.evaluate(0.0))) << stats::form_name(form);
+  }
 }
 
 TEST(FitFormTest, R2IsOneForPerfectFit) {

@@ -1,0 +1,347 @@
+// Tests for the pipeline observability layer: the metrics registry's
+// concurrency and determinism contracts, stage timers, run manifests, and
+// the versioned JSON snapshot (including a golden-document check).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parse_error.hpp"
+#include "util/threadpool.hpp"
+
+namespace pmacx {
+namespace {
+
+namespace metrics = util::metrics;
+
+// ------------------------------------------------------------ registry ----
+
+TEST(MetricsRegistryTest, CounterFindsSameInstanceByName) {
+  metrics::Registry reg;
+  metrics::Counter& a = reg.counter("events");
+  metrics::Counter& b = reg.counter("events");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), 4u);
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsLastWrittenValue) {
+  metrics::Registry reg;
+  metrics::Gauge& g = reg.gauge("threads");
+  g.set(4.0);
+  g.set(16.0);
+  EXPECT_DOUBLE_EQ(g.value(), 16.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsReferencesValid) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("events");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the hoisted reference must keep counting after reset
+  EXPECT_EQ(reg.counter("events").value(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  metrics::Registry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("alpha").add(2);
+  reg.counter("mid").add(3);
+  const metrics::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+// ---------------------------------------------------------- concurrency ----
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromParallelForAreLossless) {
+  metrics::Registry reg;
+  metrics::Counter& c = reg.counter("work");
+  util::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 256;
+  constexpr std::uint64_t kPerTask = 1000;
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) c.add();
+  });
+  EXPECT_EQ(c.value(), kTasks * kPerTask);
+}
+
+TEST(MetricsRegistryTest, ConcurrentNameLookupIsSafe) {
+  metrics::Registry reg;
+  util::ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    // All tasks race to create/find the same few names.
+    reg.counter("shared." + std::to_string(i % 4)).add();
+  });
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : reg.snapshot().counters) total += value;
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(MetricsRegistryTest, CounterSnapshotIsIdenticalAcrossThreadCounts) {
+  // The determinism contract: counters tally work, not scheduling, so the
+  // same workload produces identical counter snapshots on 1 and 4 threads.
+  auto run = [](std::size_t threads) {
+    metrics::Registry reg;
+    util::ThreadPool pool(threads);
+    metrics::Counter& items = reg.counter("items");
+    metrics::Counter& odd = reg.counter("odd");
+    pool.parallel_for(101, [&](std::size_t i) {
+      items.add();
+      if (i % 2 == 1) odd.add();
+    });
+    return reg.snapshot().counters;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+// ------------------------------------------------------------ histogram ----
+
+TEST(MetricsHistogramTest, TracksCountSumMinMax) {
+  metrics::Histogram h;
+  h.record(10);
+  h.record(30);
+  h.record(20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(MetricsHistogramTest, EmptyHistogramReportsZeroMin) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(MetricsHistogramTest, BucketsAreLog2Ranges) {
+  metrics::Histogram h;
+  h.record(0);  // bucket 0
+  h.record(1);  // [1,2) -> bucket 0
+  h.record(2);  // [2,4) -> bucket 1
+  h.record(3);  // [2,4) -> bucket 1
+  h.record(1024);  // [1024,2048) -> bucket 10
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(MetricsHistogramTest, HugeSampleLandsInLastBucket) {
+  metrics::Histogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket(metrics::Histogram::kBuckets - 1), 1u);
+}
+
+// ----------------------------------------------------------- stage timer ----
+
+TEST(MetricsStageTimerTest, RecordsWallAndCpuHistograms) {
+  metrics::Registry reg;
+  {
+    metrics::StageTimer timer("stage", reg);
+    // Burn a little CPU so the wall reading is reliably nonzero.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i) * 1e-9;
+  }
+  const metrics::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.size(), 2u);
+  EXPECT_EQ(snap.timers[0].first, "stage.cpu_ns");
+  EXPECT_EQ(snap.timers[1].first, "stage.wall_ns");
+  EXPECT_EQ(snap.timers[1].second.count, 1u);
+  EXPECT_GT(snap.timers[1].second.sum, 0u);
+}
+
+TEST(MetricsStageTimerTest, NestedScopesAccumulateSeparately) {
+  metrics::Registry reg;
+  {
+    metrics::StageTimer outer("outer", reg);
+    metrics::StageTimer inner("inner", reg);
+  }
+  {
+    metrics::StageTimer inner("inner", reg);
+  }
+  const metrics::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.size(), 4u);
+  // Sorted: inner.cpu_ns, inner.wall_ns, outer.cpu_ns, outer.wall_ns.
+  EXPECT_EQ(snap.timers[1].first, "inner.wall_ns");
+  EXPECT_EQ(snap.timers[1].second.count, 2u);
+  EXPECT_EQ(snap.timers[3].first, "outer.wall_ns");
+  EXPECT_EQ(snap.timers[3].second.count, 1u);
+}
+
+// -------------------------------------------------------------- manifest ----
+
+TEST(MetricsManifestTest, ForToolFillsBuildProvenance) {
+  const metrics::RunManifest m = metrics::RunManifest::for_tool("pmacx_test");
+  EXPECT_EQ(m.tool, "pmacx_test");
+  EXPECT_FALSE(m.version.empty());
+  EXPECT_FALSE(m.git_sha.empty());
+}
+
+TEST(MetricsManifestTest, AddInputDigestsFileWithCrc32) {
+  const std::string path = ::testing::TempDir() + "metrics_input.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "123456789";  // canonical CRC-32 check string
+  }
+  metrics::RunManifest m;
+  m.add_input(path);
+  ASSERT_EQ(m.inputs.size(), 1u);
+  EXPECT_TRUE(m.inputs[0].readable);
+  EXPECT_EQ(m.inputs[0].bytes, 9u);
+  EXPECT_EQ(m.inputs[0].crc32, 0xcbf43926u);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsManifestTest, AddInputRecordsMissingFileAsUnreadable) {
+  metrics::RunManifest m;
+  m.add_input("/nonexistent/metrics/input");
+  ASSERT_EQ(m.inputs.size(), 1u);
+  EXPECT_FALSE(m.inputs[0].readable);
+  EXPECT_EQ(m.inputs[0].bytes, 0u);
+  EXPECT_EQ(m.inputs[0].crc32, 0u);
+}
+
+// ------------------------------------------------------------------ json ----
+
+TEST(MetricsJsonTest, GoldenDocument) {
+  // Fixed manifest + registry → the emitted document is fully deterministic;
+  // any change to it is a schema change and must bump kSchemaVersion.
+  metrics::RunManifest manifest;
+  manifest.tool = "pmacx_fit";
+  manifest.version = "0.3.0";
+  manifest.git_sha = "abcdef123456";
+  manifest.threads = 2;
+  manifest.config = {{"forms", "default"}, {"at", "8192"}};
+  manifest.inputs.push_back({"series.csv", 9, 0xcbf43926u, true});
+
+  metrics::Registry reg;
+  reg.counter("fits.total").add(42);
+  reg.counter("fits.constant_fallback").add(1);
+  reg.gauge("threads").set(2.0);
+  reg.histogram("fit.wall_ns").record(1500);
+
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"pmacx-metrics-v1\",\n"
+      "  \"manifest\": {\n"
+      "    \"tool\": \"pmacx_fit\",\n"
+      "    \"version\": \"0.3.0\",\n"
+      "    \"git_sha\": \"abcdef123456\",\n"
+      "    \"threads\": 2,\n"
+      "    \"config\": {\n"
+      "      \"forms\": \"default\",\n"
+      "      \"at\": \"8192\"\n"
+      "    },\n"
+      "    \"inputs\": [\n"
+      "      {\"path\": \"series.csv\", \"bytes\": 9, \"crc32\": \"cbf43926\", "
+      "\"readable\": true}\n"
+      "    ]\n"
+      "  },\n"
+      "  \"counters\": {\n"
+      "    \"fits.constant_fallback\": 1,\n"
+      "    \"fits.total\": 42\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"threads\": 2\n"
+      "  },\n"
+      "  \"timers\": {\n"
+      "    \"fit.wall_ns\": {\"count\": 1, \"sum\": 1500, \"min\": 1500, \"max\": 1500}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(metrics::to_json(manifest, reg.snapshot()), expected);
+}
+
+TEST(MetricsJsonTest, EscapesControlAndQuoteCharacters) {
+  metrics::RunManifest manifest;
+  manifest.tool = "a\"b\\c\nd";
+  const std::string json = metrics::to_json(manifest, metrics::Snapshot{});
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, EmptySectionsEmitEmptyObjects) {
+  const std::string json =
+      metrics::to_json(metrics::RunManifest{}, metrics::Snapshot{});
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"timers\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"inputs\": []"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, WriteJsonRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "metrics_out.json";
+  metrics::Registry reg;
+  reg.counter("events").add(5);
+  metrics::write_json(path, metrics::RunManifest{}, reg.snapshot());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text, metrics::to_json(metrics::RunManifest{}, reg.snapshot()));
+  std::remove(path.c_str());
+}
+
+TEST(MetricsJsonTest, WriteJsonThrowsOnUnwritablePath) {
+  EXPECT_THROW(metrics::write_json("/nonexistent/dir/out.json",
+                                   metrics::RunManifest{}, metrics::Snapshot{}),
+               util::Error);
+}
+
+// ------------------------------------------------------------- cli sweep ----
+
+TEST(CliParseFlagTest, ParsesValidNumbers) {
+  EXPECT_EQ(util::parse_flag_u64("6144", "--target-cores"), 6144u);
+  EXPECT_DOUBLE_EQ(util::parse_flag_double(" 0.25 ", "--influence"), 0.25);
+}
+
+TEST(CliParseFlagTest, ThrowsParseErrorNamingTheFlag) {
+  try {
+    util::parse_flag_u64("12abc", "--target-cores");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.section(), "--target-cores");
+    EXPECT_NE(std::string(e.what()).find("--target-cores"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+}
+
+TEST(CliParseFlagTest, RejectsNegativeU64AndGarbageDouble) {
+  EXPECT_THROW(util::parse_flag_u64("-3", "--threads"), util::ParseError);
+  EXPECT_THROW(util::parse_flag_double("1.2.3", "--influence"), util::ParseError);
+}
+
+TEST(CliParseFlagTest, CliGetterRaisesParseErrorWithFlagName) {
+  util::Cli cli("test", "test");
+  cli.add_u64("cores", 96, "core count");
+  const char* argv[] = {"test", "--cores", "ninety-six"};
+  try {
+    cli.parse(3, argv);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.section(), "--cores");
+  }
+}
+
+TEST(CliParseFlagTest, ValuesReturnsRegistrationOrderedConfig) {
+  util::Cli cli("test", "test");
+  cli.add_string("zeta", "z", "");
+  cli.add_u64("alpha", 7, "");
+  cli.add_flag("beta", "");
+  const char* argv[] = {"test", "--alpha", "9", "--beta"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  const auto values = cli.values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], (std::pair<std::string, std::string>{"zeta", "z"}));
+  EXPECT_EQ(values[1], (std::pair<std::string, std::string>{"alpha", "9"}));
+  EXPECT_EQ(values[2], (std::pair<std::string, std::string>{"beta", "1"}));
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a --metrics-json snapshot for the CI observability gate.
+
+  metrics_check.py <snapshot.json> [--max-fallback-ratio 0.05]
+                                   [--require-counter NAME ...]
+                                   [--require-nonzero-timer STAGE ...]
+
+Checks, in order:
+
+  1. Schema: the document is a pmacx-metrics-v1 object with a well-formed
+     manifest (tool/version/git_sha/threads/config/inputs), and counters,
+     gauges, and timers sections of the right shapes.  A malformed snapshot
+     means the emitter and this checker disagree about the schema — that is
+     a bug, not a tuning problem, so it always fails.
+  2. Required metrics: every --require-counter name must be present, and
+     every --require-nonzero-timer stage must have recorded wall time
+     ("<stage>.wall_ns" with count > 0 and sum > 0).
+  3. Fit health: when the snapshot contains fit counters, the fraction of
+     elements that fell back to the constant form
+     (fits.constant_fallback / fits.total) must not exceed
+     --max-fallback-ratio.  A fallback surge means the canonical forms
+     stopped representing the workload — the extrapolations still "work"
+     but quietly degrade to flat lines, which is exactly the failure mode
+     the observability layer exists to surface.
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors):
+    for err in errors:
+        print(f"metrics_check: {err}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail([f"cannot read {path}: {err}"])
+
+
+def is_uint(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_manifest(manifest, errors):
+    if not isinstance(manifest, dict):
+        errors.append("manifest is not an object")
+        return
+    for key in ("tool", "version", "git_sha"):
+        if not isinstance(manifest.get(key), str) or not manifest.get(key):
+            errors.append(f"manifest.{key} missing or not a non-empty string")
+    threads = manifest.get("threads")
+    if not is_uint(threads) or threads < 1:
+        errors.append(f"manifest.threads must be a positive integer, got {threads!r}")
+    config = manifest.get("config")
+    if not isinstance(config, dict):
+        errors.append("manifest.config is not an object")
+    else:
+        for key, value in config.items():
+            if not isinstance(value, str):
+                errors.append(f"manifest.config[{key!r}] is not a string")
+    inputs = manifest.get("inputs")
+    if not isinstance(inputs, list):
+        errors.append("manifest.inputs is not an array")
+        return
+    for i, entry in enumerate(inputs):
+        if not isinstance(entry, dict):
+            errors.append(f"manifest.inputs[{i}] is not an object")
+            continue
+        if not isinstance(entry.get("path"), str) or not entry.get("path"):
+            errors.append(f"manifest.inputs[{i}].path missing")
+        if not is_uint(entry.get("bytes")):
+            errors.append(f"manifest.inputs[{i}].bytes is not a non-negative integer")
+        crc = entry.get("crc32")
+        if not (isinstance(crc, str) and len(crc) == 8
+                and all(c in "0123456789abcdef" for c in crc)):
+            errors.append(f"manifest.inputs[{i}].crc32 is not 8 lowercase hex digits")
+        if not isinstance(entry.get("readable"), bool):
+            errors.append(f"manifest.inputs[{i}].readable is not a boolean")
+
+
+def check_sections(doc, errors):
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("counters is not an object")
+        counters = {}
+    for name, value in counters.items():
+        if not is_uint(value):
+            errors.append(f"counter {name!r} is not a non-negative integer")
+
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        errors.append("gauges is not an object")
+    else:
+        for name, value in gauges.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"gauge {name!r} is not a number")
+
+    timers = doc.get("timers")
+    if not isinstance(timers, dict):
+        errors.append("timers is not an object")
+        timers = {}
+    for name, hist in timers.items():
+        if not isinstance(hist, dict):
+            errors.append(f"timer {name!r} is not an object")
+            continue
+        for field in ("count", "sum", "min", "max"):
+            if not is_uint(hist.get(field)):
+                errors.append(f"timer {name!r}.{field} is not a non-negative integer")
+                break
+        else:
+            if hist["min"] > hist["max"]:
+                errors.append(f"timer {name!r} has min > max")
+            if hist["count"] > 0 and hist["sum"] < hist["max"]:
+                errors.append(f"timer {name!r} has sum < max")
+    return counters, timers
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot")
+    parser.add_argument("--max-fallback-ratio", type=float, default=0.05,
+                        help="allowed fits.constant_fallback / fits.total "
+                             "(default 0.05)")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME", help="counter that must be present")
+    parser.add_argument("--require-nonzero-timer", action="append", default=[],
+                        metavar="STAGE",
+                        help="stage whose <STAGE>.wall_ns must have count > 0 "
+                             "and sum > 0")
+    args = parser.parse_args()
+
+    doc = load(args.snapshot)
+    errors = []
+    if not isinstance(doc, dict):
+        fail(["snapshot is not a JSON object"])
+    if doc.get("schema") != "pmacx-metrics-v1":
+        errors.append(f"unexpected schema {doc.get('schema')!r} "
+                      "(this checker understands pmacx-metrics-v1)")
+    check_manifest(doc.get("manifest"), errors)
+    counters, timers = check_sections(doc, errors)
+
+    for name in args.require_counter:
+        if name not in counters:
+            errors.append(f"required counter {name!r} is missing")
+    for stage in args.require_nonzero_timer:
+        hist = timers.get(f"{stage}.wall_ns")
+        if not isinstance(hist, dict):
+            errors.append(f"required timer {stage!r} ({stage}.wall_ns) is missing")
+        elif not (is_uint(hist.get("count")) and hist["count"] > 0
+                  and is_uint(hist.get("sum")) and hist["sum"] > 0):
+            errors.append(f"required timer {stage!r} recorded no time")
+
+    total = counters.get("fits.total", 0)
+    fallback = counters.get("fits.constant_fallback", 0)
+    if is_uint(total) and is_uint(fallback) and total > 0:
+        ratio = fallback / total
+        print(f"metrics_check: fits.constant_fallback {fallback} / "
+              f"fits.total {total} = {ratio:.4f} "
+              f"(max {args.max_fallback_ratio:.4f})")
+        if ratio > args.max_fallback_ratio:
+            errors.append(
+                f"constant-fallback ratio {ratio:.4f} exceeds "
+                f"{args.max_fallback_ratio:.4f} — the canonical forms are "
+                "failing to represent this workload")
+
+    if errors:
+        fail(errors)
+    print(f"metrics_check: {args.snapshot} OK "
+          f"({len(counters)} counters, {len(timers)} timers)")
+
+
+if __name__ == "__main__":
+    main()

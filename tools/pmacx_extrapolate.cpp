@@ -8,6 +8,7 @@
 //   pmacx_extrapolate --target-cores 6144 --out s6144.trace \
 //       s96.trace s384.trace s1536.trace
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -16,7 +17,9 @@
 #include "core/comm_extrap.hpp"
 #include "core/extrapolator.hpp"
 #include "trace/binary_io.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/threadpool.hpp"
 
@@ -50,7 +53,9 @@ void usage() {
       "  --threads <n>          worker threads for input loading and fitting\n"
       "                         (default: PMACX_THREADS, else all hardware\n"
       "                         threads; 1 = serial — output is identical\n"
-      "                         either way)\n");
+      "                         either way)\n"
+      "  --metrics-json <file>  write a pmacx-metrics-v1 snapshot (counters,\n"
+      "                         stage timings, run manifest) to this file\n");
 }
 
 }  // namespace
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   std::string csv;
   std::uint64_t bootstrap = 0;
   std::uint64_t threads = 0;  // 0 = PMACX_THREADS / hardware
+  std::string metrics_json;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -81,7 +87,7 @@ int main(int argc, char** argv) {
         usage();
         return 0;
       } else if (arg == "--target-cores") {
-        target_cores = static_cast<std::uint32_t>(util::parse_u64(value(), arg));
+        target_cores = static_cast<std::uint32_t>(util::parse_flag_u64(value(), arg));
       } else if (arg == "--out") {
         out = value();
       } else if (arg == "--forms") {
@@ -89,7 +95,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--missing") {
         missing = value();
       } else if (arg == "--influence") {
-        influence = util::parse_double(value(), arg);
+        influence = util::parse_flag_double(value(), arg);
       } else if (arg == "--loo-cv") {
         loo = true;
       } else if (arg == "--salvage") {
@@ -99,13 +105,15 @@ int main(int argc, char** argv) {
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--worst") {
-        worst = util::parse_u64(value(), arg);
+        worst = util::parse_flag_u64(value(), arg);
       } else if (arg == "--csv") {
         csv = value();
       } else if (arg == "--bootstrap") {
-        bootstrap = util::parse_u64(value(), arg);
+        bootstrap = util::parse_flag_u64(value(), arg);
       } else if (arg == "--threads") {
-        threads = util::parse_u64(value(), arg);
+        threads = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--metrics-json") {
+        metrics_json = value();
       } else if (util::starts_with(arg, "--")) {
         PMACX_CHECK(false, "unknown option " + arg);
       } else {
@@ -145,12 +153,15 @@ int main(int argc, char** argv) {
       return loaded;
     };
     std::vector<LoadedInput> loaded_inputs;
-    if (pool) {
-      loaded_inputs = pool->parallel_map<LoadedInput>(inputs.size(), load_one);
-    } else {
-      loaded_inputs.reserve(inputs.size());
-      for (std::size_t i = 0; i < inputs.size(); ++i)
-        loaded_inputs.push_back(load_one(i));
+    {
+      util::metrics::StageTimer load_timer("extrapolate.load");
+      if (pool) {
+        loaded_inputs = pool->parallel_map<LoadedInput>(inputs.size(), load_one);
+      } else {
+        loaded_inputs.reserve(inputs.size());
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+          loaded_inputs.push_back(load_one(i));
+      }
     }
     std::vector<trace::AppSignature> input_signatures;
     std::vector<trace::TaskTrace> traces;
@@ -236,9 +247,33 @@ int main(int argc, char** argv) {
     // flag or not.
     if (report || !diagnostics.clean())
       std::printf("\n%s", diagnostics.summary().c_str());
+
+    if (!metrics_json.empty()) {
+      util::metrics::RunManifest manifest =
+          util::metrics::RunManifest::for_tool("pmacx_extrapolate");
+      manifest.threads = static_cast<std::uint32_t>(n_threads);
+      manifest.config = {
+          {"target-cores", std::to_string(target_cores)},
+          {"out", out},
+          {"forms", forms},
+          {"missing", missing},
+          {"influence", util::format("%g", influence)},
+          {"loo-cv", loo ? "1" : "0"},
+          {"salvage", salvage ? "1" : "0"},
+          {"signatures", signatures ? "1" : "0"},
+          {"bootstrap", std::to_string(bootstrap)},
+          {"threads", std::to_string(threads)},
+      };
+      for (const std::string& path : inputs) manifest.add_input(path);
+      util::metrics::write_json(metrics_json, manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
     return 0;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_extrapolate: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_extrapolate: internal error: %s\n", e.what());
     return 1;
   }
 }

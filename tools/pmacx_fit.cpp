@@ -7,12 +7,14 @@
 //   pmacx_fit --series "1024:0.36,2048:0.30,4096:0.22" --at 8192
 //   pmacx_fit --csv measurements.csv --at 8192 --forms all
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
 #include "stats/canonical.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -25,8 +27,8 @@ void parse_series(const std::string& text, std::vector<double>& p, std::vector<d
   for (const std::string& pair : util::split(text, ',')) {
     const auto fields = util::split(pair, ':');
     PMACX_CHECK(fields.size() == 2, "series entries must be cores:value, got '" + pair + "'");
-    p.push_back(util::parse_double(fields[0], "cores"));
-    y.push_back(util::parse_double(fields[1], "value"));
+    p.push_back(util::parse_flag_double(fields[0], "--series"));
+    y.push_back(util::parse_flag_double(fields[1], "--series"));
   }
 }
 
@@ -62,6 +64,9 @@ int main(int argc, char** argv) {
   cli.add_flag("aicc", "AICc selection (penalizes parameters; needs >= k+2 points)");
   cli.add_u64("bootstrap", 0,
               "residual-bootstrap resamples for a 90% interval at --at (0 = off)");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (counters, stage timings, "
+                 "run manifest) to this file");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -98,7 +103,9 @@ int main(int argc, char** argv) {
     if (!cli.get_string("at").empty()) {
       const std::uint64_t resamples = cli.get_u64("bootstrap");
       for (const std::string& target : util::split(cli.get_string("at"), ',')) {
-        const double cores = util::parse_double(target, "--at");
+        const double cores = util::parse_flag_double(target, "--at");
+        PMACX_CHECK(cores > 0,
+                    "--at core counts must be positive, got '" + target + "'");
         if (resamples > 0) {
           const auto interval =
               stats::bootstrap_interval(p, y, cores, options, resamples);
@@ -109,9 +116,21 @@ int main(int argc, char** argv) {
         }
       }
     }
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest = util::metrics::RunManifest::for_tool("pmacx_fit");
+      manifest.threads = 1;  // fitting one series is always serial
+      manifest.config = cli.values();
+      if (!cli.get_string("csv").empty()) manifest.add_input(cli.get_string("csv"));
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
     return 0;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_fit: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_fit: internal error: %s\n", e.what());
     return 1;
   }
 }

@@ -7,6 +7,7 @@
 //
 //   pmacx_predict --trace s6144.trace --app specfem3d --target bluewaters-p1
 #include <cstdio>
+#include <exception>
 #include <fstream>
 
 #include "machine/profile_io.hpp"
@@ -17,6 +18,7 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -37,6 +39,9 @@ int main(int argc, char** argv) {
                  "present, probed + written otherwise)");
   cli.add_flag("energy", "also print the energy prediction");
   cli.add_flag("blocks", "print the per-block time breakdown");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (counters, stage timings, "
+                 "run manifest) to this file");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -104,9 +109,23 @@ int main(int argc, char** argv) {
                   energy.dynamic_joules / 1e6, energy.static_joules / 1e6,
                   energy.total_joules / 1e6, energy.mean_watts / 1e3);
     }
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest =
+          util::metrics::RunManifest::for_tool("pmacx_predict");
+      manifest.threads = 1;  // prediction replays serially
+      manifest.config = cli.values();
+      if (!cli.get_string("trace").empty()) manifest.add_input(cli.get_string("trace"));
+      if (!cache_path.empty()) manifest.add_input(cache_path);
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
     return 0;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_predict: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_predict: internal error: %s\n", e.what());
     return 1;
   }
 }

@@ -8,6 +8,7 @@
 //   pmacx_trace --app specfem3d --cores 96 --target bluewaters-p1 \
 //               --out specfem3d.96.trace
 #include <cstdio>
+#include <exception>
 #include <optional>
 
 #include "machine/targets.hpp"
@@ -17,6 +18,7 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/threadpool.hpp"
 
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
   cli.add_u64("threads", 0,
               "worker threads for signature collection (0 = PMACX_THREADS, "
               "else all hardware threads; 1 = serial — same output either way)");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (counters, stage timings, "
+                 "run manifest) to this file");
   cli.add_flag("quiet", "suppress progress output");
 
   try {
@@ -85,9 +90,20 @@ int main(int argc, char** argv) {
         std::printf("full signature (%u comm timelines) -> %s\n", cores,
                     cli.get_string("signature-dir").c_str());
     }
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest = util::metrics::RunManifest::for_tool("pmacx_trace");
+      manifest.threads = static_cast<std::uint32_t>(threads);
+      manifest.config = cli.values();
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
     return 0;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_trace: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_trace: internal error: %s\n", e.what());
     return 1;
   }
 }
