@@ -70,33 +70,32 @@ double clamp_value(const ElementDomain& domain, double value, bool round_counts)
   return clamped;
 }
 
-/// Selects the best fit like stats::select_best (min SSE, simplicity
-/// tie-break) but, when requested, skips candidates whose extrapolation at
-/// `target` leaves the element's domain.
-stats::FittedModel select_model(std::span<const double> core_counts,
-                                std::span<const double> values, double target,
-                                const ElementDomain& domain,
-                                const ExtrapolationOptions& options) {
-  if (!options.reject_out_of_domain)
-    return stats::select_best(core_counts, values, options.fit);
-
-  const std::vector<stats::FittedModel> fits =
-      stats::fit_all(core_counts, values, options.fit);
-  const stats::FittedModel* best = nullptr;
-  auto better = [&](const stats::FittedModel& a, const stats::FittedModel& b) {
-    const double tolerance = options.fit.tie_tolerance * (1.0 + b.sse);
-    if (a.sse < b.sse - tolerance) return true;
-    if (std::fabs(a.sse - b.sse) <= tolerance)
-      return stats::form_complexity(a.form) < stats::form_complexity(b.form);
-    return false;
-  };
-  for (const stats::FittedModel& fit : fits) {
-    if (!fit.ok || !in_domain(domain, fit.evaluate(target))) continue;
-    if (best == nullptr || better(fit, *best)) best = &fit;
+/// Selects the best model among precomputed candidates, like
+/// stats::select_best (simplicity tie-break) but, when requested, preferring
+/// candidates whose extrapolation at `target` stays inside the element's
+/// domain (in-domain candidates rank by raw SSE, matching the historical
+/// domain-aware selection).  Falls back to the criterion-ranked best when
+/// nothing extrapolates in-domain (the value is clamped later).
+stats::FittedModel select_from_models(const ElementModels& em, double target,
+                                      const ElementDomain& domain,
+                                      const ExtrapolationOptions& options) {
+  if (options.reject_out_of_domain) {
+    const stats::FittedModel* best = nullptr;
+    auto better = [&](const stats::FittedModel& a, const stats::FittedModel& b) {
+      const double tolerance = options.fit.tie_tolerance * (1.0 + b.sse);
+      if (a.sse < b.sse - tolerance) return true;
+      if (std::fabs(a.sse - b.sse) <= tolerance)
+        return stats::form_complexity(a.form) < stats::form_complexity(b.form);
+      return false;
+    };
+    for (const stats::FittedModel& fit : em.candidates) {
+      if (!fit.ok || !in_domain(domain, fit.evaluate(target))) continue;
+      if (best == nullptr || better(fit, *best)) best = &fit;
+    }
+    if (best != nullptr) return *best;
   }
-  if (best != nullptr) return *best;
-  // Nothing extrapolates in-domain: fall back to the raw best (clamped later).
-  return stats::select_best(core_counts, values, options.fit);
+  return stats::select_from(em.candidates, em.scores, em.fit_axis, em.fit_values,
+                            options.fit);
 }
 
 /// Last-resort model when no canonical form yields a finite extrapolation:
@@ -209,36 +208,53 @@ struct ElementOutcome {
   bool fallback = false;
 };
 
-/// The parallelizable part of one element's extrapolation: choose the fit
-/// axis, select the model, evaluate, degrade to the constant fallback if
-/// needed, clamp, and (for influential elements) bootstrap.  Touches no
-/// shared mutable state.
-ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& element,
-                           double target, const InfluenceIndex& influence,
-                           const ExtrapolationOptions& options) {
-  const ElementDomain domain = domain_of(element.key);
+/// The target-independent half of one element's extrapolation: choose the
+/// fit axis (FitPresent restriction), fit every canonical candidate, and
+/// score them for selection.  Pure and thread-safe, so it fans out across
+/// the pool.
+ElementModels compute_element_models(const Alignment& alignment,
+                                     const AlignedElement& element,
+                                     const InfluenceIndex& influence,
+                                     const ExtrapolationOptions& options) {
+  ElementModels em;
 
   // FitPresent: restrict the fit to the counts where the element was
   // actually observed (≥ 2 needed; otherwise fall back to the full,
   // zero-filled series).
-  std::span<const double> fit_axis = alignment.axis;
-  std::span<const double> fit_values = element.values;
-  std::vector<double> present_axis, present_values;
   if (options.missing == MissingPolicy::FitPresent) {
     for (std::size_t i = 0; i < element.values.size(); ++i) {
       if (element.filled[i]) continue;
-      present_axis.push_back(alignment.axis[i]);
-      present_values.push_back(element.values[i]);
+      em.fit_axis.push_back(alignment.axis[i]);
+      em.fit_values.push_back(element.values[i]);
     }
-    if (present_axis.size() >= 2) {
-      fit_axis = present_axis;
-      fit_values = present_values;
+    if (em.fit_axis.size() < 2) {
+      em.fit_axis.clear();
+      em.fit_values.clear();
     }
   }
+  if (em.fit_axis.empty()) {
+    em.fit_axis.assign(alignment.axis.begin(), alignment.axis.end());
+    em.fit_values.assign(element.values.begin(), element.values.end());
+  }
+
+  em.candidates = stats::fit_all(em.fit_axis, em.fit_values, options.fit);
+  em.scores = stats::selection_scores(em.candidates, em.fit_axis, em.fit_values,
+                                      options.fit);
+  em.influential = influence.lookup(element.key);
+  return em;
+}
+
+/// The target-dependent half: select among the precomputed candidates,
+/// evaluate at `target`, degrade to the constant fallback if needed, clamp,
+/// and (for influential elements) bootstrap.  Touches no shared mutable
+/// state.
+ElementOutcome evaluate_element(const Alignment& alignment, const AlignedElement& element,
+                                const ElementModels& em, double target,
+                                const ExtrapolationOptions& options) {
+  const ElementDomain domain = domain_of(element.key);
 
   ElementOutcome outcome;
-  stats::FittedModel model =
-      select_model(fit_axis, fit_values, target, domain, options);
+  stats::FittedModel model = select_from_models(em, target, domain, options);
   double raw = model.evaluate(target);
   if (!model.ok || !std::isfinite(raw)) {
     // Graceful degradation: no canonical form produced a usable
@@ -246,7 +262,7 @@ ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& ele
     // than poisoning the synthetic trace with a non-finite value, fall
     // back to the constant form through the mean of the finite samples
     // and record the substitution.
-    model = constant_fallback(fit_values);
+    model = constant_fallback(em.fit_values);
     raw = model.evaluate(target);
     outcome.fallback = true;
   }
@@ -258,8 +274,8 @@ ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& ele
   fit.inputs = element.values;
   fit.extrapolated = raw;
   fit.clamped = clamped;
-  fit.max_fit_rel_error = max_fit_relative_error(model, fit_axis, fit_values);
-  fit.influential = influence.lookup(element.key);
+  fit.max_fit_rel_error = max_fit_relative_error(model, em.fit_axis, em.fit_values);
+  fit.influential = em.influential;
   if (fit.influential && options.bootstrap_resamples > 0) {
     fit.has_interval = true;
     fit.interval = stats::bootstrap_interval(
@@ -270,18 +286,62 @@ ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& ele
   return outcome;
 }
 
-/// Shared core of both extrapolation axes: fit every aligned element over
-/// `alignment.axis`, evaluate at `target`, and synthesize the output trace.
-/// Fitting fans out across the pool (when one is configured); the results
-/// are applied serially in element order, so parallel runs emit the same
-/// bytes, the same report, and the same diagnostics as serial ones.
-ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inputs,
-                                          const Alignment& alignment, double target,
-                                          std::uint32_t out_core_count,
-                                          const std::string& axis_name,
-                                          const ExtrapolationOptions& options) {
-  const InfluenceIndex influence(inputs.back(), options.influence_threshold);
+/// One element end-to-end (the direct, uncached path): fit candidates and
+/// immediately evaluate them at the target.
+ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& element,
+                           double target, const InfluenceIndex& influence,
+                           const ExtrapolationOptions& options) {
+  const ElementModels em = compute_element_models(alignment, element, influence, options);
+  return evaluate_element(alignment, element, em, target, options);
+}
 
+/// Resolves which pool a parallel stage should run on.  nullptr means run
+/// serially; `local_pool` owns a private pool when options.threads > 1.
+util::ThreadPool* resolve_pool(const ExtrapolationOptions& options,
+                               std::optional<util::ThreadPool>& local_pool) {
+  if (options.pool != nullptr) return options.pool;
+  if (options.threads == 0) {
+    // Default (no explicit pool or thread count): one lazily created
+    // process-wide pool, sized by PMACX_THREADS / the hardware at first
+    // use, shared by every call — library callers looping over
+    // extrapolate_task must not pay thread spawn/join per call.
+    static util::ThreadPool shared_pool;
+    return &shared_pool;
+  }
+  if (options.threads > 1) {
+    // Explicit width: a private pool of exactly that size for this call.
+    local_pool.emplace(options.threads);
+    return &*local_pool;
+  }
+  return nullptr;
+}
+
+/// Runs `compute(i)` for i in [0, count), fanned out per the options' pool
+/// policy, results in index order.
+template <typename T, typename F>
+std::vector<T> run_stage(std::size_t count, F&& compute,
+                         const ExtrapolationOptions& options) {
+  std::optional<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = resolve_pool(options, local_pool);
+  if (pool != nullptr && !pool->serial())
+    return pool->parallel_map<T>(count, compute, /*grain=*/16);
+  std::vector<T> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(compute(i));
+  return out;
+}
+
+/// Stage 2 of every extrapolation path — apply outcomes in element order:
+/// skeleton synthesis, trace writes, degradation tallies, report rows.
+/// Serial by construction, so the merge (and every counter tallied here) is
+/// deterministic regardless of how the fits were scheduled — and shared
+/// between the direct and the cached (model-set) paths, so both emit the
+/// same bytes.
+ExtrapolationResult apply_outcomes(const Alignment& alignment,
+                                   std::vector<ElementOutcome>&& outcomes,
+                                   double target, std::uint32_t out_core_count,
+                                   const std::string& axis_name, const std::string& app,
+                                   std::uint32_t rank, const std::string& target_system) {
   ExtrapolationResult result;
   result.report.axis = alignment.axis;
   result.report.target = target;
@@ -289,10 +349,10 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
 
   // Output skeleton.
   trace::TaskTrace& out = result.trace;
-  out.app = inputs.back().app;
-  out.rank = inputs.back().rank;
+  out.app = app;
+  out.rank = rank;
   out.core_count = out_core_count;
-  out.target_system = inputs.back().target_system;
+  out.target_system = target_system;
   out.extrapolated = true;
   out.blocks = alignment.skeleton;
   out.sort_blocks();
@@ -301,41 +361,7 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
   std::unordered_map<std::uint64_t, trace::BasicBlockRecord*> block_index;
   for (auto& block : out.blocks) block_index[block.id] = &block;
 
-  // Stage 1 — fit every element (the hot loop; embarrassingly parallel).
   const std::size_t count = alignment.elements.size();
-  auto compute = [&](std::size_t i) {
-    return fit_element(alignment, alignment.elements[i], target, influence, options);
-  };
-  std::vector<ElementOutcome> outcomes;
-  {
-    util::metrics::StageTimer fit_timer("extrapolate.fit");
-    util::ThreadPool* pool = options.pool;
-    std::optional<util::ThreadPool> local_pool;
-    if (pool == nullptr) {
-      if (options.threads == 0) {
-        // Default (no explicit pool or thread count): one lazily created
-        // process-wide pool, sized by PMACX_THREADS / the hardware at first
-        // use, shared by every call — library callers looping over
-        // extrapolate_task must not pay thread spawn/join per call.
-        static util::ThreadPool shared_pool;
-        pool = &shared_pool;
-      } else if (options.threads > 1) {
-        // Explicit width: a private pool of exactly that size for this call.
-        local_pool.emplace(options.threads);
-        pool = &*local_pool;
-      }
-    }
-    if (pool != nullptr && !pool->serial()) {
-      outcomes = pool->parallel_map<ElementOutcome>(count, compute, /*grain=*/16);
-    } else {
-      outcomes.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) outcomes.push_back(compute(i));
-    }
-  }
-
-  // Stage 2 — apply in element order: trace writes, degradation tallies,
-  // report rows.  Serial by construction, so the merge (and every counter
-  // tallied here) is deterministic regardless of how stage 1 was scheduled.
   util::metrics::StageTimer apply_timer("extrapolate.apply");
   util::metrics::Registry& metrics = util::metrics::Registry::global();
   util::metrics::Counter& fits_total = metrics.counter("fits.total");
@@ -383,6 +409,35 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
   return result;
 }
 
+/// Shared core of both extrapolation axes: fit every aligned element over
+/// `alignment.axis`, evaluate at `target`, and synthesize the output trace.
+/// Fitting fans out across the pool (when one is configured); the results
+/// are applied serially in element order, so parallel runs emit the same
+/// bytes, the same report, and the same diagnostics as serial ones.
+ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inputs,
+                                          const Alignment& alignment, double target,
+                                          std::uint32_t out_core_count,
+                                          const std::string& axis_name,
+                                          const ExtrapolationOptions& options) {
+  const InfluenceIndex influence(inputs.back(), options.influence_threshold);
+
+  // Stage 1 — fit every element (the hot loop; embarrassingly parallel).
+  std::vector<ElementOutcome> outcomes;
+  {
+    util::metrics::StageTimer fit_timer("extrapolate.fit");
+    outcomes = run_stage<ElementOutcome>(
+        alignment.elements.size(),
+        [&](std::size_t i) {
+          return fit_element(alignment, alignment.elements[i], target, influence, options);
+        },
+        options);
+  }
+
+  return apply_outcomes(alignment, std::move(outcomes), target, out_core_count,
+                        axis_name, inputs.back().app, inputs.back().rank,
+                        inputs.back().target_system);
+}
+
 }  // namespace
 
 ExtrapolationResult extrapolate_task(std::span<const trace::TaskTrace> inputs,
@@ -407,6 +462,78 @@ ExtrapolationResult extrapolate_parameter(std::span<const trace::TaskTrace> inpu
   const Alignment alignment = align_over(inputs, parameter_values, options.missing);
   return extrapolate_alignment(inputs, alignment, target_value, inputs[0].core_count,
                                "parameter", options);
+}
+
+std::size_t TaskModelSet::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  total += alignment.axis.capacity() * sizeof(double);
+  for (const AlignedElement& element : alignment.elements) {
+    total += sizeof(element);
+    total += element.values.capacity() * sizeof(double);
+    total += element.filled.capacity() / 8;  // vector<bool> is bit-packed
+  }
+  for (const trace::BasicBlockRecord& block : alignment.skeleton) {
+    total += sizeof(block);
+    total += block.location.file.capacity() + block.location.function.capacity();
+    total += block.instructions.capacity() * sizeof(trace::InstructionRecord);
+  }
+  for (const ElementModels& em : models) {
+    total += sizeof(em);
+    total += em.fit_axis.capacity() * sizeof(double);
+    total += em.fit_values.capacity() * sizeof(double);
+    total += em.candidates.capacity() * sizeof(stats::FittedModel);
+    total += em.scores.capacity() * sizeof(double);
+  }
+  total += app.capacity() + target_system.capacity() + axis_name.capacity();
+  return total;
+}
+
+TaskModelSet fit_task_models(std::span<const trace::TaskTrace> inputs,
+                             const ExtrapolationOptions& options) {
+  PMACX_CHECK(inputs.size() >= 2, "extrapolation requires at least two input traces");
+
+  TaskModelSet set;
+  set.alignment = align_traces(inputs, options.missing);
+  set.options = options;
+  set.options.pool = nullptr;  // a cached set must not outlive a borrowed pool
+  set.app = inputs.back().app;
+  set.rank = inputs.back().rank;
+  set.target_system = inputs.back().target_system;
+  set.axis_name = "cores";
+
+  const InfluenceIndex influence(inputs.back(), options.influence_threshold);
+  util::metrics::StageTimer fit_timer("extrapolate.fit");
+  set.models = run_stage<ElementModels>(
+      set.alignment.elements.size(),
+      [&](std::size_t i) {
+        return compute_element_models(set.alignment, set.alignment.elements[i],
+                                      influence, options);
+      },
+      options);
+  return set;
+}
+
+ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
+                                            std::uint32_t target_cores) {
+  PMACX_CHECK(target_cores > 0, "target core count must be positive");
+  PMACX_CHECK(models.models.size() == models.alignment.elements.size(),
+              "model set inconsistent with its alignment");
+  const double target = static_cast<double>(target_cores);
+
+  // Selection + evaluation over precomputed candidates: no fitting, so this
+  // runs serially — and a shared cached set can be evaluated from many
+  // server threads concurrently (everything in `models` is read-only here).
+  std::vector<ElementOutcome> outcomes;
+  {
+    util::metrics::StageTimer select_timer("extrapolate.select");
+    outcomes.reserve(models.models.size());
+    for (std::size_t i = 0; i < models.models.size(); ++i)
+      outcomes.push_back(evaluate_element(models.alignment, models.alignment.elements[i],
+                                          models.models[i], target, models.options));
+  }
+
+  return apply_outcomes(models.alignment, std::move(outcomes), target, target_cores,
+                        models.axis_name, models.app, models.rank, models.target_system);
 }
 
 }  // namespace pmacx::core

@@ -78,6 +78,58 @@ ExtrapolationResult extrapolate_task(std::span<const trace::TaskTrace> inputs,
                                      std::uint32_t target_cores,
                                      const ExtrapolationOptions& options = {});
 
+/// Target-independent fitted candidates for one aligned element: the
+/// (possibly FitPresent-restricted) series that was actually fitted, every
+/// canonical candidate from stats::fit_all, and their selection scores.
+/// Nothing here depends on the extrapolation target — which is what makes a
+/// fitted model set reusable across "what happens at 6144 cores? at 24576?"
+/// queries.
+struct ElementModels {
+  std::vector<double> fit_axis;
+  std::vector<double> fit_values;
+  std::vector<stats::FittedModel> candidates;  ///< order of options.fit.forms
+  std::vector<double> scores;                  ///< stats::selection_scores
+  bool influential = false;                    ///< paper's 0.1 % rule
+};
+
+/// The expensive, target-independent half of an extrapolation: the
+/// alignment plus per-element canonical fits.  Evaluate it at any target
+/// with extrapolate_from_models.  This is the unit the serving layer's
+/// content-addressed model store caches ("fit once, query many").
+struct TaskModelSet {
+  Alignment alignment;
+  std::vector<ElementModels> models;  ///< parallel to alignment.elements
+  /// Policy snapshot used for fitting (pool pointer cleared: a cached set
+  /// must not retain a reference to a caller-owned pool).
+  ExtrapolationOptions options;
+  std::string app;
+  std::uint32_t rank = 0;
+  std::string target_system;
+  std::string axis_name = "cores";
+
+  /// Approximate resident size, for byte-bounded cache accounting.
+  std::size_t memory_bytes() const;
+};
+
+/// Fits canonical models for every aligned element of the input series —
+/// the expensive half of extrapolate_task — without committing to a target.
+/// The per-element fit stage fans out across the pool exactly like
+/// extrapolate_task's (timed under extrapolate.fit).
+TaskModelSet fit_task_models(std::span<const trace::TaskTrace> inputs,
+                             const ExtrapolationOptions& options = {});
+
+/// Evaluates a fitted model set at `target_cores`: per-element model
+/// selection (domain-aware when the set was fitted with
+/// reject_out_of_domain), evaluation, clamping, and trace synthesis.  For
+/// the same inputs and options the result is byte-identical to
+/// extrapolate_task(inputs, target_cores, options) — trace, report, and
+/// diagnostics all match — so cached answers are indistinguishable from
+/// freshly computed ones (tested in tests/core_extrap_test.cpp).  The
+/// selection stage runs serially (timed under extrapolate.select): without
+/// refitting it is far off any hot path.
+ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
+                                            std::uint32_t target_cores);
+
 /// Input-parameter extrapolation (Section VI future work): the same
 /// machinery along a problem-size axis at a *fixed* core count.  `inputs`
 /// were traced with strictly increasing `parameter_values` (e.g. mesh

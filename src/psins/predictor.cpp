@@ -1,5 +1,7 @@
 #include "psins/predictor.hpp"
 
+#include <cstdio>
+
 #include "simmpi/replay.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -68,5 +70,21 @@ PredictionResult predict_scaled(const trace::AppSignature& signature,
 }
 
 }  // namespace
+
+std::string render_prediction(const trace::TaskTrace& task, const std::string& machine_name,
+                              const PredictionResult& prediction) {
+  char buffer[512];
+  const int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "\n%s @ %u cores on %s (%s trace):\n"
+      "  predicted runtime: %.3f s\n"
+      "  demanding rank:    %.3f s compute, %.3f s communication\n",
+      task.app.c_str(), task.core_count, machine_name.c_str(),
+      task.extrapolated ? "extrapolated" : "collected", prediction.runtime_seconds,
+      prediction.compute_seconds, prediction.comm_seconds);
+  PMACX_CHECK(written > 0 && static_cast<std::size_t>(written) < sizeof(buffer),
+              "prediction rendering overflowed its buffer");
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
 
 }  // namespace pmacx::psins

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "machine/profile.hpp"
 #include "psins/convolution.hpp"
@@ -41,5 +42,12 @@ PredictionResult predict_hybrid(const trace::AppSignature& signature,
                                 const machine::MachineProfile& machine,
                                 std::uint32_t threads_per_rank,
                                 double thread_efficiency = 0.9);
+
+/// Renders the human-readable result block exactly as pmacx_predict prints
+/// it.  Shared between the CLI tool and the serving layer's PREDICT
+/// responses, so a served answer is byte-identical to the tool's output for
+/// the same inputs (the service golden tests assert this).
+std::string render_prediction(const trace::TaskTrace& task, const std::string& machine_name,
+                              const PredictionResult& prediction);
 
 }  // namespace pmacx::psins

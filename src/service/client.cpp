@@ -1,0 +1,107 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace pmacx::service {
+namespace {
+
+void set_timeouts(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw util::Error(std::string("send failed: ") +
+                      (n < 0 ? std::strerror(errno) : "connection closed"));
+  }
+}
+
+void recv_exact(int fd, char* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0)
+      throw util::Error("server closed the connection mid-response (" +
+                        std::to_string(got) + " of " + std::to_string(size) + " bytes)");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) throw util::Error("receive timed out");
+    throw util::Error(std::string("recv failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  PMACX_CHECK(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+              "bad host address '" + options_.host + "'");
+
+  std::uint64_t backoff_ms = options_.connect_backoff_ms;
+  std::string last_error = "no attempts made";
+  for (unsigned attempt = 0; attempt < std::max(1u, options_.connect_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PMACX_CHECK(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_timeouts(fd, static_cast<long>(options_.io_timeout_ms));
+      fd_ = fd;
+      return;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  throw util::Error("cannot connect to " + options_.host + ":" +
+                    std::to_string(options_.port) + " after " +
+                    std::to_string(options_.connect_attempts) + " attempts: " + last_error);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::call(const Request& request) {
+  PMACX_CHECK(fd_ >= 0, "client is not connected");
+  send_all(fd_, encode_request(request));
+
+  std::string header(kHeaderSize, '\0');
+  recv_exact(fd_, header.data(), header.size());
+  const std::size_t payload_size = frame_payload_size(header);
+  std::string rest(payload_size + 4, '\0');  // payload + CRC trailer
+  recv_exact(fd_, rest.data(), rest.size());
+  // Note: the response type normally echoes the request's, but a server
+  // that could not even decode our frame answers with a Status-typed error
+  // frame, so the type is informational here.
+  return decode_response(decode_frame(header + rest));
+}
+
+}  // namespace pmacx::service

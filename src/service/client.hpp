@@ -1,0 +1,48 @@
+// Blocking pmacx-rpc-v1 client.
+//
+// One Client owns one TCP connection and issues synchronous request /
+// response round-trips over it.  Connecting retries with exponential
+// backoff (the common race: a just-spawned pmacx_serve that has printed its
+// port but not yet reached accept()); established-connection I/O does not
+// retry — a timeout or short read is a util::Error the caller decides
+// about, because silently resending a FIT could double expensive work.
+// Not thread-safe: give each client thread its own Client (the load
+// generator does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace pmacx::service {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t io_timeout_ms = 30'000;   ///< per send/recv deadline
+  unsigned connect_attempts = 6;          ///< total tries before giving up
+  std::uint64_t connect_backoff_ms = 25;  ///< first retry delay; doubles per retry
+};
+
+class Client {
+ public:
+  /// Connects immediately, retrying with exponential backoff; throws
+  /// util::Error once every attempt is exhausted.
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One synchronous round-trip.  Throws util::Error on transport failure
+  /// (send/recv timeout, connection drop) and util::ParseError on a
+  /// malformed response frame.
+  Response call(const Request& request);
+
+ private:
+  ClientOptions options_;
+  int fd_ = -1;
+};
+
+}  // namespace pmacx::service

@@ -1,0 +1,193 @@
+#include "service/model_store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "machine/targets.hpp"
+#include "synth/registry.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace pmacx::service {
+
+namespace detail {
+
+void CacheMetrics::hit() { util::metrics::Registry::global().counter("service.cache.hits").add(); }
+
+void CacheMetrics::miss() {
+  util::metrics::Registry::global().counter("service.cache.misses").add();
+}
+
+void CacheMetrics::eviction() {
+  util::metrics::Registry::global().counter("service.cache.evictions").add();
+}
+
+void CacheMetrics::set_bytes_delta(std::ptrdiff_t delta) {
+  // The gauge mirrors the sum of all caches' accounted bytes.  Gauges have
+  // no atomic add, and this is only ever called under a cache's mutex, so a
+  // read-modify-write race across *different* caches is possible but
+  // benign for an advisory gauge.
+  util::metrics::Gauge& gauge = util::metrics::Registry::global().gauge("service.cache.bytes");
+  gauge.set(gauge.value() + static_cast<double>(delta));
+}
+
+}  // namespace detail
+
+namespace {
+
+std::size_t trace_cost(const LoadedTrace& loaded) { return loaded.memory_bytes(); }
+std::size_t models_cost(const core::TaskModelSet& set) { return set.memory_bytes(); }
+std::size_t profile_cost(const machine::MachineProfile& profile) {
+  return sizeof(profile) +
+         profile.surface.samples().capacity() * sizeof(machine::BandwidthSample);
+}
+std::size_t signature_cost(const trace::AppSignature& signature) {
+  return signature.memory_bytes();
+}
+
+/// Canonical byte string the model-set digest is computed over; the layout
+/// is part of pmacx-rpc-v1 (docs/FORMATS.md) so clients can predict digests.
+std::string digest_preimage(const std::vector<std::uint32_t>& input_crcs,
+                            const core::ExtrapolationOptions& options) {
+  std::string bytes;
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    char raw[4];
+    std::memcpy(raw, &v, 4);
+    bytes.append(raw, 4);
+  };
+  auto put_f64 = [&bytes](double v) {
+    char raw[8];
+    std::memcpy(raw, &v, 8);
+    bytes.append(raw, 8);
+  };
+  for (std::uint32_t crc : input_crcs) put_u32(crc);
+  bytes.push_back(static_cast<char>(options.missing));
+  bytes.push_back(static_cast<char>(options.fit.criterion));
+  bytes.push_back(options.fit.loo_cv ? 1 : 0);
+  bytes.push_back(options.reject_out_of_domain ? 1 : 0);
+  bytes.push_back(options.round_counts ? 1 : 0);
+  put_f64(options.fit.tie_tolerance);
+  put_f64(options.influence_threshold);
+  bytes.push_back(static_cast<char>(options.fit.forms.size()));
+  for (stats::Form form : options.fit.forms) bytes.push_back(static_cast<char>(form));
+  return bytes;
+}
+
+std::string hex_u32(std::uint32_t v) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(std::size_t max_bytes)
+    : traces_(max_bytes, trace_cost),
+      models_(max_bytes, models_cost),
+      profiles_(max_bytes, profile_cost),
+      signatures_(max_bytes, signature_cost) {}
+
+std::shared_ptr<const LoadedTrace> ModelStore::load_trace(const std::string& path) {
+  return traces_.get_or_load("trace:" + path, [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    PMACX_CHECK(in.good(), "cannot open trace '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+
+    auto loaded = std::make_shared<LoadedTrace>();
+    loaded->content_crc = util::crc32(bytes);
+    loaded->file_bytes = bytes.size();
+    loaded->trace = trace::TaskTrace::load(path);
+    loaded->trace.validate();
+    return std::shared_ptr<const LoadedTrace>(std::move(loaded));
+  });
+}
+
+std::string ModelStore::digest(const std::vector<std::string>& trace_paths,
+                               const core::ExtrapolationOptions& options) {
+  PMACX_CHECK(!trace_paths.empty(), "digest of an empty trace list");
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(trace_paths.size());
+  for (const std::string& path : trace_paths) crcs.push_back(load_trace(path)->content_crc);
+  const std::string preimage = digest_preimage(crcs, options);
+  // Two independent CRC passes (different seeds) give 64 digest bits — not
+  // cryptographic, but the store only needs collision resistance against
+  // accidental aliasing of a handful of cached workloads.
+  const std::uint32_t a = util::crc32(preimage);
+  const std::uint32_t b = util::crc32(preimage, /*seed=*/0x9e3779b9u);
+  return hex_u32(a) + hex_u32(b);
+}
+
+ModelStore::ModelsResult ModelStore::models_for(const std::vector<std::string>& trace_paths,
+                                                const core::ExtrapolationOptions& options) {
+  ModelsResult result;
+  result.digest = digest(trace_paths, options);
+  result.models = models_.get_or_load("models:" + result.digest, [&]() {
+    std::vector<trace::TaskTrace> inputs;
+    inputs.reserve(trace_paths.size());
+    for (const std::string& path : trace_paths) inputs.push_back(load_trace(path)->trace);
+    return std::make_shared<const core::TaskModelSet>(core::fit_task_models(inputs, options));
+  });
+  return result;
+}
+
+core::ExtrapolationResult ModelStore::extrapolate(const ModelsResult& models,
+                                                  std::uint32_t target_cores) const {
+  PMACX_CHECK(models.models != nullptr, "extrapolate on an empty models result");
+  return core::extrapolate_from_models(*models.models, target_cores);
+}
+
+std::shared_ptr<const machine::MachineProfile> ModelStore::profile_for(
+    const std::string& target_name) {
+  return profiles_.get_or_load("profile:" + target_name, [&target_name]() {
+    const machine::TargetSystem target = machine::target_by_name(target_name);
+    return std::make_shared<const machine::MachineProfile>(machine::build_profile(target));
+  });
+}
+
+std::shared_ptr<const trace::AppSignature> ModelStore::signature_for(
+    const ModelsResult& models, std::uint32_t target_cores, const std::string& app,
+    double work_scale) {
+  PMACX_CHECK(models.models != nullptr, "signature_for on an empty models result");
+  std::string key = "sig:" + models.digest + ":" + std::to_string(target_cores) + ":" + app +
+                    ":" + std::to_string(work_scale);
+  return signatures_.get_or_load(key, [&]() {
+    core::ExtrapolationResult extrapolated =
+        core::extrapolate_from_models(*models.models, target_cores);
+    const auto model = synth::make_app(app, work_scale);
+    PMACX_CHECK(extrapolated.trace.app == model->name(),
+                "traces were collected from '" + extrapolated.trace.app +
+                    "' but the request names app '" + model->name() + "'");
+    auto signature = std::make_shared<trace::AppSignature>();
+    signature->app = extrapolated.trace.app;
+    signature->core_count = target_cores;
+    signature->target_system = extrapolated.trace.target_system;
+    signature->demanding_rank = extrapolated.trace.rank;
+    signature->tasks.push_back(std::move(extrapolated.trace));
+    for (std::uint32_t rank = 0; rank < target_cores; ++rank)
+      signature->comm.push_back(model->comm_trace(target_cores, rank));
+    signature->validate();
+    return std::shared_ptr<const trace::AppSignature>(std::move(signature));
+  });
+}
+
+StoreStats ModelStore::stats() const {
+  StoreStats stats;
+  util::metrics::Registry& registry = util::metrics::Registry::global();
+  stats.hits = registry.counter("service.cache.hits").value();
+  stats.misses = registry.counter("service.cache.misses").value();
+  stats.evictions = registry.counter("service.cache.evictions").value();
+  stats.bytes = traces_.bytes() + models_.bytes() + profiles_.bytes() + signatures_.bytes();
+  stats.entries =
+      traces_.entries() + models_.entries() + profiles_.entries() + signatures_.entries();
+  return stats;
+}
+
+}  // namespace pmacx::service

@@ -1,0 +1,342 @@
+#include "service/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::service {
+namespace {
+
+// Little-endian primitive writers.  The repo targets little-endian hosts
+// (the binary trace format shares this assumption); encode/decode go through
+// memcpy so unaligned access is never an issue.
+
+void put_u16(std::string& out, std::uint16_t v) {
+  char bytes[2];
+  std::memcpy(bytes, &v, 2);
+  out.append(bytes, 2);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out.append(bytes, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out.append(bytes, 8);
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::string& out, std::string_view s) {
+  PMACX_CHECK(s.size() <= kMaxPayload, "string field exceeds frame capacity");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked payload reader; every violation is a ParseError naming
+/// the field being decoded and the offset within the payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes, std::string section)
+      : bytes_(bytes), section_(std::move(section)) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    const auto v = static_cast<std::uint8_t>(bytes_[pos_]);
+    pos_ += 1;
+    return v;
+  }
+  std::uint16_t u16(const char* field) {
+    need(2, field);
+    std::uint16_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 2);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  double f64(const char* field) { return std::bit_cast<double>(u64(field)); }
+
+  std::string str(const char* field) {
+    const std::uint32_t size = u32(field);
+    need(size, field);
+    std::string out(bytes_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+
+  void expect_end() {
+    if (pos_ != bytes_.size()) fail("payload", "trailing bytes after last field");
+  }
+
+ private:
+  void need(std::size_t count, const char* field) {
+    if (bytes_.size() - pos_ < count)
+      fail(field, "payload truncated (need " + std::to_string(count) + " more bytes)");
+  }
+  [[noreturn]] void fail(const std::string& field, const std::string& message) {
+    throw util::ParseError("", pos_, section_ + "." + field, message);
+  }
+
+  std::string_view bytes_;
+  std::string section_;
+  std::size_t pos_ = 0;
+};
+
+MsgType msg_type_from_wire(std::uint16_t raw, std::uint64_t offset) {
+  if (raw < 1 || raw > 5)
+    throw util::ParseError("", offset, "frame.type",
+                           "unknown message type " + std::to_string(raw));
+  return static_cast<MsgType>(raw);
+}
+
+}  // namespace
+
+std::string msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::Fit: return "fit";
+    case MsgType::Extrapolate: return "extrapolate";
+    case MsgType::Predict: return "predict";
+    case MsgType::Status: return "status";
+    case MsgType::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const Frame& frame) {
+  PMACX_CHECK(frame.payload.size() <= kMaxPayload,
+              "frame payload exceeds the " + std::to_string(kMaxPayload) + "-byte cap");
+  std::string out;
+  out.reserve(kHeaderSize + frame.payload.size() + 4);
+  out.append(kMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  // The CRC covers version + type + length + payload (everything after the
+  // magic), so a bit flip anywhere in a frame but its first 8 bytes is
+  // detectable — the type and length fields steer decoding and must not be
+  // trusted uncovered.
+  put_u32(out, util::crc32(std::string_view(out).substr(kMagic.size())));
+  return out;
+}
+
+std::size_t frame_payload_size(std::string_view header) {
+  if (header.size() < kHeaderSize)
+    throw util::ParseError("", header.size(), "frame.header",
+                           "truncated header (" + std::to_string(header.size()) + " of " +
+                               std::to_string(kHeaderSize) + " bytes)");
+  if (header.substr(0, kMagic.size()) != kMagic)
+    throw util::ParseError("", 0, "frame.magic", "bad magic (not a pmacx-rpc stream)");
+  std::uint16_t version;
+  std::memcpy(&version, header.data() + 8, 2);
+  if (version != kProtocolVersion)
+    throw util::ParseError("", 8, "frame.version",
+                           "unsupported protocol version " + std::to_string(version));
+  std::uint16_t type_raw;
+  std::memcpy(&type_raw, header.data() + 10, 2);
+  msg_type_from_wire(type_raw, 10);  // validated here so readers fail early
+  std::uint32_t length;
+  std::memcpy(&length, header.data() + 12, 4);
+  // Validate the declared length before any caller allocates for it: a
+  // corrupt frame must not be able to demand an unbounded buffer.
+  if (length > kMaxPayload)
+    throw util::ParseError("", 12, "frame.length",
+                           "declared payload of " + std::to_string(length) +
+                               " bytes exceeds the " + std::to_string(kMaxPayload) +
+                               "-byte cap");
+  return length;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  const std::size_t payload_size = frame_payload_size(bytes);
+  const std::size_t total = kHeaderSize + payload_size + 4;
+  if (bytes.size() < total)
+    throw util::ParseError("", bytes.size(), "frame.payload",
+                           "truncated frame (" + std::to_string(bytes.size()) + " of " +
+                               std::to_string(total) + " bytes)");
+  if (bytes.size() > total)
+    throw util::ParseError("", total, "frame.payload", "trailing bytes after frame");
+
+  std::uint16_t type_raw;
+  std::memcpy(&type_raw, bytes.data() + 10, 2);
+
+  const std::string_view payload = bytes.substr(kHeaderSize, payload_size);
+  std::uint32_t declared_crc;
+  std::memcpy(&declared_crc, bytes.data() + kHeaderSize + payload_size, 4);
+  const std::uint32_t actual_crc =
+      util::crc32(bytes.substr(kMagic.size(), kHeaderSize - kMagic.size() + payload_size));
+  if (declared_crc != actual_crc)
+    throw util::ParseError("", kHeaderSize + payload_size, "frame.crc",
+                           "payload CRC mismatch (stored " + std::to_string(declared_crc) +
+                               ", computed " + std::to_string(actual_crc) + ")");
+
+  Frame frame;
+  frame.type = msg_type_from_wire(type_raw, 10);
+  frame.payload.assign(payload);
+  return frame;
+}
+
+core::ExtrapolationOptions FitSpec::to_options() const {
+  core::ExtrapolationOptions options;
+  if (forms == "paper") {
+    options.fit.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+  } else if (forms == "all") {
+    options.fit.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+  } else {
+    PMACX_CHECK(forms == "default", "unknown forms set '" + forms + "'");
+  }
+  if (missing == "drop") {
+    options.missing = core::MissingPolicy::Drop;
+  } else if (missing == "carry") {
+    options.missing = core::MissingPolicy::CarryLast;
+  } else if (missing == "fit-present") {
+    options.missing = core::MissingPolicy::FitPresent;
+  } else {
+    PMACX_CHECK(missing == "zero", "unknown missing policy '" + missing + "'");
+  }
+  if (criterion == "loo") {
+    options.fit.criterion = stats::SelectionCriterion::LooCv;
+  } else if (criterion == "aicc") {
+    options.fit.criterion = stats::SelectionCriterion::Aicc;
+  } else {
+    PMACX_CHECK(criterion == "sse", "unknown selection criterion '" + criterion + "'");
+  }
+  options.fit.tie_tolerance = tie_tolerance;
+  options.influence_threshold = influence_threshold;
+  options.reject_out_of_domain = reject_out_of_domain;
+  options.round_counts = round_counts;
+  return options;
+}
+
+namespace {
+
+void encode_spec(std::string& payload, const FitSpec& spec) {
+  PMACX_CHECK(spec.trace_paths.size() <= 1024, "fit spec lists too many trace paths");
+  put_u32(payload, static_cast<std::uint32_t>(spec.trace_paths.size()));
+  for (const std::string& path : spec.trace_paths) put_str(payload, path);
+  put_str(payload, spec.forms);
+  put_str(payload, spec.missing);
+  put_str(payload, spec.criterion);
+  put_f64(payload, spec.tie_tolerance);
+  put_f64(payload, spec.influence_threshold);
+  payload.push_back(spec.reject_out_of_domain ? 1 : 0);
+  payload.push_back(spec.round_counts ? 1 : 0);
+}
+
+FitSpec decode_spec(PayloadReader& reader) {
+  FitSpec spec;
+  const std::uint32_t count = reader.u32("trace_count");
+  // Clamp before reserving: the count is attacker-controlled input.
+  if (count > 1024)
+    throw util::ParseError("", 0, "request.trace_count",
+                           "fit spec lists " + std::to_string(count) +
+                               " traces (cap 1024)");
+  spec.trace_paths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    spec.trace_paths.push_back(reader.str("trace_path"));
+  spec.forms = reader.str("forms");
+  spec.missing = reader.str("missing");
+  spec.criterion = reader.str("criterion");
+  spec.tie_tolerance = reader.f64("tie_tolerance");
+  spec.influence_threshold = reader.f64("influence_threshold");
+  spec.reject_out_of_domain = reader.u8("reject_out_of_domain") != 0;
+  spec.round_counts = reader.u8("round_counts") != 0;
+  return spec;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& request) {
+  Frame frame;
+  frame.type = request.type;
+  switch (request.type) {
+    case MsgType::Fit:
+      encode_spec(frame.payload, request.spec);
+      break;
+    case MsgType::Extrapolate:
+      encode_spec(frame.payload, request.spec);
+      put_u32(frame.payload, request.target_cores);
+      break;
+    case MsgType::Predict:
+      encode_spec(frame.payload, request.spec);
+      put_u32(frame.payload, request.target_cores);
+      put_str(frame.payload, request.app);
+      put_f64(frame.payload, request.work_scale);
+      put_str(frame.payload, request.machine_target);
+      break;
+    case MsgType::Status:
+    case MsgType::Shutdown:
+      break;  // empty payloads
+  }
+  return encode_frame(frame);
+}
+
+Request decode_request(const Frame& frame) {
+  Request request;
+  request.type = frame.type;
+  PayloadReader reader(frame.payload, "request." + msg_type_name(frame.type));
+  switch (frame.type) {
+    case MsgType::Fit:
+      request.spec = decode_spec(reader);
+      break;
+    case MsgType::Extrapolate:
+      request.spec = decode_spec(reader);
+      request.target_cores = reader.u32("target_cores");
+      break;
+    case MsgType::Predict:
+      request.spec = decode_spec(reader);
+      request.target_cores = reader.u32("target_cores");
+      request.app = reader.str("app");
+      request.work_scale = reader.f64("work_scale");
+      request.machine_target = reader.str("machine_target");
+      break;
+    case MsgType::Status:
+    case MsgType::Shutdown:
+      break;
+  }
+  reader.expect_end();
+  return request;
+}
+
+std::string encode_response(MsgType type, const Response& response) {
+  Frame frame;
+  frame.type = type;
+  put_u16(frame.payload, static_cast<std::uint16_t>(response.status));
+  put_str(frame.payload, response.body);
+  return encode_frame(frame);
+}
+
+Response decode_response(const Frame& frame) {
+  PayloadReader reader(frame.payload, "response." + msg_type_name(frame.type));
+  Response response;
+  const std::uint16_t status = reader.u16("status");
+  if (status > 2)
+    throw util::ParseError("", 0, "response.status",
+                           "unknown status code " + std::to_string(status));
+  response.status = static_cast<Status>(status);
+  response.body = reader.str("body");
+  reader.expect_end();
+  return response;
+}
+
+}  // namespace pmacx::service

@@ -1,0 +1,132 @@
+// pmacx-rpc-v1 — the prediction server's wire protocol.
+//
+// Frames are length-prefixed binary with an integrity trailer:
+//
+//   offset  size  field
+//   0       8     magic "pmacxrpc"
+//   8       2     version (LE u16, currently 1)
+//   10      2     message type (LE u16; request and response share the type)
+//   12      4     payload length N (LE u32, at most kMaxPayload)
+//   16      N     payload
+//   16+N    4     CRC-32 of bytes [8, 16+N) — version, type, length, and
+//                 payload (LE u32; util::crc32, zlib polynomial).  The type
+//                 and length fields steer decoding, so they are covered too:
+//                 any single-bit corruption after the magic is detectable.
+//
+// Malformed frames (bad magic, unknown version, oversized declared length,
+// truncation, CRC mismatch) raise util::ParseError carrying the byte offset
+// and the section being decoded, mirroring the trace loaders' taxonomy; the
+// declared length is validated against kMaxPayload *before* any allocation
+// (the PR 1 reserve() clamp rule), so a hostile length field cannot trigger
+// unbounded allocation.  Payload field encodings are little-endian
+// fixed-width integers, IEEE-754 doubles (bit pattern), and u32
+// length-prefixed UTF-8 strings.  docs/FORMATS.md holds the normative
+// layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/extrapolator.hpp"
+
+namespace pmacx::service {
+
+inline constexpr std::string_view kMagic = "pmacxrpc";
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Frame header bytes before the payload (magic + version + type + length).
+inline constexpr std::size_t kHeaderSize = 16;
+/// Hard payload ceiling: an extrapolated binary trace for the repo's
+/// workloads is well under a megabyte; 64 MiB leaves headroom for large
+/// reports while bounding what a corrupt length field can make us allocate.
+inline constexpr std::size_t kMaxPayload = 64u << 20;
+
+/// Message types; requests and their responses share the type value.
+enum class MsgType : std::uint16_t {
+  Fit = 1,          ///< fit (or look up) a model set; respond with its digest
+  Extrapolate = 2,  ///< evaluate a model set at a target; respond with the trace
+  Predict = 3,      ///< full runtime prediction; respond with the rendered block
+  Status = 4,       ///< server/cache statistics
+  Shutdown = 5,     ///< graceful drain + exit
+};
+
+/// Stable name ("fit", "predict", ...) used in metric names and logs.
+std::string msg_type_name(MsgType type);
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::Status;
+  std::string payload;
+};
+
+/// Serializes a frame (header + payload + CRC trailer).  Throws util::Error
+/// when the payload exceeds kMaxPayload.
+std::string encode_frame(const Frame& frame);
+
+/// Validates a frame header and returns the declared payload size, so
+/// stream readers know how many more bytes to read (payload + 4-byte CRC
+/// follow).  `header` must hold kHeaderSize bytes.  Throws util::ParseError
+/// on bad magic, unsupported version, or a length above kMaxPayload.
+std::size_t frame_payload_size(std::string_view header);
+
+/// Decodes one complete frame (header through CRC trailer).  Throws
+/// util::ParseError on any structural or integrity violation.
+Frame decode_frame(std::string_view bytes);
+
+/// The fit specification shared by FIT, EXTRAPOLATE, and PREDICT requests:
+/// which traces to model and under which policy.  Paths are resolved on the
+/// *server's* filesystem.
+struct FitSpec {
+  std::vector<std::string> trace_paths;  ///< ascending core counts, ≥ 2
+  std::string forms = "default";         ///< paper | default | all
+  std::string missing = "zero";          ///< drop | zero | carry | fit-present
+  std::string criterion = "sse";         ///< sse | loo | aicc
+  double tie_tolerance = 1e-9;
+  double influence_threshold = 0.001;
+  bool reject_out_of_domain = true;
+  bool round_counts = false;
+
+  /// Materializes the core-layer options these fields describe.  Throws
+  /// util::Error on unknown enum strings.
+  core::ExtrapolationOptions to_options() const;
+};
+
+/// A decoded request.  `type` says which fields are meaningful: FitSpec for
+/// Fit/Extrapolate/Predict, target_cores for Extrapolate/Predict, the
+/// app/machine fields for Predict only.
+struct Request {
+  MsgType type = MsgType::Status;
+  FitSpec spec;
+  std::uint32_t target_cores = 0;
+  std::string app;                 ///< application model for comm timelines
+  double work_scale = 1.0;
+  std::string machine_target;      ///< machine::target_by_name name
+};
+
+/// Response status. Busy is the load-shedding answer: the request was
+/// well-formed but the server's in-flight limit was reached — retry later.
+enum class Status : std::uint16_t {
+  Ok = 0,
+  Error = 1,
+  Busy = 2,
+};
+
+struct Response {
+  Status status = Status::Ok;
+  /// OK: the result (digest text, binary trace bytes, rendered prediction,
+  /// status report).  Error/Busy: a human-readable reason.
+  std::string body;
+};
+
+/// Encodes a request into a complete wire frame.
+std::string encode_request(const Request& request);
+/// Decodes a request payload; throws util::ParseError on malformed fields.
+Request decode_request(const Frame& frame);
+
+/// Encodes a response to a request of type `type` into a complete frame.
+std::string encode_response(MsgType type, const Response& response);
+/// Decodes a response payload; throws util::ParseError on malformed fields.
+Response decode_response(const Frame& frame);
+
+}  // namespace pmacx::service

@@ -1,0 +1,355 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "psins/predictor.hpp"
+#include "trace/binary_io.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll interval for the accept loop and idle connection reads; bounds how
+/// long a stop() request can go unnoticed.
+constexpr int kPollMs = 100;
+
+void set_recv_timeout(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void set_send_timeout(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+enum class ReadStatus { Ok, Closed, Stopped, TimedOut };
+
+/// Reads exactly `size` bytes.  Idle waits (no bytes of the message read
+/// yet) only end on close or stop; once a message has started, the read
+/// must complete within `timeout_ms` (slow-loris guard).
+ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<bool>& stop,
+                      std::uint64_t timeout_ms) {
+  std::size_t got = 0;
+  Clock::time_point started{};
+  while (got < size) {
+    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n > 0) {
+      if (got == 0) started = Clock::now();
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return ReadStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stop.load(std::memory_order_relaxed)) return ReadStatus::Stopped;
+      if (got > 0 &&
+          Clock::now() - started > std::chrono::milliseconds(timeout_ms))
+        return ReadStatus::TimedOut;
+      continue;
+    }
+    return ReadStatus::Closed;  // hard socket error: drop the connection
+  }
+  return ReadStatus::Ok;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // timeout or hard error: the peer gets a broken stream
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)), store_(options_.cache_bytes) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PMACX_CHECK(listen_fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  PMACX_CHECK(::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) == 1,
+              "bad bind address '" + options_.bind + "'");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::Error("bind " + options_.bind + ":" + std::to_string(options_.port) + ": " +
+                      reason);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::Error("listen: " + reason);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  PMACX_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size) == 0,
+              "getsockname failed");
+  port_ = ntohs(bound.sin_port);
+
+  pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  util::metrics::Registry::global().gauge("service.threads").set(
+      static_cast<double>(util::ThreadPool::resolve_threads(options_.threads)));
+  util::metrics::Registry::global().gauge("service.max_in_flight").set(
+      static_cast<double>(options_.max_in_flight));
+}
+
+Server::~Server() {
+  stop();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::start() {
+  PMACX_CHECK(!accepting_.exchange(true), "Server::start called twice");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout (stop re-check) or EINTR
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_recv_timeout(fd, kPollMs);
+    set_send_timeout(fd, static_cast<long>(options_.request_timeout_ms));
+
+    std::scoped_lock lock(connections_mutex_);
+    open_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+
+  // Stopping: unblock every connection read so their threads can exit.
+  std::scoped_lock lock(connections_mutex_);
+  for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so connection_threads_ can no longer grow.
+  std::vector<std::thread> threads;
+  {
+    std::scoped_lock lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  // Queued (not yet started) handlers are cancelled — their connection
+  // threads see CancelledError; running handlers finish within the request
+  // deadline their waiters enforce.
+  if (pool_) pool_->cancel_pending();
+  for (std::thread& thread : threads) thread.join();
+  pool_.reset();  // drains any still-running handler
+}
+
+void Server::serve_connection(int fd) {
+  std::string header(kHeaderSize, '\0');
+  std::string body;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const ReadStatus head = read_exact(fd, header.data(), header.size(), stop_,
+                                       options_.request_timeout_ms);
+    if (head != ReadStatus::Ok) break;
+
+    Frame frame;
+    try {
+      const std::size_t payload_size = frame_payload_size(header);
+      body.resize(payload_size + 4);  // payload + CRC trailer
+      if (read_exact(fd, body.data(), body.size(), stop_, options_.request_timeout_ms) !=
+          ReadStatus::Ok)
+        break;
+      frame = decode_frame(header + body);
+    } catch (const util::ParseError& e) {
+      // The stream is unsynchronized after a malformed frame: answer with a
+      // generic error frame, then drop the connection.
+      util::metrics::Registry::global().counter("service.requests.parse_error").add();
+      Response response;
+      response.status = Status::Error;
+      response.body = e.what();
+      send_all(fd, encode_response(MsgType::Status, response));
+      break;
+    }
+
+    Request request;
+    try {
+      request = decode_request(frame);
+    } catch (const util::ParseError& e) {
+      util::metrics::Registry::global().counter("service.requests.parse_error").add();
+      Response response;
+      response.status = Status::Error;
+      response.body = e.what();
+      send_all(fd, encode_response(frame.type, response));
+      break;
+    }
+
+    const Response response = dispatch(request);
+    if (!send_all(fd, encode_response(request.type, response))) break;
+    if (request.type == MsgType::Shutdown) {
+      stop();
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+Response Server::dispatch(const Request& request) {
+  auto& registry = util::metrics::Registry::global();
+  const std::string name = msg_type_name(request.type);
+  registry.counter("service.requests." + name).add();
+  handled_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point started = Clock::now();
+
+  // Control-plane requests are cheap and must work on a saturated server
+  // (STATUS is how you diagnose one, SHUTDOWN is how you stop one), so they
+  // run inline, exempt from the in-flight cap.
+  if (request.type == MsgType::Status || request.type == MsgType::Shutdown) {
+    Response response = handle(request);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - started);
+    registry.histogram("service.latency." + name)
+        .record(static_cast<std::uint64_t>(elapsed.count()));
+    return response;
+  }
+
+  // Load shedding: admit at most max_in_flight concurrent handlers; the
+  // rest get an explicit BUSY instead of queueing without bound.
+  const std::size_t admitted = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (admitted >= options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    registry.counter("service.requests.busy").add();
+    Response busy;
+    busy.status = Status::Busy;
+    busy.body = "server at capacity (" + std::to_string(admitted) + " requests in flight)";
+    return busy;
+  }
+
+  // The decrement must run exactly once whether the handler completes, the
+  // deadline fires (handler still running, still holding its slot), or the
+  // queued task is cancelled at shutdown (handler never runs).
+  auto decremented = std::make_shared<std::atomic<bool>>(false);
+  auto release_slot = [this, decremented] {
+    if (!decremented->exchange(true)) in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  util::TaskFuture<Response> future = pool_->submit([this, request, release_slot] {
+    Response response;
+    try {
+      response = handle(request);
+    } catch (const util::Error& e) {
+      response.status = Status::Error;
+      response.body = e.what();
+    } catch (const std::exception& e) {
+      response.status = Status::Error;
+      response.body = std::string("internal error: ") + e.what();
+    }
+    release_slot();
+    return response;
+  });
+
+  Response response;
+  if (!future.wait_for(std::chrono::milliseconds(options_.request_timeout_ms))) {
+    // Deadline exceeded: the handler keeps running (and keeps its in-flight
+    // slot) but its result is discarded.
+    registry.counter("service.requests.deadline_exceeded").add();
+    response.status = Status::Error;
+    response.body = "deadline exceeded after " + std::to_string(options_.request_timeout_ms) +
+                    " ms";
+  } else {
+    try {
+      response = future.get();
+    } catch (const util::CancelledError&) {
+      release_slot();  // the task never ran, so it never released
+      response.status = Status::Error;
+      response.body = "server shutting down";
+    }
+  }
+
+  if (response.status == Status::Error)
+    registry.counter("service.requests.error").add();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - started);
+  registry.histogram("service.latency." + name)
+      .record(static_cast<std::uint64_t>(elapsed.count()));
+  return response;
+}
+
+Response Server::handle(const Request& request) {
+  Response response;
+  switch (request.type) {
+    case MsgType::Fit: {
+      const ModelStore::ModelsResult models =
+          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+      response.body = models.digest;
+      break;
+    }
+    case MsgType::Extrapolate: {
+      const ModelStore::ModelsResult models =
+          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+      const core::ExtrapolationResult result =
+          store_.extrapolate(models, request.target_cores);
+      response.body = trace::to_binary(result.trace);
+      break;
+    }
+    case MsgType::Predict: {
+      const ModelStore::ModelsResult models =
+          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+      const auto signature = store_.signature_for(models, request.target_cores, request.app,
+                                                  request.work_scale);
+      const auto profile = store_.profile_for(request.machine_target);
+      const psins::PredictionResult prediction = psins::predict(*signature, *profile);
+      response.body = psins::render_prediction(signature->demanding_task(),
+                                               profile->system.name, prediction);
+      break;
+    }
+    case MsgType::Status: {
+      const StoreStats stats = store_.stats();
+      std::ostringstream out;
+      out << "requests " << handled_.load(std::memory_order_relaxed) << "\n"
+          << "in_flight " << in_flight_.load(std::memory_order_relaxed) << "\n"
+          << "cache.hits " << stats.hits << "\n"
+          << "cache.misses " << stats.misses << "\n"
+          << "cache.evictions " << stats.evictions << "\n"
+          << "cache.bytes " << stats.bytes << "\n"
+          << "cache.entries " << stats.entries << "\n";
+      response.body = out.str();
+      break;
+    }
+    case MsgType::Shutdown:
+      response.body = "draining";
+      break;
+  }
+  return response;
+}
+
+}  // namespace pmacx::service

@@ -1,0 +1,97 @@
+// The pmacx prediction server.
+//
+// A loopback-default TCP listener speaking pmacx-rpc-v1 (protocol.hpp).
+// Each accepted connection gets a lightweight reader thread that decodes
+// frames and dispatches request *handling* onto the shared util::ThreadPool,
+// so slow fits never starve frame I/O and the pool bounds CPU concurrency.
+// Load is shed explicitly: once `max_in_flight` requests are being handled,
+// further well-formed requests get an immediate BUSY response instead of
+// queueing without bound.  Every request is metered
+// (service.requests.<type>, service.requests.{busy,error,parse_error},
+// service.latency.<type> histograms) and bounded by a wall-clock deadline —
+// a handler that blows `request_timeout_ms` gets an Error response while the
+// stale computation's result is discarded.
+//
+// Shutdown is graceful: stop() only flips an atomic (async-signal-safe, so
+// SIGINT/SIGTERM handlers may call it); the accept loop notices within one
+// poll interval, open connections are shut down, in-flight handlers finish
+// (queued ones are cancelled via ThreadPool::cancel_pending), and wait()
+// returns once everything is drained.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/model_store.hpp"
+#include "service/protocol.hpp"
+#include "util/threadpool.hpp"
+
+namespace pmacx::service {
+
+struct ServerOptions {
+  std::string bind = "127.0.0.1";  ///< address to listen on (loopback default)
+  std::uint16_t port = 0;          ///< 0 = pick an ephemeral port
+  std::size_t threads = 0;         ///< handler pool size; 0 = hardware default
+  /// Requests being handled at once before new ones get BUSY.  0 makes every
+  /// request BUSY — useful for testing shed behaviour deterministically.
+  std::size_t max_in_flight = 64;
+  std::size_t cache_bytes = 256u << 20;  ///< ModelStore LRU budget
+  std::uint64_t request_timeout_ms = 30'000;  ///< per-request deadline
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid and a bind conflict
+  /// throws here, not in the background thread); accepting starts at start().
+  /// Throws util::Error on socket/bind/listen failure.
+  explicit Server(ServerOptions options);
+  ~Server();  ///< stop() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0 to the ephemeral choice).
+  std::uint16_t port() const { return port_; }
+
+  /// Spawns the accept loop in a background thread.
+  void start();
+
+  /// Requests shutdown.  Async-signal-safe: only stores an atomic flag.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the accept loop and every connection thread have exited
+  /// and in-flight handlers have drained.  Idempotent.
+  void wait();
+
+  ModelStore& store() { return store_; }
+  std::uint64_t requests_handled() const { return handled_.load(std::memory_order_relaxed); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handles one decoded request on the pool, enforcing the in-flight cap
+  /// and deadline; always returns a Response (errors become Status::Error).
+  Response dispatch(const Request& request);
+  Response handle(const Request& request);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> handled_{0};
+  ModelStore store_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace pmacx::service

@@ -370,6 +370,70 @@ FittedModel select_best(std::span<const double> p, std::span<const double> y,
   return fit_constant(p, y);
 }
 
+namespace {
+
+/// The criterion-downgrade rule shared by select_best and the precomputed
+/// paths: legacy loo_cv forces LooCv, and LooCv on < 4 samples degrades to
+/// MinSse (the refit-per-holdout needs at least 3 remaining points).
+SelectionCriterion effective_criterion(const FitOptions& opts, std::size_t n) {
+  SelectionCriterion criterion = opts.criterion;
+  if (opts.loo_cv) criterion = SelectionCriterion::LooCv;
+  if (criterion == SelectionCriterion::LooCv && n < 4) criterion = SelectionCriterion::MinSse;
+  return criterion;
+}
+
+}  // namespace
+
+std::vector<double> selection_scores(std::span<const FittedModel> fits,
+                                     std::span<const double> p, std::span<const double> y,
+                                     const FitOptions& opts) {
+  PMACX_CHECK(p.size() == y.size(), "selection_scores: p/y size mismatch");
+  const SelectionCriterion criterion = effective_criterion(opts, p.size());
+  std::vector<double> scores;
+  scores.reserve(fits.size());
+  for (const FittedModel& fit : fits) {
+    if (!fit.ok) {
+      scores.push_back(kInf);
+      continue;
+    }
+    double score = fit.sse;
+    if (criterion == SelectionCriterion::LooCv) {
+      score = loo_error(fit.form, p, y);
+    } else if (criterion == SelectionCriterion::Aicc) {
+      score = aicc_score(fit, p.size());
+      // An under-sampled AICc falls back to SSE so some fit always ranks.
+      if (!std::isfinite(score)) score = fit.sse;
+    }
+    scores.push_back(std::isfinite(score) ? score : kInf);
+  }
+  return scores;
+}
+
+FittedModel select_from(std::span<const FittedModel> fits, std::span<const double> scores,
+                        std::span<const double> p, std::span<const double> y,
+                        const FitOptions& opts) {
+  PMACX_CHECK(fits.size() == scores.size(), "select_from: fits/scores size mismatch");
+  FittedModel best;
+  double best_score = kInf;
+  bool have_best = false;
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    const FittedModel& fit = fits[i];
+    if (!fit.ok || !std::isfinite(scores[i])) continue;
+    const double score = scores[i];
+    const double tolerance = opts.tie_tolerance * (1.0 + best_score);
+    const bool better = !have_best || score < best_score - tolerance;
+    const bool tied = have_best && std::fabs(score - best_score) <= tolerance &&
+                      form_complexity(fit.form) < form_complexity(best.form);
+    if (better || tied) {
+      best = fit;
+      best_score = score;
+      have_best = true;
+    }
+  }
+  if (have_best) return best;
+  return fit_constant(p, y);
+}
+
 PredictionInterval bootstrap_interval(std::span<const double> p, std::span<const double> y,
                                       double target, const FitOptions& opts,
                                       std::size_t resamples, double confidence,

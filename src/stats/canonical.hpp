@@ -144,4 +144,24 @@ std::vector<FittedModel> fit_all(std::span<const double> p, std::span<const doub
 FittedModel select_best(std::span<const double> p, std::span<const double> y,
                         const FitOptions& opts = {});
 
+/// Scores every candidate in `fits` exactly as select_best ranks them (SSE,
+/// LOO-CV, or AICc per `opts`, with the same small-sample downgrades);
+/// scores[i] belongs to fits[i], and unusable candidates score +inf.  The
+/// scores depend only on the input series — never on an extrapolation
+/// target — which is what lets a fitted candidate set be cached and re-ranked
+/// for many targets.
+std::vector<double> selection_scores(std::span<const FittedModel> fits,
+                                     std::span<const double> p, std::span<const double> y,
+                                     const FitOptions& opts = {});
+
+/// select_best over precomputed candidates: no refitting.  With
+/// fits = fit_all(p, y, opts) and scores = selection_scores(fits, p, y, opts)
+/// the result is identical to select_best(p, y, opts) — the seam the serving
+/// layer's model cache relies on to skip fitting on repeated queries.
+/// `p`/`y` are only consulted for the constant fallback when every candidate
+/// is unusable.
+FittedModel select_from(std::span<const FittedModel> fits, std::span<const double> scores,
+                        std::span<const double> p, std::span<const double> y,
+                        const FitOptions& opts = {});
+
 }  // namespace pmacx::stats

@@ -44,6 +44,16 @@ void AppSignature::validate() const {
   PMACX_CHECK(demanding_rank < core_count, "demanding rank out of range");
 }
 
+std::size_t AppSignature::memory_bytes() const {
+  std::size_t total = sizeof(*this) + app.capacity() + target_system.capacity();
+  for (const auto& task : tasks) total += task.memory_bytes();
+  for (const auto& trace : comm) {
+    total += sizeof(trace);
+    total += trace.events.capacity() * sizeof(CommEvent);
+  }
+  return total;
+}
+
 void AppSignature::save(const std::string& directory) const {
   validate();
   namespace fs = std::filesystem;

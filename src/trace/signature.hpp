@@ -43,6 +43,10 @@ struct AppSignature {
   /// comm traces cover exactly ranks [0, core_count).
   void validate() const;
 
+  /// Approximate resident size across all task and comm traces, for
+  /// byte-bounded cache accounting in the serving layer.
+  std::size_t memory_bytes() const;
+
   /// Persists the signature as a directory: `signature.meta` (header),
   /// `task_<rank>.trace` per computation trace (binary format), and a
   /// single concatenated `comm.txt` for all ranks' communication timelines.

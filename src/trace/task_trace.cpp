@@ -134,6 +134,16 @@ double TaskTrace::total_bytes_moved() const {
   return total;
 }
 
+std::size_t TaskTrace::memory_bytes() const {
+  std::size_t total = sizeof(*this) + app.capacity() + target_system.capacity();
+  for (const auto& block : blocks) {
+    total += sizeof(block);
+    total += block.location.file.capacity() + block.location.function.capacity();
+    total += block.instructions.capacity() * sizeof(InstructionRecord);
+  }
+  return total;
+}
+
 std::string TaskTrace::to_text() const {
   std::ostringstream out;
   out.precision(17);  // exact double round-trip

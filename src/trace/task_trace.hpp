@@ -47,6 +47,10 @@ struct TaskTrace {
   double total_fp_ops() const;
   double total_bytes_moved() const;
 
+  /// Approximate resident size (records, strings, instruction vectors), for
+  /// byte-bounded cache accounting in the serving layer.
+  std::size_t memory_bytes() const;
+
   /// Serializes to the versioned text format.
   std::string to_text() const;
   /// Parses the text format; throws util::Error with a line number on any

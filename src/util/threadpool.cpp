@@ -115,6 +115,26 @@ detail::Task ThreadPool::take_task(std::size_t start) {
   return {};
 }
 
+std::size_t ThreadPool::cancel_pending() {
+  std::size_t cancelled = 0;
+  for (auto& queue_ptr : queues_) {
+    std::deque<detail::Task> victims;
+    {
+      std::scoped_lock lock(queue_ptr->mutex);
+      victims.swap(queue_ptr->tasks);
+    }
+    if (victims.empty()) continue;
+    pending_.fetch_sub(victims.size(), std::memory_order_relaxed);
+    // Abort outside the queue lock: the hooks take future/batch locks and
+    // notify waiters, neither of which should nest under a queue mutex.
+    for (detail::Task& task : victims) {
+      task.abort();
+      ++cancelled;
+    }
+  }
+  return cancelled;
+}
+
 bool ThreadPool::run_pending_task() {
   if (queues_.empty()) return false;
   std::size_t start;

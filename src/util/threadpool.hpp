@@ -57,31 +57,52 @@ class TaskError : public Error {
   std::size_t task_index_;
 };
 
+/// Raised on waiters of work discarded by ThreadPool::cancel_pending():
+/// the future (or parallel_for batch) completes with this instead of
+/// hanging on a task that will never run.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& message) : Error(message) {}
+};
+
 class ThreadPool;
 
 namespace detail {
 
 /// Move-only type-erased callable (std::function requires copyability,
-/// which packaged results do not have).
+/// which packaged results do not have).  A task may carry an abort hook:
+/// invoked instead of run() when the pool discards the task before it
+/// started (ThreadPool::cancel_pending), it must complete the task's
+/// observable state (future, batch counter) exceptionally so waiters wake.
 class Task {
  public:
   Task() = default;
   template <typename Fn>
-  explicit Task(Fn fn) : impl_(std::make_unique<Impl<Fn>>(std::move(fn))) {}
+  explicit Task(Fn fn) : impl_(std::make_unique<Impl<Fn, std::nullptr_t>>(std::move(fn), nullptr)) {}
+  template <typename Fn, typename Ab>
+  Task(Fn fn, Ab abort_fn)
+      : impl_(std::make_unique<Impl<Fn, Ab>>(std::move(fn), std::move(abort_fn))) {}
 
   explicit operator bool() const { return impl_ != nullptr; }
   void operator()() { impl_->run(); }
+  /// Discard notification; no-op for tasks without an abort hook.
+  void abort() { impl_->abort(); }
 
  private:
   struct Base {
     virtual ~Base() = default;
     virtual void run() = 0;
+    virtual void abort() = 0;
   };
-  template <typename Fn>
+  template <typename Fn, typename Ab>
   struct Impl final : Base {
-    explicit Impl(Fn f) : fn(std::move(f)) {}
+    Impl(Fn f, Ab a) : fn(std::move(f)), abort_fn(std::move(a)) {}
     void run() override { fn(); }
+    void abort() override {
+      if constexpr (!std::is_same_v<Ab, std::nullptr_t>) abort_fn();
+    }
     Fn fn;
+    Ab abort_fn;
   };
   std::unique_ptr<Base> impl_;
 };
@@ -139,6 +160,15 @@ class TaskFuture {
   /// rethrows its exception.  Consumes the result: call at most once.
   T get();
 
+  /// Waits up to `timeout` for completion without consuming the result.
+  /// Returns true once the task is done (get() will not block), false on
+  /// deadline.  Unlike get() this never helps the pool: running an
+  /// arbitrary queued task could overshoot the deadline, and callers use
+  /// this exactly when the deadline matters (request timeouts, shutdown
+  /// drains).
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout);
+
  private:
   friend class ThreadPool;
   TaskFuture(ThreadPool* pool, std::shared_ptr<detail::FutureState<T>> state)
@@ -193,6 +223,16 @@ class ThreadPool {
   /// Public so blocked waiters (futures, nested batches) can help.
   bool run_pending_task();
 
+  /// Discards every queued-but-not-started task, completing each one's
+  /// observable state (its future, or its parallel_for batch entry) with
+  /// CancelledError so waiters wake instead of hanging.  Already running
+  /// tasks are unaffected — threads cannot be preempted — so a server
+  /// shutdown bounds its wait by cancelling the queue and joining only the
+  /// in-flight work (which per-request deadlines keep short).  Returns the
+  /// number of tasks discarded.  Safe to call concurrently with submits;
+  /// tasks enqueued after the call may run normally.
+  std::size_t cancel_pending();
+
  private:
   struct Queue {
     std::mutex mutex;
@@ -239,6 +279,15 @@ T TaskFuture<T>::get() {
   if constexpr (!std::is_void_v<T>) return std::move(*state_->value);
 }
 
+template <typename T>
+template <typename Rep, typename Period>
+bool TaskFuture<T>::wait_for(std::chrono::duration<Rep, Period> timeout) {
+  PMACX_CHECK(state_ != nullptr, "TaskFuture::wait_for on an empty future");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_until(lock, deadline, [&] { return state_->done; });
+}
+
 template <typename Fn>
 auto ThreadPool::submit(Fn fn) -> TaskFuture<std::invoke_result_t<Fn&>> {
   using R = std::invoke_result_t<Fn&>;
@@ -262,7 +311,18 @@ auto ThreadPool::submit(Fn fn) -> TaskFuture<std::invoke_result_t<Fn&>> {
   if (serial()) {
     run();  // 1-thread degeneracy: execute inline, same error capture
   } else {
-    enqueue(detail::Task(std::move(run)));
+    auto abort = [state] {
+      {
+        std::scoped_lock lock(state->mutex);
+        if (!state->done) {
+          state->error = std::make_exception_ptr(
+              CancelledError("task cancelled before it started (ThreadPool::cancel_pending)"));
+          state->done = true;
+        }
+      }
+      state->cv.notify_all();
+    };
+    enqueue(detail::Task(std::move(run), std::move(abort)));
   }
   return TaskFuture<R>(this, std::move(state));
 }
@@ -325,8 +385,26 @@ void ThreadPool::parallel_for(std::size_t count, Fn&& fn, std::size_t grain) {
 
   for (std::size_t c = 1; c < chunks; ++c) {
     // Copy run_chunk (and with it a state reference) into each task: the
-    // task may outlive the owner's stack frame for the reason above.
-    enqueue(detail::Task([run_chunk, c] { run_chunk(c); }));
+    // task may outlive the owner's stack frame for the reason above.  The
+    // abort hook stands in for a discarded chunk: it records a cancellation
+    // failure at the chunk's first index and completes the batch counter so
+    // the owner's wait terminates.
+    enqueue(detail::Task([run_chunk, c] { run_chunk(c); },
+                         [state, c, count, chunks] {
+                           const std::size_t begin = c * count / chunks;
+                           {
+                             std::scoped_lock lock(state->error_mutex);
+                             state->failures.push_back(
+                                 {begin, std::make_exception_ptr(CancelledError(
+                                             "parallel batch cancelled before chunk started "
+                                             "(ThreadPool::cancel_pending)"))});
+                           }
+                           if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                             std::scoped_lock lock(state->wait_mutex);
+                             state->done = true;
+                             state->cv.notify_all();
+                           }
+                         }));
   }
   run_chunk(0);
   for (;;) {

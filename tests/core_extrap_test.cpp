@@ -371,6 +371,56 @@ TaskTrace size_trace(double n) {
   return task;
 }
 
+// ------------------------------------------------ fit-once/query-many seam --
+
+TEST(ModelSetTest, SplitMatchesExtrapolateTaskByteIdenticalAcrossOptions) {
+  // fit_task_models + extrapolate_from_models is the serving layer's cached
+  // path; extrapolate_task is the direct path.  A cached answer must be
+  // indistinguishable from a fresh one for every policy combination, so the
+  // sweep covers the option axes that steer fitting and selection.
+  std::vector<ExtrapolationOptions> sweep;
+  sweep.emplace_back();  // defaults
+  {
+    ExtrapolationOptions o;
+    o.reject_out_of_domain = false;
+    sweep.push_back(o);
+  }
+  {
+    ExtrapolationOptions o;
+    o.fit.criterion = stats::SelectionCriterion::LooCv;
+    o.round_counts = true;
+    sweep.push_back(o);
+  }
+  {
+    ExtrapolationOptions o;
+    o.fit.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+    o.missing = core::MissingPolicy::FitPresent;
+    sweep.push_back(o);
+  }
+  const auto series = law_series();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    SCOPED_TRACE("options[" + std::to_string(i) + "]");
+    const core::TaskModelSet models = core::fit_task_models(series, sweep[i]);
+    for (std::uint32_t target : {8192u, 65536u}) {
+      expect_identical_results(extrapolate_task(series, target, sweep[i]),
+                               core::extrapolate_from_models(models, target));
+    }
+  }
+}
+
+TEST(ModelSetTest, OneFitServesManyTargets) {
+  const auto series = law_series();
+  const core::TaskModelSet models = core::fit_task_models(series);
+  EXPECT_GT(models.memory_bytes(), sizeof(core::TaskModelSet));
+  // A cached set must not keep a reference to a caller-owned pool alive.
+  EXPECT_EQ(models.options.pool, nullptr);
+  for (std::uint32_t target : {4096u, 8192u, 16384u, 32768u}) {
+    const auto result = core::extrapolate_from_models(models, target);
+    EXPECT_EQ(result.trace.core_count, target);
+    EXPECT_TRUE(result.trace.extrapolated);
+  }
+}
+
 TEST(ParamExtrapTest, RecoversSizeLaws) {
   const std::vector<TaskTrace> series = {size_trace(1e6), size_trace(2e6), size_trace(4e6)};
   const std::vector<double> ns = {1e6, 2e6, 4e6};

@@ -1,0 +1,211 @@
+// pmacx-rpc-v1 codec tests: round-trips for every message type, header
+// validation (the declared length is rejected *before* any allocation), and
+// the repo's standard corruption contract driven by util::faultinject —
+// every truncation, bit flip, mutation, or extension of a valid frame must
+// raise util::ParseError, never crash, hang, or decode to a different
+// message.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/faultinject.hpp"
+#include "util/parse_error.hpp"
+#include "util/rng.hpp"
+
+using namespace pmacx;
+using namespace pmacx::service;
+
+namespace {
+
+Request sample_predict_request() {
+  Request request;
+  request.type = MsgType::Predict;
+  request.spec.trace_paths = {"s16.trace", "s32.trace", "s64.trace"};
+  request.spec.forms = "paper";
+  request.spec.missing = "fit-present";
+  request.spec.criterion = "loo";
+  request.spec.tie_tolerance = 1e-6;
+  request.spec.influence_threshold = 0.01;
+  request.spec.reject_out_of_domain = false;
+  request.spec.round_counts = true;
+  request.target_cores = 6144;
+  request.app = "specfem3d";
+  request.work_scale = 0.5;
+  request.machine_target = "bluewaters-p1";
+  return request;
+}
+
+void expect_requests_equal(const Request& a, const Request& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.spec.trace_paths, b.spec.trace_paths);
+  EXPECT_EQ(a.spec.forms, b.spec.forms);
+  EXPECT_EQ(a.spec.missing, b.spec.missing);
+  EXPECT_EQ(a.spec.criterion, b.spec.criterion);
+  EXPECT_EQ(a.spec.tie_tolerance, b.spec.tie_tolerance);
+  EXPECT_EQ(a.spec.influence_threshold, b.spec.influence_threshold);
+  EXPECT_EQ(a.spec.reject_out_of_domain, b.spec.reject_out_of_domain);
+  EXPECT_EQ(a.spec.round_counts, b.spec.round_counts);
+  EXPECT_EQ(a.target_cores, b.target_cores);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.work_scale, b.work_scale);
+  EXPECT_EQ(a.machine_target, b.machine_target);
+}
+
+}  // namespace
+
+TEST(ServiceProtocol, RequestRoundTripsEveryType) {
+  Request predict = sample_predict_request();
+  expect_requests_equal(predict, decode_request(decode_frame(encode_request(predict))));
+
+  Request extrapolate = sample_predict_request();
+  extrapolate.type = MsgType::Extrapolate;
+  // Predict-only fields are not carried on the wire for other types.
+  extrapolate.app.clear();
+  extrapolate.machine_target.clear();
+  extrapolate.work_scale = 1.0;
+  expect_requests_equal(extrapolate,
+                        decode_request(decode_frame(encode_request(extrapolate))));
+
+  Request fit = extrapolate;
+  fit.type = MsgType::Fit;
+  fit.target_cores = 0;
+  expect_requests_equal(fit, decode_request(decode_frame(encode_request(fit))));
+
+  for (MsgType type : {MsgType::Status, MsgType::Shutdown}) {
+    Request request;
+    request.type = type;
+    const Request decoded = decode_request(decode_frame(encode_request(request)));
+    EXPECT_EQ(decoded.type, type);
+  }
+}
+
+TEST(ServiceProtocol, ResponseRoundTrips) {
+  for (Status status : {Status::Ok, Status::Error, Status::Busy}) {
+    Response response;
+    response.status = status;
+    response.body = std::string("binary\0body\x7f with nulls", 23);
+    const Response decoded =
+        decode_response(decode_frame(encode_response(MsgType::Extrapolate, response)));
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_EQ(decoded.body, response.body);
+  }
+}
+
+TEST(ServiceProtocol, FitSpecMapsToOptions) {
+  FitSpec spec;
+  spec.forms = "paper";
+  spec.missing = "fit-present";
+  spec.criterion = "loo";
+  spec.tie_tolerance = 1e-6;
+  spec.reject_out_of_domain = false;
+  const core::ExtrapolationOptions options = spec.to_options();
+  EXPECT_EQ(options.fit.forms.size(), stats::paper_forms().size());
+  EXPECT_EQ(options.missing, core::MissingPolicy::FitPresent);
+  EXPECT_EQ(options.fit.criterion, stats::SelectionCriterion::LooCv);
+  EXPECT_EQ(options.fit.tie_tolerance, 1e-6);
+  EXPECT_FALSE(options.reject_out_of_domain);
+
+  FitSpec bad;
+  bad.forms = "kitchen-sink";
+  EXPECT_THROW(bad.to_options(), util::Error);
+}
+
+TEST(ServiceProtocol, HeaderRejectsOversizedLengthBeforeAllocation) {
+  std::string header = encode_request(Request{}).substr(0, kHeaderSize);
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxPayload) + 1;
+  std::memcpy(header.data() + 12, &huge, 4);
+  // frame_payload_size is what stream readers consult before sizing their
+  // buffer, so the cap must be enforced here — not after a 4 GiB resize.
+  EXPECT_THROW(frame_payload_size(header), util::ParseError);
+}
+
+TEST(ServiceProtocol, HeaderRejectsBadMagicVersionAndType) {
+  const std::string good = encode_request(Request{});
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(frame_payload_size(bad_magic), util::ParseError);
+
+  std::string bad_version = good;
+  bad_version[8] = 99;
+  EXPECT_THROW(frame_payload_size(bad_version), util::ParseError);
+
+  std::string bad_type = good;
+  bad_type[10] = 77;
+  EXPECT_THROW(frame_payload_size(bad_type), util::ParseError);
+
+  EXPECT_THROW(frame_payload_size(good.substr(0, kHeaderSize - 1)), util::ParseError);
+}
+
+TEST(ServiceProtocol, DecodeRejectsTruncationTrailingBytesAndCrcDamage) {
+  const std::string frame = encode_request(sample_predict_request());
+  EXPECT_THROW(decode_frame(frame.substr(0, frame.size() - 1)), util::ParseError);
+  EXPECT_THROW(decode_frame(frame + "x"), util::ParseError);
+
+  std::string flipped_payload = frame;
+  flipped_payload[kHeaderSize + 3] ^= 0x10;
+  EXPECT_THROW(decode_frame(flipped_payload), util::ParseError);
+
+  std::string flipped_crc = frame;
+  flipped_crc.back() ^= 0x01;
+  EXPECT_THROW(decode_frame(flipped_crc), util::ParseError);
+}
+
+TEST(ServiceProtocol, EveryTruncationRaisesParseError) {
+  const std::string frame = encode_request(sample_predict_request());
+  for (const util::Corruption& corruption : util::truncation_sweep(frame.size())) {
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    EXPECT_THROW(
+        {
+          const Frame decoded = decode_frame(damaged);
+          decode_request(decoded);
+        },
+        util::ParseError)
+        << corruption.describe();
+  }
+}
+
+TEST(ServiceProtocol, EveryBitFlipRaisesParseError) {
+  const std::string frame = encode_request(sample_predict_request());
+  // The CRC covers everything after the magic, and a magic flip fails the
+  // magic check — so *every* single-bit flip must be detected.
+  for (const util::Corruption& corruption : util::bit_flip_sweep(frame.size())) {
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    EXPECT_THROW(
+        {
+          const Frame decoded = decode_frame(damaged);
+          decode_request(decoded);
+        },
+        util::ParseError)
+        << corruption.describe();
+  }
+}
+
+TEST(ServiceProtocol, RandomCorruptionsNeverCrash) {
+  const std::string frame = encode_request(sample_predict_request());
+  util::Rng rng(20260806);
+  for (int i = 0; i < 2000; ++i) {
+    const util::Corruption corruption = util::random_corruption(rng, frame.size());
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    if (damaged == frame) continue;  // e.g. zero-length extension
+    try {
+      decode_request(decode_frame(damaged));
+      FAIL() << "undetected corruption: " << corruption.describe();
+    } catch (const util::ParseError&) {
+      // expected: the taxonomy names the section and offset
+    }
+  }
+}
+
+TEST(ServiceProtocol, EncodeRejectsOversizedPayload) {
+  Frame frame;
+  frame.type = MsgType::Status;
+  // Don't actually allocate 64 MiB: a request with too many paths trips the
+  // field-level cap first, which is the same contract.
+  Request request;
+  request.type = MsgType::Fit;
+  request.spec.trace_paths.assign(1025, "t.trace");
+  EXPECT_THROW(encode_request(request), util::Error);
+}

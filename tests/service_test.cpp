@@ -1,0 +1,447 @@
+// pmacx::service tests: the byte-bounded single-flight LRU, the
+// content-addressed model store, and the in-process server end-to-end —
+// including the golden equivalence contract (server responses byte-identical
+// to direct library calls), BUSY load shedding, and concurrent clients
+// (run under TSan by the CI matrix).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/extrapolator.hpp"
+#include "machine/profile.hpp"
+#include "machine/targets.hpp"
+#include "psins/predictor.hpp"
+#include "service/client.hpp"
+#include "service/model_store.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "synth/registry.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/task_trace.hpp"
+#include "util/error.hpp"
+
+namespace pmacx {
+namespace {
+
+using trace::BlockElement;
+using trace::TaskTrace;
+
+/// A small trace with known scaling laws, named after a real synthetic app
+/// so the PREDICT path can rebuild its communication timelines.
+TaskTrace law_trace(double p) {
+  TaskTrace task;
+  task.app = "specfem3d";
+  task.core_count = static_cast<std::uint32_t>(p);
+  task.target_system = "bluewaters-p1";
+
+  trace::BasicBlockRecord block;
+  block.id = 1;
+  block.location = {"solver.c", 10, "solve"};
+  block.set(BlockElement::VisitCount, 42.0);
+  block.set(BlockElement::MemLoads, 1e10 / p);
+  block.set(BlockElement::MemStores, 4e9 / p);
+  block.set(BlockElement::BytesPerRef, 8.0);
+  block.set(BlockElement::HitRateL1, 0.4);
+  block.set(BlockElement::HitRateL2, 0.5 + 0.00004 * p);
+  block.set(BlockElement::HitRateL3, 0.95);
+  block.set(BlockElement::WorkingSetBytes, 4.6e9 / p);
+  block.set(BlockElement::Ilp, 3.5);
+  block.set(BlockElement::DepChainLength, 6.0);
+  task.blocks.push_back(block);
+
+  trace::BasicBlockRecord reduction;
+  reduction.id = 2;
+  reduction.location = {"reduce.c", 2, "reduce"};
+  reduction.set(BlockElement::VisitCount, 10.0);
+  reduction.set(BlockElement::MemLoads, 4096.0 * (1.0 + std::log2(p)));
+  reduction.set(BlockElement::BytesPerRef, 8.0);
+  reduction.set(BlockElement::HitRateL1, 0.99);
+  reduction.set(BlockElement::HitRateL2, 0.99);
+  reduction.set(BlockElement::HitRateL3, 0.99);
+  reduction.set(BlockElement::Ilp, 2.0);
+  reduction.set(BlockElement::DepChainLength, 3.0);
+  task.blocks.push_back(reduction);
+  task.sort_blocks();
+  return task;
+}
+
+/// Writes the law series to disk once per process; the store addresses
+/// content, so reusing the files across tests is what a server sees anyway.
+std::vector<std::string> law_trace_files() {
+  static std::vector<std::string> paths = [] {
+    std::vector<std::string> created;
+    for (double p : {16.0, 32.0, 64.0}) {
+      const std::string path =
+          testing::TempDir() + "service_law_" + std::to_string(static_cast<int>(p)) +
+          ".trace";
+      law_trace(p).save(path);
+      created.push_back(path);
+    }
+    return created;
+  }();
+  return paths;
+}
+
+service::Request extrapolate_request(std::uint32_t target_cores) {
+  service::Request request;
+  request.type = service::MsgType::Extrapolate;
+  request.spec.trace_paths = law_trace_files();
+  request.target_cores = target_cores;
+  return request;
+}
+
+service::Request predict_request(std::uint32_t target_cores) {
+  service::Request request = extrapolate_request(target_cores);
+  request.type = service::MsgType::Predict;
+  request.app = "specfem3d";
+  request.work_scale = 1.0;
+  request.machine_target = "bluewaters-p1";
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// LruCache
+
+TEST(LruCacheTest, EvictsColdEntriesToStayUnderBudget) {
+  service::LruCache<int> cache(3 * sizeof(int), [](const int&) { return sizeof(int); });
+  int loads = 0;
+  auto loader = [&loads]() {
+    ++loads;
+    return std::make_shared<const int>(loads);
+  };
+  cache.get_or_load("a", loader);
+  cache.get_or_load("b", loader);
+  cache.get_or_load("c", loader);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * sizeof(int));
+
+  cache.get_or_load("a", loader);  // refresh "a" so "b" is now coldest
+  cache.get_or_load("d", loader);  // over budget: evicts "b"
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(loads, 4);
+
+  cache.get_or_load("a", loader);  // survived the eviction: hit
+  cache.get_or_load("c", loader);  // hit
+  EXPECT_EQ(loads, 4);
+
+  cache.get_or_load("b", loader);  // was evicted: reload, which evicts "d"
+  EXPECT_EQ(loads, 5);
+  cache.get_or_load("d", loader);
+  EXPECT_EQ(loads, 6);
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * sizeof(int));
+}
+
+TEST(LruCacheTest, SingleFlightRunsLoaderOnceUnderContention) {
+  service::LruCache<std::string> cache(1 << 20,
+                                       [](const std::string& s) { return s.size(); });
+  std::atomic<int> loads{0};
+  auto loader = [&loads]() {
+    loads.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::make_shared<const std::string>("value");
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto value = cache.get_or_load("shared", loader);
+      if (value && *value == "value") ok.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(loads.load(), 1) << "concurrent loads must coalesce";
+  EXPECT_EQ(ok.load(), kThreads);
+}
+
+TEST(LruCacheTest, FailedLoadPropagatesAndLeavesNoEntry) {
+  service::LruCache<int> cache(1 << 20, [](const int&) { return sizeof(int); });
+  EXPECT_THROW(cache.get_or_load(
+                   "bad", []() -> std::shared_ptr<const int> {
+                     throw util::Error("loader failed");
+                   }),
+               util::Error);
+  EXPECT_EQ(cache.entries(), 0u);
+  // The key is retryable: a later good loader succeeds.
+  auto value = cache.get_or_load("bad", [] { return std::make_shared<const int>(7); });
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 7);
+}
+
+// ---------------------------------------------------------------------------
+// ModelStore
+
+TEST(ModelStoreTest, DigestIsContentAddressed) {
+  service::ModelStore store;
+  const auto paths = law_trace_files();
+  core::ExtrapolationOptions options;
+
+  const std::string digest = store.digest(paths, options);
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest, store.digest(paths, options)) << "digest must be deterministic";
+
+  core::ExtrapolationOptions loo = options;
+  loo.fit.criterion = stats::SelectionCriterion::LooCv;
+  EXPECT_NE(digest, store.digest(paths, loo)) << "options are part of the address";
+
+  // Same bytes under a different file name → same digest (content, not path).
+  const std::string copy = testing::TempDir() + "service_law_copy.trace";
+  {
+    std::ifstream in(paths[0], std::ios::binary);
+    std::ofstream out(copy, std::ios::binary);
+    out << in.rdbuf();
+  }
+  auto renamed = paths;
+  renamed[0] = copy;
+  EXPECT_EQ(digest, store.digest(renamed, options));
+
+  // Different content → different digest.
+  const std::string other = testing::TempDir() + "service_law_other.trace";
+  law_trace(17).save(other);
+  auto changed = paths;
+  changed[0] = other;
+  EXPECT_NE(digest, store.digest(changed, options));
+}
+
+TEST(ModelStoreTest, ExtrapolateMatchesDirectCallByteForByte) {
+  service::ModelStore store;
+  const auto paths = law_trace_files();
+  core::ExtrapolationOptions options;
+
+  const auto models = store.models_for(paths, options);
+  ASSERT_NE(models.models, nullptr);
+  EXPECT_GT(models.models->memory_bytes(), 0u);
+  const core::ExtrapolationResult cached = store.extrapolate(models, 256);
+
+  std::vector<TaskTrace> inputs;
+  for (const auto& path : paths) inputs.push_back(TaskTrace::load(path));
+  const core::ExtrapolationResult direct = core::extrapolate_task(inputs, 256, options);
+
+  EXPECT_EQ(trace::to_binary(cached.trace), trace::to_binary(direct.trace));
+}
+
+TEST(ModelStoreTest, RepeatedQueriesHitTheCache) {
+  service::ModelStore store;
+  const auto paths = law_trace_files();
+  core::ExtrapolationOptions options;
+
+  const auto first = store.models_for(paths, options);
+  const service::StoreStats before = store.stats();
+  for (int i = 0; i < 5; ++i) {
+    const auto again = store.models_for(paths, options);
+    EXPECT_EQ(again.models.get(), first.models.get()) << "must be the same cached set";
+  }
+  const service::StoreStats after = store.stats();
+  // Each repeat hits the three trace slots (for the digest) and the model
+  // slot — and never misses.
+  EXPECT_GE(after.hits - before.hits, 5u * 4u);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end
+
+service::ServerOptions test_server_options() {
+  service::ServerOptions options;
+  options.port = 0;       // ephemeral
+  options.threads = 2;
+  options.request_timeout_ms = 120'000;  // generous: CI sanitizer builds are slow
+  return options;
+}
+
+service::ClientOptions client_for(const service::Server& server) {
+  service::ClientOptions options;
+  options.port = server.port();
+  options.io_timeout_ms = 120'000;
+  return options;
+}
+
+TEST(ServiceServerTest, ExtrapolateResponseIsByteIdenticalToLibraryCall) {
+  service::Server server(test_server_options());
+  server.start();
+  service::Client client(client_for(server));
+
+  const service::Request request = extrapolate_request(256);
+  const service::Response response = client.call(request);
+  ASSERT_EQ(response.status, service::Status::Ok) << response.body;
+
+  std::vector<TaskTrace> inputs;
+  for (const auto& path : request.spec.trace_paths) inputs.push_back(TaskTrace::load(path));
+  const core::ExtrapolationResult direct =
+      core::extrapolate_task(inputs, 256, request.spec.to_options());
+  EXPECT_EQ(response.body, trace::to_binary(direct.trace));
+
+  // The body is a valid binary trace a client can load and validate.
+  const TaskTrace round_trip = trace::from_binary(response.body);
+  round_trip.validate();
+  EXPECT_EQ(round_trip.core_count, 256u);
+  EXPECT_TRUE(round_trip.extrapolated);
+}
+
+TEST(ServiceServerTest, PredictResponseIsByteIdenticalToLibraryCall) {
+  service::Server server(test_server_options());
+  server.start();
+  service::Client client(client_for(server));
+
+  const service::Request request = predict_request(128);
+  const service::Response response = client.call(request);
+  ASSERT_EQ(response.status, service::Status::Ok) << response.body;
+
+  // Replicate pmacx_predict's pipeline directly.
+  std::vector<TaskTrace> inputs;
+  for (const auto& path : request.spec.trace_paths) inputs.push_back(TaskTrace::load(path));
+  core::ExtrapolationResult direct =
+      core::extrapolate_task(inputs, 128, request.spec.to_options());
+  const auto app = synth::make_app("specfem3d", 1.0);
+  trace::AppSignature signature;
+  signature.app = direct.trace.app;
+  signature.core_count = 128;
+  signature.target_system = direct.trace.target_system;
+  signature.demanding_rank = direct.trace.rank;
+  signature.tasks.push_back(direct.trace);
+  for (std::uint32_t rank = 0; rank < 128; ++rank)
+    signature.comm.push_back(app->comm_trace(128, rank));
+  const machine::MachineProfile profile =
+      machine::build_profile(machine::target_by_name("bluewaters-p1"));
+  const psins::PredictionResult prediction = psins::predict(signature, profile);
+
+  EXPECT_EQ(response.body, psins::render_prediction(signature.demanding_task(),
+                                                    "bluewaters-p1", prediction));
+
+  // Repeats are served from the signature cache — and must not change.
+  const service::Response again = client.call(request);
+  ASSERT_EQ(again.status, service::Status::Ok);
+  EXPECT_EQ(again.body, response.body);
+}
+
+TEST(ServiceServerTest, ZeroInFlightLimitShedsWithBusy) {
+  service::ServerOptions options = test_server_options();
+  options.max_in_flight = 0;
+  service::Server server(options);
+  server.start();
+  service::Client client(client_for(server));
+
+  const service::Response shed = client.call(extrapolate_request(256));
+  EXPECT_EQ(shed.status, service::Status::Busy) << shed.body;
+
+  // Control plane still answers on a saturated server.
+  service::Request status;
+  status.type = service::MsgType::Status;
+  const service::Response alive = client.call(status);
+  EXPECT_EQ(alive.status, service::Status::Ok);
+  EXPECT_NE(alive.body.find("in_flight"), std::string::npos);
+}
+
+TEST(ServiceServerTest, MalformedFrameGetsErrorResponseNotCrash) {
+  service::Server server(test_server_options());
+  server.start();
+
+  // The Client API never produces a bad frame, so speak raw sockets: send a
+  // frame whose payload got a bit flipped in transit.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string damaged = service::encode_request(extrapolate_request(256));
+  damaged[service::kHeaderSize + 2] ^= 0x40;
+  ASSERT_EQ(::send(fd, damaged.data(), damaged.size(), 0),
+            static_cast<ssize_t>(damaged.size()));
+
+  // The server answers with an Error frame, then drops the connection.
+  std::string reply(service::kHeaderSize, '\0');
+  std::size_t got = 0;
+  while (got < reply.size()) {
+    const ssize_t n = ::recv(fd, reply.data() + got, reply.size() - got, 0);
+    ASSERT_GT(n, 0) << "server must answer a corrupt frame, not just hang up";
+    got += static_cast<std::size_t>(n);
+  }
+  const std::size_t payload_size = service::frame_payload_size(reply);
+  std::string rest(payload_size + 4, '\0');
+  got = 0;
+  while (got < rest.size()) {
+    const ssize_t n = ::recv(fd, rest.data() + got, rest.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  const service::Response response =
+      service::decode_response(service::decode_frame(reply + rest));
+  EXPECT_EQ(response.status, service::Status::Error);
+  EXPECT_NE(response.body.find("crc"), std::string::npos) << response.body;
+
+  // The server survives: a fresh, well-formed connection still works.
+  service::Client fresh(client_for(server));
+  EXPECT_EQ(fresh.call(extrapolate_request(256)).status, service::Status::Ok);
+}
+
+TEST(ServiceServerTest, ConcurrentClientsGetIdenticalAnswers) {
+  service::Server server(test_server_options());
+  server.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 3;
+  std::vector<std::string> bodies(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        service::Client client(client_for(server));
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          const service::Response response = client.call(extrapolate_request(512));
+          if (response.status != service::Status::Ok) {
+            failures.fetch_add(1);
+            return;
+          }
+          if (bodies[t].empty()) {
+            bodies[t] = response.body;
+          } else if (bodies[t] != response.body) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(bodies[t], bodies[0]);
+
+  const service::StoreStats stats = server.store().stats();
+  EXPECT_GT(stats.hits, 0u) << "concurrent identical requests must share the cache";
+}
+
+TEST(ServiceServerTest, ShutdownRequestDrainsTheServer) {
+  service::Server server(test_server_options());
+  server.start();
+  {
+    service::Client client(client_for(server));
+    ASSERT_EQ(client.call(extrapolate_request(256)).status, service::Status::Ok);
+    service::Request shutdown;
+    shutdown.type = service::MsgType::Shutdown;
+    const service::Response response = client.call(shutdown);
+    EXPECT_EQ(response.status, service::Status::Ok);
+  }
+  server.wait();  // must return — the test TIMEOUT guards against a hang
+  EXPECT_GE(server.requests_handled(), 2u);
+}
+
+}  // namespace
+}  // namespace pmacx

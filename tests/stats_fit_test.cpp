@@ -398,6 +398,88 @@ TEST(FitFormTest, ParameterCounts) {
 
 // ----------------------------------------------------- AICc & bootstrap ----
 
+// ------------------------------------------------- cached selection seam ----
+
+void expect_models_identical(const FittedModel& a, const FittedModel& b) {
+  EXPECT_EQ(a.form, b.form);
+  EXPECT_EQ(a.ok, b.ok);
+  // Bit-exact, not NEAR: both paths must run the same arithmetic, or cached
+  // answers would drift from fresh ones.
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.sse, b.sse);
+  EXPECT_EQ(a.r2, b.r2);
+}
+
+TEST(SelectFromTest, MatchesSelectBestAcrossCriteriaAndShapes) {
+  // The serving layer's model cache re-ranks precomputed candidates with
+  // selection_scores + select_from instead of refitting; that is only sound
+  // if the composition reproduces select_best exactly — every criterion
+  // (including the small-sample downgrades), every data shape, every form
+  // set, bit for bit.
+  struct Shape {
+    const char* name;
+    std::vector<double> p;
+    std::vector<double> y;
+  };
+  const std::vector<Shape> shapes = {
+      {"flat3", kCores, apply(Form::Constant, kCores, 42.0, 0)},
+      {"linear5", kCores5, apply(Form::Linear, kCores5, 3.0, 0.25)},
+      {"log5", kCores5, apply(Form::Logarithmic, kCores5, 10.0, 2.0)},
+      {"inverse5", kCores5, apply(Form::InverseP, kCores5, 1.0, 5000.0)},
+      {"noisy5", kCores5, {11.0, 9.5, 10.4, 10.1, 9.9}},
+      {"negative3", kCores, {-4.0, -8.0, -16.0}},  // exponential unusable
+      {"zeros5", kCores5, {0, 0, 0, 0, 0}},
+  };
+  const std::vector<std::pair<const char*, FitOptions>> policies = [] {
+    std::vector<std::pair<const char*, FitOptions>> out;
+    FitOptions sse;
+    out.emplace_back("sse", sse);
+    FitOptions loo;
+    loo.criterion = stats::SelectionCriterion::LooCv;
+    out.emplace_back("loo", loo);
+    FitOptions legacy;
+    legacy.loo_cv = true;  // legacy switch must behave like criterion=LooCv
+    out.emplace_back("loo_legacy", legacy);
+    FitOptions aicc;
+    aicc.criterion = stats::SelectionCriterion::Aicc;
+    out.emplace_back("aicc", aicc);
+    FitOptions paper;
+    paper.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
+    out.emplace_back("paper_forms", paper);
+    FitOptions loose;
+    loose.tie_tolerance = 0.05;  // wide ties exercise the simplicity break
+    out.emplace_back("loose_ties", loose);
+    return out;
+  }();
+
+  for (const Shape& shape : shapes) {
+    for (const auto& [policy, opts] : policies) {
+      SCOPED_TRACE(std::string(shape.name) + "/" + policy);
+      const std::vector<FittedModel> fits = stats::fit_all(shape.p, shape.y, opts);
+      const std::vector<double> scores =
+          stats::selection_scores(fits, shape.p, shape.y, opts);
+      ASSERT_EQ(scores.size(), fits.size());
+      expect_models_identical(
+          stats::select_from(fits, scores, shape.p, shape.y, opts),
+          select_best(shape.p, shape.y, opts));
+    }
+  }
+}
+
+TEST(SelectFromTest, ScoresAreTargetIndependentAndReusable) {
+  // Scoring twice from the same candidates must be deterministic — the
+  // cache hands the same vector to every query.
+  const auto y = apply(Form::Logarithmic, kCores5, 5.0, 1.5);
+  const FitOptions opts;
+  const auto fits = stats::fit_all(kCores5, y, opts);
+  const auto once = stats::selection_scores(fits, kCores5, y, opts);
+  const auto twice = stats::selection_scores(fits, kCores5, y, opts);
+  EXPECT_EQ(once, twice);
+  // Unusable candidates (if any) must score +inf, never NaN: NaN would
+  // poison min-ranking silently.
+  for (double score : once) EXPECT_FALSE(std::isnan(score));
+}
+
 TEST(AiccTest, PrefersSimplerModelOnNoisyFlatData) {
   // Nearly flat, lightly noisy data over 6 points: AICc's complexity
   // penalty should keep the constant form ahead of wigglier candidates.

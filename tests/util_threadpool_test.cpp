@@ -196,6 +196,59 @@ TEST(ThreadPool, DestructionDrainsQueuedTasks) {
   EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, CancelPendingCompletesQueuedFuturesWithCancelledError) {
+  // The server-shutdown scenario: a slow task occupies every worker while
+  // more work sits queued.  cancel_pending() must discard the queue,
+  // complete each discarded task's future with CancelledError (so waiters
+  // wake instead of hanging), and leave running tasks alone — after which
+  // ~ThreadPool returns promptly instead of draining the whole backlog.
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    util::ThreadPool pool(2);
+    std::vector<util::TaskFuture<int>> blockers;
+    for (int k = 0; k < 2; ++k) {
+      blockers.push_back(pool.submit([&] {
+        ran.fetch_add(1);
+        while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return 1;
+      }));
+    }
+    // Give the workers a moment to pick the blockers up.
+    while (ran.load() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    std::vector<util::TaskFuture<int>> doomed;
+    for (int k = 0; k < 16; ++k) doomed.push_back(pool.submit([] { return 2; }));
+
+    const std::size_t cancelled = pool.cancel_pending();
+    EXPECT_EQ(cancelled, 16u);
+    for (auto& future : doomed) EXPECT_THROW(future.get(), util::CancelledError);
+
+    release.store(true);
+    for (auto& future : blockers) EXPECT_EQ(future.get(), 1);  // unaffected
+  }
+  EXPECT_EQ(ran.load(), 2) << "cancelled tasks must never have run";
+}
+
+TEST(ThreadPool, CancelPendingOnEmptyQueueIsANoOp) {
+  util::ThreadPool pool(2);
+  EXPECT_EQ(pool.cancel_pending(), 0u);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);  // pool still usable
+}
+
+TEST(ThreadPool, WaitForReportsCompletionWithoutConsuming) {
+  util::ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  auto slow = pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return 7;
+  });
+  EXPECT_FALSE(slow.wait_for(std::chrono::milliseconds(20)));
+  release.store(true);
+  EXPECT_TRUE(slow.wait_for(std::chrono::seconds(60)));
+  EXPECT_EQ(slow.get(), 7);  // wait_for must not consume the result
+}
+
 TEST(ThreadPool, EdgeCounts) {
   util::ThreadPool pool(4);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });

@@ -3,6 +3,7 @@
 
   metrics_check.py <snapshot.json> [--max-fallback-ratio 0.05]
                                    [--require-counter NAME ...]
+                                   [--require-positive-counter NAME ...]
                                    [--require-nonzero-timer STAGE ...]
 
 Checks, in order:
@@ -12,9 +13,13 @@ Checks, in order:
      gauges, and timers sections of the right shapes.  A malformed snapshot
      means the emitter and this checker disagree about the schema — that is
      a bug, not a tuning problem, so it always fails.
-  2. Required metrics: every --require-counter name must be present, and
-     every --require-nonzero-timer stage must have recorded wall time
-     ("<stage>.wall_ns" with count > 0 and sum > 0).
+  2. Required metrics: every stage the emitting tool is expected to run
+     (TOOL_REQUIRED_STAGES, keyed by manifest.tool — a serve-only run has no
+     trace.* timers, so one global list cannot work) plus every
+     --require-nonzero-timer stage must have recorded wall time
+     ("<stage>.wall_ns" with count > 0 and sum > 0); every --require-counter
+     name must be present, and every --require-positive-counter name must be
+     present with a value > 0.
   3. Fit health: when the snapshot contains fit counters, the fraction of
      elements that fell back to the constant form
      (fits.constant_fallback / fits.total) must not exceed
@@ -29,6 +34,17 @@ Exit code 0 when every check passes, 1 otherwise.
 import argparse
 import json
 import sys
+
+
+# Stage timers every healthy run of a tool records, keyed by manifest.tool.
+# Tools without an entry (pmacx_serve, pmacx_fit, pmacx_inspect) have no
+# mandatory stages — what they must show is asserted per-run via
+# --require-*-counter flags instead.
+TOOL_REQUIRED_STAGES = {
+    "pmacx_extrapolate": ("extrapolate.load", "extrapolate.fit", "extrapolate.apply"),
+    "pmacx_trace": ("trace.task",),
+    "pmacx_predict": ("psins.predict",),
+}
 
 
 def fail(errors):
@@ -131,10 +147,14 @@ def main():
                              "(default 0.05)")
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME", help="counter that must be present")
+    parser.add_argument("--require-positive-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="counter that must be present with a value > 0")
     parser.add_argument("--require-nonzero-timer", action="append", default=[],
                         metavar="STAGE",
                         help="stage whose <STAGE>.wall_ns must have count > 0 "
-                             "and sum > 0")
+                             "and sum > 0 (added to the emitting tool's "
+                             "TOOL_REQUIRED_STAGES)")
     args = parser.parse_args()
 
     doc = load(args.snapshot)
@@ -150,7 +170,20 @@ def main():
     for name in args.require_counter:
         if name not in counters:
             errors.append(f"required counter {name!r} is missing")
+    for name in args.require_positive_counter:
+        if name not in counters:
+            errors.append(f"required counter {name!r} is missing")
+        elif not (is_uint(counters[name]) and counters[name] > 0):
+            errors.append(f"required counter {name!r} must be > 0, "
+                          f"got {counters[name]!r}")
+
+    manifest = doc.get("manifest") if isinstance(doc.get("manifest"), dict) else {}
+    tool_stages = TOOL_REQUIRED_STAGES.get(manifest.get("tool"), ())
+    required_stages = list(tool_stages)
     for stage in args.require_nonzero_timer:
+        if stage not in required_stages:
+            required_stages.append(stage)
+    for stage in required_stages:
         hist = timers.get(f"{stage}.wall_ns")
         if not isinstance(hist, dict):
             errors.append(f"required timer {stage!r} ({stage}.wall_ns) is missing")

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,7 +19,9 @@
 #include "stats/descriptive.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/task_trace.hpp"
+#include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -124,7 +127,8 @@ void usage() {
       "Diff mode exits 2 when the largest relative difference exceeds the\n"
       "threshold (default 0.05), making it usable as a regression gate.\n"
       "--salvage recovers what it can from a damaged binary trace (every\n"
-      "intact block before the first bad checksum) instead of rejecting it.\n");
+      "intact block before the first bad checksum) instead of rejecting it.\n"
+      "--metrics-json <file> writes a pmacx-metrics-v1 snapshot.\n");
 }
 
 }  // namespace
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
   bool salvage_mode = false;
   double threshold = 0.05;
   std::size_t worst_count = 15;
+  std::string metrics_json;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -151,9 +156,11 @@ int main(int argc, char** argv) {
       } else if (arg == "--salvage") {
         salvage_mode = true;
       } else if (arg == "--threshold") {
-        threshold = util::parse_double(value(), arg);
+        threshold = util::parse_flag_double(value(), arg);
       } else if (arg == "--worst") {
-        worst_count = util::parse_u64(value(), arg);
+        worst_count = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--metrics-json") {
+        metrics_json = value();
       } else if (util::starts_with(arg, "--")) {
         PMACX_CHECK(false, "unknown option " + arg);
       } else {
@@ -161,27 +168,43 @@ int main(int argc, char** argv) {
       }
     }
 
+    int exit_code = 0;
     if (diff_mode) {
       PMACX_CHECK(paths.size() == 2, "--diff needs exactly two trace files");
-      return diff(trace::TaskTrace::load(paths[0]), trace::TaskTrace::load(paths[1]),
-                  threshold, worst_count);
+      exit_code = diff(trace::TaskTrace::load(paths[0]), trace::TaskTrace::load(paths[1]),
+                       threshold, worst_count);
+    } else {
+      PMACX_CHECK(paths.size() == 1, "give one trace file (or --diff with two)");
+      if (salvage_mode) {
+        trace::SalvageReport salvaged;
+        const trace::TaskTrace task = trace::load_salvage(paths[0], salvaged);
+        if (salvaged.used)
+          std::printf("salvaged:     %zu of %llu blocks (%s)\n",
+                      salvaged.blocks_recovered,
+                      static_cast<unsigned long long>(salvaged.blocks_expected),
+                      salvaged.error.c_str());
+        summarize(task);
+      } else {
+        summarize(trace::TaskTrace::load(paths[0]));
+      }
     }
-    PMACX_CHECK(paths.size() == 1, "give one trace file (or --diff with two)");
-    if (salvage_mode) {
-      trace::SalvageReport salvaged;
-      const trace::TaskTrace task = trace::load_salvage(paths[0], salvaged);
-      if (salvaged.used)
-        std::printf("salvaged:     %zu of %llu blocks (%s)\n",
-                    salvaged.blocks_recovered,
-                    static_cast<unsigned long long>(salvaged.blocks_expected),
-                    salvaged.error.c_str());
-      summarize(task);
-      return 0;
+
+    if (!metrics_json.empty()) {
+      util::metrics::RunManifest manifest =
+          util::metrics::RunManifest::for_tool("pmacx_inspect");
+      manifest.threads = 1;  // inspection is serial
+      manifest.config.emplace_back("diff", diff_mode ? "true" : "false");
+      manifest.config.emplace_back("salvage", salvage_mode ? "true" : "false");
+      for (const std::string& path : paths) manifest.add_input(path);
+      util::metrics::write_json(metrics_json, manifest,
+                                util::metrics::Registry::global().snapshot());
     }
-    summarize(trace::TaskTrace::load(paths[0]));
-    return 0;
+    return exit_code;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "pmacx_inspect: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_inspect: internal error: %s\n", e.what());
     return 1;
   }
 }

@@ -1,0 +1,363 @@
+// pmacx_loadgen — closed-loop load generator for pmacx_serve.
+//
+// Spawns (or connects to) a prediction server, then drives it with N
+// concurrent client threads issuing the same request back-to-back until a
+// shared request budget is spent.  Reports req/sec and p50/p99 latency, on
+// stdout and (with --json) as Google-Benchmark-shaped JSON so the CI bench
+// gate (tools/bench_compare.py) can track serving throughput like any other
+// benchmark.  Every OK response is checked byte-for-byte against the first
+// one — a cache that changed an answer is a correctness bug, not a speedup.
+//
+//   pmacx_loadgen --server build/tools/pmacx_serve --requests 100 --threads 8
+//       --target-cores 6144 --json SERVICE.json s96.trace s384.trace s1536.trace
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace pmacx;
+using Clock = std::chrono::steady_clock;
+
+void usage() {
+  std::puts(
+      "pmacx_loadgen — closed-loop load generator for pmacx_serve\n"
+      "\n"
+      "usage: pmacx_loadgen (--server <pmacx_serve binary> | --port <p>) \\\n"
+      "           [options] <trace files, ascending core counts>\n"
+      "\n"
+      "options:\n"
+      "  --server <path>        spawn this pmacx_serve on an ephemeral port,\n"
+      "                         drive it, then send SHUTDOWN and reap it\n"
+      "  --server-metrics <f>   with --server: the spawned server writes its\n"
+      "                         metrics snapshot here on exit\n"
+      "  --host <addr>          server address        (default: 127.0.0.1)\n"
+      "  --port <p>             server port (required unless --server)\n"
+      "  --requests <n>         total requests        (default: 100)\n"
+      "  --threads <n>          client threads        (default: 8)\n"
+      "  --request-type <t>     predict | extrapolate | fit | status\n"
+      "                         (default: predict)\n"
+      "  --target-cores <n>     extrapolation target  (default: 6144)\n"
+      "  --app <name>           application model     (default: specfem3d)\n"
+      "  --work-scale <s>       folding factor        (default: 1.0)\n"
+      "  --machine-target <m>   prediction target     (default: bluewaters-p1)\n"
+      "  --timeout-ms <ms>      client I/O deadline   (default: 60000)\n"
+      "  --json <file>          write benchmark-format JSON for bench_compare.py\n");
+}
+
+struct SpawnedServer {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// fork/exec a pmacx_serve on an ephemeral port and parse the port from its
+/// "pmacx_serve listening on <addr>:<port>" banner.
+SpawnedServer spawn_server(const std::string& binary, const std::string& metrics_json) {
+  int fds[2];
+  PMACX_CHECK(::pipe(fds) == 0, std::string("pipe(): ") + std::strerror(errno));
+
+  const pid_t pid = ::fork();
+  PMACX_CHECK(pid >= 0, std::string("fork(): ") + std::strerror(errno));
+  if (pid == 0) {
+    // Child: stdout -> pipe, then become the server.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<std::string> args{binary, "--port", "0"};
+    if (!metrics_json.empty()) {
+      args.push_back("--metrics-json");
+      args.push_back(metrics_json);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::fprintf(stderr, "pmacx_loadgen: exec %s: %s\n", binary.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  // Read the banner line byte-by-byte (it is tiny and arrives once).
+  std::string banner;
+  char byte = 0;
+  while (banner.size() < 256) {
+    const ssize_t n = ::read(fds[0], &byte, 1);
+    if (n <= 0 || byte == '\n') break;
+    banner.push_back(byte);
+  }
+  ::close(fds[0]);
+
+  SpawnedServer server;
+  server.pid = pid;
+  const std::size_t colon = banner.rfind(':');
+  PMACX_CHECK(util::starts_with(banner, "pmacx_serve listening on ") &&
+                  colon != std::string::npos,
+              "unexpected server banner: '" + banner + "'");
+  server.port =
+      static_cast<std::uint16_t>(util::parse_flag_u64(banner.substr(colon + 1), "port"));
+  return server;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+double percentile(const std::vector<double>& sorted, double fraction) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(fraction * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server_binary, server_metrics, host = "127.0.0.1", json_path;
+  std::string request_type = "predict", app = "specfem3d", machine_target = "bluewaters-p1";
+  std::uint64_t port = 0, requests = 100, threads = 8, target_cores = 6144;
+  std::uint64_t timeout_ms = 60'000;
+  double work_scale = 1.0;
+  std::vector<std::string> traces;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        PMACX_CHECK(i + 1 < argc, "option " + arg + " requires a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--server") {
+        server_binary = value();
+      } else if (arg == "--server-metrics") {
+        server_metrics = value();
+      } else if (arg == "--host") {
+        host = value();
+      } else if (arg == "--port") {
+        port = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--requests") {
+        requests = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--threads") {
+        threads = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--request-type") {
+        request_type = value();
+      } else if (arg == "--target-cores") {
+        target_cores = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--app") {
+        app = value();
+      } else if (arg == "--work-scale") {
+        work_scale = util::parse_flag_double(value(), arg);
+      } else if (arg == "--machine-target") {
+        machine_target = value();
+      } else if (arg == "--timeout-ms") {
+        timeout_ms = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--json") {
+        json_path = value();
+      } else if (util::starts_with(arg, "--")) {
+        PMACX_CHECK(false, "unknown option " + arg);
+      } else {
+        traces.push_back(arg);
+      }
+    }
+    PMACX_CHECK(server_binary.empty() != (port == 0),
+                "give exactly one of --server or --port");
+    PMACX_CHECK(requests > 0 && threads > 0, "--requests and --threads must be positive");
+    PMACX_CHECK(port <= 65535, "--port must fit a TCP port");
+
+    service::Request request;
+    if (request_type == "predict") {
+      request.type = service::MsgType::Predict;
+    } else if (request_type == "extrapolate") {
+      request.type = service::MsgType::Extrapolate;
+    } else if (request_type == "fit") {
+      request.type = service::MsgType::Fit;
+    } else if (request_type == "status") {
+      request.type = service::MsgType::Status;
+    } else {
+      PMACX_CHECK(false, "unknown request type '" + request_type + "'");
+    }
+    if (request.type != service::MsgType::Status) {
+      PMACX_CHECK(traces.size() >= 2,
+                  "need at least two trace files (ascending core counts)");
+      request.spec.trace_paths = traces;
+      request.target_cores = static_cast<std::uint32_t>(target_cores);
+      request.app = app;
+      request.work_scale = work_scale;
+      request.machine_target = machine_target;
+    }
+
+    SpawnedServer spawned;
+    if (!server_binary.empty()) {
+      spawned = spawn_server(server_binary, server_metrics);
+      port = spawned.port;
+    }
+
+    service::ClientOptions client_options;
+    client_options.host = host;
+    client_options.port = static_cast<std::uint16_t>(port);
+    client_options.io_timeout_ms = timeout_ms;
+
+    // Closed loop: each thread owns one connection and pulls tickets from a
+    // shared budget, so exactly `requests` requests hit the server no
+    // matter how the threads interleave.
+    // Signed: fetch_sub past zero must go negative, not wrap to 2^64 - 1.
+    std::atomic<std::int64_t> budget{static_cast<std::int64_t>(requests)};
+    std::atomic<std::uint64_t> ok{0}, busy{0}, errors{0};
+    std::mutex result_mutex;
+    // STATUS bodies report live counters and legitimately differ between
+    // requests; byte-identity is only a contract for deterministic types.
+    const bool check_identity = request.type != service::MsgType::Status;
+    std::string expected_body;  // first OK body; all others must match
+    std::vector<std::vector<double>> latencies_ns(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+
+    const Clock::time_point started = Clock::now();
+    for (std::uint64_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        try {
+          service::Client client(client_options);
+          while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+            const Clock::time_point sent = Clock::now();
+            const service::Response response = client.call(request);
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - sent);
+            latencies_ns[t].push_back(static_cast<double>(elapsed.count()));
+            if (response.status == service::Status::Ok) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+              if (!check_identity) continue;
+              std::scoped_lock lock(result_mutex);
+              if (expected_body.empty()) {
+                expected_body = response.body;
+              } else if (response.body != expected_body) {
+                errors.fetch_add(1, std::memory_order_relaxed);
+                std::fprintf(stderr,
+                             "pmacx_loadgen: response diverged from the first OK "
+                             "response (%zu vs %zu bytes)\n",
+                             response.body.size(), expected_body.size());
+              }
+            } else if (response.status == service::Status::Busy) {
+              busy.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              std::fprintf(stderr, "pmacx_loadgen: server error: %s\n",
+                           response.body.c_str());
+            }
+          }
+        } catch (const std::exception& e) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "pmacx_loadgen: client thread failed: %s\n", e.what());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - started).count();
+
+    if (!server_binary.empty()) {
+      // Graceful teardown: ask the server to drain, then reap it so its
+      // metrics snapshot (if any) is fully written before we return.
+      try {
+        service::Client control(client_options);
+        service::Request shutdown;
+        shutdown.type = service::MsgType::Shutdown;
+        control.call(shutdown);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "pmacx_loadgen: shutdown request failed: %s\n", e.what());
+        ::kill(spawned.pid, SIGTERM);
+      }
+      int status = 0;
+      ::waitpid(spawned.pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "pmacx_loadgen: server exited abnormally (status %d)\n",
+                     status);
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    std::vector<double> all_ns;
+    for (const auto& per_thread : latencies_ns)
+      all_ns.insert(all_ns.end(), per_thread.begin(), per_thread.end());
+    std::sort(all_ns.begin(), all_ns.end());
+    const double p50_ms = percentile(all_ns, 0.50) / 1e6;
+    const double p99_ms = percentile(all_ns, 0.99) / 1e6;
+    const double throughput =
+        wall_seconds > 0 ? static_cast<double>(ok.load()) / wall_seconds : 0.0;
+
+    std::printf("pmacx_loadgen: %llu requests (%llu ok, %llu busy, %llu errors) "
+                "over %llu threads in %.3f s\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(ok.load()),
+                static_cast<unsigned long long>(busy.load()),
+                static_cast<unsigned long long>(errors.load()),
+                static_cast<unsigned long long>(threads), wall_seconds);
+    std::printf("  throughput: %.2f req/s   latency p50 %.3f ms  p99 %.3f ms\n",
+                throughput, p50_ms, p99_ms);
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      PMACX_CHECK(out.good(), "cannot write " + json_path);
+      const std::string base = "loadgen/" + request_type;
+      out << "{\n"
+          << "  \"context\": {\n"
+          << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+          << "    \"mhz_per_cpu\": 0,\n"
+          << "    \"executable\": \"pmacx_loadgen\",\n"
+          << "    \"client_threads\": " << threads << ",\n"
+          << "    \"machine_target\": \"" << json_escape(machine_target) << "\"\n"
+          << "  },\n"
+          << "  \"benchmarks\": [\n"
+          << "    {\"name\": \"" << base << "/throughput\", \"run_type\": \"iteration\", "
+          << "\"iterations\": " << requests << ", \"real_time\": " << wall_seconds * 1e3
+          << ", \"cpu_time\": 0, \"time_unit\": \"ms\", \"items_per_second\": "
+          << throughput << ", \"ok\": " << ok.load() << ", \"busy\": " << busy.load()
+          << ", \"errors\": " << errors.load() << "},\n"
+          << "    {\"name\": \"" << base << "/latency_p50\", \"run_type\": \"iteration\", "
+          << "\"iterations\": " << all_ns.size() << ", \"real_time\": " << p50_ms
+          << ", \"cpu_time\": 0, \"time_unit\": \"ms\"},\n"
+          << "    {\"name\": \"" << base << "/latency_p99\", \"run_type\": \"iteration\", "
+          << "\"iterations\": " << all_ns.size() << ", \"real_time\": " << p99_ms
+          << ", \"cpu_time\": 0, \"time_unit\": \"ms\"}\n"
+          << "  ]\n"
+          << "}\n";
+    }
+
+    if (errors.load() > 0) return 1;
+    PMACX_CHECK(ok.load() + busy.load() == requests,
+                "request accounting mismatch (lost responses)");
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_loadgen: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_loadgen: internal error: %s\n", e.what());
+    return 1;
+  }
+}

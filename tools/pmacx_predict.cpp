@@ -88,11 +88,7 @@ int main(int argc, char** argv) {
     }();
 
     const psins::PredictionResult prediction = psins::predict(signature, profile);
-    std::printf("\n%s @ %u cores on %s (%s trace):\n", task.app.c_str(), task.core_count,
-                target.name.c_str(), task.extrapolated ? "extrapolated" : "collected");
-    std::printf("  predicted runtime: %.3f s\n", prediction.runtime_seconds);
-    std::printf("  demanding rank:    %.3f s compute, %.3f s communication\n",
-                prediction.compute_seconds, prediction.comm_seconds);
+    std::fputs(psins::render_prediction(task, target.name, prediction).c_str(), stdout);
 
     if (cli.get_flag("blocks")) {
       std::printf("\n  per-block breakdown:\n");

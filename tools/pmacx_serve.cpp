@@ -1,0 +1,97 @@
+// pmacx_serve — the pmacx prediction server daemon.
+//
+// Listens on loopback (by default) for pmacx-rpc-v1 requests and answers
+// FIT / EXTRAPOLATE / PREDICT / STATUS / SHUTDOWN, keeping fitted model
+// sets, extrapolated signatures, and machine profiles in a content-addressed
+// LRU so repeated what-if queries over the same traces skip the expensive
+// stages.  Prints one machine-readable line once ready:
+//
+//   pmacx_serve listening on <bind>:<port>
+//
+// (pmacx_loadgen --server parses it to find the ephemeral port).  Exits on
+// SIGINT/SIGTERM or a SHUTDOWN request, draining in-flight work first.
+//
+//   pmacx_serve --port 7077 --threads 8 --metrics-json serve_metrics.json
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+// The signal handler may only touch async-signal-safe state; Server::stop()
+// is a relaxed atomic store, which qualifies.
+pmacx::service::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+  util::Cli cli("pmacx_serve", "serve predictions over pmacx-rpc-v1");
+  cli.add_string("bind", "127.0.0.1", "address to listen on");
+  cli.add_u64("port", 0, "TCP port (0 picks an ephemeral port)");
+  cli.add_u64("threads", 0, "request-handler threads (0 = PMACX_THREADS or hardware)");
+  cli.add_u64("max-in-flight", 64,
+              "requests handled concurrently before new ones get BUSY");
+  cli.add_u64("cache-mb", 256, "model/signature/profile LRU budget in MiB");
+  cli.add_u64("timeout-ms", 30000, "per-request deadline in milliseconds");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (request counters, cache "
+                 "hit rates, latency histograms) to this file on exit");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    util::set_log_level(util::LogLevel::Warn);
+    PMACX_CHECK(cli.get_u64("port") <= 65535, "--port must fit a TCP port");
+
+    service::ServerOptions options;
+    options.bind = cli.get_string("bind");
+    options.port = static_cast<std::uint16_t>(cli.get_u64("port"));
+    options.threads = cli.get_u64("threads");
+    options.max_in_flight = cli.get_u64("max-in-flight");
+    options.cache_bytes = cli.get_u64("cache-mb") << 20;
+    options.request_timeout_ms = cli.get_u64("timeout-ms");
+
+    service::Server server(options);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    // A peer (or a spawner that closed our stdout pipe) must not be able to
+    // kill the daemon with a broken-pipe signal; writes fail with EPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    server.start();
+    std::printf("pmacx_serve listening on %s:%u\n", options.bind.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);  // spawners block on this line; don't sit in a buffer
+
+    server.wait();
+    g_server = nullptr;
+    std::printf("pmacx_serve: drained after %llu requests\n",
+                static_cast<unsigned long long>(server.requests_handled()));
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest = util::metrics::RunManifest::for_tool("pmacx_serve");
+      manifest.threads = util::ThreadPool::resolve_threads(options.threads);
+      manifest.config = cli.values();
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_serve: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_serve: internal error: %s\n", e.what());
+    return 1;
+  }
+}
