@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <csignal>
 #include <optional>
 #include <unordered_map>
 
+#include "core/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/threadpool.hpp"
@@ -510,6 +512,76 @@ TaskModelSet fit_task_models(std::span<const trace::TaskTrace> inputs,
                                       influence, options);
       },
       options);
+  return set;
+}
+
+TaskModelSet fit_task_models_checkpointed(std::span<const trace::TaskTrace> inputs,
+                                          const ExtrapolationOptions& options,
+                                          const CheckpointConfig& config,
+                                          CheckpointStats* stats_out) {
+  PMACX_CHECK(inputs.size() >= 2, "extrapolation requires at least two input traces");
+
+  TaskModelSet set;
+  set.alignment = align_traces(inputs, options.missing);
+  set.options = options;
+  set.options.pool = nullptr;  // a cached set must not outlive a borrowed pool
+  set.app = inputs.back().app;
+  set.rank = inputs.back().rank;
+  set.target_system = inputs.back().target_system;
+  set.axis_name = "cores";
+
+  const InfluenceIndex influence(inputs.back(), options.influence_threshold);
+  const std::size_t count = set.alignment.elements.size();
+
+  ModelCheckpoint checkpoint(config);
+  checkpoint.open(count);
+
+  CheckpointStats stats;
+  stats.elements_total = count;
+
+  // Chunks are processed in order — parallel fitting *within* a chunk, one
+  // atomic write per completed chunk — so a crash at any instant loses at
+  // most the chunk in flight and the on-disk state is always a valid prefix
+  // of the work (plus whatever earlier chunks a prior run completed).
+  set.models.resize(count);
+  util::metrics::StageTimer fit_timer("extrapolate.fit");
+  std::size_t chunks_written = 0;
+  for (std::size_t c = 0; c < checkpoint.chunk_count(); ++c) {
+    const std::size_t begin = checkpoint.chunk_begin(c);
+    const std::size_t end = checkpoint.chunk_end(c);
+    if (std::optional<std::vector<ElementModels>> cached = checkpoint.load_chunk(c)) {
+      for (std::size_t i = 0; i < cached->size(); ++i)
+        set.models[begin + i] = std::move((*cached)[i]);
+      stats.elements_reused += end - begin;
+      continue;
+    }
+    std::vector<ElementModels> chunk = run_stage<ElementModels>(
+        end - begin,
+        [&](std::size_t i) {
+          return compute_element_models(set.alignment, set.alignment.elements[begin + i],
+                                        influence, options);
+        },
+        options);
+    checkpoint.save_chunk(c, chunk);
+    for (std::size_t i = 0; i < chunk.size(); ++i) set.models[begin + i] = std::move(chunk[i]);
+    stats.elements_fitted += end - begin;
+    ++chunks_written;
+    if (config.kill_after_chunks > 0 && chunks_written >= config.kill_after_chunks) {
+      // Crash-injection hook for resume tests: SIGKILL cannot be caught or
+      // cleaned up after — exactly the failure the checkpoint exists for.
+      std::raise(SIGKILL);
+    }
+  }
+  stats.chunks_discarded = checkpoint.chunks_discarded();
+  stats.resumed = stats.elements_reused > 0;
+
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  metrics.counter("checkpoint.elements_reused").add(stats.elements_reused);
+  metrics.counter("checkpoint.elements_fitted").add(stats.elements_fitted);
+  if (stats.chunks_discarded > 0)
+    metrics.counter("checkpoint.chunks_discarded").add(stats.chunks_discarded);
+  if (stats.resumed) metrics.counter("checkpoint.resumes").add();
+  if (stats_out != nullptr) *stats_out = stats;
   return set;
 }
 

@@ -1,0 +1,129 @@
+// Network chaos proxy for hardening tests.
+//
+// A ChaosProxy sits between a pmacx-rpc-v1 client and a live pmacx_serve,
+// forwarding raw bytes in both directions while injecting the failure modes
+// a real network (or a hostile peer) produces:
+//
+//   * partial writes   — a forwarded chunk is split into several tiny sends
+//   * short reads      — the proxy drains the socket a few bytes at a time,
+//                        so the peer sees maximally fragmented frames
+//   * delayed frames   — a chunk sits in the proxy before being forwarded
+//   * duplicated frames— a chunk is forwarded twice (stream corruption; the
+//                        receiver must answer ParseError, not crash)
+//   * slow-loris       — bytes trickle through one at a time with a delay
+//   * mid-frame cut    — only a prefix of a chunk is forwarded, then the
+//                        connection is closed (torn frame)
+//   * connection reset — SO_LINGER(0) + close, so both sides see a hard RST
+//
+// Every decision draws from a util::Rng seeded hierarchically from
+// ChaosOptions::seed (per connection, per direction), so a failing seed
+// replays the exact same fault schedule.  The proxy itself is held to the
+// same robustness bar as the server: bounded bookkeeping (finished relays
+// are reaped), no leaked fds, stop()/wait() idempotent.
+//
+// This is a test harness, linked into pmacx_chaos and the robustness tests;
+// production clients connect to the server directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace pmacx::service {
+
+struct ChaosOptions {
+  std::string bind = "127.0.0.1";  ///< address the proxy listens on
+  std::uint16_t port = 0;          ///< 0 = pick an ephemeral port
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;  ///< the real server
+  std::uint64_t seed = 1;           ///< root of the per-connection fault schedule
+
+  // Per-chunk fault probabilities.  Terminal faults (reset, mid-frame cut)
+  // are drawn first; the rest degrade delivery without ending the relay.
+  double p_reset = 0.02;      ///< hard RST to both sides
+  double p_cut = 0.02;        ///< forward a prefix, then close (torn frame)
+  double p_delay = 0.15;      ///< hold the chunk before forwarding
+  double p_duplicate = 0.03;  ///< forward the chunk twice
+  double p_trickle = 0.05;    ///< 1-byte writes with a per-byte delay
+  double p_partial = 0.25;    ///< split the chunk into small writes
+  double p_short_read = 0.25; ///< drain the socket a few bytes at a time
+
+  std::uint64_t max_delay_ms = 40;     ///< delayed-frame hold, uniform [1, max]
+  std::uint64_t trickle_delay_ms = 5;  ///< per-byte delay while trickling
+  std::size_t trickle_bytes = 32;      ///< bytes trickled before resuming bulk
+};
+
+/// Counters across every relayed connection (atomics: two pump threads per
+/// connection update them concurrently).
+struct ChaosStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> bytes_forwarded{0};
+  std::atomic<std::uint64_t> resets{0};
+  std::atomic<std::uint64_t> cuts{0};
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> trickles{0};
+  std::atomic<std::uint64_t> partials{0};
+  std::atomic<std::uint64_t> upstream_failures{0};  ///< could not reach the server
+};
+
+class ChaosProxy {
+ public:
+  /// Binds and listens immediately (port() is valid after construction).
+  /// Throws util::Error on socket/bind/listen failure.
+  explicit ChaosProxy(ChaosOptions options);
+  ~ChaosProxy();  ///< stop() + wait()
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Spawns the accept loop in a background thread.
+  void start();
+
+  /// Requests shutdown (atomic store only; safe from any thread).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the accept loop and every relay thread have exited.
+  void wait();
+
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  struct Relay {
+    int client_fd = -1;    ///< -1 once closed by the pump that owns teardown
+    int upstream_fd = -1;
+    std::thread to_upstream;
+    std::thread to_client;
+    std::atomic<int> pumps_live{0};
+  };
+
+  void accept_loop();
+  /// One direction of a relay: reads from `from`, forwards to `to` with
+  /// faults drawn from `seed`'s stream.  On exit, decrements pumps_live and
+  /// queues the relay for reaping when it was the last pump out.
+  void pump(std::uint64_t id, int from, int to, std::uint64_t seed);
+  /// Terminal fault: aborts both sides of a relay (SO_LINGER(0) + shutdown,
+  /// so the peers see an abrupt termination, not a graceful FIN).
+  void kill_relay(std::uint64_t id);
+  void reap_finished();
+
+  ChaosOptions options_;
+  ChaosStats stats_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> accepting_{false};
+  std::thread accept_thread_;
+  std::mutex relays_mutex_;
+  std::uint64_t next_relay_id_ = 0;                   // guarded by relays_mutex_
+  std::unordered_map<std::uint64_t, Relay> relays_;   // guarded by it too
+  std::vector<std::uint64_t> finished_;               // ids awaiting the reaper
+};
+
+}  // namespace pmacx::service

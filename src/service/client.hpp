@@ -1,21 +1,65 @@
 // Blocking pmacx-rpc-v1 client.
 //
 // One Client owns one TCP connection and issues synchronous request /
-// response round-trips over it.  Connecting retries with exponential
-// backoff (the common race: a just-spawned pmacx_serve that has printed its
-// port but not yet reached accept()); established-connection I/O does not
-// retry — a timeout or short read is a util::Error the caller decides
-// about, because silently resending a FIT could double expensive work.
+// response round-trips over it.  Two calling conventions:
+//
+//   * call(): one attempt on the current connection.  A timeout or short
+//     read is a util::Error the caller decides about — the historical,
+//     never-resends contract.
+//
+//   * call_with_retry(): the resilient path.  Transport failures and BUSY
+//     responses are retried with capped exponential backoff plus jitter
+//     (decorrelating a thundering herd of clients hitting one recovering
+//     server), reconnecting as needed, under a per-call overall deadline.
+//     Only idempotent request types retry — every pmacx-rpc-v1 data-plane
+//     request (FIT / EXTRAPOLATE / PREDICT / STATUS) is a deterministic,
+//     server-cached derivation, so resending is safe; SHUTDOWN is not
+//     retried because a lost response is indistinguishable from a server
+//     that is already acting on it.
+//
+// A small circuit breaker guards call_with_retry: after `failure_threshold`
+// consecutive failed calls the circuit opens and calls fail fast (no
+// network) for `cooldown_ms`; the first call after cooldown is the trial
+// that closes it on success.  This keeps a fleet of clients from pounding a
+// dead server with full retry ladders.
+//
+// Connecting retries with jittered exponential backoff under an overall
+// connect deadline (the common race: a just-spawned pmacx_serve that has
+// printed its port but not yet reached accept()).
+//
 // Not thread-safe: give each client thread its own Client (the load
 // generator does exactly that).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "service/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace pmacx::service {
+
+/// Retry schedule for call_with_retry.
+struct RetryPolicy {
+  unsigned max_attempts = 4;               ///< total tries per call (1 = no retry)
+  std::uint64_t initial_backoff_ms = 10;   ///< delay before the first retry
+  std::uint64_t max_backoff_ms = 1'000;    ///< cap for the doubling backoff
+  /// Fraction of each backoff that is uniformly random: sleep is
+  /// backoff * (1 - jitter + uniform(0, jitter)).
+  double jitter = 0.5;
+  /// Wall-clock budget for one call_with_retry including reconnects and
+  /// backoff sleeps; 0 = bounded only by attempts.
+  std::uint64_t overall_deadline_ms = 0;
+};
+
+/// Circuit breaker for call_with_retry.
+struct BreakerOptions {
+  /// Consecutive call_with_retry failures that open the circuit; 0 disables
+  /// the breaker.
+  std::size_t failure_threshold = 5;
+  std::uint64_t cooldown_ms = 1'000;  ///< open duration before a trial call
+};
 
 struct ClientOptions {
   std::string host = "127.0.0.1";
@@ -23,26 +67,65 @@ struct ClientOptions {
   std::uint64_t io_timeout_ms = 30'000;   ///< per send/recv deadline
   unsigned connect_attempts = 6;          ///< total tries before giving up
   std::uint64_t connect_backoff_ms = 25;  ///< first retry delay; doubles per retry
+  /// Jitter fraction for connect backoff (same convention as
+  /// RetryPolicy::jitter).
+  double connect_jitter = 0.5;
+  /// Overall wall-clock cap on connecting, across every attempt and backoff
+  /// sleep; 0 = bounded only by connect_attempts.
+  std::uint64_t connect_deadline_ms = 10'000;
+  /// Seed for backoff jitter (deterministic, like every pmacx RNG; give
+  /// concurrent clients distinct seeds to decorrelate their retries).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  RetryPolicy retry;
+  BreakerOptions breaker;
 };
 
 class Client {
  public:
-  /// Connects immediately, retrying with exponential backoff; throws
-  /// util::Error once every attempt is exhausted.
+  /// Connects immediately, retrying with jittered exponential backoff under
+  /// the connect deadline; throws util::Error once attempts or deadline are
+  /// exhausted.
   explicit Client(ClientOptions options);
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// One synchronous round-trip.  Throws util::Error on transport failure
-  /// (send/recv timeout, connection drop) and util::ParseError on a
-  /// malformed response frame.
+  /// One synchronous round-trip, one attempt, no retry.  Throws util::Error
+  /// on transport failure (send/recv timeout, connection drop) and
+  /// util::ParseError on a malformed response frame.  A failed call leaves
+  /// the connection in an undefined mid-stream state; the next
+  /// call_with_retry (or reconnect()) re-establishes it.
   Response call(const Request& request);
 
+  /// Resilient round-trip per the options' RetryPolicy and BreakerOptions
+  /// (class comment).  Throws util::Error when the circuit is open, the
+  /// deadline expires, or every attempt failed — with the last underlying
+  /// error in the message.
+  Response call_with_retry(const Request& request);
+
+  /// Drops and re-establishes the connection (jittered backoff, connect
+  /// deadline).  call_with_retry does this automatically on transport
+  /// errors.
+  void reconnect();
+
+  bool connected() const { return fd_ >= 0; }
+  /// True while the breaker is failing calls fast (cooldown not yet over).
+  bool circuit_open() const;
+
  private:
+  void connect_with_backoff();
+  void close_fd();
+  std::uint64_t jittered_ms(std::uint64_t backoff_ms, double jitter);
+  void record_success();
+  void record_failure();
+
   ClientOptions options_;
   int fd_ = -1;
+  util::Rng rng_;
+  std::size_t consecutive_failures_ = 0;
+  bool circuit_open_ = false;
+  std::chrono::steady_clock::time_point circuit_opened_at_{};
 };
 
 }  // namespace pmacx::service

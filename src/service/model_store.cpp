@@ -1,9 +1,9 @@
 #include "service/model_store.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "machine/targets.hpp"
 #include "synth/registry.hpp"
 #include "util/crc32.hpp"
@@ -47,44 +47,6 @@ std::size_t signature_cost(const trace::AppSignature& signature) {
   return signature.memory_bytes();
 }
 
-/// Canonical byte string the model-set digest is computed over; the layout
-/// is part of pmacx-rpc-v1 (docs/FORMATS.md) so clients can predict digests.
-std::string digest_preimage(const std::vector<std::uint32_t>& input_crcs,
-                            const core::ExtrapolationOptions& options) {
-  std::string bytes;
-  auto put_u32 = [&bytes](std::uint32_t v) {
-    char raw[4];
-    std::memcpy(raw, &v, 4);
-    bytes.append(raw, 4);
-  };
-  auto put_f64 = [&bytes](double v) {
-    char raw[8];
-    std::memcpy(raw, &v, 8);
-    bytes.append(raw, 8);
-  };
-  for (std::uint32_t crc : input_crcs) put_u32(crc);
-  bytes.push_back(static_cast<char>(options.missing));
-  bytes.push_back(static_cast<char>(options.fit.criterion));
-  bytes.push_back(options.fit.loo_cv ? 1 : 0);
-  bytes.push_back(options.reject_out_of_domain ? 1 : 0);
-  bytes.push_back(options.round_counts ? 1 : 0);
-  put_f64(options.fit.tie_tolerance);
-  put_f64(options.influence_threshold);
-  bytes.push_back(static_cast<char>(options.fit.forms.size()));
-  for (stats::Form form : options.fit.forms) bytes.push_back(static_cast<char>(form));
-  return bytes;
-}
-
-std::string hex_u32(std::uint32_t v) {
-  static const char digits[] = "0123456789abcdef";
-  std::string out(8, '0');
-  for (int i = 7; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
-    v >>= 4;
-  }
-  return out;
-}
-
 }  // namespace
 
 ModelStore::ModelStore(std::size_t max_bytes)
@@ -116,13 +78,9 @@ std::string ModelStore::digest(const std::vector<std::string>& trace_paths,
   std::vector<std::uint32_t> crcs;
   crcs.reserve(trace_paths.size());
   for (const std::string& path : trace_paths) crcs.push_back(load_trace(path)->content_crc);
-  const std::string preimage = digest_preimage(crcs, options);
-  // Two independent CRC passes (different seeds) give 64 digest bits — not
-  // cryptographic, but the store only needs collision resistance against
-  // accidental aliasing of a handful of cached workloads.
-  const std::uint32_t a = util::crc32(preimage);
-  const std::uint32_t b = util::crc32(preimage, /*seed=*/0x9e3779b9u);
-  return hex_u32(a) + hex_u32(b);
+  // The digest lives in core (shared with checkpointing) so a CLI checkpoint
+  // and a server cache entry address identical content.
+  return core::models_digest(crcs, options);
 }
 
 ModelStore::ModelsResult ModelStore::models_for(const std::vector<std::string>& trace_paths,

@@ -41,32 +41,45 @@ void set_send_timeout(int fd, long ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-enum class ReadStatus { Ok, Closed, Stopped, TimedOut };
+enum class ReadStatus { Ok, Closed, Reset, Stopped, TimedOut, IdleTimedOut };
 
 /// Reads exactly `size` bytes.  Idle waits (no bytes of the message read
-/// yet) only end on close or stop; once a message has started, the read
-/// must complete within `timeout_ms` (slow-loris guard).
+/// yet) are bounded by `idle_timeout_ms` (0 = only close/stop ends them);
+/// once a message has started, the read must complete within
+/// `read_timeout_ms` (slow-loris guard).  Hard socket errors report Reset
+/// so the caller can meter them separately from orderly closes.
 ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<bool>& stop,
-                      std::uint64_t timeout_ms) {
+                      std::uint64_t idle_timeout_ms, std::uint64_t read_timeout_ms) {
   std::size_t got = 0;
+  const Clock::time_point idle_started = Clock::now();
   Clock::time_point started{};
   while (got < size) {
     const ssize_t n = ::recv(fd, out + got, size - got, 0);
     if (n > 0) {
       if (got == 0) started = Clock::now();
       got += static_cast<std::size_t>(n);
+      // Enforce the window even when bytes keep arriving: a peer trickling
+      // at just under the poll interval must not evade the slow-loris guard
+      // by keeping every recv fed.
+      if (got < size &&
+          Clock::now() - started > std::chrono::milliseconds(read_timeout_ms))
+        return ReadStatus::TimedOut;
       continue;
     }
     if (n == 0) return ReadStatus::Closed;
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       if (stop.load(std::memory_order_relaxed)) return ReadStatus::Stopped;
-      if (got > 0 &&
-          Clock::now() - started > std::chrono::milliseconds(timeout_ms))
-        return ReadStatus::TimedOut;
+      if (got > 0) {
+        if (Clock::now() - started > std::chrono::milliseconds(read_timeout_ms))
+          return ReadStatus::TimedOut;
+      } else if (idle_timeout_ms > 0 && Clock::now() - idle_started >
+                                            std::chrono::milliseconds(idle_timeout_ms)) {
+        return ReadStatus::IdleTimedOut;
+      }
       continue;
     }
-    return ReadStatus::Closed;  // hard socket error: drop the connection
+    return ReadStatus::Reset;  // hard socket error: drop the connection
   }
   return ReadStatus::Ok;
 }
@@ -137,58 +150,113 @@ void Server::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+void Server::reap_finished() {
+  std::vector<std::thread> victims;
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (std::uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // wait() already took it
+      victims.push_back(std::move(it->second.thread));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: these threads have (at most) their final return
+  // left, so each join is effectively instant.
+  for (std::thread& victim : victims) {
+    victim.join();
+    util::metrics::Registry::global().counter("service.conn.reaped").add();
+  }
+}
+
+std::size_t Server::live_connections() {
+  std::scoped_lock lock(connections_mutex_);
+  return connections_.size();
+}
+
 void Server::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMs);
     if (ready <= 0) continue;  // timeout (stop re-check) or EINTR
 
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    util::metrics::Registry::global().counter("service.conn.accepted").add();
     set_recv_timeout(fd, kPollMs);
     set_send_timeout(fd, static_cast<long>(options_.request_timeout_ms));
 
     std::scoped_lock lock(connections_mutex_);
-    open_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    const std::uint64_t id = next_connection_id_++;
+    Connection& connection = connections_[id];
+    connection.fd = fd;
+    connection.thread = std::thread([this, fd, id] { serve_connection(fd, id); });
   }
 
   // Stopping: unblock every connection read so their threads can exit.
+  // Only fds still owned by a live serving thread are shut down — closed
+  // ones are marked -1, so a recycled descriptor is never touched.
   std::scoped_lock lock(connections_mutex_);
-  for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& [id, connection] : connections_)
+    if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
 }
 
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept loop has exited, so connection_threads_ can no longer grow.
+  // The accept loop has exited, so connections_ can no longer grow.
   std::vector<std::thread> threads;
   {
     std::scoped_lock lock(connections_mutex_);
-    threads.swap(connection_threads_);
+    for (auto& [id, connection] : connections_)
+      if (connection.thread.joinable()) threads.push_back(std::move(connection.thread));
+    connections_.clear();
+    finished_.clear();
   }
   // Queued (not yet started) handlers are cancelled — their connection
   // threads see CancelledError; running handlers finish within the request
   // deadline their waiters enforce.
   if (pool_) pool_->cancel_pending();
   for (std::thread& thread : threads) thread.join();
+  {
+    // Exiting threads may have pushed their ids after the swap above.
+    std::scoped_lock lock(connections_mutex_);
+    finished_.clear();
+  }
   pool_.reset();  // drains any still-running handler
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(int fd, std::uint64_t id) {
+  auto& registry = util::metrics::Registry::global();
   std::string header(kHeaderSize, '\0');
   std::string body;
   while (!stop_.load(std::memory_order_relaxed)) {
     const ReadStatus head = read_exact(fd, header.data(), header.size(), stop_,
-                                       options_.request_timeout_ms);
-    if (head != ReadStatus::Ok) break;
+                                       options_.idle_timeout_ms, options_.read_timeout_ms);
+    if (head != ReadStatus::Ok) {
+      if (head == ReadStatus::TimedOut || head == ReadStatus::IdleTimedOut)
+        registry.counter("service.conn.timeout").add();
+      else if (head == ReadStatus::Reset)
+        registry.counter("service.conn.reset").add();
+      break;
+    }
 
     Frame frame;
     try {
       const std::size_t payload_size = frame_payload_size(header);
       body.resize(payload_size + 4);  // payload + CRC trailer
-      if (read_exact(fd, body.data(), body.size(), stop_, options_.request_timeout_ms) !=
-          ReadStatus::Ok)
+      // The body is mid-message from its first byte: the read window applies
+      // to the whole wait, idle leniency does not.
+      const ReadStatus rest = read_exact(fd, body.data(), body.size(), stop_,
+                                         options_.read_timeout_ms, options_.read_timeout_ms);
+      if (rest != ReadStatus::Ok) {
+        if (rest == ReadStatus::TimedOut || rest == ReadStatus::IdleTimedOut)
+          registry.counter("service.conn.timeout").add();
+        else if (rest == ReadStatus::Reset)
+          registry.counter("service.conn.reset").add();
         break;
+      }
       frame = decode_frame(header + body);
     } catch (const util::ParseError& e) {
       // The stream is unsynchronized after a malformed frame: answer with a
@@ -214,13 +282,23 @@ void Server::serve_connection(int fd) {
     }
 
     const Response response = dispatch(request);
-    if (!send_all(fd, encode_response(request.type, response))) break;
+    if (!send_all(fd, encode_response(request.type, response))) {
+      registry.counter("service.conn.reset").add();
+      break;
+    }
     if (request.type == MsgType::Shutdown) {
       stop();
       break;
     }
   }
   ::close(fd);
+  // Hand this thread to the reaper: mark the fd dead (so shutdown-at-stop
+  // never touches a recycled descriptor) and queue the id for joining on
+  // the accept loop's next tick.
+  std::scoped_lock lock(connections_mutex_);
+  auto it = connections_.find(id);
+  if (it != connections_.end()) it->second.fd = -1;
+  finished_.push_back(id);
 }
 
 Response Server::dispatch(const Request& request) {

@@ -12,6 +12,14 @@
 // a handler that blows `request_timeout_ms` gets an Error response while the
 // stale computation's result is discarded.
 //
+// Connections are defended and bounded: a peer that starts a frame but
+// trickles it (slow loris) is cut off after `read_timeout_ms`, a peer that
+// sits silent longer than `idle_timeout_ms` is reaped, hard socket errors
+// are metered as resets, and the accept loop continuously joins finished
+// connection threads (the reaper) so a connection churn of any length holds
+// memory proportional to *live* connections only.  All of it is visible in
+// service.conn.{accepted,reset,timeout,reaped} counters.
+//
 // Shutdown is graceful: stop() only flips an atomic (async-signal-safe, so
 // SIGINT/SIGTERM handlers may call it); the accept loop notices within one
 // poll interval, open connections are shut down, in-flight handlers finish
@@ -25,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/model_store.hpp"
@@ -41,7 +50,14 @@ struct ServerOptions {
   /// request BUSY — useful for testing shed behaviour deterministically.
   std::size_t max_in_flight = 64;
   std::size_t cache_bytes = 256u << 20;  ///< ModelStore LRU budget
-  std::uint64_t request_timeout_ms = 30'000;  ///< per-request deadline
+  std::uint64_t request_timeout_ms = 30'000;  ///< per-request handler deadline
+  /// A connection with no complete message *started* for this long is
+  /// reaped (half-open/abandoned peer defense).  0 = never.
+  std::uint64_t idle_timeout_ms = 120'000;
+  /// Once a frame's first byte arrives, the whole frame must land within
+  /// this window (slow-loris defense: 1 byte per 500 ms never ties up a
+  /// reader thread for long).
+  std::uint64_t read_timeout_ms = 10'000;
 };
 
 class Server {
@@ -71,9 +87,22 @@ class Server {
   ModelStore& store() { return store_; }
   std::uint64_t requests_handled() const { return handled_.load(std::memory_order_relaxed); }
 
+  /// Live connections currently being served (diagnostic; the bounded-memory
+  /// chaos invariant is asserted against this staying small under churn).
+  std::size_t live_connections();
+
  private:
+  struct Connection {
+    int fd = -1;  ///< -1 once the serving thread has closed it
+    std::thread thread;
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(int fd, std::uint64_t id);
+  /// Joins (and forgets) every connection thread that has finished serving.
+  /// Called from the accept loop each poll tick — the reaper that keeps
+  /// connection bookkeeping from growing with total connections served.
+  void reap_finished();
   /// Handles one decoded request on the pool, enforcing the in-flight cap
   /// and deadline; always returns a Response (errors become Status::Error).
   Response dispatch(const Request& request);
@@ -90,8 +119,9 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread accept_thread_;
   std::mutex connections_mutex_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> open_fds_;
+  std::uint64_t next_connection_id_ = 0;            // guarded by connections_mutex_
+  std::unordered_map<std::uint64_t, Connection> connections_;  // guarded by it too
+  std::vector<std::uint64_t> finished_;             // ids awaiting the reaper
 };
 
 }  // namespace pmacx::service

@@ -1,0 +1,148 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::util {
+namespace {
+
+/// Trailer appended by save_checked: payload length then payload CRC.
+constexpr std::size_t kTrailerSize = 12;
+
+std::string parent_directory(const std::string& path) {
+  const std::string parent = std::filesystem::path(path).parent_path().string();
+  return parent.empty() ? std::string(".") : parent;
+}
+
+void fsync_fd_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw Error("fsync " + what + ": " + reason);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  // Same-directory temp name so the rename stays within one filesystem.
+  // The pid suffix keeps concurrent writers (two processes checkpointing
+  // the same directory) from clobbering each other's temp file; the rename
+  // itself serializes whose bytes win.
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PMACX_CHECK(fd >= 0, "cannot create '" + temp + "': " + std::strerror(errno));
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const std::string reason = n < 0 ? std::strerror(errno) : "short write";
+      ::close(fd);
+      ::unlink(temp.c_str());
+      throw Error("write '" + temp + "': " + reason);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The data must be on disk before the rename publishes the name; a crash
+  // between rename and data writeback would otherwise yield a *new* file
+  // with stale or empty content — exactly the torn state this helper exists
+  // to rule out.
+  fsync_fd_or_throw(fd, "'" + temp + "'");
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    throw Error("close '" + temp + "': " + std::strerror(errno));
+  }
+
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(temp.c_str());
+    throw Error("rename '" + temp + "' -> '" + path + "': " + reason);
+  }
+
+  // Durability of the rename itself: fsync the containing directory.  Some
+  // filesystems reject directory fsync (EINVAL); best-effort there — the
+  // write is still atomic, just not yet durable.
+  const std::string dir = parent_directory(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  PMACX_CHECK(!in.bad(), "read '" + path + "' failed");
+  return buffer.str();
+}
+
+void save_checked(const std::string& path, const std::string& payload) {
+  std::string bytes = payload;
+  const std::uint64_t size = payload.size();
+  const std::uint32_t crc = crc32(payload);
+  char trailer[kTrailerSize];
+  std::memcpy(trailer, &size, 8);
+  std::memcpy(trailer + 8, &crc, 4);
+  bytes.append(trailer, kTrailerSize);
+  write_file_atomic(path, bytes);
+}
+
+std::string load_checked(const std::string& path) {
+  const std::string bytes = read_file(path);
+  if (bytes.size() < kTrailerSize) {
+    throw ParseError(path, bytes.size(), "atomic.trailer",
+                     "file too small for the integrity trailer (" +
+                         std::to_string(bytes.size()) + " bytes)");
+  }
+  const std::size_t payload_size = bytes.size() - kTrailerSize;
+  std::uint64_t declared = 0;
+  std::uint32_t declared_crc = 0;
+  std::memcpy(&declared, bytes.data() + payload_size, 8);
+  std::memcpy(&declared_crc, bytes.data() + payload_size + 8, 4);
+  if (declared != payload_size) {
+    throw ParseError(path, payload_size, "atomic.trailer",
+                     "declared payload length " + std::to_string(declared) +
+                         " does not match actual " + std::to_string(payload_size));
+  }
+  const std::uint32_t actual_crc = crc32(bytes.data(), payload_size);
+  if (actual_crc != declared_crc) {
+    throw ParseError(path, payload_size, "atomic.trailer", "payload CRC mismatch");
+  }
+  return bytes.substr(0, payload_size);
+}
+
+std::optional<std::string> try_load_checked(const std::string& path) {
+  try {
+    return load_checked(path);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+void ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  PMACX_CHECK(!ec, "cannot create directory '" + dir + "': " + ec.message());
+  PMACX_CHECK(std::filesystem::is_directory(dir, ec),
+              "'" + dir + "' exists but is not a directory");
+}
+
+}  // namespace pmacx::util

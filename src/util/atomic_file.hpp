@@ -1,0 +1,57 @@
+// Crash-safe file persistence.
+//
+// Everything pmacx persists mid-run (checkpoints, collected signatures,
+// metrics snapshots) must survive a kill -9 at any instant with one of two
+// outcomes: the old file is intact, or the new file is complete — never a
+// torn half-write that a resume later mistakes for data.  Two layers provide
+// that:
+//
+//   * write_file_atomic: write to a same-directory temp file, fsync it,
+//     rename() over the destination (atomic on POSIX), then fsync the
+//     directory so the rename itself is durable.  A crash before the rename
+//     leaves the old file untouched; the orphaned temp file is ignored (and
+//     cleaned up) by the next successful write.
+//
+//   * checked records: save_checked appends a fixed trailer — payload length
+//     and CRC-32 (util::crc32) — so load_checked can tell a complete record
+//     from a torn or bit-rotted one and throw util::ParseError instead of
+//     returning garbage.  try_load_checked is the resume-path variant:
+//     missing or invalid files return nullopt (the caller redoes the work)
+//     rather than aborting a recovery that exists precisely because files
+//     can be damaged.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pmacx::util {
+
+/// Atomically replaces `path` with `bytes` (temp file + fsync + rename +
+/// directory fsync).  Throws util::Error on any I/O failure; on failure the
+/// previous file content, if any, is untouched.
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Reads the whole file; throws util::Error when it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// write_file_atomic of `payload` + the 12-byte integrity trailer
+/// (u64 payload length, u32 CRC-32 of the payload, both little-endian).
+void save_checked(const std::string& path, const std::string& payload);
+
+/// Loads a save_checked file, validates the trailer, and returns the
+/// payload.  Throws util::ParseError (section "atomic.trailer") on
+/// truncation, length mismatch, or CRC failure; util::Error when the file
+/// cannot be opened.
+std::string load_checked(const std::string& path);
+
+/// load_checked that treats every failure (missing file, torn write, CRC
+/// mismatch) as "no usable record": returns nullopt instead of throwing.
+/// The crash-recovery primitive: callers redo the work a bad record stood
+/// for.
+std::optional<std::string> try_load_checked(const std::string& path);
+
+/// Creates `dir` (and parents) if missing.  Throws util::Error when the
+/// path exists but is not a directory or creation fails.
+void ensure_directory(const std::string& dir);
+
+}  // namespace pmacx::util

@@ -1,6 +1,11 @@
 #include "util/threadpool.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/log.hpp"
@@ -55,6 +60,8 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  static std::atomic<std::uint64_t> next_pool_id{0};
+  pool_id_ = next_pool_id.fetch_add(1, std::memory_order_relaxed);
   const std::size_t resolved = resolve_threads(threads);
   if (resolved <= 1) return;  // serial: no queues, no workers
   queues_.reserve(resolved);
@@ -152,6 +159,16 @@ bool ThreadPool::run_pending_task() {
 void ThreadPool::worker_loop(std::size_t index) {
   tls_pool_ = this;
   tls_worker_ = static_cast<int>(index);
+#if defined(__linux__)
+  // Best-effort thread name (15-char kernel limit) so chaos-harness stack
+  // dumps and TSan reports say which pool a worker belongs to.  The pool id
+  // disambiguates the global pool from ad-hoc pools; a name truncated by
+  // snprintf for astronomically large ids is still set, just shortened.
+  char name[16];
+  std::snprintf(name, sizeof(name), "pmx%llu.w%zu",
+                static_cast<unsigned long long>(pool_id_), index);
+  ::pthread_setname_np(::pthread_self(), name);
+#endif
   for (;;) {
     if (run_pending_task()) continue;
     std::unique_lock<std::mutex> lock(wake_mutex_);

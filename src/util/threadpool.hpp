@@ -31,6 +31,7 @@
 #include <condition_variable>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <memory>
@@ -202,6 +203,13 @@ class ThreadPool {
   /// True when everything runs inline on the calling thread.
   bool serial() const { return workers_.empty(); }
 
+  /// Process-unique id of this pool (assigned at construction, also for
+  /// serial pools).  Worker threads are named "pmx<id>.w<index>"
+  /// (pthread_setname_np, best-effort) so stack dumps from chaos runs or
+  /// sanitizer reports attribute a thread to its pool; the id keeps names
+  /// collision-free across the lazily created global pool and ad-hoc pools.
+  std::uint64_t pool_id() const { return pool_id_; }
+
   /// Schedules `fn` (serial pools run it inline immediately).
   template <typename Fn>
   auto submit(Fn fn) -> TaskFuture<std::invoke_result_t<Fn&>>;
@@ -250,6 +258,7 @@ class ThreadPool {
   bool stop_ = false;  ///< guarded by wake_mutex_
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_queue_{0};
+  std::uint64_t pool_id_ = 0;
 
   static thread_local ThreadPool* tls_pool_;
   static thread_local int tls_worker_;

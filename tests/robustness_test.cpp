@@ -10,10 +10,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/diagnostics.hpp"
 #include "core/extrapolator.hpp"
 #include "machine/multimaps.hpp"
@@ -22,6 +24,7 @@
 #include "machine/targets.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/task_trace.hpp"
+#include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
@@ -541,6 +544,276 @@ TEST(DegradationTest, OverflowingFitFallsBackToConstant) {
   EXPECT_TRUE(std::isfinite(block->get(BlockElement::VisitCount)));
   // The synthetic trace must remain structurally valid despite degradation.
   EXPECT_NO_THROW(result.trace.validate());
+}
+
+// ------------------------------------------------------ atomic persistence ----
+
+/// Fresh scratch path under the test temp dir, with any leftovers removed.
+std::string scratch_path(const std::string& leaf) {
+  const std::string path = ::testing::TempDir() + "/pmacx_atomic_" + leaf;
+  std::filesystem::remove(path);
+  return path;
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(AtomicFileTest, CheckedRoundTrip) {
+  const std::string path = scratch_path("roundtrip.bin");
+  const std::string payload("payload with \0 embedded bytes", 29);
+  util::save_checked(path, payload);
+  EXPECT_EQ(util::load_checked(path), payload);
+  ASSERT_TRUE(util::try_load_checked(path).has_value());
+  EXPECT_EQ(*util::try_load_checked(path), payload);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, EveryTruncationOfACheckedFileIsRejected) {
+  // The kill window this simulates: a crash while the bytes of a *non-atomic*
+  // writer were landing.  (write_file_atomic can't produce these states at
+  // the destination path — that is the point — so they are forged directly.)
+  const std::string path = scratch_path("truncated.bin");
+  util::save_checked(path, "twelve bytes");
+  const std::string full = util::read_file(path);
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_raw(path, full.substr(0, keep));
+    EXPECT_FALSE(util::try_load_checked(path).has_value())
+        << "a " << keep << "-byte torn prefix loaded as a complete record";
+    EXPECT_THROW((void)util::load_checked(path), util::ParseError);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, EveryByteFlipOfACheckedFileIsRejected) {
+  const std::string path = scratch_path("flipped.bin");
+  util::save_checked(path, "bit-rot canary payload");
+  const std::string full = util::read_file(path);
+  for (std::size_t at = 0; at < full.size(); ++at) {
+    std::string damaged = full;
+    damaged[at] ^= 0x04;
+    write_raw(path, damaged);
+    EXPECT_FALSE(util::try_load_checked(path).has_value())
+        << "flip at byte " << at << " went undetected";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, TornTempFileIsIgnoredAndTheOldFileSurvives) {
+  // A writer killed between temp-write and rename leaves exactly this state:
+  // the destination holds the previous record, a stale temp sits beside it.
+  const std::string path = scratch_path("tornwrite.bin");
+  util::save_checked(path, "generation 1");
+  write_raw(path + ".tmp.424242", "half-written garbage from a dead process");
+
+  EXPECT_EQ(util::load_checked(path), "generation 1") << "old file must stay intact";
+
+  // The next successful write supersedes both the record and the leftover.
+  util::save_checked(path, "generation 2");
+  EXPECT_EQ(util::load_checked(path), "generation 2");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp.424242");
+}
+
+TEST(AtomicFileTest, MissingFileIsNulloptNotAThrow) {
+  EXPECT_FALSE(util::try_load_checked(scratch_path("never_written.bin")).has_value());
+}
+
+// ------------------------------------------------------ checkpoint contract ----
+
+/// A three-point series with clean per-block scaling, enough blocks for
+/// several checkpoint chunks at chunk_elements = 2.
+std::vector<TaskTrace> checkpoint_series() {
+  std::vector<TaskTrace> series;
+  for (std::uint32_t p : {8u, 16u, 32u}) {
+    TaskTrace task = sample_trace(6);
+    task.core_count = p;
+    for (auto& block : task.blocks) {
+      block.set(BlockElement::MemLoads, 8.0e6 / p);
+      block.set(BlockElement::MemStores, 4.0e6 / p);
+    }
+    series.push_back(std::move(task));
+  }
+  return series;
+}
+
+/// The invariant every checkpoint path must uphold: whatever the prior
+/// on-disk state, the fitted set extrapolates byte-identically.
+std::string checkpoint_golden_bytes(const core::TaskModelSet& models) {
+  return trace::to_binary(core::extrapolate_from_models(models, 256).trace);
+}
+
+TEST(CheckpointTest, WarmResumeReusesEverythingAndMatchesColdRun) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_warm";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+
+  core::CheckpointStats cold;
+  const auto cold_set = core::fit_task_models_checkpointed(series, {}, config, &cold);
+  EXPECT_EQ(cold.elements_reused, 0u);
+  EXPECT_EQ(cold.elements_fitted, cold.elements_total);
+  EXPECT_FALSE(cold.resumed);
+  const std::string golden = checkpoint_golden_bytes(cold_set);
+
+  core::CheckpointStats warm;
+  const auto warm_set = core::fit_task_models_checkpointed(series, {}, config, &warm);
+  EXPECT_EQ(warm.elements_fitted, 0u);
+  EXPECT_EQ(warm.elements_reused, warm.elements_total);
+  EXPECT_TRUE(warm.resumed);
+  EXPECT_EQ(checkpoint_golden_bytes(warm_set), golden);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, DigestMismatchDiscardsStaleStateAndRefitsCleanly) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_digest";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+  const auto first = core::fit_task_models_checkpointed(series, {}, config, nullptr);
+  const std::string golden = checkpoint_golden_bytes(first);
+
+  // Same directory, different content digest: everything on disk describes
+  // some other workload and must be dropped, never reused.
+  config.digest = "bbbbbbbbbbbbbbbb";
+  core::CheckpointStats stats;
+  const auto refit = core::fit_task_models_checkpointed(series, {}, config, &stats);
+  EXPECT_EQ(stats.elements_reused, 0u);
+  EXPECT_EQ(stats.elements_fitted, stats.elements_total);
+  EXPECT_FALSE(stats.resumed);
+  EXPECT_EQ(checkpoint_golden_bytes(refit), golden);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, VersionMismatchDiscardsTheCheckpoint) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_version";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+  const auto first = core::fit_task_models_checkpointed(series, {}, config, nullptr);
+  const std::string golden = checkpoint_golden_bytes(first);
+
+  // Forge a manifest from a hypothetical older format version.  The CRC
+  // trailer is valid — only the version string disagrees — so this is the
+  // "software upgraded across a resume" case, not corruption.
+  std::string payload;
+  auto put_str = [&payload](const std::string& s) {
+    const auto size = static_cast<std::uint32_t>(s.size());
+    payload.append(reinterpret_cast<const char*>(&size), sizeof(size));
+    payload += s;
+  };
+  auto put_u64 = [&payload](std::uint64_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_str("pmacx-ckpt-v0");
+  put_str(config.digest);
+  put_u64(6);
+  put_u64(2);
+  util::save_checked(dir + "/manifest.ckpt", payload);
+
+  core::CheckpointStats stats;
+  const auto refit = core::fit_task_models_checkpointed(series, {}, config, &stats);
+  EXPECT_EQ(stats.elements_reused, 0u) << "stale-version chunks must never be reused";
+  EXPECT_EQ(stats.elements_fitted, stats.elements_total);
+  EXPECT_EQ(checkpoint_golden_bytes(refit), golden);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, CorruptChunkIsDiscardedAndOnlyItIsRefitted) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_chunk";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+  const auto first = core::fit_task_models_checkpointed(series, {}, config, nullptr);
+  const std::string golden = checkpoint_golden_bytes(first);
+
+  std::string damaged_chunk = dir + "/models_000001.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(damaged_chunk));
+  std::string bytes = util::read_file(damaged_chunk);
+  bytes[bytes.size() / 2] ^= 0x20;
+  write_raw(damaged_chunk, bytes);
+
+  core::CheckpointStats stats;
+  const auto resumed = core::fit_task_models_checkpointed(series, {}, config, &stats);
+  EXPECT_GE(stats.chunks_discarded, 1u);
+  EXPECT_GT(stats.elements_reused, 0u) << "undamaged chunks must still be reused";
+  EXPECT_GT(stats.elements_fitted, 0u) << "the damaged chunk must be refitted";
+  EXPECT_LT(stats.elements_fitted, stats.elements_total);
+  EXPECT_EQ(checkpoint_golden_bytes(resumed), golden);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, CorruptManifestForcesCleanFullRefit) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_manifest";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+  const auto first = core::fit_task_models_checkpointed(series, {}, config, nullptr);
+  const std::string golden = checkpoint_golden_bytes(first);
+
+  std::string bytes = util::read_file(dir + "/manifest.ckpt");
+  bytes[bytes.size() / 3] ^= 0x08;
+  write_raw(dir + "/manifest.ckpt", bytes);
+
+  core::CheckpointStats stats;
+  const auto refit = core::fit_task_models_checkpointed(series, {}, config, &stats);
+  EXPECT_EQ(stats.elements_reused, 0u);
+  EXPECT_EQ(stats.elements_fitted, stats.elements_total);
+  EXPECT_EQ(checkpoint_golden_bytes(refit), golden);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, RandomCorruptionOfCheckpointFilesNeverCrashesOrLies) {
+  const auto series = checkpoint_series();
+  const std::string dir = ::testing::TempDir() + "/pmacx_ckpt_sweep";
+  std::filesystem::remove_all(dir);
+  core::CheckpointConfig config;
+  config.dir = dir;
+  config.digest = "aaaaaaaaaaaaaaaa";
+  config.chunk_elements = 2;
+  const auto first = core::fit_task_models_checkpointed(series, {}, config, nullptr);
+  const std::string golden = checkpoint_golden_bytes(first);
+
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  std::vector<std::string> pristine;
+  for (const auto& file : files) pristine.push_back(util::read_file(file));
+
+  util::Rng rng(4242);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t target = rng.below(files.size());
+    const Corruption corruption = util::random_corruption(rng, pristine[target].size());
+    SCOPED_TRACE(files[target] + ": " + corruption.describe());
+    write_raw(files[target], util::apply_corruption(pristine[target], corruption));
+    core::CheckpointStats stats;
+    const auto models = core::fit_task_models_checkpointed(series, {}, config, &stats);
+    // The one inviolable contract: whatever the damage did, the result is
+    // byte-identical and accounting stays total.
+    EXPECT_EQ(checkpoint_golden_bytes(models), golden);
+    EXPECT_EQ(stats.elements_reused + stats.elements_fitted, stats.elements_total);
+    // The run repaired the store on disk; restore the damaged byte pattern
+    // baseline for the next round from the now-clean state.
+    for (std::size_t i = 0; i < files.size(); ++i) pristine[i] = util::read_file(files[i]);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "machine/profile.hpp"
 #include "machine/targets.hpp"
 #include "psins/predictor.hpp"
+#include "service/chaos.hpp"
 #include "service/client.hpp"
 #include "service/model_store.hpp"
 #include "service/protocol.hpp"
@@ -29,6 +31,7 @@
 #include "trace/binary_io.hpp"
 #include "trace/task_trace.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace pmacx {
 namespace {
@@ -441,6 +444,213 @@ TEST(ServiceServerTest, ShutdownRequestDrainsTheServer) {
   }
   server.wait();  // must return — the test TIMEOUT guards against a hang
   EXPECT_GE(server.requests_handled(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: timeouts and the reaper, retries, the circuit breaker
+
+std::uint64_t metric(const char* name) {
+  return util::metrics::Registry::global().counter(name).value();
+}
+
+/// Raw loopback connect, for peers that must misbehave in ways the Client
+/// API refuses to.  Returns -1 on failure (callers run in non-test threads).
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ServiceResilienceTest, SlowLorisIsReapedWhileWellBehavedClientsAreServed) {
+  service::ServerOptions options = test_server_options();
+  options.read_timeout_ms = 400;  // the slow-loris window under test
+  options.idle_timeout_ms = 30'000;
+  service::Server server(options);
+  server.start();
+  const std::uint64_t timeouts_before = metric("service.conn.timeout");
+
+  // The attacker trickles a real frame at 1 byte per 100 ms — a full frame
+  // would take tens of seconds, far past the read window.
+  std::atomic<int> bytes_trickled{0};
+  std::thread loris([&] {
+    const int fd = connect_raw(server.port());
+    if (fd < 0) return;
+    const std::string frame = service::encode_request(extrapolate_request(256));
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      if (::send(fd, frame.data() + i, 1, MSG_NOSIGNAL) != 1) break;
+      bytes_trickled.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ::close(fd);
+  });
+
+  // Meanwhile an honest client on another connection is served normally.
+  service::Client client(client_for(server));
+  EXPECT_EQ(client.call(extrapolate_request(256)).status, service::Status::Ok);
+
+  loris.join();
+  // The server cut the trickler off near the 400 ms mark — its sends started
+  // failing long before the frame was done — and counted the timeout.
+  EXPECT_LT(bytes_trickled.load(), 40) << "slow-loris peer was never cut off";
+  EXPECT_GE(metric("service.conn.timeout"), timeouts_before + 1);
+}
+
+TEST(ServiceResilienceTest, IdleConnectionIsReapedAndRetryReconnects) {
+  service::ServerOptions options = test_server_options();
+  options.idle_timeout_ms = 300;
+  service::Server server(options);
+  server.start();
+  const std::uint64_t timeouts_before = metric("service.conn.timeout");
+  const std::uint64_t reaped_before = metric("service.conn.reaped");
+
+  service::ClientOptions client_options = client_for(server);
+  client_options.retry.initial_backoff_ms = 5;
+  service::Client client(client_options);
+  service::Request status;
+  status.type = service::MsgType::Status;
+  ASSERT_EQ(client.call(status).status, service::Status::Ok);
+
+  // Sit silent past the idle window: the server reaps this connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  EXPECT_GE(metric("service.conn.timeout"), timeouts_before + 1);
+
+  // The resilient path hides the dead socket: it fails the first attempt,
+  // reconnects, and completes.
+  EXPECT_EQ(client.call_with_retry(status).status, service::Status::Ok);
+
+  // The reaper joined the finished connection thread (poll-tick timing, so
+  // give it a moment).
+  for (int i = 0; i < 50 && metric("service.conn.reaped") < reaped_before + 1; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(metric("service.conn.reaped"), reaped_before + 1);
+}
+
+TEST(ServiceResilienceTest, BusyIsRetriedThenReturnedNotThrown) {
+  service::ServerOptions options = test_server_options();
+  options.max_in_flight = 0;  // every data-plane request sheds
+  service::Server server(options);
+  server.start();
+
+  service::ClientOptions client_options = client_for(server);
+  client_options.retry.max_attempts = 3;
+  client_options.retry.initial_backoff_ms = 5;
+  client_options.breaker.failure_threshold = 0;
+  service::Client client(client_options);
+
+  const std::uint64_t busy_before = metric("service.client.busy_retries");
+  const service::Response response = client.call_with_retry(extrapolate_request(256));
+  // BUSY is a healthy answer, not a transport failure: after the retry
+  // budget it is returned to the caller, and it never trips the breaker.
+  EXPECT_EQ(response.status, service::Status::Busy);
+  EXPECT_EQ(metric("service.client.busy_retries"), busy_before + 2);
+  EXPECT_FALSE(client.circuit_open());
+}
+
+TEST(ServiceResilienceTest, CircuitBreakerOpensAndFailsFast) {
+  service::ServerOptions options = test_server_options();
+  service::Server server(options);
+  server.start();
+
+  service::ClientOptions client_options = client_for(server);
+  client_options.io_timeout_ms = 2'000;
+  client_options.connect_attempts = 1;
+  client_options.connect_deadline_ms = 500;
+  client_options.retry.max_attempts = 1;
+  client_options.breaker.failure_threshold = 2;
+  client_options.breaker.cooldown_ms = 60'000;
+  service::Client client(client_options);
+
+  service::Request status;
+  status.type = service::MsgType::Status;
+  ASSERT_EQ(client.call_with_retry(status).status, service::Status::Ok);
+  EXPECT_FALSE(client.circuit_open());
+
+  server.stop();
+  server.wait();
+
+  const std::uint64_t opened_before = metric("service.client.circuit_opened");
+  EXPECT_THROW((void)client.call_with_retry(status), util::Error);  // dead socket
+  EXPECT_FALSE(client.circuit_open()) << "one failure must not open a threshold-2 breaker";
+  EXPECT_THROW((void)client.call_with_retry(status), util::Error);  // failed reconnect
+  EXPECT_TRUE(client.circuit_open());
+  EXPECT_EQ(metric("service.client.circuit_opened"), opened_before + 1);
+
+  // Open circuit: the next call fails fast, without touching the network.
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    (void)client.call_with_retry(status);
+    FAIL() << "open circuit must fail";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("circuit open"), std::string::npos) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 100)
+      << "fail-fast took a full network timeout";
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy
+
+TEST(ChaosProxyTest, ZeroProbabilityProxyIsByteTransparent) {
+  service::Server server(test_server_options());
+  server.start();
+
+  service::ChaosOptions chaos;
+  chaos.upstream_port = server.port();
+  chaos.p_reset = chaos.p_cut = chaos.p_delay = chaos.p_duplicate = 0.0;
+  chaos.p_trickle = chaos.p_partial = chaos.p_short_read = 0.0;
+  service::ChaosProxy proxy(chaos);
+  proxy.start();
+
+  service::ClientOptions through_proxy = client_for(server);
+  through_proxy.port = proxy.port();
+  service::Client proxied(through_proxy);
+  const service::Response via_proxy = proxied.call(extrapolate_request(256));
+  ASSERT_EQ(via_proxy.status, service::Status::Ok) << via_proxy.body;
+
+  service::Client direct(client_for(server));
+  EXPECT_EQ(via_proxy.body, direct.call(extrapolate_request(256)).body);
+
+  proxy.stop();
+  proxy.wait();
+  EXPECT_EQ(proxy.stats().connections.load(), 1u);
+  EXPECT_GT(proxy.stats().bytes_forwarded.load(), 0u);
+  EXPECT_EQ(proxy.stats().resets.load() + proxy.stats().cuts.load() +
+                proxy.stats().duplicates.load(),
+            0u);
+}
+
+TEST(ChaosProxyTest, AlwaysResetProxyFailsDefinitelyAndServerSurvives) {
+  service::Server server(test_server_options());
+  server.start();
+
+  service::ChaosOptions chaos;
+  chaos.upstream_port = server.port();
+  chaos.p_reset = 1.0;  // every forwarded chunk is a hard RST
+  service::ChaosProxy proxy(chaos);
+  proxy.start();
+
+  service::ClientOptions through_proxy = client_for(server);
+  through_proxy.port = proxy.port();
+  through_proxy.io_timeout_ms = 5'000;
+  service::Client proxied(through_proxy);
+  // The failure must be definite (a typed transport error), never a hang.
+  EXPECT_THROW((void)proxied.call(extrapolate_request(256)), util::Error);
+  proxy.stop();
+  proxy.wait();
+  EXPECT_GE(proxy.stats().resets.load(), 1u);
+
+  // The server rode out the RST: a direct, well-formed request still works.
+  service::Client direct(client_for(server));
+  EXPECT_EQ(direct.call(extrapolate_request(256)).status, service::Status::Ok);
 }
 
 }  // namespace

@@ -5,6 +5,10 @@
 // single-thread degeneracy the PMACX_THREADS=1 fallback relies on.
 #include <gtest/gtest.h>
 
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -259,6 +263,46 @@ TEST(ThreadPool, EdgeCounts) {
   std::vector<std::atomic<int>> hits(3);
   pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PoolIdsAreUniqueAndWorkerNamesNeverCollide) {
+  // Stack dumps from chaos runs attribute threads by name; two pools whose
+  // workers share names would make those dumps ambiguous.  pool_id() is the
+  // process-wide discriminator.
+  util::ThreadPool first(3), second(3);
+  ASSERT_NE(first.pool_id(), second.pool_id());
+
+#ifdef __linux__
+  std::mutex names_mutex;
+  std::set<std::string> names;
+  // One task per worker, held at a spin barrier so no worker can take two —
+  // every worker's name gets observed exactly once.  The caller waits with
+  // wait_for (which never helps) so no task runs on this unnamed thread.
+  for (util::ThreadPool* pool : {&first, &second}) {
+    std::atomic<std::size_t> arrived{0};
+    const std::size_t workers = pool->worker_count();
+    std::vector<util::TaskFuture<int>> tasks;
+    for (std::size_t i = 0; i < workers; ++i) {
+      tasks.push_back(pool->submit([&] {
+        arrived.fetch_add(1);
+        while (arrived.load() < workers) std::this_thread::yield();
+        char name[32] = {};
+        ::pthread_getname_np(::pthread_self(), name, sizeof(name));
+        std::scoped_lock lock(names_mutex);
+        names.insert(name);
+        return 0;
+      }));
+    }
+    for (auto& task : tasks) ASSERT_TRUE(task.wait_for(std::chrono::seconds(60)));
+  }
+  EXPECT_EQ(names.size(), first.worker_count() + second.worker_count())
+      << "worker thread names collided across pools";
+  const std::string prefix_a = "pmx" + std::to_string(first.pool_id()) + ".w";
+  const std::string prefix_b = "pmx" + std::to_string(second.pool_id()) + ".w";
+  for (const std::string& name : names)
+    EXPECT_TRUE(name.rfind(prefix_a, 0) == 0 || name.rfind(prefix_b, 0) == 0)
+        << "unexpected worker name '" << name << "'";
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Kill-and-resume golden test for pmacx_extrapolate --checkpoint-dir.
+
+  checkpoint_smoke.py --tool <pmacx_extrapolate> --workdir <dir> \
+      <trace files, ascending core counts>
+
+Scenario (the tentpole crash-safety contract, end to end):
+
+  1. Reference: an uncheckpointed run produces the golden trace, CSV report,
+     stdout, and a metrics snapshot.
+  2. Crash: a checkpointed run is SIGKILLed (via --crash-after-chunks, a
+     real raise(SIGKILL) in the fitting loop) after its first chunk write.
+  3. Resume: re-running the same command must exit 0, reuse the surviving
+     chunks (checkpoint.elements_reused > 0 when the crashed run completed
+     a non-final chunk), attempt strictly fewer fits than the reference run
+     (sum of fits.attempted.*), and emit byte-identical trace, CSV, and
+     stdout.
+  4. Second resume: with the checkpoint complete, everything is reused
+     (checkpoint.elements_fitted == 0) and the output is still identical.
+
+Exit code 0 when every assertion holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+
+
+def fail(message):
+    print(f"checkpoint_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect_sigkill=False):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if expect_sigkill:
+        if proc.returncode != -signal.SIGKILL:
+            fail(
+                f"expected SIGKILL from {' '.join(cmd)}, got rc={proc.returncode}\n"
+                f"stderr: {proc.stderr.decode(errors='replace')}"
+            )
+    elif proc.returncode != 0:
+        fail(
+            f"{' '.join(cmd)} exited {proc.returncode}\n"
+            f"stderr: {proc.stderr.decode(errors='replace')}"
+        )
+    return proc
+
+
+def counters(metrics_path):
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        return json.load(handle).get("counters", {})
+
+
+def attempted_fits(ctrs):
+    return sum(v for k, v in ctrs.items() if k.startswith("fits.attempted."))
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--tool", required=True, help="path to pmacx_extrapolate")
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--target-cores", default="256")
+    parser.add_argument("traces", nargs="+")
+    args = parser.parse_args()
+
+    os.makedirs(args.workdir, exist_ok=True)
+    ckpt = os.path.join(args.workdir, "ckpt")
+    shutil.rmtree(ckpt, ignore_errors=True)
+
+    def extrapolate(out, csv, metrics=None, checkpoint=False, crash_after=0):
+        out_path = os.path.join(args.workdir, out)
+        csv_path = os.path.join(args.workdir, csv)
+        cmd = [
+            args.tool,
+            "--target-cores", args.target_cores,
+            "--threads", "2",
+            "--out", out_path,
+            "--csv", csv_path,
+        ]
+        if metrics:
+            cmd += ["--metrics-json", os.path.join(args.workdir, metrics)]
+        if checkpoint:
+            # A small chunk size guarantees several chunks even for coarse
+            # smoke traces, so the crashed run leaves a genuinely partial
+            # checkpoint (some chunks durable, some missing).
+            cmd += ["--checkpoint-dir", ckpt, "--checkpoint-chunk", "16"]
+        if crash_after:
+            cmd += ["--crash-after-chunks", str(crash_after)]
+        cmd += args.traces
+        proc = run(cmd, expect_sigkill=crash_after > 0)
+        # The banner names the run's own output paths; normalize them so
+        # stdout can be compared across runs byte-for-byte otherwise.
+        proc.norm_stdout = proc.stdout.replace(
+            out_path.encode(), b"<out>"
+        ).replace(csv_path.encode(), b"<csv>")
+        return proc
+
+    # 1. Golden reference (no checkpoint).
+    reference = extrapolate("ref.trace", "ref.csv", metrics="ref.metrics.json")
+
+    # 2. Checkpointed run killed after its first chunk write.  SIGKILL cannot
+    # be caught, so whatever is on disk afterwards is exactly what the atomic
+    # chunk writes made durable.
+    extrapolate("crash.trace", "crash.csv", checkpoint=True, crash_after=1)
+    chunk_files = [f for f in os.listdir(ckpt) if f.startswith("models_")]
+    if not chunk_files:
+        fail("crashed run left no chunk files — nothing was made durable before the kill")
+    if os.path.exists(os.path.join(args.workdir, "crash.trace")):
+        fail("killed run must not have produced an output trace")
+
+    # 3. Resume: same command, no crash hook.
+    resumed = extrapolate(
+        "resumed.trace", "resumed.csv", metrics="resumed.metrics.json", checkpoint=True
+    )
+
+    if read_bytes(os.path.join(args.workdir, "resumed.trace")) != read_bytes(
+        os.path.join(args.workdir, "ref.trace")
+    ):
+        fail("resumed trace differs from the uncheckpointed reference")
+    if read_bytes(os.path.join(args.workdir, "resumed.csv")) != read_bytes(
+        os.path.join(args.workdir, "ref.csv")
+    ):
+        fail("resumed fit-report CSV differs from the reference")
+    if resumed.norm_stdout != reference.norm_stdout:
+        fail(
+            "resumed stdout differs from the reference:\n"
+            f"reference: {reference.norm_stdout!r}\nresumed:   {resumed.norm_stdout!r}"
+        )
+
+    ref_ctrs = counters(os.path.join(args.workdir, "ref.metrics.json"))
+    res_ctrs = counters(os.path.join(args.workdir, "resumed.metrics.json"))
+    reused = res_ctrs.get("checkpoint.elements_reused", 0)
+    fitted = res_ctrs.get("checkpoint.elements_fitted", 0)
+    if reused <= 0:
+        fail("resume reused no checkpointed elements")
+    if fitted <= 0:
+        fail("resume re-fitted nothing — the crash was not actually mid-run")
+    if res_ctrs.get("checkpoint.resumes", 0) < 1:
+        fail("resume did not count as a resume")
+    ref_attempted = attempted_fits(ref_ctrs)
+    res_attempted = attempted_fits(res_ctrs)
+    if not res_attempted < ref_attempted:
+        fail(
+            f"resume attempted {res_attempted} fits, reference {ref_attempted} — "
+            "a resume must attempt strictly fewer"
+        )
+
+    # 4. Fully warm resume: nothing left to fit, output still identical.
+    warm = extrapolate(
+        "warm.trace", "warm.csv", metrics="warm.metrics.json", checkpoint=True
+    )
+    warm_ctrs = counters(os.path.join(args.workdir, "warm.metrics.json"))
+    if warm_ctrs.get("checkpoint.elements_fitted", -1) != 0:
+        fail("fully warm resume still fitted elements")
+    if read_bytes(os.path.join(args.workdir, "warm.trace")) != read_bytes(
+        os.path.join(args.workdir, "ref.trace")
+    ):
+        fail("warm-resume trace differs from the reference")
+    if warm.norm_stdout != reference.norm_stdout:
+        fail("warm-resume stdout differs from the reference")
+
+    print(
+        f"checkpoint_smoke: OK (reused {reused}, refit {fitted}, "
+        f"attempted fits {res_attempted} < {ref_attempted})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,455 @@
+// pmacx_chaos — randomized network-fault harness for pmacx_serve.
+//
+// Spawns (or connects to) a prediction server, then runs a sequence of
+// chaos rounds: each round puts a freshly seeded service::ChaosProxy
+// between the clients and the server and drives a mixed request load
+// (STATUS / FIT / EXTRAPOLATE / PREDICT) through it while the proxy
+// injects partial writes, short reads, resets, slow-loris trickle,
+// delayed/duplicated frames, and mid-frame disconnects.
+//
+// The invariants asserted, per round and overall:
+//
+//   * never crash   — the server answers a direct (un-proxied) STATUS probe
+//                     after every round, and (in --server mode) exits
+//                     cleanly on SHUTDOWN at the end;
+//   * never hang    — every request ends within a hard wall-clock bound
+//                     (the client retry deadline plus one I/O timeout);
+//   * bounded memory— in --server mode the server's RSS (/proc/<pid>/statm)
+//                     must stay under --max-rss-mb across all rounds;
+//   * definite outcome — every request ends in OK, BUSY, a server-reported
+//                     error (the ParseError channel), or a client-side
+//                     transport error; nothing is left in limbo.
+//
+// Results go to stdout and (with --json) to a machine-readable report the
+// CI chaos job uploads as its artifact.  Exit 0 iff no invariant was
+// violated; every seed is deterministic, so a failing report's seed replays
+// the exact fault schedule.
+//
+//   pmacx_chaos --server build/tools/pmacx_serve --seed-count 32
+//       --json CHAOS.json s16.trace s32.trace s64.trace
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve_spawn.hpp"
+#include "service/chaos.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace pmacx;
+using Clock = std::chrono::steady_clock;
+
+void usage() {
+  std::puts(
+      "pmacx_chaos — randomized network-fault harness for pmacx_serve\n"
+      "\n"
+      "usage: pmacx_chaos (--server <pmacx_serve binary> | --port <p>) \\\n"
+      "           [options] <trace files, ascending core counts>\n"
+      "\n"
+      "options:\n"
+      "  --server <path>        spawn this pmacx_serve on an ephemeral port,\n"
+      "                         chaos it, send SHUTDOWN, and check it exits 0\n"
+      "  --host <addr>          server address        (default: 127.0.0.1)\n"
+      "  --port <p>             server port (required unless --server)\n"
+      "  --seed-count <n>       chaos rounds to run   (default: 8)\n"
+      "  --seed <s>             root seed; round r uses derive_seed(s, r)\n"
+      "  --requests-per-seed <n> requests per round   (default: 24)\n"
+      "  --threads <n>          client threads        (default: 4)\n"
+      "  --deadline-ms <ms>     per-request retry deadline (default: 15000);\n"
+      "                         a request is a HANG past twice this bound\n"
+      "  --max-rss-mb <mb>      server RSS cap, --server mode (default: 512)\n"
+      "  --target-cores <n>     extrapolation target  (default: 256)\n"
+      "  --app <name>           application model     (default: specfem3d)\n"
+      "  --machine-target <m>   prediction target     (default: bluewaters-p1)\n"
+      "  --json <file>          write the chaos report as JSON\n");
+}
+
+/// Resident set size of a process in MiB, from /proc/<pid>/statm; 0 when
+/// unreadable (proc gone or not Linux).
+double rss_mb(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/statm");
+  long total = 0, resident = 0;
+  if (!(in >> total >> resident)) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+}
+
+/// Per-round (and aggregate) outcome tallies.  Everything here is a
+/// *definite* outcome; the absence of a bucket for "still waiting" is the
+/// point.
+struct Outcomes {
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> server_error{0};     ///< Error response (ParseError channel)
+  std::atomic<std::uint64_t> transport_error{0};  ///< client-side util::Error
+  std::atomic<std::uint64_t> hangs{0};            ///< wall clock blew the bound
+  std::atomic<double> max_request_ms{0.0};
+
+  void record_ms(double ms) {
+    double seen = max_request_ms.load(std::memory_order_relaxed);
+    while (ms > seen &&
+           !max_request_ms.compare_exchange_weak(seen, ms, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server_binary, host = "127.0.0.1", json_path;
+  std::string app = "specfem3d", machine_target = "bluewaters-p1";
+  std::uint64_t port = 0, seed_count = 8, root_seed = 1, requests_per_seed = 24;
+  std::uint64_t threads = 4, deadline_ms = 15'000, max_rss_mb = 512, target_cores = 256;
+  std::vector<std::string> traces;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        PMACX_CHECK(i + 1 < argc, "option " + arg + " requires a value");
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--server") {
+        server_binary = value();
+      } else if (arg == "--host") {
+        host = value();
+      } else if (arg == "--port") {
+        port = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--seed-count") {
+        seed_count = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--seed") {
+        root_seed = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--requests-per-seed") {
+        requests_per_seed = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--threads") {
+        threads = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--deadline-ms") {
+        deadline_ms = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--max-rss-mb") {
+        max_rss_mb = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--target-cores") {
+        target_cores = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--app") {
+        app = value();
+      } else if (arg == "--machine-target") {
+        machine_target = value();
+      } else if (arg == "--json") {
+        json_path = value();
+      } else if (util::starts_with(arg, "--")) {
+        PMACX_CHECK(false, "unknown option " + arg);
+      } else {
+        traces.push_back(arg);
+      }
+    }
+    PMACX_CHECK(server_binary.empty() != (port == 0),
+                "give exactly one of --server or --port");
+    PMACX_CHECK(seed_count > 0 && requests_per_seed > 0 && threads > 0,
+                "--seed-count, --requests-per-seed, and --threads must be positive");
+    PMACX_CHECK(traces.size() >= 2,
+                "need at least two trace files (ascending core counts)");
+    PMACX_CHECK(port <= 65535, "--port must fit a TCP port");
+
+    tools::SpawnedServer spawned;
+    if (!server_binary.empty()) {
+      spawned = tools::spawn_server(server_binary, /*metrics_json=*/"", "pmacx_chaos");
+      port = spawned.port;
+    }
+    const auto server_port = static_cast<std::uint16_t>(port);
+
+    // Direct (un-proxied) client options: generous timeouts, no retries —
+    // used for the warm-up, the per-round liveness probe, and SHUTDOWN.
+    service::ClientOptions direct;
+    direct.host = host;
+    direct.port = server_port;
+    direct.io_timeout_ms = 60'000;
+
+    // The request mix every round cycles through.
+    service::Request status_request;
+    status_request.type = service::MsgType::Status;
+    service::Request fit_request;
+    fit_request.type = service::MsgType::Fit;
+    fit_request.spec.trace_paths = traces;
+    service::Request extrapolate_request = fit_request;
+    extrapolate_request.type = service::MsgType::Extrapolate;
+    extrapolate_request.target_cores = static_cast<std::uint32_t>(target_cores);
+    service::Request predict_request = extrapolate_request;
+    predict_request.type = service::MsgType::Predict;
+    predict_request.app = app;
+    predict_request.machine_target = machine_target;
+    const service::Request* mix[] = {&status_request, &fit_request, &extrapolate_request,
+                                     &predict_request};
+
+    // Warm the server's model cache over a clean connection, so chaos-round
+    // latencies measure fault handling, not first-fit cost, and PREDICT
+    // setup errors (bad app/machine names) surface before chaos starts.
+    {
+      service::Client warmup(direct);
+      const service::Response response = warmup.call(predict_request);
+      PMACX_CHECK(response.status == service::Status::Ok,
+                  "warm-up PREDICT failed (fix the setup before running chaos): " +
+                      response.body);
+    }
+
+    Outcomes total;
+    std::uint64_t liveness_failures = 0, rounds_run = 0;
+    double max_rss_seen = 0.0;
+    bool rss_exceeded = false;
+    // Aggregated fault-injection counts across every round's proxy.
+    std::uint64_t chaos_connections = 0, chaos_resets = 0, chaos_cuts = 0,
+                  chaos_delays = 0, chaos_duplicates = 0, chaos_trickles = 0,
+                  chaos_partials = 0, chaos_bytes = 0;
+    // A request is a hang when it outlives the retry deadline plus slack for
+    // the final attempt's own I/O timeout.
+    const double hang_bound_ms = static_cast<double>(2 * deadline_ms);
+
+    struct RoundReport {
+      std::uint64_t seed = 0;
+      std::uint64_t ok = 0, busy = 0, server_error = 0, transport_error = 0, hangs = 0;
+      double max_request_ms = 0.0;
+      double rss_mb = 0.0;
+      bool alive = true;
+    };
+    std::vector<RoundReport> rounds;
+
+    for (std::uint64_t round = 0; round < seed_count; ++round) {
+      const std::uint64_t seed = util::derive_seed(root_seed, round);
+      service::ChaosOptions chaos_options;
+      chaos_options.upstream_host = host;
+      chaos_options.upstream_port = server_port;
+      chaos_options.seed = seed;
+      service::ChaosProxy proxy(chaos_options);
+      proxy.start();
+
+      Outcomes outcomes;
+      std::atomic<std::int64_t> budget{static_cast<std::int64_t>(requests_per_seed)};
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (std::uint64_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t, seed] {
+          service::ClientOptions through_proxy;
+          through_proxy.host = "127.0.0.1";
+          through_proxy.port = proxy.port();
+          // Tight enough that trickled or torn responses fail over to a
+          // retry instead of eating the whole deadline.
+          through_proxy.io_timeout_ms = 3'000;
+          through_proxy.connect_deadline_ms = 5'000;
+          through_proxy.jitter_seed = util::derive_seed(seed, 1'000 + t);
+          through_proxy.retry.max_attempts = 4;
+          through_proxy.retry.overall_deadline_ms = deadline_ms;
+          // The breaker would fail-fast late requests after a bad streak —
+          // correct for production, but here it would mask the interesting
+          // outcomes, so it is disabled.
+          through_proxy.breaker.failure_threshold = 0;
+
+          std::unique_ptr<service::Client> client;
+          std::int64_t ticket;
+          while ((ticket = budget.fetch_sub(1, std::memory_order_relaxed)) > 0) {
+            const std::size_t index = requests_per_seed - static_cast<std::size_t>(ticket);
+            const service::Request& request = *mix[index % 4];
+            const Clock::time_point started = Clock::now();
+            try {
+              if (!client) client = std::make_unique<service::Client>(through_proxy);
+              const service::Response response = client->call_with_retry(request);
+              if (response.status == service::Status::Ok)
+                outcomes.ok.fetch_add(1, std::memory_order_relaxed);
+              else if (response.status == service::Status::Busy)
+                outcomes.busy.fetch_add(1, std::memory_order_relaxed);
+              else
+                outcomes.server_error.fetch_add(1, std::memory_order_relaxed);
+            } catch (const util::Error&) {
+              // Chaos tore the transport out from under the call: a definite
+              // client-side failure, which satisfies the invariant.
+              outcomes.transport_error.fetch_add(1, std::memory_order_relaxed);
+              client.reset();  // next request starts from a fresh connection
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() - started).count();
+            outcomes.record_ms(ms);
+            if (ms > hang_bound_ms) outcomes.hangs.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      proxy.stop();
+      proxy.wait();
+
+      const service::ChaosStats& stats = proxy.stats();
+      chaos_connections += stats.connections.load();
+      chaos_resets += stats.resets.load();
+      chaos_cuts += stats.cuts.load();
+      chaos_delays += stats.delays.load();
+      chaos_duplicates += stats.duplicates.load();
+      chaos_trickles += stats.trickles.load();
+      chaos_partials += stats.partials.load();
+      chaos_bytes += stats.bytes_forwarded.load();
+
+      RoundReport report;
+      report.seed = seed;
+      report.ok = outcomes.ok.load();
+      report.busy = outcomes.busy.load();
+      report.server_error = outcomes.server_error.load();
+      report.transport_error = outcomes.transport_error.load();
+      report.hangs = outcomes.hangs.load();
+      report.max_request_ms = outcomes.max_request_ms.load();
+
+      total.ok += report.ok;
+      total.busy += report.busy;
+      total.server_error += report.server_error;
+      total.transport_error += report.transport_error;
+      total.hangs += report.hangs;
+      total.record_ms(report.max_request_ms);
+
+      // Liveness probe on a clean connection: the server must still answer.
+      try {
+        service::Client probe(direct);
+        const service::Response response = probe.call(status_request);
+        report.alive = response.status == service::Status::Ok;
+      } catch (const std::exception& e) {
+        report.alive = false;
+        std::fprintf(stderr, "pmacx_chaos: liveness probe after seed %llu failed: %s\n",
+                     static_cast<unsigned long long>(seed), e.what());
+      }
+      if (!report.alive) ++liveness_failures;
+
+      if (spawned.pid > 0) {
+        report.rss_mb = rss_mb(spawned.pid);
+        max_rss_seen = std::max(max_rss_seen, report.rss_mb);
+        if (report.rss_mb > static_cast<double>(max_rss_mb)) rss_exceeded = true;
+      }
+
+      std::printf("pmacx_chaos: seed %llu: %llu ok, %llu busy, %llu server-err, "
+                  "%llu transport-err, %llu hangs, max %.0f ms%s%s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(report.ok),
+                  static_cast<unsigned long long>(report.busy),
+                  static_cast<unsigned long long>(report.server_error),
+                  static_cast<unsigned long long>(report.transport_error),
+                  static_cast<unsigned long long>(report.hangs), report.max_request_ms,
+                  report.alive ? "" : "  SERVER DEAD",
+                  spawned.pid > 0 ? ("  rss " + std::to_string(report.rss_mb) + " MiB").c_str()
+                                  : "");
+      rounds.push_back(report);
+      ++rounds_run;
+      if (!report.alive) break;  // no point chaosing a corpse
+    }
+
+    // Teardown (and the final crash check) in --server mode.
+    bool abnormal_exit = false;
+    if (spawned.pid > 0) {
+      if (liveness_failures == 0) {
+        try {
+          service::Client control(direct);
+          service::Request shutdown;
+          shutdown.type = service::MsgType::Shutdown;
+          control.call(shutdown);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "pmacx_chaos: shutdown request failed: %s\n", e.what());
+          ::kill(spawned.pid, SIGTERM);
+        }
+      } else {
+        ::kill(spawned.pid, SIGTERM);
+      }
+      int status = 0;
+      ::waitpid(spawned.pid, &status, 0);
+      abnormal_exit = liveness_failures == 0 &&
+                      (!WIFEXITED(status) || WEXITSTATUS(status) != 0);
+      if (abnormal_exit)
+        std::fprintf(stderr, "pmacx_chaos: server exited abnormally (status %d)\n", status);
+    }
+
+    const std::uint64_t requests_total =
+        total.ok.load() + total.busy.load() + total.server_error.load() +
+        total.transport_error.load();
+    const bool passed = total.hangs.load() == 0 && liveness_failures == 0 &&
+                        !rss_exceeded && !abnormal_exit &&
+                        requests_total == rounds_run * requests_per_seed;
+
+    std::printf("pmacx_chaos: %s — %llu rounds, %llu requests "
+                "(%llu ok, %llu busy, %llu server-err, %llu transport-err), "
+                "%llu hangs, %llu liveness failures, max rss %.1f MiB\n",
+                passed ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(rounds_run),
+                static_cast<unsigned long long>(requests_total),
+                static_cast<unsigned long long>(total.ok.load()),
+                static_cast<unsigned long long>(total.busy.load()),
+                static_cast<unsigned long long>(total.server_error.load()),
+                static_cast<unsigned long long>(total.transport_error.load()),
+                static_cast<unsigned long long>(total.hangs.load()),
+                static_cast<unsigned long long>(liveness_failures), max_rss_seen);
+    std::printf("pmacx_chaos: injected faults: %llu conns, %llu resets, %llu cuts, "
+                "%llu delays, %llu dups, %llu trickles, %llu partials, %llu bytes\n",
+                static_cast<unsigned long long>(chaos_connections),
+                static_cast<unsigned long long>(chaos_resets),
+                static_cast<unsigned long long>(chaos_cuts),
+                static_cast<unsigned long long>(chaos_delays),
+                static_cast<unsigned long long>(chaos_duplicates),
+                static_cast<unsigned long long>(chaos_trickles),
+                static_cast<unsigned long long>(chaos_partials),
+                static_cast<unsigned long long>(chaos_bytes));
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      PMACX_CHECK(out.good(), "cannot write " + json_path);
+      out << "{\n"
+          << "  \"passed\": " << (passed ? "true" : "false") << ",\n"
+          << "  \"rounds\": " << rounds_run << ",\n"
+          << "  \"requests\": " << requests_total << ",\n"
+          << "  \"outcomes\": {\"ok\": " << total.ok.load()
+          << ", \"busy\": " << total.busy.load()
+          << ", \"server_error\": " << total.server_error.load()
+          << ", \"transport_error\": " << total.transport_error.load() << "},\n"
+          << "  \"violations\": {\"hangs\": " << total.hangs.load()
+          << ", \"liveness_failures\": " << liveness_failures
+          << ", \"rss_exceeded\": " << (rss_exceeded ? "true" : "false")
+          << ", \"abnormal_exit\": " << (abnormal_exit ? "true" : "false") << "},\n"
+          << "  \"max_request_ms\": " << total.max_request_ms.load() << ",\n"
+          << "  \"max_rss_mb\": " << max_rss_seen << ",\n"
+          << "  \"faults\": {\"connections\": " << chaos_connections
+          << ", \"resets\": " << chaos_resets << ", \"cuts\": " << chaos_cuts
+          << ", \"delays\": " << chaos_delays << ", \"duplicates\": " << chaos_duplicates
+          << ", \"trickles\": " << chaos_trickles << ", \"partials\": " << chaos_partials
+          << ", \"bytes_forwarded\": " << chaos_bytes << "},\n"
+          << "  \"per_seed\": [\n";
+      for (std::size_t i = 0; i < rounds.size(); ++i) {
+        const RoundReport& r = rounds[i];
+        out << "    {\"seed\": " << r.seed << ", \"ok\": " << r.ok
+            << ", \"busy\": " << r.busy << ", \"server_error\": " << r.server_error
+            << ", \"transport_error\": " << r.transport_error << ", \"hangs\": " << r.hangs
+            << ", \"max_request_ms\": " << r.max_request_ms
+            << ", \"rss_mb\": " << r.rss_mb << ", \"alive\": "
+            << (r.alive ? "true" : "false") << "}" << (i + 1 < rounds.size() ? "," : "")
+            << "\n";
+      }
+      out << "  ]\n}\n";
+    }
+
+    return passed ? 0 : 1;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_chaos: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_chaos: internal error: %s\n", e.what());
+    return 1;
+  }
+}

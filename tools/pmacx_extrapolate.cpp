@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/comm_extrap.hpp"
 #include "core/extrapolator.hpp"
 #include "trace/binary_io.hpp"
@@ -55,7 +56,21 @@ void usage() {
       "                         threads; 1 = serial — output is identical\n"
       "                         either way)\n"
       "  --metrics-json <file>  write a pmacx-metrics-v1 snapshot (counters,\n"
-      "                         stage timings, run manifest) to this file\n");
+      "                         stage timings, run manifest) to this file\n"
+      "  --checkpoint-dir <dir> crash-safe fitting: persist fitted models in\n"
+      "                         pmacx-ckpt-v1 chunks under <dir> as they\n"
+      "                         complete; a re-run after a crash re-fits only\n"
+      "                         the missing chunks and produces byte-identical\n"
+      "                         output.  Stale checkpoints (different inputs\n"
+      "                         or options) are detected by content digest\n"
+      "                         and redone\n"
+      "  --checkpoint-chunk <n> elements per checkpoint chunk (default: 256;\n"
+      "                         smaller chunks lose less work to a crash but\n"
+      "                         pay more fsyncs)\n"
+      "  --crash-after-chunks <n>\n"
+      "                         test hook: SIGKILL this process after n\n"
+      "                         checkpoint chunk writes (requires\n"
+      "                         --checkpoint-dir)\n");
 }
 
 }  // namespace
@@ -75,6 +90,9 @@ int main(int argc, char** argv) {
   std::uint64_t bootstrap = 0;
   std::uint64_t threads = 0;  // 0 = PMACX_THREADS / hardware
   std::string metrics_json;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_chunk = 256;
+  std::uint64_t crash_after_chunks = 0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -114,6 +132,13 @@ int main(int argc, char** argv) {
         threads = util::parse_flag_u64(value(), arg);
       } else if (arg == "--metrics-json") {
         metrics_json = value();
+      } else if (arg == "--checkpoint-dir") {
+        checkpoint_dir = value();
+      } else if (arg == "--checkpoint-chunk") {
+        checkpoint_chunk = util::parse_flag_u64(value(), arg);
+        PMACX_CHECK(checkpoint_chunk > 0, "--checkpoint-chunk must be positive");
+      } else if (arg == "--crash-after-chunks") {
+        crash_after_chunks = util::parse_flag_u64(value(), arg);
       } else if (util::starts_with(arg, "--")) {
         PMACX_CHECK(false, "unknown option " + arg);
       } else {
@@ -122,6 +147,8 @@ int main(int argc, char** argv) {
     }
     PMACX_CHECK(target_cores > 0, "--target-cores is required");
     PMACX_CHECK(inputs.size() >= 2, "need at least two inputs");
+    PMACX_CHECK(crash_after_chunks == 0 || !checkpoint_dir.empty(),
+                "--crash-after-chunks requires --checkpoint-dir");
 
     const std::size_t n_threads = util::ThreadPool::resolve_threads(threads);
     std::optional<util::ThreadPool> pool;
@@ -204,7 +231,29 @@ int main(int argc, char** argv) {
     options.threads = n_threads;
     options.pool = pool ? &*pool : nullptr;
 
-    const auto result = core::extrapolate_task(traces, target_cores, options);
+    const auto result = [&] {
+      if (checkpoint_dir.empty()) return core::extrapolate_task(traces, target_cores, options);
+      // Checkpointed path: persist fitted models chunk by chunk, reuse any
+      // valid chunks from a prior (possibly killed) run.  The digest is
+      // computed over the loaded traces' canonical binary encoding, so it is
+      // stable across runs and across --salvage / --signatures input modes.
+      core::CheckpointConfig ckpt;
+      ckpt.dir = checkpoint_dir;
+      ckpt.digest = core::models_digest_for_traces(traces, options);
+      ckpt.chunk_elements = checkpoint_chunk;
+      ckpt.kill_after_chunks = crash_after_chunks;
+      core::CheckpointStats stats;
+      const core::TaskModelSet models =
+          core::fit_task_models_checkpointed(traces, options, ckpt, &stats);
+      // Progress on stderr: stdout stays byte-identical to an uncheckpointed
+      // run, which the resume golden test relies on.
+      std::fprintf(stderr,
+                   "pmacx_extrapolate: checkpoint %s: reused %zu/%zu elements, fitted "
+                   "%zu, discarded %zu stale chunk(s)\n",
+                   ckpt.digest.c_str(), stats.elements_reused, stats.elements_total,
+                   stats.elements_fitted, stats.chunks_discarded);
+      return core::extrapolate_from_models(models, target_cores);
+    }();
     diagnostics.merge(result.diagnostics);
     if (signatures) {
       // Full-signature mode: extrapolate the communication side too and
@@ -263,6 +312,7 @@ int main(int argc, char** argv) {
           {"signatures", signatures ? "1" : "0"},
           {"bootstrap", std::to_string(bootstrap)},
           {"threads", std::to_string(threads)},
+          {"checkpoint-dir", checkpoint_dir},
       };
       for (const std::string& path : inputs) manifest.add_input(path);
       util::metrics::write_json(metrics_json, manifest,

@@ -22,11 +22,13 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve_spawn.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "util/cli.hpp"
@@ -62,61 +64,6 @@ void usage() {
       "  --machine-target <m>   prediction target     (default: bluewaters-p1)\n"
       "  --timeout-ms <ms>      client I/O deadline   (default: 60000)\n"
       "  --json <file>          write benchmark-format JSON for bench_compare.py\n");
-}
-
-struct SpawnedServer {
-  pid_t pid = -1;
-  std::uint16_t port = 0;
-};
-
-/// fork/exec a pmacx_serve on an ephemeral port and parse the port from its
-/// "pmacx_serve listening on <addr>:<port>" banner.
-SpawnedServer spawn_server(const std::string& binary, const std::string& metrics_json) {
-  int fds[2];
-  PMACX_CHECK(::pipe(fds) == 0, std::string("pipe(): ") + std::strerror(errno));
-
-  const pid_t pid = ::fork();
-  PMACX_CHECK(pid >= 0, std::string("fork(): ") + std::strerror(errno));
-  if (pid == 0) {
-    // Child: stdout -> pipe, then become the server.
-    ::close(fds[0]);
-    ::dup2(fds[1], STDOUT_FILENO);
-    ::close(fds[1]);
-    std::vector<std::string> args{binary, "--port", "0"};
-    if (!metrics_json.empty()) {
-      args.push_back("--metrics-json");
-      args.push_back(metrics_json);
-    }
-    std::vector<char*> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string& arg : args) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-    ::execv(binary.c_str(), argv.data());
-    std::fprintf(stderr, "pmacx_loadgen: exec %s: %s\n", binary.c_str(),
-                 std::strerror(errno));
-    ::_exit(127);
-  }
-
-  ::close(fds[1]);
-  // Read the banner line byte-by-byte (it is tiny and arrives once).
-  std::string banner;
-  char byte = 0;
-  while (banner.size() < 256) {
-    const ssize_t n = ::read(fds[0], &byte, 1);
-    if (n <= 0 || byte == '\n') break;
-    banner.push_back(byte);
-  }
-  ::close(fds[0]);
-
-  SpawnedServer server;
-  server.pid = pid;
-  const std::size_t colon = banner.rfind(':');
-  PMACX_CHECK(util::starts_with(banner, "pmacx_serve listening on ") &&
-                  colon != std::string::npos,
-              "unexpected server banner: '" + banner + "'");
-  server.port =
-      static_cast<std::uint16_t>(util::parse_flag_u64(banner.substr(colon + 1), "port"));
-  return server;
 }
 
 std::string json_escape(const std::string& raw) {
@@ -213,9 +160,9 @@ int main(int argc, char** argv) {
       request.machine_target = machine_target;
     }
 
-    SpawnedServer spawned;
+    tools::SpawnedServer spawned;
     if (!server_binary.empty()) {
-      spawned = spawn_server(server_binary, server_metrics);
+      spawned = tools::spawn_server(server_binary, server_metrics, "pmacx_loadgen");
       port = spawned.port;
     }
 
@@ -242,38 +189,45 @@ int main(int argc, char** argv) {
     const Clock::time_point started = Clock::now();
     for (std::uint64_t t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
-        try {
-          service::Client client(client_options);
-          while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
-            const Clock::time_point sent = Clock::now();
-            const service::Response response = client.call(request);
-            const auto elapsed =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - sent);
-            latencies_ns[t].push_back(static_cast<double>(elapsed.count()));
-            if (response.status == service::Status::Ok) {
-              ok.fetch_add(1, std::memory_order_relaxed);
-              if (!check_identity) continue;
-              std::scoped_lock lock(result_mutex);
-              if (expected_body.empty()) {
-                expected_body = response.body;
-              } else if (response.body != expected_body) {
-                errors.fetch_add(1, std::memory_order_relaxed);
-                std::fprintf(stderr,
-                             "pmacx_loadgen: response diverged from the first OK "
-                             "response (%zu vs %zu bytes)\n",
-                             response.body.size(), expected_body.size());
-              }
-            } else if (response.status == service::Status::Busy) {
-              busy.fetch_add(1, std::memory_order_relaxed);
-            } else {
-              errors.fetch_add(1, std::memory_order_relaxed);
-              std::fprintf(stderr, "pmacx_loadgen: server error: %s\n",
-                           response.body.c_str());
-            }
+        std::unique_ptr<service::Client> client;
+        while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+          const Clock::time_point sent = Clock::now();
+          service::Response response;
+          try {
+            if (!client) client = std::make_unique<service::Client>(client_options);
+            response = client->call(request);
+          } catch (const std::exception& e) {
+            // One timed-out or torn request costs exactly one failure, not
+            // the thread's whole remaining budget: drop the connection and
+            // keep pulling tickets on a fresh one.
+            errors.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr, "pmacx_loadgen: request failed: %s\n", e.what());
+            client.reset();
+            continue;
           }
-        } catch (const std::exception& e) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-          std::fprintf(stderr, "pmacx_loadgen: client thread failed: %s\n", e.what());
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - sent);
+          latencies_ns[t].push_back(static_cast<double>(elapsed.count()));
+          if (response.status == service::Status::Ok) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (!check_identity) continue;
+            std::scoped_lock lock(result_mutex);
+            if (expected_body.empty()) {
+              expected_body = response.body;
+            } else if (response.body != expected_body) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              std::fprintf(stderr,
+                           "pmacx_loadgen: response diverged from the first OK "
+                           "response (%zu vs %zu bytes)\n",
+                           response.body.size(), expected_body.size());
+            }
+          } else if (response.status == service::Status::Busy) {
+            busy.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr, "pmacx_loadgen: server error: %s\n",
+                         response.body.c_str());
+          }
         }
       });
     }
@@ -338,7 +292,8 @@ int main(int argc, char** argv) {
           << "\"iterations\": " << requests << ", \"real_time\": " << wall_seconds * 1e3
           << ", \"cpu_time\": 0, \"time_unit\": \"ms\", \"items_per_second\": "
           << throughput << ", \"ok\": " << ok.load() << ", \"busy\": " << busy.load()
-          << ", \"errors\": " << errors.load() << "},\n"
+          << ", \"errors\": " << errors.load() << ", \"failures\": " << errors.load()
+          << "},\n"
           << "    {\"name\": \"" << base << "/latency_p50\", \"run_type\": \"iteration\", "
           << "\"iterations\": " << all_ns.size() << ", \"real_time\": " << p50_ms
           << ", \"cpu_time\": 0, \"time_unit\": \"ms\"},\n"

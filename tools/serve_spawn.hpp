@@ -1,0 +1,78 @@
+// Shared by pmacx_loadgen and pmacx_chaos: fork/exec a pmacx_serve on an
+// ephemeral port and learn which port it got from its stdout banner.
+#pragma once
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::tools {
+
+struct SpawnedServer {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// fork/exec a pmacx_serve on an ephemeral port and parse the port from its
+/// "pmacx_serve listening on <addr>:<port>" banner.  `tool` names the caller
+/// in the exec-failure diagnostic; `metrics_json`, when non-empty, makes the
+/// spawned server write its metrics snapshot there on exit.
+inline SpawnedServer spawn_server(const std::string& binary, const std::string& metrics_json,
+                                  const char* tool) {
+  int fds[2];
+  PMACX_CHECK(::pipe(fds) == 0, std::string("pipe(): ") + std::strerror(errno));
+
+  const pid_t pid = ::fork();
+  PMACX_CHECK(pid >= 0, std::string("fork(): ") + std::strerror(errno));
+  if (pid == 0) {
+    // Child: stdout -> pipe, then become the server.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<std::string> args{binary, "--port", "0"};
+    if (!metrics_json.empty()) {
+      args.push_back("--metrics-json");
+      args.push_back(metrics_json);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::fprintf(stderr, "%s: exec %s: %s\n", tool, binary.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  // Read the banner line byte-by-byte (it is tiny and arrives once).
+  std::string banner;
+  char byte = 0;
+  while (banner.size() < 256) {
+    const ssize_t n = ::read(fds[0], &byte, 1);
+    if (n <= 0 || byte == '\n') break;
+    banner.push_back(byte);
+  }
+  ::close(fds[0]);
+
+  SpawnedServer server;
+  server.pid = pid;
+  const std::size_t colon = banner.rfind(':');
+  PMACX_CHECK(util::starts_with(banner, "pmacx_serve listening on ") &&
+                  colon != std::string::npos,
+              "unexpected server banner: '" + banner + "'");
+  server.port =
+      static_cast<std::uint16_t>(util::parse_flag_u64(banner.substr(colon + 1), "port"));
+  return server;
+}
+
+}  // namespace pmacx::tools
