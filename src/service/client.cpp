@@ -132,7 +132,7 @@ void Client::reconnect() {
   connect_with_backoff();
 }
 
-Response Client::call(const Request& request) {
+Response Client::call(const Request& request, MsgType* response_type) {
   PMACX_CHECK(fd_ >= 0, "client is not connected");
   send_all(fd_, encode_request(request));
 
@@ -143,8 +143,11 @@ Response Client::call(const Request& request) {
   recv_exact(fd_, rest.data(), rest.size());
   // Note: the response type normally echoes the request's, but a server
   // that could not even decode our frame answers with a Status-typed error
-  // frame, so the type is informational here.
-  return decode_response(decode_frame(header + rest));
+  // frame, so the type is informational here (see header for how the
+  // router uses it).
+  const Frame frame = decode_frame(header + rest);
+  if (response_type != nullptr) *response_type = frame.type;
+  return decode_response(frame);
 }
 
 bool Client::circuit_open() const {

@@ -96,7 +96,14 @@ class Client {
   /// util::ParseError on a malformed response frame.  A failed call leaves
   /// the connection in an undefined mid-stream state; the next
   /// call_with_retry (or reconnect()) re-establishes it.
-  Response call(const Request& request);
+  ///
+  /// `response_type`, when non-null, receives the response frame's wire
+  /// type.  It normally echoes the request's; a mismatch on a non-Status
+  /// request means either a server-side decode failure (answered with a
+  /// Status-typed error frame) or a desynchronized stream (e.g. a stale
+  /// frame left behind by network fault injection) — the router treats the
+  /// latter as a transport failure and reconnects.
+  Response call(const Request& request, MsgType* response_type = nullptr);
 
   /// Resilient round-trip per the options' RetryPolicy and BreakerOptions
   /// (class comment).  Throws util::Error when the circuit is open, the

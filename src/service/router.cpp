@@ -1,0 +1,480 @@
+#include "service/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parse_error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll interval for the accept loop and connection reads; bounds how long
+/// a stop() request can go unnoticed (same cadence as Server).
+constexpr int kPollMs = 100;
+
+void set_recv_timeout(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void set_send_timeout(int fd, long ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+enum class ReadStatus { Ok, Closed, Reset, Stopped, TimedOut, IdleTimedOut };
+
+/// Same contract as the Server's reader: idle waits bounded by
+/// idle_timeout_ms, a started message bounded by read_timeout_ms even while
+/// bytes keep arriving (slow-loris guard).
+ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<bool>& stop,
+                      std::uint64_t idle_timeout_ms, std::uint64_t read_timeout_ms) {
+  std::size_t got = 0;
+  const Clock::time_point idle_started = Clock::now();
+  Clock::time_point started{};
+  while (got < size) {
+    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n > 0) {
+      if (got == 0) started = Clock::now();
+      got += static_cast<std::size_t>(n);
+      if (got < size &&
+          Clock::now() - started > std::chrono::milliseconds(read_timeout_ms))
+        return ReadStatus::TimedOut;
+      continue;
+    }
+    if (n == 0) return ReadStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stop.load(std::memory_order_relaxed)) return ReadStatus::Stopped;
+      if (got > 0) {
+        if (Clock::now() - started > std::chrono::milliseconds(read_timeout_ms))
+          return ReadStatus::TimedOut;
+      } else if (idle_timeout_ms > 0 && Clock::now() - idle_started >
+                                            std::chrono::milliseconds(idle_timeout_ms)) {
+        return ReadStatus::IdleTimedOut;
+      }
+      continue;
+    }
+    return ReadStatus::Reset;
+  }
+  return ReadStatus::Ok;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string shard_metric(std::uint32_t id, const char* suffix) {
+  return "service.router.shard." + std::to_string(id) + suffix;
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.topology, options_.vnodes_per_shard),
+      started_at_(Clock::now()) {
+  for (const ShardEndpoint& shard : ring_.shards())
+    PMACX_CHECK(shard.port != 0, "shard " + std::to_string(shard.id) +
+                                     " has no resolved port; the router needs real endpoints");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PMACX_CHECK(listen_fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  PMACX_CHECK(::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) == 1,
+              "bad bind address '" + options_.bind + "'");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::Error("bind " + options_.bind + ":" + std::to_string(options_.port) + ": " +
+                      reason);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::Error("listen: " + reason);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  PMACX_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size) == 0,
+              "getsockname failed");
+  port_ = ntohs(bound.sin_port);
+
+  auto& registry = util::metrics::Registry::global();
+  registry.gauge("service.router.shards").set(static_cast<double>(ring_.shard_count()));
+  registry.gauge("service.router.replication").set(static_cast<double>(ring_.replication()));
+}
+
+Router::~Router() {
+  stop();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Router::start() {
+  PMACX_CHECK(!accepting_.exchange(true), "Router::start called twice");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Router::reap_finished() {
+  std::vector<std::thread> victims;
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (std::uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      victims.push_back(std::move(it->second.thread));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& victim : victims) victim.join();
+}
+
+void Router::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap_finished();
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    util::metrics::Registry::global().counter("service.router.conn.accepted").add();
+    set_recv_timeout(fd, kPollMs);
+    set_send_timeout(fd, static_cast<long>(options_.failover_deadline_ms));
+
+    std::scoped_lock lock(connections_mutex_);
+    const std::uint64_t id = next_connection_id_++;
+    Connection& connection = connections_[id];
+    connection.fd = fd;
+    connection.thread = std::thread([this, fd, id] { serve_connection(fd, id); });
+  }
+
+  std::scoped_lock lock(connections_mutex_);
+  for (auto& [id, connection] : connections_)
+    if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
+}
+
+void Router::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (auto& [id, connection] : connections_)
+      if (connection.thread.joinable()) threads.push_back(std::move(connection.thread));
+    connections_.clear();
+    finished_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+  {
+    std::scoped_lock lock(connections_mutex_);
+    finished_.clear();
+  }
+}
+
+void Router::serve_connection(int fd, std::uint64_t id) {
+  auto& registry = util::metrics::Registry::global();
+  ShardClients shards;
+  shards.shards.resize(ring_.shard_count());
+
+  std::string header(kHeaderSize, '\0');
+  std::string body;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const ReadStatus head = read_exact(fd, header.data(), header.size(), stop_,
+                                       options_.idle_timeout_ms, options_.read_timeout_ms);
+    if (head != ReadStatus::Ok) break;
+
+    Frame frame;
+    Request request;
+    try {
+      const std::size_t payload_size = frame_payload_size(header);
+      body.resize(payload_size + 4);
+      const ReadStatus rest = read_exact(fd, body.data(), body.size(), stop_,
+                                         options_.read_timeout_ms, options_.read_timeout_ms);
+      if (rest != ReadStatus::Ok) break;
+      frame = decode_frame(header + body);
+      request = decode_request(frame);
+    } catch (const util::ParseError& e) {
+      registry.counter("service.router.parse_error").add();
+      Response response;
+      response.status = Status::Error;
+      response.body = e.what();
+      send_all(fd, encode_response(MsgType::Status, response));
+      break;
+    }
+
+    const Response response = route(request, shards);
+    const bool sent = send_all(fd, encode_response(request.type, response));
+    if (request.type == MsgType::Shutdown) {
+      // Reply *before* stopping: the shard fan-out can take a while (dead
+      // shards, fault injection), and once stop_ is set the accept loop
+      // shuts this connection down — the requester must already have its
+      // "draining" answer by then.
+      broadcast_shutdown(shards);
+      break;
+    }
+    if (!sent) break;
+  }
+  ::close(fd);
+  std::scoped_lock lock(connections_mutex_);
+  auto it = connections_.find(id);
+  if (it != connections_.end()) it->second.fd = -1;
+  finished_.push_back(id);
+}
+
+Response Router::route(const Request& request, ShardClients& shards) {
+  auto& registry = util::metrics::Registry::global();
+  registry.counter("service.router.requests." + msg_type_name(request.type)).add();
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    switch (request.type) {
+      case MsgType::Status:
+        return aggregate_status(shards);
+      case MsgType::Shutdown: {
+        // The fan-out happens in serve_connection after this reply is on
+        // the wire (see there for why); acknowledging is all route() does.
+        Response response;
+        response.body = "draining";
+        return response;
+      }
+      default:
+        return route_data_plane(request, shards);
+    }
+  } catch (const util::Error& e) {
+    Response response;
+    response.status = Status::Error;
+    response.body = e.what();
+    registry.counter("service.router.error").add();
+    return response;
+  }
+}
+
+std::string Router::routing_digest(const Request& request) {
+  // Cache key: everything digest_preimage folds in, rendered textually.
+  // (The digest itself hashes file *contents*; the key may assume paths are
+  // stable because the shard stores assume the same.)
+  std::string key;
+  for (const std::string& path : request.spec.trace_paths) key += path + "\n";
+  const FitSpec& spec = request.spec;
+  key += spec.forms + "|" + spec.missing + "|" + spec.criterion + "|" +
+         util::format("%.17g|%.17g|%d|%d", spec.tie_tolerance, spec.influence_threshold,
+                      spec.reject_out_of_domain ? 1 : 0, spec.round_counts ? 1 : 0);
+  {
+    std::scoped_lock lock(digest_mutex_);
+    auto it = digest_cache_.find(key);
+    if (it != digest_cache_.end()) return it->second;
+  }
+  const std::string digest =
+      core::models_digest_for_files(request.spec.trace_paths, request.spec.to_options());
+  std::scoped_lock lock(digest_mutex_);
+  digest_cache_.emplace(key, digest);
+  return digest;
+}
+
+Response Router::call_shard(std::size_t index, const Request& request, ShardClients& shards) {
+  ShardState& state = shards.shards[index];
+  const ShardEndpoint& endpoint = ring_.shards()[index];
+  if (!state.client) {
+    ClientOptions client_options;
+    client_options.host = endpoint.host;
+    client_options.port = endpoint.port;
+    client_options.io_timeout_ms = options_.shard_io_timeout_ms;
+    client_options.connect_attempts = 2;
+    client_options.connect_backoff_ms = 25;
+    client_options.connect_deadline_ms = options_.shard_connect_deadline_ms;
+    client_options.jitter_seed = util::derive_seed(0x726f75746572ULL, endpoint.id);
+    state.client = std::make_unique<Client>(client_options);  // throws when unreachable
+  }
+
+  const Clock::time_point started = Clock::now();
+  MsgType response_type = request.type;
+  Response response;
+  try {
+    response = state.client->call(request, &response_type);
+  } catch (...) {
+    // Transport or framing failure: this connection is unusable, and a
+    // retried hop must start from a clean stream.
+    state.client.reset();
+    throw;
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - started);
+  util::metrics::Registry::global()
+      .histogram(shard_metric(endpoint.id, ".latency"))
+      .record(static_cast<std::uint64_t>(elapsed.count()));
+
+  if (response_type != request.type && request.type != MsgType::Status) {
+    // A Status-typed frame answering a data-plane request is either the
+    // shard reporting it could not decode us, or a stale frame from a
+    // desynchronized stream (duplicated/torn chunks under network faults).
+    // Both mean this connection's framing can no longer be trusted.
+    state.client.reset();
+    throw util::Error("shard " + std::to_string(endpoint.id) +
+                      " answered with mismatched frame type (stream desynchronized): " +
+                      response.body);
+  }
+  return response;
+}
+
+Response Router::route_data_plane(const Request& request, ShardClients& shards) {
+  auto& registry = util::metrics::Registry::global();
+  const std::string digest = routing_digest(request);
+  const std::vector<std::uint32_t> replicas = ring_.replicas_for(digest);
+
+  // Map shard ids to positions in the sorted shard vector once.
+  std::vector<std::size_t> indices;
+  indices.reserve(replicas.size());
+  for (const std::uint32_t id : replicas)
+    for (std::size_t i = 0; i < ring_.shards().size(); ++i)
+      if (ring_.shards()[i].id == id) {
+        indices.push_back(i);
+        break;
+      }
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.failover_deadline_ms);
+  std::uint64_t backoff_ms = options_.sweep_backoff_ms;
+  std::size_t failed_hops = 0;
+  std::string last_error = "no replica attempted";
+
+  for (;;) {
+    for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+      const std::size_t index = indices[pos];
+      ShardState& state = shards.shards[index];
+      if (options_.shard_breaker_failures > 0 && Clock::now() < state.open_until) {
+        registry.counter("service.router.shard_down").add();
+        continue;
+      }
+      try {
+        Response response = call_shard(index, request, shards);
+        state.consecutive_failures = 0;
+        registry.counter("service.router.routed").add();
+        if (pos > 0 || failed_hops > 0) {
+          // The request needed a non-primary replica (or a re-sweep): this
+          // is the counter the cluster chaos CI job requires to be positive
+          // — proof failover actually happened under the kill schedule.
+          registry.counter("service.router.failover").add();
+        }
+        return response;
+      } catch (const util::Error& e) {
+        ++failed_hops;
+        last_error = e.what();
+        registry.counter("service.router.failover_attempts").add();
+        ++state.consecutive_failures;
+        if (options_.shard_breaker_failures > 0 &&
+            state.consecutive_failures >= options_.shard_breaker_failures)
+          state.open_until =
+              Clock::now() + std::chrono::milliseconds(options_.shard_breaker_cooldown_ms);
+      }
+    }
+    // A full sweep of the replica set failed: back off, then sweep again
+    // while the budget lasts (a killed replica is typically respawned by
+    // the supervisor well inside the failover deadline).
+    if (Clock::now() + std::chrono::milliseconds(backoff_ms) >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options_.sweep_backoff_ms * 8);
+  }
+
+  registry.counter("service.router.exhausted").add();
+  Response response;
+  response.status = Status::Error;
+  response.body = "no replica of digest " + digest + " answered within " +
+                  std::to_string(options_.failover_deadline_ms) + " ms (" +
+                  std::to_string(failed_hops) + " failed hops): " + last_error;
+  return response;
+}
+
+Response Router::aggregate_status(ShardClients& shards) {
+  const auto uptime =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - started_at_);
+  std::ostringstream out;
+  out << "router.version "
+      << util::metrics::RunManifest::for_tool("pmacx_cluster").version << "\n"
+      << "router.uptime_ms " << uptime.count() << "\n"
+      << "router.ring_epoch " << std::hex << ring_.epoch() << std::dec << "\n"
+      << "router.shards " << ring_.shard_count() << "\n"
+      << "router.replication " << ring_.replication() << "\n"
+      << "router.requests " << routed_.load(std::memory_order_relaxed) << "\n";
+
+  Request probe;
+  probe.type = MsgType::Status;
+  for (std::size_t index = 0; index < ring_.shard_count(); ++index) {
+    const std::uint32_t id = ring_.shards()[index].id;
+    const std::string prefix = "shard." + std::to_string(id) + ".";
+    try {
+      const Response response = call_shard(index, probe, shards);
+      const bool healthy = response.status == Status::Ok;
+      out << prefix << "healthy " << (healthy ? 1 : 0) << "\n";
+      if (healthy) {
+        shards.shards[index].consecutive_failures = 0;
+        for (const std::string& line : util::split(response.body, '\n'))
+          if (!util::trim(line).empty()) out << prefix << line << "\n";
+      } else {
+        out << prefix << "error " << response.body << "\n";
+      }
+    } catch (const util::Error& e) {
+      util::metrics::Registry::global().counter("service.router.shard_down").add();
+      out << prefix << "healthy 0\n" << prefix << "error " << e.what() << "\n";
+    }
+  }
+
+  Response response;
+  response.body = out.str();
+  return response;
+}
+
+void Router::broadcast_shutdown(ShardClients& shards) {
+  // Stop accepting *before* telling shards to drain, so a supervisor
+  // polling stopping() never respawns a shard we just shut down.
+  stop();
+  Request shutdown;
+  shutdown.type = MsgType::Shutdown;
+  for (std::size_t index = 0; index < ring_.shard_count(); ++index) {
+    try {
+      call_shard(index, shutdown, shards);
+    } catch (const util::Error&) {
+      // A shard that is already gone needs no shutdown; the supervisor
+      // reaps whatever is left.
+    }
+  }
+}
+
+}  // namespace pmacx::service

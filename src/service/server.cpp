@@ -100,7 +100,8 @@ bool send_all(int fd, const std::string& bytes) {
 
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(std::move(options)), store_(options_.cache_bytes) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), started_at_(Clock::now()), store_(options_.cache_bytes) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PMACX_CHECK(listen_fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
 
@@ -412,7 +413,17 @@ Response Server::handle(const Request& request) {
     }
     case MsgType::Status: {
       const StoreStats stats = store_.stats();
+      const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - started_at_);
       std::ostringstream out;
+      // Identity first: version and uptime distinguish a freshly restarted
+      // shard from a long-lived one, shard_id/ring_epoch (cluster mode) let
+      // the router spot a shard launched against a stale topology.
+      out << "version " << util::metrics::RunManifest::for_tool("pmacx_serve").version << "\n"
+          << "uptime_ms " << uptime.count() << "\n";
+      if (options_.shard_id >= 0)
+        out << "shard_id " << options_.shard_id << "\n"
+            << "ring_epoch " << std::hex << options_.ring_epoch << std::dec << "\n";
       out << "requests " << handled_.load(std::memory_order_relaxed) << "\n"
           << "in_flight " << in_flight_.load(std::memory_order_relaxed) << "\n"
           << "cache.hits " << stats.hits << "\n"

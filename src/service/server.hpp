@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -58,6 +59,11 @@ struct ServerOptions {
   /// this window (slow-loris defense: 1 byte per 500 ms never ties up a
   /// reader thread for long).
   std::uint64_t read_timeout_ms = 10'000;
+  /// Cluster identity, reported by STATUS so the router (and operators) can
+  /// tell a healthy shard from one running a stale topology.  -1 =
+  /// standalone server (the fields are omitted from STATUS).
+  std::int64_t shard_id = -1;
+  std::uint64_t ring_epoch = 0;  ///< Topology::epoch(); meaningful with shard_id
 };
 
 class Server {
@@ -109,6 +115,7 @@ class Server {
   Response handle(const Request& request);
 
   ServerOptions options_;
+  std::chrono::steady_clock::time_point started_at_{};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};

@@ -1,0 +1,190 @@
+#include "service/shard_ring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/parse_error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::service {
+namespace {
+
+/// Salt separating ring-point hashes from every other derive_seed user.
+constexpr std::uint64_t kRingSalt = 0x70'6d'61'63'78'72'69'6eULL;  // "pmacxrin"
+
+}  // namespace
+
+void Topology::validate() {
+  PMACX_CHECK(!shards.empty(), "topology has no shards");
+  PMACX_CHECK(replication >= 1, "replication factor must be at least 1");
+  PMACX_CHECK(replication <= shards.size(),
+              "replication factor " + std::to_string(replication) + " exceeds the " +
+                  std::to_string(shards.size()) + "-shard set");
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardEndpoint& a, const ShardEndpoint& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < shards.size(); ++i)
+    PMACX_CHECK(shards[i].id != shards[i - 1].id,
+                "duplicate shard id " + std::to_string(shards[i].id));
+}
+
+Topology Topology::parse(std::string_view text, const std::string& path) {
+  Topology topology;
+  bool saw_replication = false;
+  std::uint64_t line_number = 0;
+  for (const std::string& raw : util::split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields;
+    for (const std::string& field : util::split(line, ' '))
+      if (!util::trim(field).empty()) fields.emplace_back(util::trim(field));
+
+    try {
+      if (fields[0] == "replication") {
+        if (fields.size() != 2)
+          throw util::ParseError(path, line_number, "replication",
+                                 "expected 'replication <factor>'");
+        topology.replication = util::parse_u64(fields[1], "replication factor");
+        saw_replication = true;
+      } else if (fields[0] == "shard") {
+        if (fields.size() != 4)
+          throw util::ParseError(path, line_number, "shard",
+                                 "expected 'shard <id> <host> <port>'");
+        ShardEndpoint shard;
+        shard.id = static_cast<std::uint32_t>(util::parse_u64(fields[1], "shard id"));
+        shard.host = fields[2];
+        const std::uint64_t port = util::parse_u64(fields[3], "shard port");
+        if (port > 65535)
+          throw util::ParseError(path, line_number, "shard",
+                                 "port " + fields[3] + " does not fit a TCP port");
+        shard.port = static_cast<std::uint16_t>(port);
+        topology.shards.push_back(std::move(shard));
+      } else {
+        throw util::ParseError(path, line_number, "topology",
+                               "unknown directive '" + fields[0] + "'");
+      }
+    } catch (const util::ParseError&) {
+      throw;
+    } catch (const util::Error& e) {
+      // parse_u64 failures carry no location; attach line + section here.
+      throw util::ParseError(path, line_number, std::string(fields[0]), e.what());
+    }
+  }
+  try {
+    topology.validate();
+  } catch (const util::Error& e) {
+    throw util::ParseError(path, util::ParseError::kNoOffset, "topology", e.what());
+  }
+  // An explicit replication line is required once there is more than one
+  // shard: a silently-defaulted R=1 cluster has no failover, which is the
+  // kind of misconfiguration that should fail loudly at parse time.
+  if (topology.shards.size() > 1 && !saw_replication)
+    throw util::ParseError(path, util::ParseError::kNoOffset, "topology",
+                           "multi-shard topology must declare 'replication <factor>'");
+  return topology;
+}
+
+Topology Topology::load(const std::string& path) {
+  return parse(util::read_file(path), path);
+}
+
+std::string Topology::render() const {
+  std::ostringstream out;
+  out << "# pmacx cluster topology\n";
+  out << "replication " << replication << "\n";
+  for (const ShardEndpoint& shard : shards)
+    out << "shard " << shard.id << " " << shard.host << " " << shard.port << "\n";
+  return out.str();
+}
+
+std::uint64_t Topology::epoch() const {
+  // Fold (replication, sorted ids) through SplitMix64: deterministic, and
+  // deliberately port-free (see header).
+  std::uint64_t state = kRingSalt ^ (0x9e3779b97f4a7c15ULL * (replication + 1));
+  std::uint64_t digest = util::splitmix64(state);
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shards.size());
+  for (const ShardEndpoint& shard : shards) ids.push_back(shard.id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint32_t id : ids) {
+    state ^= util::derive_seed(digest, id);
+    digest = util::splitmix64(state);
+  }
+  return digest;
+}
+
+ShardRing::ShardRing(const Topology& topology, std::size_t vnodes_per_shard)
+    : replication_(topology.replication), epoch_(topology.epoch()) {
+  Topology copy = topology;
+  copy.validate();  // sorts by id and checks uniqueness/replication bounds
+  shards_ = std::move(copy.shards);
+  PMACX_CHECK(vnodes_per_shard >= 1, "vnodes_per_shard must be at least 1");
+
+  points_.reserve(shards_.size() * vnodes_per_shard);
+  for (const ShardEndpoint& shard : shards_) {
+    const std::uint64_t shard_seed = util::derive_seed(kRingSalt, shard.id);
+    for (std::size_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      Point point;
+      point.hash = util::derive_seed(shard_seed, vnode);
+      point.shard = shard.id;
+      points_.push_back(point);
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Ties (astronomically unlikely) break on shard id so the order stays
+    // deterministic regardless of the insertion order above.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+const ShardEndpoint& ShardRing::shard(std::uint32_t id) const {
+  for (const ShardEndpoint& shard : shards_)
+    if (shard.id == id) return shard;
+  throw util::Error("unknown shard id " + std::to_string(id));
+}
+
+std::uint64_t ShardRing::key_hash(std::string_view key) {
+  // FNV-1a over the bytes, then a SplitMix64 finalizer: FNV alone has weak
+  // high bits for short ASCII keys like hex digests, and the ring walk
+  // compares full 64-bit values.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return util::splitmix64(hash);
+}
+
+std::vector<std::uint32_t> ShardRing::replicas_for(std::string_view key) const {
+  PMACX_CHECK(!points_.empty(), "replicas_for on an empty ring");
+  const std::uint64_t hash = key_hash(key);
+  // First ring point at or after the key hash (wrapping): the primary.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& point, std::uint64_t value) { return point.hash < value; });
+
+  std::vector<std::uint32_t> owners;
+  owners.reserve(replication_);
+  // Walk clockwise collecting distinct shards; with R <= shard_count this
+  // terminates within one full lap.
+  for (std::size_t step = 0; step < points_.size() && owners.size() < replication_; ++step) {
+    if (it == points_.end()) it = points_.begin();
+    const std::uint32_t shard = it->shard;
+    if (std::find(owners.begin(), owners.end(), shard) == owners.end())
+      owners.push_back(shard);
+    ++it;
+  }
+  PMACX_CHECK(owners.size() == replication_,
+              "ring walk found " + std::to_string(owners.size()) + " owners, expected " +
+                  std::to_string(replication_));
+  return owners;
+}
+
+std::uint32_t ShardRing::primary_for(std::string_view key) const {
+  return replicas_for(key).front();
+}
+
+}  // namespace pmacx::service

@@ -1,0 +1,118 @@
+// Consistent-hash shard ring and cluster topology for pmacx::service.
+//
+// Cluster mode splits the model space across N shard servers: every request
+// routes on the 16-hex `models_digest` that already content-addresses a
+// fitted model set (src/core/checkpoint.hpp), so each shard owns a disjoint
+// slice of digests and its ModelStore cache stays hot for exactly that
+// slice.  Replication factor R places every digest on R distinct shards —
+// the primary plus R-1 failover replicas — so killing any single shard
+// leaves at least one owner able to serve each digest.
+//
+// Determinism is the load-bearing property: the ring is built purely from
+// (shard ids, replication, vnode count) through SplitMix64-derived point
+// hashes and an FNV-1a/SplitMix key hash, never from pointers, iteration
+// order of hash maps, or addresses.  Two processes that parse the same
+// topology — the router, every `pmacx_cluster` supervisor, a debugging
+// operator — agree on every placement, which is what makes failover and
+// chaos replay testable (tests/service_ring_test.cpp pins golden
+// placements).
+//
+// The topology file is a line-oriented text format (docs/RUNBOOK.md):
+//
+//   # comments and blank lines ignored
+//   replication 2
+//   shard 0 127.0.0.1 7101
+//   shard 1 127.0.0.1 7102
+//   shard 2 127.0.0.1 0        # port 0 = launcher picks an ephemeral port
+//
+// Malformed files raise util::ParseError with the line number and section,
+// matching the trace loaders' taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmacx::service {
+
+/// One shard server in the cluster.  The id — not the endpoint — is what
+/// the ring hashes, so moving a shard to a new host/port (or resolving an
+/// ephemeral port at launch) never remaps any digest.
+struct ShardEndpoint {
+  std::uint32_t id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = resolved at launch time
+};
+
+/// A parsed cluster topology: the shard set plus the replication factor.
+struct Topology {
+  std::vector<ShardEndpoint> shards;  ///< sorted by id after parse/validate
+  std::size_t replication = 1;
+
+  /// Parses the text format above.  `path` labels errors only.  Throws
+  /// util::ParseError (line number as the offset) on malformed lines,
+  /// duplicate ids, replication < 1, or an empty shard set.
+  static Topology parse(std::string_view text, const std::string& path = "<topology>");
+
+  /// Reads and parses a topology file.  Throws util::Error when unreadable.
+  static Topology load(const std::string& path);
+
+  /// Sorts shards by id and validates (unique ids, replication in
+  /// [1, shards.size()]).  parse() calls this; builders that assemble a
+  /// Topology in code should too.  Throws util::Error on violations.
+  void validate();
+
+  /// Canonical text rendering (round-trips through parse()).
+  std::string render() const;
+
+  /// Ring epoch: a 64-bit digest of (replication, sorted shard ids).  Two
+  /// processes agree on the epoch iff they agree on the membership that
+  /// shapes the ring — ports are deliberately excluded so resolving
+  /// ephemeral ports does not change the epoch.  Shown by STATUS so an
+  /// operator can spot a shard running a stale topology.
+  std::uint64_t epoch() const;
+};
+
+/// The consistent-hash ring.  Immutable after construction; cheap to copy.
+class ShardRing {
+ public:
+  /// Default virtual nodes per shard: enough that an 8-shard ring keeps
+  /// max/mean key skew under ~1.3 over 10k digests (pinned by
+  /// tests/service_ring_test.cpp).
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  /// Builds the ring from a validated topology.  Throws util::Error when
+  /// the topology is empty or replication exceeds the shard count.
+  explicit ShardRing(const Topology& topology, std::size_t vnodes_per_shard = kDefaultVnodes);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t replication() const { return replication_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const std::vector<ShardEndpoint>& shards() const { return shards_; }
+  const ShardEndpoint& shard(std::uint32_t id) const;
+
+  /// The R distinct shard ids owning `key` (a models_digest, but any byte
+  /// string hashes fine), primary first, replicas in ring order after it.
+  std::vector<std::uint32_t> replicas_for(std::string_view key) const;
+
+  /// The first owner — replicas_for(key)[0] without the vector.
+  std::uint32_t primary_for(std::string_view key) const;
+
+  /// The position-independent 64-bit key hash the ring walks from
+  /// (FNV-1a folded through SplitMix64; exposed for tests and diagnostics).
+  static std::uint64_t key_hash(std::string_view key);
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t shard = 0;  ///< shard id owning this ring point
+  };
+
+  std::vector<ShardEndpoint> shards_;  ///< sorted by id
+  std::vector<Point> points_;          ///< sorted by hash
+  std::size_t replication_ = 1;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace pmacx::service

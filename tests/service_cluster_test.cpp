@@ -1,0 +1,237 @@
+// Cluster-mode integration tests: in-process shard Servers behind an
+// in-process service::Router.  Covers the router's transparency contract
+// (responses byte-identical to a direct single-shard call), health-checked
+// failover when the primary replica of a digest dies mid-run, STATUS
+// aggregation (per-shard health + identity lines, dead shards included),
+// and SHUTDOWN fan-out draining the whole fleet.  Runs under TSan in the CI
+// matrix (name matches the 'service' regex).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/shard_ring.hpp"
+#include "trace/task_trace.hpp"
+#include "util/metrics.hpp"
+
+namespace pmacx {
+namespace {
+
+using trace::BlockElement;
+using trace::TaskTrace;
+
+/// Same known-scaling-laws trace family service_test.cpp uses; the digest
+/// content-addresses these files, so the ring placement is deterministic.
+TaskTrace law_trace(double p) {
+  TaskTrace task;
+  task.app = "specfem3d";
+  task.core_count = static_cast<std::uint32_t>(p);
+  task.target_system = "bluewaters-p1";
+
+  trace::BasicBlockRecord block;
+  block.id = 1;
+  block.location = {"solver.c", 10, "solve"};
+  block.set(BlockElement::VisitCount, 42.0);
+  block.set(BlockElement::MemLoads, 1e10 / p);
+  block.set(BlockElement::MemStores, 4e9 / p);
+  block.set(BlockElement::BytesPerRef, 8.0);
+  block.set(BlockElement::HitRateL1, 0.4);
+  block.set(BlockElement::HitRateL2, 0.5 + 0.00004 * p);
+  block.set(BlockElement::HitRateL3, 0.95);
+  block.set(BlockElement::WorkingSetBytes, 4.6e9 / p);
+  block.set(BlockElement::Ilp, 3.5);
+  block.set(BlockElement::DepChainLength, 6.0);
+  task.blocks.push_back(block);
+  task.sort_blocks();
+  return task;
+}
+
+std::vector<std::string> law_trace_files() {
+  static std::vector<std::string> paths = [] {
+    std::vector<std::string> created;
+    for (double p : {16.0, 32.0, 64.0}) {
+      const std::string path = testing::TempDir() + "cluster_law_" +
+                               std::to_string(static_cast<int>(p)) + ".trace";
+      law_trace(p).save(path);
+      created.push_back(path);
+    }
+    return created;
+  }();
+  return paths;
+}
+
+service::Request extrapolate_request(std::uint32_t target_cores = 256) {
+  service::Request request;
+  request.type = service::MsgType::Extrapolate;
+  request.spec.trace_paths = law_trace_files();
+  request.target_cores = target_cores;
+  return request;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return util::metrics::Registry::global().counter(name).value();
+}
+
+/// A 3-shard R=2 cluster of in-process Servers plus a Router fronting them.
+/// Shards are held by unique_ptr so tests can kill one (destroying it closes
+/// its listen socket and drains it — the in-process stand-in for SIGKILL).
+struct Cluster {
+  std::vector<std::unique_ptr<service::Server>> shards;
+  service::Topology topology;
+  std::unique_ptr<service::Router> router;
+
+  explicit Cluster(std::size_t shard_count = 3, std::size_t replication = 2) {
+    topology.replication = replication;
+    for (std::uint32_t id = 0; id < shard_count; ++id)
+      topology.shards.push_back({id, "127.0.0.1", 0});
+    topology.validate();
+
+    for (std::uint32_t id = 0; id < shard_count; ++id) {
+      service::ServerOptions options;
+      options.shard_id = id;
+      options.ring_epoch = topology.epoch();
+      shards.push_back(std::make_unique<service::Server>(options));
+      shards.back()->start();
+      topology.shards[id].port = shards.back()->port();
+    }
+
+    service::RouterOptions router_options;
+    router_options.topology = topology;
+    // Tight failover budget: tests that exhaust every replica should fail
+    // in seconds, not the production default's 20.
+    router_options.failover_deadline_ms = 5'000;
+    router_options.shard_connect_deadline_ms = 500;
+    router = std::make_unique<service::Router>(router_options);
+    router->start();
+  }
+
+  service::Client client() {
+    service::ClientOptions options;
+    options.port = router->port();
+    options.io_timeout_ms = 120'000;
+    return service::Client(options);
+  }
+
+  service::Client direct_client(std::uint32_t shard_id) {
+    service::ClientOptions options;
+    options.port = topology.shards.at(shard_id).port;
+    options.io_timeout_ms = 120'000;
+    return service::Client(options);
+  }
+
+  /// The replica set of the law-trace workload's digest.
+  std::vector<std::uint32_t> workload_replicas() const {
+    const std::string digest = core::models_digest_for_files(
+        law_trace_files(), service::FitSpec{law_trace_files()}.to_options());
+    return router->ring().replicas_for(digest);
+  }
+};
+
+TEST(RouterTest, RoutedResponsesAreByteIdenticalToDirectShardCalls) {
+  Cluster cluster;
+  const service::Request request = extrapolate_request();
+
+  service::Client direct = cluster.direct_client(cluster.workload_replicas()[0]);
+  const service::Response reference = direct.call(request);
+  ASSERT_EQ(reference.status, service::Status::Ok) << reference.body;
+
+  service::Client routed = cluster.client();
+  for (int i = 0; i < 3; ++i) {
+    const service::Response response = routed.call(request);
+    ASSERT_EQ(response.status, service::Status::Ok) << response.body;
+    EXPECT_EQ(response.body, reference.body)
+        << "the router must be invisible in the payload";
+  }
+}
+
+TEST(RouterTest, FailsOverWhenThePrimaryReplicaDies) {
+  Cluster cluster;
+  const std::vector<std::uint32_t> replicas = cluster.workload_replicas();
+  ASSERT_EQ(replicas.size(), 2u);
+
+  service::Client client = cluster.client();
+  const service::Request request = extrapolate_request();
+  const service::Response before = client.call(request);
+  ASSERT_EQ(before.status, service::Status::Ok) << before.body;
+
+  // Kill the primary: its listen socket closes, so the router's next hop to
+  // it is refused and must fail over to the surviving replica.
+  const std::uint64_t failovers_before = counter_value("service.router.failover");
+  cluster.shards[replicas[0]].reset();
+
+  const service::Response after = client.call(request);
+  ASSERT_EQ(after.status, service::Status::Ok)
+      << "failover must absorb a dead primary: " << after.body;
+  EXPECT_EQ(after.body, before.body) << "the replica must serve identical bytes";
+  EXPECT_GT(counter_value("service.router.failover"), failovers_before)
+      << "the failover counter proves the non-primary hop happened";
+}
+
+TEST(RouterTest, ReportsErrorWhenEveryReplicaIsDown) {
+  Cluster cluster;
+  const std::vector<std::uint32_t> replicas = cluster.workload_replicas();
+  for (const std::uint32_t id : replicas) cluster.shards[id].reset();
+
+  const std::uint64_t exhausted_before = counter_value("service.router.exhausted");
+  service::Client client = cluster.client();
+  const service::Response response = client.call(extrapolate_request());
+  EXPECT_EQ(response.status, service::Status::Error)
+      << "no replica alive: a definite error, not a hang";
+  EXPECT_NE(response.body.find("no replica"), std::string::npos) << response.body;
+  EXPECT_GT(counter_value("service.router.exhausted"), exhausted_before);
+}
+
+TEST(RouterTest, StatusAggregatesShardHealthAndIdentity) {
+  Cluster cluster;
+  service::Client client = cluster.client();
+  service::Request status;
+  status.type = service::MsgType::Status;
+
+  service::Response response = client.call(status);
+  ASSERT_EQ(response.status, service::Status::Ok);
+  EXPECT_NE(response.body.find("router.shards 3"), std::string::npos) << response.body;
+  EXPECT_NE(response.body.find("router.replication 2"), std::string::npos);
+  EXPECT_NE(response.body.find("router.ring_epoch"), std::string::npos);
+  for (const char* line : {"shard.0.healthy 1", "shard.1.healthy 1", "shard.2.healthy 1",
+                           "shard.0.shard_id 0", "shard.1.shard_id 1",
+                           "shard.0.version", "shard.0.uptime_ms"})
+    EXPECT_NE(response.body.find(line), std::string::npos)
+        << "missing '" << line << "' in:\n" << response.body;
+
+  // Kill shard 1: the aggregate must flip exactly its health bit and keep
+  // answering OK (a degraded cluster is an observable state, not an error).
+  cluster.shards[1].reset();
+  response = client.call(status);
+  ASSERT_EQ(response.status, service::Status::Ok);
+  EXPECT_NE(response.body.find("shard.1.healthy 0"), std::string::npos) << response.body;
+  EXPECT_NE(response.body.find("shard.1.error"), std::string::npos);
+  EXPECT_NE(response.body.find("shard.0.healthy 1"), std::string::npos);
+  EXPECT_NE(response.body.find("shard.2.healthy 1"), std::string::npos);
+}
+
+TEST(RouterTest, ShutdownFansOutToEveryShardAndStopsTheRouter) {
+  Cluster cluster;
+  service::Client client = cluster.client();
+  service::Request shutdown;
+  shutdown.type = service::MsgType::Shutdown;
+
+  const service::Response response = client.call(shutdown);
+  EXPECT_EQ(response.status, service::Status::Ok);
+  EXPECT_NE(response.body.find("draining"), std::string::npos) << response.body;
+
+  // The fan-out must reach every shard: each Server's wait() returns only
+  // once its own stop flag is set, so returning at all is the assertion.
+  cluster.router->wait();
+  EXPECT_TRUE(cluster.router->stopping());
+  for (auto& shard : cluster.shards) shard->wait();
+}
+
+}  // namespace
+}  // namespace pmacx

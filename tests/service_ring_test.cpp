@@ -1,0 +1,237 @@
+// ShardRing / Topology tests: topology parsing (round-trip and the error
+// taxonomy), placement determinism (golden pinned placements guard the
+// cross-process contract — a router and a supervisor that parse the same
+// topology must agree on every replica set), distribution balance over 10k
+// synthetic digests, and minimal key remap on shard join/leave (the
+// consistent-hashing property that makes resharding cheap).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/shard_ring.hpp"
+#include "util/error.hpp"
+#include "util/parse_error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx {
+namespace {
+
+using service::ShardRing;
+using service::Topology;
+
+Topology four_shards() {
+  service::Topology topology;
+  topology.replication = 2;
+  for (std::uint32_t id = 0; id < 4; ++id)
+    topology.shards.push_back({id, "127.0.0.1", static_cast<std::uint16_t>(7100 + id)});
+  topology.validate();
+  return topology;
+}
+
+/// 10k digest-shaped keys (16 lowercase hex), deterministic.
+std::vector<std::string> synthetic_digests(std::size_t count = 10'000) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    keys.push_back(util::format(
+        "%016llx", static_cast<unsigned long long>(util::derive_seed(0x5eed, i))));
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Topology parsing
+
+TEST(TopologyTest, ParsesAndRoundTripsThroughRender) {
+  const std::string text =
+      "# pmacx cluster\n"
+      "replication 2\n"
+      "shard 1 127.0.0.1 7102\n"
+      "shard 0 10.0.0.5 7101\n"
+      "\n"
+      "shard 2 127.0.0.1 0\n";
+  const Topology topology = Topology::parse(text, "test.topo");
+  EXPECT_EQ(topology.replication, 2u);
+  ASSERT_EQ(topology.shards.size(), 3u);
+  // validate() sorts by id regardless of file order.
+  EXPECT_EQ(topology.shards[0].id, 0u);
+  EXPECT_EQ(topology.shards[0].host, "10.0.0.5");
+  EXPECT_EQ(topology.shards[0].port, 7101);
+  EXPECT_EQ(topology.shards[2].port, 0) << "port 0 (ephemeral) is representable";
+
+  const Topology again = Topology::parse(topology.render());
+  ASSERT_EQ(again.shards.size(), topology.shards.size());
+  EXPECT_EQ(again.replication, topology.replication);
+  for (std::size_t i = 0; i < again.shards.size(); ++i) {
+    EXPECT_EQ(again.shards[i].id, topology.shards[i].id);
+    EXPECT_EQ(again.shards[i].host, topology.shards[i].host);
+    EXPECT_EQ(again.shards[i].port, topology.shards[i].port);
+  }
+  EXPECT_EQ(again.epoch(), topology.epoch());
+}
+
+TEST(TopologyTest, RejectsMalformedInputWithParseErrors) {
+  EXPECT_THROW(Topology::parse("shard 0 127.0.0.1\n"), util::ParseError)
+      << "missing port field";
+  EXPECT_THROW(Topology::parse("replication 2\nshard 0 h 1\nshard 0 h 2\n"),
+               util::Error)
+      << "duplicate shard id";
+  EXPECT_THROW(Topology::parse("replication 3\nshard 0 h 1\nshard 1 h 2\n"),
+               util::Error)
+      << "replication exceeds shard count";
+  EXPECT_THROW(Topology::parse("replication 2\nwat 0 h 1\n"), util::ParseError)
+      << "unknown directive";
+  EXPECT_THROW(Topology::parse(""), util::Error) << "empty shard set";
+  // Multi-shard topologies must state replication explicitly: silently
+  // defaulting to 1 would turn a typo into a cluster with no failover.
+  EXPECT_THROW(Topology::parse("shard 0 h 1\nshard 1 h 2\n"), util::ParseError);
+
+  try {
+    Topology::parse("replication 2\nshard zero h 1\n", "bad.topo");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.path(), "bad.topo");
+    EXPECT_EQ(e.byte_offset(), 2u) << "offset carries the 1-based line number";
+  }
+}
+
+TEST(TopologyTest, EpochIgnoresPortsButTracksMembership) {
+  Topology a = four_shards();
+  Topology b = a;
+  for (auto& shard : b.shards) shard.port = 0;  // pre-resolution topology
+  EXPECT_EQ(a.epoch(), b.epoch())
+      << "resolving ephemeral ports must not change the epoch";
+
+  Topology joined = a;
+  joined.shards.push_back({9, "127.0.0.1", 7109});
+  joined.validate();
+  EXPECT_NE(joined.epoch(), a.epoch());
+
+  Topology more_replicas = a;
+  more_replicas.replication = 3;
+  EXPECT_NE(more_replicas.epoch(), a.epoch());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+TEST(ShardRingTest, GoldenPlacementsPinTheCrossProcessContract) {
+  // Golden values: any change here remaps live clusters' placements, which
+  // breaks mid-upgrade routing (two processes disagreeing on owners) — bump
+  // deliberately, never accidentally.
+  const ShardRing ring(four_shards());
+  EXPECT_EQ(ring.epoch(), 0x678dbbbbe53fcd51ULL);
+  EXPECT_EQ(ShardRing::key_hash("c18d88346beb06c8"), 0x53d9c13debcacc7fULL);
+
+  const std::pair<const char*, std::vector<std::uint32_t>> golden[] = {
+      {"c18d88346beb06c8", {2, 3}}, {"0000000000000000", {0, 2}},
+      {"ffffffffffffffff", {1, 2}}, {"deadbeefcafef00d", {0, 2}},
+      {"0123456789abcdef", {2, 0}},
+  };
+  for (const auto& [key, expected] : golden) {
+    EXPECT_EQ(ring.replicas_for(key), expected) << "key " << key;
+    EXPECT_EQ(ring.primary_for(key), expected[0]);
+  }
+}
+
+TEST(ShardRingTest, IndependentlyParsedTopologiesAgreeOnEveryPlacement) {
+  // Simulates two processes: each parses the rendered topology text on its
+  // own; every placement must match (this plus the golden test is the
+  // determinism contract — same text, same ring, in any process).
+  const std::string text = four_shards().render();
+  const ShardRing a{Topology::parse(text)};
+  const ShardRing b{Topology::parse(text)};
+  EXPECT_EQ(a.epoch(), b.epoch());
+  for (const std::string& key : synthetic_digests(1'000))
+    EXPECT_EQ(a.replicas_for(key), b.replicas_for(key)) << "key " << key;
+}
+
+TEST(ShardRingTest, ReplicasAreDistinctAndPrimaryFirst) {
+  const ShardRing ring(four_shards());
+  for (const std::string& key : synthetic_digests(1'000)) {
+    const std::vector<std::uint32_t> replicas = ring.replicas_for(key);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]) << "replicas must be distinct shards";
+    EXPECT_EQ(replicas[0], ring.primary_for(key));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Balance
+
+TEST(ShardRingTest, PrimaryLoadIsBalancedAcrossShards) {
+  for (const std::size_t shard_count : {4u, 8u}) {
+    Topology topology;
+    topology.replication = 2;
+    for (std::uint32_t id = 0; id < shard_count; ++id)
+      topology.shards.push_back({id, "127.0.0.1", 1});
+    topology.validate();
+    const ShardRing ring(topology);
+
+    std::map<std::uint32_t, std::size_t> counts;
+    const std::vector<std::string> keys = synthetic_digests();
+    for (const std::string& key : keys) ++counts[ring.primary_for(key)];
+
+    EXPECT_EQ(counts.size(), shard_count) << "every shard owns some keys";
+    const double mean = static_cast<double>(keys.size()) / static_cast<double>(shard_count);
+    for (const auto& [id, count] : counts) {
+      const double skew = static_cast<double>(count) / mean;
+      // Measured skew with 64 vnodes is ~1.05 (4 shards) and ~1.08 (8); the
+      // bound leaves room for noise while still catching a broken hash
+      // (which degenerates to ~all keys on one shard).
+      EXPECT_LT(skew, 1.3) << "shard " << id << " owns " << count << " of "
+                           << keys.size();
+      EXPECT_GT(skew, 0.7) << "shard " << id << " owns " << count << " of "
+                           << keys.size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal remap
+
+TEST(ShardRingTest, ShardJoinOnlyStealsKeysForTheNewShard) {
+  Topology three = four_shards();
+  three.shards.pop_back();  // drop shard 3
+  three.validate();
+  const ShardRing before{three};
+  const ShardRing after{four_shards()};
+
+  std::size_t moved = 0;
+  const std::vector<std::string> keys = synthetic_digests();
+  for (const std::string& key : keys) {
+    const std::uint32_t was = before.primary_for(key);
+    const std::uint32_t now = after.primary_for(key);
+    if (was != now) {
+      ++moved;
+      EXPECT_EQ(now, 3u) << "a join may only move keys onto the new shard";
+    }
+  }
+  // The new shard should take roughly its fair share (1/4) — far from both
+  // 0 (it owns nothing) and keys.size() (everything remapped).
+  EXPECT_GT(moved, keys.size() / 8);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(ShardRingTest, ShardLeaveOnlyRemapsTheDepartedShardsKeys) {
+  const ShardRing before(four_shards());
+  Topology without_one = four_shards();
+  without_one.shards.erase(without_one.shards.begin() + 1);  // drop shard 1
+  without_one.validate();
+  const ShardRing after{without_one};
+
+  for (const std::string& key : synthetic_digests()) {
+    const std::uint32_t was = before.primary_for(key);
+    if (was != 1u)
+      EXPECT_EQ(after.primary_for(key), was)
+          << "keys not owned by the departed shard must not move";
+    else
+      EXPECT_NE(after.primary_for(key), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pmacx

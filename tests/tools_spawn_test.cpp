@@ -1,0 +1,121 @@
+// Regression tests for tools/serve_spawn.hpp: banner parsing and the
+// Supervisor's restart contract — a crashed child is reaped and respawned
+// with growing backoff, a clean exit stays down, terminate_all reaps the
+// fleet.  Children are /bin/sh scripts printing the banner themselves, so
+// the tests need no server binary and run in milliseconds.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve_spawn.hpp"
+#include "util/error.hpp"
+
+namespace pmacx {
+namespace {
+
+using tools::SpawnSpec;
+using tools::Supervisor;
+
+SpawnSpec shell(const std::string& script) {
+  SpawnSpec spec;
+  spec.binary = "/bin/sh";
+  spec.args = {"-c", script};
+  spec.tool = "tools_spawn_test";
+  return spec;
+}
+
+/// Drives supervisor.poll() at ~2ms cadence for up to `budget`.
+void poll_for(Supervisor& supervisor, std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    supervisor.poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(SpawnChildTest, ParsesThePortFromTheBanner) {
+  const tools::SpawnedServer server =
+      tools::spawn_child(shell("echo 'x listening on 127.0.0.1:4242'; exec sleep 30"));
+  EXPECT_EQ(server.port, 4242);
+  EXPECT_GT(server.pid, 0);
+  ::kill(server.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(server.pid, &status, 0);
+}
+
+TEST(SpawnChildTest, RejectsAChildThatNeverPrintsTheBanner) {
+  EXPECT_THROW(tools::spawn_child(shell("exit 3")), util::Error);
+  // `exec` so the SIGKILL spawn_child sends on a bad banner hits the sleeper
+  // itself — a forked grandchild would outlive the test holding stderr open.
+  EXPECT_THROW(tools::spawn_child(shell("echo 'not a banner'; exec sleep 30")),
+               util::Error);
+}
+
+TEST(SupervisorTest, RestartsACrashedChildWithGrowingBackoff) {
+  Supervisor supervisor(/*initial_backoff_ms=*/10, /*max_backoff_ms=*/200);
+  // The child prints its banner, then crashes (exit 3 = abnormal): every
+  // respawn crashes again, so restarts accumulate and backoff doubles.
+  supervisor.add(shell("echo 'x listening on 127.0.0.1:4242'; exit 3"));
+
+  poll_for(supervisor, std::chrono::milliseconds(2'000));
+
+  const Supervisor::Child& child = supervisor.child(0);
+  EXPECT_GE(child.restarts, 2u) << "a crashing child must be respawned repeatedly";
+  EXPECT_GT(child.backoff_ms, 10u) << "backoff must grow beyond the initial value";
+  EXPECT_LE(child.backoff_ms, 200u) << "backoff must respect the cap";
+  EXPECT_FALSE(child.done) << "a crasher is never marked clean";
+  EXPECT_EQ(child.port, 4242) << "respawns keep the pinned port";
+}
+
+TEST(SupervisorTest, LeavesACleanlyExitedChildDown) {
+  Supervisor supervisor(10, 200);
+  supervisor.add(shell("echo 'x listening on 127.0.0.1:4242'; exit 0"));
+
+  poll_for(supervisor, std::chrono::milliseconds(300));
+
+  const Supervisor::Child& child = supervisor.child(0);
+  EXPECT_TRUE(child.done) << "exit 0 is an orderly drain, not a crash";
+  EXPECT_FALSE(child.alive);
+  EXPECT_EQ(child.restarts, 0u) << "restart-on-crash must not fight a clean exit";
+}
+
+TEST(SupervisorTest, KillChildReportsLiveness) {
+  Supervisor supervisor(10, 200);
+  const std::size_t index =
+      supervisor.add(shell("echo 'x listening on 127.0.0.1:4242'; exec sleep 30"));
+  EXPECT_TRUE(supervisor.alive(index));
+  EXPECT_TRUE(supervisor.kill_child(index, SIGKILL));
+
+  // poll() reaps the kill and (SIGKILL = abnormal) schedules a respawn.
+  poll_for(supervisor, std::chrono::milliseconds(200));
+  EXPECT_GE(supervisor.restarts(index), 1u)
+      << "a SIGKILLed child is a crash: it must come back";
+
+  supervisor.terminate_all();
+  EXPECT_FALSE(supervisor.kill_child(index, SIGKILL))
+      << "kill_child on a terminated child reports it down";
+}
+
+TEST(SupervisorTest, TerminateAllReapsTheFleet) {
+  Supervisor supervisor(10, 200);
+  for (int i = 0; i < 3; ++i)
+    supervisor.add(shell("trap 'exit 0' TERM; echo 'x listening on 127.0.0.1:4242'; "
+                         "while :; do sleep 1; done"));
+  EXPECT_EQ(supervisor.poll(), 3u);
+
+  supervisor.terminate_all();
+  for (std::size_t i = 0; i < supervisor.size(); ++i) {
+    EXPECT_FALSE(supervisor.alive(i));
+    // Reaped, not leaked: a second waitpid finds no such child.
+    int status = 0;
+    EXPECT_EQ(::waitpid(supervisor.pid(i), &status, WNOHANG), -1);
+  }
+  EXPECT_EQ(supervisor.poll(), 0u) << "terminated children stay down";
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -25,8 +25,19 @@
 // violated; every seed is deterministic, so a failing report's seed replays
 // the exact fault schedule.
 //
+// Cluster mode (--cluster N) raises the bar from "definite outcome" to
+// ZERO LOSS: it spawns N supervised pmacx_serve shards with replication R,
+// fronts each with its own chaos proxy, routes through an in-process
+// service::Router, and SIGKILLs random replicas of the workload's digest
+// mid-load (one at a time, waiting for the supervisor to respawn each victim
+// before the next kill, so one replica always survives).  Every data-plane
+// request must end OK — failover absorbs the kills — and every OK payload
+// must be byte-identical to a direct, un-proxied single-shard run.
+//
 //   pmacx_chaos --server build/tools/pmacx_serve --seed-count 32
 //       --json CHAOS.json s16.trace s32.trace s64.trace
+//   pmacx_chaos --server build/tools/pmacx_serve --cluster 3 --replication 2
+//       --requests 60 --kills 3 --json CLUSTER_CHAOS.json s16.trace s32.trace s64.trace
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -39,16 +50,21 @@
 #include <exception>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "serve_spawn.hpp"
 #include "service/chaos.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/shard_ring.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -79,7 +95,17 @@ void usage() {
       "  --target-cores <n>     extrapolation target  (default: 256)\n"
       "  --app <name>           application model     (default: specfem3d)\n"
       "  --machine-target <m>   prediction target     (default: bluewaters-p1)\n"
-      "  --json <file>          write the chaos report as JSON\n");
+      "  --json <file>          write the chaos report as JSON\n"
+      "\n"
+      "cluster mode (zero-loss failover under SIGKILL; requires --server):\n"
+      "  --cluster <n>          spawn an n-shard supervised cluster and route\n"
+      "                         through an in-process service::Router with a\n"
+      "                         chaos proxy in front of every shard\n"
+      "  --replication <r>      replication factor    (default: 2)\n"
+      "  --requests <n>         total cluster-mode requests (default: 60)\n"
+      "  --kills <k>            replicas to SIGKILL mid-load (default: 3)\n"
+      "  --metrics-json <f>     write the router's pmacx-metrics-v1 snapshot\n"
+      "                         (service.router.* counters) to this file\n");
 }
 
 /// Resident set size of a process in MiB, from /proc/<pid>/statm; 0 when
@@ -111,13 +137,304 @@ struct Outcomes {
   }
 };
 
+struct ClusterParams {
+  std::string serve_binary;
+  std::vector<std::string> traces;
+  std::uint64_t shards = 3;
+  std::uint64_t replication = 2;
+  std::uint64_t requests = 60;
+  std::uint64_t kills = 3;
+  std::uint64_t threads = 4;
+  std::uint64_t root_seed = 1;
+  std::uint64_t target_cores = 256;
+  std::string app, machine_target, json_path, metrics_json;
+};
+
+/// Cluster-mode chaos (file comment): returns the process exit code.
+int run_cluster_chaos(const ClusterParams& params) {
+  // --- Spawn and supervise the shard fleet. -------------------------------
+  service::Topology topology;
+  topology.replication = params.replication;
+  for (std::uint64_t id = 0; id < params.shards; ++id)
+    topology.shards.push_back({static_cast<std::uint32_t>(id), "127.0.0.1", 0});
+  topology.validate();
+  const std::uint64_t epoch = topology.epoch();
+
+  tools::Supervisor supervisor(/*initial_backoff_ms=*/50);
+  std::vector<std::uint16_t> shard_ports(params.shards, 0);
+  for (std::uint64_t id = 0; id < params.shards; ++id) {
+    tools::SpawnSpec spec;
+    spec.binary = params.serve_binary;
+    spec.tool = "pmacx_chaos";
+    spec.args = {"--bind", "127.0.0.1", "--port", "0",
+                 "--shard-id", std::to_string(id), "--ring-epoch", std::to_string(epoch)};
+    const std::size_t index = supervisor.add(std::move(spec));
+    shard_ports[id] = supervisor.port(index);  // pinned across respawns
+  }
+
+  // --- One chaos proxy per shard; the router talks through them. ----------
+  std::vector<std::unique_ptr<service::ChaosProxy>> proxies;
+  for (std::uint64_t id = 0; id < params.shards; ++id) {
+    service::ChaosOptions chaos_options;
+    chaos_options.upstream_host = "127.0.0.1";
+    chaos_options.upstream_port = shard_ports[id];
+    chaos_options.seed = util::derive_seed(params.root_seed, 100 + id);
+    proxies.push_back(std::make_unique<service::ChaosProxy>(chaos_options));
+    proxies.back()->start();
+    topology.shards[id].port = proxies.back()->port();
+  }
+
+  service::RouterOptions router_options;
+  router_options.topology = topology;
+  // Generous budgets: a dead shard fails over instantly on connect-refused,
+  // so these only bound genuinely slow responses — and under sanitizer
+  // builds a cold-cache fit can legitimately take tens of seconds.  Tight
+  // budgets here would misreport slowness as lost requests.
+  router_options.shard_io_timeout_ms = 120'000;
+  router_options.failover_deadline_ms = 240'000;
+  service::Router router(router_options);
+  router.start();
+
+  // --- The request mix and its routing digest. ----------------------------
+  service::Request status_request;
+  status_request.type = service::MsgType::Status;
+  service::Request fit_request;
+  fit_request.type = service::MsgType::Fit;
+  fit_request.spec.trace_paths = params.traces;
+  service::Request extrapolate_request = fit_request;
+  extrapolate_request.type = service::MsgType::Extrapolate;
+  extrapolate_request.target_cores = static_cast<std::uint32_t>(params.target_cores);
+  service::Request predict_request = extrapolate_request;
+  predict_request.type = service::MsgType::Predict;
+  predict_request.app = params.app;
+  predict_request.machine_target = params.machine_target;
+  const service::Request* mix[] = {&status_request, &fit_request, &extrapolate_request,
+                                   &predict_request};
+
+  const std::string digest =
+      core::models_digest_for_files(params.traces, fit_request.spec.to_options());
+  const std::vector<std::uint32_t> replicas = router.ring().replicas_for(digest);
+
+  // --- Reference run: one direct, un-proxied call per data-plane type. ----
+  // Every OK payload the cluster returns under chaos must match these bytes.
+  std::string expected[4];
+  {
+    service::ClientOptions direct;
+    direct.port = shard_ports[replicas[0]];
+    direct.io_timeout_ms = 120'000;
+    service::Client reference(direct);
+    for (std::size_t i = 1; i < 4; ++i) {  // mix[0] is STATUS: not deterministic
+      const service::Response response = reference.call(*mix[i]);
+      PMACX_CHECK(response.status == service::Status::Ok,
+                  "reference " + service::msg_type_name(mix[i]->type) +
+                      " against shard " + std::to_string(replicas[0]) +
+                      " failed (fix the setup before running chaos): " + response.body);
+      expected[i] = response.body;
+    }
+  }
+
+  // --- Load + killer. -----------------------------------------------------
+  std::atomic<std::int64_t> budget{static_cast<std::int64_t>(params.requests)};
+  std::atomic<bool> load_done{false};
+  std::atomic<std::uint64_t> ok{0}, not_ok{0}, mismatches{0}, transport_errors{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(params.threads);
+  std::mutex stderr_mutex;
+  for (std::uint64_t t = 0; t < params.threads; ++t) {
+    workers.emplace_back([&, t] {
+      service::ClientOptions through_router;
+      through_router.port = router.port();
+      // The client<->router hop is clean (chaos lives between router and
+      // shards), so generous budgets here mean any client-visible failure
+      // is a real zero-loss violation, not an impatient timeout.  The I/O
+      // budget must exceed the router's whole failover deadline: a request
+      // the router is still sweeping replicas for is in flight, not lost.
+      through_router.io_timeout_ms = 300'000;
+      through_router.jitter_seed = util::derive_seed(params.root_seed, 1'000 + t);
+      through_router.retry.max_attempts = 6;
+      through_router.retry.overall_deadline_ms = 600'000;
+      through_router.breaker.failure_threshold = 0;
+
+      std::unique_ptr<service::Client> client;
+      std::int64_t ticket;
+      while ((ticket = budget.fetch_sub(1, std::memory_order_relaxed)) > 0) {
+        const std::size_t index =
+            (params.requests - static_cast<std::size_t>(ticket)) % 4;
+        const service::Request& request = *mix[index];
+        try {
+          if (!client) client = std::make_unique<service::Client>(through_router);
+          const service::Response response = client->call_with_retry(request);
+          if (response.status == service::Status::Ok) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (index != 0 && response.body != expected[index]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              std::scoped_lock lock(stderr_mutex);
+              std::fprintf(stderr,
+                           "pmacx_chaos: %s payload diverged from the direct run "
+                           "(%zu vs %zu bytes)\n",
+                           service::msg_type_name(request.type).c_str(),
+                           response.body.size(), expected[index].size());
+            }
+          } else {
+            not_ok.fetch_add(1, std::memory_order_relaxed);
+            std::scoped_lock lock(stderr_mutex);
+            std::fprintf(stderr, "pmacx_chaos: LOST request (%s): %s\n",
+                         service::msg_type_name(request.type).c_str(),
+                         response.body.c_str());
+          }
+        } catch (const util::Error& e) {
+          transport_errors.fetch_add(1, std::memory_order_relaxed);
+          client.reset();
+          std::scoped_lock lock(stderr_mutex);
+          std::fprintf(stderr, "pmacx_chaos: LOST request (transport): %s\n", e.what());
+        }
+      }
+    });
+  }
+
+  // The killer owns the supervisor while load runs: SIGKILL one replica of
+  // the workload's digest at a time, then wait until the supervisor has
+  // respawned it AND it answers a direct STATUS probe before the next kill —
+  // so with R >= 2 at least one replica of every digest is always alive.
+  std::uint64_t kills_done = 0, restarts_seen = 0;
+  bool killer_healthy = true;
+  std::thread killer([&] {
+    util::Rng rng(util::derive_seed(params.root_seed, 0xdeadULL));
+    for (std::uint64_t kill = 0; kill < params.kills && !load_done.load(); ++kill) {
+      // First kill targets the primary so at least one request provably
+      // fails over (the service.router.failover counter the CI job gates
+      // on); later victims are seeded-random replicas.
+      const std::uint32_t victim =
+          kill == 0 ? replicas[0]
+                    : replicas[static_cast<std::size_t>(rng.below(replicas.size()))];
+      if (!supervisor.kill_child(victim, SIGKILL)) continue;
+      ++kills_done;
+
+      // Wait for respawn + direct health before the next kill.
+      const auto wait_deadline = Clock::now() + std::chrono::seconds(30);
+      bool healthy = false;
+      while (!healthy && Clock::now() < wait_deadline && !load_done.load()) {
+        supervisor.poll();
+        if (supervisor.alive(victim)) {
+          try {
+            service::ClientOptions probe_options;
+            probe_options.port = shard_ports[victim];
+            probe_options.connect_attempts = 1;
+            probe_options.connect_deadline_ms = 500;
+            probe_options.io_timeout_ms = 2'000;
+            service::Client probe(probe_options);
+            service::Request status;
+            status.type = service::MsgType::Status;
+            healthy = probe.call(status).status == service::Status::Ok;
+          } catch (const util::Error&) {
+          }
+        }
+        if (!healthy) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      if (!healthy && !load_done.load()) {
+        killer_healthy = false;  // respawn never came back: report and stop
+        return;
+      }
+      restarts_seen = std::max<std::uint64_t>(restarts_seen, supervisor.restarts(victim));
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  for (std::thread& worker : workers) worker.join();
+  load_done.store(true);
+  killer.join();
+
+  // --- Teardown: drain through the router (fans SHUTDOWN out to shards). --
+  bool clean_shutdown = true;
+  try {
+    service::ClientOptions control_options;
+    control_options.port = router.port();
+    service::Client control(control_options);
+    service::Request shutdown;
+    shutdown.type = service::MsgType::Shutdown;
+    control.call(shutdown);
+  } catch (const std::exception& e) {
+    clean_shutdown = false;
+    std::fprintf(stderr, "pmacx_chaos: cluster shutdown failed: %s\n", e.what());
+  }
+  router.stop();
+  router.wait();
+  std::uint64_t chaos_resets = 0, chaos_cuts = 0, chaos_duplicates = 0, chaos_partials = 0;
+  for (auto& proxy : proxies) {
+    proxy->stop();
+    proxy->wait();
+    chaos_resets += proxy->stats().resets.load();
+    chaos_cuts += proxy->stats().cuts.load();
+    chaos_duplicates += proxy->stats().duplicates.load();
+    chaos_partials += proxy->stats().partials.load();
+  }
+  supervisor.terminate_all();
+
+  // --- Verdict. -----------------------------------------------------------
+  const std::uint64_t lost =
+      not_ok.load() + transport_errors.load() + mismatches.load();
+  const bool passed = lost == 0 && kills_done > 0 && killer_healthy && clean_shutdown &&
+                      ok.load() == params.requests;
+  std::printf(
+      "pmacx_chaos: cluster %s — %llu shards x R%llu, %llu requests all-OK=%llu, "
+      "%llu kills (max %llu restarts), losses: %llu not-ok, %llu transport, "
+      "%llu payload mismatches\n",
+      passed ? "PASS" : "FAIL", static_cast<unsigned long long>(params.shards),
+      static_cast<unsigned long long>(params.replication),
+      static_cast<unsigned long long>(params.requests),
+      static_cast<unsigned long long>(ok.load()),
+      static_cast<unsigned long long>(kills_done),
+      static_cast<unsigned long long>(restarts_seen),
+      static_cast<unsigned long long>(not_ok.load()),
+      static_cast<unsigned long long>(transport_errors.load()),
+      static_cast<unsigned long long>(mismatches.load()));
+  std::printf("pmacx_chaos: injected faults: %llu resets, %llu cuts, %llu dups, "
+              "%llu partials; routing digest %s -> replicas",
+              static_cast<unsigned long long>(chaos_resets),
+              static_cast<unsigned long long>(chaos_cuts),
+              static_cast<unsigned long long>(chaos_duplicates),
+              static_cast<unsigned long long>(chaos_partials), digest.c_str());
+  for (const std::uint32_t id : replicas) std::printf(" %u", id);
+  std::printf("\n");
+
+  if (!params.json_path.empty()) {
+    std::ofstream out(params.json_path);
+    PMACX_CHECK(out.good(), "cannot write " + params.json_path);
+    out << "{\n"
+        << "  \"passed\": " << (passed ? "true" : "false") << ",\n"
+        << "  \"mode\": \"cluster\",\n"
+        << "  \"shards\": " << params.shards << ",\n"
+        << "  \"replication\": " << params.replication << ",\n"
+        << "  \"requests\": " << params.requests << ",\n"
+        << "  \"ok\": " << ok.load() << ",\n"
+        << "  \"kills\": " << kills_done << ",\n"
+        << "  \"losses\": {\"not_ok\": " << not_ok.load()
+        << ", \"transport\": " << transport_errors.load()
+        << ", \"payload_mismatch\": " << mismatches.load() << "},\n"
+        << "  \"faults\": {\"resets\": " << chaos_resets << ", \"cuts\": " << chaos_cuts
+        << ", \"duplicates\": " << chaos_duplicates
+        << ", \"partials\": " << chaos_partials << "},\n"
+        << "  \"digest\": \"" << digest << "\",\n"
+        << "  \"seed\": " << params.root_seed << "\n"
+        << "}\n";
+  }
+  if (!params.metrics_json.empty()) {
+    util::metrics::RunManifest manifest = util::metrics::RunManifest::for_tool("pmacx_chaos");
+    util::metrics::write_json(params.metrics_json, manifest,
+                              util::metrics::Registry::global().snapshot());
+  }
+  return passed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string server_binary, host = "127.0.0.1", json_path;
+  std::string server_binary, host = "127.0.0.1", json_path, metrics_json;
   std::string app = "specfem3d", machine_target = "bluewaters-p1";
   std::uint64_t port = 0, seed_count = 8, root_seed = 1, requests_per_seed = 24;
   std::uint64_t threads = 4, deadline_ms = 15'000, max_rss_mb = 512, target_cores = 256;
+  std::uint64_t cluster = 0, replication = 2, cluster_requests = 60, kills = 3;
   std::vector<std::string> traces;
 
   try {
@@ -156,6 +473,16 @@ int main(int argc, char** argv) {
         machine_target = value();
       } else if (arg == "--json") {
         json_path = value();
+      } else if (arg == "--cluster") {
+        cluster = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--replication") {
+        replication = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--requests") {
+        cluster_requests = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--kills") {
+        kills = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--metrics-json") {
+        metrics_json = value();
       } else if (util::starts_with(arg, "--")) {
         PMACX_CHECK(false, "unknown option " + arg);
       } else {
@@ -169,6 +496,29 @@ int main(int argc, char** argv) {
     PMACX_CHECK(traces.size() >= 2,
                 "need at least two trace files (ascending core counts)");
     PMACX_CHECK(port <= 65535, "--port must fit a TCP port");
+
+    if (cluster > 0) {
+      PMACX_CHECK(!server_binary.empty(), "--cluster requires --server <pmacx_serve>");
+      PMACX_CHECK(replication >= 2 && replication <= cluster,
+                  "--replication must be in [2, --cluster] for zero-loss kills");
+      PMACX_CHECK(cluster_requests > 0 && kills > 0,
+                  "--requests and --kills must be positive");
+      ClusterParams params;
+      params.serve_binary = server_binary;
+      params.traces = traces;
+      params.shards = cluster;
+      params.replication = replication;
+      params.requests = cluster_requests;
+      params.kills = kills;
+      params.threads = threads;
+      params.root_seed = root_seed;
+      params.target_cores = target_cores;
+      params.app = app;
+      params.machine_target = machine_target;
+      params.json_path = json_path;
+      params.metrics_json = metrics_json;
+      return run_cluster_chaos(params);
+    }
 
     tools::SpawnedServer spawned;
     if (!server_binary.empty()) {

@@ -1,0 +1,151 @@
+// pmacx_cluster — sharded, replicated prediction cluster launcher.
+//
+// Spawns N pmacx_serve shard processes (from a topology file or a synthetic
+// localhost topology), supervises them — a crashed shard is respawned with
+// exponential backoff on its original port — and fronts them with an
+// in-process service::Router that consistent-hashes data-plane requests on
+// their models_digest with replication factor R and health-checked failover.
+// Prints one machine-readable line once ready:
+//
+//   pmacx_cluster listening on <bind>:<port>
+//
+// so pmacx_loadgen --server (with --server-args) can drive a whole cluster
+// exactly like a single pmacx_serve.  Exits on SIGINT/SIGTERM or a SHUTDOWN
+// request (which the router fans out to every shard first).
+//
+//   pmacx_cluster --serve build/tools/pmacx_serve --shards 3 --replication 2
+//   pmacx_cluster --serve pmacx_serve --topology cluster.topo --port 7077
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "service/router.hpp"
+#include "service/shard_ring.hpp"
+#include "serve_spawn.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+// Signal handlers may only touch async-signal-safe state; Router::stop() is
+// a relaxed atomic store, which qualifies.
+pmacx::service::Router* g_router = nullptr;
+
+void handle_signal(int) {
+  if (g_router != nullptr) g_router->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pmacx;
+  util::Cli cli("pmacx_cluster", "run a sharded, replicated pmacx prediction cluster");
+  cli.add_string("serve", "", "path to the pmacx_serve binary to spawn per shard");
+  cli.add_string("topology", "",
+                 "topology file ('replication R' + 'shard <id> <host> <port>' lines; "
+                 "port 0 = ephemeral); default: synthetic localhost topology");
+  cli.add_u64("shards", 3, "shard count for the synthetic topology");
+  cli.add_u64("replication", 2, "replication factor for the synthetic topology");
+  cli.add_string("bind", "127.0.0.1", "router listen address");
+  cli.add_u64("port", 0, "router TCP port (0 picks an ephemeral port)");
+  cli.add_u64("threads", 0, "per-shard handler threads (0 = PMACX_THREADS or hardware)");
+  cli.add_u64("cache-mb", 256, "per-shard model cache budget in MiB");
+  cli.add_u64("timeout-ms", 30000, "per-shard per-request deadline in milliseconds");
+  cli.add_u64("failover-deadline-ms", 20000,
+              "router per-request budget across replica hops and backoff");
+  cli.add_u64("shard-timeout-ms", 10000,
+              "router per-hop I/O deadline on shard calls (dead shards fail over "
+              "instantly regardless; this only bounds slow responses)");
+  cli.add_u64("restart-backoff-ms", 50,
+              "initial supervisor backoff before respawning a crashed shard");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (service.router.* counters and "
+                 "per-shard latency histograms) to this file on exit");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    util::set_log_level(util::LogLevel::Warn);
+    PMACX_CHECK(!cli.get_string("serve").empty(), "--serve <pmacx_serve binary> is required");
+    PMACX_CHECK(cli.get_u64("port") <= 65535, "--port must fit a TCP port");
+
+    service::Topology topology;
+    if (!cli.get_string("topology").empty()) {
+      topology = service::Topology::load(cli.get_string("topology"));
+    } else {
+      topology.replication = cli.get_u64("replication");
+      for (std::uint64_t id = 0; id < cli.get_u64("shards"); ++id)
+        topology.shards.push_back(
+            {static_cast<std::uint32_t>(id), "127.0.0.1", /*port=*/0});
+    }
+    topology.validate();
+    // The epoch hashes shard ids + replication, never ports, so it is
+    // already final before ephemeral ports resolve.
+    const std::uint64_t epoch = topology.epoch();
+
+    tools::Supervisor supervisor(cli.get_u64("restart-backoff-ms"));
+    for (service::ShardEndpoint& shard : topology.shards) {
+      tools::SpawnSpec spec;
+      spec.binary = cli.get_string("serve");
+      spec.tool = "pmacx_cluster";
+      spec.args = {"--bind",     shard.host,
+                   "--port",     std::to_string(shard.port),
+                   "--shard-id", std::to_string(shard.id),
+                   "--ring-epoch", std::to_string(epoch),
+                   "--threads",  std::to_string(cli.get_u64("threads")),
+                   "--cache-mb", std::to_string(cli.get_u64("cache-mb")),
+                   "--timeout-ms", std::to_string(cli.get_u64("timeout-ms"))};
+      const std::size_t index = supervisor.add(std::move(spec));
+      shard.port = supervisor.port(index);  // resolve ephemeral binds
+    }
+
+    service::RouterOptions options;
+    options.bind = cli.get_string("bind");
+    options.port = static_cast<std::uint16_t>(cli.get_u64("port"));
+    options.topology = topology;
+    options.failover_deadline_ms = cli.get_u64("failover-deadline-ms");
+    options.shard_io_timeout_ms = cli.get_u64("shard-timeout-ms");
+
+    service::Router router(options);
+    g_router = &router;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    router.start();
+    std::printf("pmacx_cluster listening on %s:%u\n", options.bind.c_str(),
+                static_cast<unsigned>(router.port()));
+    std::fflush(stdout);  // spawners block on this line; don't sit in a buffer
+
+    // Supervision loop: respawn crashed shards until the router is asked to
+    // stop (signal or SHUTDOWN fan-out — whose exit-0 shards stay down).
+    while (!router.stopping()) {
+      supervisor.poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    router.stop();
+    router.wait();
+    g_router = nullptr;
+    supervisor.terminate_all();
+    std::printf("pmacx_cluster: drained after %llu requests\n",
+                static_cast<unsigned long long>(router.requests_routed()));
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest =
+          util::metrics::RunManifest::for_tool("pmacx_cluster");
+      manifest.config = cli.values();
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                util::metrics::Registry::global().snapshot());
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_cluster: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_cluster: internal error: %s\n", e.what());
+    return 1;
+  }
+}

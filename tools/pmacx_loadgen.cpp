@@ -1,15 +1,29 @@
-// pmacx_loadgen — closed-loop load generator for pmacx_serve.
+// pmacx_loadgen — load generator for pmacx_serve and pmacx_cluster.
 //
 // Spawns (or connects to) a prediction server, then drives it with N
-// concurrent client threads issuing the same request back-to-back until a
-// shared request budget is spent.  Reports req/sec and p50/p99 latency, on
-// stdout and (with --json) as Google-Benchmark-shaped JSON so the CI bench
-// gate (tools/bench_compare.py) can track serving throughput like any other
-// benchmark.  Every OK response is checked byte-for-byte against the first
-// one — a cache that changed an answer is a correctness bug, not a speedup.
+// concurrent client threads issuing the same request until a shared request
+// budget is spent.  Two pacing modes:
+//
+//   * closed loop (default): each thread sends back-to-back, measuring the
+//     server's capacity;
+//   * open loop (--target-rps R): request i has the *intended* send time
+//     start + i/R, threads sleep until it, and latency is measured from the
+//     intended time — so a stalled server inflates the latencies of the
+//     requests queued behind the stall instead of silently slowing the
+//     arrival process (the coordinated-omission trap).  Achieved vs target
+//     rate is reported so saturation is visible.
+//
+// Reports req/sec and p50/p99 latency, on stdout and (with --json) as
+// Google-Benchmark-shaped JSON so the CI bench gate (tools/bench_compare.py)
+// can track serving throughput like any other benchmark.  Every OK response
+// is checked byte-for-byte against the first one — a cache that changed an
+// answer is a correctness bug, not a speedup.
 //
 //   pmacx_loadgen --server build/tools/pmacx_serve --requests 100 --threads 8
 //       --target-cores 6144 --json SERVICE.json s96.trace s384.trace s1536.trace
+//   pmacx_loadgen --server build/tools/pmacx_cluster --target-rps 50
+//       --server-args "--serve build/tools/pmacx_serve --shards 3"
+//       --requests 200 s16.trace s32.trace s64.trace
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -48,14 +62,20 @@ void usage() {
       "           [options] <trace files, ascending core counts>\n"
       "\n"
       "options:\n"
-      "  --server <path>        spawn this pmacx_serve on an ephemeral port,\n"
-      "                         drive it, then send SHUTDOWN and reap it\n"
+      "  --server <path>        spawn this server binary (pmacx_serve or\n"
+      "                         pmacx_cluster) on an ephemeral port, drive it,\n"
+      "                         then send SHUTDOWN and reap it\n"
+      "  --server-args <s>      extra arguments for the spawned binary,\n"
+      "                         space-separated (e.g. \"--serve ... --shards 3\")\n"
       "  --server-metrics <f>   with --server: the spawned server writes its\n"
       "                         metrics snapshot here on exit\n"
       "  --host <addr>          server address        (default: 127.0.0.1)\n"
       "  --port <p>             server port (required unless --server)\n"
       "  --requests <n>         total requests        (default: 100)\n"
       "  --threads <n>          client threads        (default: 8)\n"
+      "  --target-rps <r>       open-loop arrival rate; latency is measured\n"
+      "                         from each request's intended send time\n"
+      "                         (default: 0 = closed loop)\n"
       "  --request-type <t>     predict | extrapolate | fit | status\n"
       "                         (default: predict)\n"
       "  --target-cores <n>     extrapolation target  (default: 6144)\n"
@@ -84,11 +104,11 @@ double percentile(const std::vector<double>& sorted, double fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string server_binary, server_metrics, host = "127.0.0.1", json_path;
+  std::string server_binary, server_args, server_metrics, host = "127.0.0.1", json_path;
   std::string request_type = "predict", app = "specfem3d", machine_target = "bluewaters-p1";
   std::uint64_t port = 0, requests = 100, threads = 8, target_cores = 6144;
   std::uint64_t timeout_ms = 60'000;
-  double work_scale = 1.0;
+  double work_scale = 1.0, target_rps = 0.0;
   std::vector<std::string> traces;
 
   try {
@@ -103,6 +123,10 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--server") {
         server_binary = value();
+      } else if (arg == "--server-args") {
+        server_args = value();
+      } else if (arg == "--target-rps") {
+        target_rps = util::parse_flag_double(value(), arg);
       } else if (arg == "--server-metrics") {
         server_metrics = value();
       } else if (arg == "--host") {
@@ -137,6 +161,7 @@ int main(int argc, char** argv) {
                 "give exactly one of --server or --port");
     PMACX_CHECK(requests > 0 && threads > 0, "--requests and --threads must be positive");
     PMACX_CHECK(port <= 65535, "--port must fit a TCP port");
+    PMACX_CHECK(target_rps >= 0.0, "--target-rps must be non-negative");
 
     service::Request request;
     if (request_type == "predict") {
@@ -162,7 +187,17 @@ int main(int argc, char** argv) {
 
     tools::SpawnedServer spawned;
     if (!server_binary.empty()) {
-      spawned = tools::spawn_server(server_binary, server_metrics, "pmacx_loadgen");
+      tools::SpawnSpec spec;
+      spec.binary = server_binary;
+      spec.tool = "pmacx_loadgen";
+      spec.args = {"--port", "0"};
+      for (const std::string& extra : util::split(server_args, ' '))
+        if (!extra.empty()) spec.args.push_back(extra);
+      if (!server_metrics.empty()) {
+        spec.args.push_back("--metrics-json");
+        spec.args.push_back(server_metrics);
+      }
+      spawned = tools::spawn_child(spec);
       port = spawned.port;
     }
 
@@ -171,11 +206,12 @@ int main(int argc, char** argv) {
     client_options.port = static_cast<std::uint16_t>(port);
     client_options.io_timeout_ms = timeout_ms;
 
-    // Closed loop: each thread owns one connection and pulls tickets from a
-    // shared budget, so exactly `requests` requests hit the server no
-    // matter how the threads interleave.
-    // Signed: fetch_sub past zero must go negative, not wrap to 2^64 - 1.
-    std::atomic<std::int64_t> budget{static_cast<std::int64_t>(requests)};
+    // Each thread owns one connection and pulls tickets from a shared
+    // counter, so exactly `requests` requests hit the server no matter how
+    // the threads interleave.  In open-loop mode ticket i carries the
+    // intended send time start + i/target_rps.
+    const bool open_loop = target_rps > 0.0;
+    std::atomic<std::int64_t> next_ticket{0};
     std::atomic<std::uint64_t> ok{0}, busy{0}, errors{0};
     std::mutex result_mutex;
     // STATUS bodies report live counters and legitimately differ between
@@ -190,8 +226,19 @@ int main(int argc, char** argv) {
     for (std::uint64_t t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         std::unique_ptr<service::Client> client;
-        while (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
-          const Clock::time_point sent = Clock::now();
+        for (;;) {
+          const std::int64_t ticket = next_ticket.fetch_add(1, std::memory_order_relaxed);
+          if (ticket >= static_cast<std::int64_t>(requests)) break;
+          Clock::time_point sent = Clock::now();
+          if (open_loop) {
+            // Coordinated-omission-safe: pace to the intended arrival time
+            // and charge any queueing delay behind a stalled server to the
+            // request's latency, not to a silently slowed arrival process.
+            const auto offset = std::chrono::nanoseconds(
+                static_cast<std::int64_t>(static_cast<double>(ticket) * 1e9 / target_rps));
+            sent = started + offset;
+            std::this_thread::sleep_until(sent);
+          }
           service::Response response;
           try {
             if (!client) client = std::make_unique<service::Client>(client_options);
@@ -272,8 +319,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(busy.load()),
                 static_cast<unsigned long long>(errors.load()),
                 static_cast<unsigned long long>(threads), wall_seconds);
+    const double achieved_rps =
+        wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0.0;
     std::printf("  throughput: %.2f req/s   latency p50 %.3f ms  p99 %.3f ms\n",
                 throughput, p50_ms, p99_ms);
+    if (open_loop)
+      std::printf("  open loop: target %.2f req/s, achieved %.2f req/s%s\n", target_rps,
+                  achieved_rps,
+                  achieved_rps < 0.95 * target_rps ? "  (saturated: behind target)" : "");
 
     if (!json_path.empty()) {
       std::ofstream out(json_path);
@@ -285,6 +338,7 @@ int main(int argc, char** argv) {
           << "    \"mhz_per_cpu\": 0,\n"
           << "    \"executable\": \"pmacx_loadgen\",\n"
           << "    \"client_threads\": " << threads << ",\n"
+          << "    \"pacing\": \"" << (open_loop ? "open" : "closed") << "\",\n"
           << "    \"machine_target\": \"" << json_escape(machine_target) << "\"\n"
           << "  },\n"
           << "  \"benchmarks\": [\n"
@@ -293,6 +347,7 @@ int main(int argc, char** argv) {
           << ", \"cpu_time\": 0, \"time_unit\": \"ms\", \"items_per_second\": "
           << throughput << ", \"ok\": " << ok.load() << ", \"busy\": " << busy.load()
           << ", \"errors\": " << errors.load() << ", \"failures\": " << errors.load()
+          << ", \"target_rps\": " << target_rps << ", \"achieved_rps\": " << achieved_rps
           << "},\n"
           << "    {\"name\": \"" << base << "/latency_p50\", \"run_type\": \"iteration\", "
           << "\"iterations\": " << all_ns.size() << ", \"real_time\": " << p50_ms

@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   cli.add_string("metrics-json", "",
                  "write a pmacx-metrics-v1 snapshot (request counters, cache "
                  "hit rates, latency histograms) to this file on exit");
+  cli.add_u64("shard-id", static_cast<std::uint64_t>(-1),
+              "cluster shard id reported by STATUS (default: standalone)");
+  cli.add_u64("ring-epoch", 0, "cluster topology epoch reported by STATUS");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
     options.max_in_flight = cli.get_u64("max-in-flight");
     options.cache_bytes = cli.get_u64("cache-mb") << 20;
     options.request_timeout_ms = cli.get_u64("timeout-ms");
+    if (cli.get_u64("shard-id") != static_cast<std::uint64_t>(-1)) {
+      options.shard_id = static_cast<std::int64_t>(cli.get_u64("shard-id"));
+      options.ring_epoch = cli.get_u64("ring-epoch");
+    }
 
     service::Server server(options);
     g_server = &server;
