@@ -7,7 +7,9 @@
 
 #include <cmath>
 
+#include "stats/batch.hpp"
 #include "stats/canonical.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -99,6 +101,36 @@ void BM_SelectBestManySeriesThreaded(benchmark::State& state) {
   state.SetLabel(std::to_string(threads) + "thr");
 }
 BENCHMARK(BM_SelectBestManySeriesThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FitBatch(benchmark::State& state) {
+  // The SoA fast path over the same workload BM_SelectBestManySeriesThreaded/1
+  // measures per-series: candidates + selection scores for a large batch of
+  // independent series sharing one axis.  The bench gate compares the two
+  // (items/sec are series/sec in both) to enforce the batch-path speedup.
+  const auto series_count = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> cores = {1024, 2048, 4096};
+  util::Rng rng(7);
+  // Sample-major SoA input, mixed forms across the batch.
+  std::vector<double> y(cores.size() * series_count);
+  for (std::size_t s = 0; s < series_count; ++s) {
+    const auto column = series_for(static_cast<stats::Form>(s % 6), cores, rng);
+    for (std::size_t i = 0; i < cores.size(); ++i)
+      y[i * series_count + s] = column[i];
+  }
+  const stats::BatchFitter fitter(cores, stats::FitOptions{});
+  std::vector<stats::FittedModel> candidates(series_count * fitter.form_count());
+  std::vector<double> scores(series_count * fitter.form_count());
+  util::Arena arena;
+  for (auto _ : state) {
+    arena.reset();
+    fitter.fit(y.data(), series_count, series_count, candidates.data(),
+               scores.data(), arena);
+    benchmark::DoNotOptimize(candidates.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * series_count);
+}
+BENCHMARK(BM_FitBatch)->Arg(4096);
 
 void BM_SelectBestLooCv(benchmark::State& state) {
   const std::vector<double> cores = {256, 512, 1024, 2048, 4096};

@@ -1,0 +1,143 @@
+// Pre-refactor cache simulator, kept verbatim as the perf gate's reference.
+//
+// This is the array-of-structs, one-reference-at-a-time implementation the
+// SoA/grouped fast path replaced (src/memsim/cache.cpp at the refactor
+// boundary), trimmed to the demand-access feature set the gate workloads
+// exercise: LRU/FIFO replacement, non-inclusive probing, write-allocate,
+// no prefetcher/TLB/sampling.  perf_cachesim benchmarks it side by side
+// with memsim::CacheHierarchy so tools/bench_compare.py can enforce the
+// block path's speedup from numbers measured in the *same run* — immune to
+// machine drift, unlike a ratio against a checked-in baseline file — and
+// memsim_features_test asserts it stays counter-identical to the real
+// simulator, so the reference cannot rot into measuring something else.
+//
+// Deliberately not part of pmacx_memsim: production code must never grow a
+// dependency on the slow model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "memsim/config.hpp"
+#include "memsim/hierarchy.hpp"
+#include "util/error.hpp"
+
+namespace pmacx::bench {
+
+/// One set-associative level, array-of-structs way metadata.
+class ReferenceCacheLevel {
+ public:
+  ReferenceCacheLevel(const memsim::CacheLevelConfig& config)
+      : config_(config),
+        sets_(config.sets()),
+        ways_(config.associativity == 0
+                  ? static_cast<std::uint32_t>(config.size_bytes / config.line_bytes)
+                  : config.associativity),
+        set_mask_(sets_ - 1),
+        ways_storage_(sets_ * ways_) {
+    PMACX_CHECK(config.replacement != memsim::Replacement::Random,
+                "reference simulator models deterministic replacement only");
+  }
+
+  /// Demand access; returns {hit, writeback}.
+  std::pair<bool, bool> access(std::uint64_t line_addr, bool is_store) {
+    ++clock_;
+    const std::uint64_t set = line_addr & set_mask_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Way& way = ways_storage_[base + w];
+      if (way.valid && way.tag == line_addr) {
+        if (config_.replacement == memsim::Replacement::Lru) way.stamp = clock_;
+        if (is_store) way.dirty = true;
+        return {true, false};
+      }
+    }
+    std::size_t victim = base;
+    bool found_invalid = false;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if (!ways_storage_[base + w].valid) {
+        victim = base + w;
+        found_invalid = true;
+        break;
+      }
+    }
+    if (!found_invalid) {
+      for (std::size_t w = 1; w < ways_; ++w)
+        if (ways_storage_[base + w].stamp < ways_storage_[victim].stamp)
+          victim = base + w;
+    }
+    Way& way = ways_storage_[victim];
+    const bool writeback = way.valid && way.dirty;
+    way.tag = line_addr;
+    way.valid = true;
+    way.stamp = clock_;
+    way.dirty = is_store;
+    return {false, writeback};
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  memsim::CacheLevelConfig config_;
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t set_mask_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_storage_;
+};
+
+/// The pre-refactor per-reference hierarchy walk over AoS levels.
+class ReferenceHierarchy {
+ public:
+  explicit ReferenceHierarchy(const memsim::HierarchyConfig& config)
+      : line_shift_(static_cast<std::uint32_t>(std::countr_zero(
+            static_cast<std::uint64_t>(config.line_bytes())))) {
+    PMACX_CHECK(!config.prefetch.enabled && !config.tlb.enabled &&
+                    !config.inclusive && config.sample_shift == 0,
+                "reference simulator models the plain demand path only");
+    levels_.reserve(config.levels.size());
+    for (const memsim::CacheLevelConfig& level : config.levels)
+      levels_.emplace_back(level);
+  }
+
+  void access(const memsim::MemRef& ref) {
+    PMACX_CHECK(ref.size > 0, "zero-size memory reference");
+    ++counters_.refs;
+    if (ref.is_store)
+      ++counters_.stores;
+    else
+      ++counters_.loads;
+    counters_.bytes += ref.size;
+    const std::uint64_t first_line = ref.addr >> line_shift_;
+    const std::uint64_t last_line = (ref.addr + ref.size - 1) >> line_shift_;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+      ++counters_.line_accesses;
+      bool resolved = false;
+      for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+        const auto [hit, writeback] = levels_[lvl].access(line, ref.is_store);
+        if (writeback) ++counters_.writebacks;
+        if (hit) {
+          ++counters_.level_hits[lvl];
+          resolved = true;
+          break;
+        }
+      }
+      if (!resolved) ++counters_.memory_accesses;
+    }
+  }
+
+  const memsim::AccessCounters& totals() const { return counters_; }
+
+ private:
+  std::uint32_t line_shift_;
+  std::vector<ReferenceCacheLevel> levels_;
+  memsim::AccessCounters counters_;
+};
+
+}  // namespace pmacx::bench

@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "core/checkpoint.hpp"
+#include "stats/batch.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/threadpool.hpp"
@@ -288,15 +290,6 @@ ElementOutcome evaluate_element(const Alignment& alignment, const AlignedElement
   return outcome;
 }
 
-/// One element end-to-end (the direct, uncached path): fit candidates and
-/// immediately evaluate them at the target.
-ElementOutcome fit_element(const Alignment& alignment, const AlignedElement& element,
-                           double target, const InfluenceIndex& influence,
-                           const ExtrapolationOptions& options) {
-  const ElementModels em = compute_element_models(alignment, element, influence, options);
-  return evaluate_element(alignment, element, em, target, options);
-}
-
 /// Resolves which pool a parallel stage should run on.  nullptr means run
 /// serially; `local_pool` owns a private pool when options.threads > 1.
 util::ThreadPool* resolve_pool(const ExtrapolationOptions& options,
@@ -322,14 +315,106 @@ util::ThreadPool* resolve_pool(const ExtrapolationOptions& options,
 /// policy, results in index order.
 template <typename T, typename F>
 std::vector<T> run_stage(std::size_t count, F&& compute,
-                         const ExtrapolationOptions& options) {
+                         const ExtrapolationOptions& options,
+                         std::size_t grain = 16) {
   std::optional<util::ThreadPool> local_pool;
   util::ThreadPool* pool = resolve_pool(options, local_pool);
   if (pool != nullptr && !pool->serial())
-    return pool->parallel_map<T>(count, compute, /*grain=*/16);
+    return pool->parallel_map<T>(count, compute, grain);
   std::vector<T> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) out.push_back(compute(i));
+  return out;
+}
+
+/// Elements whose fit series is the full shared axis are batchable; only
+/// FitPresent runs with a genuinely restricted (per-element) axis fall off
+/// the SoA fast path.  Mirrors compute_element_models' axis choice exactly:
+/// a restriction with < 2 present samples falls back to the full series,
+/// and a fully-present element's restriction *is* the full series.
+bool fits_full_axis(const AlignedElement& element, const ExtrapolationOptions& options) {
+  if (options.missing != MissingPolicy::FitPresent) return true;
+  std::size_t present = 0;
+  for (bool filled : element.filled)
+    if (!filled) ++present;
+  return present < 2 || present == element.filled.size();
+}
+
+/// Batch size of the SoA fit path: large enough to amortize transposition
+/// and fill AVX2 lanes, small enough that chunks still spread across the
+/// pool on small alignments.
+constexpr std::size_t kFitBatch = 1024;
+
+/// Fits models for elements [lo, hi): full-axis elements go through the
+/// shared BatchFitter over a sample-major arena buffer, the rest through
+/// the scalar per-element path.  Output order is element order either way,
+/// and every model/score is bit-identical to compute_element_models'.
+std::vector<ElementModels> compute_models_chunk(const Alignment& alignment,
+                                                const InfluenceIndex& influence,
+                                                const ExtrapolationOptions& options,
+                                                const stats::BatchFitter& fitter,
+                                                std::size_t lo, std::size_t hi) {
+  const std::size_t n = alignment.axis.size();
+  const std::size_t forms = fitter.form_count();
+  std::vector<ElementModels> out(hi - lo);
+  std::vector<std::size_t> batched;
+  batched.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const AlignedElement& element = alignment.elements[i];
+    if (fits_full_axis(element, options)) {
+      batched.push_back(i);
+    } else {
+      out[i - lo] = compute_element_models(alignment, element, influence, options);
+    }
+  }
+  if (batched.empty()) return out;
+
+  util::Arena arena;
+  const std::size_t count = batched.size();
+  double* y = arena.allocate<double>(n * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const AlignedElement& element = alignment.elements[batched[b]];
+    for (std::size_t s = 0; s < n; ++s) y[s * count + b] = element.values[s];
+  }
+  stats::FittedModel* candidates = arena.allocate<stats::FittedModel>(forms * count);
+  double* scores = arena.allocate<double>(forms * count);
+  fitter.fit(y, count, count, candidates, scores, arena);
+
+  for (std::size_t b = 0; b < count; ++b) {
+    const AlignedElement& element = alignment.elements[batched[b]];
+    ElementModels& em = out[batched[b] - lo];
+    em.fit_axis.assign(alignment.axis.begin(), alignment.axis.end());
+    em.fit_values.assign(element.values.begin(), element.values.end());
+    em.candidates.assign(candidates + b * forms, candidates + (b + 1) * forms);
+    em.scores.assign(scores + b * forms, scores + (b + 1) * forms);
+    em.influential = influence.lookup(element.key);
+  }
+  return out;
+}
+
+/// The fit stage shared by every fitting entry point (direct extrapolation,
+/// model-set fitting, checkpointed fitting): batches of kFitBatch elements
+/// fan out across the pool, each batch running the SoA fitter.
+std::vector<ElementModels> compute_models_stage(const Alignment& alignment,
+                                                const InfluenceIndex& influence,
+                                                const ExtrapolationOptions& options,
+                                                std::size_t begin, std::size_t count) {
+  if (count == 0) return {};
+  const stats::BatchFitter fitter(alignment.axis, options.fit);
+  const std::size_t chunks = (count + kFitBatch - 1) / kFitBatch;
+  std::vector<std::vector<ElementModels>> parts =
+      run_stage<std::vector<ElementModels>>(
+          chunks,
+          [&](std::size_t c) {
+            const std::size_t lo = begin + c * kFitBatch;
+            const std::size_t hi = std::min(lo + kFitBatch, begin + count);
+            return compute_models_chunk(alignment, influence, options, fitter, lo, hi);
+          },
+          options, /*grain=*/1);
+  std::vector<ElementModels> out;
+  out.reserve(count);
+  for (std::vector<ElementModels>& part : parts)
+    for (ElementModels& em : part) out.push_back(std::move(em));
   return out;
 }
 
@@ -424,13 +509,20 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
   const InfluenceIndex influence(inputs.back(), options.influence_threshold);
 
   // Stage 1 — fit every element (the hot loop; embarrassingly parallel).
+  // Candidates come from the batched SoA fitter; evaluation at the target
+  // (selection, clamping, bootstraps) then fans out per element.  Both
+  // halves are pure, so the split changes scheduling but not one bit of
+  // any outcome.
   std::vector<ElementOutcome> outcomes;
   {
     util::metrics::StageTimer fit_timer("extrapolate.fit");
+    const std::vector<ElementModels> models = compute_models_stage(
+        alignment, influence, options, 0, alignment.elements.size());
     outcomes = run_stage<ElementOutcome>(
         alignment.elements.size(),
         [&](std::size_t i) {
-          return fit_element(alignment, alignment.elements[i], target, influence, options);
+          return evaluate_element(alignment, alignment.elements[i], models[i], target,
+                                  options);
         },
         options);
   }
@@ -505,13 +597,8 @@ TaskModelSet fit_task_models(std::span<const trace::TaskTrace> inputs,
 
   const InfluenceIndex influence(inputs.back(), options.influence_threshold);
   util::metrics::StageTimer fit_timer("extrapolate.fit");
-  set.models = run_stage<ElementModels>(
-      set.alignment.elements.size(),
-      [&](std::size_t i) {
-        return compute_element_models(set.alignment, set.alignment.elements[i],
-                                      influence, options);
-      },
-      options);
+  set.models = compute_models_stage(set.alignment, influence, options, 0,
+                                    set.alignment.elements.size());
   return set;
 }
 
@@ -555,13 +642,8 @@ TaskModelSet fit_task_models_checkpointed(std::span<const trace::TaskTrace> inpu
       stats.elements_reused += end - begin;
       continue;
     }
-    std::vector<ElementModels> chunk = run_stage<ElementModels>(
-        end - begin,
-        [&](std::size_t i) {
-          return compute_element_models(set.alignment, set.alignment.elements[begin + i],
-                                        influence, options);
-        },
-        options);
+    std::vector<ElementModels> chunk =
+        compute_models_stage(set.alignment, influence, options, begin, end - begin);
     checkpoint.save_chunk(c, chunk);
     for (std::size_t i = 0; i < chunk.size(); ++i) set.models[begin + i] = std::move(chunk[i]);
     stats.elements_fitted += end - begin;

@@ -1,5 +1,7 @@
 #include "memsim/cache.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace pmacx::memsim {
@@ -11,53 +13,100 @@ CacheLevel::CacheLevel(const CacheLevelConfig& config, std::uint64_t seed)
                 ? static_cast<std::uint32_t>(config.size_bytes / config.line_bytes)
                 : config.associativity),
       set_mask_(sets_ - 1),
-      ways_storage_(sets_ * ways_),
+      tags_(sets_ * ways_, 0),
+      ranks_(sets_ * ways_, 0),
+      valid_(sets_ * ways_, 0),
+      dirty_(sets_ * ways_, 0),
+      find_tag_(util::simd::kernels().find_tag),
+      probe_stream_(util::simd::kernels().probe_stream),
+      probe_grouped_(util::simd::kernels().probe_grouped),
       rng_(seed) {
   PMACX_ASSERT((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
+  PMACX_CHECK(ways_ <= 32768,
+              "rank-based replacement supports at most 32768 ways per set");
+  for (std::size_t s = 0; s < sets_; ++s) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      ranks_[s * ways_ + w] = static_cast<std::uint16_t>(w);
+    }
+  }
+}
+
+void CacheLevel::promote(std::size_t base, std::size_t way_rel) {
+  std::uint16_t* ranks = ranks_.data() + base;
+  const std::uint16_t r = ranks[way_rel];
+  if (r == 0) return;  // already most recent
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    ranks[i] = static_cast<std::uint16_t>(ranks[i] + (ranks[i] < r ? 1 : 0));
+  }
+  ranks[way_rel] = 0;
 }
 
 AccessOutcome CacheLevel::touch(std::uint64_t line_addr, bool is_store, bool demand) {
-  ++clock_;
   const std::uint64_t set = line_addr & set_mask_;
   const std::size_t base = static_cast<std::size_t>(set) * ways_;
 
-  // Hit path: refresh the LRU stamp only (FIFO keeps its fill time).
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == line_addr) {
-      if (config_.replacement == Replacement::Lru) way.stamp = clock_;
-      if (is_store) way.dirty = true;
-      return {true, false};
+  // Hit path: refresh recency only under LRU (FIFO keeps its fill order).
+  const int hit_way = find_way(base, line_addr);
+  if (hit_way >= 0) {
+    const std::size_t w = base + static_cast<std::size_t>(hit_way);
+    if (config_.replacement == Replacement::Lru) {
+      promote(base, static_cast<std::size_t>(hit_way));
     }
+    if (is_store) dirty_[w] = 1;
+    return {true, false};
   }
 
   // Miss: install into the victim way.  The stored tag is the full line
   // address, trading a few bits of space for simpler invariants.
   const std::size_t victim = victim_in_set(base);
-  Way& way = ways_storage_[victim];
   AccessOutcome outcome;
-  outcome.writeback = way.valid && way.dirty;
-  outcome.evicted = way.valid;
-  outcome.evicted_line = way.tag;
-  way.tag = line_addr;
-  way.valid = true;
-  way.stamp = clock_;
+  outcome.writeback = valid_[victim] != 0 && dirty_[victim] != 0;
+  outcome.evicted = valid_[victim] != 0;
+  outcome.evicted_line = tags_[victim];
+  tags_[victim] = line_addr;
+  valid_[victim] = 1;
+  promote(base, victim - base);
   // Demand stores dirty the line; prefetched lines arrive clean.
-  way.dirty = demand && is_store;
+  dirty_[victim] = demand && is_store;
   return outcome;
+}
+
+util::simd::SetView CacheLevel::view() {
+  return util::simd::SetView{
+      tags_.data(),  valid_.data(), ranks_.data(),
+      dirty_.data(), set_mask_,     ways_,
+      config_.replacement == Replacement::Lru ? 1 : 0};
+}
+
+util::simd::ProbeReplay CacheLevel::replay_stream(const std::uint64_t* lines,
+                                                  const std::uint8_t* stores,
+                                                  const std::uint32_t* indices,
+                                                  std::size_t count,
+                                                  std::uint32_t* misses) {
+  return probe_stream_(view(), lines, stores, indices, count, misses);
+}
+
+util::simd::ProbeReplay CacheLevel::replay_grouped(
+    const std::uint64_t* lines, const std::uint8_t* stores,
+    std::uint8_t* resolved, const std::uint32_t* grouped,
+    const std::uint32_t* set_start) {
+  return probe_grouped_(view(), lines, stores, resolved, grouped, set_start);
 }
 
 bool CacheLevel::invalidate(std::uint64_t line_addr) {
   const std::uint64_t set = line_addr & set_mask_;
   const std::size_t base = static_cast<std::size_t>(set) * ways_;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == line_addr) {
-      way = Way{};
-      return true;
-    }
-  }
-  return false;
+  const int way = find_way(base, line_addr);
+  if (way < 0) return false;
+  const std::size_t w = base + static_cast<std::size_t>(way);
+  // The rank stays in place: invalid ways are preferred as victims
+  // regardless of rank, and keeping the permutation intact means no other
+  // way's relative recency changes — exactly as a timestamp encoding
+  // behaves when a stamp is dropped.
+  tags_[w] = 0;
+  valid_[w] = 0;
+  dirty_[w] = 0;
+  return true;
 }
 
 AccessOutcome CacheLevel::access(std::uint64_t line_addr, bool is_store) {
@@ -71,32 +120,33 @@ AccessOutcome CacheLevel::install(std::uint64_t line_addr) {
 bool CacheLevel::contains(std::uint64_t line_addr) const {
   const std::uint64_t set = line_addr & set_mask_;
   const std::size_t base = static_cast<std::size_t>(set) * ways_;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    const Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == line_addr) return true;
-  }
-  return false;
+  return find_way(base, line_addr) >= 0;
 }
 
 void CacheLevel::clear() {
-  for (Way& way : ways_storage_) way = Way{};
-  clock_ = 0;
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  for (std::size_t s = 0; s < sets_; ++s) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      ranks_[s * ways_ + w] = static_cast<std::uint16_t>(w);
+    }
+  }
 }
 
 std::size_t CacheLevel::victim_in_set(std::size_t set_base) {
   // Prefer an invalid way.
   for (std::size_t w = 0; w < ways_; ++w)
-    if (!ways_storage_[set_base + w].valid) return set_base + w;
+    if (valid_[set_base + w] == 0) return set_base + w;
 
   if (config_.replacement == Replacement::Random)
     return set_base + static_cast<std::size_t>(rng_.below(ways_));
 
-  // LRU and FIFO both evict the smallest stamp (last-use vs. fill time).
-  std::size_t victim = set_base;
-  for (std::size_t w = 1; w < ways_; ++w)
-    if (ways_storage_[set_base + w].stamp < ways_storage_[victim].stamp)
-      victim = set_base + w;
-  return victim;
+  // LRU and FIFO both evict rank ways-1 (least recently used vs. first in).
+  const std::uint16_t last = static_cast<std::uint16_t>(ways_ - 1);
+  for (std::size_t w = 0; w < ways_; ++w)
+    if (ranks_[set_base + w] == last) return set_base + w;
+  return set_base + ways_ - 1;  // unreachable for a well-formed permutation
 }
 
 }  // namespace pmacx::memsim

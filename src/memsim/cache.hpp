@@ -3,17 +3,27 @@
 // Operates on line addresses (byte address >> log2(line size)); the
 // hierarchy handles line splitting of multi-byte references.  Supports LRU,
 // FIFO and (seeded, deterministic) random replacement, write-back dirty
-// tracking, and a side-door install path for prefetches.  LRU is
-// implemented with per-way timestamps, which is exact and keeps the
-// structure a flat array — fast and cache-friendly for the simulator
-// itself.
+// tracking, and a side-door install path for prefetches.  LRU/FIFO recency
+// is a per-set move-to-front rank list (see util::simd::SetView): exact —
+// it makes the same eviction decisions as last-use timestamps — while
+// storing 2 bytes per way instead of 8, which is what bounds the
+// simulator's own metadata traffic on big levels.
+//
+// Way metadata is laid out structure-of-arrays (flat tag/rank/valid/dirty
+// arrays, set-major): the tag-match scan on the access path runs over a
+// dense u64 row and dispatches to an AVX2 compare (util::simd::find_tag)
+// on capable hardware.  The kernel preserves way order, so hit/victim
+// behaviour — and therefore every simulated counter — is identical to the
+// scalar scan.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "memsim/config.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace pmacx::memsim {
 
@@ -45,6 +55,42 @@ class CacheLevel {
   /// Returns hit=true when the line was already present.
   AccessOutcome install(std::uint64_t line_addr);
 
+  /// Demand replay of staged block probes in stream order (the hierarchy's
+  /// block fast path for levels whose metadata is small enough that set
+  /// grouping buys nothing).  Probe p = indices[k] (p = k when `indices`
+  /// is null) looks up lines[p] with store flag stores[p]; each probe goes
+  /// through exactly the demand half of touch(), and miss indices land in
+  /// `misses` (room for `count` entries) in visit order — which is exactly
+  /// the next level's ordered input.  Only valid for Lru/Fifo replacement
+  /// (Random would consume rng draws in a different order).
+  util::simd::ProbeReplay replay_stream(const std::uint64_t* lines,
+                                        const std::uint8_t* stores,
+                                        const std::uint32_t* indices,
+                                        std::size_t count,
+                                        std::uint32_t* misses);
+
+  /// Grouped demand replay of a staged block (the hierarchy's ascending-
+  /// sweep fast path for levels with large metadata).  `grouped` holds
+  /// probe indices bucketed by this level's set index, `set_start` the
+  /// nsets+1 prefix offsets of those buckets; within a bucket indices
+  /// ascend, i.e. keep original stream order.  Each probe goes through
+  /// exactly the demand half of touch(); hits set resolved[p] = 1 so the
+  /// caller can recover the ordered survivor list.  Set states are
+  /// mutually independent and within-set order is preserved, so every
+  /// hit/victim decision matches per-reference access() calls.  Lru/Fifo
+  /// only, as above.
+  util::simd::ProbeReplay replay_grouped(const std::uint64_t* lines,
+                                         const std::uint8_t* stores,
+                                         std::uint8_t* resolved,
+                                         const std::uint32_t* grouped,
+                                         const std::uint32_t* set_start);
+
+  /// Way-metadata footprint, the hierarchy's grouping heuristic input.
+  std::size_t metadata_bytes() const {
+    return static_cast<std::size_t>(sets_) * ways_ *
+           (sizeof(std::uint64_t) + sizeof(std::uint16_t) + 2);
+  }
+
   /// Probe without side effects: true if the line is currently resident.
   bool contains(std::uint64_t line_addr) const;
 
@@ -52,7 +98,7 @@ class CacheLevel {
   /// hierarchies).  Returns true when something was invalidated.
   bool invalidate(std::uint64_t line_addr);
 
-  /// Drops all contents and timestamps.
+  /// Drops all contents and resets the recency ranks.
   void clear();
 
   const CacheLevelConfig& config() const { return config_; }
@@ -60,22 +106,37 @@ class CacheLevel {
   std::uint32_t ways() const { return ways_; }
 
  private:
-  struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t stamp = 0;  ///< LRU: last use; FIFO: fill time
-    bool valid = false;
-    bool dirty = false;
-  };
-
   AccessOutcome touch(std::uint64_t line_addr, bool is_store, bool demand);
   std::size_t victim_in_set(std::size_t set_base);
+
+  /// First way holding `line_addr` in the set starting at `base`, or -1.
+  int find_way(std::size_t base, std::uint64_t line_addr) const {
+    return find_tag_(tags_.data() + base, valid_.data() + base, ways_, line_addr);
+  }
+
+  /// Moves a way (set-relative) to rank 0 within its set.
+  void promote(std::size_t base, std::size_t way_rel);
 
   CacheLevelConfig config_;
   std::uint64_t sets_;
   std::uint32_t ways_;
   std::uint64_t set_mask_;
-  std::uint64_t clock_ = 0;
-  std::vector<Way> ways_storage_;  ///< sets_ * ways_, set-major
+  // Way metadata, structure-of-arrays: index set * ways_ + way.
+  std::vector<std::uint64_t> tags_;
+  /// Per-set permutation of 0..ways-1; rank 0 = most recently used (LRU)
+  /// or filled (FIFO), rank ways-1 = eviction candidate.
+  std::vector<std::uint16_t> ranks_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
+  /// A SetView over this level's metadata for the batched probe kernels.
+  util::simd::SetView view();
+
+  /// Probe kernels, resolved once at construction (per-access dispatch
+  /// would put an atomic load + env lookup on the hot path).  Tests that
+  /// pin util::simd::force_level must construct the hierarchy afterwards.
+  decltype(util::simd::Kernels::find_tag) find_tag_;
+  decltype(util::simd::Kernels::probe_stream) probe_stream_;
+  decltype(util::simd::Kernels::probe_grouped) probe_grouped_;
   util::Rng rng_;
 };
 

@@ -6,6 +6,16 @@
 
 namespace pmacx::memsim {
 
+namespace {
+/// Way-metadata size above which the grouped set-sweep replay pays for its
+/// bucketing passes.  Stream-order replay with a few-probes-ahead software
+/// prefetch hides the metadata walk for any level whose tags/stamps fit the
+/// host's last-level cache, and the grouped path's bucketing gathers plus
+/// same-set store-to-load chains cost more than the sweep saves there, so
+/// grouping only wins once a level's metadata decisively exceeds host LLC.
+constexpr std::size_t kGroupedSweepBytes = 16 * 1024 * 1024;
+}  // namespace
+
 double AccessCounters::cumulative_hit_rate(std::size_t level) const {
   PMACX_CHECK(level < kMaxLevels, "cache level out of range");
   if (line_accesses == 0) return 0.0;
@@ -34,6 +44,9 @@ CacheHierarchy::CacheHierarchy(HierarchyConfig config) : config_(std::move(confi
   for (std::size_t i = 0; i < config_.levels.size(); ++i)
     levels_.emplace_back(config_.levels[i], config_.seed + i);
   if (config_.prefetch.enabled) streams_.resize(config_.prefetch.streams);
+  grouped_replay_ok_ = !config_.prefetch.enabled && !config_.inclusive;
+  for (const CacheLevelConfig& level : config_.levels)
+    if (level.replacement == Replacement::Random) grouped_replay_ok_ = false;
 }
 
 void CacheHierarchy::tlb_access(std::uint64_t page, AccessCounters& scoped) {
@@ -114,15 +127,159 @@ void CacheHierarchy::set_scope(std::uint64_t block_id) {
 void CacheHierarchy::access(const MemRef& ref) {
   PMACX_CHECK(ref.size > 0, "zero-size memory reference");
   if (current_ == nullptr) current_ = &scopes_[scope_];
-  AccessCounters& scoped = *current_;
+  access_one(ref.addr, ref.size, ref.is_store, *current_);
+}
 
+void CacheHierarchy::access_block(const RefBlock& block) {
+  if (current_ == nullptr) current_ = &scopes_[scope_];
+  AccessCounters& scoped = *current_;
+  if (grouped_replay_ok_) {
+    access_block_grouped(block, scoped);
+    return;
+  }
+  for (std::size_t i = 0; i < block.count; ++i) {
+    PMACX_CHECK(block.size[i] > 0, "zero-size memory reference");
+    access_one(block.addr[i], block.size[i], block.is_store[i] != 0, scoped);
+  }
+}
+
+void CacheHierarchy::access_block_grouped(const RefBlock& block,
+                                          AccessCounters& scoped) {
+  // Stage: flatten references into line probes in stream order, tallying
+  // the reference-level counters as block sums (they are order-independent
+  // totals, so adding them once is identical to per-reference increments).
+  // The TLB walk stays in stream order here — its LRU state is shared
+  // across all pages, so unlike the per-set cache state it is sensitive to
+  // the global order — and is independent of the cache levels below.
+  block_lines_.clear();
+  block_stores_.clear();
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t bytes = 0;
+  const std::uint64_t sample_mask =
+      config_.sample_shift != 0 ? (1ull << config_.sample_shift) - 1 : 0;
+  const bool tlb_enabled = config_.tlb.enabled;
+  const std::uint64_t page_shift =
+      tlb_enabled ? static_cast<std::uint64_t>(std::countr_zero(
+                        static_cast<std::uint64_t>(config_.tlb.page_bytes)))
+                  : 0;
+  for (std::size_t i = 0; i < block.count; ++i) {
+    const std::uint32_t size = block.size[i];
+    PMACX_CHECK(size > 0, "zero-size memory reference");
+    const std::uint64_t addr = block.addr[i];
+    const std::uint8_t is_store = block.is_store[i] != 0 ? 1 : 0;
+    if (is_store != 0)
+      ++stores;
+    else
+      ++loads;
+    bytes += size;
+    if (tlb_enabled) {
+      const std::uint64_t first_page = addr >> page_shift;
+      const std::uint64_t last_page = (addr + size - 1) >> page_shift;
+      for (std::uint64_t page = first_page; page <= last_page; ++page)
+        tlb_access(page, scoped);
+    }
+    const std::uint64_t first_line = addr >> line_shift_;
+    const std::uint64_t last_line = (addr + size - 1) >> line_shift_;
+    for (std::uint64_t line = first_line; line <= last_line; ++line) {
+      if ((line & sample_mask) != 0) continue;  // set sampling (see access_one)
+      block_lines_.push_back(line);
+      block_stores_.push_back(is_store);
+    }
+  }
+  const auto add_refs = [&](AccessCounters& c) {
+    c.refs += block.count;
+    c.loads += loads;
+    c.stores += stores;
+    c.bytes += bytes;
+    c.line_accesses += block_lines_.size();
+  };
+  add_refs(totals_);
+  add_refs(scoped);
+
+  // Level-at-a-time replay.  Levels whose way metadata fits comfortably in
+  // the host's own caches are replayed in stream order — grouping would
+  // only add bucketing passes without improving locality — and emit their
+  // miss list, which is exactly the next level's ordered input.  Larger
+  // levels bucket their surviving probes by set index (a stable counting
+  // sort, so within-set order stays stream order) and replay the buckets
+  // in ascending set order, turning the random metadata walk into a sweep.
+  const std::size_t nprobes = block_lines_.size();
+  std::size_t unresolved = nprobes;
+  if (block_order_a_.size() < nprobes) {
+    block_order_a_.resize(nprobes);
+    block_order_b_.resize(nprobes);
+  }
+  block_resolved_.assign(nprobes, 0);
+  const std::uint64_t* lines = block_lines_.data();
+  const std::uint8_t* stores_flags = block_stores_.data();
+  std::uint32_t* bufs[2] = {block_order_a_.data(), block_order_b_.data()};
+  const std::uint32_t* order = nullptr;  // null: all probes, stream order
+  int flip = 0;
+  for (std::size_t lvl = 0; lvl < levels_.size() && unresolved > 0; ++lvl) {
+    CacheLevel& level = levels_[lvl];
+    std::uint32_t* misses = bufs[flip];
+    util::simd::ProbeReplay result;
+    if (level.metadata_bytes() <= kGroupedSweepBytes) {
+      result = level.replay_stream(lines, stores_flags, order, unresolved,
+                                   misses);
+      order = misses;
+      flip ^= 1;
+    } else {
+      const std::uint64_t nsets = level.sets();
+      const std::uint64_t set_mask = nsets - 1;
+      block_sets_.assign(static_cast<std::size_t>(nsets) + 1, 0);
+      for (std::size_t k = 0; k < unresolved; ++k) {
+        const std::uint32_t p =
+            order != nullptr ? order[k] : static_cast<std::uint32_t>(k);
+        ++block_sets_[static_cast<std::size_t>(lines[p] & set_mask) + 1];
+      }
+      for (std::size_t s = 1; s <= nsets; ++s)
+        block_sets_[s] += block_sets_[s - 1];
+      block_cursor_.assign(block_sets_.begin(), block_sets_.end());
+      if (block_grouped_.size() < nprobes) block_grouped_.resize(nprobes);
+      for (std::size_t k = 0; k < unresolved; ++k) {
+        const std::uint32_t p =
+            order != nullptr ? order[k] : static_cast<std::uint32_t>(k);
+        block_grouped_[block_cursor_[static_cast<std::size_t>(
+            lines[p] & set_mask)]++] = p;
+      }
+      result = level.replay_grouped(lines, stores_flags,
+                                    block_resolved_.data(),
+                                    block_grouped_.data(), block_sets_.data());
+      // Recover the ordered survivor list for the next level: grouped
+      // replay marked its hits resolved, so the misses are this level's
+      // input minus the resolved probes, in input order.
+      if (lvl + 1 < levels_.size() && result.hits < unresolved) {
+        std::size_t m = 0;
+        for (std::size_t k = 0; k < unresolved; ++k) {
+          const std::uint32_t p =
+              order != nullptr ? order[k] : static_cast<std::uint32_t>(k);
+          if (block_resolved_[p] == 0) misses[m++] = p;
+        }
+        order = misses;
+        flip ^= 1;
+      }
+    }
+    totals_.level_hits[lvl] += result.hits;
+    scoped.level_hits[lvl] += result.hits;
+    totals_.writebacks += result.writebacks;
+    scoped.writebacks += result.writebacks;
+    unresolved -= result.hits;
+  }
+  totals_.memory_accesses += unresolved;
+  scoped.memory_accesses += unresolved;
+}
+
+void CacheHierarchy::access_one(std::uint64_t addr, std::uint32_t size,
+                                bool is_store, AccessCounters& scoped) {
   auto count_ref = [&](AccessCounters& c) {
     ++c.refs;
-    if (ref.is_store)
+    if (is_store)
       ++c.stores;
     else
       ++c.loads;
-    c.bytes += ref.size;
+    c.bytes += size;
   };
   count_ref(totals_);
   count_ref(scoped);
@@ -130,14 +287,14 @@ void CacheHierarchy::access(const MemRef& ref) {
   if (config_.tlb.enabled) {
     const std::uint64_t page_shift = static_cast<std::uint64_t>(
         std::countr_zero(static_cast<std::uint64_t>(config_.tlb.page_bytes)));
-    const std::uint64_t first_page = ref.addr >> page_shift;
-    const std::uint64_t last_page = (ref.addr + ref.size - 1) >> page_shift;
+    const std::uint64_t first_page = addr >> page_shift;
+    const std::uint64_t last_page = (addr + size - 1) >> page_shift;
     for (std::uint64_t page = first_page; page <= last_page; ++page)
       tlb_access(page, scoped);
   }
 
-  const std::uint64_t first_line = ref.addr >> line_shift_;
-  const std::uint64_t last_line = (ref.addr + ref.size - 1) >> line_shift_;
+  const std::uint64_t first_line = addr >> line_shift_;
+  const std::uint64_t last_line = (addr + size - 1) >> line_shift_;
   for (std::uint64_t line = first_line; line <= last_line; ++line) {
     // Set sampling: keep only lines whose low bits are zero.  Those lines
     // map to exactly the 1/2^shift of each level's sets with zero low
@@ -153,7 +310,7 @@ void CacheHierarchy::access(const MemRef& ref) {
     bool resolved = false;
     bool l1_hit = false;
     for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
-      const AccessOutcome outcome = levels_[lvl].access(line, ref.is_store);
+      const AccessOutcome outcome = levels_[lvl].access(line, is_store);
       if (outcome.writeback) {
         ++totals_.writebacks;
         ++scoped.writebacks;

@@ -22,6 +22,7 @@
 
 #include "memsim/cache.hpp"
 #include "memsim/config.hpp"
+#include "memsim/ref_block.hpp"
 
 namespace pmacx::memsim {
 
@@ -73,6 +74,19 @@ class CacheHierarchy {
   /// the current scope's counters.
   void access(const MemRef& ref);
 
+  /// Replays a staged block of references within the current scope,
+  /// counter-identical to calling access() per reference.  When the
+  /// configuration allows (no prefetcher, non-inclusive, deterministic
+  /// replacement) the block takes the grouped fast path: references are
+  /// flattened into line probes once, then each level processes its
+  /// surviving probes bucketed by set index in ascending set order.
+  /// Within a set, probes keep stream order, and set states are mutually
+  /// independent, so every hit/victim decision — and therefore every
+  /// counter — matches the one-at-a-time walk; what changes is only the
+  /// memory-access pattern, which turns random metadata walks into
+  /// per-level ascending sweeps the host prefetcher can stream.
+  void access_block(const RefBlock& block);
+
   /// Aggregate counters across all scopes.
   const AccessCounters& totals() const { return totals_; }
 
@@ -94,6 +108,9 @@ class CacheHierarchy {
   const HierarchyConfig& config() const { return config_; }
 
  private:
+  void access_one(std::uint64_t addr, std::uint32_t size, bool is_store,
+                  AccessCounters& scoped);
+  void access_block_grouped(const RefBlock& block, AccessCounters& scoped);
   void tlb_access(std::uint64_t page, AccessCounters& scoped);
   void prefetcher_observe_miss(std::uint64_t line);
 
@@ -120,6 +137,23 @@ class CacheHierarchy {
   std::vector<Stream> streams_;
   std::size_t stream_cursor_ = 0;
   std::uint64_t prefetches_issued_ = 0;
+
+  /// True when access_block may take the grouped level-at-a-time path:
+  /// prefetching would couple miss order across sets, inclusive
+  /// back-invalidation couples levels, and Random replacement consumes rng
+  /// draws in probe order.  Fixed by the config, so computed once.
+  bool grouped_replay_ok_ = false;
+  // Block-replay scratch, reused across blocks to stay allocation-free.
+  // Probes are staged structure-of-arrays so the batched probe kernels
+  // take plain flat buffers.
+  std::vector<std::uint64_t> block_lines_;     ///< probe line addresses
+  std::vector<std::uint8_t> block_stores_;     ///< probe store flags
+  std::vector<std::uint8_t> block_resolved_;   ///< grouped-replay hit marks
+  std::vector<std::uint32_t> block_order_a_;   ///< ping-pong survivor lists:
+  std::vector<std::uint32_t> block_order_b_;   ///<   miss indices per level
+  std::vector<std::uint32_t> block_grouped_;   ///< probe indices by set
+  std::vector<std::uint32_t> block_sets_;      ///< per-set prefix offsets
+  std::vector<std::uint32_t> block_cursor_;    ///< scatter cursors
 };
 
 }  // namespace pmacx::memsim

@@ -1,7 +1,10 @@
 #include "memsim/parallel_replay.hpp"
 
+#include <algorithm>
 #include <string>
 
+#include "memsim/ref_block.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/threadpool.hpp"
@@ -15,6 +18,11 @@ std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_
   PMACX_CHECK(static_cast<bool>(make_stream), "replay_ranks requires a stream factory");
   util::metrics::StageTimer timer("memsim.replay");
 
+  // References are staged into an arena-backed SoA block and replayed
+  // block-at-a-time: the generator and the simulator each run over a dense
+  // array instead of interleaving per reference.  Staging order == replay
+  // order, so the counters match the one-at-a-time path exactly.
+  constexpr std::size_t kBlockRefs = 4096;
   auto replay_one = [&](std::size_t index) {
     const auto rank = static_cast<std::uint32_t>(index);
     RankReplay result;
@@ -22,7 +30,20 @@ std::vector<RankReplay> replay_ranks(const HierarchyConfig& config, std::uint32_
     CacheHierarchy hierarchy(config);  // private: no sharing across ranks
     hierarchy.set_scope(rank + 1);
     RefGenerator next = make_stream(rank);
-    for (std::uint64_t i = 0; i < refs_per_rank; ++i) hierarchy.access(next());
+    util::Arena arena;
+    RefBlockBuilder block(arena, kBlockRefs);
+    std::uint64_t remaining = refs_per_rank;
+    while (remaining > 0) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(remaining, kBlockRefs);
+      block.clear();
+      for (std::uint64_t i = 0; i < chunk; ++i) {
+        const MemRef ref = next();
+        block.push(ref.addr, ref.size, ref.is_store);
+      }
+      hierarchy.access_block(block.block());
+      remaining -= chunk;
+    }
     result.counters = hierarchy.totals();
     return result;
   };

@@ -1,0 +1,368 @@
+#include "stats/batch.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/detail.hpp"
+#include "stats/ols.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/simd.hpp"
+
+namespace pmacx::stats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FittedModel fail_model(Form form) {
+  FittedModel model;
+  model.form = form;
+  model.sse = kInf;
+  model.r2 = -kInf;
+  model.ok = false;
+  return model;
+}
+
+/// canonical.cpp's finish() given the already-computed original-space SSE
+/// and the series' SST (its r_squared recomputes mean/SST per call with the
+/// same ascending loops as the column kernels, so `sst` is the same bits).
+void finish_model(FittedModel& model, double sse, double sst) {
+  model.sse = sse;
+  if (sst <= 0.0) {
+    model.r2 = sse <= 1e-300 ? 1.0 : 0.0;
+  } else {
+    model.r2 = 1.0 - sse / sst;
+  }
+  model.ok = std::isfinite(model.sse);
+  if (!model.ok) model.sse = kInf;
+}
+
+/// selection_scores' criterion downgrade (legacy loo_cv flag; small-sample
+/// LooCv falls back to MinSse).
+SelectionCriterion effective_criterion(const FitOptions& opts, std::size_t n) {
+  SelectionCriterion criterion = opts.criterion;
+  if (opts.loo_cv) criterion = SelectionCriterion::LooCv;
+  if (criterion == SelectionCriterion::LooCv && n < 4)
+    criterion = SelectionCriterion::MinSse;
+  return criterion;
+}
+
+util::metrics::Counter& attempts_counter(Form form) {
+  return util::metrics::Registry::global().counter("fits.attempted." +
+                                                   form_name(form));
+}
+
+}  // namespace
+
+BatchFitter::BatchFitter(std::vector<double> axis, FitOptions opts)
+    : axis_(std::move(axis)), opts_(std::move(opts)), n_(axis_.size()) {
+  PMACX_CHECK(!axis_.empty(), "BatchFitter: no samples");
+  for (double p : axis_) PMACX_CHECK(p > 0.0, "BatchFitter: core counts must be positive");
+
+  log_p_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) log_p_[i] = std::log(axis_[i]);
+
+  const auto make_domain = [this](const double* x) {
+    XDomain d;
+    d.x.assign(x, x + n_);
+    if (n_ < 2) return d;
+    // fit_linear's x-side moments, accumulated in the same ascending order
+    // (its joint mean_x/mean_y loop keeps the two accumulators independent,
+    // so splitting them preserves every bit).
+    double mean_x = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) mean_x += d.x[i];
+    mean_x /= static_cast<double>(n_);
+    d.mean_x = mean_x;
+    d.dx.resize(n_);
+    double sxx = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double dx = d.x[i] - mean_x;
+      d.dx[i] = dx;
+      sxx += dx * dx;
+    }
+    d.sxx = sxx;
+    d.usable = sxx > 0.0;  // degenerate axes take the scalar fallback
+    return d;
+  };
+
+  linear_ = make_domain(axis_.data());
+  logarithmic_ = make_domain(log_p_.data());
+  std::vector<double> inv(n_);
+  for (std::size_t i = 0; i < n_; ++i) inv[i] = 1.0 / axis_[i];
+  inverse_ = make_domain(inv.data());
+
+  // Touch every counter the hot loop will bump so first use is allocation-
+  // free and fits.simd_batches is present in snapshots even when every
+  // batch ends up on the scalar path.
+  for (Form form : opts_.forms) attempts_counter(form);
+  util::metrics::Registry::global().counter("fits.simd_batches");
+}
+
+void BatchFitter::fit_scalar_column(Form form, const double* ycol,
+                                    std::size_t e, std::size_t form_index,
+                                    FittedModel* candidates) const {
+  candidates[e * form_count() + form_index] =
+      fit_form(form, axis_, std::span<const double>(ycol + e * n_, n_));
+}
+
+void BatchFitter::fit_linear_family(Form form, const XDomain& domain,
+                                    const double* y, std::size_t stride,
+                                    std::size_t count, const double* ycol,
+                                    const double* mean_y, const double* sst,
+                                    std::size_t form_index,
+                                    FittedModel* candidates,
+                                    util::Arena& arena) const {
+  const std::size_t F = form_count();
+  if (!domain.usable) {
+    // n < 2 or degenerate x: fit_linear's constant-y special case needs a
+    // per-series decision, so replicate via the scalar path.
+    for (std::size_t e = 0; e < count; ++e)
+      fit_scalar_column(form, ycol, e, form_index, candidates);
+    return;
+  }
+
+  const util::simd::Kernels& k = util::simd::kernels();
+  double* sxy = arena.allocate<double>(count);
+  double* a = arena.allocate<double>(count);
+  double* b = arena.allocate<double>(count);
+  double* sse = arena.allocate<double>(count);
+  k.col_sxy(y, stride, count, n_, domain.dx.data(), mean_y, sxy);
+  for (std::size_t e = 0; e < count; ++e) {
+    const double slope = sxy[e] / domain.sxx;
+    b[e] = slope;
+    a[e] = mean_y[e] - slope * domain.mean_x;
+  }
+  // Original-space SSE against FittedModel::evaluate's exact expression:
+  // a + b·p (Linear), a + b·ln p (Logarithmic), a + b/p (InverseP).
+  if (form == Form::InverseP) {
+    k.col_sse_affine_div(y, stride, count, n_, axis_.data(), a, b, sse);
+  } else {
+    const double* t = form == Form::Logarithmic ? log_p_.data() : axis_.data();
+    k.col_sse_affine(y, stride, count, n_, t, a, b, sse);
+  }
+  for (std::size_t e = 0; e < count; ++e) {
+    FittedModel& model = candidates[e * F + form_index];
+    if (!std::isfinite(b[e]) || !std::isfinite(a[e])) {
+      model = fail_model(form);
+      continue;
+    }
+    model = FittedModel{};
+    model.form = form;
+    model.params = {a[e], b[e], 0.0};
+    finish_model(model, sse[e], sst[e]);
+  }
+}
+
+void BatchFitter::fit_log_family(const double* y, std::size_t stride,
+                                 std::size_t count, const double* ycol,
+                                 const double* sst,
+                                 std::span<const std::size_t> form_indices,
+                                 FittedModel* candidates,
+                                 util::Arena& arena) const {
+  const std::size_t F = form_count();
+  if (n_ < 2) {
+    for (std::size_t e = 0; e < count; ++e)
+      for (std::size_t fi : form_indices)
+        candidates[e * F + fi] = fail_model(opts_.forms[fi]);
+    return;
+  }
+
+  // One sign/zero scan per series, shared by the exponential and power
+  // forms (the scalar path repeats it per form with identical outcome).
+  // NaN samples compare neither positive nor negative, so like the scalar
+  // scan they land in the zero count; they are *not* excluded from the
+  // log-space regression (NaN != 0.0), which poisons it into a clean fail —
+  // exactly the scalar behaviour.
+  double* sign = arena.allocate<double>(count);
+  std::uint8_t* fast = arena.allocate<std::uint8_t>(count);      // zeros == 0
+  std::uint8_t* eligible = arena.allocate<std::uint8_t>(count);  // passes early checks
+  for (std::size_t e = 0; e < count; ++e) {
+    const double* yc = ycol + e * n_;
+    double s = 0.0;
+    std::size_t zeros = 0;
+    bool mixed = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double v = yc[i];
+      if (v > 0.0) {
+        if (s < 0.0) {
+          mixed = true;
+          break;
+        }
+        s = 1.0;
+      } else if (v < 0.0) {
+        if (s > 0.0) {
+          mixed = true;
+          break;
+        }
+        s = -1.0;
+      } else {
+        ++zeros;
+      }
+    }
+    sign[e] = s;
+    eligible[e] = !mixed && s != 0.0 && n_ - zeros >= 2;
+    fast[e] = eligible[e] && zeros == 0;
+  }
+
+  // ln(sign·y) is identical for both forms (only the abscissa differs), so
+  // the scalar path's per-form log pass collapses to one.  Series that drop
+  // zeros fit a shorter, per-series abscissa and go through the scalar
+  // routine instead (which also tallies fits.zero_dropped_samples).
+  double* ln_y = arena.allocate<double>(n_ * count);
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (std::size_t e = 0; e < count; ++e) {
+      ln_y[s * count + e] =
+          fast[e] ? std::log(sign[e] * y[s * stride + e]) : 0.0;
+    }
+  }
+
+  const util::simd::Kernels& k = util::simd::kernels();
+  double* mean_ln = arena.allocate<double>(count);
+  double* sxy = arena.allocate<double>(count);
+  double* g = arena.allocate<double>(n_);
+  k.col_mean(ln_y, count, count, n_, mean_ln);
+
+  for (std::size_t fi : form_indices) {
+    const Form form = opts_.forms[fi];
+    const bool power = form == Form::Power;
+    const XDomain& domain = power ? logarithmic_ : linear_;
+    if (!domain.usable) {
+      for (std::size_t e = 0; e < count; ++e)
+        fit_scalar_column(form, ycol, e, fi, candidates);
+      continue;
+    }
+    k.col_sxy(ln_y, count, count, n_, domain.dx.data(), mean_ln, sxy);
+    for (std::size_t e = 0; e < count; ++e) {
+      const double* yc = ycol + e * n_;
+      FittedModel& model = candidates[e * F + fi];
+      if (!fast[e]) {
+        if (eligible[e]) {
+          fit_scalar_column(form, ycol, e, fi, candidates);
+        } else {
+          model = fail_model(form);
+        }
+        continue;
+      }
+      const double b = sxy[e] / domain.sxx;
+      const double intercept = mean_ln[e] - b * domain.mean_x;
+      if (!std::isfinite(b) || !std::isfinite(intercept)) {
+        model = fail_model(form);
+        continue;
+      }
+      // Closed-form scale refinement.  The scalar path evaluates p^b / e^bp
+      // here and then again inside finish()'s SSE; the g values are the
+      // same expressions on the same inputs, so reusing them is free and
+      // bit-exact.
+      double num = 0.0, den = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double gi =
+            power ? std::pow(axis_[i], b) : detail::clamped_exp(b * axis_[i]);
+        g[i] = gi;
+        num += yc[i] * gi;
+        den += gi * gi;
+      }
+      if (den <= 0.0 || !std::isfinite(den)) {
+        model = fail_model(form);
+        continue;
+      }
+      const double a = num / den;
+      double total = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double r = yc[i] - a * g[i];
+        total += r * r;
+      }
+      model = FittedModel{};
+      model.form = form;
+      model.params = {a, b, 0.0};
+      finish_model(model, total, sst[e]);
+    }
+  }
+}
+
+void BatchFitter::fit(const double* y, std::size_t stride, std::size_t count,
+                      FittedModel* candidates, double* scores,
+                      util::Arena& arena) const {
+  if (count == 0) return;
+  PMACX_CHECK(stride >= count, "BatchFitter::fit: stride < count");
+  const std::size_t F = form_count();
+
+  const util::simd::Kernels& k = util::simd::kernels();
+  if (k.level == util::simd::Level::Avx2)
+    util::metrics::Registry::global().counter("fits.simd_batches").add();
+  // fit_all counts one attempt per form per series.
+  for (Form form : opts_.forms) attempts_counter(form).add(count);
+
+  double* mean_y = arena.allocate<double>(count);
+  double* sst = arena.allocate<double>(count);
+  k.col_mean(y, stride, count, n_, mean_y);
+  k.col_sst(y, stride, count, n_, mean_y, sst);
+
+  // Series-major staging copy (see the declaration comment): one pass of
+  // contiguous reads here buys contiguous per-series walks in every scan,
+  // refinement and fallback loop below.  Pure copy — bit-exact by nature.
+  double* ycol = arena.allocate<double>(n_ * count);
+  for (std::size_t s = 0; s < n_; ++s) {
+    const double* row = y + s * stride;
+    for (std::size_t e = 0; e < count; ++e) ycol[e * n_ + s] = row[e];
+  }
+
+  std::vector<std::size_t> log_forms;
+  for (std::size_t fi = 0; fi < F; ++fi) {
+    const Form form = opts_.forms[fi];
+    switch (form) {
+      case Form::Constant:
+        for (std::size_t e = 0; e < count; ++e) {
+          FittedModel& model = candidates[e * F + fi];
+          model = FittedModel{};
+          model.form = Form::Constant;
+          model.params = {mean_y[e], 0.0, 0.0};
+          // evaluate() is the bare mean here, so the original-space SSE is
+          // the SST — the same d·d accumulation finish() would redo.
+          finish_model(model, sst[e], sst[e]);
+        }
+        break;
+      case Form::Linear:
+        fit_linear_family(form, linear_, y, stride, count, ycol, mean_y, sst,
+                          fi, candidates, arena);
+        break;
+      case Form::Logarithmic:
+        fit_linear_family(form, logarithmic_, y, stride, count, ycol, mean_y,
+                          sst, fi, candidates, arena);
+        break;
+      case Form::InverseP:
+        fit_linear_family(form, inverse_, y, stride, count, ycol, mean_y, sst,
+                          fi, candidates, arena);
+        break;
+      case Form::Exponential:
+      case Form::Power:
+        log_forms.push_back(fi);
+        break;
+      default:
+        // Quadratic (dense normal-equations solve) has no batch kernel.
+        for (std::size_t e = 0; e < count; ++e)
+          fit_scalar_column(form, ycol, e, fi, candidates);
+        break;
+    }
+  }
+  if (!log_forms.empty())
+    fit_log_family(y, stride, count, ycol, sst, log_forms, candidates, arena);
+
+  const SelectionCriterion criterion = effective_criterion(opts_, n_);
+  if (criterion == SelectionCriterion::MinSse) {
+    // selection_scores under MinSse: a usable fit scores its (finite by
+    // construction) SSE, everything else +inf.
+    for (std::size_t i = 0; i < count * F; ++i)
+      scores[i] = candidates[i].ok ? candidates[i].sse : kInf;
+  } else {
+    // LooCv refits per holdout and AICc is cold; route both through the
+    // scalar scorer per series.
+    for (std::size_t e = 0; e < count; ++e) {
+      const std::vector<double> element_scores = selection_scores(
+          std::span<const FittedModel>(candidates + e * F, F), axis_,
+          std::span<const double>(ycol + e * n_, n_), opts_);
+      for (std::size_t fi = 0; fi < F; ++fi) scores[e * F + fi] = element_scores[fi];
+    }
+  }
+}
+
+}  // namespace pmacx::stats

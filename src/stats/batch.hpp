@@ -1,0 +1,99 @@
+// Batched structure-of-arrays canonical fitting.
+//
+// The extrapolator fits the same form set over the same core-count axis for
+// millions of independent series.  The per-series path (fit_all +
+// selection_scores) re-derives everything per series: abscissa transforms,
+// OLS moments of x, heap-allocated scratch.  BatchFitter hoists everything
+// that depends only on the axis to construction time and evaluates whole
+// batches of series laid out sample-major (structure of arrays), so the
+// per-form moment/SSE loops run as AVX2 column kernels (util::simd) with
+// one element per lane.
+//
+// Identity contract: for every series e in a batch,
+//     candidates(e) == stats::fit_all(axis, series_e, opts)      and
+//     scores(e)     == stats::selection_scores(candidates, ...)
+// bit for bit — same params, same sse/r2, same ok flags, same metric
+// counter totals.  The batch path achieves its speedup by sharing
+// axis-derived work across series and reusing transcendental values the
+// scalar path computes twice (pow/exp between scale refinement and SSE,
+// log between the exponential and power forms), never by reordering or
+// contracting any per-series arithmetic.  Forms or series the batch path
+// cannot reproduce exactly (quadratic, zero-dropping log-space series,
+// degenerate axes, LooCv/AICc scoring) transparently fall back to the
+// scalar routines per element.
+//
+// Verified by tests/stats_batch_test.cpp (per-series equality over
+// adversarial inputs) and tests/simd_identity_test.cpp (whole-workload
+// scalar-vs-AVX2 byte identity).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/canonical.hpp"
+#include "util/arena.hpp"
+
+namespace pmacx::stats {
+
+class BatchFitter {
+ public:
+  /// `axis` is the shared abscissa (core counts; all positive, like
+  /// fit_form requires).  Precomputes the per-form transforms and OLS
+  /// moments; construction is O(axis × forms) and the instance is
+  /// immutable afterwards, so one fitter can be shared across threads.
+  BatchFitter(std::vector<double> axis, FitOptions opts);
+
+  std::span<const double> axis() const { return axis_; }
+  const FitOptions& options() const { return opts_; }
+  std::size_t form_count() const { return opts_.forms.size(); }
+
+  /// Fits `count` series stored sample-major: sample s of series e lives at
+  /// y[s * stride + e] (stride >= count), s over the full axis.
+  ///
+  /// Writes form f of series e to candidates[e * form_count() + f] and its
+  /// selection score to scores[e * form_count() + f], exactly as
+  /// fit_all/selection_scores order them.  `arena` supplies scratch; the
+  /// caller owns its lifetime/reset (the y buffer may live in the same
+  /// arena — fit only allocates, never resets).
+  void fit(const double* y, std::size_t stride, std::size_t count,
+           FittedModel* candidates, double* scores, util::Arena& arena) const;
+
+ private:
+  struct XDomain {
+    // fit_linear's x-side moments for one shared abscissa transform.
+    std::vector<double> x;   // transformed abscissa
+    std::vector<double> dx;  // x[i] - mean_x
+    double mean_x = 0.0;
+    double sxx = 0.0;
+    bool usable = false;  // n >= 2 and sxx > 0 (else scalar fallback)
+  };
+
+  // `ycol` is the series-major transpose of the caller's sample-major batch
+  // (sample i of series e at ycol[e * n_ + i]), staged once per fit() call:
+  // the per-series loops (sign scans, scale refinement, SSE, scalar
+  // fallbacks) walk one series at a time, and reading it contiguously
+  // instead of at `stride` doubles per step is worth more than the one-pass
+  // transpose costs.
+  void fit_linear_family(Form form, const XDomain& domain, const double* y,
+                         std::size_t stride, std::size_t count,
+                         const double* ycol, const double* mean_y,
+                         const double* sst, std::size_t form_index,
+                         FittedModel* candidates, util::Arena& arena) const;
+  void fit_log_family(const double* y, std::size_t stride, std::size_t count,
+                      const double* ycol, const double* sst,
+                      std::span<const std::size_t> form_indices,
+                      FittedModel* candidates, util::Arena& arena) const;
+  void fit_scalar_column(Form form, const double* ycol, std::size_t e,
+                         std::size_t form_index, FittedModel* candidates) const;
+
+  std::vector<double> axis_;
+  FitOptions opts_;
+  std::size_t n_ = 0;
+  std::vector<double> log_p_;  // std::log(axis[i]) — shared by Logarithmic/Power
+  XDomain linear_;             // x = p       (Linear, Exponential's log-space OLS)
+  XDomain logarithmic_;        // x = ln p    (Logarithmic, Power's log-space OLS)
+  XDomain inverse_;            // x = 1/p     (InverseP)
+};
+
+}  // namespace pmacx::stats

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/detail.hpp"
 #include "stats/ols.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -32,10 +33,8 @@ util::metrics::Counter& attempts_counter(Form form) {
   return *counters[static_cast<std::size_t>(form)];
 }
 
-double clamped_exp(double exponent) {
-  // exp(±709) is the double range edge; clamp a bit inside it.
-  return std::exp(std::clamp(exponent, -690.0, 690.0));
-}
+// One definition shared with the batched SoA fitter (bit-identity).
+using detail::clamped_exp;
 
 double r_squared(std::span<const double> y, double sse) {
   double mean = 0.0;

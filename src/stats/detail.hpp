@@ -1,0 +1,17 @@
+// Shared numeric helpers of the canonical fitter.  The batched SoA fitter
+// (batch.cpp) must produce bit-identical results to the per-series path
+// (canonical.cpp); sharing one inline definition — rather than two copies
+// that could drift — is part of how that identity is enforced.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmacx::stats::detail {
+
+/// exp with the exponent clamped inside the double range edge (±709).
+inline double clamped_exp(double exponent) {
+  return std::exp(std::clamp(exponent, -690.0, 690.0));
+}
+
+}  // namespace pmacx::stats::detail

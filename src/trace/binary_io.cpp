@@ -4,9 +4,12 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/mmap_file.hpp"
 #include "util/parse_error.hpp"
 
 namespace pmacx::trace {
@@ -63,7 +66,7 @@ class Reader {
          const char* section)
       : data_(data), size_(size), base_(base_offset), section_(section) {}
 
-  explicit Reader(const std::string& bytes)
+  explicit Reader(std::string_view bytes)
       : Reader(bytes.data(), bytes.size(), 0, "file") {}
 
   void set_section(const char* section) { section_ = section; }
@@ -291,12 +294,12 @@ TaskTrace parse_v002(Reader& r, SalvageReport* salvage) {
   return task;
 }
 
-bool has_magic(const std::string& bytes, const char (&magic)[8]) {
+bool has_magic(std::string_view bytes, const char (&magic)[8]) {
   return bytes.size() >= sizeof magic &&
          std::memcmp(bytes.data(), magic, sizeof magic) == 0;
 }
 
-TaskTrace parse_binary(const std::string& bytes, SalvageReport* salvage) {
+TaskTrace parse_binary(std::string_view bytes, SalvageReport* salvage) {
   if (!looks_binary(bytes))
     throw util::ParseError("", 0, "magic", "not a pmacx binary trace");
   Reader r(bytes);
@@ -316,9 +319,42 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// The whole content of one trace file: a view into either a memory map or
+/// a fallback read buffer, whichever slurp() ended up with.
+struct FileBytes {
+  util::MappedFile map;
+  std::string buffer;
+  std::string_view view;
+};
+
+// Registered up front so every metrics snapshot carries the mmap counters —
+// a run that loads no traces still reports them as zero.
+const bool kMmapCountersRegistered = [] {
+  util::metrics::Registry::global().counter("trace.mmap_bytes");
+  util::metrics::Registry::global().counter("trace.mmap_fallbacks");
+  return true;
+}();
+
+/// Maps `path` read-only when possible (zero-copy: the parser walks kernel
+/// pages directly) and falls back to a buffered read otherwise.  Both
+/// outcomes are counted; a missing file surfaces as the fallback's error.
+FileBytes slurp(const std::string& path) {
+  FileBytes bytes;
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  if (bytes.map.open(path)) {
+    metrics.counter("trace.mmap_bytes").add(bytes.map.size());
+    bytes.view = bytes.map.view();
+  } else {
+    metrics.counter("trace.mmap_fallbacks").add(1);
+    bytes.buffer = read_file(path);
+    bytes.view = bytes.buffer;
+  }
+  return bytes;
+}
+
 }  // namespace
 
-bool looks_binary(const std::string& bytes) {
+bool looks_binary(std::string_view bytes) {
   return has_magic(bytes, kBinaryMagicV001) || has_magic(bytes, kBinaryMagicV002);
 }
 
@@ -345,11 +381,11 @@ std::string to_binary_v001(const TaskTrace& task) {
   return w.take();
 }
 
-TaskTrace from_binary(const std::string& bytes) {
+TaskTrace from_binary(std::string_view bytes) {
   return parse_binary(bytes, nullptr);
 }
 
-TaskTrace salvage_binary(const std::string& bytes, SalvageReport& report) {
+TaskTrace salvage_binary(std::string_view bytes, SalvageReport& report) {
   report = SalvageReport{};
   return parse_binary(bytes, &report);
 }
@@ -363,16 +399,30 @@ void save_binary(const TaskTrace& task, const std::string& path) {
 }
 
 TaskTrace load_binary(const std::string& path) {
-  const std::string bytes = read_file(path);
-  return util::with_parse_context(path, [&] { return from_binary(bytes); });
+  const FileBytes bytes = slurp(path);
+  return util::with_parse_context(path, [&] { return from_binary(bytes.view); });
 }
 
 TaskTrace load_salvage(const std::string& path, SalvageReport& report) {
   report = SalvageReport{};
-  const std::string bytes = read_file(path);
+  const FileBytes bytes = slurp(path);
   return util::with_parse_context(path, [&] {
-    if (looks_binary(bytes)) return salvage_binary(bytes, report);
-    return TaskTrace::from_text(bytes);
+    if (looks_binary(bytes.view)) return salvage_binary(bytes.view, report);
+    // Text traces go through the line parser, which wants owned storage.
+    return TaskTrace::from_text(std::string(bytes.view));
+  });
+}
+
+// Defined here rather than in task_trace.cpp so the strict auto-detecting
+// loader shares slurp()'s mmap path and counters with load_binary above.
+TaskTrace TaskTrace::load(const std::string& path) {
+  const FileBytes bytes = slurp(path);
+  // Auto-detect: binary traces start with the binary magic, text ones with
+  // the "pmacx-trace" header.  Parse errors gain the path here — the
+  // in-memory parsers cannot know it.
+  return util::with_parse_context(path, [&] {
+    if (looks_binary(bytes.view)) return from_binary(bytes.view);
+    return from_text(std::string(bytes.view));
   });
 }
 

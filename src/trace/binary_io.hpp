@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "trace/task_trace.hpp"
 
@@ -64,18 +65,22 @@ std::string to_binary(const TaskTrace& task);
 std::string to_binary_v001(const TaskTrace& task);
 
 /// Parses either binary version strictly; throws util::ParseError on any
-/// malformed, truncated, or checksum-failing input.
-TaskTrace from_binary(const std::string& bytes);
+/// malformed, truncated, or checksum-failing input.  The view is borrowed
+/// only for the duration of the call (parsing copies what it keeps), which
+/// lets the file loaders parse straight out of a memory-mapped file.
+TaskTrace from_binary(std::string_view bytes);
 
 /// Lenient parse: recovers every intact block before the first corruption
 /// and reports what was lost.  Throws only when not even the header is
 /// readable (nothing to salvage).
-TaskTrace salvage_binary(const std::string& bytes, SalvageReport& report);
+TaskTrace salvage_binary(std::string_view bytes, SalvageReport& report);
 
 /// True when `bytes` starts with either binary magic.
-bool looks_binary(const std::string& bytes);
+bool looks_binary(std::string_view bytes);
 
-/// File helpers.  Errors carry the path.
+/// File helpers.  Errors carry the path.  The loaders memory-map the file
+/// when possible (zero-copy; counted in trace.mmap_bytes) and fall back to
+/// buffered reads otherwise (counted in trace.mmap_fallbacks).
 void save_binary(const TaskTrace& task, const std::string& path);
 TaskTrace load_binary(const std::string& path);
 

@@ -5,7 +5,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "trace/binary_io.hpp"
 #include "util/error.hpp"
 #include "util/parse_error.hpp"
 #include "util/strings.hpp"
@@ -265,19 +264,7 @@ void TaskTrace::save(const std::string& path) const {
   PMACX_CHECK(out.good(), "write to '" + path + "' failed");
 }
 
-TaskTrace TaskTrace::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PMACX_CHECK(in.good(), "cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
-  // Auto-detect: binary traces start with the binary magic, text ones with
-  // the "pmacx-trace" header.  Parse errors gain the path here — the
-  // in-memory parsers cannot know it.
-  return util::with_parse_context(path, [&] {
-    if (looks_binary(bytes)) return from_binary(bytes);
-    return from_text(bytes);
-  });
-}
+// TaskTrace::load is defined in binary_io.cpp: it shares the mmap-or-read
+// file helper (and its trace.mmap_* counters) with load_binary/load_salvage.
 
 }  // namespace pmacx::trace

@@ -1,0 +1,63 @@
+#include "util/mmap_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PMACX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pmacx::util {
+
+#ifdef PMACX_HAVE_MMAP
+
+bool MappedFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    // Nothing to map; an empty view is still a successful zero-copy "load".
+    ::close(fd);
+    mapped_empty_ = true;
+    return true;
+  }
+  void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapped == MAP_FAILED) return false;
+  data_ = mapped;
+  size_ = static_cast<std::size_t>(st.st_size);
+  return true;
+}
+
+void MappedFile::close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_empty_ = false;
+}
+
+bool MappedFile::supported() { return true; }
+
+#else  // no mmap on this platform: open() always reports failure so the
+       // trace loaders take the buffered-read fallback.
+
+bool MappedFile::open(const std::string&) { return false; }
+void MappedFile::close() {
+  data_ = nullptr;
+  size_ = 0;
+  mapped_empty_ = false;
+}
+bool MappedFile::supported() { return false; }
+
+#endif
+
+}  // namespace pmacx::util

@@ -1,0 +1,68 @@
+// Read-only memory-mapped file view with graceful fallback.
+//
+// Binary v002 traces are parsed from a flat byte range; mapping the file
+// makes loading zero-copy (the kernel pages data in as the bounded Reader
+// walks it) instead of a read()+copy of the whole trace.  SIGBUS safety:
+// the map covers exactly st_size bytes at open time and every access goes
+// through the bounds-checked parser, so a file truncated *before* open
+// yields a short view and a clean ParseError, never a fault.  (A file
+// truncated by another process while mapped is outside the contract, same
+// as for buffered reads.)
+//
+// When mmap is unavailable (platform without it, empty files, devices,
+// map failure) callers fall back to buffered reads; trace loaders count
+// both outcomes (trace.mmap_bytes / trace.mmap_fallbacks).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pmacx::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        mapped_empty_(std::exchange(other.mapped_empty_, false)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      close();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      mapped_empty_ = std::exchange(other.mapped_empty_, false);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only.  Returns false (leaving the object empty) on
+  /// any failure — missing file, unmappable object, mmap error — so the
+  /// caller can fall back to buffered reads.  Zero-byte files report
+  /// success with an empty view (nothing to map, nothing to read).
+  bool open(const std::string& path);
+
+  void close();
+
+  bool is_open() const { return data_ != nullptr || mapped_empty_; }
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+  /// True when this platform has an mmap implementation compiled in.
+  static bool supported();
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_empty_ = false;
+};
+
+}  // namespace pmacx::util

@@ -1,0 +1,293 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pmacx::util::simd {
+
+// Defined in simd_avx2.cpp: the AVX2 kernel table, or nullptr when the
+// build gated it out (PMACX_DISABLE_AVX2 / non-x86).  Kept out of the
+// public header so no other translation unit can bypass the CPUID check.
+const Kernels* avx2_kernels_impl();
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.  These are the semantic definition of every
+// kernel: the AVX2 twins in simd_avx2.cpp must match them bit for bit.
+// Plain loops, no arch flags — the baseline x86-64 target has no FMA, so
+// the compiler cannot contract the mul+add sequences below.
+// ---------------------------------------------------------------------------
+
+void scalar_col_mean(const double* y, std::size_t stride, std::size_t count,
+                     std::size_t n, double* out) {
+  const double inv_count = static_cast<double>(n);
+  for (std::size_t e = 0; e < count; ++e) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) sum += y[s * stride + e];
+    out[e] = sum / inv_count;
+  }
+}
+
+void scalar_col_sst(const double* y, std::size_t stride, std::size_t count,
+                    std::size_t n, const double* mean, double* out) {
+  for (std::size_t e = 0; e < count; ++e) {
+    double total = 0.0;
+    const double m = mean[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double d = y[s * stride + e] - m;
+      total += d * d;
+    }
+    out[e] = total;
+  }
+}
+
+void scalar_col_sxy(const double* y, std::size_t stride, std::size_t count,
+                    std::size_t n, const double* dx, const double* mean_y,
+                    double* out) {
+  for (std::size_t e = 0; e < count; ++e) {
+    double total = 0.0;
+    const double m = mean_y[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      total += dx[s] * (y[s * stride + e] - m);
+    }
+    out[e] = total;
+  }
+}
+
+void scalar_col_sse_affine(const double* y, std::size_t stride,
+                           std::size_t count, std::size_t n, const double* t,
+                           const double* a, const double* b, double* out) {
+  for (std::size_t e = 0; e < count; ++e) {
+    double total = 0.0;
+    const double ae = a[e];
+    const double be = b[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double r = y[s * stride + e] - (ae + be * t[s]);
+      total += r * r;
+    }
+    out[e] = total;
+  }
+}
+
+void scalar_col_sse_affine_div(const double* y, std::size_t stride,
+                               std::size_t count, std::size_t n,
+                               const double* p, const double* a,
+                               const double* b, double* out) {
+  for (std::size_t e = 0; e < count; ++e) {
+    double total = 0.0;
+    const double ae = a[e];
+    const double be = b[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double r = y[s * stride + e] - (ae + be / p[s]);
+      total += r * r;
+    }
+    out[e] = total;
+  }
+}
+
+int scalar_find_tag(const std::uint64_t* tags, const std::uint8_t* valid,
+                    std::size_t ways, std::uint64_t needle) {
+  for (std::size_t w = 0; w < ways; ++w) {
+    if (valid[w] && tags[w] == needle) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+/// One demand probe: hit way (with *hit = 1), else the replacement victim
+/// (first invalid way, else the way holding rank ways-1 — see the Kernels
+/// doc).  Inlined into the batch loops below.
+inline int scalar_probe_set(const std::uint64_t* tags, const std::uint8_t* valid,
+                            const std::uint16_t* ranks, std::size_t ways,
+                            std::uint64_t needle, int* hit) {
+  std::size_t invalid = ways;
+  for (std::size_t w = 0; w < ways; ++w) {
+    if (valid[w] != 0) {
+      if (tags[w] == needle) {
+        *hit = 1;
+        return static_cast<int>(w);
+      }
+    } else if (invalid == ways) {
+      invalid = w;
+    }
+  }
+  *hit = 0;
+  if (invalid != ways) return static_cast<int>(invalid);
+  const std::uint16_t last = static_cast<std::uint16_t>(ways - 1);
+  std::size_t victim = ways - 1;
+  for (std::size_t w = 0; w < ways; ++w) {
+    if (ranks[w] == last) {
+      victim = w;
+      break;
+    }
+  }
+  return static_cast<int>(victim);
+}
+
+/// Moves way w (set-relative) to rank 0: every way whose rank was below
+/// w's old rank slides up by one.  Keeps the set's ranks a permutation.
+inline void scalar_promote(std::uint16_t* ranks, std::uint32_t ways,
+                           std::size_t w) {
+  const std::uint16_t r = ranks[w];
+  for (std::uint32_t i = 0; i < ways; ++i) {
+    ranks[i] = static_cast<std::uint16_t>(ranks[i] + (ranks[i] < r ? 1 : 0));
+  }
+  ranks[w] = 0;
+}
+
+ProbeReplay scalar_probe_stream(const SetView& view,
+                                const std::uint64_t* lines,
+                                const std::uint8_t* stores,
+                                const std::uint32_t* indices, std::size_t count,
+                                std::uint32_t* misses) {
+  ProbeReplay r;
+  const std::uint32_t ways = view.ways;
+  // Probes visit sets in effectively random order, so large levels pay a
+  // host-cache miss per metadata row; prefetching a few probes ahead
+  // overlaps those misses with the current probe's work.
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (k + kAhead < count) {
+      const std::uint32_t pf = indices != nullptr
+                                   ? indices[k + kAhead]
+                                   : static_cast<std::uint32_t>(k + kAhead);
+      const std::size_t pb =
+          static_cast<std::size_t>(lines[pf] & view.set_mask) * ways;
+      __builtin_prefetch(view.tags + pb, 1);
+      __builtin_prefetch(view.ranks + pb, 1);
+    }
+    const std::uint32_t p =
+        indices != nullptr ? indices[k] : static_cast<std::uint32_t>(k);
+    const std::uint64_t line = lines[p];
+    const std::size_t base =
+        static_cast<std::size_t>(line & view.set_mask) * ways;
+    int hit = 0;
+    const std::size_t wr = static_cast<std::size_t>(scalar_probe_set(
+        view.tags + base, view.valid + base, view.ranks + base, ways, line,
+        &hit));
+    const std::size_t w = base + wr;
+    if (hit != 0) {
+      if (view.lru != 0) scalar_promote(view.ranks + base, ways, wr);
+      if (stores[p] != 0) view.dirty[w] = 1;
+      ++r.hits;
+    } else {
+      r.writebacks += view.valid[w] != 0 && view.dirty[w] != 0;
+      view.tags[w] = line;
+      view.valid[w] = 1;
+      scalar_promote(view.ranks + base, ways, wr);
+      view.dirty[w] = stores[p];
+      misses[r.miss_count++] = p;
+    }
+  }
+  return r;
+}
+
+ProbeReplay scalar_probe_grouped(const SetView& view,
+                                 const std::uint64_t* lines,
+                                 const std::uint8_t* stores,
+                                 std::uint8_t* resolved,
+                                 const std::uint32_t* grouped,
+                                 const std::uint32_t* set_start) {
+  ProbeReplay r;
+  const std::uint32_t ways = view.ways;
+  const std::uint64_t nsets = view.set_mask + 1;
+  for (std::uint64_t set = 0; set < nsets; ++set) {
+    std::uint32_t k = set_start[set];
+    const std::uint32_t end = set_start[set + 1];
+    if (k == end) continue;
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    for (; k < end; ++k) {
+      const std::uint32_t p = grouped[k];
+      const std::uint64_t line = lines[p];
+      int hit = 0;
+      const std::size_t wr = static_cast<std::size_t>(scalar_probe_set(
+          view.tags + base, view.valid + base, view.ranks + base, ways, line,
+          &hit));
+      const std::size_t w = base + wr;
+      if (hit != 0) {
+        if (view.lru != 0) scalar_promote(view.ranks + base, ways, wr);
+        if (stores[p] != 0) view.dirty[w] = 1;
+        resolved[p] = 1;
+        ++r.hits;
+      } else {
+        r.writebacks += view.valid[w] != 0 && view.dirty[w] != 0;
+        view.tags[w] = line;
+        view.valid[w] = 1;
+        scalar_promote(view.ranks + base, ways, wr);
+        view.dirty[w] = stores[p];
+      }
+    }
+  }
+  return r;
+}
+
+const Kernels kScalarKernels = {
+    Level::Scalar,         scalar_col_mean,       scalar_col_sst,
+    scalar_col_sxy,        scalar_col_sse_affine, scalar_col_sse_affine_div,
+    scalar_find_tag,       scalar_probe_stream,   scalar_probe_grouped,
+};
+
+bool cpu_has_avx2() {
+#if defined(PMACX_DISABLE_AVX2) || !defined(__x86_64__)
+  return false;
+#else
+  return __builtin_cpu_supports("avx2");
+#endif
+}
+
+// -1 = no override; otherwise a Level value pinned by force_level().
+std::atomic<int> g_forced{-1};
+
+Level env_level(Level best) {
+  const char* env = std::getenv("PMACX_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  if (std::strcmp(env, "scalar") == 0) return Level::Scalar;
+  // Any other value (including "avx2") asks for the best available level;
+  // requests the build/CPU cannot honor clamp down rather than erroring so
+  // a pinned environment works across heterogeneous fleets.
+  return best;
+}
+
+Level resolve_level() {
+  const Level best = avx2_available() ? Level::Avx2 : Level::Scalar;
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) {
+    const Level want = static_cast<Level>(forced);
+    return (want == Level::Avx2 && best != Level::Avx2) ? Level::Scalar : want;
+  }
+  return env_level(best);
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  return level == Level::Avx2 ? "avx2" : "scalar";
+}
+
+bool avx2_available() {
+  static const bool available = cpu_has_avx2() && avx2_kernels_impl() != nullptr;
+  return available;
+}
+
+Level active_level() { return resolve_level(); }
+
+Level force_level(Level level) {
+  if (level == Level::Avx2 && !avx2_available()) level = Level::Scalar;
+  g_forced.store(static_cast<int>(level), std::memory_order_release);
+  return level;
+}
+
+void clear_forced_level() { g_forced.store(-1, std::memory_order_release); }
+
+const Kernels& kernels() {
+  return active_level() == Level::Avx2 ? *avx2_kernels() : kScalarKernels;
+}
+
+const Kernels& scalar_kernels() { return kScalarKernels; }
+
+const Kernels* avx2_kernels() {
+  return avx2_available() ? avx2_kernels_impl() : nullptr;
+}
+
+}  // namespace pmacx::util::simd

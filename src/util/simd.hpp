@@ -1,0 +1,172 @@
+// Runtime-dispatched SIMD kernel layer.
+//
+// The fitting and cache-simulation hot paths are data-parallel across
+// *elements* (many independent series, many cache ways), so their inner
+// loops are expressed once as kernels over flat structure-of-arrays buffers
+// and dispatched here: an AVX2 implementation (compiled into one dedicated
+// translation unit with -mavx2) when the build enables it AND the CPU
+// reports the feature, and a portable scalar implementation otherwise.
+//
+// Byte-identity contract: for identical inputs, every kernel produces
+// bit-identical outputs at every level — the AVX2 variants vectorize
+// *across* lanes (one element per lane) while keeping each lane's operation
+// sequence exactly equal to the scalar code, and no kernel uses FMA
+// contraction or reassociation.  This is what lets the SoA fast paths be
+// golden-tested against the legacy per-element code and lets the
+// release-noavx2 CI leg assert scalar-vs-SIMD equality on whole workloads.
+//
+// Level resolution, in priority order:
+//   1. compile gate: PMACX_DISABLE_AVX2 builds contain no AVX2 code at all;
+//   2. runtime CPUID: AVX2 kernels are only eligible on CPUs that have them;
+//   3. PMACX_SIMD=scalar|avx2 environment override (avx2 is clamped to
+//      what 1+2 allow);
+//   4. force_level(), a test hook for in-process A/B identity comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmacx::util::simd {
+
+/// Kernel implementation tiers, in increasing capability order.
+enum class Level {
+  Scalar,  ///< portable C++; always available
+  Avx2,    ///< 4-wide double / 4-wide u64 kernels
+};
+
+/// "scalar" / "avx2".
+const char* level_name(Level level);
+
+/// True when this binary contains AVX2 kernels (false under
+/// PMACX_DISABLE_AVX2) *and* the CPU supports them.
+bool avx2_available();
+
+/// The level kernels() dispatches to: the best available level, downgraded
+/// by PMACX_SIMD or force_level.
+Level active_level();
+
+/// Test hook: pins the active level (Avx2 requests clamp to what the build
+/// and CPU allow; returns the level actually in effect).  Thread-safe but
+/// global — intended for identity tests, not concurrent toggling.
+Level force_level(Level level);
+
+/// Clears a force_level override, returning to environment/CPU resolution.
+void clear_forced_level();
+
+/// Result of one batched cache-probe replay call.
+struct ProbeReplay {
+  std::uint64_t hits = 0;
+  std::uint64_t writebacks = 0;  ///< dirty valid victims displaced
+  std::size_t miss_count = 0;    ///< indices written to `misses` (stream only)
+};
+
+/// Mutable structure-of-arrays view of one cache level's way metadata
+/// (set-major flat arrays: way w of set s lives at index s * ways + w).
+/// `set_mask` is sets - 1 (set counts are powers of two); `lru` selects
+/// recency promotion on hits (LRU) versus fill-order-only (FIFO).
+///
+/// Replacement state is a move-to-front rank list, not timestamps: within
+/// each set, `ranks` holds a permutation of 0..ways-1 where rank 0 is the
+/// most recently used (LRU) or most recently filled (FIFO) way and rank
+/// ways-1 is the eviction candidate.  Promoting way w to rank 0 increments
+/// every way whose rank was below w's.  This makes the same eviction
+/// decisions as last-use timestamps for every access sequence, but stores
+/// 2 bytes per way instead of 8 (set-row metadata traffic is the simulator
+/// bottleneck on big levels) and replaces the victim argmin reduce with an
+/// equality scan for rank ways-1.
+struct SetView {
+  std::uint64_t* tags;
+  std::uint8_t* valid;
+  std::uint16_t* ranks;
+  std::uint8_t* dirty;
+  std::uint64_t set_mask;
+  std::uint32_t ways;
+  int lru;
+};
+
+/// Batched fitting + cache-probe primitives over structure-of-arrays data.
+///
+/// The fitting kernels view a batch of `count` series, all of length `n`,
+/// stored sample-major: sample s of series e lives at y[s * stride + e].
+/// Accumulation order within each series is strictly ascending in s,
+/// matching the per-series scalar fitter loops bit for bit.
+///
+/// The cache-probe kernels process whole probe batches per call (not one
+/// probe per call) so the dispatch indirection, vector-constant setup and
+/// register scheduling are amortized across thousands of probes.  Each
+/// probe is the demand half of a set-associative lookup: a way w with
+/// valid[w] != 0 and tags[w] == needle is a hit (promoted to rank 0 under
+/// LRU, dirty set on stores); otherwise the probe installs over the
+/// replacement victim — the first invalid way, else the way with rank
+/// ways-1 — and the installed way is promoted to rank 0.  Deterministic
+/// replacement (LRU/FIFO) only; ranks are a per-set permutation (see
+/// SetView), so ways is capped at 32768 to keep signed 16-bit compares
+/// exact.
+struct Kernels {
+  Level level = Level::Scalar;
+
+  /// out[e] = (sum_s y[s][e]) / n
+  void (*col_mean)(const double* y, std::size_t stride, std::size_t count,
+                   std::size_t n, double* out);
+
+  /// out[e] = sum_s (y[s][e] - mean[e])^2   (also the constant-form SSE)
+  void (*col_sst)(const double* y, std::size_t stride, std::size_t count,
+                  std::size_t n, const double* mean, double* out);
+
+  /// out[e] = sum_s dx[s] * (y[s][e] - mean_y[e])
+  void (*col_sxy)(const double* y, std::size_t stride, std::size_t count,
+                  std::size_t n, const double* dx, const double* mean_y, double* out);
+
+  /// out[e] = sum_s (y[s][e] - (a[e] + b[e] * t[s]))^2
+  /// The affine prediction a + b·t matches FittedModel::evaluate for the
+  /// linear and logarithmic forms (t = p and t = ln p respectively).
+  void (*col_sse_affine)(const double* y, std::size_t stride, std::size_t count,
+                         std::size_t n, const double* t, const double* a,
+                         const double* b, double* out);
+
+  /// out[e] = sum_s (y[s][e] - (a[e] + b[e] / p[s]))^2
+  /// Division (not multiplication by a reciprocal) to match the inverse-p
+  /// form's evaluate() rounding exactly.
+  void (*col_sse_affine_div)(const double* y, std::size_t stride, std::size_t count,
+                             std::size_t n, const double* p, const double* a,
+                             const double* b, double* out);
+
+  /// First way w in [0, ways) with valid[w] != 0 and tags[w] == needle, or
+  /// -1.  (At most one valid way can match in a well-formed cache set, but
+  /// stale tags of invalid ways may collide — hence the valid mask.)
+  int (*find_tag)(const std::uint64_t* tags, const std::uint8_t* valid,
+                  std::size_t ways, std::uint64_t needle);
+
+  /// Stream-order batch replay: visits probe p = indices[k] (or p = k when
+  /// `indices` is null) for k in [0, count), probing lines[p] with store
+  /// flag stores[p] against `view`.  Miss indices are appended to `misses`
+  /// (caller provides room for `count` entries) in visit order — exactly
+  /// the next cache level's ordered input.
+  ProbeReplay (*probe_stream)(const SetView& view, const std::uint64_t* lines,
+                              const std::uint8_t* stores,
+                              const std::uint32_t* indices, std::size_t count,
+                              std::uint32_t* misses);
+
+  /// Set-grouped batch replay: `grouped` holds probe indices bucketed by
+  /// set index with `set_start` the set_mask+2 prefix offsets; buckets are
+  /// replayed in ascending set order (within a bucket, visit order is the
+  /// bucket order, which the caller keeps equal to stream order).  Hits
+  /// set resolved[p] = 1 so the caller can rebuild the ordered survivor
+  /// list; misses install in place.
+  ProbeReplay (*probe_grouped)(const SetView& view, const std::uint64_t* lines,
+                               const std::uint8_t* stores,
+                               std::uint8_t* resolved,
+                               const std::uint32_t* grouped,
+                               const std::uint32_t* set_start);
+};
+
+/// The kernel table for active_level().  Cheap enough to call per batch;
+/// hot per-access paths may cache the individual function pointers.
+const Kernels& kernels();
+
+/// Specific tables, for identity tests that compare levels directly.
+const Kernels& scalar_kernels();
+/// Null when AVX2 kernels are not compiled in or not supported by the CPU.
+const Kernels* avx2_kernels();
+
+}  // namespace pmacx::util::simd

@@ -1,0 +1,556 @@
+// AVX2 kernel implementations.  This is the only translation unit compiled
+// with -mavx2 (and only when PMACX_DISABLE_AVX2 is off); nothing here runs
+// unless the runtime CPUID check in simd.cpp passed.
+//
+// Identity discipline: each lane carries one element, and each lane's
+// arithmetic is the exact operation sequence of the scalar kernel — same
+// additions in the same order, mul and add kept as separate instructions
+// (no FMA: -mavx2 does not enable it, and fusing would change rounding).
+// Tail elements (count % 4) run the scalar loop verbatim.
+
+#include "util/simd.hpp"
+
+#if !defined(PMACX_DISABLE_AVX2) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace pmacx::util::simd {
+namespace {
+
+constexpr std::size_t kLanes = 4;  // doubles / u64s per ymm register
+
+void avx2_col_mean(const double* y, std::size_t stride, std::size_t count,
+                   std::size_t n, double* out) {
+  const __m256d inv = _mm256_set1_pd(static_cast<double>(n));
+  std::size_t e = 0;
+  for (; e + kLanes <= count; e += kLanes) {
+    __m256d sum = _mm256_setzero_pd();
+    for (std::size_t s = 0; s < n; ++s) {
+      sum = _mm256_add_pd(sum, _mm256_loadu_pd(y + s * stride + e));
+    }
+    _mm256_storeu_pd(out + e, _mm256_div_pd(sum, inv));
+  }
+  for (; e < count; ++e) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) sum += y[s * stride + e];
+    out[e] = sum / static_cast<double>(n);
+  }
+}
+
+void avx2_col_sst(const double* y, std::size_t stride, std::size_t count,
+                  std::size_t n, const double* mean, double* out) {
+  std::size_t e = 0;
+  for (; e + kLanes <= count; e += kLanes) {
+    __m256d total = _mm256_setzero_pd();
+    const __m256d m = _mm256_loadu_pd(mean + e);
+    for (std::size_t s = 0; s < n; ++s) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(y + s * stride + e), m);
+      total = _mm256_add_pd(total, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + e, total);
+  }
+  for (; e < count; ++e) {
+    double total = 0.0;
+    const double m = mean[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double d = y[s * stride + e] - m;
+      total += d * d;
+    }
+    out[e] = total;
+  }
+}
+
+void avx2_col_sxy(const double* y, std::size_t stride, std::size_t count,
+                  std::size_t n, const double* dx, const double* mean_y,
+                  double* out) {
+  std::size_t e = 0;
+  for (; e + kLanes <= count; e += kLanes) {
+    __m256d total = _mm256_setzero_pd();
+    const __m256d m = _mm256_loadu_pd(mean_y + e);
+    for (std::size_t s = 0; s < n; ++s) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(y + s * stride + e), m);
+      total = _mm256_add_pd(total, _mm256_mul_pd(_mm256_set1_pd(dx[s]), d));
+    }
+    _mm256_storeu_pd(out + e, total);
+  }
+  for (; e < count; ++e) {
+    double total = 0.0;
+    const double m = mean_y[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      total += dx[s] * (y[s * stride + e] - m);
+    }
+    out[e] = total;
+  }
+}
+
+void avx2_col_sse_affine(const double* y, std::size_t stride,
+                         std::size_t count, std::size_t n, const double* t,
+                         const double* a, const double* b, double* out) {
+  std::size_t e = 0;
+  for (; e + kLanes <= count; e += kLanes) {
+    __m256d total = _mm256_setzero_pd();
+    const __m256d ae = _mm256_loadu_pd(a + e);
+    const __m256d be = _mm256_loadu_pd(b + e);
+    for (std::size_t s = 0; s < n; ++s) {
+      const __m256d pred =
+          _mm256_add_pd(ae, _mm256_mul_pd(be, _mm256_set1_pd(t[s])));
+      const __m256d r =
+          _mm256_sub_pd(_mm256_loadu_pd(y + s * stride + e), pred);
+      total = _mm256_add_pd(total, _mm256_mul_pd(r, r));
+    }
+    _mm256_storeu_pd(out + e, total);
+  }
+  for (; e < count; ++e) {
+    double total = 0.0;
+    const double av = a[e];
+    const double bv = b[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double r = y[s * stride + e] - (av + bv * t[s]);
+      total += r * r;
+    }
+    out[e] = total;
+  }
+}
+
+void avx2_col_sse_affine_div(const double* y, std::size_t stride,
+                             std::size_t count, std::size_t n,
+                             const double* p, const double* a, const double* b,
+                             double* out) {
+  std::size_t e = 0;
+  for (; e + kLanes <= count; e += kLanes) {
+    __m256d total = _mm256_setzero_pd();
+    const __m256d ae = _mm256_loadu_pd(a + e);
+    const __m256d be = _mm256_loadu_pd(b + e);
+    for (std::size_t s = 0; s < n; ++s) {
+      const __m256d pred =
+          _mm256_add_pd(ae, _mm256_div_pd(be, _mm256_set1_pd(p[s])));
+      const __m256d r =
+          _mm256_sub_pd(_mm256_loadu_pd(y + s * stride + e), pred);
+      total = _mm256_add_pd(total, _mm256_mul_pd(r, r));
+    }
+    _mm256_storeu_pd(out + e, total);
+  }
+  for (; e < count; ++e) {
+    double total = 0.0;
+    const double av = a[e];
+    const double bv = b[e];
+    for (std::size_t s = 0; s < n; ++s) {
+      const double r = y[s * stride + e] - (av + bv / p[s]);
+      total += r * r;
+    }
+    out[e] = total;
+  }
+}
+
+int avx2_find_tag(const std::uint64_t* tags, const std::uint8_t* valid,
+                  std::size_t ways, std::uint64_t needle) {
+  const __m256i want = _mm256_set1_epi64x(static_cast<long long>(needle));
+  std::size_t w = 0;
+  for (; w + kLanes <= ways; w += kLanes) {
+    const __m256i lanes = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(tags + w));
+    int mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, want)));
+    // Ascending bit order = ascending way order, so the first *valid* hit
+    // matches the scalar scan even when an invalid way's stale tag collides.
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      const std::size_t cand = w + static_cast<std::size_t>(bit);
+      if (valid[cand]) return static_cast<int>(cand);
+      mask &= mask - 1;
+    }
+  }
+  for (; w < ways; ++w) {
+    if (valid[w] && tags[w] == needle) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+/// One demand probe: hit way (with *hit = 1), else the replacement victim
+/// (first invalid way, else the way holding rank ways-1).  Inlined into
+/// the batch loops below, which hoists the loop-invariant vector constants
+/// out of the per-probe work.  With move-to-front ranks the victim search
+/// is a single equality scan — rank ways-1 names the eviction candidate
+/// directly — instead of the mispredict-prone argmin a timestamp encoding
+/// needs over what is essentially random data.
+inline int avx2_probe_set(const std::uint64_t* tags, const std::uint8_t* valid,
+                          const std::uint16_t* ranks, std::size_t ways,
+                          std::uint64_t needle, int* hit) {
+  const __m256i want = _mm256_set1_epi64x(static_cast<long long>(needle));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t first_invalid = ways;
+  std::size_t w = 0;
+  for (; w + kLanes <= ways; w += kLanes) {
+    const __m256i lanes = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(tags + w));
+    // Valid bytes widened to per-lane masks, so a stale tag of an invalid
+    // way can never report a hit and the match scan needs no byte loop.
+    std::int32_t valid4;
+    std::memcpy(&valid4, valid + w, sizeof valid4);
+    const __m256i vmask = _mm256_cmpgt_epi64(
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(valid4)), zero);
+    const int vbits = _mm256_movemask_pd(_mm256_castsi256_pd(vmask));
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_and_si256(_mm256_cmpeq_epi64(lanes, want), vmask)));
+    if (mask != 0) {
+      // Lowest set bit = lowest way; at most one valid way can match.
+      *hit = 1;
+      return static_cast<int>(
+          w + static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(mask))));
+    }
+    // Steady-state sets are fully valid, so this branch predicts cleanly.
+    if (first_invalid == ways && vbits != 0xF) {
+      first_invalid =
+          w + static_cast<std::size_t>(
+                  __builtin_ctz(static_cast<unsigned>(~vbits & 0xF)));
+    }
+  }
+  for (; w < ways; ++w) {
+    if (valid[w] != 0) {
+      if (tags[w] == needle) {
+        *hit = 1;
+        return static_cast<int>(w);
+      }
+    } else if (first_invalid == ways) {
+      first_invalid = w;
+    }
+  }
+  *hit = 0;
+  if (first_invalid != ways) return static_cast<int>(first_invalid);
+  const std::uint16_t last = static_cast<std::uint16_t>(ways - 1);
+  w = 0;
+  if (ways >= 16) {
+    const __m256i last16 = _mm256_set1_epi16(static_cast<short>(last));
+    for (; w + 16 <= ways; w += 16) {
+      const int m = _mm256_movemask_epi8(_mm256_cmpeq_epi16(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ranks + w)),
+          last16));
+      if (m != 0) {
+        return static_cast<int>(
+            w + static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(m)) / 2));
+      }
+    }
+  }
+  if (w + 8 <= ways) {
+    const __m128i last8 = _mm_set1_epi16(static_cast<short>(last));
+    const int m = _mm_movemask_epi8(_mm_cmpeq_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ranks + w)), last8));
+    if (m != 0) {
+      return static_cast<int>(
+          w + static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(m)) / 2));
+    }
+    w += 8;
+  }
+  for (; w < ways; ++w) {
+    if (ranks[w] == last) return static_cast<int>(w);
+  }
+  return static_cast<int>(ways - 1);  // unreachable for a well-formed permutation
+}
+
+/// Moves way w (set-relative) to rank 0; ways with smaller ranks slide up.
+/// Signed 16-bit compares are exact because ways is capped at 32768.
+inline void avx2_promote(std::uint16_t* ranks, std::uint32_t ways,
+                         std::size_t w) {
+  const std::uint16_t r = ranks[w];
+  if (r == 0) return;  // already most recent: nothing moves
+  std::uint32_t i = 0;
+  if (ways >= 16) {
+    const __m256i rs = _mm256_set1_epi16(static_cast<short>(r));
+    for (; i + 16 <= ways; i += 16) {
+      __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ranks + i));
+      // cmpgt yields -1 where v < r; subtracting it increments those lanes.
+      v = _mm256_sub_epi16(v, _mm256_cmpgt_epi16(rs, v));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ranks + i), v);
+    }
+  }
+  if (i + 8 <= ways) {
+    const __m128i rs = _mm_set1_epi16(static_cast<short>(r));
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ranks + i));
+    v = _mm_sub_epi16(v, _mm_cmpgt_epi16(rs, v));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ranks + i), v);
+    i += 8;
+  }
+  for (; i < ways; ++i) {
+    ranks[i] = static_cast<std::uint16_t>(ranks[i] + (ranks[i] < r ? 1 : 0));
+  }
+  ranks[w] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Set-operation policies.  The batch drivers below are templated on one of
+// these so the common associativities (2/4/8 ways — every level of the
+// bundled machine targets except 16-way LLCs) run fully unrolled probe and
+// promote sequences with no way loop at all; Generic handles everything
+// else.  The dispatch happens once per batch, not per probe.
+// ---------------------------------------------------------------------------
+
+struct SetOpsGeneric {
+  static inline int probe(const std::uint64_t* tags, const std::uint8_t* valid,
+                          const std::uint16_t* ranks, std::size_t ways,
+                          std::uint64_t needle, int* hit) {
+    return avx2_probe_set(tags, valid, ranks, ways, needle, hit);
+  }
+  static inline void promote(std::uint16_t* ranks, std::uint32_t ways,
+                             std::size_t w) {
+    avx2_promote(ranks, ways, w);
+  }
+};
+
+struct SetOps2 {
+  static inline int probe(const std::uint64_t* tags, const std::uint8_t* valid,
+                          const std::uint16_t* ranks, std::size_t,
+                          std::uint64_t needle, int* hit) {
+    const bool v0 = valid[0] != 0;
+    const bool v1 = valid[1] != 0;
+    if (v0 && tags[0] == needle) {
+      *hit = 1;
+      return 0;
+    }
+    if (v1 && tags[1] == needle) {
+      *hit = 1;
+      return 1;
+    }
+    *hit = 0;
+    if (!v0) return 0;
+    if (!v1) return 1;
+    return ranks[0] == 1 ? 0 : 1;
+  }
+  static inline void promote(std::uint16_t* ranks, std::uint32_t,
+                             std::size_t w) {
+    if (ranks[w] != 0) {
+      ranks[w] = 0;
+      ranks[w ^ 1] = 1;
+    }
+  }
+};
+
+struct SetOps4 {
+  static inline int probe(const std::uint64_t* tags, const std::uint8_t* valid,
+                          const std::uint16_t* ranks, std::size_t,
+                          std::uint64_t needle, int* hit) {
+    const __m256i want = _mm256_set1_epi64x(static_cast<long long>(needle));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i lanes =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags));
+    std::int32_t valid4;
+    std::memcpy(&valid4, valid, sizeof valid4);
+    const __m256i vmask = _mm256_cmpgt_epi64(
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(valid4)), zero);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_and_si256(_mm256_cmpeq_epi64(lanes, want), vmask)));
+    if (mask != 0) {
+      *hit = 1;
+      return __builtin_ctz(static_cast<unsigned>(mask));
+    }
+    *hit = 0;
+    const int vbits = _mm256_movemask_pd(_mm256_castsi256_pd(vmask));
+    if (vbits != 0xF) return __builtin_ctz(static_cast<unsigned>(~vbits & 0xF));
+    const int m = _mm_movemask_epi8(_mm_cmpeq_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ranks)),
+        _mm_set1_epi16(3)));
+    return __builtin_ctz(static_cast<unsigned>(m)) / 2;
+  }
+  static inline void promote(std::uint16_t* ranks, std::uint32_t,
+                             std::size_t w) {
+    const std::uint16_t r = ranks[w];
+    if (r == 0) return;
+    __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ranks));
+    v = _mm_sub_epi16(v, _mm_cmpgt_epi16(_mm_set1_epi16(static_cast<short>(r)), v));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(ranks), v);
+    ranks[w] = 0;
+  }
+};
+
+struct SetOps8 {
+  static inline int probe(const std::uint64_t* tags, const std::uint8_t* valid,
+                          const std::uint16_t* ranks, std::size_t,
+                          std::uint64_t needle, int* hit) {
+    const __m256i want = _mm256_set1_epi64x(static_cast<long long>(needle));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i t0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags));
+    const __m256i t1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + 4));
+    std::int64_t valid8;
+    std::memcpy(&valid8, valid, sizeof valid8);
+    const __m128i vb = _mm_cvtsi64_si128(valid8);
+    const __m256i vm0 = _mm256_cmpgt_epi64(_mm256_cvtepu8_epi64(vb), zero);
+    const __m256i vm1 = _mm256_cmpgt_epi64(
+        _mm256_cvtepu8_epi64(_mm_srli_si128(vb, 4)), zero);
+    const int m0 = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_and_si256(_mm256_cmpeq_epi64(t0, want), vm0)));
+    const int m1 = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_and_si256(_mm256_cmpeq_epi64(t1, want), vm1)));
+    const int mask = m0 | (m1 << 4);
+    if (mask != 0) {
+      *hit = 1;
+      return __builtin_ctz(static_cast<unsigned>(mask));
+    }
+    *hit = 0;
+    const int vbits = _mm256_movemask_pd(_mm256_castsi256_pd(vm0)) |
+                      (_mm256_movemask_pd(_mm256_castsi256_pd(vm1)) << 4);
+    if (vbits != 0xFF)
+      return __builtin_ctz(static_cast<unsigned>(~vbits & 0xFF));
+    const int m = _mm_movemask_epi8(_mm_cmpeq_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ranks)),
+        _mm_set1_epi16(7)));
+    return __builtin_ctz(static_cast<unsigned>(m)) / 2;
+  }
+  static inline void promote(std::uint16_t* ranks, std::uint32_t,
+                             std::size_t w) {
+    const std::uint16_t r = ranks[w];
+    if (r == 0) return;
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ranks));
+    v = _mm_sub_epi16(v, _mm_cmpgt_epi16(_mm_set1_epi16(static_cast<short>(r)), v));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ranks), v);
+    ranks[w] = 0;
+  }
+};
+
+template <class Ops>
+ProbeReplay probe_stream_impl(const SetView& view, const std::uint64_t* lines,
+                              const std::uint8_t* stores,
+                              const std::uint32_t* indices, std::size_t count,
+                              std::uint32_t* misses) {
+  ProbeReplay r;
+  const std::uint32_t ways = view.ways;
+  // Probes visit sets in effectively random order, so large levels pay a
+  // host-cache miss per metadata row; prefetching a few probes ahead
+  // overlaps those misses with the current probe's work.
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (k + kAhead < count) {
+      const std::uint32_t pf = indices != nullptr
+                                   ? indices[k + kAhead]
+                                   : static_cast<std::uint32_t>(k + kAhead);
+      const std::size_t pb =
+          static_cast<std::size_t>(lines[pf] & view.set_mask) * ways;
+      __builtin_prefetch(view.tags + pb, 1);
+      __builtin_prefetch(view.ranks + pb, 1);
+    }
+    const std::uint32_t p =
+        indices != nullptr ? indices[k] : static_cast<std::uint32_t>(k);
+    const std::uint64_t line = lines[p];
+    const std::size_t base =
+        static_cast<std::size_t>(line & view.set_mask) * ways;
+    int hit = 0;
+    const std::size_t wr = static_cast<std::size_t>(Ops::probe(
+        view.tags + base, view.valid + base, view.ranks + base, ways, line,
+        &hit));
+    const std::size_t w = base + wr;
+    if (hit != 0) {
+      if (view.lru != 0) Ops::promote(view.ranks + base, ways, wr);
+      if (stores[p] != 0) view.dirty[w] = 1;
+      ++r.hits;
+    } else {
+      r.writebacks += view.valid[w] != 0 && view.dirty[w] != 0;
+      view.tags[w] = line;
+      view.valid[w] = 1;
+      Ops::promote(view.ranks + base, ways, wr);
+      view.dirty[w] = stores[p];
+      misses[r.miss_count++] = p;
+    }
+  }
+  return r;
+}
+
+template <class Ops>
+ProbeReplay probe_grouped_impl(const SetView& view, const std::uint64_t* lines,
+                               const std::uint8_t* stores,
+                               std::uint8_t* resolved,
+                               const std::uint32_t* grouped,
+                               const std::uint32_t* set_start) {
+  ProbeReplay r;
+  const std::uint32_t ways = view.ways;
+  const std::uint64_t nsets = view.set_mask + 1;
+  for (std::uint64_t set = 0; set < nsets; ++set) {
+    std::uint32_t k = set_start[set];
+    const std::uint32_t end = set_start[set + 1];
+    if (k == end) continue;
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    for (; k < end; ++k) {
+      const std::uint32_t p = grouped[k];
+      const std::uint64_t line = lines[p];
+      int hit = 0;
+      const std::size_t wr = static_cast<std::size_t>(Ops::probe(
+          view.tags + base, view.valid + base, view.ranks + base, ways, line,
+          &hit));
+      const std::size_t w = base + wr;
+      if (hit != 0) {
+        if (view.lru != 0) Ops::promote(view.ranks + base, ways, wr);
+        if (stores[p] != 0) view.dirty[w] = 1;
+        resolved[p] = 1;
+        ++r.hits;
+      } else {
+        r.writebacks += view.valid[w] != 0 && view.dirty[w] != 0;
+        view.tags[w] = line;
+        view.valid[w] = 1;
+        Ops::promote(view.ranks + base, ways, wr);
+        view.dirty[w] = stores[p];
+      }
+    }
+  }
+  return r;
+}
+
+ProbeReplay avx2_probe_stream(const SetView& view, const std::uint64_t* lines,
+                              const std::uint8_t* stores,
+                              const std::uint32_t* indices, std::size_t count,
+                              std::uint32_t* misses) {
+  switch (view.ways) {
+    case 2:
+      return probe_stream_impl<SetOps2>(view, lines, stores, indices, count,
+                                        misses);
+    case 4:
+      return probe_stream_impl<SetOps4>(view, lines, stores, indices, count,
+                                        misses);
+    case 8:
+      return probe_stream_impl<SetOps8>(view, lines, stores, indices, count,
+                                        misses);
+    default:
+      return probe_stream_impl<SetOpsGeneric>(view, lines, stores, indices,
+                                              count, misses);
+  }
+}
+
+ProbeReplay avx2_probe_grouped(const SetView& view, const std::uint64_t* lines,
+                               const std::uint8_t* stores,
+                               std::uint8_t* resolved,
+                               const std::uint32_t* grouped,
+                               const std::uint32_t* set_start) {
+  switch (view.ways) {
+    case 2:
+      return probe_grouped_impl<SetOps2>(view, lines, stores, resolved,
+                                         grouped, set_start);
+    case 4:
+      return probe_grouped_impl<SetOps4>(view, lines, stores, resolved,
+                                         grouped, set_start);
+    case 8:
+      return probe_grouped_impl<SetOps8>(view, lines, stores, resolved,
+                                         grouped, set_start);
+    default:
+      return probe_grouped_impl<SetOpsGeneric>(view, lines, stores, resolved,
+                                               grouped, set_start);
+  }
+}
+
+const Kernels kAvx2Kernels = {
+    Level::Avx2,         avx2_col_mean,       avx2_col_sst,
+    avx2_col_sxy,        avx2_col_sse_affine, avx2_col_sse_affine_div,
+    avx2_find_tag,       avx2_probe_stream,   avx2_probe_grouped,
+};
+
+}  // namespace
+
+const Kernels* avx2_kernels_impl() { return &kAvx2Kernels; }
+
+}  // namespace pmacx::util::simd
+
+#else  // PMACX_DISABLE_AVX2 or non-x86: no AVX2 code in this binary.
+
+namespace pmacx::util::simd {
+const Kernels* avx2_kernels_impl() { return nullptr; }
+}  // namespace pmacx::util::simd
+
+#endif

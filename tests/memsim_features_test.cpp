@@ -5,7 +5,10 @@
 #include "machine/targets.hpp"
 #include "machine/timing.hpp"
 #include "memsim/hierarchy.hpp"
+#include "memsim/ref_block.hpp"
+#include "reference_sim.hpp"
 #include "synth/patterns.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace pmacx {
@@ -315,6 +318,89 @@ TEST(WritebackTest, CountersMergeNewFields) {
   a.merge(b);
   EXPECT_EQ(a.tlb_misses, 10u);
   EXPECT_EQ(a.writebacks, 16u);
+}
+
+// ------------------------------------------------- pre-refactor reference ----
+
+// bench/reference_sim.hpp keeps the pre-refactor AoS simulator as the perf
+// gate's "old" side.  These tests pin it counter-identical to the real
+// simulator on real machine targets, so the gate's reference cannot rot
+// into measuring something other than the replaced implementation.
+void expect_reference_identical(const machine::TargetSystem& target,
+                                synth::Pattern pattern, std::size_t count) {
+  memsim::CacheHierarchy hierarchy(target.hierarchy);
+  bench::ReferenceHierarchy reference(target.hierarchy);
+
+  synth::StreamSpec spec;
+  spec.pattern = pattern;
+  spec.base_addr = 1 << 24;
+  spec.footprint_bytes = 1 << 22;
+  spec.elem_bytes = 8;
+  spec.stride_elems = 5;
+  spec.store_fraction = 0.3;
+  synth::RefStream a(spec, 31), b(spec, 31);
+  for (std::size_t i = 0; i < count; ++i) {
+    hierarchy.access(a.next());
+    reference.access(b.next());
+  }
+
+  const memsim::AccessCounters& got = hierarchy.totals();
+  const memsim::AccessCounters& want = reference.totals();
+  EXPECT_EQ(got.refs, want.refs);
+  EXPECT_EQ(got.line_accesses, want.line_accesses);
+  EXPECT_EQ(got.memory_accesses, want.memory_accesses);
+  EXPECT_EQ(got.writebacks, want.writebacks);
+  for (std::size_t lvl = 0; lvl < target.hierarchy.levels.size(); ++lvl)
+    EXPECT_EQ(got.level_hits[lvl], want.level_hits[lvl])
+        << "level " << lvl << " pattern " << static_cast<int>(pattern);
+}
+
+TEST(ReferenceSimTest, CountersIdenticalOnRealTargets) {
+  for (const synth::Pattern pattern :
+       {synth::Pattern::Sequential, synth::Pattern::Random,
+        synth::Pattern::Strided, synth::Pattern::Stencil3d}) {
+    expect_reference_identical(machine::bluewaters_p1(), pattern, 60'000);
+    expect_reference_identical(machine::xt5_base(), pattern, 60'000);
+  }
+}
+
+TEST(ReferenceSimTest, BlockReplayMatchesReferencePerRefWalk) {
+  // The gate benchmarks time access_block against the reference's per-ref
+  // walk; assert that exact pairing stays counter-identical, ragged tail
+  // included.
+  const machine::TargetSystem target = machine::xt5_base();
+  memsim::CacheHierarchy hierarchy(target.hierarchy);
+  bench::ReferenceHierarchy reference(target.hierarchy);
+
+  synth::StreamSpec spec;
+  spec.pattern = synth::Pattern::Random;
+  spec.base_addr = 1 << 24;
+  spec.footprint_bytes = 1 << 22;
+  spec.elem_bytes = 8;
+  spec.store_fraction = 0.25;
+  synth::RefStream a(spec, 13), b(spec, 13);
+
+  util::Arena arena;
+  memsim::RefBlockBuilder builder(arena, 701);
+  std::size_t remaining = 40'000;
+  while (remaining > 0) {
+    builder.clear();
+    while (remaining > 0 && !builder.full()) {
+      const memsim::MemRef ref = a.next();
+      builder.push(ref.addr, ref.size, ref.is_store);
+      reference.access(b.next());
+      --remaining;
+    }
+    hierarchy.access_block(builder.block());
+  }
+
+  const memsim::AccessCounters& got = hierarchy.totals();
+  const memsim::AccessCounters& want = reference.totals();
+  EXPECT_EQ(got.line_accesses, want.line_accesses);
+  EXPECT_EQ(got.memory_accesses, want.memory_accesses);
+  EXPECT_EQ(got.writebacks, want.writebacks);
+  for (std::size_t lvl = 0; lvl < target.hierarchy.levels.size(); ++lvl)
+    EXPECT_EQ(got.level_hits[lvl], want.level_hits[lvl]) << "level " << lvl;
 }
 
 }  // namespace

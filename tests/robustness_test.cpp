@@ -28,6 +28,8 @@
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
+#include "util/metrics.hpp"
+#include "util/mmap_file.hpp"
 #include "util/parse_error.hpp"
 #include "util/rng.hpp"
 
@@ -332,6 +334,109 @@ TEST(BinaryRobustnessTest, LoadSalvageHandlesBothFormats) {
   EXPECT_TRUE(report.used);
   EXPECT_EQ(recovered.blocks.size(), original.blocks.size());
   std::remove(bin_path.c_str());
+}
+
+// ------------------------------------------------- mmap loader contract ----
+
+// The file loaders now parse straight out of a memory map (util::MappedFile)
+// when the platform allows it.  The contract is the same as for buffered
+// reads — parse, salvage, or ParseError — plus one mmap-specific hazard to
+// pin down: a damaged or truncated file must never fault (SIGBUS) even when
+// the damage lands mid-page or at a page boundary.
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A trace big enough that its binary form spans several 4 KiB pages, so
+/// truncation and corruption sweeps cross page boundaries under mmap.
+TaskTrace multipage_trace() { return sample_trace(120); }
+
+TEST(MmapLoaderTest, LoadersCountTheMmapPath) {
+  const std::string path = ::testing::TempDir() + "/pmacx_mmap_counted.btrace";
+  const TaskTrace original = multipage_trace();
+  trace::save_binary(original, path);
+  auto& registry = util::metrics::Registry::global();
+  const std::uint64_t bytes_before = registry.counter("trace.mmap_bytes").value();
+  const std::uint64_t falls_before = registry.counter("trace.mmap_fallbacks").value();
+  EXPECT_EQ(trace::load_binary(path), original);
+  EXPECT_EQ(TaskTrace::load(path), original);
+  const std::uint64_t bytes_after = registry.counter("trace.mmap_bytes").value();
+  const std::uint64_t falls_after = registry.counter("trace.mmap_fallbacks").value();
+  // Exactly one of the two paths was taken, per load, on every platform.
+  const std::uint64_t mapped = bytes_after - bytes_before;
+  const std::uint64_t fell_back = falls_after - falls_before;
+  if (util::MappedFile::supported()) {
+    EXPECT_EQ(mapped, 2 * trace::to_binary(original).size());
+    EXPECT_EQ(fell_back, 0u);
+  } else {
+    EXPECT_EQ(mapped, 0u);
+    EXPECT_EQ(fell_back, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapLoaderTest, MissingFileFallsBackToTheBufferedError) {
+  const std::string path = ::testing::TempDir() + "/pmacx_mmap_never_written.btrace";
+  std::remove(path.c_str());
+  EXPECT_THROW((void)trace::load_binary(path), util::Error);
+}
+
+TEST(MmapLoaderTest, EmptyFileIsACleanParseError) {
+  const std::string path = ::testing::TempDir() + "/pmacx_mmap_empty.btrace";
+  write_bytes(path, "");
+  EXPECT_THROW((void)trace::load_binary(path), util::ParseError);
+  EXPECT_THROW((void)TaskTrace::load(path), util::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(MmapLoaderTest, TruncationAcrossPageBoundariesNeverFaults) {
+  const std::string path = ::testing::TempDir() + "/pmacx_mmap_trunc.btrace";
+  const TaskTrace original = multipage_trace();
+  const std::string bytes = trace::to_binary(original);
+  ASSERT_GT(bytes.size(), 3u * 4096u) << "trace must span several pages";
+  // Mid-page, page-boundary, and boundary-straddling truncation points.
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4095}, std::size_t{4096},
+        std::size_t{4097}, std::size_t{8192}, bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    write_bytes(path, bytes.substr(0, keep));
+    EXPECT_THROW((void)trace::load_binary(path), util::ParseError);
+    // Salvage must recover a clean prefix from the same mapped view.
+    if (keep > 4096) {
+      trace::SalvageReport report;
+      const TaskTrace recovered = trace::load_salvage(path, report);
+      EXPECT_TRUE(report.used);
+      EXPECT_TRUE(blocks_are_subset(recovered, original));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapLoaderTest, OnDiskCorruptionSweepUpholdsTheLoaderContract) {
+  const std::string path = ::testing::TempDir() + "/pmacx_mmap_sweep.btrace";
+  const TaskTrace original = multipage_trace();
+  const std::string bytes = trace::to_binary(original);
+  util::Rng rng(31337);
+  for (int round = 0; round < 150; ++round) {
+    const Corruption corruption = util::random_corruption(rng, bytes.size());
+    SCOPED_TRACE(corruption.describe());
+    write_bytes(path, util::apply_corruption(bytes, corruption));
+    try {
+      const TaskTrace parsed = trace::load_binary(path);
+      EXPECT_EQ(parsed, original) << "silent mis-parse through the mmap path";
+    } catch (const util::ParseError&) {
+      trace::SalvageReport report;
+      try {
+        const TaskTrace recovered = trace::load_salvage(path, report);
+        EXPECT_TRUE(blocks_are_subset(recovered, original));
+      } catch (const util::ParseError&) {
+        // Not even a header to salvage — acceptable.
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------------- text trace contract ----

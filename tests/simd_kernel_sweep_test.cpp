@@ -1,0 +1,362 @@
+// Kernel-level scalar-vs-AVX2 sweeps.  Where simd_identity_test drives the
+// public pipelines end to end, this suite exercises each kernel in the
+// util::simd table directly across the shapes the vector code has to get
+// right: every tail length around the 4/8/16-lane widths, unaligned base
+// pointers (the kernels use unaligned loads throughout, so an offset base
+// must be bit-identical, not just close), the specialized probe
+// associativities (2/4/8 ways) next to their generic neighbours, partially
+// invalid sets, stale tags on invalid ways, and both replacement flavours.
+// Every comparison is bitwise — memcmp on the output buffers, exact
+// equality on every piece of mutated cache metadata.
+//
+// Under PMACX_DISABLE_AVX2 (the release-noavx2 CI leg) avx2_kernels() is
+// null and each test skips; the sweeps then still validate that the scalar
+// kernels are deterministic across repeated runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace pmacx {
+namespace {
+
+using util::simd::Kernels;
+using util::simd::ProbeReplay;
+using util::simd::SetView;
+
+const Kernels& scalar() { return util::simd::scalar_kernels(); }
+
+const Kernels* avx2() { return util::simd::avx2_kernels(); }
+
+/// Buffer whose data() is deliberately offset from the allocation so the
+/// kernels see a pointer that is not 32-byte (for doubles, not even
+/// 16-byte) aligned.
+template <typename T>
+struct Misaligned {
+  explicit Misaligned(std::size_t n) : storage(n + 1) {}
+  T* data() { return storage.data() + 1; }
+  const T* data() const { return storage.data() + 1; }
+  std::vector<T> storage;
+};
+
+void expect_bits_equal(const double* a, const double* b, std::size_t n,
+                       const char* what) {
+  EXPECT_EQ(0, std::memcmp(a, b, n * sizeof(double))) << what;
+}
+
+// ------------------------------------------------------------ column kernels
+
+TEST(SimdKernelSweepTest, ColumnKernelsBitIdenticalAcrossTailsAndAlignment) {
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  util::Rng rng(99);
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u}) {
+    for (std::size_t n : {1u, 2u, 3u, 6u}) {
+      const std::size_t stride = count + (count % 3);  // stride > count tails
+      Misaligned<double> y(n * stride);
+      for (std::size_t i = 0; i < n * stride; ++i)
+        y.data()[i] = rng.uniform(-50.0, 50.0);
+      std::vector<double> t(n), p(n), a(count), b(count);
+      for (std::size_t s = 0; s < n; ++s) {
+        t[s] = rng.uniform(-2.0, 2.0);
+        p[s] = rng.uniform(0.5, 8.0);
+      }
+      for (std::size_t e = 0; e < count; ++e) {
+        a[e] = rng.uniform(-3.0, 3.0);
+        b[e] = rng.uniform(-3.0, 3.0);
+      }
+
+      Misaligned<double> out_s(count), out_v(count);
+      scalar().col_mean(y.data(), stride, count, n, out_s.data());
+      avx2()->col_mean(y.data(), stride, count, n, out_v.data());
+      expect_bits_equal(out_s.data(), out_v.data(), count, "col_mean");
+
+      const std::vector<double> mean(out_s.data(), out_s.data() + count);
+      scalar().col_sst(y.data(), stride, count, n, mean.data(), out_s.data());
+      avx2()->col_sst(y.data(), stride, count, n, mean.data(), out_v.data());
+      expect_bits_equal(out_s.data(), out_v.data(), count, "col_sst");
+
+      scalar().col_sxy(y.data(), stride, count, n, t.data(), mean.data(), out_s.data());
+      avx2()->col_sxy(y.data(), stride, count, n, t.data(), mean.data(), out_v.data());
+      expect_bits_equal(out_s.data(), out_v.data(), count, "col_sxy");
+
+      scalar().col_sse_affine(y.data(), stride, count, n, t.data(), a.data(),
+                              b.data(), out_s.data());
+      avx2()->col_sse_affine(y.data(), stride, count, n, t.data(), a.data(),
+                             b.data(), out_v.data());
+      expect_bits_equal(out_s.data(), out_v.data(), count, "col_sse_affine");
+
+      scalar().col_sse_affine_div(y.data(), stride, count, n, p.data(), a.data(),
+                                  b.data(), out_s.data());
+      avx2()->col_sse_affine_div(y.data(), stride, count, n, p.data(), a.data(),
+                                 b.data(), out_v.data());
+      expect_bits_equal(out_s.data(), out_v.data(), count, "col_sse_affine_div");
+    }
+  }
+}
+
+// ---------------------------------------------------------------- find_tag
+
+TEST(SimdKernelSweepTest, FindTagSweepsWaysValidityAndStaleTags) {
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  for (std::size_t ways = 1; ways <= 20; ++ways) {
+    Misaligned<std::uint64_t> tags(ways);
+    Misaligned<std::uint8_t> valid(ways);
+    for (std::size_t w = 0; w < ways; ++w) {
+      tags.data()[w] = 0xABCD0000 + w;
+      valid.data()[w] = (w % 3) != 0;  // mix of valid and invalid ways
+    }
+    // A stale copy of the needle on an invalid way must not match.
+    const std::uint64_t needle = 0xABCD0000 + (ways / 2);
+    if (ways >= 3) tags.data()[0] = needle;  // way 0 is invalid (0 % 3 == 0)
+    for (std::size_t probe_way = 0; probe_way <= ways; ++probe_way) {
+      const std::uint64_t q =
+          probe_way < ways ? 0xABCD0000 + probe_way : 0xFFFF;  // miss at == ways
+      EXPECT_EQ(scalar().find_tag(tags.data(), valid.data(), ways, q),
+                avx2()->find_tag(tags.data(), valid.data(), ways, q))
+          << "ways=" << ways << " q=" << q;
+    }
+  }
+}
+
+// ------------------------------------------------------------- probe replay
+
+/// One cache level's worth of metadata plus the probe batch, duplicated so
+/// the scalar and AVX2 kernels mutate independent copies of the same state.
+struct ProbeFixture {
+  static constexpr std::size_t kSets = 8;
+  std::size_t ways;
+  Misaligned<std::uint64_t> tags;
+  Misaligned<std::uint16_t> ranks;
+  Misaligned<std::uint8_t> valid;
+  Misaligned<std::uint8_t> dirty;
+
+  ProbeFixture(std::size_t ways_in, util::Rng& rng, double fill_fraction)
+      : ways(ways_in),
+        tags(kSets * ways_in),
+        ranks(kSets * ways_in),
+        valid(kSets * ways_in),
+        dirty(kSets * ways_in) {
+    for (std::size_t s = 0; s < kSets; ++s) {
+      for (std::size_t w = 0; w < ways; ++w) {
+        const std::size_t i = s * ways + w;
+        ranks.data()[i] = static_cast<std::uint16_t>(w);
+        valid.data()[i] = rng.uniform() < fill_fraction;
+        // Stale tags on invalid ways may collide with probed lines.
+        tags.data()[i] = (rng.below(32) << 3) | s;
+        dirty.data()[i] = valid.data()[i] != 0 && rng.uniform() < 0.5;
+      }
+    }
+  }
+
+  ProbeFixture(const ProbeFixture& other)
+      : ways(other.ways),
+        tags(kSets * other.ways),
+        ranks(kSets * other.ways),
+        valid(kSets * other.ways),
+        dirty(kSets * other.ways) {
+    const std::size_t n = kSets * ways;
+    std::memcpy(tags.data(), other.tags.data(), n * sizeof(std::uint64_t));
+    std::memcpy(ranks.data(), other.ranks.data(), n * sizeof(std::uint16_t));
+    std::memcpy(valid.data(), other.valid.data(), n);
+    std::memcpy(dirty.data(), other.dirty.data(), n);
+  }
+
+  SetView view(int lru) {
+    return SetView{tags.data(), valid.data(), ranks.data(),
+                   dirty.data(), kSets - 1,  static_cast<std::uint32_t>(ways),
+                   lru};
+  }
+
+  void expect_equal(const ProbeFixture& other, const char* what) const {
+    const std::size_t n = kSets * ways;
+    EXPECT_EQ(0, std::memcmp(tags.data(), other.tags.data(), n * sizeof(std::uint64_t)))
+        << what << " tags, ways=" << ways;
+    EXPECT_EQ(0, std::memcmp(ranks.data(), other.ranks.data(), n * sizeof(std::uint16_t)))
+        << what << " ranks, ways=" << ways;
+    EXPECT_EQ(0, std::memcmp(valid.data(), other.valid.data(), n))
+        << what << " valid, ways=" << ways;
+    EXPECT_EQ(0, std::memcmp(dirty.data(), other.dirty.data(), n))
+        << what << " dirty, ways=" << ways;
+  }
+
+  /// Ranks must stay a permutation of 0..ways-1 within every set.
+  void expect_rank_permutation() const {
+    for (std::size_t s = 0; s < kSets; ++s) {
+      std::vector<std::uint16_t> set_ranks(ranks.data() + s * ways,
+                                           ranks.data() + (s + 1) * ways);
+      std::sort(set_ranks.begin(), set_ranks.end());
+      for (std::size_t w = 0; w < ways; ++w)
+        ASSERT_EQ(set_ranks[w], w) << "set " << s << " ways=" << ways;
+    }
+  }
+};
+
+/// Probe batch shared by both kernels: lines hitting the fixture's sets
+/// with enough reuse that hits, misses, evictions and writebacks all occur.
+struct ProbeBatch {
+  std::vector<std::uint64_t> lines;
+  std::vector<std::uint8_t> stores;
+
+  ProbeBatch(std::size_t count, util::Rng& rng) {
+    for (std::size_t i = 0; i < count; ++i) {
+      lines.push_back((rng.below(48) << 3) | rng.below(ProbeFixture::kSets));
+      stores.push_back(rng.uniform() < 0.3);
+    }
+  }
+};
+
+// The associativities cover both sides of every specialization boundary:
+// 2/4/8 hit the unrolled AVX2 policies, 1/3/5/7/9 their scalar-tail
+// neighbours, 16/17 the 16-wide rank loop with and without a tail.
+const std::size_t kWaySweep[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17};
+
+TEST(SimdKernelSweepTest, ProbeStreamBitIdenticalAcrossWaysAndPolicies) {
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  util::Rng rng(1234);
+  for (const std::size_t ways : kWaySweep) {
+    for (const int lru : {1, 0}) {
+      for (const double fill : {0.0, 0.6, 1.0}) {
+        ProbeFixture fs(ways, rng, fill);
+        ProbeFixture fv(fs);
+        ProbeBatch batch(512, rng);
+        std::vector<std::uint32_t> misses_s(batch.lines.size(), 0xFFFFFFFF);
+        std::vector<std::uint32_t> misses_v(batch.lines.size(), 0xFFFFFFFF);
+
+        const ProbeReplay rs = scalar().probe_stream(
+            fs.view(lru), batch.lines.data(), batch.stores.data(), nullptr,
+            batch.lines.size(), misses_s.data());
+        const ProbeReplay rv = avx2()->probe_stream(
+            fv.view(lru), batch.lines.data(), batch.stores.data(), nullptr,
+            batch.lines.size(), misses_v.data());
+
+        EXPECT_EQ(rs.hits, rv.hits) << "ways=" << ways << " lru=" << lru;
+        EXPECT_EQ(rs.writebacks, rv.writebacks) << "ways=" << ways;
+        ASSERT_EQ(rs.miss_count, rv.miss_count) << "ways=" << ways;
+        EXPECT_EQ(misses_s, misses_v) << "ways=" << ways;
+        fs.expect_equal(fv, "stream");
+        fs.expect_rank_permutation();
+        fv.expect_rank_permutation();
+      }
+    }
+  }
+}
+
+TEST(SimdKernelSweepTest, ProbeStreamHonorsIndexIndirection) {
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  util::Rng rng(77);
+  for (const std::size_t ways : {2u, 8u, 16u}) {
+    ProbeFixture fs(ways, rng, 0.5);
+    ProbeFixture fv(fs);
+    ProbeBatch batch(256, rng);
+    // A sparse, shuffled survivor list — the shape the hierarchy feeds to
+    // levels past L1.
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t i = 0; i < batch.lines.size(); i += 1 + (i % 3))
+      indices.push_back(i);
+    for (std::size_t i = indices.size(); i > 1; --i)
+      std::swap(indices[i - 1], indices[rng.below(i)]);
+
+    std::vector<std::uint32_t> misses_s(indices.size()), misses_v(indices.size());
+    const ProbeReplay rs = scalar().probe_stream(
+        fs.view(1), batch.lines.data(), batch.stores.data(), indices.data(),
+        indices.size(), misses_s.data());
+    const ProbeReplay rv = avx2()->probe_stream(
+        fv.view(1), batch.lines.data(), batch.stores.data(), indices.data(),
+        indices.size(), misses_v.data());
+    EXPECT_EQ(rs.hits, rv.hits);
+    ASSERT_EQ(rs.miss_count, rv.miss_count);
+    misses_s.resize(rs.miss_count);
+    misses_v.resize(rv.miss_count);
+    EXPECT_EQ(misses_s, misses_v);
+    fs.expect_equal(fv, "indexed stream");
+  }
+}
+
+TEST(SimdKernelSweepTest, ProbeGroupedBitIdenticalAcrossWaysAndPolicies) {
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  util::Rng rng(4321);
+  for (const std::size_t ways : kWaySweep) {
+    for (const int lru : {1, 0}) {
+      ProbeFixture fs(ways, rng, 0.5);
+      ProbeFixture fv(fs);
+      ProbeBatch batch(512, rng);
+      const std::size_t count = batch.lines.size();
+
+      // Bucket probes by set, preserving stream order within each bucket —
+      // the exact layout hierarchy.cpp's counting scatter produces.
+      std::vector<std::uint32_t> set_start(ProbeFixture::kSets + 1, 0);
+      for (const std::uint64_t line : batch.lines)
+        ++set_start[(line & (ProbeFixture::kSets - 1)) + 1];
+      for (std::size_t s = 0; s < ProbeFixture::kSets; ++s)
+        set_start[s + 1] += set_start[s];
+      std::vector<std::uint32_t> grouped(count);
+      std::vector<std::uint32_t> cursor(set_start.begin(), set_start.end() - 1);
+      for (std::uint32_t p = 0; p < count; ++p)
+        grouped[cursor[batch.lines[p] & (ProbeFixture::kSets - 1)]++] = p;
+
+      std::vector<std::uint8_t> resolved_s(count, 0), resolved_v(count, 0);
+      const ProbeReplay rs = scalar().probe_grouped(
+          fs.view(lru), batch.lines.data(), batch.stores.data(),
+          resolved_s.data(), grouped.data(), set_start.data());
+      const ProbeReplay rv = avx2()->probe_grouped(
+          fv.view(lru), batch.lines.data(), batch.stores.data(),
+          resolved_v.data(), grouped.data(), set_start.data());
+
+      EXPECT_EQ(rs.hits, rv.hits) << "ways=" << ways << " lru=" << lru;
+      EXPECT_EQ(rs.writebacks, rv.writebacks) << "ways=" << ways;
+      EXPECT_EQ(resolved_s, resolved_v) << "ways=" << ways;
+      fs.expect_equal(fv, "grouped");
+      fs.expect_rank_permutation();
+      fv.expect_rank_permutation();
+    }
+  }
+}
+
+TEST(SimdKernelSweepTest, StreamAndGroupedAgreeOnFinalState) {
+  // The hierarchy picks stream or grouped replay by metadata size; both
+  // must leave identical level state and counters for the same batch.
+  if (avx2() == nullptr) GTEST_SKIP() << "AVX2 not available";
+  util::Rng rng(555);
+  for (const std::size_t ways : {2u, 4u, 8u, 16u}) {
+    ProbeFixture fa(ways, rng, 0.4);
+    ProbeFixture fb(fa);
+    ProbeBatch batch(512, rng);
+    const std::size_t count = batch.lines.size();
+
+    std::vector<std::uint32_t> misses(count);
+    const ProbeReplay ra = avx2()->probe_stream(fa.view(1), batch.lines.data(),
+                                                batch.stores.data(), nullptr,
+                                                count, misses.data());
+
+    std::vector<std::uint32_t> set_start(ProbeFixture::kSets + 1, 0);
+    for (const std::uint64_t line : batch.lines)
+      ++set_start[(line & (ProbeFixture::kSets - 1)) + 1];
+    for (std::size_t s = 0; s < ProbeFixture::kSets; ++s)
+      set_start[s + 1] += set_start[s];
+    std::vector<std::uint32_t> grouped(count);
+    std::vector<std::uint32_t> cursor(set_start.begin(), set_start.end() - 1);
+    for (std::uint32_t p = 0; p < count; ++p)
+      grouped[cursor[batch.lines[p] & (ProbeFixture::kSets - 1)]++] = p;
+    std::vector<std::uint8_t> resolved(count, 0);
+    const ProbeReplay rb = avx2()->probe_grouped(fb.view(1), batch.lines.data(),
+                                                 batch.stores.data(),
+                                                 resolved.data(), grouped.data(),
+                                                 set_start.data());
+
+    EXPECT_EQ(ra.hits, rb.hits) << "ways=" << ways;
+    EXPECT_EQ(ra.writebacks, rb.writebacks) << "ways=" << ways;
+    // Stream reports misses as an index list, grouped as unresolved flags;
+    // they must name the same probes.
+    EXPECT_EQ(ra.miss_count, count - static_cast<std::size_t>(rb.hits));
+    for (std::size_t m = 0; m < ra.miss_count; ++m)
+      EXPECT_EQ(resolved[misses[m]], 0) << "ways=" << ways;
+    fa.expect_equal(fb, "stream-vs-grouped");
+  }
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,371 @@
+// Tests for the SoA batch fitting path: the util::simd kernels (scalar vs
+// AVX2 bit identity over alignment/tail sweeps), the arena allocator the
+// batches stage through, and BatchFitter's per-series identity contract
+// against fit_all/selection_scores over adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "stats/batch.hpp"
+#include "stats/canonical.hpp"
+#include "util/arena.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace pmacx {
+namespace {
+
+using stats::BatchFitter;
+using stats::FitOptions;
+using stats::FittedModel;
+using stats::Form;
+using util::simd::Kernels;
+using util::simd::Level;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Bit equality — catches -0.0 vs 0.0 and treats any two NaNs as equal,
+/// which is exactly the "byte identical" contract the SIMD layer promises.
+bool bits_equal(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  if (ba == bb) return true;
+  return std::isnan(a) && std::isnan(b);
+}
+
+#define EXPECT_BITS_EQ(a, b) \
+  EXPECT_PRED2(bits_equal, (a), (b)) << "values " << (a) << " vs " << (b)
+
+// ------------------------------------------------------------ simd kernels ----
+
+/// Deterministic "interesting" doubles: mixes magnitudes, signs, exact
+/// zeros, and denormal-ish values so accumulation order differences show.
+double poke(util::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0: return 0.0;
+    case 1: return -1.0;
+    case 2: return 1e-12;
+    case 3: return 1e12;
+    default:
+      return (static_cast<double>(rng.below(1u << 20)) - (1u << 19)) / 1024.0;
+  }
+}
+
+/// Runs every column kernel at both levels over `count` series x `n`
+/// samples with buffers offset by `misalign` doubles (arena allocations are
+/// always 32-byte aligned, so unaligned bases are forged with raw offsets),
+/// expecting bit identity.  Covers vector-width tails (count % 4) too.
+void check_column_kernels(std::size_t count, std::size_t n, std::size_t misalign) {
+  const Kernels& scalar = util::simd::scalar_kernels();
+  const Kernels* avx2 = util::simd::avx2_kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 kernels not available in this build/CPU";
+
+  const std::size_t stride = count + (count % 3);  // stride > count sometimes
+  std::vector<double> y_store(misalign + n * stride);
+  std::vector<double> t_store(misalign + n);
+  std::vector<double> a_store(misalign + count);
+  std::vector<double> b_store(misalign + count);
+  double* y = y_store.data() + misalign;
+  double* t = t_store.data() + misalign;
+  double* a = a_store.data() + misalign;
+  double* b = b_store.data() + misalign;
+  util::Rng rng(7u * count + n + misalign);
+  for (std::size_t i = 0; i < n * stride; ++i) y[i] = poke(rng);
+  for (std::size_t i = 0; i < n; ++i) t[i] = 1.0 + static_cast<double>(rng.below(64));
+  for (std::size_t e = 0; e < count; ++e) {
+    a[e] = poke(rng);
+    b[e] = poke(rng);
+  }
+
+  std::vector<double> got(count, -7.0), want(count, -7.0);
+  scalar.col_mean(y, stride, count, n, want.data());
+  avx2->col_mean(y, stride, count, n, got.data());
+  for (std::size_t e = 0; e < count; ++e) EXPECT_BITS_EQ(got[e], want[e]);
+
+  // col_sst/col_sxy take the means the previous kernel produced.
+  std::vector<double> mean = want;
+  scalar.col_sst(y, stride, count, n, mean.data(), want.data());
+  avx2->col_sst(y, stride, count, n, mean.data(), got.data());
+  for (std::size_t e = 0; e < count; ++e) EXPECT_BITS_EQ(got[e], want[e]);
+
+  scalar.col_sxy(y, stride, count, n, t, mean.data(), want.data());
+  avx2->col_sxy(y, stride, count, n, t, mean.data(), got.data());
+  for (std::size_t e = 0; e < count; ++e) EXPECT_BITS_EQ(got[e], want[e]);
+
+  scalar.col_sse_affine(y, stride, count, n, t, a, b, want.data());
+  avx2->col_sse_affine(y, stride, count, n, t, a, b, got.data());
+  for (std::size_t e = 0; e < count; ++e) EXPECT_BITS_EQ(got[e], want[e]);
+
+  scalar.col_sse_affine_div(y, stride, count, n, t, a, b, want.data());
+  avx2->col_sse_affine_div(y, stride, count, n, t, a, b, got.data());
+  for (std::size_t e = 0; e < count; ++e) EXPECT_BITS_EQ(got[e], want[e]);
+}
+
+TEST(SimdKernelTest, ColumnKernelsBitIdenticalAcrossCountsAndTails) {
+  // Counts straddle the 4-lane vector width: empty, sub-width, exact
+  // multiples, and width±1 tails.
+  for (std::size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 17u})
+    for (std::size_t n : {1u, 2u, 3u, 5u, 8u}) check_column_kernels(count, n, 0);
+}
+
+TEST(SimdKernelTest, ColumnKernelsBitIdenticalAtUnalignedBases) {
+  for (std::size_t misalign : {1u, 2u, 3u})
+    for (std::size_t count : {3u, 4u, 5u, 8u, 9u}) check_column_kernels(count, 6, misalign);
+}
+
+TEST(SimdKernelTest, FindTagMatchesScalarIncludingStaleCollisions) {
+  const Kernels& scalar = util::simd::scalar_kernels();
+  const Kernels* avx2 = util::simd::avx2_kernels();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 kernels not available in this build/CPU";
+
+  util::Rng rng(99);
+  for (std::size_t ways = 1; ways <= 12; ++ways) {
+    for (int round = 0; round < 200; ++round) {
+      std::vector<std::uint64_t> tags(ways);
+      std::vector<std::uint8_t> valid(ways);
+      for (std::size_t w = 0; w < ways; ++w) {
+        tags[w] = rng.below(8);  // small range forces duplicate tags
+        valid[w] = static_cast<std::uint8_t>(rng.below(2));
+      }
+      const std::uint64_t needle = rng.below(8);
+      const int want = scalar.find_tag(tags.data(), valid.data(), ways, needle);
+      const int got = avx2->find_tag(tags.data(), valid.data(), ways, needle);
+      ASSERT_EQ(got, want) << "ways=" << ways << " round=" << round;
+    }
+    // The adversarial shape the valid mask exists for: an invalid way holds
+    // a stale copy of the needle ahead of the real valid match.
+    std::vector<std::uint64_t> tags(ways, 42);
+    std::vector<std::uint8_t> valid(ways, 0);
+    valid[ways - 1] = 1;
+    EXPECT_EQ(avx2->find_tag(tags.data(), valid.data(), ways, 42),
+              static_cast<int>(ways) - 1);
+    EXPECT_EQ(avx2->find_tag(tags.data(), valid.data(), ways, 7), -1);
+  }
+}
+
+TEST(SimdKernelTest, ForceLevelClampsAndRestores) {
+  const Level restored = util::simd::active_level();
+  EXPECT_EQ(util::simd::force_level(Level::Scalar), Level::Scalar);
+  EXPECT_EQ(util::simd::active_level(), Level::Scalar);
+  EXPECT_EQ(util::simd::kernels().level, Level::Scalar);
+  // An Avx2 request clamps to what the build/CPU can honour.
+  const Level forced = util::simd::force_level(Level::Avx2);
+  EXPECT_EQ(forced, util::simd::avx2_available() ? Level::Avx2 : Level::Scalar);
+  EXPECT_EQ(util::simd::kernels().level, forced);
+  util::simd::clear_forced_level();
+  EXPECT_EQ(util::simd::active_level(), restored);
+}
+
+// ------------------------------------------------------------------- arena ----
+
+TEST(ArenaTest, AllocationsAre32ByteAligned) {
+  util::Arena arena;
+  for (std::size_t size : {1u, 3u, 7u, 31u, 33u, 255u}) {
+    auto p = reinterpret_cast<std::uintptr_t>(arena.allocate<std::uint8_t>(size));
+    EXPECT_EQ(p % util::Arena::kAlignment, 0u) << "size " << size;
+    auto d = reinterpret_cast<std::uintptr_t>(arena.allocate<double>(size));
+    EXPECT_EQ(d % util::Arena::kAlignment, 0u) << "size " << size;
+  }
+}
+
+TEST(ArenaTest, ResetReusesTheSameStorage) {
+  util::Arena arena;
+  double* first = arena.allocate<double>(1000);
+  first[0] = 1.0;
+  arena.reset();
+  double* again = arena.allocate<double>(1000);
+  EXPECT_EQ(again, first) << "reset must retain and reuse the chunk";
+}
+
+TEST(ArenaTest, OversizedAllocationsGetTheirOwnChunk) {
+  util::Arena arena;
+  // Much larger than the default chunk: must still succeed and be aligned.
+  const std::size_t huge = util::Arena::kDefaultChunkBytes * 3 / sizeof(double);
+  double* p = arena.allocate<double>(huge);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % util::Arena::kAlignment, 0u);
+  p[0] = 1.0;
+  p[huge - 1] = 2.0;
+  EXPECT_EQ(p[0] + p[huge - 1], 3.0);
+}
+
+// ------------------------------------------------------------- batch fitter ----
+
+void expect_model_identical(const FittedModel& got, const FittedModel& want,
+                            const std::string& context) {
+  EXPECT_EQ(got.form, want.form) << context;
+  EXPECT_EQ(got.ok, want.ok) << context;
+  for (int k = 0; k < 3; ++k)
+    EXPECT_BITS_EQ(got.params[k], want.params[k]) << context << " param " << k;
+  EXPECT_BITS_EQ(got.sse, want.sse) << context;
+  EXPECT_BITS_EQ(got.r2, want.r2) << context;
+}
+
+/// The identity oracle: fits `series` (series-major, series[e][s]) through
+/// BatchFitter and through fit_all/selection_scores per series, and demands
+/// bit equality — models, scores, and metric counter totals.
+void check_batch_identity(const std::vector<double>& axis,
+                          const std::vector<std::vector<double>>& series,
+                          const FitOptions& opts, const std::string& context) {
+  const std::size_t count = series.size();
+  const std::size_t n = axis.size();
+  const std::size_t forms = opts.forms.size();
+
+  // Transpose to the sample-major SoA layout, with a stride > count to
+  // prove the kernels honour it.
+  const std::size_t stride = count + 2;
+  std::vector<double> y(n * stride, kNaN);
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t e = 0; e < count; ++e) y[s * stride + e] = series[e][s];
+
+  auto counter_values = [&] {
+    std::vector<std::uint64_t> values;
+    for (Form form : opts.forms)
+      values.push_back(util::metrics::Registry::global()
+                           .counter("fits.attempted." + stats::form_name(form))
+                           .value());
+    values.push_back(util::metrics::Registry::global()
+                         .counter("fits.zero_dropped_samples")
+                         .value());
+    return values;
+  };
+
+  const auto before_batch = counter_values();
+  BatchFitter fitter(axis, opts);
+  util::Arena arena;
+  std::vector<FittedModel> candidates(count * forms);
+  std::vector<double> scores(count * forms);
+  fitter.fit(y.data(), stride, count, candidates.data(), scores.data(), arena);
+  const auto after_batch = counter_values();
+
+  const auto before_scalar = counter_values();
+  for (std::size_t e = 0; e < count; ++e) {
+    const auto want = stats::fit_all(axis, series[e], opts);
+    const auto want_scores = stats::selection_scores(want, axis, series[e], opts);
+    ASSERT_EQ(want.size(), forms);
+    for (std::size_t f = 0; f < forms; ++f) {
+      const std::string at =
+          context + " series " + std::to_string(e) + " form " +
+          stats::form_name(opts.forms[f]);
+      expect_model_identical(candidates[e * forms + f], want[f], at);
+      EXPECT_BITS_EQ(scores[e * forms + f], want_scores[f]) << at;
+    }
+  }
+  const auto after_scalar = counter_values();
+
+  // Same attempted-fit and zero-dropped tallies, batch vs per-series.
+  for (std::size_t i = 0; i < before_batch.size(); ++i)
+    EXPECT_EQ(after_batch[i] - before_batch[i], after_scalar[i] - before_scalar[i])
+        << context << " metric index " << i;
+}
+
+/// Adversarial series portfolio over `axis`: every shape that exercises a
+/// different branch of the scalar fitter.
+std::vector<std::vector<double>> portfolio(const std::vector<double>& axis) {
+  const std::size_t n = axis.size();
+  std::vector<std::vector<double>> series;
+  auto gen = [&](auto fn) {
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = fn(axis[i]);
+    series.push_back(std::move(s));
+  };
+  gen([](double) { return 42.5; });                          // constant
+  gen([](double p) { return 3.0 + 2.0 * p; });               // linear
+  gen([](double p) { return 1.5 + 4.0 * std::log(p); });     // logarithmic
+  gen([](double p) { return 2.0 * std::exp(0.01 * p); });    // exponential
+  gen([](double p) { return 3.0 * std::pow(p, 1.7); });      // power
+  gen([](double p) { return 5.0 + 80.0 / p; });              // inverse-p
+  gen([](double p) { return -2.0 * std::pow(p, 0.5); });     // all-negative power
+  gen([](double p) { return p - 40.0; });                    // mixed sign
+  gen([](double) { return 0.0; });                           // all zeros
+  gen([](double p) { return p > 20.0 ? 0.0 : 3.0 * p; });    // some zeros
+  gen([](double p) { return p > 20.0 ? kNaN : p; });         // NaN poisoned
+  gen([](double p) { return 1e306 * p; });                   // overflow-prone
+  gen([](double p) { return 1e-300 / p; });                  // underflow-prone
+  util::Rng rng(5);
+  gen([&](double) { return poke(rng); });                    // noise
+  return series;
+}
+
+TEST(BatchFitterTest, MatchesScalarFitsOverAdversarialPortfolio) {
+  const std::vector<double> axis = {8.0, 16.0, 32.0, 64.0};
+  check_batch_identity(axis, portfolio(axis), FitOptions{}, "default opts");
+}
+
+TEST(BatchFitterTest, MatchesScalarAtEveryBatchWidthTail) {
+  const std::vector<double> axis = {4.0, 8.0, 12.0, 24.0, 48.0};
+  const auto all = portfolio(axis);
+  // Batch widths straddling the 4-lane width, including empty.
+  for (std::size_t count : {0u, 1u, 3u, 4u, 5u, 8u, 9u}) {
+    std::vector<std::vector<double>> subset;
+    for (std::size_t e = 0; e < count; ++e) subset.push_back(all[e % all.size()]);
+    check_batch_identity(axis, subset, FitOptions{},
+                         "width " + std::to_string(count));
+  }
+}
+
+TEST(BatchFitterTest, MatchesScalarWithQuadraticAndAllForms) {
+  const std::vector<double> axis = {2.0, 4.0, 8.0, 16.0, 32.0};
+  FitOptions opts;
+  opts.forms.assign(stats::all_forms().begin(), stats::all_forms().end());
+  check_batch_identity(axis, portfolio(axis), opts, "all forms");
+}
+
+TEST(BatchFitterTest, MatchesScalarUnderLooCvAndAicc) {
+  const std::vector<double> long_axis = {2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+  const std::vector<double> short_axis = {8.0, 16.0, 32.0};  // LooCv downgrades
+  for (auto criterion : {stats::SelectionCriterion::LooCv, stats::SelectionCriterion::Aicc}) {
+    FitOptions opts;
+    opts.criterion = criterion;
+    check_batch_identity(long_axis, portfolio(long_axis), opts, "criterion long");
+    check_batch_identity(short_axis, portfolio(short_axis), opts, "criterion short");
+  }
+}
+
+TEST(BatchFitterTest, MatchesScalarOnMinimalAndDegenerateAxes) {
+  // Two samples: every form is exactly determined or underdetermined.
+  const std::vector<double> two = {16.0, 64.0};
+  check_batch_identity(two, portfolio(two), FitOptions{}, "n=2");
+  // A degenerate axis (sxx == 0) routes the whole batch to scalar fallback.
+  const std::vector<double> flat = {32.0, 32.0, 32.0};
+  check_batch_identity(flat, portfolio(flat), FitOptions{}, "degenerate axis");
+}
+
+TEST(BatchFitterTest, IdenticalAtBothForcedLevels) {
+  const std::vector<double> axis = {8.0, 16.0, 32.0, 64.0};
+  const auto series = portfolio(axis);
+  util::simd::force_level(Level::Scalar);
+  check_batch_identity(axis, series, FitOptions{}, "forced scalar");
+  if (util::simd::avx2_available()) {
+    util::simd::force_level(Level::Avx2);
+    check_batch_identity(axis, series, FitOptions{}, "forced avx2");
+  }
+  util::simd::clear_forced_level();
+}
+
+TEST(BatchFitterTest, CountsSimdBatches) {
+  if (!util::simd::avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  util::simd::force_level(Level::Avx2);
+  auto& counter = util::metrics::Registry::global().counter("fits.simd_batches");
+  const std::uint64_t before = counter.value();
+  const std::vector<double> axis = {8.0, 16.0, 32.0};
+  const std::vector<double> flat_y = {1.0, 2.0, 3.0};
+  std::vector<double> y(axis.size());
+  for (std::size_t s = 0; s < axis.size(); ++s) y[s] = flat_y[s];
+  BatchFitter fitter(axis, FitOptions{});
+  util::Arena arena;
+  std::vector<FittedModel> candidates(fitter.form_count());
+  std::vector<double> scores(fitter.form_count());
+  fitter.fit(y.data(), 1, 1, candidates.data(), scores.data(), arena);
+  EXPECT_EQ(counter.value(), before + 1);
+  util::simd::clear_forced_level();
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -21,8 +21,25 @@ Two subcommands:
       the gate reports instead of failing.  Refresh the baseline from a CI
       artifact to re-arm the gate (see README).
 
+  speedup <current.json> --pair NEW=OLD [--pair ...]
+                         [--floor 4.0] [--target 6.0]
+                         [--min-speedup-vs old_baseline.json]
+                         [--allow-context-drift]
+      Enforce a minimum speedup of benchmark NEW over benchmark OLD on
+      items_per_second.  Both names are read from the *same* results file,
+      so the enforced ratio is measured in one run on one machine and
+      cannot drift with host speed.  A pair below --floor hard-fails; a
+      pair below --target only warns (the stretch goal is advisory).  With
+      --min-speedup-vs, each pair's NEW is additionally divided by OLD's
+      value from a separately recorded baseline file (e.g. the pre-refactor
+      bench/baseline_prerefactor.json); that cross-run ratio is always
+      advisory — numbers recorded on a different machine (or the same
+      machine under different load) cannot carry a hard gate — and exists
+      so the log shows the speedup against the actual shipped history.
+
 Aggregate entries (_mean/_median/_stddev/_cv) and aggregate-only runs are
-skipped; the gate compares raw repetitions by exact benchmark name.
+skipped by `compare`; `speedup` prefers a _mean aggregate when the run used
+--benchmark_repetitions, else the raw entry.
 """
 
 import argparse
@@ -86,6 +103,90 @@ def context_drift(baseline, current):
             f"build type {base.get('library_build_type')} -> "
             f"{cur.get('library_build_type')}")
     return reasons
+
+
+def speedup_value(doc, name, metric="items_per_second"):
+    """The gated value for `name`: its _mean aggregate when the run used
+    repetitions (less noise), else its raw entry.  None when absent."""
+    mean = None
+    raw = None
+    for bench in doc.get("benchmarks", []):
+        bench_name = bench.get("name", "")
+        if bench_name == name + "_mean" and metric in bench:
+            mean = float(bench[metric])
+        elif bench_name == name and metric in bench and \
+                bench.get("run_type") != "aggregate":
+            raw = float(bench[metric])
+    return mean if mean is not None else raw
+
+
+def cmd_speedup(args):
+    current_doc = load(args.current)
+    old_doc = load(args.min_speedup_vs) if args.min_speedup_vs else None
+    pairs = []
+    for spec in args.pair:
+        if "=" not in spec:
+            sys.exit(f"bench_compare speedup: --pair wants NEW=OLD, got {spec!r}")
+        new_name, old_name = spec.split("=", 1)
+        pairs.append((new_name, old_name))
+    if not pairs:
+        sys.exit("bench_compare speedup: at least one --pair is required")
+
+    drift = context_drift(old_doc, current_doc) if old_doc else []
+    if drift:
+        print("context drift between recorded baseline and current run:")
+        for reason in drift:
+            print(f"  - {reason}")
+
+    failures, warnings = [], []
+
+    def check(label, ratio, advisory):
+        flag = ""
+        if ratio < args.floor:
+            if advisory:
+                warnings.append((label, ratio))
+                flag = f"  << below {args.floor:.1f}x floor (advisory)"
+            else:
+                failures.append((label, ratio))
+                flag = f"  << BELOW {args.floor:.1f}x FLOOR"
+        elif args.target and ratio < args.target:
+            warnings.append((label, ratio))
+            flag = f"  << below {args.target:.1f}x stretch target (advisory)"
+        print(f"  {label}: {ratio:.2f}x{flag}")
+
+    for new_name, old_name in pairs:
+        new_value = speedup_value(current_doc, new_name)
+        old_value = speedup_value(current_doc, old_name)
+        if new_value is None or old_value is None or old_value <= 0:
+            missing = new_name if new_value is None else old_name
+            print(f"  {new_name} vs {old_name}: MISSING ({missing})")
+            failures.append((f"{new_name} vs {old_name}", 0.0))
+            continue
+        print(f"{new_name} ({new_value:.4g}) vs {old_name} ({old_value:.4g}):")
+        check("same-run", new_value / old_value, advisory=False)
+        if old_doc is not None:
+            old_recorded = speedup_value(old_doc, old_name)
+            if old_recorded is None or old_recorded <= 0:
+                print(f"  vs-recorded: {old_name} not in {args.min_speedup_vs} "
+                      "(skipped)")
+            else:
+                # Cross-run numbers never hard-gate: the recording machine
+                # (or its load) differs, so this line is for the log.
+                check("vs-recorded", new_value / old_recorded, advisory=True)
+
+    if warnings:
+        print(f"\n{len(warnings)} advisory warning(s):")
+        for label, ratio in warnings:
+            print(f"  {label}: {ratio:.2f}x")
+    if failures:
+        print(f"\n{len(failures)} pair(s) below the {args.floor:.1f}x floor:")
+        for label, ratio in failures:
+            print(f"  {label}: {ratio:.2f}x")
+        return 1
+    print(f"\nspeedup gate: OK (floor {args.floor:.1f}x"
+          + (f", stretch target {args.target:.1f}x" if args.target else "")
+          + ")")
+    return 0
 
 
 def cmd_merge(args):
@@ -194,6 +295,25 @@ def main():
                          help="warn instead of fail when the baseline came "
                               "from a different machine")
     compare.set_defaults(func=cmd_compare)
+
+    speedup = sub.add_parser(
+        "speedup", help="enforce NEW>=floor*OLD within one results file")
+    speedup.add_argument("current")
+    speedup.add_argument("--pair", action="append", default=[],
+                         metavar="NEW=OLD",
+                         help="benchmark names to ratio (repeatable)")
+    speedup.add_argument("--floor", type=float, default=4.0,
+                         help="minimum NEW/OLD ratio (default 4.0; hard fail)")
+    speedup.add_argument("--target", type=float, default=6.0,
+                         help="stretch ratio (default 6.0; advisory warning; "
+                              "0 disables)")
+    speedup.add_argument("--min-speedup-vs", metavar="OLD_BASELINE",
+                         help="also ratio NEW against OLD's value recorded in "
+                              "this baseline file (always advisory)")
+    speedup.add_argument("--allow-context-drift", action="store_true",
+                         help="accepted for symmetry with compare; cross-run "
+                              "ratios are advisory regardless")
+    speedup.set_defaults(func=cmd_speedup)
 
     args = parser.parse_args()
     sys.exit(args.func(args) or 0)

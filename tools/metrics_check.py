@@ -17,9 +17,12 @@ Checks, in order:
      (TOOL_REQUIRED_STAGES, keyed by manifest.tool — a serve-only run has no
      trace.* timers, so one global list cannot work) plus every
      --require-nonzero-timer stage must have recorded wall time
-     ("<stage>.wall_ns" with count > 0 and sum > 0); every --require-counter
-     name must be present, and every --require-positive-counter name must be
-     present with a value > 0.
+     ("<stage>.wall_ns" with count > 0 and sum > 0); every counter the tool
+     is expected to register (TOOL_REQUIRED_COUNTERS — e.g. the SIMD/mmap
+     fast-path counters fits.simd_batches, trace.mmap_bytes,
+     trace.mmap_fallbacks for pmacx_extrapolate) plus every
+     --require-counter name must be present, and every
+     --require-positive-counter name must be present with a value > 0.
   3. Fit health: when the snapshot contains fit counters, the fraction of
      elements that fell back to the constant form
      (fits.constant_fallback / fits.total) must not exceed
@@ -44,6 +47,20 @@ TOOL_REQUIRED_STAGES = {
     "pmacx_extrapolate": ("extrapolate.load", "extrapolate.fit", "extrapolate.apply"),
     "pmacx_trace": ("trace.task",),
     "pmacx_predict": ("psins.predict",),
+}
+
+# Counters every snapshot from a tool must carry (presence, not positivity —
+# a run may legitimately record zero).  The fast-path counters are registered
+# up front by the trace loader and the batch fitter precisely so their
+# absence means the instrumented code path was compiled out or regressed,
+# which this map turns into a hard failure.  Positivity (e.g. "the bench run
+# must actually have exercised the SIMD batch path") is asserted per-run via
+# --require-positive-counter; see docs/OBSERVABILITY.md.
+TOOL_REQUIRED_COUNTERS = {
+    # pmacx_fit is absent deliberately: it fits one series via select_best
+    # and never constructs the BatchFitter that registers fits.simd_batches.
+    "pmacx_extrapolate": ("fits.total", "fits.simd_batches",
+                          "trace.mmap_bytes", "trace.mmap_fallbacks"),
 }
 
 
@@ -167,7 +184,13 @@ def main():
     check_manifest(doc.get("manifest"), errors)
     counters, timers = check_sections(doc, errors)
 
+    manifest_tool = doc.get("manifest", {})
+    tool_name = manifest_tool.get("tool") if isinstance(manifest_tool, dict) else None
+    required_counters = list(TOOL_REQUIRED_COUNTERS.get(tool_name, ()))
     for name in args.require_counter:
+        if name not in required_counters:
+            required_counters.append(name)
+    for name in required_counters:
         if name not in counters:
             errors.append(f"required counter {name!r} is missing")
     for name in args.require_positive_counter:
