@@ -9,9 +9,11 @@
 
 #include "core/checkpoint.hpp"
 #include "stats/batch.hpp"
+#include "stats/bayes.hpp"
 #include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
 namespace pmacx::core {
@@ -287,6 +289,24 @@ ElementOutcome evaluate_element(const Alignment& alignment, const AlignedElement
         options.bootstrap_resamples, 0.9,
         /*seed=*/element.key.block_id * 131 + element.key.element);
   }
+  if (options.interval_coverage > 0.0 && options.interval_coverage < 1.0) {
+    // Bayesian interval mode: posterior over the already-fitted candidates
+    // (no refitting), sampled with a seed derived purely from the element's
+    // identity — deterministic, and invariant under scheduling/thread count
+    // like everything else in this stage.
+    stats::bayes::Options bayes_options;
+    bayes_options.fit = options.fit;
+    bayes_options.coverage = options.interval_coverage;
+    bayes_options.samples = options.interval_samples;
+    bayes_options.seed = util::derive_seed(
+        element.key.block_id * 131 + element.key.element,
+        static_cast<std::uint64_t>(element.key.instr_index + 2));
+    fit.has_bayes = true;
+    fit.bayes = stats::bayes::predict(
+        stats::bayes::posterior_from(em.candidates, em.fit_axis, em.fit_values,
+                                     bayes_options),
+        target, bayes_options);
+  }
   return outcome;
 }
 
@@ -428,7 +448,8 @@ ExtrapolationResult apply_outcomes(const Alignment& alignment,
                                    std::vector<ElementOutcome>&& outcomes,
                                    double target, std::uint32_t out_core_count,
                                    const std::string& axis_name, const std::string& app,
-                                   std::uint32_t rank, const std::string& target_system) {
+                                   std::uint32_t rank, const std::string& target_system,
+                                   const ExtrapolationOptions& options) {
   ExtrapolationResult result;
   result.report.axis = alignment.axis;
   result.report.target = target;
@@ -493,6 +514,45 @@ ExtrapolationResult apply_outcomes(const Alignment& alignment,
   }
 
   for (auto& block : out.blocks) monotonize_hit_rates(block);
+
+  if (options.interval_coverage > 0.0 && options.interval_coverage < 1.0) {
+    // Interval traces: start from the finished point trace (identical
+    // skeleton and metadata) and overwrite every aligned element with its
+    // clamped predictive quantile.  Clamping is monotone and hit-rate
+    // monotonization is an element-wise max, so lo ≤ median ≤ hi survives
+    // both.
+    result.has_interval = true;
+    result.trace_lo = out;
+    result.trace_median = out;
+    result.trace_hi = out;
+    auto write_quantile = [&](trace::TaskTrace& into,
+                              double stats::bayes::Prediction::*quantile) {
+      std::unordered_map<std::uint64_t, trace::BasicBlockRecord*> index;
+      for (auto& block : into.blocks) index[block.id] = &block;
+      for (std::size_t i = 0; i < count; ++i) {
+        const ElementFit& fit = result.report.elements[i];
+        if (!fit.has_bayes) continue;
+        const ElementDomain domain = domain_of(fit.key);
+        const double value =
+            clamp_value(domain, fit.bayes.*quantile, options.round_counts);
+        trace::BasicBlockRecord* block = index.at(fit.key.block_id);
+        if (fit.key.is_block_level()) {
+          block->features[fit.key.element] = value;
+        } else {
+          for (auto& instr : block->instructions) {
+            if (static_cast<std::int32_t>(instr.index) == fit.key.instr_index) {
+              instr.features[fit.key.element] = value;
+              break;
+            }
+          }
+        }
+      }
+      for (auto& block : into.blocks) monotonize_hit_rates(block);
+    };
+    write_quantile(result.trace_lo, &stats::bayes::Prediction::lo);
+    write_quantile(result.trace_median, &stats::bayes::Prediction::median);
+    write_quantile(result.trace_hi, &stats::bayes::Prediction::hi);
+  }
   return result;
 }
 
@@ -529,7 +589,7 @@ ExtrapolationResult extrapolate_alignment(std::span<const trace::TaskTrace> inpu
 
   return apply_outcomes(alignment, std::move(outcomes), target, out_core_count,
                         axis_name, inputs.back().app, inputs.back().rank,
-                        inputs.back().target_system);
+                        inputs.back().target_system, options);
 }
 
 }  // namespace
@@ -669,10 +729,22 @@ TaskModelSet fit_task_models_checkpointed(std::span<const trace::TaskTrace> inpu
 
 ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
                                             std::uint32_t target_cores) {
+  return extrapolate_from_models(models, target_cores,
+                                 models.options.interval_coverage);
+}
+
+ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
+                                            std::uint32_t target_cores,
+                                            double interval_coverage) {
   PMACX_CHECK(target_cores > 0, "target core count must be positive");
   PMACX_CHECK(models.models.size() == models.alignment.elements.size(),
               "model set inconsistent with its alignment");
   const double target = static_cast<double>(target_cores);
+
+  // Interval mode is a per-query choice layered over the cached fits — the
+  // same model set answers PREDICT and PREDICT_INTERVAL without refitting.
+  ExtrapolationOptions options = models.options;
+  options.interval_coverage = interval_coverage;
 
   // Selection + evaluation over precomputed candidates: no fitting, so this
   // runs serially — and a shared cached set can be evaluated from many
@@ -683,11 +755,12 @@ ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
     outcomes.reserve(models.models.size());
     for (std::size_t i = 0; i < models.models.size(); ++i)
       outcomes.push_back(evaluate_element(models.alignment, models.alignment.elements[i],
-                                          models.models[i], target, models.options));
+                                          models.models[i], target, options));
   }
 
   return apply_outcomes(models.alignment, std::move(outcomes), target, target_cores,
-                        models.axis_name, models.app, models.rank, models.target_system);
+                        models.axis_name, models.app, models.rank, models.target_system,
+                        options);
 }
 
 }  // namespace pmacx::core

@@ -41,6 +41,16 @@ struct ExtrapolationOptions {
   /// entry.  Off by default: it multiplies fitting cost by the resample
   /// count.
   std::size_t bootstrap_resamples = 0;
+  /// Bayesian interval mode: when in (0, 1), every element additionally gets
+  /// posterior-predictive lo/median/hi values at this central coverage
+  /// (stats::bayes over the already-fitted candidates — no refitting), the
+  /// report rows carry them (bayes_* CSV columns), and the result gains
+  /// clamped lo/median/hi traces.  The point path — trace bytes, point
+  /// report columns, diagnostics, every non-fits.bayes.* counter — is
+  /// bit-identical to a run with interval mode off.  0 disables.
+  double interval_coverage = 0.0;
+  /// Posterior-predictive mixture draws per element in interval mode.
+  std::size_t interval_samples = 256;
   /// Domain-aware selection: a candidate fit whose *extrapolated* value
   /// falls outside the element's valid domain (negative count, rate outside
   /// [0,1]) is rejected in favour of the next-best in-domain candidate —
@@ -69,6 +79,14 @@ struct ExtrapolationResult {
   trace::TaskTrace trace;
   FitReport report;
   DiagnosticsReport diagnostics;
+  /// Interval mode only (ExtrapolationOptions::interval_coverage in (0,1)):
+  /// domain-clamped lo/median/hi synthetic traces bracketing `trace` with
+  /// the per-element posterior-predictive quantiles.  Element-wise
+  /// lo ≤ median ≤ hi holds after clamping and hit-rate monotonization.
+  bool has_interval = false;
+  trace::TaskTrace trace_lo;
+  trace::TaskTrace trace_median;
+  trace::TaskTrace trace_hi;
 };
 
 /// Extrapolates the series of traces (strictly increasing core counts, ≥ 2,
@@ -129,6 +147,17 @@ TaskModelSet fit_task_models(std::span<const trace::TaskTrace> inputs,
 /// refitting it is far off any hot path.
 ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
                                             std::uint32_t target_cores);
+
+/// extrapolate_from_models with the model set's interval mode overridden:
+/// `interval_coverage` in (0, 1) turns Bayesian intervals on at that
+/// coverage, 0 turns them off — without refitting or touching the cached
+/// set.  The point half of the result is bit-identical to
+/// extrapolate_from_models(models, target_cores) either way, which is what
+/// lets the serving layer answer PREDICT and PREDICT_INTERVAL from one
+/// cached model set.
+ExtrapolationResult extrapolate_from_models(const TaskModelSet& models,
+                                            std::uint32_t target_cores,
+                                            double interval_coverage);
 
 /// Input-parameter extrapolation (Section VI future work): the same
 /// machinery along a problem-size axis at a *fixed* core count.  `inputs`

@@ -39,7 +39,9 @@ std::string FitReport::to_csv() const {
   std::vector<std::string> header = {"block", "instr", "element"};
   for (double value : axis) header.push_back(util::format("at_%g", value));
   for (const char* column : {"form", "a", "b", "c", "sse", "r2", "max_fit_rel_error",
-                             "extrapolated", "clamped", "influential", "ci_lo", "ci_hi"})
+                             "extrapolated", "clamped", "influential", "ci_lo", "ci_hi",
+                             "bayes_lo", "bayes_median", "bayes_hi", "bayes_form",
+                             "bayes_weight"})
     header.emplace_back(column);
 
   util::Table table(std::move(header));
@@ -63,6 +65,11 @@ std::string FitReport::to_csv() const {
     row.push_back(fit.influential ? "1" : "0");
     row.push_back(fit.has_interval ? util::format("%.17g", fit.interval.lo) : "");
     row.push_back(fit.has_interval ? util::format("%.17g", fit.interval.hi) : "");
+    row.push_back(fit.has_bayes ? util::format("%.17g", fit.bayes.lo) : "");
+    row.push_back(fit.has_bayes ? util::format("%.17g", fit.bayes.median) : "");
+    row.push_back(fit.has_bayes ? util::format("%.17g", fit.bayes.hi) : "");
+    row.push_back(fit.has_bayes ? stats::form_name(fit.bayes.map_form) : "");
+    row.push_back(fit.has_bayes ? util::format("%.6g", fit.bayes.map_weight) : "");
     table.add_row(std::move(row));
   }
   return table.to_csv();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/align.hpp"
+#include "stats/bayes.hpp"
 #include "stats/canonical.hpp"
 
 namespace pmacx::core {
@@ -33,6 +34,13 @@ struct ElementFit {
   /// influential elements, to bound cost).
   bool has_interval = false;
   stats::PredictionInterval interval;
+  /// Bayesian posterior-predictive interval (stats::bayes) at the run's
+  /// requested coverage; populated for every element when
+  /// ExtrapolationOptions::interval_coverage is set.  Raw (unclamped)
+  /// predictive quantiles — the interval *traces* clamp into each element's
+  /// domain, the report keeps the honest values.
+  bool has_bayes = false;
+  stats::bayes::Prediction bayes;
 };
 
 /// Whole-run extrapolation report.

@@ -5,10 +5,13 @@
 
 #include "core/checkpoint.hpp"
 #include "machine/targets.hpp"
+#include "service/protocol.hpp"
 #include "synth/registry.hpp"
+#include "trace/binary_io.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
+#include "util/strings.hpp"
 
 namespace pmacx::service {
 
@@ -46,6 +49,7 @@ std::size_t profile_cost(const machine::MachineProfile& profile) {
 std::size_t signature_cost(const trace::AppSignature& signature) {
   return signature.memory_bytes();
 }
+std::size_t body_cost(const std::string& body) { return sizeof(body) + body.size(); }
 
 }  // namespace
 
@@ -53,7 +57,8 @@ ModelStore::ModelStore(std::size_t max_bytes)
     : traces_(max_bytes, trace_cost),
       models_(max_bytes, models_cost),
       profiles_(max_bytes, profile_cost),
-      signatures_(max_bytes, signature_cost) {}
+      signatures_(max_bytes, signature_cost),
+      intervals_(max_bytes, body_cost) {}
 
 std::shared_ptr<const LoadedTrace> ModelStore::load_trace(const std::string& path) {
   return traces_.get_or_load("trace:" + path, [&path]() {
@@ -136,15 +141,40 @@ std::shared_ptr<const trace::AppSignature> ModelStore::signature_for(
   });
 }
 
+std::shared_ptr<const std::string> ModelStore::interval_for(const ModelsResult& models,
+                                                            std::uint32_t target_cores,
+                                                            double interval_coverage) {
+  PMACX_CHECK(models.models != nullptr, "interval_for on an empty models result");
+  PMACX_CHECK(interval_coverage > 0.0 && interval_coverage < 1.0,
+              "interval coverage must be in (0, 1)");
+  // %.17g keys: 0.9 and 0.9000001 must not collide the way a fixed 6-decimal
+  // rendering would make them.
+  const std::string key = "interval:" + models.digest + ":" +
+                          std::to_string(target_cores) + ":" +
+                          util::format("%.17g", interval_coverage);
+  return intervals_.get_or_load(key, [&]() {
+    core::ExtrapolationResult result =
+        core::extrapolate_from_models(*models.models, target_cores, interval_coverage);
+    PMACX_ASSERT(result.has_interval, "interval extrapolation produced no interval");
+    IntervalResult encoded;
+    encoded.lo = trace::to_binary(result.trace_lo);
+    encoded.median = trace::to_binary(result.trace_median);
+    encoded.hi = trace::to_binary(result.trace_hi);
+    encoded.report_csv = result.report.to_csv();
+    return std::make_shared<const std::string>(encode_interval_result(encoded));
+  });
+}
+
 StoreStats ModelStore::stats() const {
   StoreStats stats;
   util::metrics::Registry& registry = util::metrics::Registry::global();
   stats.hits = registry.counter("service.cache.hits").value();
   stats.misses = registry.counter("service.cache.misses").value();
   stats.evictions = registry.counter("service.cache.evictions").value();
-  stats.bytes = traces_.bytes() + models_.bytes() + profiles_.bytes() + signatures_.bytes();
-  stats.entries =
-      traces_.entries() + models_.entries() + profiles_.entries() + signatures_.entries();
+  stats.bytes = traces_.bytes() + models_.bytes() + profiles_.bytes() +
+                signatures_.bytes() + intervals_.bytes();
+  stats.entries = traces_.entries() + models_.entries() + profiles_.entries() +
+                  signatures_.entries() + intervals_.entries();
   return stats;
 }
 

@@ -133,6 +133,15 @@ class ModelStore {
       const ModelsResult& models, std::uint32_t target_cores, const std::string& app,
       double work_scale);
 
+  /// The encoded PREDICT_INTERVAL response body (IntervalResult bytes: the
+  /// lo/median/hi binary traces + CSV report) for (model set, target,
+  /// coverage) — cached under the same models_digest as the point path, so
+  /// interval queries ride the existing content address and shard placement.
+  /// Coverage must be in (0, 1).
+  std::shared_ptr<const std::string> interval_for(const ModelsResult& models,
+                                                  std::uint32_t target_cores,
+                                                  double interval_coverage);
+
   StoreStats stats() const;
 
  private:
@@ -140,6 +149,7 @@ class ModelStore {
   LruCache<core::TaskModelSet> models_;
   LruCache<machine::MachineProfile> profiles_;
   LruCache<trace::AppSignature> signatures_;
+  LruCache<std::string> intervals_;
 };
 
 // ---------------------------------------------------------------------------

@@ -103,7 +103,7 @@ class PayloadReader {
 };
 
 MsgType msg_type_from_wire(std::uint16_t raw, std::uint64_t offset) {
-  if (raw < 1 || raw > 5)
+  if (raw < 1 || raw > 6)
     throw util::ParseError("", offset, "frame.type",
                            "unknown message type " + std::to_string(raw));
   return static_cast<MsgType>(raw);
@@ -118,6 +118,7 @@ std::string msg_type_name(MsgType type) {
     case MsgType::Predict: return "predict";
     case MsgType::Status: return "status";
     case MsgType::Shutdown: return "shutdown";
+    case MsgType::PredictInterval: return "predict_interval";
   }
   return "unknown";
 }
@@ -277,6 +278,11 @@ std::string encode_request(const Request& request) {
       encode_spec(frame.payload, request.spec);
       put_u32(frame.payload, request.target_cores);
       break;
+    case MsgType::PredictInterval:
+      encode_spec(frame.payload, request.spec);
+      put_u32(frame.payload, request.target_cores);
+      put_f64(frame.payload, request.interval_coverage);
+      break;
     case MsgType::Predict:
       encode_spec(frame.payload, request.spec);
       put_u32(frame.payload, request.target_cores);
@@ -302,6 +308,11 @@ Request decode_request(const Frame& frame) {
     case MsgType::Extrapolate:
       request.spec = decode_spec(reader);
       request.target_cores = reader.u32("target_cores");
+      break;
+    case MsgType::PredictInterval:
+      request.spec = decode_spec(reader);
+      request.target_cores = reader.u32("target_cores");
+      request.interval_coverage = reader.f64("interval_coverage");
       break;
     case MsgType::Predict:
       request.spec = decode_spec(reader);
@@ -337,6 +348,28 @@ Response decode_response(const Frame& frame) {
   response.body = reader.str("body");
   reader.expect_end();
   return response;
+}
+
+std::string encode_interval_result(const IntervalResult& result) {
+  std::string out;
+  out.reserve(16 + result.lo.size() + result.median.size() + result.hi.size() +
+              result.report_csv.size());
+  put_str(out, result.lo);
+  put_str(out, result.median);
+  put_str(out, result.hi);
+  put_str(out, result.report_csv);
+  return out;
+}
+
+IntervalResult decode_interval_result(std::string_view body) {
+  PayloadReader reader(body, "interval_result");
+  IntervalResult result;
+  result.lo = reader.str("lo_trace");
+  result.median = reader.str("median_trace");
+  result.hi = reader.str("hi_trace");
+  result.report_csv = reader.str("report_csv");
+  reader.expect_end();
+  return result;
 }
 
 }  // namespace pmacx::service

@@ -49,6 +49,8 @@ enum class MsgType : std::uint16_t {
   Predict = 3,      ///< full runtime prediction; respond with the rendered block
   Status = 4,       ///< server/cache statistics
   Shutdown = 5,     ///< graceful drain + exit
+  PredictInterval = 6,  ///< Bayesian interval extrapolation: respond with the
+                        ///< lo/median/hi traces + CSV report (IntervalResult)
 };
 
 /// Stable name ("fit", "predict", ...) used in metric names and logs.
@@ -102,6 +104,11 @@ struct Request {
   std::string app;                 ///< application model for comm timelines
   double work_scale = 1.0;
   std::string machine_target;      ///< machine::target_by_name name
+  /// PredictInterval only: central coverage of the prediction interval,
+  /// in (0, 1).  Part of the wire payload but *not* of the fit spec — the
+  /// same cached model set (same models_digest, same shard) answers every
+  /// coverage.
+  double interval_coverage = 0.9;
 };
 
 /// Response status. Busy is the load-shedding answer: the request was
@@ -128,5 +135,22 @@ Request decode_request(const Frame& frame);
 std::string encode_response(MsgType type, const Response& response);
 /// Decodes a response payload; throws util::ParseError on malformed fields.
 Response decode_response(const Frame& frame);
+
+/// The body of an OK PREDICT_INTERVAL response: the three interval traces
+/// (trace::to_binary bytes) plus the CSV interval report, each
+/// u32-length-prefixed.  Deterministic for a given model set, target, and
+/// coverage — the byte-identity contract the cluster tests assert.
+struct IntervalResult {
+  std::string lo;          ///< lower-quantile trace bytes
+  std::string median;      ///< predictive-median trace bytes
+  std::string hi;          ///< upper-quantile trace bytes
+  std::string report_csv;  ///< FitReport::to_csv with the bayes_* columns
+};
+
+/// Serializes an IntervalResult into a response body.
+std::string encode_interval_result(const IntervalResult& result);
+/// Parses a PREDICT_INTERVAL response body; throws util::ParseError on
+/// truncation or trailing bytes.
+IntervalResult decode_interval_result(std::string_view body);
 
 }  // namespace pmacx::service

@@ -400,6 +400,16 @@ Response Server::handle(const Request& request) {
       response.body = trace::to_binary(result.trace);
       break;
     }
+    case MsgType::PredictInterval: {
+      // Same content address as Fit/Extrapolate: the coverage is a query
+      // parameter, not part of the model digest, so interval requests reuse
+      // (and warm) the point path's cached fits.
+      const ModelStore::ModelsResult models =
+          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+      response.body =
+          *store_.interval_for(models, request.target_cores, request.interval_coverage);
+      break;
+    }
     case MsgType::Predict: {
       const ModelStore::ModelsResult models =
           store_.models_for(request.spec.trace_paths, request.spec.to_options());

@@ -1,0 +1,285 @@
+#include "stats/bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pmacx::stats::bayes {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Pre-resolved like fits.attempted.*: posterior construction runs once per
+// element inside the parallel fit stage, so the registry lock must not sit
+// on its path.
+struct Counters {
+  util::metrics::Counter& evidence_evals;
+  util::metrics::Counter& posteriors;
+  util::metrics::Counter& samples;
+  util::metrics::Counter& intervals;
+  util::metrics::Counter& degenerate;
+};
+
+Counters& counters() {
+  static Counters c{
+      util::metrics::Registry::global().counter("fits.bayes.evidence_evals"),
+      util::metrics::Registry::global().counter("fits.bayes.posteriors"),
+      util::metrics::Registry::global().counter("fits.bayes.samples"),
+      util::metrics::Registry::global().counter("fits.bayes.intervals"),
+      util::metrics::Registry::global().counter("fits.bayes.degenerate"),
+  };
+  return c;
+}
+
+/// The abscissa each form's regression is linear in — the leverage space.
+/// Exponential is log-linear in p itself; Power and Logarithmic in ln p;
+/// InverseP in 1/p.  Constant has no abscissa (leverage is 1/n alone).
+double transform_abscissa(Form form, double p) {
+  switch (form) {
+    case Form::Constant: return 0.0;
+    case Form::Linear:
+    case Form::Exponential:
+    case Form::Quadratic: return p;
+    case Form::Logarithmic:
+    case Form::Power: return p > 0.0 ? std::log(p) : kInf;
+    case Form::InverseP: return p != 0.0 ? 1.0 / p : kInf;
+  }
+  return p;
+}
+
+/// Grid-marginalised Gaussian log-evidence: log-sum-exp of the likelihood at
+/// the OLS estimates over a log-spaced sigma^2 grid (flat prior over the
+/// grid), minus the BIC/Laplace parameter-volume penalty (k/2)·ln n.
+double log_evidence(double sse, std::size_t n, int k, double sigma2,
+                    std::size_t grid) {
+  const double dn = static_cast<double>(n);
+  double max_ll = -kInf;
+  std::vector<double> lls;
+  lls.reserve(grid);
+  for (std::size_t g = 0; g < grid; ++g) {
+    // sigma^2 factors 2^-4 .. 2^4 (a single grid point sits at sigma2 itself).
+    const double exponent =
+        grid > 1 ? -4.0 + 8.0 * static_cast<double>(g) / static_cast<double>(grid - 1)
+                 : 0.0;
+    const double s2 = sigma2 * std::exp2(exponent);
+    const double ll = -0.5 * dn * std::log(kTwoPi * s2) - sse / (2.0 * s2);
+    counters().evidence_evals.add();
+    if (std::isfinite(ll)) {
+      lls.push_back(ll);
+      max_ll = std::max(max_ll, ll);
+    }
+  }
+  if (lls.empty()) return -kInf;
+  double total = 0.0;
+  for (double ll : lls) total += std::exp(ll - max_ll);
+  return max_ll + std::log(total / static_cast<double>(lls.size())) -
+         0.5 * static_cast<double>(k) * std::log(dn);
+}
+
+/// Mirror of canonical.cpp's tie band: relative to |best| so negative
+/// log-evidence scores keep a positive band.
+double tie_band(double tie_tolerance, double best_score) {
+  if (!std::isfinite(best_score)) return tie_tolerance;
+  return tie_tolerance * (1.0 + std::fabs(best_score));
+}
+
+/// Predictive standard deviation of one form at the transformed target
+/// abscissa: residual noise inflated by the OLS leverage
+/// 1/n + (x* - x̄)² / Sxx — the term that widens intervals the further the
+/// target sits beyond the fitted core counts.
+double predictive_sd(const FormPosterior& component, std::size_t n, double target) {
+  const double x = transform_abscissa(component.model.form, target);
+  double leverage = 1.0 / static_cast<double>(n);
+  if (component.sxx > 0.0 && std::isfinite(x)) {
+    const double dx = x - component.x_mean;
+    leverage += dx * dx / component.sxx;
+  }
+  return std::sqrt(component.sigma2 * (1.0 + leverage));
+}
+
+/// Exact Student-t deviate with `dof` degrees of freedom from two uniforms
+/// (Bailey's method): T = sqrt(dof·(u^(-2/dof) - 1)) · cos(2πv).  As
+/// dof → ∞ the radius degenerates to the Box–Muller -2·ln u, so the
+/// heavy-tail correction vanishes exactly when it should.  The fixed
+/// two-uniform budget per draw keeps the stream position independent of
+/// which mixture component was chosen.
+double student_t(util::Rng& rng, double dof) {
+  const double u = std::max(rng.uniform(), 1e-300);
+  const double v = rng.uniform();
+  const double radius2 = dof * (std::pow(u, -2.0 / dof) - 1.0);
+  return std::sqrt(std::max(radius2, 0.0)) * std::cos(kTwoPi * v);
+}
+
+}  // namespace
+
+Posterior posterior_from(std::span<const FittedModel> candidates,
+                         std::span<const double> p, std::span<const double> y,
+                         const Options& opts) {
+  PMACX_CHECK(!p.empty() && p.size() == y.size(), "bayes: bad series");
+  PMACX_CHECK(opts.noise_grid >= 1, "bayes: noise_grid must be >= 1");
+  const std::size_t n = p.size();
+
+  // Noise floor: an exact fit (SSE = 0) must yield a sharply peaked — not
+  // singular — likelihood, so its variance is floored relative to the data
+  // scale.  All-zero series floor at an absolute epsilon instead.
+  double scale = 0.0;
+  for (double v : y) scale = std::max(scale, std::fabs(v));
+  const double floor = std::max(1e-300, 1e-24 * scale * scale);
+
+  Posterior posterior;
+  posterior.n = n;
+  for (const FittedModel& fit : candidates) {
+    if (!fit.ok || !std::isfinite(fit.sse)) continue;
+    FormPosterior component;
+    component.model = fit;
+    const int k = form_parameter_count(fit.form);
+    component.dof = std::max<double>(static_cast<double>(n) - k, 1.0);
+    component.sigma2 = std::max(fit.sse / component.dof, floor);
+    // Leverage ingredients in the form's fit transform.
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (double pi : p) {
+      const double x = transform_abscissa(fit.form, pi);
+      if (!std::isfinite(x)) continue;
+      sum += x;
+      ++used;
+    }
+    if (used > 0) {
+      component.x_mean = sum / static_cast<double>(used);
+      for (double pi : p) {
+        const double x = transform_abscissa(fit.form, pi);
+        if (!std::isfinite(x)) continue;
+        const double dx = x - component.x_mean;
+        component.sxx += dx * dx;
+      }
+    }
+    component.log_evidence =
+        log_evidence(fit.sse, n, k, component.sigma2, opts.noise_grid);
+    if (!std::isfinite(component.log_evidence)) continue;
+    posterior.forms.push_back(component);
+  }
+
+  if (posterior.forms.empty()) {
+    // Every candidate failed: mirror select_best's constant-mean fallback so
+    // the posterior is always usable, but mark it not-ok.
+    FormPosterior component;
+    component.model = fit_form(Form::Constant, p, y);
+    component.log_evidence = 0.0;
+    component.weight = 1.0;
+    component.sigma2 = floor;
+    component.dof = std::max<double>(static_cast<double>(n) - 1.0, 1.0);
+    posterior.forms.push_back(component);
+    posterior.map_index = 0;
+    posterior.ok = false;
+    counters().posteriors.add();
+    return posterior;
+  }
+
+  // Normalised evidence weights (flat prior over forms).
+  double max_le = -kInf;
+  for (const FormPosterior& c : posterior.forms)
+    max_le = std::max(max_le, c.log_evidence);
+  double total = 0.0;
+  for (FormPosterior& c : posterior.forms) {
+    c.weight = std::exp(c.log_evidence - max_le);
+    total += c.weight;
+  }
+  for (FormPosterior& c : posterior.forms) c.weight /= total;
+
+  // MAP form: highest evidence, with select_best's simpler-wins tie-break so
+  // the Bayesian winner agrees with the point path when evidence ties.
+  std::size_t best = 0;
+  double best_score = -posterior.forms[0].log_evidence;
+  for (std::size_t i = 1; i < posterior.forms.size(); ++i) {
+    const double score = -posterior.forms[i].log_evidence;
+    const double band = tie_band(opts.fit.tie_tolerance, best_score);
+    const bool better = score < best_score - band;
+    const bool tied = std::fabs(score - best_score) <= band &&
+                      form_complexity(posterior.forms[i].model.form) <
+                          form_complexity(posterior.forms[best].model.form);
+    if (better || tied) {
+      best = i;
+      best_score = score;
+    }
+  }
+  posterior.map_index = best;
+  posterior.ok = true;
+  counters().posteriors.add();
+  return posterior;
+}
+
+Posterior fit_posterior(std::span<const double> p, std::span<const double> y,
+                        const Options& opts) {
+  const std::vector<FittedModel> candidates = fit_all(p, y, opts.fit);
+  return posterior_from(candidates, p, y, opts);
+}
+
+Prediction predict(const Posterior& posterior, double target, const Options& opts) {
+  PMACX_CHECK(!posterior.forms.empty(), "bayes: empty posterior");
+  PMACX_CHECK(opts.coverage > 0.0 && opts.coverage < 1.0,
+              "bayes: coverage out of (0,1)");
+  PMACX_CHECK(opts.samples >= 2, "bayes: need at least two samples");
+
+  Prediction prediction;
+  prediction.coverage = opts.coverage;
+  const FormPosterior& map = posterior.forms[posterior.map_index];
+  prediction.map_form = map.model.form;
+  prediction.map_weight = map.weight;
+  prediction.point = map.model.evaluate(target);
+
+  // Deterministic mixture draw: pick a form by weight, then add its
+  // leverage-inflated predictive noise as a Student-t deviate with the
+  // form's residual degrees of freedom (the honest small-n predictive; a
+  // plug-in normal undercovers at the 3-6 sample counts traces provide).
+  // Every sample consumes exactly three variates, so the stream is
+  // identical for a fixed seed regardless of which forms are drawn.
+  util::Rng rng(opts.seed);
+  std::vector<double> draws;
+  draws.reserve(opts.samples);
+  for (std::size_t s = 0; s < opts.samples; ++s) {
+    const double u = rng.uniform();
+    double cumulative = 0.0;
+    const FormPosterior* chosen = &posterior.forms.back();
+    for (const FormPosterior& component : posterior.forms) {
+      cumulative += component.weight;
+      if (u < cumulative) {
+        chosen = &component;
+        break;
+      }
+    }
+    const double t = student_t(rng, chosen->dof);
+    const double value = chosen->model.evaluate(target) +
+                         predictive_sd(*chosen, posterior.n, target) * t;
+    if (std::isfinite(value)) draws.push_back(value);
+  }
+  counters().samples.add(draws.size());
+  counters().intervals.add();
+
+  if (draws.empty() || !std::isfinite(prediction.point)) {
+    // Nothing finite to rank: collapse onto the point estimate.
+    prediction.lo = prediction.point;
+    prediction.median = prediction.point;
+    prediction.hi = prediction.point;
+    counters().degenerate.add();
+    return prediction;
+  }
+  std::sort(draws.begin(), draws.end());
+  const double alpha = (1.0 - opts.coverage) / 2.0;
+  prediction.lo = percentile(draws, alpha);
+  prediction.median = percentile(draws, 0.5);
+  prediction.hi = percentile(draws, 1.0 - alpha);
+  return prediction;
+}
+
+Prediction predict_interval(std::span<const double> p, std::span<const double> y,
+                            double target, const Options& opts) {
+  return predict(fit_posterior(p, y, opts), target, opts);
+}
+
+}  // namespace pmacx::stats::bayes

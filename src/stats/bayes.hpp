@@ -1,0 +1,109 @@
+// Bayesian model averaging over the canonical forms — prediction intervals
+// instead of point estimates.
+//
+// The paper keeps the single best-fitting form per element and reports a
+// point extrapolation; Kohashi et al. (PAPERS.md) show the richer move: a
+// posterior over model forms and parameters whose predictive distribution
+// carries the uncertainty of the extrapolation.  This module implements the
+// no-dependency version of that idea:
+//
+//   * per-form evidence by a BIC/Laplace approximation around the OLS
+//     estimates, marginalising the noise scale over a log-spaced grid
+//     (flat prior over forms and grid points);
+//   * form weights by normalised evidence;
+//   * a posterior-predictive mixture sampled deterministically (fixed seed)
+//     whose lower/median/upper quantiles at the target core count form the
+//     prediction interval.  Per-form predictive noise is Student-t with the
+//     fit's residual degrees of freedom — at the 3-6 sample counts traces
+//     provide, the plug-in normal noticeably undercovers and the t
+//     correction is what makes the stated coverage honest.
+//
+// Everything is closed-form plus a small seeded Monte-Carlo mixture draw —
+// no MCMC, no external libraries — and reuses the already-fitted candidate
+// models from fit_all/BatchFitter, so the posterior costs no refitting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/canonical.hpp"
+
+namespace pmacx::stats::bayes {
+
+/// Posterior construction and sampling knobs.
+struct Options {
+  /// Candidate forms and tie policy; the same FitOptions the point path uses,
+  /// so the posterior ranges over exactly the forms select_best considered
+  /// (pass paper_forms() for the paper-faithful four).
+  FitOptions fit{};
+  /// Central interval mass: 0.9 yields the [5%, 95%] predictive quantiles.
+  double coverage = 0.9;
+  /// Noise-scale grid: log-spaced sigma^2 factors 2^-4 .. 2^4 around the
+  /// per-form residual variance, `noise_grid` points, flat prior.
+  std::size_t noise_grid = 9;
+  /// Posterior-predictive mixture draws per prediction.
+  std::size_t samples = 256;
+  /// Seed for the deterministic mixture sampling.
+  std::uint64_t seed = 1;
+};
+
+/// One usable form's posterior component.
+struct FormPosterior {
+  FittedModel model;            ///< the OLS/MAP parameter estimate
+  double log_evidence = 0.0;    ///< grid-marginalised, BIC-penalised
+  double weight = 0.0;          ///< normalised posterior form probability
+  double sigma2 = 0.0;          ///< residual variance SSE / max(n - k, 1)
+  double dof = 1.0;             ///< residual degrees of freedom max(n - k, 1)
+  double x_mean = 0.0;          ///< abscissa mean in the form's fit transform
+  double sxx = 0.0;             ///< abscissa scatter (leverage denominator)
+};
+
+/// Posterior over forms for one series.  Built once per element, then
+/// queried at any number of targets.
+struct Posterior {
+  std::vector<FormPosterior> forms;  ///< usable candidates only, fit-form order
+  std::size_t n = 0;                 ///< sample count of the fitted series
+  std::size_t map_index = 0;         ///< index of the MAP form in `forms`
+  bool ok = false;                   ///< false when no candidate was usable
+
+  const FittedModel& map_model() const { return forms[map_index].model; }
+};
+
+/// Central prediction interval at one target core count.
+struct Prediction {
+  double lo = 0.0;      ///< lower predictive quantile at (1 - coverage) / 2
+  double median = 0.0;  ///< predictive median
+  double hi = 0.0;      ///< upper predictive quantile at (1 + coverage) / 2
+  double point = 0.0;   ///< the MAP form's point value (the classic answer)
+  Form map_form = Form::Constant;  ///< highest-evidence form (ties: simpler)
+  double map_weight = 0.0;         ///< its posterior probability
+  double coverage = 0.0;           ///< the interval mass that was requested
+};
+
+/// Builds the posterior from precomputed candidates (as produced by
+/// fit_all(p, y, opts.fit) or the BatchFitter — same order as
+/// opts.fit.forms).  No refitting happens here; unusable candidates
+/// (ok == false or non-finite SSE) are excluded from the posterior.  When
+/// every candidate is unusable the result has ok == false and a single
+/// constant-mean component, mirroring select_best's fallback.
+Posterior posterior_from(std::span<const FittedModel> candidates,
+                         std::span<const double> p, std::span<const double> y,
+                         const Options& opts = {});
+
+/// fit_all + posterior_from in one call.
+Posterior fit_posterior(std::span<const double> p, std::span<const double> y,
+                        const Options& opts = {});
+
+/// Samples the posterior-predictive mixture at `target` and returns the
+/// central `opts.coverage` interval.  Deterministic for a fixed opts.seed;
+/// lo <= median <= hi always holds, and all three collapse onto the point
+/// when the posterior is degenerate (exact fits, or no finite draws).
+Prediction predict(const Posterior& posterior, double target,
+                   const Options& opts = {});
+
+/// Convenience: fit_posterior + predict.
+Prediction predict_interval(std::span<const double> p, std::span<const double> y,
+                            double target, const Options& opts = {});
+
+}  // namespace pmacx::stats::bayes

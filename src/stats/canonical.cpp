@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/descriptive.hpp"
 #include "stats/detail.hpp"
 #include "stats/ols.hpp"
 #include "util/error.hpp"
@@ -326,6 +327,17 @@ double aicc_score(const FittedModel& fit, std::size_t n) {
          2.0 * k * (k + 1.0) / denom;
 }
 
+/// Width of the "these scores are tied" band around `best_score`.  Scores can
+/// be negative (AICc below -1 is routine for good fits), so the relative term
+/// uses |best_score|: the naive `tol · (1 + best_score)` goes non-positive
+/// there, which silently disabled the simpler-wins tie-break and could even
+/// flip `better` for equal scores.  The band is never below the bare
+/// tolerance, so exact ties stay ties at score 0 too.
+double tie_band(double tie_tolerance, double best_score) {
+  if (!std::isfinite(best_score)) return tie_tolerance;
+  return tie_tolerance * (1.0 + std::fabs(best_score));
+}
+
 }  // namespace
 
 FittedModel select_best(std::span<const double> p, std::span<const double> y,
@@ -353,7 +365,7 @@ FittedModel select_best(std::span<const double> p, std::span<const double> y,
       if (!std::isfinite(score)) score = fit.sse;
     }
     if (!std::isfinite(score)) continue;
-    const double tolerance = opts.tie_tolerance * (1.0 + best_score);
+    const double tolerance = tie_band(opts.tie_tolerance, best_score);
     const bool better = !have_best || score < best_score - tolerance;
     const bool tied = have_best && std::fabs(score - best_score) <= tolerance &&
                       form_complexity(form) < form_complexity(best.form);
@@ -419,7 +431,7 @@ FittedModel select_from(std::span<const FittedModel> fits, std::span<const doubl
     const FittedModel& fit = fits[i];
     if (!fit.ok || !std::isfinite(scores[i])) continue;
     const double score = scores[i];
-    const double tolerance = opts.tie_tolerance * (1.0 + best_score);
+    const double tolerance = tie_band(opts.tie_tolerance, best_score);
     const bool better = !have_best || score < best_score - tolerance;
     const bool tied = have_best && std::fabs(score - best_score) <= tolerance &&
                       form_complexity(fit.form) < form_complexity(best.form);
@@ -461,20 +473,30 @@ PredictionInterval bootstrap_interval(std::span<const double> p, std::span<const
   for (std::size_t b = 0; b < resamples; ++b) {
     for (std::size_t i = 0; i < p.size(); ++i)
       resampled[i] = fitted[i] + residuals[rng.below(residuals.size())];
-    predictions.push_back(select_best(p, resampled, opts).evaluate(target));
+    // A resample can land on a pathological refit (e.g. an exponential that
+    // overflows at the target); a non-finite prediction would poison the
+    // sorted percentile walk, so it is dropped rather than ranked.
+    const double predicted = select_best(p, resampled, opts).evaluate(target);
+    if (std::isfinite(predicted)) predictions.push_back(predicted);
   }
   std::sort(predictions.begin(), predictions.end());
 
+  if (predictions.empty() || !std::isfinite(interval.point)) {
+    // Nothing rankable (or no finite point to rank around): collapse to the
+    // point rather than inventing bounds.
+    interval.lo = interval.point;
+    interval.hi = interval.point;
+    return interval;
+  }
   const double alpha = (1.0 - confidence) / 2.0;
-  auto percentile = [&](double q) {
-    const double idx = q * static_cast<double>(predictions.size() - 1);
-    const auto lo_idx = static_cast<std::size_t>(idx);
-    const std::size_t hi_idx = std::min(lo_idx + 1, predictions.size() - 1);
-    const double t = idx - static_cast<double>(lo_idx);
-    return predictions[lo_idx] + t * (predictions[hi_idx] - predictions[lo_idx]);
-  };
-  interval.lo = percentile(alpha);
-  interval.hi = percentile(1.0 - alpha);
+  interval.lo = percentile(predictions, alpha);
+  interval.hi = percentile(predictions, 1.0 - alpha);
+  // Exact-fit series (all residuals ~0) and tiny resample counts collapse the
+  // percentile indices onto one prediction; floating-point refits can still
+  // land that prediction a hair off the base fit's.  The contract is
+  // lo <= point <= hi, never inverted, so widen to include the point.
+  interval.lo = std::min(interval.lo, interval.point);
+  interval.hi = std::max(interval.hi, interval.point);
   return interval;
 }
 

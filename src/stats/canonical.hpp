@@ -92,7 +92,10 @@ struct FitOptions {
   /// of the paper's four (pass paper_forms() for paper-faithful selection).
   std::vector<Form> forms{default_forms().begin(), default_forms().end()};
   /// Two candidates whose scores differ by less than
-  /// `tie_tolerance · (1 + best_score)` are considered tied; the simpler wins.
+  /// `tie_tolerance · (1 + |best_score|)` are considered tied; the simpler
+  /// wins.  (|·| matters: AICc scores are routinely negative, and a band of
+  /// `tol · (1 + best_score)` would go non-positive and disable the
+  /// tie-break exactly where it is needed.)
   double tie_tolerance = 1e-9;
   /// Ranking rule; criteria that need more samples than available fall back
   /// to MinSse for that series.

@@ -32,6 +32,16 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
+double percentile(std::span<const double> sorted, double fraction) {
+  if (sorted.empty()) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double rank = fraction * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = rank - static_cast<double>(lo);
+  return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
 double mean(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double total = 0.0;

@@ -20,6 +20,15 @@ struct Summary {
 /// Computes the summary of `values`; an empty span yields a zeroed Summary.
 Summary summarize(std::span<const double> values);
 
+/// Linearly interpolated percentile of an ascending-sorted sample: the value
+/// at rank `fraction · (n - 1)`, interpolating between the bracketing
+/// elements.  This is the single interpolation rule shared by
+/// bootstrap_interval, the Bayesian posterior-predictive quantiles, and the
+/// loadgen latency report — one element returns that element for every
+/// fraction, so percentile(s, a) <= percentile(s, b) whenever a <= b.
+/// `fraction` is clamped to [0, 1]; an empty span returns 0.
+double percentile(std::span<const double> sorted, double fraction);
+
 /// Mean of `values`; 0 for an empty span.
 double mean(std::span<const double> values);
 

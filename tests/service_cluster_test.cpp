@@ -151,6 +151,35 @@ TEST(RouterTest, RoutedResponsesAreByteIdenticalToDirectShardCalls) {
   }
 }
 
+TEST(RouterTest, PredictIntervalRoutesTransparentlyWithIdenticalBytes) {
+  // The ISSUE 8 contract: PREDICT_INTERVAL responses must be byte-identical
+  // between a direct shard call and the routed cluster call.  Coverage is a
+  // query parameter, not part of the fit spec, so the request lands on the
+  // same replica set as the point-path queries for these traces.
+  Cluster cluster;
+  service::Request request = extrapolate_request();
+  request.type = service::MsgType::PredictInterval;
+  request.interval_coverage = 0.9;
+
+  service::Client direct = cluster.direct_client(cluster.workload_replicas()[0]);
+  const service::Response reference = direct.call(request);
+  ASSERT_EQ(reference.status, service::Status::Ok) << reference.body;
+  const service::IntervalResult decoded =
+      service::decode_interval_result(reference.body);
+  EXPECT_FALSE(decoded.lo.empty());
+  EXPECT_FALSE(decoded.median.empty());
+  EXPECT_FALSE(decoded.hi.empty());
+  EXPECT_FALSE(decoded.report_csv.empty());
+
+  service::Client routed = cluster.client();
+  for (int i = 0; i < 3; ++i) {
+    const service::Response response = routed.call(request);
+    ASSERT_EQ(response.status, service::Status::Ok) << response.body;
+    EXPECT_EQ(response.body, reference.body)
+        << "the router must be invisible in the interval payload";
+  }
+}
+
 TEST(RouterTest, FailsOverWhenThePrimaryReplicaDies) {
   Cluster cluster;
   const std::vector<std::uint32_t> replicas = cluster.workload_replicas();

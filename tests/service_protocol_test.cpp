@@ -37,6 +37,17 @@ Request sample_predict_request() {
   return request;
 }
 
+Request sample_interval_request() {
+  Request request = sample_predict_request();
+  request.type = MsgType::PredictInterval;
+  // Predict-only fields are not carried on the wire for interval requests.
+  request.app.clear();
+  request.machine_target.clear();
+  request.work_scale = 1.0;
+  request.interval_coverage = 0.95;
+  return request;
+}
+
 void expect_requests_equal(const Request& a, const Request& b) {
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.spec.trace_paths, b.spec.trace_paths);
@@ -51,6 +62,8 @@ void expect_requests_equal(const Request& a, const Request& b) {
   EXPECT_EQ(a.app, b.app);
   EXPECT_EQ(a.work_scale, b.work_scale);
   EXPECT_EQ(a.machine_target, b.machine_target);
+  if (a.type == MsgType::PredictInterval)
+    EXPECT_EQ(a.interval_coverage, b.interval_coverage);
 }
 
 }  // namespace
@@ -72,6 +85,10 @@ TEST(ServiceProtocol, RequestRoundTripsEveryType) {
   fit.type = MsgType::Fit;
   fit.target_cores = 0;
   expect_requests_equal(fit, decode_request(decode_frame(encode_request(fit))));
+
+  Request interval = sample_interval_request();
+  expect_requests_equal(interval,
+                        decode_request(decode_frame(encode_request(interval))));
 
   for (MsgType type : {MsgType::Status, MsgType::Shutdown}) {
     Request request;
@@ -195,6 +212,56 @@ TEST(ServiceProtocol, RandomCorruptionsNeverCrash) {
       FAIL() << "undetected corruption: " << corruption.describe();
     } catch (const util::ParseError&) {
       // expected: the taxonomy names the section and offset
+    }
+  }
+}
+
+TEST(ServiceProtocol, IntervalResultRoundTrips) {
+  IntervalResult result;
+  result.lo = std::string("lo\0trace\x01", 9);
+  result.median = std::string("median\0bytes", 12);
+  result.hi = std::string("hi\xff", 3);
+  result.report_csv = "block,element,lo,median,hi\n1,2,0.5,1.0,1.5\n";
+  const std::string body = encode_interval_result(result);
+  const IntervalResult decoded = decode_interval_result(body);
+  EXPECT_EQ(decoded.lo, result.lo);
+  EXPECT_EQ(decoded.median, result.median);
+  EXPECT_EQ(decoded.hi, result.hi);
+  EXPECT_EQ(decoded.report_csv, result.report_csv);
+
+  // The body codec carries the same taxonomy as the frame layer: every
+  // truncation and any trailing garbage must raise ParseError.
+  for (std::size_t cut = 0; cut < body.size(); ++cut)
+    EXPECT_THROW(decode_interval_result(body.substr(0, cut)), util::ParseError)
+        << "cut " << cut;
+  EXPECT_THROW(decode_interval_result(body + "x"), util::ParseError);
+}
+
+TEST(ServiceProtocol, IntervalRequestSurvivesCorruptionSweeps) {
+  // PREDICT_INTERVAL frames get the full corruption contract the other
+  // message types already pass: truncations, every single-bit flip, and a
+  // randomized mutation sweep must all raise ParseError, never crash or
+  // decode differently.
+  const std::string frame = encode_request(sample_interval_request());
+  for (const util::Corruption& corruption : util::truncation_sweep(frame.size())) {
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    EXPECT_THROW(decode_request(decode_frame(damaged)), util::ParseError)
+        << corruption.describe();
+  }
+  for (const util::Corruption& corruption : util::bit_flip_sweep(frame.size())) {
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    EXPECT_THROW(decode_request(decode_frame(damaged)), util::ParseError)
+        << corruption.describe();
+  }
+  util::Rng rng(20260808);
+  for (int i = 0; i < 1000; ++i) {
+    const util::Corruption corruption = util::random_corruption(rng, frame.size());
+    const std::string damaged = util::apply_corruption(frame, corruption);
+    if (damaged == frame) continue;
+    try {
+      decode_request(decode_frame(damaged));
+      FAIL() << "undetected corruption: " << corruption.describe();
+    } catch (const util::ParseError&) {
     }
   }
 }

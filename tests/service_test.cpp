@@ -329,6 +329,65 @@ TEST(ServiceServerTest, PredictResponseIsByteIdenticalToLibraryCall) {
   EXPECT_EQ(again.body, response.body);
 }
 
+TEST(ServiceServerTest, PredictIntervalResponseIsByteIdenticalToLibraryCall) {
+  service::Server server(test_server_options());
+  server.start();
+  service::Client client(client_for(server));
+
+  service::Request request = extrapolate_request(256);
+  request.type = service::MsgType::PredictInterval;
+  request.interval_coverage = 0.9;
+  const service::Response response = client.call(request);
+  ASSERT_EQ(response.status, service::Status::Ok) << response.body;
+
+  // Replicate the interval pipeline directly: cached fits, then the
+  // interval-mode evaluation at the target.
+  std::vector<TaskTrace> inputs;
+  for (const auto& path : request.spec.trace_paths) inputs.push_back(TaskTrace::load(path));
+  const core::TaskModelSet models =
+      core::fit_task_models(inputs, request.spec.to_options());
+  const core::ExtrapolationResult direct =
+      core::extrapolate_from_models(models, 256, 0.9);
+  ASSERT_TRUE(direct.has_interval);
+  service::IntervalResult expected;
+  expected.lo = trace::to_binary(direct.trace_lo);
+  expected.median = trace::to_binary(direct.trace_median);
+  expected.hi = trace::to_binary(direct.trace_hi);
+  expected.report_csv = direct.report.to_csv();
+  EXPECT_EQ(response.body, service::encode_interval_result(expected));
+
+  // The body decodes into three loadable, validated traces with ordered
+  // quantiles on a known element.
+  const service::IntervalResult decoded =
+      service::decode_interval_result(response.body);
+  const TaskTrace lo = trace::from_binary(decoded.lo);
+  const TaskTrace median = trace::from_binary(decoded.median);
+  const TaskTrace hi = trace::from_binary(decoded.hi);
+  lo.validate();
+  median.validate();
+  hi.validate();
+  EXPECT_EQ(median.core_count, 256u);
+  EXPECT_TRUE(median.extrapolated);
+  ASSERT_EQ(lo.blocks.size(), hi.blocks.size());
+  for (std::size_t b = 0; b < lo.blocks.size(); ++b) {
+    EXPECT_LE(lo.blocks[b].get(BlockElement::MemLoads),
+              hi.blocks[b].get(BlockElement::MemLoads) + 1e-9);
+    EXPECT_LE(lo.blocks[b].get(BlockElement::HitRateL2),
+              hi.blocks[b].get(BlockElement::HitRateL2) + 1e-12);
+  }
+
+  // Repeats come from the interval cache and must not change a byte; the
+  // point path stays untouched by interval queries.
+  const service::Response again = client.call(request);
+  ASSERT_EQ(again.status, service::Status::Ok);
+  EXPECT_EQ(again.body, response.body);
+  const service::Response point = client.call(extrapolate_request(256));
+  ASSERT_EQ(point.status, service::Status::Ok) << point.body;
+  const core::ExtrapolationResult point_direct =
+      core::extrapolate_from_models(models, 256);
+  EXPECT_EQ(point.body, trace::to_binary(point_direct.trace));
+}
+
 TEST(ServiceServerTest, ZeroInFlightLimitShedsWithBusy) {
   service::ServerOptions options = test_server_options();
   options.max_in_flight = 0;

@@ -8,9 +8,12 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "stats/batch.hpp"
+#include "stats/bayes.hpp"
 #include "stats/canonical.hpp"
 #include "util/arena.hpp"
 #include "util/metrics.hpp"
@@ -365,6 +368,55 @@ TEST(BatchFitterTest, CountsSimdBatches) {
   fitter.fit(y.data(), 1, 1, candidates.data(), scores.data(), arena);
   EXPECT_EQ(counter.value(), before + 1);
   util::simd::clear_forced_level();
+}
+
+TEST(BatchFitterTest, BayesMapAgreesWithSelectBestOverBatchCandidates) {
+  // The interval path reuses the batch-fitted candidates directly
+  // (posterior_from does no refitting), so on the golden generating series
+  // the Bayesian MAP under a flat noise prior must name the same winning
+  // form as select_best — and leave the point path bit-identical.
+  const std::vector<double> axis = {8.0, 16.0, 32.0, 64.0, 128.0};
+  std::vector<std::vector<double>> series;
+  auto gen = [&](auto fn) {
+    std::vector<double> s(axis.size());
+    for (std::size_t i = 0; i < axis.size(); ++i) s[i] = fn(axis[i]);
+    series.push_back(std::move(s));
+  };
+  gen([](double) { return 42.5; });                        // constant
+  gen([](double p) { return 3.0 + 2.0 * p; });             // linear
+  gen([](double p) { return 1.5 + 4.0 * std::log(p); });   // logarithmic
+  gen([](double p) { return 2.0 * std::exp(0.01 * p); });  // exponential
+  gen([](double p) { return 3.0 * std::pow(p, 1.7); });    // power
+  gen([](double p) { return 5.0 + 80.0 / p; });            // inverse-p
+
+  const FitOptions opts;
+  const std::size_t count = series.size();
+  const std::size_t forms = opts.forms.size();
+  std::vector<double> y(axis.size() * count);
+  for (std::size_t s = 0; s < axis.size(); ++s)
+    for (std::size_t e = 0; e < count; ++e) y[s * count + e] = series[e][s];
+  BatchFitter fitter(axis, opts);
+  util::Arena arena;
+  std::vector<FittedModel> candidates(count * forms);
+  std::vector<double> scores(count * forms);
+  fitter.fit(y.data(), count, count, candidates.data(), scores.data(), arena);
+
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::span<const FittedModel> mine(candidates.data() + e * forms, forms);
+    const FittedModel point = stats::select_best(axis, series[e], opts);
+    const auto posterior = stats::bayes::posterior_from(mine, axis, series[e]);
+    ASSERT_TRUE(posterior.ok) << "series " << e;
+    EXPECT_EQ(posterior.map_model().form, point.form) << "series " << e;
+    for (int k = 0; k < 3; ++k)
+      EXPECT_BITS_EQ(posterior.map_model().params[k], point.params[k])
+          << "series " << e << " param " << k;
+    // Point path untouched by the posterior: select_from over the same
+    // candidates still returns the identical model.
+    const std::span<const double> my_scores(scores.data() + e * forms, forms);
+    expect_model_identical(
+        stats::select_from(mine, my_scores, axis, series[e], opts), point,
+        "series " + std::to_string(e));
+  }
 }
 
 }  // namespace

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <span>
 
 #include "stats/canonical.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/ols.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -545,6 +547,114 @@ TEST(BootstrapTest, RejectsBadArguments) {
   const std::vector<double> y = {1.0, 2.0};
   EXPECT_THROW(stats::bootstrap_interval(p, y, 1024, {}, 1), util::Error);
   EXPECT_THROW(stats::bootstrap_interval(p, y, 1024, {}, 10, 1.5), util::Error);
+}
+
+TEST(BootstrapTest, ExactFitSeriesKeepsPointInsideInterval) {
+  // Regression: an exact-fit series has zero residuals, so every resample
+  // refits the same model — the interval must collapse around the point,
+  // never invert or go NaN.
+  const auto y = apply(Form::Power, kCores5, 2.0, 1.5);
+  const auto interval = stats::bootstrap_interval(kCores5, y, 8192);
+  EXPECT_TRUE(std::isfinite(interval.lo));
+  EXPECT_TRUE(std::isfinite(interval.hi));
+  EXPECT_LE(interval.lo, interval.point);
+  EXPECT_GE(interval.hi, interval.point);
+}
+
+TEST(BootstrapTest, TinyResampleCountsStayOrdered) {
+  // Regression: with very few resamples the percentile walk used to read
+  // whatever the handful of predictions happened to contain; the hardened
+  // path must still return finite lo <= point <= hi.
+  util::Rng rng(3);
+  std::vector<double> y;
+  for (double pi : kCores5) y.push_back(1.0 + 0.01 * pi + 0.1 * rng.normal());
+  for (std::size_t resamples : {2u, 3u, 5u}) {
+    const auto interval = stats::bootstrap_interval(kCores5, y, 8192, {}, resamples);
+    EXPECT_TRUE(std::isfinite(interval.lo)) << resamples;
+    EXPECT_TRUE(std::isfinite(interval.hi)) << resamples;
+    EXPECT_LE(interval.lo, interval.point) << resamples;
+    EXPECT_GE(interval.hi, interval.point) << resamples;
+  }
+}
+
+TEST(BootstrapTest, DegenerateSeriesCollapsesInsteadOfNan) {
+  // Two distinct samples of a flat series: resamples routinely land on a
+  // single repeated point, whose refits can be degenerate.  The interval
+  // must still bracket the point estimate.
+  const std::vector<double> p = {256, 512, 1024};
+  const std::vector<double> y = {7.0, 7.0, 7.0};
+  const auto interval = stats::bootstrap_interval(p, y, 8192, {}, 16);
+  EXPECT_TRUE(std::isfinite(interval.lo));
+  EXPECT_TRUE(std::isfinite(interval.hi));
+  EXPECT_LE(interval.lo, interval.point);
+  EXPECT_GE(interval.hi, interval.point);
+  EXPECT_NEAR(interval.point, 7.0, 1e-9);
+}
+
+// ------------------------------------------------------------- tie band ----
+
+TEST(TieBreakTest, NegativeScoresKeepThePositiveTieBand) {
+  // Regression: the tie band used to be tie_tolerance * (1 + best_score),
+  // which goes non-positive when the best AICc score is very negative
+  // (tiny-scale data) — disabling the simpler-wins tie-break and letting a
+  // strictly worse candidate displace the best.  The band is now relative
+  // to |best_score|, so selection stays pinned on the simplest best form.
+  const std::vector<double> p = {128, 256, 512, 1024, 2048, 4096};
+  std::vector<double> y;
+  util::Rng rng(11);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    y.push_back(1e-6 * (1.0 + 1e-3 * rng.normal()));
+  FitOptions opts;
+  opts.criterion = stats::SelectionCriterion::Aicc;
+  const auto candidates = stats::fit_all(p, y, opts);
+  const auto scores = stats::selection_scores(candidates, p, y, opts);
+  double best_score = std::numeric_limits<double>::infinity();
+  for (double s : scores)
+    if (std::isfinite(s)) best_score = std::min(best_score, s);
+  ASSERT_LT(best_score, -1.0) << "test premise: strongly negative scores";
+  const FittedModel best = select_best(p, y, opts);
+  EXPECT_EQ(best.form, Form::Constant);
+  // select_from over the same candidates/scores must agree with select_best.
+  const FittedModel routed = stats::select_from(candidates, scores, p, y, opts);
+  EXPECT_EQ(routed.form, best.form);
+}
+
+TEST(TieBreakTest, ExactTiesStillPreferTheSimplerForm) {
+  // Constant data fits Constant and Linear both with SSE 0; the band must
+  // remain positive at best_score == 0 so the simpler form wins.
+  const auto y = apply(Form::Constant, kCores5, 42.5, 0.0);
+  const FittedModel best = select_best(kCores5, y, {});
+  EXPECT_EQ(best.form, Form::Constant);
+}
+
+// ----------------------------------------------------------- percentile ----
+
+TEST(PercentileTest, SingleElementReturnsThatElement) {
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(stats::percentile(one, 0.0), 5.0);
+  EXPECT_EQ(stats::percentile(one, 0.5), 5.0);
+  EXPECT_EQ(stats::percentile(one, 0.99), 5.0);
+  EXPECT_EQ(stats::percentile(one, 1.0), 5.0);
+}
+
+TEST(PercentileTest, TwoElementsInterpolateLinearly) {
+  // Regression: the load generator's old truncating rank returned the
+  // *minimum* for p99 of a 2-element sample, inverting p50 > p99.
+  const std::vector<double> two = {1.0, 3.0};
+  EXPECT_EQ(stats::percentile(two, 0.0), 1.0);
+  EXPECT_NEAR(stats::percentile(two, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(stats::percentile(two, 0.99), 2.98, 1e-12);
+  EXPECT_EQ(stats::percentile(two, 1.0), 3.0);
+  EXPECT_LE(stats::percentile(two, 0.5), stats::percentile(two, 0.99));
+}
+
+TEST(PercentileTest, ClampsFractionAndHandlesEmpty) {
+  const std::vector<double> empty;
+  EXPECT_EQ(stats::percentile(empty, 0.5), 0.0);
+  const std::vector<double> sorted = {1.0, 2.0, 4.0};
+  EXPECT_EQ(stats::percentile(sorted, -0.5), 1.0);
+  EXPECT_EQ(stats::percentile(sorted, 2.0), 4.0);
+  EXPECT_NEAR(stats::percentile(sorted, 0.25), 1.5, 1e-12);
 }
 
 }  // namespace

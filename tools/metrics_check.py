@@ -5,6 +5,7 @@
                                    [--require-counter NAME ...]
                                    [--require-positive-counter NAME ...]
                                    [--require-nonzero-timer STAGE ...]
+                                   [--min-counter-ratio NUM DEN MIN ...]
 
 Checks, in order:
 
@@ -30,6 +31,11 @@ Checks, in order:
      stopped representing the workload — the extrapolations still "work"
      but quietly degrade to flat lines, which is exactly the failure mode
      the observability layer exists to surface.
+  4. Ratio gates: each --min-counter-ratio NUM DEN MIN asserts
+     counters[NUM] / counters[DEN] >= MIN (with DEN required present and
+     > 0).  CI uses this for the Bayesian interval coverage gate:
+     fits.bayes.holdout_covered / fits.bayes.holdout_total must stay at or
+     above the stated coverage minus the agreed slack.
 
 Exit code 0 when every check passes, 1 otherwise.
 """
@@ -172,6 +178,10 @@ def main():
                         help="stage whose <STAGE>.wall_ns must have count > 0 "
                              "and sum > 0 (added to the emitting tool's "
                              "TOOL_REQUIRED_STAGES)")
+    parser.add_argument("--min-counter-ratio", action="append", default=[],
+                        nargs=3, metavar=("NUM", "DEN", "MIN"),
+                        help="require counters[NUM] / counters[DEN] >= MIN; "
+                             "DEN must be present and > 0")
     args = parser.parse_args()
 
     doc = load(args.snapshot)
@@ -226,6 +236,29 @@ def main():
                 f"constant-fallback ratio {ratio:.4f} exceeds "
                 f"{args.max_fallback_ratio:.4f} — the canonical forms are "
                 "failing to represent this workload")
+
+    for num_name, den_name, min_text in args.min_counter_ratio:
+        try:
+            minimum = float(min_text)
+        except ValueError:
+            errors.append(f"--min-counter-ratio minimum {min_text!r} is not a number")
+            continue
+        numerator = counters.get(num_name)
+        denominator = counters.get(den_name)
+        if not is_uint(denominator) or denominator == 0:
+            errors.append(f"ratio gate {num_name}/{den_name}: denominator "
+                          f"{den_name!r} missing or zero ({denominator!r})")
+            continue
+        if not is_uint(numerator):
+            errors.append(f"ratio gate {num_name}/{den_name}: numerator "
+                          f"{num_name!r} missing ({numerator!r})")
+            continue
+        ratio = numerator / denominator
+        print(f"metrics_check: {num_name} {numerator} / {den_name} "
+              f"{denominator} = {ratio:.4f} (min {minimum:.4f})")
+        if ratio < minimum:
+            errors.append(f"ratio {num_name}/{den_name} = {ratio:.4f} is below "
+                          f"the required minimum {minimum:.4f}")
 
     if errors:
         fail(errors)

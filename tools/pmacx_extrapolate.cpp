@@ -7,11 +7,13 @@
 //
 //   pmacx_extrapolate --target-cores 6144 --out s6144.trace \
 //       s96.trace s384.trace s1536.trace
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -51,6 +53,18 @@ void usage() {
       "  --worst <n>            with --report, list the n worst elements\n"
       "  --csv <file>           write the full per-element fit report as CSV\n"
       "  --bootstrap <n>        attach n-resample 90% intervals to the report\n"
+      "  --interval <coverage>  Bayesian prediction intervals: write the\n"
+      "                         lo/median/hi traces next to --out (suffixes\n"
+      "                         .lo/.median/.hi) and add bayes_* columns to\n"
+      "                         the --csv report; coverage in (0, 1)\n"
+      "  --holdout              coverage check: hold out the *last* (largest\n"
+      "                         core count) input as ground truth, fit on the\n"
+      "                         rest, and report how many element intervals\n"
+      "                         contain the held-out value (counters\n"
+      "                         fits.bayes.holdout_total / _covered); implies\n"
+      "                         --interval 0.9 unless --interval is given,\n"
+      "                         and defaults --target-cores to the held-out\n"
+      "                         trace's core count\n"
       "  --threads <n>          worker threads for input loading and fitting\n"
       "                         (default: PMACX_THREADS, else all hardware\n"
       "                         threads; 1 = serial — output is identical\n"
@@ -88,6 +102,8 @@ int main(int argc, char** argv) {
   std::uint64_t worst = 5;
   std::string csv;
   std::uint64_t bootstrap = 0;
+  double interval = 0.0;
+  bool holdout = false;
   std::uint64_t threads = 0;  // 0 = PMACX_THREADS / hardware
   std::string metrics_json;
   std::string checkpoint_dir;
@@ -128,6 +144,11 @@ int main(int argc, char** argv) {
         csv = value();
       } else if (arg == "--bootstrap") {
         bootstrap = util::parse_flag_u64(value(), arg);
+      } else if (arg == "--interval") {
+        interval = util::parse_flag_double(value(), arg);
+        PMACX_CHECK(interval > 0.0 && interval < 1.0, "--interval must be in (0, 1)");
+      } else if (arg == "--holdout") {
+        holdout = true;
       } else if (arg == "--threads") {
         threads = util::parse_flag_u64(value(), arg);
       } else if (arg == "--metrics-json") {
@@ -145,8 +166,13 @@ int main(int argc, char** argv) {
         inputs.push_back(arg);
       }
     }
-    PMACX_CHECK(target_cores > 0, "--target-cores is required");
-    PMACX_CHECK(inputs.size() >= 2, "need at least two inputs");
+    if (holdout && interval == 0.0) interval = 0.9;
+    PMACX_CHECK(target_cores > 0 || holdout,
+                "--target-cores is required (defaulted only under --holdout)");
+    PMACX_CHECK(inputs.size() >= (holdout ? 3u : 2u),
+                holdout ? "--holdout needs at least three inputs (two to fit, one held out)"
+                        : "need at least two inputs");
+    PMACX_CHECK(!(holdout && signatures), "--holdout does not support --signatures");
     PMACX_CHECK(crash_after_chunks == 0 || !checkpoint_dir.empty(),
                 "--crash-after-chunks requires --checkpoint-dir");
 
@@ -208,6 +234,16 @@ int main(int argc, char** argv) {
       traces.push_back(std::move(loaded.trace));
     }
 
+    // Holdout mode: the largest-count input becomes ground truth — the fit
+    // never sees it, and the interval it produces at that count is judged
+    // against it below.
+    std::optional<trace::TaskTrace> truth;
+    if (holdout) {
+      truth = std::move(traces.back());
+      traces.pop_back();
+      if (target_cores == 0) target_cores = truth->core_count;
+    }
+
     core::ExtrapolationOptions options;
     if (forms == "paper") {
       options.fit.forms.assign(stats::paper_forms().begin(), stats::paper_forms().end());
@@ -228,6 +264,7 @@ int main(int argc, char** argv) {
     options.influence_threshold = influence;
     options.fit.loo_cv = loo;
     options.bootstrap_resamples = bootstrap;
+    options.interval_coverage = interval;
     options.threads = n_threads;
     options.pool = pool ? &*pool : nullptr;
 
@@ -274,6 +311,60 @@ int main(int argc, char** argv) {
       result.trace.save(out);
       std::printf("extrapolated %zu blocks to %u cores -> %s\n",
                   result.trace.blocks.size(), target_cores, out.c_str());
+      if (result.has_interval) {
+        result.trace_lo.save(out + ".lo");
+        result.trace_median.save(out + ".median");
+        result.trace_hi.save(out + ".hi");
+        std::printf("interval traces (%g%% coverage) -> %s.{lo,median,hi}\n",
+                    interval * 100.0, out.c_str());
+      }
+    }
+
+    if (truth) {
+      // Coverage tally: for every element with an interval, look up the true
+      // value in the held-out trace and check lo ≤ truth ≤ hi (raw posterior
+      // quantiles; the truth is always in-domain, so clamping cannot change
+      // the verdict).  A tiny scale-relative tolerance absorbs the float
+      // noise of a collapsed (exact-fit) interval.
+      std::unordered_map<std::uint64_t, const trace::BasicBlockRecord*> truth_blocks;
+      for (const auto& block : truth->blocks) truth_blocks[block.id] = &block;
+      std::uint64_t interval_total = 0, interval_covered = 0;
+      for (const auto& fit : result.report.elements) {
+        if (!fit.has_bayes) continue;
+        const auto it = truth_blocks.find(fit.key.block_id);
+        if (it == truth_blocks.end()) continue;
+        double actual = 0.0;
+        if (fit.key.is_block_level()) {
+          actual = it->second->features[fit.key.element];
+        } else {
+          const trace::InstructionRecord* found = nullptr;
+          for (const auto& instr : it->second->instructions) {
+            if (static_cast<std::int32_t>(instr.index) == fit.key.instr_index) {
+              found = &instr;
+              break;
+            }
+          }
+          if (found == nullptr) continue;
+          actual = found->features[fit.key.element];
+        }
+        ++interval_total;
+        const double tolerance = 1e-9 * (1.0 + std::fabs(actual));
+        if (actual >= fit.bayes.lo - tolerance && actual <= fit.bayes.hi + tolerance)
+          ++interval_covered;
+      }
+      util::metrics::Registry& registry = util::metrics::Registry::global();
+      registry.counter("fits.bayes.holdout_total").add(interval_total);
+      registry.counter("fits.bayes.holdout_covered").add(interval_covered);
+      const double rate = interval_total > 0
+                              ? static_cast<double>(interval_covered) /
+                                    static_cast<double>(interval_total)
+                              : 1.0;
+      std::printf(
+          "holdout coverage at %u cores: %llu/%llu elements inside the %g%% "
+          "interval (%.1f%%)\n",
+          target_cores, static_cast<unsigned long long>(interval_covered),
+          static_cast<unsigned long long>(interval_total), interval * 100.0,
+          rate * 100.0);
     }
 
     if (!csv.empty()) {
@@ -311,6 +402,8 @@ int main(int argc, char** argv) {
           {"salvage", salvage ? "1" : "0"},
           {"signatures", signatures ? "1" : "0"},
           {"bootstrap", std::to_string(bootstrap)},
+          {"interval", util::format("%g", interval)},
+          {"holdout", holdout ? "1" : "0"},
           {"threads", std::to_string(threads)},
           {"checkpoint-dir", checkpoint_dir},
       };

@@ -45,6 +45,7 @@
 #include "serve_spawn.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "stats/descriptive.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -76,8 +77,10 @@ void usage() {
       "  --target-rps <r>       open-loop arrival rate; latency is measured\n"
       "                         from each request's intended send time\n"
       "                         (default: 0 = closed loop)\n"
-      "  --request-type <t>     predict | extrapolate | fit | status\n"
-      "                         (default: predict)\n"
+      "  --request-type <t>     predict | predict-interval | extrapolate |\n"
+      "                         fit | status (default: predict)\n"
+      "  --interval <c>         coverage for predict-interval requests\n"
+      "                         (default: 0.9)\n"
       "  --target-cores <n>     extrapolation target  (default: 6144)\n"
       "  --app <name>           application model     (default: specfem3d)\n"
       "  --work-scale <s>       folding factor        (default: 1.0)\n"
@@ -95,12 +98,6 @@ std::string json_escape(const std::string& raw) {
   return out;
 }
 
-double percentile(const std::vector<double>& sorted, double fraction) {
-  if (sorted.empty()) return 0.0;
-  const auto index = static_cast<std::size_t>(fraction * static_cast<double>(sorted.size() - 1));
-  return sorted[index];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,7 +105,7 @@ int main(int argc, char** argv) {
   std::string request_type = "predict", app = "specfem3d", machine_target = "bluewaters-p1";
   std::uint64_t port = 0, requests = 100, threads = 8, target_cores = 6144;
   std::uint64_t timeout_ms = 60'000;
-  double work_scale = 1.0, target_rps = 0.0;
+  double work_scale = 1.0, target_rps = 0.0, interval_coverage = 0.9;
   std::vector<std::string> traces;
 
   try {
@@ -139,6 +136,8 @@ int main(int argc, char** argv) {
         threads = util::parse_flag_u64(value(), arg);
       } else if (arg == "--request-type") {
         request_type = value();
+      } else if (arg == "--interval") {
+        interval_coverage = util::parse_flag_double(value(), arg);
       } else if (arg == "--target-cores") {
         target_cores = util::parse_flag_u64(value(), arg);
       } else if (arg == "--app") {
@@ -166,6 +165,9 @@ int main(int argc, char** argv) {
     service::Request request;
     if (request_type == "predict") {
       request.type = service::MsgType::Predict;
+    } else if (request_type == "predict-interval") {
+      request.type = service::MsgType::PredictInterval;
+      request.interval_coverage = interval_coverage;
     } else if (request_type == "extrapolate") {
       request.type = service::MsgType::Extrapolate;
     } else if (request_type == "fit") {
@@ -307,8 +309,12 @@ int main(int argc, char** argv) {
     for (const auto& per_thread : latencies_ns)
       all_ns.insert(all_ns.end(), per_thread.begin(), per_thread.end());
     std::sort(all_ns.begin(), all_ns.end());
-    const double p50_ms = percentile(all_ns, 0.50) / 1e6;
-    const double p99_ms = percentile(all_ns, 0.99) / 1e6;
+    // stats::percentile interpolates at rank q·(n-1) — the same rule the fit
+    // intervals use.  The old nearest-rank truncation read the *minimum* for
+    // p99 on 1-2 element samples, reporting a tail below the median.
+    const double p50_ms = stats::percentile(all_ns, 0.50) / 1e6;
+    const double p99_ms = stats::percentile(all_ns, 0.99) / 1e6;
+    PMACX_CHECK(p50_ms <= p99_ms, "latency percentiles inverted (p50 > p99)");
     const double throughput =
         wall_seconds > 0 ? static_cast<double>(ok.load()) / wall_seconds : 0.0;
 
