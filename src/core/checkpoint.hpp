@@ -31,7 +31,9 @@ namespace pmacx::core {
 
 /// On-disk format version; bumped whenever the manifest or chunk layout
 /// changes.  A version mismatch discards the checkpoint (full re-fit).
-inline constexpr const char* kCheckpointVersion = "pmacx-ckpt-v1";
+/// v2 appended the per-element sufficient-statistics block (SeriesMoments)
+/// after the influential flag; v1 checkpoints are discarded cleanly.
+inline constexpr const char* kCheckpointVersion = "pmacx-ckpt-v2";
 
 /// Content digest of a fitting workload: 16 lowercase hex chars over the
 /// input trace CRCs and every option field that changes fitted models.

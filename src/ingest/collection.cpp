@@ -1,0 +1,130 @@
+#include "ingest/collection.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::ingest {
+namespace {
+
+constexpr const char* kManifestName = "manifest.pmx";
+
+void publish_gauges(std::size_t collections, std::size_t files) {
+  auto& registry = util::metrics::Registry::global();
+  registry.gauge("ingest.collections").set(static_cast<double>(collections));
+  registry.gauge("ingest.files").set(static_cast<double>(files));
+}
+
+}  // namespace
+
+CollectionRegistry::CollectionRegistry(std::string root) : root_(std::move(root)) {
+  util::ensure_directory(root_ + "/collections");
+  load_existing();
+}
+
+std::string CollectionRegistry::collection_dir(const std::string& collection) const {
+  return root_ + "/collections/" + collection;
+}
+
+void CollectionRegistry::load_existing() {
+  const std::string base = root_ + "/collections";
+  DIR* dir = ::opendir(base.c_str());
+  if (dir == nullptr) return;
+  std::scoped_lock lock(mutex_);
+  std::size_t files = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    // A torn/missing manifest costs only re-registration, never an abort:
+    // the collection simply starts empty until its next commit.
+    const std::optional<std::string> manifest =
+        util::try_load_checked(base + "/" + name + "/" + kManifestName);
+    if (!manifest) continue;
+    std::vector<Entry> entries;
+    for (const std::string& line : util::split(*manifest, '\n')) {
+      const std::string trimmed{util::trim(line)};
+      if (trimmed.empty()) continue;
+      std::istringstream in(trimmed);
+      std::string keyword, file;
+      std::uint32_t cores = 0;
+      if (!(in >> keyword >> cores >> file) || keyword != "file") continue;
+      entries.push_back(Entry{file, cores});
+    }
+    if (entries.empty()) continue;
+    files += entries.size();
+    collections_[name] = std::move(entries);
+  }
+  ::closedir(dir);
+  publish_gauges(collections_.size(), files);
+}
+
+void CollectionRegistry::add(const std::string& collection, const std::string& file_name,
+                             std::uint32_t core_count) {
+  std::scoped_lock lock(mutex_);
+  std::vector<Entry>& entries = collections_[collection];
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const Entry& e) { return e.file == file_name; });
+  if (it != entries.end()) {
+    it->core_count = core_count;  // same-name replacement: content changed
+  } else {
+    entries.push_back(Entry{file_name, core_count});
+  }
+  save_manifest_locked(collection);
+  std::size_t files = 0;
+  for (const auto& [name, list] : collections_) files += list.size();
+  publish_gauges(collections_.size(), files);
+}
+
+void CollectionRegistry::save_manifest_locked(const std::string& collection) {
+  std::ostringstream out;
+  for (const Entry& entry : collections_[collection])
+    out << "file " << entry.core_count << ' ' << entry.file << "\n";
+  util::save_checked(collection_dir(collection) + "/" + kManifestName, out.str());
+}
+
+std::vector<std::string> CollectionRegistry::resolve(const std::string& collection) const {
+  std::scoped_lock lock(mutex_);
+  auto it = collections_.find(collection);
+  PMACX_CHECK(it != collections_.end() && !it->second.empty(),
+              "unknown collection '" + collection + "' (nothing committed under it yet)");
+  std::vector<Entry> entries = it->second;
+  // Ascending core count is the order align_traces requires; the name
+  // tiebreak keeps resolution deterministic should two files share a count
+  // (the fit layer rejects that case with its own diagnostic).
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.core_count != b.core_count) return a.core_count < b.core_count;
+    return a.file < b.file;
+  });
+  std::vector<std::string> paths;
+  paths.reserve(entries.size());
+  for (const Entry& entry : entries)
+    paths.push_back(collection_dir(collection) + "/" + entry.file);
+  return paths;
+}
+
+bool CollectionRegistry::contains(const std::string& collection) const {
+  std::scoped_lock lock(mutex_);
+  auto it = collections_.find(collection);
+  return it != collections_.end() && !it->second.empty();
+}
+
+std::size_t CollectionRegistry::collection_count() const {
+  std::scoped_lock lock(mutex_);
+  return collections_.size();
+}
+
+std::size_t CollectionRegistry::file_count() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t files = 0;
+  for (const auto& [name, list] : collections_) files += list.size();
+  return files;
+}
+
+}  // namespace pmacx::ingest

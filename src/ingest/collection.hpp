@@ -1,0 +1,63 @@
+// Named trace collections — the unit live ingestion refits over.
+//
+// A collection is the server-side analogue of the trace list a client would
+// pass to FIT: a named set of committed trace files at different core
+// counts, living under <ingest_root>/collections/<name>/.  Requests address
+// one with the single pseudo-path "@<name>" in their fit spec; the server
+// expands it to the collection's real paths sorted by ascending core count
+// (the order align_traces requires), so every existing request type works
+// over uploaded data unchanged.
+//
+// Membership is durable: each collection keeps a manifest
+// (util::save_checked — CRC-trailed, atomically replaced) naming its files
+// and their core counts, reloaded at startup, so a restarted server serves
+// everything previously committed.  A torn or missing manifest costs only
+// re-registration (the next commit rewrites it); committed trace files are
+// never lost to manifest damage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pmacx::ingest {
+
+class CollectionRegistry {
+ public:
+  /// `root` is the ingest root (collections live under root/collections).
+  /// Scans existing manifests so a restart resumes with prior membership.
+  explicit CollectionRegistry(std::string root);
+
+  /// Registers (or re-registers, after a same-name replacement) one
+  /// committed file and rewrites the collection's manifest.
+  void add(const std::string& collection, const std::string& file_name,
+           std::uint32_t core_count);
+
+  /// Full paths of the collection's files, sorted by (core count, name).
+  /// Throws util::Error for an unknown collection.
+  std::vector<std::string> resolve(const std::string& collection) const;
+
+  /// True when the collection exists (has at least one committed file).
+  bool contains(const std::string& collection) const;
+
+  std::size_t collection_count() const;
+  std::size_t file_count() const;
+
+ private:
+  struct Entry {
+    std::string file;
+    std::uint32_t core_count = 0;
+  };
+
+  std::string collection_dir(const std::string& collection) const;
+  void save_manifest_locked(const std::string& collection);
+  void load_existing();
+
+  std::string root_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Entry>> collections_;  // guarded by mutex_
+};
+
+}  // namespace pmacx::ingest

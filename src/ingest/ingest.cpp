@@ -1,0 +1,43 @@
+#include "ingest/ingest.hpp"
+
+namespace pmacx::ingest {
+namespace {
+
+UploadManager::Options upload_options(const IngestService::Options& options) {
+  UploadManager::Options out;
+  out.root = options.root;
+  out.stream_budget = options.stream_budget;
+  return out;
+}
+
+RefitScheduler::Options refit_options(const IngestService::Options& options) {
+  RefitScheduler::Options out;
+  out.fit = options.fit;
+  out.stream_budget = options.stream_budget;
+  return out;
+}
+
+}  // namespace
+
+IngestService::IngestService(Options options, util::ThreadPool* pool,
+                             RefitScheduler::Publish publish)
+    : uploads_(upload_options(options)),
+      registry_(options.root),
+      refits_(refit_options(options), &registry_, pool, std::move(publish)) {}
+
+std::string IngestService::handle(const UploadRequest& request) {
+  UploadOutcome outcome = uploads_.handle(request);
+  if (outcome.committed) {
+    registry_.add(outcome.collection, outcome.file_name, outcome.core_count);
+    refits_.schedule(outcome.collection);
+  }
+  return std::move(outcome.body);
+}
+
+bool is_collection_ref(const std::string& path, std::string* name) {
+  if (path.size() < 2 || path[0] != '@') return false;
+  if (name != nullptr) *name = path.substr(1);
+  return true;
+}
+
+}  // namespace pmacx::ingest

@@ -1,0 +1,71 @@
+// pmacx::ingest — the live ingestion subsystem, assembled.
+//
+// IngestService ties the three halves together behind one entry point the
+// server calls per UPLOAD_TRACE request:
+//
+//   UploadManager       chunked, resumable, CRC-checked transfer + spool
+//   CollectionRegistry  durable membership + "@collection" resolution
+//   RefitScheduler      background incremental refits + atomic swap
+//
+// A COMMIT that lands flows through all three in order: the manager
+// publishes the file, the registry records it (manifest rewrite), and the
+// scheduler queues the collection's refit on the server's pool.  Everything
+// else is a pass-through.  The subsystem deliberately knows nothing about
+// the RPC layer: the server decodes UploadRequests and supplies the publish
+// hook; tests drive IngestService directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ingest/collection.hpp"
+#include "ingest/refit.hpp"
+#include "ingest/upload.hpp"
+
+namespace pmacx::ingest {
+
+class IngestService {
+ public:
+  struct Options {
+    std::string root;  ///< ingest directory (spool/ + collections/ under it)
+    /// Buffer budget for commit validation and refit trace reloads.
+    std::size_t stream_budget = std::size_t{64} << 20;
+    /// Fitting policy for background refits (see RefitScheduler::Options).
+    core::ExtrapolationOptions fit;
+  };
+
+  /// `pool` must outlive the service and be drained before destruction
+  /// (Server's shutdown order guarantees it); `publish` receives each
+  /// refit's model set (ModelStore::insert_models on the server).
+  IngestService(Options options, util::ThreadPool* pool, RefitScheduler::Publish publish);
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Handles one upload op; returns the response body text.  A committing
+  /// request registers the file and schedules the collection's refit before
+  /// returning.  Throws util::Error / util::ParseError per UploadManager.
+  std::string handle(const UploadRequest& request);
+
+  /// Expands the "@name" pseudo-path to the collection's trace paths
+  /// (ascending core count).  Throws util::Error for unknown collections.
+  std::vector<std::string> resolve(const std::string& collection) const {
+    return registry_.resolve(collection);
+  }
+
+  const CollectionRegistry& registry() const { return registry_; }
+  const UploadManager& uploads() const { return uploads_; }
+  RefitScheduler& refits() { return refits_; }
+
+ private:
+  UploadManager uploads_;
+  CollectionRegistry registry_;
+  RefitScheduler refits_;
+};
+
+/// True when `path` is a collection reference ("@name"); `name` receives
+/// the bare collection name.
+bool is_collection_ref(const std::string& path, std::string* name = nullptr);
+
+}  // namespace pmacx::ingest

@@ -1,0 +1,535 @@
+#include "ingest/upload.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "trace/stream_reader.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::ingest {
+namespace {
+
+// Little-endian payload primitives, mirroring the RPC layer's conventions
+// (the codec lives here so ingest never depends on service/).
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out.append(bytes, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out.append(bytes, 8);
+}
+
+void put_str(std::string& out, std::string_view s) {
+  PMACX_CHECK(s.size() <= kMaxChunkBytes + 4096, "upload field exceeds frame capacity");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked reader over an UPLOAD_TRACE payload; violations raise
+/// ParseError in the "upload.<field>" section, matching the RPC taxonomy.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    const auto v = static_cast<std::uint8_t>(bytes_[pos_]);
+    pos_ += 1;
+    return v;
+  }
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  std::string str(const char* field) {
+    const std::uint32_t size = u32(field);
+    need(size, field);
+    std::string out(bytes_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+  void expect_end() {
+    if (pos_ != bytes_.size()) fail("payload", "trailing bytes after last field");
+  }
+
+ private:
+  void need(std::size_t count, const char* field) {
+    if (bytes_.size() - pos_ < count)
+      fail(field, "payload truncated (need " + std::to_string(count) + " more bytes)");
+  }
+  [[noreturn]] void fail(const std::string& field, const std::string& message) {
+    throw util::ParseError("", pos_, "upload." + field, message);
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Collection, file, and session names become path components under the
+/// ingest root, so the charset is a strict allowlist — no separators, no
+/// dot-dot, nothing a peer can use to escape the directory.
+bool valid_name(std::string_view name) {
+  if (name.empty() || name.size() > 200) return false;
+  if (name == "." || name == "..") return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void check_name(std::string_view name, const char* what) {
+  PMACX_CHECK(valid_name(name),
+              std::string(what) + " '" + std::string(name) +
+                  "' is not a valid name ([A-Za-z0-9._-], 1..200 chars, not . or ..)");
+}
+
+void write_at(int fd, std::string_view data, std::uint64_t offset) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::pwrite(fd, data.data() + written, data.size() - written,
+                               static_cast<off_t>(offset + written));
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw util::Error(std::string("spool write failed: ") + std::strerror(errno));
+  }
+}
+
+std::uint32_t crc_of_fd(int fd, std::uint64_t total) {
+  std::vector<char> buffer(std::size_t{1} << 20);
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  while (offset < total) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(buffer.size(), total - offset));
+    const ssize_t n = ::pread(fd, buffer.data(), want, static_cast<off_t>(offset));
+    if (n < 0 && errno == EINTR) continue;
+    PMACX_CHECK(n > 0, "spool read failed at offset " + std::to_string(offset) +
+                           (n < 0 ? std::string(": ") + std::strerror(errno)
+                                  : std::string(": unexpected end of file")));
+    crc = util::crc32(std::string_view(buffer.data(), static_cast<std::size_t>(n)), crc);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return crc;
+}
+
+/// Best-effort directory fsync after a rename, so the publish itself is
+/// durable (same discipline as util::write_file_atomic).
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+util::metrics::Registry& registry() { return util::metrics::Registry::global(); }
+
+}  // namespace
+
+std::string upload_op_name(UploadOp op) {
+  switch (op) {
+    case UploadOp::Begin: return "begin";
+    case UploadOp::Chunk: return "chunk";
+    case UploadOp::Commit: return "commit";
+    case UploadOp::Status: return "status";
+  }
+  return "unknown";
+}
+
+std::string encode_upload_payload(const UploadRequest& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(request.op));
+  put_str(payload, request.session);
+  switch (request.op) {
+    case UploadOp::Begin:
+      put_str(payload, request.collection);
+      put_str(payload, request.file_name);
+      put_u64(payload, request.total_bytes);
+      put_u32(payload, request.chunk_bytes);
+      put_u32(payload, request.file_crc);
+      break;
+    case UploadOp::Chunk:
+      put_u64(payload, request.chunk_index);
+      put_str(payload, request.data);
+      break;
+    case UploadOp::Commit:
+    case UploadOp::Status:
+      break;  // session only
+  }
+  return payload;
+}
+
+UploadRequest decode_upload_payload(std::string_view payload) {
+  Reader reader(payload);
+  UploadRequest request;
+  const std::uint8_t op = reader.u8("op");
+  if (op < 1 || op > 4)
+    throw util::ParseError("", 0, "upload.op", "unknown upload op " + std::to_string(op));
+  request.op = static_cast<UploadOp>(op);
+  request.session = reader.str("session");
+  switch (request.op) {
+    case UploadOp::Begin:
+      request.collection = reader.str("collection");
+      request.file_name = reader.str("file_name");
+      request.total_bytes = reader.u64("total_bytes");
+      request.chunk_bytes = reader.u32("chunk_bytes");
+      request.file_crc = reader.u32("file_crc");
+      break;
+    case UploadOp::Chunk:
+      request.chunk_index = reader.u64("chunk_index");
+      request.data = reader.str("data");
+      break;
+    case UploadOp::Commit:
+    case UploadOp::Status:
+      break;
+  }
+  reader.expect_end();
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// UploadManager.
+
+struct UploadManager::Session {
+  std::mutex mutex;
+  std::string id;
+  std::string collection;
+  std::string file_name;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t file_crc = 0;
+  std::uint64_t chunk_count = 0;
+  std::vector<bool> received;       // guarded by mutex
+  std::uint64_t received_count = 0;  // guarded by mutex
+  int fd = -1;                       ///< spool fd; -1 once committed/discarded
+  bool committed = false;
+  bool discarded = false;
+  std::string committed_path;
+  std::uint32_t core_count = 0;
+
+  std::uint64_t expected_size(std::uint64_t index) const {
+    const std::uint64_t begin = index * chunk_bytes;
+    return std::min<std::uint64_t>(chunk_bytes, total_bytes - begin);
+  }
+
+  /// Key-value progress lines shared by every op's response body.
+  void render(std::ostringstream& out) const {
+    out << "state " << (committed ? "committed" : "pending") << "\n"
+        << "chunks " << chunk_count << "\n"
+        << "received " << received_count << "\n";
+    if (committed) out << "path " << committed_path << "\n"
+                       << "core_count " << core_count << "\n";
+  }
+};
+
+UploadManager::UploadManager(Options options) : options_(std::move(options)) {
+  PMACX_CHECK(!options_.root.empty(), "UploadManager needs an ingest root directory");
+  util::ensure_directory(options_.root);
+  util::ensure_directory(options_.root + "/spool");
+  util::ensure_directory(options_.root + "/collections");
+}
+
+UploadManager::~UploadManager() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [id, session] : sessions_)
+    if (session->fd >= 0) ::close(session->fd);
+}
+
+std::string UploadManager::spool_path(const std::string& session) const {
+  return options_.root + "/spool/" + session + ".part";
+}
+
+std::string UploadManager::final_path(const std::string& collection,
+                                      const std::string& file) const {
+  return options_.root + "/collections/" + collection + "/" + file;
+}
+
+std::size_t UploadManager::open_sessions() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t open = 0;
+  for (const auto& [id, session] : sessions_)
+    if (!session->committed) ++open;
+  return open;
+}
+
+std::shared_ptr<UploadManager::Session> UploadManager::find(
+    const std::string& session_id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  PMACX_CHECK(it != sessions_.end(),
+              "unknown upload session '" + session_id + "' (send BEGIN first)");
+  return it->second;
+}
+
+UploadOutcome UploadManager::handle(const UploadRequest& request) {
+  check_name(request.session, "upload session");
+  switch (request.op) {
+    case UploadOp::Begin: return begin(request);
+    case UploadOp::Chunk: return chunk(request);
+    case UploadOp::Commit: return commit(request);
+    case UploadOp::Status: return status(request);
+  }
+  throw util::Error("unhandled upload op");
+}
+
+UploadOutcome UploadManager::begin(const UploadRequest& request) {
+  check_name(request.collection, "collection");
+  check_name(request.file_name, "trace file name");
+  PMACX_CHECK(request.total_bytes > 0, "upload declares zero bytes");
+  PMACX_CHECK(request.total_bytes <= kMaxUploadBytes,
+              "upload of " + std::to_string(request.total_bytes) + " bytes exceeds the " +
+                  std::to_string(kMaxUploadBytes) + "-byte cap");
+  PMACX_CHECK(request.chunk_bytes > 0 && request.chunk_bytes <= kMaxChunkBytes,
+              "chunk size must be in [1, " + std::to_string(kMaxChunkBytes) + "] bytes");
+  const std::uint64_t chunk_count =
+      (request.total_bytes + request.chunk_bytes - 1) / request.chunk_bytes;
+  PMACX_CHECK(chunk_count <= kMaxChunks,
+              "upload needs " + std::to_string(chunk_count) + " chunks (cap " +
+                  std::to_string(kMaxChunks) + "); use larger chunks");
+
+  std::shared_ptr<Session> session;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = sessions_.find(request.session);
+    if (it != sessions_.end()) session = it->second;
+  }
+
+  if (session) {
+    // Re-BEGIN: a retried frame or a resuming client.  Identical parameters
+    // resume the session as-is (never truncating received chunks); anything
+    // else is a conflict the client must resolve with a fresh session id.
+    std::scoped_lock lock(session->mutex);
+    PMACX_CHECK(session->collection == request.collection &&
+                    session->file_name == request.file_name &&
+                    session->total_bytes == request.total_bytes &&
+                    session->chunk_bytes == request.chunk_bytes &&
+                    session->file_crc == request.file_crc,
+                "upload session '" + request.session +
+                    "' already exists with different parameters");
+    UploadOutcome outcome;
+    std::ostringstream out;
+    session->render(out);
+    outcome.body = out.str();
+    return outcome;
+  }
+
+  session = std::make_shared<Session>();
+  session->id = request.session;
+  session->collection = request.collection;
+  session->file_name = request.file_name;
+  session->total_bytes = request.total_bytes;
+  session->chunk_bytes = request.chunk_bytes;
+  session->file_crc = request.file_crc;
+  session->chunk_count = chunk_count;
+  session->received.assign(static_cast<std::size_t>(chunk_count), false);
+
+  const std::string path = spool_path(request.session);
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  PMACX_CHECK(fd >= 0, "cannot create spool file '" + path + "': " + std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(request.total_bytes)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw util::Error("cannot size spool file '" + path + "': " + reason);
+  }
+  session->fd = fd;
+
+  {
+    std::scoped_lock lock(mutex_);
+    auto [it, inserted] = sessions_.emplace(request.session, session);
+    if (!inserted) {
+      // Lost a race with a concurrent identical BEGIN: keep the winner.
+      ::close(fd);
+      session = it->second;
+    }
+  }
+  registry().counter("ingest.uploads.begun").add();
+
+  UploadOutcome outcome;
+  std::ostringstream out;
+  {
+    std::scoped_lock lock(session->mutex);
+    session->render(out);
+  }
+  outcome.body = out.str();
+  return outcome;
+}
+
+UploadOutcome UploadManager::chunk(const UploadRequest& request) {
+  std::shared_ptr<Session> session = find(request.session);
+  std::scoped_lock lock(session->mutex);
+  UploadOutcome outcome;
+  std::ostringstream out;
+  if (session->committed) {
+    // Post-commit CHUNK: a retried frame whose COMMIT already landed.
+    session->render(out);
+    outcome.body = out.str();
+    return outcome;
+  }
+  PMACX_CHECK(!session->discarded, "upload session '" + request.session +
+                                       "' was discarded after a failed commit; re-BEGIN");
+  PMACX_CHECK(request.chunk_index < session->chunk_count,
+              "chunk index " + std::to_string(request.chunk_index) + " out of range (" +
+                  std::to_string(session->chunk_count) + " chunks)");
+  const std::uint64_t expected = session->expected_size(request.chunk_index);
+  PMACX_CHECK(request.data.size() == expected,
+              "chunk " + std::to_string(request.chunk_index) + " carries " +
+                  std::to_string(request.data.size()) + " bytes, expected " +
+                  std::to_string(expected));
+
+  if (session->received[static_cast<std::size_t>(request.chunk_index)]) {
+    // Idempotent replay (session id + chunk index): the retry path resends
+    // freely after a lost response, and the re-write is a no-op by content.
+    registry().counter("ingest.chunks.duplicate").add();
+    out << "duplicate 1\n";
+  } else {
+    write_at(session->fd, request.data, request.chunk_index * session->chunk_bytes);
+    session->received[static_cast<std::size_t>(request.chunk_index)] = true;
+    ++session->received_count;
+    registry().counter("ingest.chunks").add();
+    registry().counter("ingest.bytes").add(request.data.size());
+  }
+  session->render(out);
+  outcome.body = out.str();
+  return outcome;
+}
+
+UploadOutcome UploadManager::commit(const UploadRequest& request) {
+  std::shared_ptr<Session> session = find(request.session);
+  std::scoped_lock lock(session->mutex);
+  UploadOutcome outcome;
+  std::ostringstream out;
+  if (session->committed) {
+    // Idempotent re-COMMIT after a lost response.
+    session->render(out);
+    outcome.body = out.str();
+    return outcome;
+  }
+  PMACX_CHECK(!session->discarded, "upload session '" + request.session +
+                                       "' was discarded after a failed commit; re-BEGIN");
+  PMACX_CHECK(session->received_count == session->chunk_count,
+              "upload '" + request.session + "' is missing " +
+                  std::to_string(session->chunk_count - session->received_count) +
+                  " of " + std::to_string(session->chunk_count) +
+                  " chunks (STATUS lists them)");
+
+  const std::string spool = spool_path(request.session);
+  try {
+    // Integrity first: the declared whole-file CRC over the spooled bytes
+    // catches chunks damaged anywhere between the client's disk and ours.
+    const std::uint32_t actual = crc_of_fd(session->fd, session->total_bytes);
+    if (actual != session->file_crc)
+      throw util::ParseError(spool, 0, "upload.commit",
+                             "file CRC mismatch (declared " +
+                                 std::to_string(session->file_crc) + ", spooled " +
+                                 std::to_string(actual) + ")");
+
+    // Then a full streaming validation under the fixed buffer budget: the
+    // serving path must never see a trace that would fail to load, and a
+    // multi-GiB upload must not inflate server RSS to prove it.
+    trace::TaskTrace header;
+    std::unique_ptr<trace::ByteSource> source =
+        trace::open_stream(spool, options_.stream_budget, /*force_buffered=*/true);
+    const trace::StreamStats stats = trace::stream_validate(*source, &header);
+    session->core_count = header.core_count;
+    auto& peak = registry().gauge("ingest.validate.peak_buffer_bytes");
+    peak.set(std::max(peak.value(), static_cast<double>(stats.peak_buffer_bytes)));
+  } catch (...) {
+    // A failed commit means the bytes are wrong, not late: discard the
+    // session (and its spool) so the client re-uploads fresh instead of
+    // retrying a commit that can never succeed.
+    ::close(session->fd);
+    session->fd = -1;
+    session->discarded = true;
+    ::unlink(spool.c_str());
+    registry().counter("ingest.uploads.discarded").add();
+    {
+      std::scoped_lock map_lock(mutex_);
+      sessions_.erase(request.session);
+    }
+    throw;
+  }
+
+  const std::string dir = options_.root + "/collections/" + session->collection;
+  util::ensure_directory(dir);
+  const std::string path = final_path(session->collection, session->file_name);
+  ::fsync(session->fd);  // the bytes must be durable before the publish rename
+  PMACX_CHECK(::rename(spool.c_str(), path.c_str()) == 0,
+              "cannot publish '" + spool + "' as '" + path + "': " + std::strerror(errno));
+  fsync_directory(dir);
+  ::close(session->fd);
+  session->fd = -1;
+  session->committed = true;
+  session->committed_path = path;
+  registry().counter("ingest.uploads.committed").add();
+
+  outcome.committed = true;
+  outcome.collection = session->collection;
+  outcome.file_name = session->file_name;
+  outcome.path = path;
+  outcome.core_count = session->core_count;
+  session->render(out);
+  outcome.body = out.str();
+  return outcome;
+}
+
+UploadOutcome UploadManager::status(const UploadRequest& request) {
+  std::shared_ptr<Session> session;
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = sessions_.find(request.session);
+    if (it != sessions_.end()) session = it->second;
+  }
+  UploadOutcome outcome;
+  if (!session) {
+    // Not an error: a resuming client probes before deciding to BEGIN.
+    outcome.body = "state absent\n";
+    return outcome;
+  }
+  std::scoped_lock lock(session->mutex);
+  std::ostringstream out;
+  session->render(out);
+  if (!session->committed && session->received_count < session->chunk_count) {
+    out << "missing";
+    std::size_t listed = 0;
+    for (std::uint64_t i = 0; i < session->chunk_count && listed < kStatusMissingCap; ++i) {
+      if (session->received[static_cast<std::size_t>(i)]) continue;
+      out << ' ' << i;
+      ++listed;
+    }
+    out << "\n";
+  }
+  outcome.body = out.str();
+  return outcome;
+}
+
+}  // namespace pmacx::ingest

@@ -1,0 +1,145 @@
+// UPLOAD_TRACE wire grammar and the chunked-upload session manager.
+//
+// Live ingestion moves traces *into* a running server, so the transfer path
+// has to survive everything the serving path already survives: lost
+// responses, duplicated frames, client restarts, kill -9 mid-transfer.  The
+// design is a resumable chunk protocol keyed by a client-chosen session id:
+//
+//   BEGIN   declares (session, collection, file name, total bytes, chunk
+//           size, whole-file CRC-32) and allocates a spool file;
+//   CHUNK   carries one chunk by index — writes are positioned, so chunks
+//           may arrive in any order, and a re-sent chunk is a no-op
+//           (pmacx-rpc-v1's retry path resends freely: session id + chunk
+//           index make every CHUNK idempotent);
+//   STATUS  reports the received-chunk bitmap, so a resuming client sends
+//           only what is missing;
+//   COMMIT  verifies completeness, the declared CRC over the spooled bytes,
+//           and a full streaming validation (trace::stream_validate under a
+//           fixed buffer budget — a multi-GiB upload never inflates server
+//           RSS), then atomically renames the file into its collection.
+//
+// Nothing is visible to the serving path until COMMIT's rename: a torn
+// upload leaves only a spool file the next BEGIN truncates.  Every op is
+// idempotent after commit, so a client that lost the COMMIT response can
+// simply re-send it.  The payload codec lives here (not in service/) so the
+// ingest layer has no dependency on the RPC layer; protocol.cpp delegates
+// the UPLOAD_TRACE payload to these functions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pmacx::ingest {
+
+/// Chunk payload ceiling (8 MiB): comfortably inside the RPC layer's 64 MiB
+/// frame cap with headroom for the fixed fields.
+inline constexpr std::size_t kMaxChunkBytes = 8u << 20;
+/// Per-upload size ceiling (64 GiB): bounds what a hostile BEGIN can make
+/// the spool directory allocate.
+inline constexpr std::uint64_t kMaxUploadBytes = std::uint64_t{64} << 30;
+/// Chunk-count ceiling: bounds the received bitmap a BEGIN allocates.
+inline constexpr std::uint64_t kMaxChunks = std::uint64_t{1} << 20;
+/// Most missing-chunk indices one STATUS response lists; a resuming client
+/// re-queries after draining a full batch.
+inline constexpr std::size_t kStatusMissingCap = 8192;
+
+enum class UploadOp : std::uint8_t {
+  Begin = 1,   ///< declare the upload and allocate its spool file
+  Chunk = 2,   ///< one positioned chunk (idempotent by session + index)
+  Commit = 3,  ///< verify completeness + CRC + validation, publish the file
+  Status = 4,  ///< report progress and the missing-chunk list (resume)
+};
+
+/// Stable name ("begin", "chunk", ...) for metrics and error messages.
+std::string upload_op_name(UploadOp op);
+
+/// One decoded UPLOAD_TRACE request.  `op` says which fields are
+/// meaningful: the declaration fields for BEGIN, chunk_index/data for
+/// CHUNK, only `session` for COMMIT and STATUS.
+struct UploadRequest {
+  UploadOp op = UploadOp::Status;
+  /// Client-chosen idempotency key for the whole upload.  Deterministic
+  /// choices (pmacx_upload derives it from the file content CRC + size)
+  /// make retries — even across client restarts — converge on one session.
+  std::string session;
+  std::string collection;         ///< BEGIN: target collection name
+  std::string file_name;          ///< BEGIN: name within the collection
+  std::uint64_t total_bytes = 0;  ///< BEGIN: exact file size
+  std::uint32_t chunk_bytes = 0;  ///< BEGIN: chunk size (last chunk may be short)
+  std::uint32_t file_crc = 0;     ///< BEGIN: CRC-32 of the whole file
+  std::uint64_t chunk_index = 0;  ///< CHUNK: position = chunk_index * chunk_bytes
+  std::string data;               ///< CHUNK: the chunk's bytes
+};
+
+/// Serializes an UploadRequest into an RPC payload (docs/FORMATS.md holds
+/// the normative layout).  Throws util::Error on oversized fields.
+std::string encode_upload_payload(const UploadRequest& request);
+/// Decodes an UPLOAD_TRACE payload; throws util::ParseError (section
+/// "upload.<field>") on truncation, bad op codes, or trailing bytes.
+UploadRequest decode_upload_payload(std::string_view payload);
+
+/// What one handled upload op did.  `committed` is true exactly once per
+/// upload — on the COMMIT that performed the rename — so the caller knows
+/// when to register the file and schedule a refit.
+struct UploadOutcome {
+  bool committed = false;
+  std::string collection;      ///< set when committed
+  std::string file_name;       ///< set when committed
+  std::string path;            ///< committed file's final path
+  std::uint32_t core_count = 0;  ///< from the validated trace header
+  std::string body;            ///< response text for the client
+};
+
+/// The session/spool half of ingestion.  Thread-safe: the map is guarded by
+/// one mutex, per-session work (chunk writes, the COMMIT scan) by a
+/// per-session mutex, so a slow COMMIT never blocks other uploads.
+class UploadManager {
+ public:
+  struct Options {
+    std::string root;  ///< ingest root; spool/ and collections/ live under it
+    /// Buffer budget for the COMMIT validation scan (trace::open_stream
+    /// with force_buffered — mapped pages would count against RSS caps).
+    std::size_t stream_budget = std::size_t{64} << 20;
+  };
+
+  explicit UploadManager(Options options);
+  ~UploadManager();
+
+  UploadManager(const UploadManager&) = delete;
+  UploadManager& operator=(const UploadManager&) = delete;
+
+  /// Handles one op.  Throws util::Error on protocol violations (unknown
+  /// session, size mismatch, parameter conflicts) and util::ParseError when
+  /// COMMIT's validation rejects the spooled bytes; both leave the session
+  /// resumable (or, for validation failures, discarded — see .cpp).
+  UploadOutcome handle(const UploadRequest& request);
+
+  /// Live (uncommitted) sessions, for STATUS reporting.
+  std::size_t open_sessions() const;
+
+ private:
+  struct Session;
+
+  std::string spool_path(const std::string& session) const;
+  std::string final_path(const std::string& collection, const std::string& file) const;
+
+  UploadOutcome begin(const UploadRequest& request);
+  UploadOutcome chunk(const UploadRequest& request);
+  UploadOutcome commit(const UploadRequest& request);
+  UploadOutcome status(const UploadRequest& request);
+
+  /// Looks up a session or throws; returns a stable pointer (sessions are
+  /// heap-allocated and never destroyed while referenced — see .cpp).
+  std::shared_ptr<Session> find(const std::string& session_id) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace pmacx::ingest

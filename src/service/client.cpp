@@ -60,8 +60,12 @@ void recv_exact(int fd, char* out, std::size_t size) {
 
 /// SHUTDOWN is the one non-idempotent request: a lost response is
 /// indistinguishable from a server already draining, so resending it could
-/// race a restarted server.  Everything else is a cached, deterministic
-/// derivation.
+/// race a restarted server.  Everything else is safe to resend: the data-
+/// plane requests are cached, deterministic derivations, and UPLOAD_TRACE
+/// ops are idempotent by construction — the client-chosen session id plus
+/// the explicit chunk index mean a resent BEGIN resumes, a resent CHUNK is
+/// a metered duplicate no-op (same bytes pwritten at the same offset), and
+/// a resent COMMIT of a committed session just re-reports success.
 bool retryable(MsgType type) { return type != MsgType::Shutdown; }
 
 }  // namespace

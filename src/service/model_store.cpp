@@ -27,6 +27,10 @@ void CacheMetrics::eviction() {
   util::metrics::Registry::global().counter("service.cache.evictions").add();
 }
 
+void CacheMetrics::invalidation() {
+  util::metrics::Registry::global().counter("service.cache.invalidations").add();
+}
+
 void CacheMetrics::set_bytes_delta(std::ptrdiff_t delta) {
   // The gauge mirrors the sum of all caches' accounted bytes.  Gauges have
   // no atomic add, and this is only ever called under a cache's mutex, so a
@@ -101,6 +105,16 @@ ModelStore::ModelsResult ModelStore::models_for(const std::vector<std::string>& 
   return result;
 }
 
+void ModelStore::insert_models(const std::string& digest,
+                               std::shared_ptr<const core::TaskModelSet> models) {
+  PMACX_CHECK(models != nullptr, "insert_models with a null model set");
+  // Atomic swap: in-flight requests holding the old shared_ptr keep serving
+  // from it; the next models_for() under this digest resolves to the new
+  // set.  Content addressing makes replacement safe for the derived caches
+  // (sig:/interval: entries keyed by this digest describe identical bytes).
+  models_.insert("models:" + digest, std::move(models));
+}
+
 core::ExtrapolationResult ModelStore::extrapolate(const ModelsResult& models,
                                                   std::uint32_t target_cores) const {
   PMACX_CHECK(models.models != nullptr, "extrapolate on an empty models result");
@@ -171,6 +185,7 @@ StoreStats ModelStore::stats() const {
   stats.hits = registry.counter("service.cache.hits").value();
   stats.misses = registry.counter("service.cache.misses").value();
   stats.evictions = registry.counter("service.cache.evictions").value();
+  stats.invalidations = registry.counter("service.cache.invalidations").value();
   stats.bytes = traces_.bytes() + models_.bytes() + profiles_.bytes() +
                 signatures_.bytes() + intervals_.bytes();
   stats.entries = traces_.entries() + models_.entries() + profiles_.entries() +

@@ -52,6 +52,17 @@ class LruCache {
   /// propagates its exception to every waiter and leaves no entry behind.
   Ptr get_or_load(const std::string& key, const std::function<Ptr()>& loader);
 
+  /// Installs `value` under `key` immediately, *replacing* any existing
+  /// entry — the publish half of a background refit's atomic swap.  An
+  /// existing loaded entry's accounted bytes are subtracted before the new
+  /// cost is added (no replacement may leak accounted bytes — audited by
+  /// tests/service_ingest_test.cpp), and the replacement is counted as a
+  /// service.cache.invalidations event.  Readers that already resolved the
+  /// old value keep their shared_ptr; waiters on an in-flight load for the
+  /// same key still receive that load's result (its bookkeeping is
+  /// superseded via the slot epoch and never double-accounted).
+  void insert(const std::string& key, Ptr value);
+
   std::size_t bytes() const;
   std::size_t entries() const;
 
@@ -60,6 +71,12 @@ class LruCache {
     std::shared_future<Ptr> future;
     std::size_t cost = 0;  ///< 0 while the load is in flight
     bool loaded = false;
+    /// Which load/insert owns this slot's bookkeeping.  A loader only
+    /// applies its cost if the epoch still matches what it was assigned —
+    /// an insert() that replaced the slot meanwhile bumped it, so a
+    /// superseded load adds nothing (the accounting leak this guards
+    /// against: replaced-then-completed loads double-charging bytes_).
+    std::uint64_t epoch = 0;
     std::list<std::string>::iterator lru_it;
   };
 
@@ -70,6 +87,7 @@ class LruCache {
   std::list<std::string> lru_;  ///< front = most recently used
   std::size_t max_bytes_;
   std::size_t bytes_ = 0;
+  std::uint64_t next_epoch_ = 0;  ///< slot ownership tokens (see Slot::epoch)
   Cost cost_;
 };
 
@@ -87,6 +105,9 @@ struct StoreStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Entries replaced in place by insert() — each one a background refit's
+  /// swap landing over a previously served set.
+  std::uint64_t invalidations = 0;
   std::size_t bytes = 0;
   std::size_t entries = 0;
 };
@@ -142,6 +163,17 @@ class ModelStore {
                                                   std::uint32_t target_cores,
                                                   double interval_coverage);
 
+  /// Atomically publishes a freshly fitted model set under its digest —
+  /// the serving end of a background refit.  Replaces any cached set for
+  /// the digest (counted as an invalidation); requests already holding the
+  /// old set keep serving it, new requests resolve the new one.  Stale
+  /// derived entries (signatures, intervals) keyed by the same digest are
+  /// untouched: a changed input series changes the digest, so same-digest
+  /// replacement only happens when file content was re-committed unchanged
+  /// or derived results are recomputed on demand.
+  void insert_models(const std::string& digest,
+                     std::shared_ptr<const core::TaskModelSet> models);
+
   StoreStats stats() const;
 
  private:
@@ -162,6 +194,7 @@ struct CacheMetrics {
   static void hit();
   static void miss();
   static void eviction();
+  static void invalidation();
   static void set_bytes_delta(std::ptrdiff_t delta);
 };
 }  // namespace detail
@@ -203,6 +236,7 @@ template <typename T>
 typename LruCache<T>::Ptr LruCache<T>::get_or_load(const std::string& key,
                                                    const std::function<Ptr()>& loader) {
   std::promise<Ptr> promise;
+  std::uint64_t my_epoch = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = slots_.find(key);
@@ -220,6 +254,7 @@ typename LruCache<T>::Ptr LruCache<T>::get_or_load(const std::string& key,
     detail::CacheMetrics::miss();
     Slot slot;
     slot.future = promise.get_future().share();
+    slot.epoch = my_epoch = ++next_epoch_;
     lru_.push_front(key);
     slot.lru_it = lru_.begin();
     slots_.emplace(key, std::move(slot));
@@ -233,7 +268,9 @@ typename LruCache<T>::Ptr LruCache<T>::get_or_load(const std::string& key,
     {
       std::scoped_lock lock(mutex_);
       auto it = slots_.find(key);
-      if (it != slots_.end()) {
+      // Only dismantle the slot we still own: an insert() that replaced it
+      // mid-load installed a valid value this failure must not evict.
+      if (it != slots_.end() && it->second.epoch == my_epoch) {
         lru_.erase(it->second.lru_it);
         slots_.erase(it);
       }
@@ -246,7 +283,11 @@ typename LruCache<T>::Ptr LruCache<T>::get_or_load(const std::string& key,
   {
     std::scoped_lock lock(mutex_);
     auto it = slots_.find(key);
-    if (it != slots_.end()) {
+    // Epoch check: if an insert() replaced this slot while the load ran,
+    // its bookkeeping already accounts the slot's bytes — adding ours too
+    // would leak `cost` bytes into bytes_ forever.  Waiters still get this
+    // load's value through the promise below; it simply is not cached.
+    if (it != slots_.end() && it->second.epoch == my_epoch) {
       it->second.cost = cost;
       it->second.loaded = true;
       bytes_ += cost;
@@ -256,6 +297,43 @@ typename LruCache<T>::Ptr LruCache<T>::get_or_load(const std::string& key,
   }
   promise.set_value(value);
   return value;
+}
+
+template <typename T>
+void LruCache<T>::insert(const std::string& key, Ptr value) {
+  const std::size_t cost = value ? cost_(*value) : 0;
+  std::promise<Ptr> promise;
+  promise.set_value(value);
+  std::scoped_lock lock(mutex_);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    // Replace in place.  Subtract the old accounted bytes *before* adding
+    // the new cost: a replacement must never leak the displaced entry's
+    // bytes (in-flight slots have cost 0 and nothing accounted yet — their
+    // loader's epoch check keeps it that way).
+    if (it->second.loaded) {
+      bytes_ -= it->second.cost;
+      detail::CacheMetrics::set_bytes_delta(-static_cast<std::ptrdiff_t>(it->second.cost));
+    }
+    detail::CacheMetrics::invalidation();
+    it->second.future = promise.get_future().share();
+    it->second.cost = cost;
+    it->second.loaded = true;
+    it->second.epoch = ++next_epoch_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    Slot slot;
+    slot.future = promise.get_future().share();
+    slot.cost = cost;
+    slot.loaded = true;
+    slot.epoch = ++next_epoch_;
+    lru_.push_front(key);
+    slot.lru_it = lru_.begin();
+    slots_.emplace(key, std::move(slot));
+  }
+  bytes_ += cost;
+  detail::CacheMetrics::set_bytes_delta(static_cast<std::ptrdiff_t>(cost));
+  evict_locked();
 }
 
 }  // namespace pmacx::service

@@ -103,7 +103,7 @@ class PayloadReader {
 };
 
 MsgType msg_type_from_wire(std::uint16_t raw, std::uint64_t offset) {
-  if (raw < 1 || raw > 6)
+  if (raw < 1 || raw > 7)
     throw util::ParseError("", offset, "frame.type",
                            "unknown message type " + std::to_string(raw));
   return static_cast<MsgType>(raw);
@@ -119,6 +119,7 @@ std::string msg_type_name(MsgType type) {
     case MsgType::Status: return "status";
     case MsgType::Shutdown: return "shutdown";
     case MsgType::PredictInterval: return "predict_interval";
+    case MsgType::UploadTrace: return "upload_trace";
   }
   return "unknown";
 }
@@ -290,6 +291,11 @@ std::string encode_request(const Request& request) {
       put_f64(frame.payload, request.work_scale);
       put_str(frame.payload, request.machine_target);
       break;
+    case MsgType::UploadTrace:
+      // The upload grammar lives with the ingest subsystem; this layer only
+      // frames its payload.
+      frame.payload = ingest::encode_upload_payload(request.upload);
+      break;
     case MsgType::Status:
     case MsgType::Shutdown:
       break;  // empty payloads
@@ -300,6 +306,12 @@ std::string encode_request(const Request& request) {
 Request decode_request(const Frame& frame) {
   Request request;
   request.type = frame.type;
+  if (frame.type == MsgType::UploadTrace) {
+    // Delegated grammar: decode_upload_payload does its own bounds and
+    // trailing-bytes checks with the same ParseError taxonomy.
+    request.upload = ingest::decode_upload_payload(frame.payload);
+    return request;
+  }
   PayloadReader reader(frame.payload, "request." + msg_type_name(frame.type));
   switch (frame.type) {
     case MsgType::Fit:
@@ -321,6 +333,7 @@ Request decode_request(const Frame& frame) {
       request.work_scale = reader.f64("work_scale");
       request.machine_target = reader.str("machine_target");
       break;
+    case MsgType::UploadTrace:  // handled above (delegated decode)
     case MsgType::Status:
     case MsgType::Shutdown:
       break;

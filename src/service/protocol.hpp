@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/extrapolator.hpp"
+#include "ingest/upload.hpp"
 
 namespace pmacx::service {
 
@@ -51,6 +52,8 @@ enum class MsgType : std::uint16_t {
   Shutdown = 5,     ///< graceful drain + exit
   PredictInterval = 6,  ///< Bayesian interval extrapolation: respond with the
                         ///< lo/median/hi traces + CSV report (IntervalResult)
+  UploadTrace = 7,  ///< chunked, resumable trace ingestion (ingest::UploadRequest
+                    ///< payload; respond with the upload's key-value progress text)
 };
 
 /// Stable name ("fit", "predict", ...) used in metric names and logs.
@@ -109,6 +112,10 @@ struct Request {
   /// same cached model set (same models_digest, same shard) answers every
   /// coverage.
   double interval_coverage = 0.9;
+  /// UploadTrace only: the decoded upload op.  The payload codec lives in
+  /// ingest/upload.hpp (docs/FORMATS.md holds the layout); this layer only
+  /// frames it.
+  ingest::UploadRequest upload;
 };
 
 /// Response status. Busy is the load-shedding answer: the request was

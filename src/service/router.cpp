@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "ingest/ingest.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/parse_error.hpp"
@@ -275,6 +276,8 @@ Response Router::route(const Request& request, ShardClients& shards) {
         response.body = "draining";
         return response;
       }
+      case MsgType::UploadTrace:
+        return route_upload(request, shards);
       default:
         return route_data_plane(request, shards);
     }
@@ -288,6 +291,14 @@ Response Router::route(const Request& request, ShardClients& shards) {
 }
 
 std::string Router::routing_digest(const Request& request) {
+  // "@collection" specs resolve on the *shards'* filesystems, so their
+  // contents cannot be hashed here.  Route them by the collection's ring
+  // key instead — the same key route_upload used — so the request lands on
+  // the replicas that hold the ingested files.
+  for (const std::string& path : request.spec.trace_paths) {
+    std::string collection;
+    if (ingest::is_collection_ref(path, &collection)) return "upload:" + collection;
+  }
   // Cache key: everything digest_preimage folds in, rendered textually.
   // (The digest itself hashes file *contents*; the key may assume paths are
   // stable because the shard stores assume the same.)
@@ -420,6 +431,56 @@ Response Router::route_data_plane(const Request& request, ShardClients& shards) 
                   std::to_string(options_.failover_deadline_ms) + " ms (" +
                   std::to_string(failed_hops) + " failed hops): " + last_error;
   return response;
+}
+
+Response Router::route_upload(const Request& request, ShardClients& shards) {
+  auto& registry = util::metrics::Registry::global();
+  // Same ring position for every op of every upload into this collection —
+  // and for later "@collection" fit specs (see routing_digest) — so the
+  // shards answering those requests are exactly the ones receiving files.
+  const std::string key = "upload:" + request.upload.collection;
+  const std::vector<std::uint32_t> replicas = ring_.replicas_for(key);
+
+  std::vector<std::size_t> indices;
+  indices.reserve(replicas.size());
+  for (const std::uint32_t id : replicas)
+    for (std::size_t i = 0; i < ring_.shards().size(); ++i)
+      if (ring_.shards()[i].id == id) {
+        indices.push_back(i);
+        break;
+      }
+
+  // Fan out to every replica: unlike the data plane (any one replica can
+  // answer), ingestion must *land* on each shard that may later serve the
+  // collection.  The primary's answer is authoritative (its STATUS drives
+  // the client's resume loop); a failed secondary is metered and skipped —
+  // the op is idempotent, so the client's retry sweep repairs it.
+  Response primary_response;
+  bool primary_ok = false;
+  std::string primary_error = "no replica attempted";
+  for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+    try {
+      Response response = call_shard(indices[pos], request, shards);
+      if (pos == 0) {
+        primary_response = std::move(response);
+        primary_ok = true;
+      }
+    } catch (const util::Error& e) {
+      if (pos == 0)
+        primary_error = e.what();
+      else
+        registry.counter("service.router.upload_replica_failures").add();
+    }
+  }
+  if (!primary_ok) {
+    registry.counter("service.router.error").add();
+    primary_response.status = Status::Error;
+    primary_response.body =
+        "primary replica for collection '" + request.upload.collection +
+        "' failed: " + primary_error;
+  }
+  registry.counter("service.router.routed").add();
+  return primary_response;
 }
 
 Response Router::aggregate_status(ShardClients& shards) {

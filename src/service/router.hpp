@@ -130,6 +130,13 @@ class Router {
 
   Response route(const Request& request, ShardClients& shards);
   Response route_data_plane(const Request& request, ShardClients& shards);
+  /// UPLOAD_TRACE: fan the op out to *every* replica of the collection's
+  /// ring position ("upload:<collection>"), so each shard that can own a
+  /// "@collection" fit spec holds the ingested files locally.  The primary
+  /// replica's answer is the response; replica failures are metered
+  /// (service.router.upload_replica_failures), not fatal — a resumed upload
+  /// re-sends the missing chunks there.
+  Response route_upload(const Request& request, ShardClients& shards);
   Response aggregate_status(ShardClients& shards);
   /// stop() + best-effort SHUTDOWN fan-out to every shard.  Called by
   /// serve_connection after the requester's reply is on the wire.

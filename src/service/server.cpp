@@ -138,6 +138,22 @@ Server::Server(ServerOptions options)
       static_cast<double>(util::ThreadPool::resolve_threads(options_.threads)));
   util::metrics::Registry::global().gauge("service.max_in_flight").set(
       static_cast<double>(options_.max_in_flight));
+
+  if (!options_.ingest_dir.empty()) {
+    ingest::IngestService::Options ingest_options;
+    ingest_options.root = options_.ingest_dir;
+    ingest_options.stream_budget = options_.ingest_stream_budget;
+    // Refit under the default fit spec: a request that asks for the default
+    // policy on "@collection" resolves to the digest the background refit
+    // already published; any other policy cold-fits through the cache path.
+    ingest_options.fit = FitSpec{}.to_options();
+    ingest_ = std::make_unique<ingest::IngestService>(
+        std::move(ingest_options), pool_.get(),
+        [this](const std::string& digest,
+               std::shared_ptr<const core::TaskModelSet> models) {
+          store_.insert_models(digest, std::move(models));
+        });
+  }
 }
 
 Server::~Server() {
@@ -383,18 +399,36 @@ Response Server::dispatch(const Request& request) {
   return response;
 }
 
+std::vector<std::string> Server::expand_paths(const std::vector<std::string>& paths) const {
+  std::vector<std::string> expanded;
+  expanded.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::string collection;
+    if (!ingest::is_collection_ref(path, &collection)) {
+      expanded.push_back(path);
+      continue;
+    }
+    PMACX_CHECK(ingest_ != nullptr,
+                "'" + path + "' names a collection but ingestion is not enabled "
+                "(start the server with --ingest-dir)");
+    for (std::string& member : ingest_->resolve(collection))
+      expanded.push_back(std::move(member));
+  }
+  return expanded;
+}
+
 Response Server::handle(const Request& request) {
   Response response;
   switch (request.type) {
     case MsgType::Fit: {
       const ModelStore::ModelsResult models =
-          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+          store_.models_for(expand_paths(request.spec.trace_paths), request.spec.to_options());
       response.body = models.digest;
       break;
     }
     case MsgType::Extrapolate: {
       const ModelStore::ModelsResult models =
-          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+          store_.models_for(expand_paths(request.spec.trace_paths), request.spec.to_options());
       const core::ExtrapolationResult result =
           store_.extrapolate(models, request.target_cores);
       response.body = trace::to_binary(result.trace);
@@ -405,14 +439,20 @@ Response Server::handle(const Request& request) {
       // parameter, not part of the model digest, so interval requests reuse
       // (and warm) the point path's cached fits.
       const ModelStore::ModelsResult models =
-          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+          store_.models_for(expand_paths(request.spec.trace_paths), request.spec.to_options());
       response.body =
           *store_.interval_for(models, request.target_cores, request.interval_coverage);
       break;
     }
+    case MsgType::UploadTrace: {
+      PMACX_CHECK(ingest_ != nullptr,
+                  "ingestion is not enabled (start the server with --ingest-dir)");
+      response.body = ingest_->handle(request.upload);
+      break;
+    }
     case MsgType::Predict: {
       const ModelStore::ModelsResult models =
-          store_.models_for(request.spec.trace_paths, request.spec.to_options());
+          store_.models_for(expand_paths(request.spec.trace_paths), request.spec.to_options());
       const auto signature = store_.signature_for(models, request.target_cores, request.app,
                                                   request.work_scale);
       const auto profile = store_.profile_for(request.machine_target);
@@ -439,8 +479,15 @@ Response Server::handle(const Request& request) {
           << "cache.hits " << stats.hits << "\n"
           << "cache.misses " << stats.misses << "\n"
           << "cache.evictions " << stats.evictions << "\n"
+          << "cache.invalidations " << stats.invalidations << "\n"
           << "cache.bytes " << stats.bytes << "\n"
           << "cache.entries " << stats.entries << "\n";
+      if (ingest_) {
+        out << "ingest.collections " << ingest_->registry().collection_count() << "\n"
+            << "ingest.files " << ingest_->registry().file_count() << "\n"
+            << "ingest.open_sessions " << ingest_->uploads().open_sessions() << "\n"
+            << "ingest.refits " << ingest_->refits().refits_completed() << "\n";
+      }
       response.body = out.str();
       break;
     }

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ingest/ingest.hpp"
 #include "service/model_store.hpp"
 #include "service/protocol.hpp"
 #include "util/threadpool.hpp"
@@ -64,6 +65,13 @@ struct ServerOptions {
   /// standalone server (the fields are omitted from STATUS).
   std::int64_t shard_id = -1;
   std::uint64_t ring_epoch = 0;  ///< Topology::epoch(); meaningful with shard_id
+  /// Live-ingestion root directory (spool/ + collections/ under it).  Empty
+  /// disables ingestion: UPLOAD_TRACE requests get an Error response and
+  /// "@collection" paths do not resolve.
+  std::string ingest_dir;
+  /// Buffer budget for upload commit validation and refit trace reloads
+  /// (forwarded to ingest::IngestService::Options::stream_budget).
+  std::size_t ingest_stream_budget = 64u << 20;
 };
 
 class Server {
@@ -93,6 +101,9 @@ class Server {
   ModelStore& store() { return store_; }
   std::uint64_t requests_handled() const { return handled_.load(std::memory_order_relaxed); }
 
+  /// The live-ingestion subsystem, or nullptr when `ingest_dir` was empty.
+  ingest::IngestService* ingest() { return ingest_.get(); }
+
   /// Live connections currently being served (diagnostic; the bounded-memory
   /// chaos invariant is asserted against this staying small under churn).
   std::size_t live_connections();
@@ -113,6 +124,10 @@ class Server {
   /// and deadline; always returns a Response (errors become Status::Error).
   Response dispatch(const Request& request);
   Response handle(const Request& request);
+  /// Expands "@collection" pseudo-paths to the collection's trace paths
+  /// (ascending core count).  Throws util::Error when ingestion is disabled
+  /// or the collection is unknown; plain paths pass through untouched.
+  std::vector<std::string> expand_paths(const std::vector<std::string>& paths) const;
 
   ServerOptions options_;
   std::chrono::steady_clock::time_point started_at_{};
@@ -124,6 +139,10 @@ class Server {
   std::atomic<std::uint64_t> handled_{0};
   ModelStore store_;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Declared after pool_ so it is destroyed first; by then wait() has
+  /// cancelled queued refits and pool_.reset() drained running ones, so no
+  /// pool task can touch a dead IngestService.
+  std::unique_ptr<ingest::IngestService> ingest_;
   std::thread accept_thread_;
   std::mutex connections_mutex_;
   std::uint64_t next_connection_id_ = 0;            // guarded by connections_mutex_

@@ -1,0 +1,224 @@
+#include "stats/suffstats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/crc32.hpp"
+
+namespace pmacx::stats {
+namespace {
+
+/// Solves the 2x2 normal equations for y = a + b·x from identity-weighted
+/// sums.  Returns false on a degenerate design (all x equal).
+bool solve_line(const Moments& m, double& a, double& b) {
+  if (m.n < 2) return false;
+  const double n = static_cast<double>(m.n);
+  const double denom = n * m.sxx - m.sx * m.sx;
+  if (!(denom > 0.0) || !std::isfinite(denom)) return false;
+  b = (n * m.sxy - m.sx * m.sy) / denom;
+  a = (m.sy - b * m.sx) / n;
+  return std::isfinite(a) && std::isfinite(b);
+}
+
+/// SSE of y = a + b·x from moments: expand Σ(y - a - bx)².
+double line_sse(const Moments& m, double a, double b) {
+  const double n = static_cast<double>(m.n);
+  const double sse = m.syy + n * a * a + b * b * m.sxx + 2.0 * a * b * m.sx -
+                     2.0 * a * m.sy - 2.0 * b * m.sxy;
+  return std::max(sse, 0.0);  // cancellation can dip slightly negative
+}
+
+/// SSE of y = a + b·x + c·x² from moments.
+double quad_sse(const Moments& m, double a, double b, double c) {
+  const double n = static_cast<double>(m.n);
+  const double sse = m.syy + n * a * a + b * b * m.sxx + c * c * m.sx4 +
+                     2.0 * a * b * m.sx + 2.0 * a * c * m.sxx + 2.0 * b * c * m.sx3 -
+                     2.0 * a * m.sy - 2.0 * b * m.sxy - 2.0 * c * m.sx2y;
+  return std::max(sse, 0.0);
+}
+
+double r2_from(const Moments& m, double sse) {
+  const double n = static_cast<double>(m.n);
+  const double ss_tot = std::max(m.syy - m.sy * m.sy / n, 0.0);
+  if (ss_tot <= 0.0) return sse <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - sse / ss_tot;
+}
+
+/// Fits the straight line of `family` and packages it as `form` with the
+/// given parameter layout (a = intercept, b = slope).
+FittedModel fit_line_family(Form form, const SeriesMoments& sm, MomentFamily family,
+                            bool needs_positive_axis) {
+  FittedModel model;
+  model.form = form;
+  model.sse = std::numeric_limits<double>::infinity();
+  if (needs_positive_axis && sm.bad_axis) return model;
+  const Moments& m = sm.family(family);
+  double a = 0.0, b = 0.0;
+  if (!solve_line(m, a, b)) return model;
+  model.params = {a, b, 0.0};
+  model.sse = line_sse(m, a, b);
+  model.r2 = r2_from(m, model.sse);
+  model.ok = true;
+  return model;
+}
+
+/// Log-space fit (exponential/power): the regression ran over ln|y|, so the
+/// intercept exponentiates into the scale and the sign census decides
+/// usability — mixed signs (or all zeros) cannot be represented, matching
+/// fit_log_space.  sse/r2 stay in log space; fit_form's original-space
+/// residual and scale refinement need the samples themselves.
+FittedModel fit_log_family(Form form, const SeriesMoments& sm, MomentFamily family) {
+  FittedModel model;
+  model.form = form;
+  model.sse = std::numeric_limits<double>::infinity();
+  if (sm.bad_axis) return model;
+  if (sm.pos > 0 && sm.neg > 0) return model;  // mixed signs: unrepresentable
+  if (sm.pos + sm.neg == 0) return model;      // all zero: nothing to fit
+  const double sign = sm.neg > 0 ? -1.0 : 1.0;
+  const Moments& m = sm.family(family);
+  double intercept = 0.0, slope = 0.0;
+  if (!solve_line(m, intercept, slope)) return model;
+  const double scale = sign * std::exp(intercept);
+  if (!std::isfinite(scale)) return model;
+  model.params = {scale, slope, 0.0};
+  model.sse = line_sse(m, intercept, slope);
+  model.r2 = r2_from(m, model.sse);
+  model.ok = true;
+  return model;
+}
+
+FittedModel fit_constant(const SeriesMoments& sm) {
+  FittedModel model;
+  model.form = Form::Constant;
+  model.sse = std::numeric_limits<double>::infinity();
+  const Moments& m = sm.family(MomentFamily::Identity);
+  if (m.n == 0) return model;
+  const double n = static_cast<double>(m.n);
+  const double a = m.sy / n;
+  if (!std::isfinite(a)) return model;
+  model.params = {a, 0.0, 0.0};
+  model.sse = std::max(m.syy - m.sy * m.sy / n, 0.0);
+  model.r2 = r2_from(m, model.sse);
+  model.ok = true;
+  return model;
+}
+
+FittedModel fit_quadratic(const SeriesMoments& sm) {
+  FittedModel model;
+  model.form = Form::Quadratic;
+  model.sse = std::numeric_limits<double>::infinity();
+  const Moments& m = sm.family(MomentFamily::Identity);
+  // Matches fit_form's ≥ 4 rule: with 3 samples a quadratic interpolates
+  // and cannot be ranked against the two-parameter forms.
+  if (m.n < 4) return model;
+  const double n = static_cast<double>(m.n);
+  // Normal equations A·[a b c]^T = rhs, A symmetric.
+  double A[3][3] = {{n, m.sx, m.sxx}, {m.sx, m.sxx, m.sx3}, {m.sxx, m.sx3, m.sx4}};
+  double rhs[3] = {m.sy, m.sxy, m.sx2y};
+  // Gaussian elimination with partial pivoting on the 3x3 system.
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row)
+      if (std::fabs(A[perm[row]][col]) > std::fabs(A[perm[pivot]][col])) pivot = row;
+    std::swap(perm[col], perm[pivot]);
+    const double diag = A[perm[col]][col];
+    if (std::fabs(diag) < 1e-300) return model;  // singular design
+    for (int row = col + 1; row < 3; ++row) {
+      const double factor = A[perm[row]][col] / diag;
+      for (int k = col; k < 3; ++k) A[perm[row]][k] -= factor * A[perm[col]][k];
+      rhs[perm[row]] -= factor * rhs[perm[col]];
+    }
+  }
+  double x[3];
+  for (int col = 2; col >= 0; --col) {
+    double v = rhs[perm[col]];
+    for (int k = col + 1; k < 3; ++k) v -= A[perm[col]][k] * x[k];
+    x[col] = v / A[perm[col]][col];
+  }
+  if (!std::isfinite(x[0]) || !std::isfinite(x[1]) || !std::isfinite(x[2])) return model;
+  model.params = {x[0], x[1], x[2]};
+  model.sse = quad_sse(m, x[0], x[1], x[2]);
+  model.r2 = r2_from(m, model.sse);
+  model.ok = true;
+  return model;
+}
+
+}  // namespace
+
+void SeriesMoments::add_sample(double p, double y) {
+  ++count;
+  char raw[16];
+  std::memcpy(raw, &p, 8);
+  std::memcpy(raw + 8, &y, 8);
+  fingerprint = util::crc32(raw, sizeof raw, fingerprint);
+
+  if (y > 0.0)
+    ++pos;
+  else if (y < 0.0)
+    ++neg;
+  else
+    ++zero;
+  if (!(p > 0.0)) bad_axis = true;
+
+  families[static_cast<std::size_t>(MomentFamily::Identity)].add(p, y);
+  if (p > 0.0) {
+    const double lp = std::log(p);
+    families[static_cast<std::size_t>(MomentFamily::LogX)].add(lp, y);
+    families[static_cast<std::size_t>(MomentFamily::InvX)].add(1.0 / p, y);
+    // Log-space families skip exact zeros, exactly as fit_log_space drops
+    // them from its regression (they cannot be log-transformed).
+    if (y != 0.0) {
+      const double ly = std::log(std::fabs(y));
+      families[static_cast<std::size_t>(MomentFamily::ExpY)].add(p, ly);
+      families[static_cast<std::size_t>(MomentFamily::PowXY)].add(lp, ly);
+    }
+  }
+}
+
+SeriesMoments SeriesMoments::from_series(std::span<const double> p,
+                                         std::span<const double> y) {
+  SeriesMoments sm;
+  const std::size_t n = std::min(p.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) sm.add_sample(p[i], y[i]);
+  return sm;
+}
+
+std::uint32_t series_fingerprint(std::span<const double> p, std::span<const double> y,
+                                 std::size_t n) {
+  std::uint32_t crc = 0;
+  n = std::min({n, p.size(), y.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    char raw[16];
+    std::memcpy(raw, &p[i], 8);
+    std::memcpy(raw + 8, &y[i], 8);
+    crc = util::crc32(raw, sizeof raw, crc);
+  }
+  return crc;
+}
+
+FittedModel fit_from_moments(Form form, const SeriesMoments& sm) {
+  switch (form) {
+    case Form::Constant: return fit_constant(sm);
+    case Form::Linear:
+      return fit_line_family(Form::Linear, sm, MomentFamily::Identity,
+                             /*needs_positive_axis=*/false);
+    case Form::Logarithmic:
+      return fit_line_family(Form::Logarithmic, sm, MomentFamily::LogX,
+                             /*needs_positive_axis=*/true);
+    case Form::InverseP:
+      return fit_line_family(Form::InverseP, sm, MomentFamily::InvX,
+                             /*needs_positive_axis=*/true);
+    case Form::Exponential: return fit_log_family(Form::Exponential, sm, MomentFamily::ExpY);
+    case Form::Power: return fit_log_family(Form::Power, sm, MomentFamily::PowXY);
+    case Form::Quadratic: return fit_quadratic(sm);
+  }
+  FittedModel model;
+  model.form = form;
+  model.sse = std::numeric_limits<double>::infinity();
+  return model;
+}
+
+}  // namespace pmacx::stats

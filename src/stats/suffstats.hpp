@@ -1,0 +1,117 @@
+// Per-series sufficient statistics for canonical-form fitting.
+//
+// A fitted element's regression inputs can be summarized by a handful of
+// raw moments per transform family: n, Σx, Σy, Σxx, Σxy, Σyy (plus the
+// cubic/quartic terms the quadratic form needs), accumulated in the
+// transformed space each family regresses in (x = p, ln p, or 1/p; y = y or
+// ln|y|).  The point of keeping them is ingestion: appending a trace at a
+// new core count extends every element's moments in O(1) — no re-reading
+// of earlier samples — and extending by a suffix is *bitwise identical* to
+// recomputing from the full series, because add_sample preserves the
+// summation order (pinned by test).
+//
+// Two distinct uses, with distinct guarantees:
+//
+//   * fit_from_moments: closed-form normal-equation fits straight from the
+//     moments.  These agree with stats::fit_form to tight tolerances on
+//     well-conditioned data (tested), but are NOT bit-identical to it —
+//     fit_form is a centered two-pass algorithm, and the exponential/power
+//     forms additionally refine their scale in the original space, which no
+//     fixed moment set can express.  Use for screening and for deciding
+//     whether a refit is worth scheduling; never on a byte-pinned path.
+//   * the order-sensitive fingerprint: a CRC over the raw sample bit
+//     patterns, chained per sample, so "does the new series extend the one
+//     these moments summarize?" is a prefix-fingerprint comparison — the
+//     check the incremental refitter uses to extend instead of rebuild.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "stats/canonical.hpp"
+
+namespace pmacx::stats {
+
+/// Raw regression moments in one transformed (x, y) space.  All sums are
+/// accumulated left to right in sample order, which is what makes suffix
+/// extension bit-identical to whole-series accumulation.
+struct Moments {
+  std::uint64_t n = 0;  ///< samples accumulated (post-transform)
+  double sx = 0.0, sy = 0.0;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  /// Higher x-moments for the quadratic normal equations.
+  double sx3 = 0.0, sx4 = 0.0, sx2y = 0.0;
+
+  void add(double x, double y) {
+    ++n;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    sx3 += x * x * x;
+    sx4 += (x * x) * (x * x);
+    sx2y += x * x * y;
+  }
+
+  bool operator==(const Moments&) const = default;
+};
+
+/// The transform families the canonical forms regress in.  Constant,
+/// Linear, and Quadratic share the identity family; Logarithmic,
+/// InverseP, Exponential, and Power each get their own.
+enum class MomentFamily : std::uint8_t {
+  Identity,  ///< x = p,     y = y       (constant, linear, quadratic)
+  LogX,      ///< x = ln p,  y = y       (logarithmic)
+  InvX,      ///< x = 1/p,   y = y       (inverse-p)
+  ExpY,      ///< x = p,     y = ln|y|   (exponential; zero y skipped)
+  PowXY,     ///< x = ln p,  y = ln|y|   (power; zero y skipped)
+};
+inline constexpr std::size_t kMomentFamilyCount = 5;
+
+/// Sufficient statistics of one element's fit series across every family,
+/// plus the bookkeeping fit_log_space needs (sign census — exponential and
+/// power fits require one-signed data and drop exact zeros) and the
+/// order-sensitive fingerprint of the raw samples.
+struct SeriesMoments {
+  std::uint64_t count = 0;  ///< raw (p, y) samples seen
+  std::uint64_t pos = 0, neg = 0, zero = 0;  ///< sign census of y
+  bool bad_axis = false;  ///< a sample had p ≤ 0 (log/inv/power unusable)
+  /// CRC32 chained over the raw IEEE-754 bit patterns of (p, y) in sample
+  /// order: fingerprint(prefix ++ suffix) == chain of the two, so prefix
+  /// identity is one u32 comparison.
+  std::uint32_t fingerprint = 0;
+  std::array<Moments, kMomentFamilyCount> families{};
+
+  const Moments& family(MomentFamily f) const {
+    return families[static_cast<std::size_t>(f)];
+  }
+
+  /// Appends one sample to every family — O(1), order-preserving.
+  void add_sample(double p, double y);
+
+  /// Accumulates a whole series (samples in order).
+  static SeriesMoments from_series(std::span<const double> p,
+                                   std::span<const double> y);
+
+  bool operator==(const SeriesMoments&) const = default;
+};
+
+/// Fingerprint of the first `n` samples of a series — compare against a
+/// stored SeriesMoments::fingerprint to decide whether the new series is a
+/// pure extension of the one the moments summarize.
+std::uint32_t series_fingerprint(std::span<const double> p, std::span<const double> y,
+                                 std::size_t n);
+
+/// Closed-form fit of `form` from the moments alone (normal equations in
+/// the form's transform space).  Parameters agree with stats::fit_form to
+/// tolerance on well-conditioned data; for Exponential/Power the sse/r2 are
+/// log-space values (the original-space residual needs the samples) and the
+/// scale parameter omits fit_form's original-space refinement.  Returns
+/// ok=false exactly when the moments cannot support the form (too few
+/// samples, mixed-sign y for log-space forms, p ≤ 0 for transformed axes,
+/// or a degenerate design).
+FittedModel fit_from_moments(Form form, const SeriesMoments& sm);
+
+}  // namespace pmacx::stats

@@ -1,0 +1,224 @@
+// Shared primitives of the binary trace grammar (v001/v002).
+//
+// Three readers consume the exact same records: the strict whole-view parser
+// and the salvage parser in binary_io.cpp, and the bounded-memory streaming
+// parser in stream_reader.cpp.  Keeping the encode/decode of headers, blocks,
+// and section frames here means the grammar exists exactly once and the
+// paths cannot drift — a corruption rejected by one loader is rejected by
+// all of them, with the same ParseError taxonomy.
+//
+// The record readers are templates over the reader type: detail::Reader
+// walks a contiguous byte range (a whole mapped file or one section
+// payload), while the streaming parser supplies a cursor that pulls bytes
+// from a ByteSource with a fixed buffer budget.  Both expose the same
+// primitive surface (raw/u32/u64/f64/str/need/fail/remaining/set_section).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "trace/task_trace.hpp"
+#include "util/crc32.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::trace::detail {
+
+// The format assumes a little-endian host (x86-64/aarch64); a big-endian
+// port would need byte swaps here.
+
+// v002 section tags.
+inline constexpr std::uint32_t kSectionHeader = 'H';
+inline constexpr std::uint32_t kSectionBlock = 'B';
+inline constexpr std::uint32_t kSectionEnd = 'E';
+
+// Per-section overhead: tag (u32) + payload size (u64) + CRC32 (u32).
+inline constexpr std::size_t kSectionFrameBytes = 4 + 8 + 4;
+
+// Smallest possible encodings, used to bounds-check declared counts before
+// reserving: a corrupted count must be caught here, not in the allocator.
+inline constexpr std::size_t kMinInstrBytes = 4 + sizeof(double) * kInstrElementCount;
+inline constexpr std::size_t kMinBlockBytes =
+    8 + 4 + 4 + 4 + sizeof(double) * kBlockElementCount + 8;
+
+class Writer {
+ public:
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  /// Appends a framed v002 section: tag, size, CRC32, payload.
+  void section(std::uint32_t tag, const std::string& payload) {
+    u32(tag);
+    u64(payload.size());
+    u32(util::crc32(payload));
+    raw(payload.data(), payload.size());
+  }
+  std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounded reader over a contiguous byte range.  Every failure throws
+/// ParseError with the *absolute* byte offset (sub-readers over section
+/// payloads carry their base offset) and the name of the section being read.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size, std::size_t base_offset,
+         const char* section)
+      : data_(data), size_(size), base_(base_offset), section_(section) {}
+
+  explicit Reader(std::string_view bytes)
+      : Reader(bytes.data(), bytes.size(), 0, "file") {}
+
+  void set_section(const char* section) { section_ = section; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw util::ParseError("", base_ + offset_, section_, message);
+  }
+
+  void need(std::size_t size, const char* what) const {
+    if (size_ - offset_ < size)
+      fail(std::string("truncated reading ") + what + " (need " +
+           std::to_string(size) + " bytes, " + std::to_string(size_ - offset_) +
+           " remain)");
+  }
+
+  void raw(void* out, std::size_t size, const char* what) {
+    need(size, what);
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+  }
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    std::uint64_t v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  double f64(const char* what) {
+    double v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint32_t size = u32(what);
+    need(size, what);
+    std::string s(data_ + offset_, size);
+    offset_ += size;
+    return s;
+  }
+
+  /// A sub-reader bounded to the next `size` bytes (a section payload);
+  /// advances this reader past them.
+  Reader sub(std::size_t size, const char* section) {
+    need(size, section);
+    Reader r(data_ + offset_, size, base_ + offset_, section);
+    offset_ += size;
+    return r;
+  }
+
+  const char* cursor() const { return data_ + offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  std::size_t absolute_offset() const { return base_ + offset_; }
+  bool exhausted() const { return offset_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t base_;
+  const char* section_;
+  std::size_t offset_ = 0;
+};
+
+inline void write_block(Writer& w, const BasicBlockRecord& block) {
+  w.u64(block.id);
+  w.str(block.location.file);
+  w.u32(block.location.line);
+  w.str(block.location.function);
+  for (double v : block.features) w.f64(v);
+  w.u64(block.instructions.size());
+  for (const auto& instr : block.instructions) {
+    w.u32(instr.index);
+    for (double v : instr.features) w.f64(v);
+  }
+}
+
+template <class R>
+BasicBlockRecord read_block(R& r) {
+  BasicBlockRecord block;
+  block.id = r.u64("block id");
+  block.location.file = r.str("block source file");
+  block.location.line = r.u32("block line");
+  block.location.function = r.str("block function");
+  for (double& v : block.features) v = r.f64("block feature");
+  const std::uint64_t instr_count = r.u64("instruction count");
+  if (instr_count > r.remaining() / kMinInstrBytes)
+    r.fail("instruction count " + std::to_string(instr_count) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  block.instructions.reserve(instr_count);
+  for (std::uint64_t k = 0; k < instr_count; ++k) {
+    InstructionRecord instr;
+    instr.index = r.u32("instruction index");
+    for (double& v : instr.features) v = r.f64("instruction feature");
+    block.instructions.push_back(std::move(instr));
+  }
+  return block;
+}
+
+/// Writes the task header with an explicit block count so streaming writers
+/// can declare the count before any block exists in memory.
+inline void write_task_header(Writer& w, const TaskTrace& task,
+                              std::uint64_t block_count) {
+  w.str(task.app);
+  w.u32(task.rank);
+  w.u32(task.core_count);
+  w.str(task.target_system);
+  w.u32(task.extrapolated ? 1 : 0);
+  w.u64(block_count);
+}
+
+template <class R>
+std::uint64_t read_task_header(R& r, TaskTrace& task) {
+  task.app = r.str("app name");
+  task.rank = r.u32("rank");
+  task.core_count = r.u32("core count");
+  task.target_system = r.str("target system");
+  task.extrapolated = r.u32("extrapolated flag") != 0;
+  return r.u64("block count");
+}
+
+/// Reads one v002 section frame from a contiguous reader, validates the
+/// declared size against the remaining input and the payload against its
+/// CRC, and returns a bounded payload reader.
+inline Reader read_section(Reader& r, std::uint32_t expected_tag, const char* section) {
+  r.set_section(section);
+  const std::uint32_t tag = r.u32("section tag");
+  if (tag != expected_tag)
+    r.fail("unexpected section tag " + std::to_string(tag) + " (expected " +
+           std::to_string(expected_tag) + ")");
+  const std::uint64_t size = r.u64("section size");
+  const std::uint32_t declared_crc = r.u32("section checksum");
+  // Checked only after the CRC field is consumed: remaining() must cover the
+  // payload alone, or crc32 below would read past the end of the input.
+  if (size > r.remaining())
+    r.fail("declared section size " + std::to_string(size) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  const std::uint32_t actual_crc = util::crc32(r.cursor(), size);
+  if (actual_crc != declared_crc)
+    r.fail("checksum mismatch (stored " + std::to_string(declared_crc) +
+           ", computed " + std::to_string(actual_crc) + ")");
+  return r.sub(static_cast<std::size_t>(size), section);
+}
+
+}  // namespace pmacx::trace::detail

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "trace/binary_detail.hpp"
+#include "trace/stream_reader.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -15,280 +17,69 @@
 namespace pmacx::trace {
 namespace {
 
-// The format assumes a little-endian host (x86-64/aarch64); a big-endian
-// port would need byte swaps here.
+using detail::Reader;
+using detail::Writer;
 
-// v002 section tags.
-constexpr std::uint32_t kSectionHeader = 'H';
-constexpr std::uint32_t kSectionBlock = 'B';
-constexpr std::uint32_t kSectionEnd = 'E';
-
-// Per-section overhead: tag (u32) + payload size (u64) + CRC32 (u32).
-constexpr std::size_t kSectionFrameBytes = 4 + 8 + 4;
-
-// Smallest possible encodings, used to bounds-check declared counts before
-// reserving: a corrupted count must be caught here, not in the allocator.
-constexpr std::size_t kMinInstrBytes = 4 + sizeof(double) * kInstrElementCount;
-constexpr std::size_t kMinBlockBytes =
-    8 + 4 + 4 + 4 + sizeof(double) * kBlockElementCount + 8;
-
-class Writer {
- public:
-  void raw(const void* data, std::size_t size) {
-    buffer_.append(static_cast<const char*>(data), size);
-  }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void f64(double v) { raw(&v, sizeof v); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    raw(s.data(), s.size());
-  }
-  /// Appends a framed v002 section: tag, size, CRC32, payload.
-  void section(std::uint32_t tag, const std::string& payload) {
-    u32(tag);
-    u64(payload.size());
-    u32(util::crc32(payload));
-    raw(payload.data(), payload.size());
-  }
-  std::string take() { return std::move(buffer_); }
-
- private:
-  std::string buffer_;
-};
-
-/// Bounded reader over a byte range.  Every failure throws ParseError with
-/// the *absolute* byte offset (sub-readers over section payloads carry
-/// their base offset) and the name of the section being read.
-class Reader {
- public:
-  Reader(const char* data, std::size_t size, std::size_t base_offset,
-         const char* section)
-      : data_(data), size_(size), base_(base_offset), section_(section) {}
-
-  explicit Reader(std::string_view bytes)
-      : Reader(bytes.data(), bytes.size(), 0, "file") {}
-
-  void set_section(const char* section) { section_ = section; }
-
-  [[noreturn]] void fail(const std::string& message) const {
-    throw util::ParseError("", base_ + offset_, section_, message);
-  }
-
-  void need(std::size_t size, const char* what) const {
-    if (size_ - offset_ < size)
-      fail(std::string("truncated reading ") + what + " (need " +
-           std::to_string(size) + " bytes, " + std::to_string(size_ - offset_) +
-           " remain)");
-  }
-
-  void raw(void* out, std::size_t size, const char* what) {
-    need(size, what);
-    std::memcpy(out, data_ + offset_, size);
-    offset_ += size;
-  }
-  std::uint32_t u32(const char* what) {
-    std::uint32_t v;
-    raw(&v, sizeof v, what);
-    return v;
-  }
-  std::uint64_t u64(const char* what) {
-    std::uint64_t v;
-    raw(&v, sizeof v, what);
-    return v;
-  }
-  double f64(const char* what) {
-    double v;
-    raw(&v, sizeof v, what);
-    return v;
-  }
-  std::string str(const char* what) {
-    const std::uint32_t size = u32(what);
-    need(size, what);
-    std::string s(data_ + offset_, size);
-    offset_ += size;
-    return s;
-  }
-
-  /// A sub-reader bounded to the next `size` bytes (a section payload);
-  /// advances this reader past them.
-  Reader sub(std::size_t size, const char* section) {
-    need(size, section);
-    Reader r(data_ + offset_, size, base_ + offset_, section);
-    offset_ += size;
-    return r;
-  }
-
-  const char* cursor() const { return data_ + offset_; }
-  std::size_t remaining() const { return size_ - offset_; }
-  std::size_t absolute_offset() const { return base_ + offset_; }
-  bool exhausted() const { return offset_ == size_; }
-
- private:
-  const char* data_;
-  std::size_t size_;
-  std::size_t base_;
-  const char* section_;
-  std::size_t offset_ = 0;
-};
-
-void write_block(Writer& w, const BasicBlockRecord& block) {
-  w.u64(block.id);
-  w.str(block.location.file);
-  w.u32(block.location.line);
-  w.str(block.location.function);
-  for (double v : block.features) w.f64(v);
-  w.u64(block.instructions.size());
-  for (const auto& instr : block.instructions) {
-    w.u32(instr.index);
-    for (double v : instr.features) w.f64(v);
-  }
-}
-
-BasicBlockRecord read_block(Reader& r) {
-  BasicBlockRecord block;
-  block.id = r.u64("block id");
-  block.location.file = r.str("block source file");
-  block.location.line = r.u32("block line");
-  block.location.function = r.str("block function");
-  for (double& v : block.features) v = r.f64("block feature");
-  const std::uint64_t instr_count = r.u64("instruction count");
-  if (instr_count > r.remaining() / kMinInstrBytes)
-    r.fail("instruction count " + std::to_string(instr_count) +
-           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
-  block.instructions.reserve(instr_count);
-  for (std::uint64_t k = 0; k < instr_count; ++k) {
-    InstructionRecord instr;
-    instr.index = r.u32("instruction index");
-    for (double& v : instr.features) v = r.f64("instruction feature");
-    block.instructions.push_back(std::move(instr));
-  }
-  return block;
-}
-
-void write_task_header(Writer& w, const TaskTrace& task) {
-  w.str(task.app);
-  w.u32(task.rank);
-  w.u32(task.core_count);
-  w.str(task.target_system);
-  w.u32(task.extrapolated ? 1 : 0);
-  w.u64(task.blocks.size());
-}
-
-std::uint64_t read_task_header(Reader& r, TaskTrace& task) {
-  task.app = r.str("app name");
-  task.rank = r.u32("rank");
-  task.core_count = r.u32("core count");
-  task.target_system = r.str("target system");
-  task.extrapolated = r.u32("extrapolated flag") != 0;
-  return r.u64("block count");
-}
-
-/// Reads one v002 section frame, validates the declared size against the
-/// remaining input and the payload against its CRC, and returns a bounded
-/// payload reader.
-Reader read_section(Reader& r, std::uint32_t expected_tag, const char* section) {
-  r.set_section(section);
-  const std::uint32_t tag = r.u32("section tag");
-  if (tag != expected_tag)
-    r.fail("unexpected section tag " + std::to_string(tag) + " (expected " +
-           std::to_string(expected_tag) + ")");
-  const std::uint64_t size = r.u64("section size");
-  const std::uint32_t declared_crc = r.u32("section checksum");
-  // Checked only after the CRC field is consumed: remaining() must cover the
-  // payload alone, or crc32 below would read past the end of the input.
-  if (size > r.remaining())
-    r.fail("declared section size " + std::to_string(size) +
-           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
-  const std::uint32_t actual_crc = util::crc32(r.cursor(), size);
-  if (actual_crc != declared_crc)
-    r.fail("checksum mismatch (stored " + std::to_string(declared_crc) +
-           ", computed " + std::to_string(actual_crc) + ")");
-  return r.sub(static_cast<std::size_t>(size), section);
-}
-
-/// Parses the v001 layout (everything after the magic is one unframed
-/// record stream).  When `salvage` is set, block-level errors stop the
-/// parse and keep the blocks read so far instead of propagating.
-TaskTrace parse_v001(Reader& r, SalvageReport* salvage) {
+/// Parses the v001 layout leniently (everything after the magic is one
+/// unframed record stream): block-level errors stop the parse and keep the
+/// blocks read so far.  Strict v001 parsing lives in the streaming reader.
+TaskTrace salvage_v001(Reader& r, SalvageReport& salvage) {
   TaskTrace task;
   r.set_section("v001 header");
-  const std::uint64_t block_count = read_task_header(r, task);
-  const std::uint64_t fit_count = r.remaining() / kMinBlockBytes;
-  if (block_count > fit_count && salvage == nullptr)
-    r.fail("block count " + std::to_string(block_count) +
-           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
-  if (salvage != nullptr) salvage->blocks_expected = block_count;
+  const std::uint64_t block_count = detail::read_task_header(r, task);
+  const std::uint64_t fit_count = r.remaining() / detail::kMinBlockBytes;
+  salvage.blocks_expected = block_count;
   task.blocks.reserve(std::min(block_count, fit_count));
   for (std::uint64_t b = 0; b < block_count; ++b) {
     r.set_section("v001 block record");
-    if (salvage == nullptr) {
-      task.blocks.push_back(read_block(r));
-      continue;
-    }
     try {
-      task.blocks.push_back(read_block(r));
-      ++salvage->blocks_recovered;
+      task.blocks.push_back(detail::read_block(r));
+      ++salvage.blocks_recovered;
     } catch (const util::ParseError& e) {
-      salvage->used = true;
-      salvage->error = e.what();
+      salvage.used = true;
+      salvage.error = e.what();
       task.sort_blocks();
       return task;
     }
   }
+  // Trailing garbage after a fully recovered v001 stream throws even in
+  // salvage mode (matching the original parser): with no framing there is
+  // no way to tell extra bytes from a corrupted record boundary.
   r.set_section("v001 trailer");
   if (!r.exhausted()) r.fail("trailing bytes after binary trace");
   task.sort_blocks();
   return task;
 }
 
-/// Parses the sectioned v002 layout.  The header section must be intact
-/// (there is nothing to salvage without it); with `salvage` set, damage in
-/// any later section keeps all blocks recovered up to that point.
-TaskTrace parse_v002(Reader& r, SalvageReport* salvage) {
+/// Parses the sectioned v002 layout leniently.  The header section must be
+/// intact (there is nothing to salvage without it); damage in any later
+/// section keeps all blocks recovered up to that point.
+TaskTrace salvage_v002(Reader& r, SalvageReport& salvage) {
   TaskTrace task;
-  Reader header = read_section(r, kSectionHeader, "header section");
-  const std::uint64_t block_count = read_task_header(header, task);
+  Reader header = detail::read_section(r, detail::kSectionHeader, "header section");
+  const std::uint64_t block_count = detail::read_task_header(header, task);
   if (!header.exhausted()) header.fail("trailing bytes in header section");
-  // The declared count bounds reserve(); a count the remaining bytes cannot
-  // possibly hold is fatal in strict mode, while salvage mode clamps the
+  // The declared count bounds reserve(); salvage mode clamps the
   // pre-allocation and recovers whatever blocks actually follow.
-  const std::uint64_t fit_count = r.remaining() / (kSectionFrameBytes + kMinBlockBytes);
-  if (block_count > fit_count && salvage == nullptr)
-    r.fail("block count " + std::to_string(block_count) +
-           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
-  if (salvage != nullptr) salvage->blocks_expected = block_count;
+  const std::uint64_t fit_count =
+      r.remaining() / (detail::kSectionFrameBytes + detail::kMinBlockBytes);
+  salvage.blocks_expected = block_count;
   task.blocks.reserve(std::min(block_count, fit_count));
 
-  auto read_body = [&](auto on_error) {
+  try {
     for (std::uint64_t b = 0; b < block_count; ++b) {
-      try {
-        Reader payload = read_section(r, kSectionBlock, "block section");
-        task.blocks.push_back(read_block(payload));
-        if (!payload.exhausted()) payload.fail("trailing bytes in block section");
-      } catch (const util::ParseError& e) {
-        on_error(e);
-        return;
-      }
-      if (salvage != nullptr) ++salvage->blocks_recovered;
+      Reader payload = detail::read_section(r, detail::kSectionBlock, "block section");
+      task.blocks.push_back(detail::read_block(payload));
+      if (!payload.exhausted()) payload.fail("trailing bytes in block section");
+      ++salvage.blocks_recovered;
     }
-    try {
-      Reader end = read_section(r, kSectionEnd, "end marker");
-      if (!end.exhausted()) end.fail("non-empty end marker");
-      r.set_section("v002 trailer");
-      if (!r.exhausted()) r.fail("trailing bytes after binary trace");
-    } catch (const util::ParseError& e) {
-      on_error(e);
-    }
-  };
-
-  if (salvage == nullptr) {
-    read_body([](const util::ParseError& e) -> void { throw e; });
-  } else {
-    read_body([&](const util::ParseError& e) {
-      salvage->used = true;
-      salvage->error = e.what();
-    });
+    Reader end = detail::read_section(r, detail::kSectionEnd, "end marker");
+    if (!end.exhausted()) end.fail("non-empty end marker");
+    r.set_section("v002 trailer");
+    if (!r.exhausted()) r.fail("trailing bytes after binary trace");
+  } catch (const util::ParseError& e) {
+    salvage.used = true;
+    salvage.error = e.what();
   }
   task.sort_blocks();
   return task;
@@ -297,18 +88,6 @@ TaskTrace parse_v002(Reader& r, SalvageReport* salvage) {
 bool has_magic(std::string_view bytes, const char (&magic)[8]) {
   return bytes.size() >= sizeof magic &&
          std::memcmp(bytes.data(), magic, sizeof magic) == 0;
-}
-
-TaskTrace parse_binary(std::string_view bytes, SalvageReport* salvage) {
-  if (!looks_binary(bytes))
-    throw util::ParseError("", 0, "magic", "not a pmacx binary trace");
-  Reader r(bytes);
-  char magic[sizeof(kBinaryMagicV002)];
-  r.set_section("magic");
-  r.raw(magic, sizeof magic, "magic");
-  if (std::memcmp(magic, kBinaryMagicV001, sizeof magic) == 0)
-    return parse_v001(r, salvage);
-  return parse_v002(r, salvage);
 }
 
 std::string read_file(const std::string& path) {
@@ -320,7 +99,9 @@ std::string read_file(const std::string& path) {
 }
 
 /// The whole content of one trace file: a view into either a memory map or
-/// a fallback read buffer, whichever slurp() ended up with.
+/// a fallback read buffer, whichever slurp() ended up with.  Only the
+/// salvage loader still needs the whole file at once (lenient parsing
+/// backtracks over damage); strict loads stream.
 struct FileBytes {
   util::MappedFile map;
   std::string buffer;
@@ -362,32 +143,45 @@ std::string to_binary(const TaskTrace& task) {
   Writer w;
   w.raw(kBinaryMagicV002, sizeof(kBinaryMagicV002));
   Writer header;
-  write_task_header(header, task);
-  w.section(kSectionHeader, header.take());
+  detail::write_task_header(header, task, task.blocks.size());
+  w.section(detail::kSectionHeader, header.take());
   for (const auto& block : task.blocks) {
     Writer payload;
-    write_block(payload, block);
-    w.section(kSectionBlock, payload.take());
+    detail::write_block(payload, block);
+    w.section(detail::kSectionBlock, payload.take());
   }
-  w.section(kSectionEnd, std::string());
+  w.section(detail::kSectionEnd, std::string());
   return w.take();
 }
 
 std::string to_binary_v001(const TaskTrace& task) {
   Writer w;
   w.raw(kBinaryMagicV001, sizeof(kBinaryMagicV001));
-  write_task_header(w, task);
-  for (const auto& block : task.blocks) write_block(w, block);
+  detail::write_task_header(w, task, task.blocks.size());
+  for (const auto& block : task.blocks) detail::write_block(w, block);
   return w.take();
 }
 
 TaskTrace from_binary(std::string_view bytes) {
-  return parse_binary(bytes, nullptr);
+  // Strict parsing is the streaming parser over a borrowed view: one
+  // grammar, whether the bytes arrive whole or chunked.
+  const auto source = make_view_source(bytes);
+  CollectingSink sink;
+  stream_parse(*source, sink, StreamFormat::Binary);
+  return sink.take();
 }
 
 TaskTrace salvage_binary(std::string_view bytes, SalvageReport& report) {
   report = SalvageReport{};
-  return parse_binary(bytes, &report);
+  if (!looks_binary(bytes))
+    throw util::ParseError("", 0, "magic", "not a pmacx binary trace");
+  Reader r(bytes);
+  char magic[sizeof(kBinaryMagicV002)];
+  r.set_section("magic");
+  r.raw(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kBinaryMagicV001, sizeof magic) == 0)
+    return salvage_v001(r, report);
+  return salvage_v002(r, report);
 }
 
 void save_binary(const TaskTrace& task, const std::string& path) {
@@ -399,8 +193,12 @@ void save_binary(const TaskTrace& task, const std::string& path) {
 }
 
 TaskTrace load_binary(const std::string& path) {
-  const FileBytes bytes = slurp(path);
-  return util::with_parse_context(path, [&] { return from_binary(bytes.view); });
+  const auto source = open_stream(path);
+  return util::with_parse_context(path, [&] {
+    CollectingSink sink;
+    stream_parse(*source, sink, StreamFormat::Binary);
+    return sink.take();
+  });
 }
 
 TaskTrace load_salvage(const std::string& path, SalvageReport& report) {
@@ -414,15 +212,17 @@ TaskTrace load_salvage(const std::string& path, SalvageReport& report) {
 }
 
 // Defined here rather than in task_trace.cpp so the strict auto-detecting
-// loader shares slurp()'s mmap path and counters with load_binary above.
+// loader shares the stream providers (and the trace.mmap_* counters) with
+// load_binary above.
 TaskTrace TaskTrace::load(const std::string& path) {
-  const FileBytes bytes = slurp(path);
+  const auto source = open_stream(path);
   // Auto-detect: binary traces start with the binary magic, text ones with
   // the "pmacx-trace" header.  Parse errors gain the path here — the
   // in-memory parsers cannot know it.
   return util::with_parse_context(path, [&] {
-    if (looks_binary(bytes.view)) return from_binary(bytes.view);
-    return from_text(std::string(bytes.view));
+    CollectingSink sink;
+    stream_parse(*source, sink, StreamFormat::Auto);
+    return sink.take();
   });
 }
 

@@ -1,0 +1,527 @@
+#include "trace/stream_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "trace/binary_detail.hpp"
+#include "trace/binary_io.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/mmap_file.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx::trace {
+namespace {
+
+// Registered up front so every metrics snapshot carries the streaming
+// gauges — a run that streams nothing still reports them as zero.
+const bool kStreamMetricsRegistered = [] {
+  util::metrics::Registry::global().counter("trace.stream.bytes");
+  util::metrics::Registry::global().gauge("trace.stream.peak_buffer_bytes");
+  return true;
+}();
+
+void record_peak_buffer(std::size_t bytes) {
+  util::metrics::Gauge& gauge =
+      util::metrics::Registry::global().gauge("trace.stream.peak_buffer_bytes");
+  if (static_cast<double>(bytes) > gauge.value())
+    gauge.set(static_cast<double>(bytes));
+}
+
+/// Borrowed contiguous view (also the zero-copy face of a memory map).
+class ViewSource final : public ByteSource {
+ public:
+  explicit ViewSource(std::string_view bytes) : bytes_(bytes) {}
+
+  std::string_view peek(std::size_t n) override {
+    (void)n;
+    return bytes_.substr(pos_);
+  }
+  void consume(std::size_t n) override { pos_ += std::min(n, bytes_.size() - pos_); }
+  std::uint64_t offset() const override { return pos_; }
+  std::uint64_t size() const override { return bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// ViewSource that owns the memory map backing its view.
+class MappedSource final : public ByteSource {
+ public:
+  explicit MappedSource(util::MappedFile map)
+      : map_(std::move(map)), view_(map_.view()) {}
+
+  std::string_view peek(std::size_t n) override {
+    (void)n;
+    return view_.substr(pos_);
+  }
+  void consume(std::size_t n) override { pos_ += std::min(n, view_.size() - pos_); }
+  std::uint64_t offset() const override { return pos_; }
+  std::uint64_t size() const override { return view_.size(); }
+
+ private:
+  util::MappedFile map_;
+  std::string_view view_;
+  std::size_t pos_ = 0;
+};
+
+/// Buffered file window with a hard budget.  The buffer holds a sliding
+/// window [window_base, window_base + buffer.size()) of the file; peek()
+/// compacts consumed bytes away and refills from the stream, and refuses
+/// (ParseError) to grow the window past the budget.
+class BufferedFileSource final : public ByteSource {
+ public:
+  BufferedFileSource(const std::string& path, std::size_t budget)
+      : path_(path), budget_(std::max<std::size_t>(budget, kMinBudget)) {
+    in_.open(path, std::ios::binary);
+    PMACX_CHECK(in_.good(), "cannot open '" + path + "' for reading");
+    in_.seekg(0, std::ios::end);
+    const std::streamoff end = in_.tellg();
+    PMACX_CHECK(end >= 0, "cannot determine size of '" + path + "'");
+    file_size_ = static_cast<std::uint64_t>(end);
+    in_.seekg(0, std::ios::beg);
+  }
+
+  std::string_view peek(std::size_t n) override {
+    const std::uint64_t remaining = file_size_ - offset_;
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, remaining));
+    if (want > budget_)
+      throw util::ParseError(
+          "", offset_, "stream",
+          "record of " + std::to_string(want) + " bytes exceeds the " +
+              std::to_string(budget_) + "-byte stream buffer budget");
+    if (available() < want) fill(want);
+    return std::string_view(buffer_.data() + pos_, available());
+  }
+
+  void consume(std::size_t n) override {
+    const std::size_t step = std::min(n, available());
+    pos_ += step;
+    offset_ += step;
+  }
+
+  std::uint64_t offset() const override { return offset_; }
+  std::uint64_t size() const override { return file_size_; }
+  std::size_t peak_buffer_bytes() const override { return peak_; }
+
+ private:
+  // Floor keeps tiny test budgets workable (a section frame plus slack)
+  // while still exercising compaction constantly.
+  static constexpr std::size_t kMinBudget = 4096;
+  // Refill granularity: big enough to amortize syscalls, small enough that
+  // tiny budgets still make many reads.
+  static constexpr std::size_t kReadChunk = 256 * 1024;
+
+  std::size_t available() const { return buffer_.size() - pos_; }
+
+  void fill(std::size_t want) {
+    // Drop consumed bytes so the window never holds dead prefix.
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    const std::uint64_t remaining_in_file =
+        file_size_ - (offset_ + buffer_.size());
+    std::size_t target = std::max(want, std::min<std::size_t>(
+                                            kReadChunk,
+                                            static_cast<std::size_t>(std::min<std::uint64_t>(
+                                                remaining_in_file + buffer_.size(), budget_))));
+    target = std::min(target, budget_);
+    while (buffer_.size() < target) {
+      const std::size_t old = buffer_.size();
+      std::size_t grow = std::min<std::size_t>(target - old, kReadChunk);
+      grow = static_cast<std::size_t>(
+          std::min<std::uint64_t>(grow, file_size_ - (offset_ + old)));
+      if (grow == 0) break;
+      buffer_.resize(old + grow);
+      in_.read(buffer_.data() + old, static_cast<std::streamsize>(grow));
+      const std::size_t got = static_cast<std::size_t>(in_.gcount());
+      buffer_.resize(old + got);
+      PMACX_CHECK(got == grow || in_.eof(),
+                  "read from '" + path_ + "' failed mid-stream");
+      if (got < grow) {
+        // The file shrank under us; surface it as a clean truncation at the
+        // parser's next need() rather than spinning here.
+        file_size_ = offset_ + buffer_.size();
+        break;
+      }
+    }
+    peak_ = std::max(peak_, buffer_.capacity());
+    record_peak_buffer(peak_);
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t offset_ = 0;
+  std::uint64_t file_size_ = 0;
+  std::size_t budget_;
+  std::size_t peak_ = 0;
+};
+
+/// Reader-compatible primitive cursor over a ByteSource (the streaming
+/// counterpart of detail::Reader, usable with the shared record templates).
+class SourceReader {
+ public:
+  SourceReader(ByteSource& source, const char* section)
+      : source_(source), section_(section) {}
+
+  void set_section(const char* section) { section_ = section; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw util::ParseError("", source_.offset(), section_, message);
+  }
+
+  void need(std::size_t size, const char* what) const {
+    if (remaining() < size)
+      fail(std::string("truncated reading ") + what + " (need " +
+           std::to_string(size) + " bytes, " + std::to_string(remaining()) +
+           " remain)");
+  }
+
+  void raw(void* out, std::size_t size, const char* what) {
+    need(size, what);
+    const std::string_view bytes = source_.peek(size);
+    if (bytes.size() < size)
+      fail(std::string("truncated reading ") + what + " (need " +
+           std::to_string(size) + " bytes, " + std::to_string(bytes.size()) +
+           " remain)");
+    std::memcpy(out, bytes.data(), size);
+    source_.consume(size);
+  }
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    std::uint64_t v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  double f64(const char* what) {
+    double v;
+    raw(&v, sizeof v, what);
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint32_t size = u32(what);
+    need(size, what);
+    const std::string_view bytes = source_.peek(size);
+    std::string s(bytes.data(), std::min<std::size_t>(bytes.size(), size));
+    if (s.size() < size)
+      fail(std::string("truncated reading ") + what);
+    source_.consume(size);
+    return s;
+  }
+
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(source_.size() - source_.offset());
+  }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  ByteSource& source_;
+  const char* section_;
+};
+
+/// One v002 section frame pulled from the stream: the payload view (valid
+/// until the source is advanced) plus its absolute offset and size.  The
+/// caller consumes `size` bytes once done with the view.
+struct SectionView {
+  std::string_view payload;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t size = 0;
+};
+
+SectionView read_section_stream(ByteSource& source, std::uint32_t expected_tag,
+                                const char* section) {
+  SourceReader r(source, section);
+  const std::uint32_t tag = r.u32("section tag");
+  if (tag != expected_tag)
+    r.fail("unexpected section tag " + std::to_string(tag) + " (expected " +
+           std::to_string(expected_tag) + ")");
+  const std::uint64_t size = r.u64("section size");
+  const std::uint32_t declared_crc = r.u32("section checksum");
+  // Checked only after the CRC field is consumed, mirroring the whole-view
+  // parser: remaining() must cover the payload alone.
+  if (size > r.remaining())
+    r.fail("declared section size " + std::to_string(size) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  SectionView view;
+  view.payload_offset = source.offset();
+  view.size = size;
+  view.payload = source.peek(static_cast<std::size_t>(size));
+  if (view.payload.size() < size)
+    r.fail("truncated reading section payload (need " + std::to_string(size) +
+           " bytes, " + std::to_string(view.payload.size()) + " remain)");
+  view.payload = view.payload.substr(0, static_cast<std::size_t>(size));
+  const std::uint32_t actual_crc = util::crc32(view.payload.data(), view.payload.size());
+  if (actual_crc != declared_crc)
+    r.fail("checksum mismatch (stored " + std::to_string(declared_crc) +
+           ", computed " + std::to_string(actual_crc) + ")");
+  return view;
+}
+
+void parse_v002_stream(ByteSource& source, StreamSink& sink) {
+  TaskTrace header;
+  std::uint64_t block_count = 0;
+  {
+    const SectionView s = read_section_stream(source, detail::kSectionHeader,
+                                              "header section");
+    detail::Reader payload(s.payload.data(), s.payload.size(),
+                           static_cast<std::size_t>(s.payload_offset),
+                           "header section");
+    block_count = detail::read_task_header(payload, header);
+    if (!payload.exhausted()) payload.fail("trailing bytes in header section");
+    source.consume(static_cast<std::size_t>(s.size));
+  }
+  const std::uint64_t remaining = source.size() - source.offset();
+  const std::uint64_t fit_count =
+      remaining / (detail::kSectionFrameBytes + detail::kMinBlockBytes);
+  if (block_count > fit_count)
+    throw util::ParseError("", source.offset(), "header section",
+                           "block count " + std::to_string(block_count) +
+                               " exceeds remaining input (" +
+                               std::to_string(remaining) + " bytes)");
+  sink.on_header(header, block_count, std::min(block_count, fit_count));
+
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    const SectionView s =
+        read_section_stream(source, detail::kSectionBlock, "block section");
+    detail::Reader payload(s.payload.data(), s.payload.size(),
+                           static_cast<std::size_t>(s.payload_offset),
+                           "block section");
+    BasicBlockRecord block = detail::read_block(payload);
+    if (!payload.exhausted()) payload.fail("trailing bytes in block section");
+    source.consume(static_cast<std::size_t>(s.size));
+    sink.on_block(std::move(block));
+  }
+
+  const SectionView end =
+      read_section_stream(source, detail::kSectionEnd, "end marker");
+  if (end.size != 0)
+    throw util::ParseError("", end.payload_offset, "end marker",
+                           "non-empty end marker");
+  SourceReader trailer(source, "v002 trailer");
+  if (!trailer.exhausted()) trailer.fail("trailing bytes after binary trace");
+  sink.on_end();
+}
+
+void parse_v001_stream(ByteSource& source, StreamSink& sink) {
+  TaskTrace header;
+  SourceReader r(source, "v001 header");
+  const std::uint64_t block_count = detail::read_task_header(r, header);
+  const std::uint64_t fit_count = r.remaining() / detail::kMinBlockBytes;
+  if (block_count > fit_count)
+    r.fail("block count " + std::to_string(block_count) +
+           " exceeds remaining input (" + std::to_string(r.remaining()) + " bytes)");
+  sink.on_header(header, block_count, std::min<std::uint64_t>(block_count, fit_count));
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    r.set_section("v001 block record");
+    sink.on_block(detail::read_block(r));
+  }
+  r.set_section("v001 trailer");
+  if (!r.exhausted()) r.fail("trailing bytes after binary trace");
+  sink.on_end();
+}
+
+bool next_line_from(ByteSource& source, std::string& out) {
+  out.clear();
+  if (source.offset() >= source.size()) return false;
+  for (;;) {
+    const std::string_view chunk = source.peek(4096);
+    if (chunk.empty()) return !out.empty();
+    const std::size_t nl = chunk.find('\n');
+    if (nl == std::string_view::npos) {
+      out.append(chunk);
+      source.consume(chunk.size());
+      if (source.offset() >= source.size()) return true;  // last line, no '\n'
+      continue;
+    }
+    out.append(chunk.substr(0, nl));
+    source.consume(nl + 1);
+    return true;
+  }
+}
+
+/// Forwards to an inner sink while counting blocks for StreamStats.
+class CountingSink final : public StreamSink {
+ public:
+  explicit CountingSink(StreamSink& inner) : inner_(inner) {}
+  void on_header(const TaskTrace& header, std::uint64_t block_count,
+                 std::uint64_t reserve_hint) override {
+    inner_.on_header(header, block_count, reserve_hint);
+  }
+  void on_block(BasicBlockRecord&& block) override {
+    ++blocks_;
+    inner_.on_block(std::move(block));
+  }
+  void on_end() override { inner_.on_end(); }
+  std::uint64_t blocks() const { return blocks_; }
+
+ private:
+  StreamSink& inner_;
+  std::uint64_t blocks_ = 0;
+};
+
+/// Validates each record as it streams past, retaining only block ids (for
+/// the uniqueness check) — never the blocks themselves.
+class ValidatingSink final : public StreamSink {
+ public:
+  explicit ValidatingSink(TaskTrace* header_out) : header_out_(header_out) {}
+
+  void on_header(const TaskTrace& header, std::uint64_t block_count,
+                 std::uint64_t reserve_hint) override {
+    (void)block_count;
+    scratch_ = header;
+    scratch_.blocks.clear();
+    scratch_.validate();  // core_count > 0, rank < cores
+    if (header_out_ != nullptr) *header_out_ = scratch_;
+    ids_.reserve(static_cast<std::size_t>(reserve_hint));
+  }
+
+  void on_block(BasicBlockRecord&& block) override {
+    ids_.push_back(block.id);
+    // Reuse the canonical per-block rules by validating a one-block trace;
+    // cross-block id uniqueness is checked once at on_end (file order is
+    // not required to be id order — loaders sort after parsing).
+    scratch_.blocks.clear();
+    scratch_.blocks.push_back(std::move(block));
+    scratch_.validate();
+  }
+
+  void on_end() override {
+    std::sort(ids_.begin(), ids_.end());
+    const auto dup = std::adjacent_find(ids_.begin(), ids_.end());
+    PMACX_CHECK(dup == ids_.end(),
+                "block " + (dup == ids_.end() ? std::string() : std::to_string(*dup)) +
+                    ": ids must be sorted and unique");
+  }
+
+ private:
+  TaskTrace scratch_;
+  std::vector<std::uint64_t> ids_;
+  TaskTrace* header_out_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSource> make_view_source(std::string_view bytes) {
+  return std::make_unique<ViewSource>(bytes);
+}
+
+std::unique_ptr<ByteSource> open_stream(const std::string& path, std::size_t budget,
+                                        bool force_buffered) {
+  util::metrics::Registry& metrics = util::metrics::Registry::global();
+  if (!force_buffered) {
+    util::MappedFile map;
+    if (map.open(path)) {
+      metrics.counter("trace.mmap_bytes").add(map.size());
+      return std::make_unique<MappedSource>(std::move(map));
+    }
+  }
+  metrics.counter("trace.mmap_fallbacks").add(1);
+  return std::make_unique<BufferedFileSource>(path, budget);
+}
+
+StreamStats stream_parse(ByteSource& source, StreamSink& sink, StreamFormat format) {
+  (void)kStreamMetricsRegistered;
+  CountingSink counting(sink);
+  const std::string_view head = source.peek(sizeof(kBinaryMagicV002));
+  const bool is_v001 =
+      head.size() >= sizeof(kBinaryMagicV001) &&
+      std::memcmp(head.data(), kBinaryMagicV001, sizeof(kBinaryMagicV001)) == 0;
+  const bool is_v002 =
+      head.size() >= sizeof(kBinaryMagicV002) &&
+      std::memcmp(head.data(), kBinaryMagicV002, sizeof(kBinaryMagicV002)) == 0;
+  if (is_v001 || is_v002) {
+    source.consume(sizeof(kBinaryMagicV002));
+    if (is_v001)
+      parse_v001_stream(source, counting);
+    else
+      parse_v002_stream(source, counting);
+  } else if (format == StreamFormat::Binary) {
+    throw util::ParseError("", 0, "magic", "not a pmacx binary trace");
+  } else {
+    detail::parse_text_stream(
+        [&source](std::string& out) { return next_line_from(source, out); },
+        static_cast<std::size_t>(source.size()), counting);
+  }
+  StreamStats stats;
+  stats.bytes_consumed = source.offset();
+  stats.blocks = counting.blocks();
+  stats.peak_buffer_bytes = source.peak_buffer_bytes();
+  util::metrics::Registry::global().counter("trace.stream.bytes").add(stats.bytes_consumed);
+  return stats;
+}
+
+TaskTrace stream_load(const std::string& path, std::size_t budget,
+                      bool force_buffered) {
+  const std::unique_ptr<ByteSource> source = open_stream(path, budget, force_buffered);
+  return util::with_parse_context(path, [&] {
+    CollectingSink sink;
+    stream_parse(*source, sink, StreamFormat::Auto);
+    return sink.take();
+  });
+}
+
+StreamStats stream_validate(ByteSource& source, TaskTrace* header_out) {
+  ValidatingSink sink(header_out);
+  return stream_parse(source, sink, StreamFormat::Auto);
+}
+
+BinaryStreamWriter::BinaryStreamWriter(const std::string& path)
+    : path_(path), out_(std::make_unique<std::ofstream>(
+                       path, std::ios::trunc | std::ios::binary)) {
+  PMACX_CHECK(out_->good(), "cannot open '" + path + "' for writing");
+}
+
+BinaryStreamWriter::~BinaryStreamWriter() = default;
+
+void BinaryStreamWriter::begin(const TaskTrace& header, std::uint64_t block_count) {
+  PMACX_CHECK(!begun_, "BinaryStreamWriter::begin called twice");
+  begun_ = true;
+  declared_ = block_count;
+  detail::Writer w;
+  w.raw(kBinaryMagicV002, sizeof(kBinaryMagicV002));
+  detail::Writer head;
+  detail::write_task_header(head, header, block_count);
+  w.section(detail::kSectionHeader, head.take());
+  const std::string bytes = w.take();
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  PMACX_CHECK(out_->good(), "write to '" + path_ + "' failed");
+}
+
+void BinaryStreamWriter::add_block(const BasicBlockRecord& block) {
+  PMACX_CHECK(begun_ && !finished_, "BinaryStreamWriter::add_block outside begin/finish");
+  detail::Writer payload;
+  detail::write_block(payload, block);
+  detail::Writer w;
+  w.section(detail::kSectionBlock, payload.take());
+  const std::string bytes = w.take();
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  PMACX_CHECK(out_->good(), "write to '" + path_ + "' failed");
+  ++written_;
+}
+
+void BinaryStreamWriter::finish() {
+  PMACX_CHECK(begun_ && !finished_, "BinaryStreamWriter::finish outside begin");
+  finished_ = true;
+  PMACX_CHECK(written_ == declared_,
+              "BinaryStreamWriter wrote " + std::to_string(written_) +
+                  " blocks but declared " + std::to_string(declared_));
+  detail::Writer w;
+  w.section(detail::kSectionEnd, std::string());
+  const std::string bytes = w.take();
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out_->flush();
+  PMACX_CHECK(out_->good(), "write to '" + path_ + "' failed");
+}
+
+}  // namespace pmacx::trace

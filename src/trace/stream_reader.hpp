@@ -1,0 +1,181 @@
+// Chunked, bounded-memory trace readers and writers (trace::StreamReader).
+//
+// The whole-file loaders materialize a trace's bytes before parsing; fine
+// for fitting a handful of inputs, wrong for a long-lived server accepting
+// multi-GiB uploads.  This interface splits "where the bytes come from"
+// (ByteSource: a borrowed view, a memory map, or a buffered file window
+// with a fixed budget) from "what happens to the records" (StreamSink:
+// collect them into a TaskTrace, validate and discard them, count them).
+//
+// The streaming parser reads one section frame at a time, so peak reader
+// memory is the source's buffer budget plus one section payload — bounded
+// regardless of trace size.  Per-section CRC checks and the ParseError
+// taxonomy are preserved at chunk granularity: every corruption a
+// whole-file parse rejects, a streamed parse rejects at the same offset,
+// and a sink never observes a record from a section that failed its CRC.
+//
+// The mmap fast path from the whole-file loaders is one provider behind
+// this interface (open_stream prefers a mapped view and counts the same
+// trace.mmap_* metrics); the buffered provider bounds its window to the
+// budget and reports its high-water mark via trace.stream.peak_buffer_bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "trace/task_trace.hpp"
+
+namespace pmacx::trace {
+
+/// Default buffer budget for buffered streaming reads (64 MiB — matches the
+/// RPC layer's maximum payload, so any record a peer can send fits).
+inline constexpr std::size_t kDefaultStreamBudget = std::size_t{64} << 20;
+
+/// Pull-based byte provider with bounded lookahead.  peek() exposes at
+/// least min(n, remaining-in-source) bytes without consuming them; the view
+/// stays valid until the next peek() or consume().  A peek that cannot be
+/// satisfied within the provider's buffer budget throws ParseError — the
+/// budget is a hard bound, not a hint.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// A view of at least min(n, remaining) bytes at the cursor (possibly
+  /// more).  Throws ParseError when n exceeds the buffer budget.
+  virtual std::string_view peek(std::size_t n) = 0;
+  /// Advances the cursor past `n` previously peeked bytes.
+  virtual void consume(std::size_t n) = 0;
+  /// Bytes consumed so far (absolute offset, used in ParseError locations).
+  virtual std::uint64_t offset() const = 0;
+  /// Total size of the underlying input in bytes.
+  virtual std::uint64_t size() const = 0;
+  /// High-water mark of provider-owned buffer memory (0 for borrowed views).
+  virtual std::size_t peak_buffer_bytes() const { return 0; }
+};
+
+/// Source over a borrowed contiguous view (caller keeps the bytes alive).
+std::unique_ptr<ByteSource> make_view_source(std::string_view bytes);
+
+/// Opens `path` for streaming.  Prefers the zero-copy memory-mapped
+/// provider (counted in trace.mmap_bytes, like the whole-file loaders) and
+/// falls back to the budget-bounded buffered provider (counted in
+/// trace.mmap_fallbacks).  `force_buffered` selects the buffered provider
+/// unconditionally — the choice for RSS-capped ingestion, where mapped file
+/// pages would count against the resident budget as they are touched.
+std::unique_ptr<ByteSource> open_stream(const std::string& path,
+                                        std::size_t budget = kDefaultStreamBudget,
+                                        bool force_buffered = false);
+
+/// Receives parse events in file order.  Blocks arrive in *file* order, not
+/// id order; collecting sinks sort, validating sinks track ids themselves.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  /// Once, after the header parses: `header` carries all task metadata and
+  /// no blocks.  `block_count` is the declared count; `reserve_hint` is that
+  /// count clamped to what the remaining input could possibly encode (safe
+  /// to reserve() even for corrupt declared counts).
+  virtual void on_header(const TaskTrace& header, std::uint64_t block_count,
+                         std::uint64_t reserve_hint) {
+    (void)header, (void)block_count, (void)reserve_hint;
+  }
+  virtual void on_block(BasicBlockRecord&& block) { (void)block; }
+  /// Once, after the end marker and trailer checks pass.
+  virtual void on_end() {}
+};
+
+/// Sink that rebuilds the whole TaskTrace (the streaming equivalent of the
+/// whole-file loaders; take() sorts blocks by id exactly as they do).
+class CollectingSink final : public StreamSink {
+ public:
+  void on_header(const TaskTrace& header, std::uint64_t block_count,
+                 std::uint64_t reserve_hint) override {
+    (void)block_count;
+    task_ = header;
+    task_.blocks.clear();
+    task_.blocks.reserve(static_cast<std::size_t>(reserve_hint));
+  }
+  void on_block(BasicBlockRecord&& block) override {
+    task_.blocks.push_back(std::move(block));
+  }
+  TaskTrace take() {
+    task_.sort_blocks();
+    return std::move(task_);
+  }
+
+ private:
+  TaskTrace task_;
+};
+
+enum class StreamFormat {
+  Auto,    ///< binary by magic, text otherwise (TaskTrace::load semantics)
+  Binary,  ///< binary only; anything else is a ParseError (load_binary)
+};
+
+struct StreamStats {
+  std::uint64_t bytes_consumed = 0;
+  std::uint64_t blocks = 0;
+  /// Provider buffer high-water mark (0 when the source was a view/map).
+  std::size_t peak_buffer_bytes = 0;
+};
+
+/// Streaming strict parse of either binary version or the text format.
+/// Throws ParseError exactly where the whole-file parsers would; the sink
+/// sees nothing from a section that failed its checks.
+StreamStats stream_parse(ByteSource& source, StreamSink& sink,
+                         StreamFormat format = StreamFormat::Auto);
+
+/// Whole-trace load through the streaming path.  Byte-identical results to
+/// TaskTrace::load (pinned by test).
+TaskTrace stream_load(const std::string& path,
+                      std::size_t budget = kDefaultStreamBudget,
+                      bool force_buffered = false);
+
+/// Validation-only scan: parses every section, verifies framing, CRCs, and
+/// the TaskTrace semantic invariants (finite features, rates, cumulative
+/// hit rates, unique block ids) — then discards each block.  Peak memory is
+/// the source budget plus one block, regardless of trace size.  Returns the
+/// header metadata via `header_out` when non-null.
+StreamStats stream_validate(ByteSource& source, TaskTrace* header_out = nullptr);
+
+/// Streaming v002 writer: emits the magic and header up front, then one
+/// framed section per block as it arrives, then the end marker.  Output is
+/// byte-identical to to_binary() over the same (sorted) blocks.
+class BinaryStreamWriter {
+ public:
+  explicit BinaryStreamWriter(const std::string& path);
+  ~BinaryStreamWriter();
+
+  /// Writes the magic and the header section declaring `block_count` blocks.
+  void begin(const TaskTrace& header, std::uint64_t block_count);
+  /// Appends one framed block section.  Callers append in ascending-id
+  /// order to match to_binary() byte-for-byte.
+  void add_block(const BasicBlockRecord& block);
+  /// Writes the end marker and flushes; throws if the block count written
+  /// differs from the declared count.
+  void finish();
+
+ private:
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+  std::uint64_t declared_ = 0;
+  std::uint64_t written_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+namespace detail {
+
+/// Streaming text-format parse over a line feed (`next_line` fills its
+/// argument with the next raw line, returning false at end of input).
+/// Defined in task_trace.cpp next to the grammar it shares with from_text.
+void parse_text_stream(const std::function<bool(std::string&)>& next_line,
+                       std::size_t size_hint, StreamSink& sink);
+
+}  // namespace detail
+
+}  // namespace pmacx::trace

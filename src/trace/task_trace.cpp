@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
+#include "trace/stream_reader.hpp"
 #include "util/error.hpp"
 #include "util/parse_error.hpp"
 #include "util/strings.hpp"
@@ -24,15 +26,19 @@ constexpr std::size_t kMinTextBlockBytes =
     12 + (9 + 2 * kBlockElementCount) + 9;
 constexpr std::size_t kMinTextInstrBytes = 4 + 2 * kInstrElementCount;
 
-/// Line-oriented reader that tracks position for error messages.
+/// Line-oriented reader that tracks position for error messages.  Pulls raw
+/// lines from a feed so the same grammar parses an in-memory string and a
+/// budget-bounded ByteSource alike.
 class LineReader {
  public:
-  explicit LineReader(const std::string& text) : stream_(text) {}
+  using Feed = std::function<bool(std::string&)>;
+
+  explicit LineReader(Feed feed) : feed_(std::move(feed)) {}
 
   /// Next non-empty line, split on tabs; throws at EOF.
   std::vector<std::string> next(const char* expectation) {
     std::string line;
-    while (std::getline(stream_, line)) {
+    while (feed_(line)) {
       ++line_number_;
       if (!line.empty()) return util::split(line, '\t');
     }
@@ -43,7 +49,7 @@ class LineReader {
   int line_number() const { return line_number_; }
 
  private:
-  std::istringstream stream_;
+  Feed feed_;
   int line_number_ = 0;
 };
 
@@ -172,7 +178,7 @@ std::string TaskTrace::to_text() const {
 
 namespace {
 
-TaskTrace parse_text(LineReader& reader, std::size_t text_size) {
+void parse_text(LineReader& reader, std::size_t text_size, StreamSink& sink) {
   TaskTrace trace;
 
   auto header = reader.next("magic header");
@@ -199,8 +205,8 @@ TaskTrace parse_text(LineReader& reader, std::size_t text_size) {
 
   const std::uint64_t block_count =
       util::parse_u64(field(expect_kv("blocks"), 1, "block count"), "blocks");
-  trace.blocks.reserve(
-      std::min<std::uint64_t>(block_count, text_size / kMinTextBlockBytes));
+  sink.on_header(trace, block_count,
+                 std::min<std::uint64_t>(block_count, text_size / kMinTextBlockBytes));
 
   for (std::uint64_t b = 0; b < block_count; ++b) {
     auto block_fields = expect_kv("block");
@@ -232,21 +238,23 @@ TaskTrace parse_text(LineReader& reader, std::size_t text_size) {
         instr.features[e] = util::parse_double(instr_fields[2 + e], "instr feature");
       block.instructions.push_back(std::move(instr));
     }
-    trace.blocks.push_back(std::move(block));
+    sink.on_block(std::move(block));
   }
 
   auto end_fields = reader.next("end marker");
   PMACX_CHECK(field(end_fields, 0, "end") == "end", "missing end marker");
-  trace.sort_blocks();
-  return trace;
+  sink.on_end();
 }
 
 }  // namespace
 
-TaskTrace TaskTrace::from_text(const std::string& text) {
-  LineReader reader(text);
+namespace detail {
+
+void parse_text_stream(const std::function<bool(std::string&)>& next_line,
+                       std::size_t size_hint, StreamSink& sink) {
+  LineReader reader(next_line);
   try {
-    return parse_text(reader, text.size());
+    parse_text(reader, size_hint, sink);
   } catch (const util::ParseError&) {
     throw;
   } catch (const util::Error& e) {
@@ -255,6 +263,17 @@ TaskTrace TaskTrace::from_text(const std::string& text) {
     throw util::ParseError("", util::ParseError::kNoOffset,
                            "line " + std::to_string(reader.line_number()), e.what());
   }
+}
+
+}  // namespace detail
+
+TaskTrace TaskTrace::from_text(const std::string& text) {
+  std::istringstream stream(text);
+  CollectingSink sink;
+  detail::parse_text_stream(
+      [&stream](std::string& out) { return static_cast<bool>(std::getline(stream, out)); },
+      text.size(), sink);
+  return sink.take();
 }
 
 void TaskTrace::save(const std::string& path) const {

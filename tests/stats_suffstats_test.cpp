@@ -1,0 +1,210 @@
+// Sufficient-statistics tests: suffix extension must be *bitwise* identical
+// to whole-series accumulation (the property incremental refitting stands
+// on), the order-sensitive fingerprint must behave as a prefix check, and
+// the closed-form moment fits must agree with stats::fit_form on
+// well-conditioned data while refusing exactly the degenerate inputs
+// fit_form refuses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "stats/canonical.hpp"
+#include "stats/suffstats.hpp"
+
+namespace pmacx {
+namespace {
+
+using stats::Form;
+using stats::MomentFamily;
+using stats::SeriesMoments;
+
+/// Deterministic pseudo-random series over plausible core counts.
+void random_series(std::mt19937_64& rng, std::size_t n, std::vector<double>* p,
+                   std::vector<double>* y) {
+  std::uniform_real_distribution<double> value(-1e6, 1e6);
+  p->clear();
+  y->clear();
+  double cores = 16.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p->push_back(cores);
+    y->push_back(value(rng));
+    cores *= 2.0;
+  }
+}
+
+TEST(SeriesMomentsTest, SuffixExtensionIsBitwiseIdenticalToFromSeries) {
+  std::mt19937_64 rng(7);
+  std::vector<double> p, y;
+  for (const std::size_t n : {1u, 2u, 5u, 9u, 16u}) {
+    random_series(rng, n, &p, &y);
+    const SeriesMoments whole = SeriesMoments::from_series(p, y);
+    for (std::size_t split = 0; split <= n; ++split) {
+      SeriesMoments extended = SeriesMoments::from_series(
+          std::span(p).subspan(0, split), std::span(y).subspan(0, split));
+      for (std::size_t i = split; i < n; ++i) extended.add_sample(p[i], y[i]);
+      // operator== compares every accumulated double with ==; identical
+      // summation order makes this hold exactly, not approximately.
+      EXPECT_EQ(extended, whole) << "n=" << n << " split=" << split;
+    }
+  }
+}
+
+TEST(SeriesMomentsTest, FingerprintIsAPrefixCheck) {
+  std::mt19937_64 rng(11);
+  std::vector<double> p, y;
+  random_series(rng, 8, &p, &y);
+  const SeriesMoments whole = SeriesMoments::from_series(p, y);
+
+  // The stored fingerprint equals the standalone prefix fingerprint at every
+  // length — so "is the new series an extension?" is one u32 comparison.
+  for (std::size_t n = 0; n <= p.size(); ++n) {
+    const SeriesMoments prefix = SeriesMoments::from_series(
+        std::span(p).subspan(0, n), std::span(y).subspan(0, n));
+    EXPECT_EQ(prefix.fingerprint, stats::series_fingerprint(p, y, n));
+  }
+  EXPECT_EQ(whole.fingerprint, stats::series_fingerprint(p, y, p.size()));
+
+  // Order sensitivity: swapping two samples changes the fingerprint even
+  // though every order-insensitive sum is identical.
+  std::vector<double> p2 = p, y2 = y;
+  std::swap(p2[2], p2[5]);
+  std::swap(y2[2], y2[5]);
+  EXPECT_NE(stats::series_fingerprint(p2, y2, p2.size()), whole.fingerprint);
+
+  // A changed sample value anywhere in the prefix breaks the match.
+  std::vector<double> y3 = y;
+  y3[1] = std::nextafter(y3[1], 1e300);
+  EXPECT_NE(stats::series_fingerprint(p, y3, p.size()), whole.fingerprint);
+}
+
+TEST(SeriesMomentsTest, SignCensusAndAxisFlags) {
+  SeriesMoments sm;
+  sm.add_sample(16.0, 2.0);
+  sm.add_sample(32.0, -3.0);
+  sm.add_sample(64.0, 0.0);
+  EXPECT_EQ(sm.count, 3u);
+  EXPECT_EQ(sm.pos, 1u);
+  EXPECT_EQ(sm.neg, 1u);
+  EXPECT_EQ(sm.zero, 1u);
+  EXPECT_FALSE(sm.bad_axis);
+
+  sm.add_sample(0.0, 1.0);  // p <= 0: log/inv/power transforms unusable
+  EXPECT_TRUE(sm.bad_axis);
+}
+
+// ---------------------------------------------------------- fits vs moments --
+
+void expect_params_near(const stats::FittedModel& got, const stats::FittedModel& want,
+                        double tol) {
+  ASSERT_TRUE(got.ok);
+  ASSERT_TRUE(want.ok);
+  EXPECT_EQ(got.form, want.form);
+  for (std::size_t i = 0; i < got.params.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(want.params[i]));
+    EXPECT_NEAR(got.params[i], want.params[i], tol * scale) << "param " << i;
+  }
+}
+
+TEST(FitFromMomentsTest, AgreesWithFitFormOnCleanData) {
+  const std::vector<double> p = {16, 32, 64, 128, 256, 512};
+  struct Case {
+    Form form;
+    double (*law)(double);
+    double tol;
+  };
+  const Case cases[] = {
+      {Form::Constant, +[](double) { return 7.5; }, 1e-9},
+      {Form::Linear, +[](double x) { return 3.0 + 2.0 * x; }, 1e-9},
+      // The uncentered quadratic normal equations are the worst-conditioned
+      // solve here (x^4 terms); rounding alone separates the two algorithms.
+      {Form::Quadratic, +[](double x) { return 1.0 + 0.5 * x + 0.01 * x * x; }, 1e-3},
+      {Form::Logarithmic, +[](double x) { return 2.0 + 5.0 * std::log(x); }, 1e-9},
+      {Form::InverseP, +[](double x) { return 4.0 + 900.0 / x; }, 1e-9},
+      {Form::Exponential, +[](double x) { return 3.0 * std::exp(0.01 * x); }, 1e-6},
+      {Form::Power, +[](double x) { return 50.0 * std::pow(x, -1.5); }, 1e-6},
+  };
+  for (const Case& c : cases) {
+    std::vector<double> y;
+    for (const double x : p) y.push_back(c.law(x));
+    const SeriesMoments sm = SeriesMoments::from_series(p, y);
+    const stats::FittedModel direct = stats::fit_form(c.form, p, y);
+    const stats::FittedModel from_moments = stats::fit_from_moments(c.form, sm);
+    // Exact-law data: the normal-equation solution and the centered two-pass
+    // solution coincide up to rounding (and the log-space forms' refinement
+    // is a no-op on zero-residual data).
+    expect_params_near(from_moments, direct, c.tol);
+  }
+}
+
+TEST(FitFromMomentsTest, RefusesDegenerateInputs) {
+  // Too few samples for the form's parameter count.
+  {
+    SeriesMoments sm;
+    sm.add_sample(16.0, 1.0);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Linear, sm).ok);
+    EXPECT_TRUE(stats::fit_from_moments(Form::Constant, sm).ok);
+  }
+  // Mixed-sign y: the log-space forms need one-signed data.
+  {
+    SeriesMoments sm;
+    sm.add_sample(16.0, 1.0);
+    sm.add_sample(32.0, -1.0);
+    sm.add_sample(64.0, 2.0);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Exponential, sm).ok);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Power, sm).ok);
+    EXPECT_TRUE(stats::fit_from_moments(Form::Linear, sm).ok);
+  }
+  // p <= 0 poisons every transformed axis but leaves identity-space fits.
+  {
+    SeriesMoments sm;
+    sm.add_sample(0.0, 1.0);
+    sm.add_sample(16.0, 2.0);
+    sm.add_sample(32.0, 3.0);
+    EXPECT_TRUE(sm.bad_axis);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Logarithmic, sm).ok);
+    EXPECT_FALSE(stats::fit_from_moments(Form::InverseP, sm).ok);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Power, sm).ok);
+    EXPECT_TRUE(stats::fit_from_moments(Form::Linear, sm).ok);
+  }
+  // All-zero y: exponential/power have no samples left after dropping zeros.
+  {
+    SeriesMoments sm;
+    sm.add_sample(16.0, 0.0);
+    sm.add_sample(32.0, 0.0);
+    sm.add_sample(64.0, 0.0);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Exponential, sm).ok);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Power, sm).ok);
+  }
+  // Degenerate design: all samples at one abscissa.
+  {
+    SeriesMoments sm;
+    sm.add_sample(64.0, 1.0);
+    sm.add_sample(64.0, 2.0);
+    sm.add_sample(64.0, 3.0);
+    EXPECT_FALSE(stats::fit_from_moments(Form::Linear, sm).ok);
+  }
+}
+
+TEST(FitFromMomentsTest, FamilyAccessorsMatchTransforms) {
+  SeriesMoments sm;
+  sm.add_sample(64.0, 10.0);
+  const auto& identity = sm.family(MomentFamily::Identity);
+  EXPECT_EQ(identity.n, 1u);
+  EXPECT_EQ(identity.sx, 64.0);
+  EXPECT_EQ(identity.sy, 10.0);
+  const auto& logx = sm.family(MomentFamily::LogX);
+  EXPECT_EQ(logx.sx, std::log(64.0));
+  const auto& invx = sm.family(MomentFamily::InvX);
+  EXPECT_EQ(invx.sx, 1.0 / 64.0);
+  const auto& expy = sm.family(MomentFamily::ExpY);
+  EXPECT_EQ(expy.sy, std::log(10.0));
+  const auto& powxy = sm.family(MomentFamily::PowXY);
+  EXPECT_EQ(powxy.sx, std::log(64.0));
+  EXPECT_EQ(powxy.sy, std::log(10.0));
+}
+
+}  // namespace
+}  // namespace pmacx

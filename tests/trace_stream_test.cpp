@@ -1,0 +1,244 @@
+// Streaming reader/writer tests: the chunked trace::StreamReader path must
+// be indistinguishable from the whole-file loaders — byte-identical results
+// on clean input, the identical ParseError outcome on corrupt input at every
+// truncation point and bit flip (including ones landing exactly on buffered
+// chunk edges), and a hard, *verified* buffer budget: a trace 10x the budget
+// streams through with the provider's high-water mark at or under the cap.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "trace/binary_io.hpp"
+#include "trace/stream_reader.hpp"
+#include "trace/task_trace.hpp"
+#include "util/error.hpp"
+#include "util/parse_error.hpp"
+
+namespace pmacx {
+namespace {
+
+using trace::BasicBlockRecord;
+using trace::BlockElement;
+using trace::InstrElement;
+using trace::InstructionRecord;
+using trace::TaskTrace;
+
+TaskTrace sample_trace() {
+  TaskTrace task;
+  task.app = "stream-demo";
+  task.rank = 1;
+  task.core_count = 64;
+  task.target_system = "test target";
+
+  for (std::uint64_t id = 1; id <= 24; ++id) {
+    BasicBlockRecord block;
+    block.id = id;
+    block.location = {"src/kernel.f90", static_cast<std::uint32_t>(10 * id), "kernel"};
+    block.set(BlockElement::VisitCount, 100.0 + static_cast<double>(id));
+    block.set(BlockElement::MemLoads, 1e6 / static_cast<double>(id));
+    block.set(BlockElement::BytesPerRef, 8.0);
+    block.set(BlockElement::HitRateL1, 0.5);
+    block.set(BlockElement::HitRateL2, 0.6);
+    block.set(BlockElement::HitRateL3, 0.7);
+    if (id % 3 == 0) {
+      InstructionRecord instr;
+      instr.index = 2;
+      instr.set(InstrElement::ExecCount, 9.0 * static_cast<double>(id));
+      instr.set(InstrElement::MemOps, 4.0);
+      instr.set(InstrElement::BytesPerOp, 8.0);
+      instr.set(InstrElement::HitRateL1, 0.5);
+      instr.set(InstrElement::HitRateL2, 0.6);
+      instr.set(InstrElement::HitRateL3, 0.7);
+      block.instructions.push_back(instr);
+    }
+    task.blocks.push_back(block);
+  }
+  task.sort_blocks();
+  return task;
+}
+
+/// A trace big enough that streaming it through a small budget is a real
+/// bound (file size >= 10x the test budget below).
+TaskTrace big_trace(std::size_t blocks) {
+  TaskTrace task;
+  task.app = "stream-big";
+  task.core_count = 128;
+  task.target_system = "test target";
+  task.blocks.reserve(blocks);
+  for (std::size_t i = 1; i <= blocks; ++i) {
+    BasicBlockRecord block;
+    block.id = i;
+    block.location = {"src/big.f90", static_cast<std::uint32_t>(i), "body"};
+    block.set(BlockElement::VisitCount, static_cast<double>(i));
+    block.set(BlockElement::MemLoads, 1e3 + static_cast<double>(i));
+    block.set(BlockElement::BytesPerRef, 8.0);
+    task.blocks.push_back(block);
+  }
+  return task;
+}
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+void write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Outcome of one streamed parse: the trace on success, nullopt on
+/// ParseError.  Anything else escaping (bad_alloc, logic_error, a crash) is
+/// exactly the "partial state" failure mode the sweep exists to rule out.
+std::optional<TaskTrace> parse_outcome(trace::ByteSource& source) {
+  trace::CollectingSink sink;
+  try {
+    trace::stream_parse(source, sink, trace::StreamFormat::Auto);
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+  return sink.take();
+}
+
+// ------------------------------------------------------------ equivalence --
+
+TEST(StreamReaderTest, StreamLoadMatchesWholeFileLoadBinary) {
+  const TaskTrace original = sample_trace();
+  const std::string path = temp_path("stream_eq.btrace");
+  trace::save_binary(original, path);
+
+  EXPECT_EQ(trace::stream_load(path), TaskTrace::load(path));
+  // The buffered provider (tiny budget, forced) parses identically to the
+  // mmap/view fast path.
+  EXPECT_EQ(trace::stream_load(path, 4096, /*force_buffered=*/true), original);
+}
+
+TEST(StreamReaderTest, StreamLoadMatchesWholeFileLoadText) {
+  const TaskTrace original = sample_trace();
+  const std::string path = temp_path("stream_eq.trace");
+  original.save(path);
+
+  EXPECT_EQ(trace::stream_load(path), TaskTrace::load(path));
+  EXPECT_EQ(trace::stream_load(path, 4096, /*force_buffered=*/true), original);
+}
+
+TEST(StreamReaderTest, StreamWriterOutputIsByteIdenticalToToBinary) {
+  const TaskTrace task = sample_trace();  // sorted by construction
+  const std::string path = temp_path("stream_writer.btrace");
+  trace::BinaryStreamWriter writer(path);
+  writer.begin(task, task.blocks.size());
+  for (const BasicBlockRecord& block : task.blocks) writer.add_block(block);
+  writer.finish();
+
+  std::ifstream in(path, std::ios::binary);
+  std::string written((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(written, trace::to_binary(task));
+}
+
+// ------------------------------------------------------- corruption sweeps --
+
+TEST(StreamReaderTest, TruncationSweepThrowsParseErrorNeverPartialState) {
+  const std::string bytes = trace::to_binary(sample_trace());
+  const std::string path = temp_path("stream_trunc.btrace");
+  // Every prefix is invalid: the binary format ends with an end marker, so
+  // any truncation must surface as ParseError from both providers — never a
+  // silently shortened trace.  Stride keeps the sweep fast; the final 64
+  // offsets run exhaustively because the end-marker/trailer edge cases all
+  // live there.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += (cut + 64 >= bytes.size() ? 1 : 13)) {
+    const std::string_view prefix(bytes.data(), cut);
+    auto view = trace::make_view_source(prefix);
+    EXPECT_EQ(parse_outcome(*view), std::nullopt) << "cut at " << cut;
+
+    write_file(path, prefix);
+    // 1 KiB budget: refill boundaries land inside section frames, so the
+    // chunk-edge arithmetic is exercised at many alignments.
+    auto buffered = trace::open_stream(path, 1024, /*force_buffered=*/true);
+    EXPECT_EQ(parse_outcome(*buffered), std::nullopt) << "cut at " << cut;
+  }
+}
+
+TEST(StreamReaderTest, BitFlipSweepBufferedMatchesViewOutcome) {
+  const TaskTrace original = sample_trace();
+  const std::string bytes = trace::to_binary(original);
+  const std::string path = temp_path("stream_flip.btrace");
+  // A flipped bit anywhere must produce the *same* outcome from the
+  // buffered provider as from the contiguous view — the same ParseError
+  // rejection (per-section CRCs catch payload damage at chunk granularity)
+  // or, where the flip lands in genuinely dont-care bytes, the same parsed
+  // trace.
+  for (std::size_t at = 0; at < bytes.size(); at += 7) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+
+    auto view = trace::make_view_source(corrupt);
+    const std::optional<TaskTrace> reference = parse_outcome(*view);
+
+    write_file(path, corrupt);
+    auto buffered = trace::open_stream(path, 1024, /*force_buffered=*/true);
+    const std::optional<TaskTrace> streamed = parse_outcome(*buffered);
+
+    EXPECT_EQ(streamed.has_value(), reference.has_value()) << "flip at " << at;
+    if (streamed && reference) EXPECT_EQ(*streamed, *reference) << "flip at " << at;
+  }
+}
+
+TEST(StreamReaderTest, TextTruncationSweepBufferedMatchesViewOutcome) {
+  const std::string text = sample_trace().to_text();
+  const std::string path = temp_path("stream_trunc.trace");
+  for (std::size_t cut = 0; cut < text.size(); cut += 17) {
+    const std::string_view prefix(text.data(), cut);
+    auto view = trace::make_view_source(prefix);
+    const std::optional<TaskTrace> reference = parse_outcome(*view);
+
+    write_file(path, prefix);
+    auto buffered = trace::open_stream(path, 1024, /*force_buffered=*/true);
+    const std::optional<TaskTrace> streamed = parse_outcome(*buffered);
+
+    EXPECT_EQ(streamed.has_value(), reference.has_value()) << "cut at " << cut;
+    if (streamed && reference) EXPECT_EQ(*streamed, *reference) << "cut at " << cut;
+  }
+}
+
+// ------------------------------------------------------------- budget bound --
+
+TEST(StreamReaderTest, BufferedProviderHonorsBudgetOnTraceTenTimesItsSize) {
+  const TaskTrace task = big_trace(4000);
+  const std::string path = temp_path("stream_budget.btrace");
+  trace::save_binary(task, path);
+
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(probe.tellg());
+  constexpr std::size_t kBudget = 16u << 10;
+  ASSERT_GE(file_size, 10 * kBudget) << "fixture too small for a meaningful bound";
+
+  auto source = trace::open_stream(path, kBudget, /*force_buffered=*/true);
+  TaskTrace header;
+  const trace::StreamStats stats = trace::stream_validate(*source, &header);
+  EXPECT_EQ(stats.bytes_consumed, file_size);
+  EXPECT_EQ(stats.blocks, task.blocks.size());
+  EXPECT_EQ(header.core_count, task.core_count);
+  // The budget is a hard bound on provider-owned memory, not a hint.
+  EXPECT_GT(stats.peak_buffer_bytes, 0u);
+  EXPECT_LE(stats.peak_buffer_bytes, kBudget);
+
+  // And the bounded parse still reproduces the trace exactly.
+  EXPECT_EQ(trace::stream_load(path, kBudget, /*force_buffered=*/true), task);
+}
+
+TEST(StreamReaderTest, ValidateRejectsSemanticBreakageStreamed) {
+  TaskTrace task = sample_trace();
+  task.blocks[0].set(BlockElement::HitRateL2, 0.2);  // L1 0.5 > L2: not cumulative
+  const std::string bytes = trace::to_binary(task);
+  auto source = trace::make_view_source(bytes);
+  // Framing damage is ParseError; *semantic* breakage surfaces as the same
+  // util::Error the whole-file validate() raises.
+  EXPECT_THROW(trace::stream_validate(*source), util::Error);
+}
+
+}  // namespace
+}  // namespace pmacx

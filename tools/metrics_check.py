@@ -6,6 +6,7 @@
                                    [--require-positive-counter NAME ...]
                                    [--require-nonzero-timer STAGE ...]
                                    [--min-counter-ratio NUM DEN MIN ...]
+                                   [--max-counter NAME MAX ...]
 
 Checks, in order:
 
@@ -31,7 +32,12 @@ Checks, in order:
      stopped representing the workload — the extrapolations still "work"
      but quietly degrade to flat lines, which is exactly the failure mode
      the observability layer exists to surface.
-  4. Ratio gates: each --min-counter-ratio NUM DEN MIN asserts
+  4. Ceiling gates: each --max-counter NAME MAX asserts
+     counters[NAME] <= MAX, treating an absent counter as 0 (failure
+     counters are registered lazily, on the first failure — absence IS the
+     healthy state).  CI uses --max-counter ingest.refit_failures 0 and
+     --max-counter service.requests.error 0 to pin "the soak lost nothing".
+  5. Ratio gates: each --min-counter-ratio NUM DEN MIN asserts
      counters[NUM] / counters[DEN] >= MIN (with DEN required present and
      > 0).  CI uses this for the Bayesian interval coverage gate:
      fits.bayes.holdout_covered / fits.bayes.holdout_total must stay at or
@@ -178,6 +184,10 @@ def main():
                         help="stage whose <STAGE>.wall_ns must have count > 0 "
                              "and sum > 0 (added to the emitting tool's "
                              "TOOL_REQUIRED_STAGES)")
+    parser.add_argument("--max-counter", action="append", default=[],
+                        nargs=2, metavar=("NAME", "MAX"),
+                        help="require counters[NAME] <= MAX (absent counts "
+                             "as 0 — failure counters register lazily)")
     parser.add_argument("--min-counter-ratio", action="append", default=[],
                         nargs=3, metavar=("NUM", "DEN", "MIN"),
                         help="require counters[NUM] / counters[DEN] >= MIN; "
@@ -236,6 +246,17 @@ def main():
                 f"constant-fallback ratio {ratio:.4f} exceeds "
                 f"{args.max_fallback_ratio:.4f} — the canonical forms are "
                 "failing to represent this workload")
+
+    for name, max_text in args.max_counter:
+        try:
+            maximum = int(max_text)
+        except ValueError:
+            errors.append(f"--max-counter maximum {max_text!r} is not an integer")
+            continue
+        value = counters.get(name, 0)
+        if not is_uint(value) or value > maximum:
+            errors.append(f"counter {name!r} = {value!r} exceeds the allowed "
+                          f"maximum {maximum}")
 
     for num_name, den_name, min_text in args.min_counter_ratio:
         try:

@@ -50,6 +50,12 @@ int main(int argc, char** argv) {
   cli.add_u64("shard-id", static_cast<std::uint64_t>(-1),
               "cluster shard id reported by STATUS (default: standalone)");
   cli.add_u64("ring-epoch", 0, "cluster topology epoch reported by STATUS");
+  cli.add_string("ingest-dir", "",
+                 "enable live trace ingestion (UPLOAD_TRACE, \"@collection\" "
+                 "fit specs) rooted at this directory");
+  cli.add_u64("stream-budget-mb", 64,
+              "buffer budget in MiB for streaming upload validation and "
+              "background refit reloads");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
       options.shard_id = static_cast<std::int64_t>(cli.get_u64("shard-id"));
       options.ring_epoch = cli.get_u64("ring-epoch");
     }
+    options.ingest_dir = cli.get_string("ingest-dir");
+    options.ingest_stream_budget = cli.get_u64("stream-budget-mb") << 20;
 
     service::Server server(options);
     g_server = &server;

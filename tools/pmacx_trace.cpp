@@ -7,6 +7,7 @@
 //
 //   pmacx_trace --app specfem3d --cores 96 --target bluewaters-p1 \
 //               --out specfem3d.96.trace
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "machine/targets.hpp"
 #include "synth/registry.hpp"
 #include "trace/binary_io.hpp"
+#include "trace/stream_reader.hpp"
 #include "synth/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -35,6 +37,10 @@ int main(int argc, char** argv) {
   cli.add_flag("no-instructions", "omit per-instruction sub-records");
   cli.add_string("out", "task.trace", "output trace file path");
   cli.add_flag("binary", "write the checksummed binary format (v002) instead of text");
+  cli.add_u64("inflate-to-bytes", 0,
+              "replicate blocks (fresh ids) until the binary output is at "
+              "least this large — soak-test input generator; implies --binary, "
+              "written via the streaming writer so memory stays flat");
   cli.add_string("signature-dir", "",
                  "also collect the full signature (demanding-rank trace + all "
                  "ranks' comm timelines) into this directory");
@@ -69,8 +75,33 @@ int main(int argc, char** argv) {
     const auto rank = static_cast<std::uint32_t>(cli.get_u64("rank"));
     PMACX_LOG_INFO << "tracing " << app->name() << " rank " << rank << " of " << cores
                    << " against " << target.name;
-    const trace::TaskTrace task = synth::trace_task(*app, cores, rank, options);
-    if (cli.get_flag("binary")) {
+    trace::TaskTrace task = synth::trace_task(*app, cores, rank, options);
+    if (const std::uint64_t inflate = cli.get_u64("inflate-to-bytes"); inflate > 0) {
+      // Replicate the traced blocks with fresh ids until the serialized file
+      // clears the floor.  The streaming writer emits one section per block,
+      // so memory stays ~one trace regardless of the requested size.
+      PMACX_CHECK(!task.blocks.empty(), "--inflate-to-bytes on an empty trace");
+      std::sort(task.blocks.begin(), task.blocks.end(),
+                [](const auto& a, const auto& b) { return a.id < b.id; });
+      const std::uint64_t base_bytes = trace::to_binary(task).size();
+      const std::uint64_t repeats = (inflate + base_bytes - 1) / base_bytes;
+      const std::uint64_t stride = task.blocks.back().id + 1;
+      trace::BinaryStreamWriter writer(cli.get_string("out"));
+      writer.begin(task, task.blocks.size() * repeats);
+      for (std::uint64_t repeat = 0; repeat < repeats; ++repeat) {
+        for (const trace::BasicBlockRecord& block : task.blocks) {
+          trace::BasicBlockRecord copy = block;
+          copy.id = block.id + repeat * stride;
+          writer.add_block(copy);
+        }
+      }
+      writer.finish();
+      if (!cli.get_flag("quiet"))
+        std::printf("inflated %llux (%llu blocks) -> %s\n",
+                    static_cast<unsigned long long>(repeats),
+                    static_cast<unsigned long long>(task.blocks.size() * repeats),
+                    cli.get_string("out").c_str());
+    } else if (cli.get_flag("binary")) {
       trace::save_binary(task, cli.get_string("out"));
     } else {
       task.save(cli.get_string("out"));

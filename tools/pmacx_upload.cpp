@@ -1,0 +1,383 @@
+// pmacx_upload — stream trace files into a running pmacx_serve.
+//
+// Drives the UPLOAD_TRACE chunk protocol end to end: BEGIN declares each
+// upload (size, chunk size, whole-file CRC-32), STATUS reports what the
+// server already has, CHUNKs carry only the missing pieces, COMMIT verifies
+// and publishes the file into its collection.  The session id is derived
+// from the file's content CRC and size, so a re-run after any failure —
+// lost response, killed client, killed server that kept its spool — resumes
+// the same session and sends only what is missing.  Every request goes
+// through Client::call_with_retry; every op is idempotent, so retries are
+// free.
+//
+// Memory stays flat regardless of file size: the CRC pass and the chunk
+// reads both stream through a fixed buffer.  --rss-cap-mb turns the tool
+// into its own soak harness — it samples this process's RSS (and, with
+// --watch-pid or --server, the server's) after every chunk and fails if
+// either exceeds the cap, which is how CI pins "a multi-GiB upload never
+// inflates RSS".
+//
+// Soak mode (one command, no wrapper script):
+//
+//   pmacx_upload --server build/pmacx_serve --ingest-dir /tmp/ingest \
+//                --collection soak --file a.btrace,b.btrace,c.btrace \
+//                --wait-refits 1 --rss-cap-mb 512
+//
+// spawns its own ingestion-enabled server, uploads every file, polls STATUS
+// until the server reports the background refit landed, then shuts the
+// server down cleanly (so its --metrics-json snapshot gets written).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/upload.hpp"
+#include "serve_spawn.hpp"
+#include "service/client.hpp"
+#include "util/cli.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace pmacx;
+
+/// Resident set size of a process in MiB, from /proc/<pid>/statm; 0 when
+/// unreadable (proc entry gone or not Linux).
+double rss_mb(pid_t pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/statm");
+  long total = 0, resident = 0;
+  if (!(in >> total >> resident)) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+}
+
+/// Whole-file CRC-32 through a fixed 1 MiB window (never loads the file).
+std::uint32_t streamed_crc(const std::string& path, std::uint64_t* size_out) {
+  std::ifstream in(path, std::ios::binary);
+  PMACX_CHECK(in.good(), "cannot open '" + path + "'");
+  std::string buffer(1u << 20, '\0');
+  std::uint32_t crc = 0;
+  std::uint64_t size = 0;
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    crc = util::crc32(buffer.data(), static_cast<std::size_t>(got), crc);
+    size += static_cast<std::uint64_t>(got);
+  }
+  *size_out = size;
+  return crc;
+}
+
+/// The server's key-value progress body ("state pending\nchunks 4\n
+/// received 2\nmissing 1 3\n" ...), parsed.
+struct Progress {
+  std::string state;
+  std::uint64_t chunks = 0;
+  std::uint64_t received = 0;
+  std::vector<std::uint64_t> missing;
+  std::string path;
+};
+
+Progress parse_progress(const std::string& body) {
+  Progress progress;
+  for (const std::string& line : util::split(body, '\n')) {
+    std::istringstream in(line);
+    std::string key;
+    if (!(in >> key)) continue;
+    if (key == "state") {
+      in >> progress.state;
+    } else if (key == "chunks") {
+      in >> progress.chunks;
+    } else if (key == "received") {
+      in >> progress.received;
+    } else if (key == "path") {
+      in >> progress.path;
+    } else if (key == "missing") {
+      std::uint64_t index = 0;
+      while (in >> index) progress.missing.push_back(index);
+    }
+  }
+  return progress;
+}
+
+/// The value of one "key value" line in a STATUS report; 0 when absent.
+std::uint64_t status_value(const std::string& body, const std::string& wanted) {
+  for (const std::string& line : util::split(body, '\n')) {
+    std::istringstream in(line);
+    std::string key;
+    std::uint64_t value = 0;
+    if ((in >> key >> value) && key == wanted) return value;
+  }
+  return 0;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("pmacx_upload", "stream traces into a live server (UPLOAD_TRACE)");
+  cli.add_string("host", "127.0.0.1", "server address");
+  cli.add_u64("port", 0, "server port (required unless --server spawns one)");
+  cli.add_string("file", "", "trace file(s) to upload, comma-separated (required)");
+  cli.add_string("collection", "", "target collection name (required)");
+  cli.add_u64("chunk-kb", 1024, "chunk size in KiB (max 8192)");
+  cli.add_u64("deadline-ms", 60'000, "per-request retry deadline in milliseconds");
+  cli.add_u64("rss-cap-mb", 0,
+              "fail if this process's RSS (or the watched server's) ever "
+              "exceeds this many MiB during the upload (0 disables)");
+  cli.add_u64("watch-pid", 0,
+              "also sample this pid's RSS against --rss-cap-mb (the server "
+              "under soak; implied by --server)");
+  cli.add_u64("wait-refits", 0,
+              "after the last commit, poll STATUS until the server reports at "
+              "least this many completed background refits (0 = don't wait)");
+  cli.add_u64("wait-timeout-ms", 60'000, "budget for --wait-refits polling");
+  cli.add_flag("shutdown", "send SHUTDOWN when done (implied by --server)");
+  cli.add_string("server", "",
+                 "spawn this pmacx_serve binary on an ephemeral port with "
+                 "--ingest-dir, upload against it, and shut it down at the end");
+  cli.add_string("ingest-dir", "", "(with --server) the spawned server's ingest root");
+  cli.add_string("server-metrics", "",
+                 "(with --server) the spawned server's --metrics-json path");
+  cli.add_u64("stream-budget-mb", 64,
+              "(with --server) the spawned server's --stream-budget-mb");
+  cli.add_string("metrics-json", "",
+                 "write a pmacx-metrics-v1 snapshot (chunks sent, bytes, peak "
+                 "RSS gauges) to this file");
+  cli.add_flag("quiet", "suppress progress output");
+
+  tools::SpawnedServer spawned;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    util::set_log_level(util::LogLevel::Warn);
+    PMACX_CHECK(!cli.get_string("file").empty(), "--file is required");
+    PMACX_CHECK(!cli.get_string("collection").empty(), "--collection is required");
+    const std::uint64_t chunk_bytes = cli.get_u64("chunk-kb") << 10;
+    PMACX_CHECK(chunk_bytes > 0 && chunk_bytes <= ingest::kMaxChunkBytes,
+                "--chunk-kb must be in [1, " +
+                    std::to_string(ingest::kMaxChunkBytes >> 10) + "]");
+    std::vector<std::string> files;
+    for (const std::string& piece : util::split(cli.get_string("file"), ','))
+      if (!piece.empty()) files.push_back(piece);
+    PMACX_CHECK(!files.empty(), "--file lists no paths");
+
+    std::uint16_t port = static_cast<std::uint16_t>(cli.get_u64("port"));
+    pid_t watch_pid = static_cast<pid_t>(cli.get_u64("watch-pid"));
+    if (!cli.get_string("server").empty()) {
+      PMACX_CHECK(!cli.get_string("ingest-dir").empty(),
+                  "--server needs --ingest-dir for the spawned server");
+      tools::SpawnSpec spec;
+      spec.binary = cli.get_string("server");
+      spec.tool = "pmacx_upload";
+      spec.args = {"--port", "0", "--ingest-dir", cli.get_string("ingest-dir"),
+                   "--stream-budget-mb", std::to_string(cli.get_u64("stream-budget-mb"))};
+      if (!cli.get_string("server-metrics").empty()) {
+        spec.args.push_back("--metrics-json");
+        spec.args.push_back(cli.get_string("server-metrics"));
+      }
+      spawned = tools::spawn_child(spec);
+      port = spawned.port;
+      if (watch_pid == 0) watch_pid = spawned.pid;
+    }
+    PMACX_CHECK(port > 0, "--port is required (or --server to spawn one)");
+
+    service::ClientOptions client_options;
+    client_options.host = cli.get_string("host");
+    client_options.port = port;
+    client_options.retry.overall_deadline_ms = cli.get_u64("deadline-ms");
+    service::Client client(client_options);
+
+    auto& registry = util::metrics::Registry::global();
+    const std::uint64_t rss_cap = cli.get_u64("rss-cap-mb");
+    double peak_self = 0.0, peak_watched = 0.0;
+    auto check_rss = [&] {
+      peak_self = std::max(peak_self, rss_mb(::getpid()));
+      if (watch_pid > 0) peak_watched = std::max(peak_watched, rss_mb(watch_pid));
+      registry.gauge("ingest.client.peak_rss_mb").set(peak_self);
+      if (watch_pid > 0)
+        registry.gauge("ingest.client.watched_peak_rss_mb").set(peak_watched);
+      if (rss_cap > 0) {
+        PMACX_CHECK(peak_self <= static_cast<double>(rss_cap),
+                    "uploader RSS " + std::to_string(peak_self) + " MiB exceeds the " +
+                        std::to_string(rss_cap) + " MiB cap");
+        PMACX_CHECK(watch_pid <= 0 || peak_watched <= static_cast<double>(rss_cap),
+                    "server (pid " + std::to_string(watch_pid) + ") RSS " +
+                        std::to_string(peak_watched) + " MiB exceeds the " +
+                        std::to_string(rss_cap) + " MiB cap");
+      }
+    };
+
+    auto call = [&](const ingest::UploadRequest& upload) {
+      service::Request request;
+      request.type = service::MsgType::UploadTrace;
+      request.upload = upload;
+      const service::Response response = client.call_with_retry(request);
+      PMACX_CHECK(response.status == service::Status::Ok,
+                  "server rejected " + ingest::upload_op_name(upload.op) + ": " +
+                      response.body);
+      return parse_progress(response.body);
+    };
+
+    for (const std::string& file : files) {
+      std::uint64_t total_bytes = 0;
+      const std::uint32_t file_crc = streamed_crc(file, &total_bytes);
+      PMACX_CHECK(total_bytes > 0, "'" + file + "' is empty");
+      // Deterministic session id: the same bytes always map to the same
+      // session, so a restarted client converges on the server's spool.
+      const std::string session =
+          util::format("u%08x-%llu", file_crc,
+                       static_cast<unsigned long long>(total_bytes));
+
+      ingest::UploadRequest begin;
+      begin.op = ingest::UploadOp::Begin;
+      begin.session = session;
+      begin.collection = cli.get_string("collection");
+      begin.file_name = basename_of(file);
+      begin.total_bytes = total_bytes;
+      begin.chunk_bytes = static_cast<std::uint32_t>(chunk_bytes);
+      begin.file_crc = file_crc;
+      Progress progress = call(begin);
+      if (!cli.get_flag("quiet"))
+        std::printf("pmacx_upload: session %s: %llu/%llu chunks already spooled\n",
+                    session.c_str(),
+                    static_cast<unsigned long long>(progress.received),
+                    static_cast<unsigned long long>(progress.chunks));
+
+      std::ifstream in(file, std::ios::binary);
+      PMACX_CHECK(in.good(), "cannot reopen '" + file + "'");
+      std::string buffer;
+      // Send whatever the server reports missing, re-querying until the
+      // spool is complete (STATUS caps its missing list, so big uploads
+      // take a few sweeps).  A fresh session reports everything missing.
+      for (;;) {
+        ingest::UploadRequest status;
+        status.op = ingest::UploadOp::Status;
+        status.session = session;
+        progress = call(status);
+        if (progress.state == "committed" || progress.missing.empty()) break;
+        for (const std::uint64_t index : progress.missing) {
+          const std::uint64_t offset = index * chunk_bytes;
+          const std::uint64_t size =
+              std::min<std::uint64_t>(chunk_bytes, total_bytes - offset);
+          buffer.resize(static_cast<std::size_t>(size));
+          in.seekg(static_cast<std::streamoff>(offset));
+          in.read(buffer.data(), static_cast<std::streamsize>(size));
+          PMACX_CHECK(in.gcount() == static_cast<std::streamsize>(size),
+                      "short read at offset " + std::to_string(offset) +
+                          " (file changed mid-upload?)");
+          ingest::UploadRequest chunk;
+          chunk.op = ingest::UploadOp::Chunk;
+          chunk.session = session;
+          chunk.chunk_index = index;
+          chunk.data = buffer;
+          call(chunk);
+          registry.counter("ingest.client.chunks_sent").add();
+          registry.counter("ingest.client.bytes_sent").add(size);
+          check_rss();
+        }
+      }
+
+      if (progress.state != "committed") {
+        ingest::UploadRequest commit;
+        commit.op = ingest::UploadOp::Commit;
+        commit.session = session;
+        progress = call(commit);
+      }
+      check_rss();
+      PMACX_CHECK(progress.state == "committed",
+                  "upload of '" + file + "' did not commit (state '" +
+                      progress.state + "')");
+      registry.counter("ingest.client.committed").add();
+      if (!cli.get_flag("quiet"))
+        std::printf("pmacx_upload: committed %s (%llu bytes, %llu chunks) -> %s\n",
+                    basename_of(file).c_str(),
+                    static_cast<unsigned long long>(total_bytes),
+                    static_cast<unsigned long long>(progress.chunks),
+                    progress.path.c_str());
+    }
+
+    if (const std::uint64_t want = cli.get_u64("wait-refits"); want > 0) {
+      // The refit runs on the server's pool after COMMIT returns; STATUS is
+      // the observable.  Poll until it lands or the budget expires.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(cli.get_u64("wait-timeout-ms"));
+      std::uint64_t refits = 0;
+      for (;;) {
+        service::Request probe;
+        probe.type = service::MsgType::Status;
+        const service::Response response = client.call_with_retry(probe);
+        PMACX_CHECK(response.status == service::Status::Ok,
+                    "STATUS failed while waiting for refits: " + response.body);
+        refits = status_value(response.body, "ingest.refits");
+        check_rss();
+        if (refits >= want) break;
+        PMACX_CHECK(std::chrono::steady_clock::now() < deadline,
+                    "server completed " + std::to_string(refits) + " refits, wanted " +
+                        std::to_string(want) + " within the --wait-timeout-ms budget");
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (!cli.get_flag("quiet"))
+        std::printf("pmacx_upload: server reports %llu background refit(s)\n",
+                    static_cast<unsigned long long>(refits));
+    }
+
+    if (cli.get_flag("shutdown") || spawned.pid > 0) {
+      service::Request shutdown;
+      shutdown.type = service::MsgType::Shutdown;
+      client.call(shutdown);  // never retried; a lost reply just means it landed
+    }
+    if (spawned.pid > 0) {
+      int status = 0;
+      ::waitpid(spawned.pid, &status, 0);
+      spawned.pid = -1;
+      PMACX_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                  "spawned server exited abnormally");
+    }
+
+    if (rss_cap > 0 && !cli.get_flag("quiet"))
+      std::printf("pmacx_upload: peak rss %.1f MiB (self), %.1f MiB (server), cap %llu MiB\n",
+                  peak_self, peak_watched,
+                  static_cast<unsigned long long>(rss_cap));
+
+    if (!cli.get_string("metrics-json").empty()) {
+      util::metrics::RunManifest manifest =
+          util::metrics::RunManifest::for_tool("pmacx_upload");
+      manifest.config = cli.values();
+      util::metrics::write_json(cli.get_string("metrics-json"), manifest,
+                                registry.snapshot());
+    }
+    return 0;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "pmacx_upload: %s\n", e.what());
+    if (spawned.pid > 0) {
+      ::kill(spawned.pid, SIGKILL);
+      ::waitpid(spawned.pid, nullptr, 0);
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmacx_upload: internal error: %s\n", e.what());
+    if (spawned.pid > 0) {
+      ::kill(spawned.pid, SIGKILL);
+      ::waitpid(spawned.pid, nullptr, 0);
+    }
+    return 1;
+  }
+}
