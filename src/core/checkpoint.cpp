@@ -8,6 +8,7 @@
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/parse_error.hpp"
 
 namespace pmacx::core {
@@ -286,8 +287,7 @@ void ModelCheckpoint::discard_all_chunks() {
     if (name.rfind("models_", 0) != 0 || name.size() < 5 ||
         name.substr(name.size() - 5) != ".ckpt")
       continue;
-    std::error_code remove_ec;
-    if (std::filesystem::remove(entry.path(), remove_ec)) ++discarded_;
+    if (util::io::unlink_quiet(entry.path().string())) ++discarded_;
   }
 }
 
@@ -347,8 +347,7 @@ std::optional<std::vector<ElementModels>> ModelCheckpoint::load_chunk(std::size_
   if (!std::filesystem::exists(path, ec)) return std::nullopt;
 
   auto drop = [&]() {
-    std::error_code remove_ec;
-    std::filesystem::remove(path, remove_ec);
+    util::io::unlink_quiet(path);
     ++discarded_;
     return std::nullopt;
   };

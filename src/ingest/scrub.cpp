@@ -1,0 +1,292 @@
+#include "ingest/scrub.hpp"
+
+#include <fcntl.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "trace/stream_reader.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace pmacx::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "manifest.pmx";
+
+/// Interrupted write_file_atomic temps ("<name>.tmp.<pid>") and upload
+/// spool parts: both are garbage the moment the process that made them is
+/// gone.
+bool is_stale_temp(const std::string& name) {
+  if (name.size() > 5 && name.substr(name.size() - 5) == ".part") return true;
+  return name.find(".tmp.") != std::string::npos;
+}
+
+/// One line, no newlines, bounded — quarantine MANIFEST entries must stay
+/// greppable however mangled the triggering error text was.
+std::string one_line(std::string text) {
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  if (text.size() > 300) text = text.substr(0, 300) + "...";
+  return text;
+}
+
+struct ScrubCounters {
+  util::metrics::Registry& reg = util::metrics::Registry::global();
+  util::metrics::Counter& runs = reg.counter("ingest.scrub.runs");
+  util::metrics::Counter& stale_temps = reg.counter("ingest.scrub.stale_temps");
+  util::metrics::Counter& quarantined = reg.counter("ingest.scrub.quarantined");
+  util::metrics::Counter& manifest_dropped = reg.counter("ingest.scrub.manifest_dropped");
+  util::metrics::Counter& files_ok = reg.counter("ingest.scrub.files_ok");
+  util::metrics::Counter& chunks_dropped = reg.counter("ingest.scrub.chunks_dropped");
+};
+
+ScrubCounters& counters() {
+  static ScrubCounters c;
+  return c;
+}
+
+/// Moves a damaged file under <root>/quarantine/<collection>/ and appends
+/// a MANIFEST line describing why.  The move is a same-filesystem rename,
+/// so source bytes are preserved exactly for post-mortem.
+void quarantine_file(const std::string& root, const std::string& collection,
+                     const std::string& file, const std::string& src,
+                     const std::string& reason, ScrubReport& report) {
+  const std::string qdir = root + "/quarantine/" + collection;
+  util::ensure_directory(qdir);
+  util::io::rename_file(src, qdir + "/" + file);
+  const std::string line = collection + "/" + file + " " + one_line(reason) + "\n";
+  const int fd = util::io::open_file(root + "/quarantine/MANIFEST",
+                                     O_WRONLY | O_CREAT | O_APPEND, 0644);
+  try {
+    util::io::write_all(fd, line, root + "/quarantine/MANIFEST");
+  } catch (...) {
+    util::io::close_quiet(fd);
+    throw;
+  }
+  util::io::close_quiet(fd);
+  ++report.quarantined;
+  counters().quarantined.add();
+  report.notes.push_back("quarantined " + collection + "/" + file + ": " +
+                         one_line(reason));
+}
+
+void drop_stale_temp(const std::string& path, ScrubReport& report) {
+  if (!util::io::unlink_quiet(path)) return;
+  ++report.stale_temps;
+  counters().stale_temps.add();
+  report.notes.push_back("deleted stale temp " + path);
+}
+
+/// Full streaming validation (the COMMIT-path check, reapplied at rest).
+/// Returns the trace's core count, or nullopt with the failure reason.
+std::optional<std::uint32_t> validate_trace(const std::string& path,
+                                            std::size_t budget, std::string* reason) {
+  try {
+    trace::TaskTrace header;
+    std::unique_ptr<trace::ByteSource> source =
+        trace::open_stream(path, budget, /*force_buffered=*/true);
+    trace::stream_validate(*source, &header);
+    return header.core_count;
+  } catch (const util::io::SimulatedCrash&) {
+    throw;  // the injector's crash model must never read as "corrupt file"
+  } catch (const util::Error& e) {
+    if (reason != nullptr) *reason = e.what();
+    return std::nullopt;
+  }
+}
+
+/// Parses a collection manifest payload into name -> core_count (the same
+/// grammar CollectionRegistry::load_existing accepts).
+std::map<std::string, std::uint32_t> parse_manifest(const std::string& payload) {
+  std::map<std::string, std::uint32_t> entries;
+  for (const std::string& line : util::split(payload, '\n')) {
+    const std::string trimmed{util::trim(line)};
+    if (trimmed.empty()) continue;
+    std::istringstream in(trimmed);
+    std::string keyword, file;
+    std::uint32_t cores = 0;
+    if (!(in >> keyword >> cores >> file) || keyword != "file") continue;
+    entries[file] = cores;
+  }
+  return entries;
+}
+
+void scrub_collection(const ScrubOptions& options, const std::string& collection,
+                      ScrubReport& report) {
+  const std::string dir = options.root + "/collections/" + collection;
+  const std::string manifest_path = dir + "/" + kManifestName;
+
+  // Load (or fail to load) the manifest before touching files, so "the
+  // manifest itself is torn" is distinguishable from "entries went stale".
+  const std::optional<std::string> manifest_payload =
+      util::try_load_checked(manifest_path);
+  std::error_code ec;
+  const bool manifest_exists = fs::exists(manifest_path, ec);
+  std::map<std::string, std::uint32_t> listed;
+  if (manifest_payload) listed = parse_manifest(*manifest_payload);
+
+  // Validate every regular file; quarantine the damaged, keep the clean.
+  std::map<std::string, std::uint32_t> validated;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());  // deterministic order for notes/tests
+  for (const std::string& name : names) {
+    if (name == kManifestName) continue;
+    const std::string path = dir + "/" + name;
+    if (is_stale_temp(name)) {
+      drop_stale_temp(path, report);
+      continue;
+    }
+    std::string reason;
+    if (const std::optional<std::uint32_t> cores =
+            validate_trace(path, options.stream_budget, &reason)) {
+      validated[name] = *cores;
+      ++report.files_ok;
+      counters().files_ok.add();
+    } else {
+      quarantine_file(options.root, collection, name, path, reason, report);
+    }
+  }
+
+  // Heal the manifest to exactly the validated survivor set: entries whose
+  // file is gone/quarantined are dropped, valid files a crash left
+  // unregistered are re-added (with the core count the validation just
+  // proved), and a torn manifest is quarantined before the rewrite.
+  std::size_t repairs = 0;
+  for (const auto& [name, cores] : listed) {
+    auto it = validated.find(name);
+    if (it == validated.end() || it->second != cores) ++repairs;
+  }
+  for (const auto& [name, cores] : validated)
+    if (listed.find(name) == listed.end()) ++repairs;
+
+  if (manifest_exists && !manifest_payload) {
+    quarantine_file(options.root, collection, kManifestName, manifest_path,
+                    "manifest failed its integrity trailer", report);
+    if (repairs == 0 && !validated.empty()) repairs = validated.size();
+  }
+
+  if (repairs > 0 || (manifest_exists && !manifest_payload)) {
+    report.manifest_dropped += repairs;
+    counters().manifest_dropped.add(repairs);
+    if (validated.empty()) {
+      if (manifest_payload) {
+        // Every file is gone: remove the manifest so the registry treats
+        // the collection as never-registered instead of serving ghosts.
+        if (util::io::unlink_quiet(manifest_path))
+          report.notes.push_back("removed empty manifest for collection '" +
+                                 collection + "'");
+      }
+    } else {
+      std::ostringstream out;
+      for (const auto& [name, cores] : validated)
+        out << "file " << cores << ' ' << name << "\n";
+      util::save_checked(manifest_path, out.str());
+      report.notes.push_back("rewrote manifest for collection '" + collection +
+                             "' (" + std::to_string(validated.size()) +
+                             " validated files, " + std::to_string(repairs) +
+                             " entries repaired)");
+    }
+  }
+}
+
+}  // namespace
+
+std::string ScrubReport::summary() const {
+  std::ostringstream out;
+  out << "scrub: " << stale_temps << " stale temps, " << quarantined
+      << " quarantined, " << manifest_dropped << " manifest entries repaired, "
+      << chunks_dropped << " checkpoint files dropped, " << files_ok
+      << " files clean";
+  return out.str();
+}
+
+ScrubReport scrub_ingest_root(const ScrubOptions& options) {
+  PMACX_CHECK(!options.root.empty(), "scrub needs an ingest root directory");
+  ScrubReport report;
+  counters().runs.add();
+  util::ensure_directory(options.root);
+  util::ensure_directory(options.root + "/spool");
+  util::ensure_directory(options.root + "/collections");
+
+  // Spool: every file is a session that died with its process — the
+  // protocol's answer to an interrupted upload is re-BEGIN, never resume
+  // from a spool of unknown integrity.
+  std::error_code ec;
+  std::vector<std::string> spool_names;
+  for (const auto& entry : fs::directory_iterator(options.root + "/spool", ec))
+    if (entry.is_regular_file(ec))
+      spool_names.push_back(entry.path().filename().string());
+  std::sort(spool_names.begin(), spool_names.end());
+  for (const std::string& name : spool_names)
+    drop_stale_temp(options.root + "/spool/" + name, report);
+
+  // Collections: stray temps in the base directory, then each collection.
+  std::vector<std::string> collections;
+  for (const auto& entry : fs::directory_iterator(options.root + "/collections", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory(ec)) {
+      collections.push_back(name);
+    } else if (is_stale_temp(name)) {
+      drop_stale_temp(entry.path().string(), report);
+    }
+  }
+  std::sort(collections.begin(), collections.end());
+  for (const std::string& collection : collections)
+    scrub_collection(options, collection, report);
+  return report;
+}
+
+ScrubReport scrub_checkpoint_dir(const std::string& dir) {
+  ScrubReport report;
+  counters().runs.add();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return report;  // nothing to heal
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir, ec))
+    if (entry.is_regular_file(ec))
+      names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    if (is_stale_temp(name)) {
+      drop_stale_temp(path, report);
+      continue;
+    }
+    const bool is_manifest = name == "manifest.ckpt";
+    const bool is_chunk = name.rfind("models_", 0) == 0 && name.size() > 5 &&
+                          name.substr(name.size() - 5) == ".ckpt";
+    if (!is_manifest && !is_chunk) continue;
+    // Checkpoints are derived data: anything that fails its trailer is
+    // deleted, and the next fit simply redoes that range (ModelCheckpoint
+    // would drop it lazily anyway; eagerly keeps the directory honest).
+    if (util::try_load_checked(path)) {
+      ++report.files_ok;
+      counters().files_ok.add();
+      continue;
+    }
+    if (util::io::unlink_quiet(path)) {
+      ++report.chunks_dropped;
+      counters().chunks_dropped.add();
+      report.notes.push_back("dropped torn checkpoint file " + path);
+    }
+  }
+  return report;
+}
+
+}  // namespace pmacx::ingest

@@ -13,6 +13,8 @@
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parse_error.hpp"
 
@@ -110,45 +112,22 @@ void check_name(std::string_view name, const char* what) {
                   "' is not a valid name ([A-Za-z0-9._-], 1..200 chars, not . or ..)");
 }
 
-void write_at(int fd, std::string_view data, std::uint64_t offset) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n = ::pwrite(fd, data.data() + written, data.size() - written,
-                               static_cast<off_t>(offset + written));
-    if (n > 0) {
-      written += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw util::Error(std::string("spool write failed: ") + std::strerror(errno));
-  }
-}
-
-std::uint32_t crc_of_fd(int fd, std::uint64_t total) {
+/// Whole-spool CRC via the fault-injectable read wrapper; EINTR and short
+/// reads are absorbed by io::pread_some's bounded loop.
+std::uint32_t crc_of_fd(int fd, std::uint64_t total, const std::string& path) {
   std::vector<char> buffer(std::size_t{1} << 20);
   std::uint32_t crc = 0;
   std::uint64_t offset = 0;
   while (offset < total) {
     const std::size_t want =
         static_cast<std::size_t>(std::min<std::uint64_t>(buffer.size(), total - offset));
-    const ssize_t n = ::pread(fd, buffer.data(), want, static_cast<off_t>(offset));
-    if (n < 0 && errno == EINTR) continue;
+    const std::size_t n = util::io::pread_some(fd, buffer.data(), want, offset, path);
     PMACX_CHECK(n > 0, "spool read failed at offset " + std::to_string(offset) +
-                           (n < 0 ? std::string(": ") + std::strerror(errno)
-                                  : std::string(": unexpected end of file")));
-    crc = util::crc32(std::string_view(buffer.data(), static_cast<std::size_t>(n)), crc);
+                           ": unexpected end of file");
+    crc = util::crc32(std::string_view(buffer.data(), n), crc);
     offset += static_cast<std::uint64_t>(n);
   }
   return crc;
-}
-
-/// Best-effort directory fsync after a rename, so the publish itself is
-/// durable (same discipline as util::write_file_atomic).
-void fsync_directory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
 }
 
 util::metrics::Registry& registry() { return util::metrics::Registry::global(); }
@@ -256,12 +235,16 @@ UploadManager::UploadManager(Options options) : options_(std::move(options)) {
   util::ensure_directory(options_.root);
   util::ensure_directory(options_.root + "/spool");
   util::ensure_directory(options_.root + "/collections");
+  // Registered up front so every snapshot reports the read-only state (and
+  // the rejection counter) even when nothing ever went wrong.
+  registry().gauge("ingest.read_only").set(0.0);
+  registry().counter("ingest.uploads.rejected_read_only");
 }
 
 UploadManager::~UploadManager() {
   std::scoped_lock lock(mutex_);
   for (auto& [id, session] : sessions_)
-    if (session->fd >= 0) ::close(session->fd);
+    if (session->fd >= 0) util::io::close_quiet(session->fd);
 }
 
 std::string UploadManager::spool_path(const std::string& session) const {
@@ -292,13 +275,35 @@ std::shared_ptr<UploadManager::Session> UploadManager::find(
 
 UploadOutcome UploadManager::handle(const UploadRequest& request) {
   check_name(request.session, "upload session");
-  switch (request.op) {
-    case UploadOp::Begin: return begin(request);
-    case UploadOp::Chunk: return chunk(request);
-    case UploadOp::Commit: return commit(request);
-    case UploadOp::Status: return status(request);
+  if (read_only() && request.op != UploadOp::Status) {
+    // Degrade, don't crash-loop: a full spool device stops *ingestion*
+    // while the serving path (and STATUS probes) keep working.  Rejection
+    // happens before any disk touch so the error is cheap and typed.
+    registry().counter("ingest.uploads.rejected_read_only").add();
+    throw util::Error("ingest is read-only (spool device reported ENOSPC): " +
+                      upload_op_name(request.op) +
+                      " rejected; free space and restart the server "
+                      "(STATUS and the serving path still work)");
+  }
+  try {
+    switch (request.op) {
+      case UploadOp::Begin: return begin(request);
+      case UploadOp::Chunk: return chunk(request);
+      case UploadOp::Commit: return commit(request);
+      case UploadOp::Status: return status(request);
+    }
+  } catch (const util::io::IoError& e) {
+    if (e.err() == ENOSPC) enter_read_only(e.what());
+    throw;
   }
   throw util::Error("unhandled upload op");
+}
+
+void UploadManager::enter_read_only(const std::string& reason) {
+  if (read_only_.exchange(true, std::memory_order_relaxed)) return;
+  registry().gauge("ingest.read_only").set(1.0);
+  util::log_message(util::LogLevel::Warn,
+                    "ingest entering read-only mode (uploads rejected): " + reason);
 }
 
 UploadOutcome UploadManager::begin(const UploadRequest& request) {
@@ -353,13 +358,13 @@ UploadOutcome UploadManager::begin(const UploadRequest& request) {
   session->received.assign(static_cast<std::size_t>(chunk_count), false);
 
   const std::string path = spool_path(request.session);
-  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
-  PMACX_CHECK(fd >= 0, "cannot create spool file '" + path + "': " + std::strerror(errno));
-  if (::ftruncate(fd, static_cast<off_t>(request.total_bytes)) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(fd);
-    ::unlink(path.c_str());
-    throw util::Error("cannot size spool file '" + path + "': " + reason);
+  const int fd = util::io::open_file(path, O_CREAT | O_RDWR | O_TRUNC, 0644);
+  try {
+    util::io::truncate_file(fd, request.total_bytes, path);
+  } catch (...) {
+    util::io::close_quiet(fd);
+    util::io::unlink_quiet(path);
+    throw;
   }
   session->fd = fd;
 
@@ -368,7 +373,7 @@ UploadOutcome UploadManager::begin(const UploadRequest& request) {
     auto [it, inserted] = sessions_.emplace(request.session, session);
     if (!inserted) {
       // Lost a race with a concurrent identical BEGIN: keep the winner.
-      ::close(fd);
+      util::io::close_quiet(fd);
       session = it->second;
     }
   }
@@ -412,7 +417,9 @@ UploadOutcome UploadManager::chunk(const UploadRequest& request) {
     registry().counter("ingest.chunks.duplicate").add();
     out << "duplicate 1\n";
   } else {
-    write_at(session->fd, request.data, request.chunk_index * session->chunk_bytes);
+    util::io::pwrite_all(session->fd, request.data,
+                         request.chunk_index * session->chunk_bytes,
+                         spool_path(request.session));
     session->received[static_cast<std::size_t>(request.chunk_index)] = true;
     ++session->received_count;
     registry().counter("ingest.chunks").add();
@@ -443,10 +450,11 @@ UploadOutcome UploadManager::commit(const UploadRequest& request) {
                   " chunks (STATUS lists them)");
 
   const std::string spool = spool_path(request.session);
+  const std::string path = final_path(session->collection, session->file_name);
   try {
     // Integrity first: the declared whole-file CRC over the spooled bytes
     // catches chunks damaged anywhere between the client's disk and ours.
-    const std::uint32_t actual = crc_of_fd(session->fd, session->total_bytes);
+    const std::uint32_t actual = crc_of_fd(session->fd, session->total_bytes, spool);
     if (actual != session->file_crc)
       throw util::ParseError(spool, 0, "upload.commit",
                              "file CRC mismatch (declared " +
@@ -463,14 +471,25 @@ UploadOutcome UploadManager::commit(const UploadRequest& request) {
     session->core_count = header.core_count;
     auto& peak = registry().gauge("ingest.validate.peak_buffer_bytes");
     peak.set(std::max(peak.value(), static_cast<double>(stats.peak_buffer_bytes)));
+
+    // Publish: durable bytes, then the rename, then the directory entry.
+    // These are inside the same try block as validation on purpose — a
+    // failed fsync or torn rename discards the session, so the client's
+    // recovery story is uniform: any COMMIT error means re-BEGIN fresh,
+    // never a retry loop against a spool in an unknowable state.
+    const std::string dir = options_.root + "/collections/" + session->collection;
+    util::ensure_directory(dir);
+    util::io::fsync_file(session->fd, spool);
+    util::io::rename_file(spool, path);
+    util::io::fsync_dir_best_effort(dir);
   } catch (...) {
-    // A failed commit means the bytes are wrong, not late: discard the
-    // session (and its spool) so the client re-uploads fresh instead of
-    // retrying a commit that can never succeed.
-    ::close(session->fd);
+    // A failed commit means the bytes are wrong (or the device is), not
+    // late: discard the session (and its spool) so the client re-uploads
+    // fresh instead of retrying a commit that can never succeed.
+    util::io::close_quiet(session->fd);
     session->fd = -1;
     session->discarded = true;
-    ::unlink(spool.c_str());
+    util::io::unlink_quiet(spool);
     registry().counter("ingest.uploads.discarded").add();
     {
       std::scoped_lock map_lock(mutex_);
@@ -478,15 +497,7 @@ UploadOutcome UploadManager::commit(const UploadRequest& request) {
     }
     throw;
   }
-
-  const std::string dir = options_.root + "/collections/" + session->collection;
-  util::ensure_directory(dir);
-  const std::string path = final_path(session->collection, session->file_name);
-  ::fsync(session->fd);  // the bytes must be durable before the publish rename
-  PMACX_CHECK(::rename(spool.c_str(), path.c_str()) == 0,
-              "cannot publish '" + spool + "' as '" + path + "': " + std::strerror(errno));
-  fsync_directory(dir);
-  ::close(session->fd);
+  util::io::close_quiet(session->fd);
   session->fd = -1;
   session->committed = true;
   session->committed_path = path;

@@ -26,6 +26,7 @@
 // the UPLOAD_TRACE payload to these functions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -117,10 +118,19 @@ class UploadManager {
   /// session, size mismatch, parameter conflicts) and util::ParseError when
   /// COMMIT's validation rejects the spooled bytes; both leave the session
   /// resumable (or, for validation failures, discarded — see .cpp).
+  /// A util::io::IoError carrying ENOSPC flips the manager into read-only
+  /// mode before rethrowing (see read_only()).
   UploadOutcome handle(const UploadRequest& request);
 
   /// Live (uncommitted) sessions, for STATUS reporting.
   std::size_t open_sessions() const;
+
+  /// True once the spool device reported ENOSPC.  In read-only mode every
+  /// BEGIN/CHUNK/COMMIT is rejected up front with a typed util::Error —
+  /// before touching the disk — while STATUS (and the whole serving path,
+  /// which lives elsewhere) keeps working.  Cleared only by restarting the
+  /// process after the operator frees space (docs/RUNBOOK.md).
+  bool read_only() const { return read_only_.load(std::memory_order_relaxed); }
 
  private:
   struct Session;
@@ -137,9 +147,13 @@ class UploadManager {
   /// heap-allocated and never destroyed while referenced — see .cpp).
   std::shared_ptr<Session> find(const std::string& session_id) const;
 
+  /// Flips read_only_ and meters the transition (ingest.read_only gauge).
+  void enter_read_only(const std::string& reason);
+
   Options options_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<bool> read_only_{false};
 };
 
 }  // namespace pmacx::ingest

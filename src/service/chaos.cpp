@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
 
 namespace pmacx::service {
@@ -39,20 +40,11 @@ void set_linger_abort(int fd) {
   ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
 }
 
-/// Sends exactly [data, data+size) or reports failure; EINTR is retried,
-/// everything else (timeout, EPIPE, a killed relay) ends the pump.
+/// Sends exactly [data, data+size) or reports failure; EINTR is retried
+/// (bounded, via util::io), everything else (timeout, EPIPE, a killed
+/// relay) ends the pump.
 bool send_range(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
+  return util::io::socket_send_all(fd, data, size);
 }
 
 void sleep_ms(std::uint64_t ms) {
@@ -181,15 +173,14 @@ void ChaosProxy::pump(std::uint64_t id, int from, int to, std::uint64_t seed) {
     // sees frames fragmented at arbitrary boundaries.
     std::size_t cap = sizeof(buf);
     if (rng.uniform() < options_.p_short_read) cap = 1 + rng.below(7);
-    const ssize_t n = ::recv(from, buf, cap, 0);
+    const ssize_t n = util::io::socket_recv(from, buf, cap);
     if (n == 0) {
       saw_eof = true;
       break;
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // poll tick
-      break;  // hard error: relay killed or peer reset
+      break;  // hard error, EINTR budget exhausted, relay killed, peer reset
     }
     const std::size_t size = static_cast<std::size_t>(n);
 

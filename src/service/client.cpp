@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/metrics.hpp"
 
 namespace pmacx::service {
@@ -28,23 +29,18 @@ void set_timeouts(int fd, long ms) {
 }
 
 void send_all(int fd, const std::string& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw util::Error(std::string("send failed: ") +
-                      (n < 0 ? std::strerror(errno) : "connection closed"));
-  }
+  // Bounded-EINTR full send via util::io; a false return is a timeout,
+  // peer close, or hard error — the retry layer above handles all three.
+  if (!util::io::socket_send_all(fd, bytes.data(), bytes.size()))
+    throw util::Error(std::string("send failed: ") + std::strerror(errno));
 }
 
 void recv_exact(int fd, char* out, std::size_t size) {
   std::size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    // socket_recv retries EINTR with a bounded budget; exhaustion surfaces
+    // as errno=EINTR and becomes a typed error below, never a spin.
+    const ssize_t n = util::io::socket_recv(fd, out + got, size - got);
     if (n > 0) {
       got += static_cast<std::size_t>(n);
       continue;
@@ -52,7 +48,6 @@ void recv_exact(int fd, char* out, std::size_t size) {
     if (n == 0)
       throw util::Error("server closed the connection mid-response (" +
                         std::to_string(got) + " of " + std::to_string(size) + " bytes)");
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) throw util::Error("receive timed out");
     throw util::Error(std::string("recv failed: ") + std::strerror(errno));
   }

@@ -14,6 +14,7 @@
 #include "psins/predictor.hpp"
 #include "trace/binary_io.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parse_error.hpp"
@@ -54,7 +55,10 @@ ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<boo
   const Clock::time_point idle_started = Clock::now();
   Clock::time_point started{};
   while (got < size) {
-    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    // socket_recv retries EINTR with a bounded budget; an exhausted budget
+    // surfaces as errno=EINTR below and drops the connection (Reset)
+    // instead of spinning forever under a signal storm.
+    const ssize_t n = util::io::socket_recv(fd, out + got, size - got);
     if (n > 0) {
       if (got == 0) started = Clock::now();
       got += static_cast<std::size_t>(n);
@@ -67,7 +71,6 @@ ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<boo
       continue;
     }
     if (n == 0) return ReadStatus::Closed;
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       if (stop.load(std::memory_order_relaxed)) return ReadStatus::Stopped;
       if (got > 0) {
@@ -85,17 +88,9 @@ ReadStatus read_exact(int fd, char* out, std::size_t size, const std::atomic<boo
 }
 
 bool send_all(int fd, const std::string& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;  // timeout or hard error: the peer gets a broken stream
-  }
-  return true;
+  // Bounded-EINTR full send; false on timeout or hard error (the peer gets
+  // a broken stream either way).
+  return util::io::socket_send_all(fd, bytes.data(), bytes.size());
 }
 
 }  // namespace

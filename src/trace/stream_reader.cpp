@@ -1,6 +1,10 @@
 #include "trace/stream_reader.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -8,6 +12,7 @@
 #include "trace/binary_detail.hpp"
 #include "trace/binary_io.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/metrics.hpp"
 #include "util/mmap_file.hpp"
 #include "util/parse_error.hpp"
@@ -71,19 +76,25 @@ class MappedSource final : public ByteSource {
 /// Buffered file window with a hard budget.  The buffer holds a sliding
 /// window [window_base, window_base + buffer.size()) of the file; peek()
 /// compacts consumed bytes away and refills from the stream, and refuses
-/// (ParseError) to grow the window past the budget.
+/// (ParseError) to grow the window past the budget.  Reads go through
+/// util::io::read_some, whose bounded loop absorbs EINTR and short reads
+/// (real or injected) and surfaces device errors as typed IoErrors.
 class BufferedFileSource final : public ByteSource {
  public:
   BufferedFileSource(const std::string& path, std::size_t budget)
       : path_(path), budget_(std::max<std::size_t>(budget, kMinBudget)) {
-    in_.open(path, std::ios::binary);
-    PMACX_CHECK(in_.good(), "cannot open '" + path + "' for reading");
-    in_.seekg(0, std::ios::end);
-    const std::streamoff end = in_.tellg();
-    PMACX_CHECK(end >= 0, "cannot determine size of '" + path + "'");
-    file_size_ = static_cast<std::uint64_t>(end);
-    in_.seekg(0, std::ios::beg);
+    fd_ = util::io::open_file(path, O_RDONLY);
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+      const std::string reason = std::strerror(errno);
+      util::io::close_quiet(fd_);
+      fd_ = -1;
+      throw util::Error("cannot determine size of '" + path + "': " + reason);
+    }
+    file_size_ = static_cast<std::uint64_t>(st.st_size);
   }
+
+  ~BufferedFileSource() override { util::io::close_quiet(fd_); }
 
   std::string_view peek(std::size_t n) override {
     const std::uint64_t remaining = file_size_ - offset_;
@@ -138,14 +149,12 @@ class BufferedFileSource final : public ByteSource {
           std::min<std::uint64_t>(grow, file_size_ - (offset_ + old)));
       if (grow == 0) break;
       buffer_.resize(old + grow);
-      in_.read(buffer_.data() + old, static_cast<std::streamsize>(grow));
-      const std::size_t got = static_cast<std::size_t>(in_.gcount());
+      const std::size_t got = util::io::read_some(fd_, buffer_.data() + old, grow, path_);
       buffer_.resize(old + got);
-      PMACX_CHECK(got == grow || in_.eof(),
-                  "read from '" + path_ + "' failed mid-stream");
-      if (got < grow) {
+      if (got == 0) {
         // The file shrank under us; surface it as a clean truncation at the
-        // parser's next need() rather than spinning here.
+        // parser's next need() rather than spinning here.  (A short read —
+        // EINTR absorbed or injected — just loops for the remainder.)
         file_size_ = offset_ + buffer_.size();
         break;
       }
@@ -155,7 +164,7 @@ class BufferedFileSource final : public ByteSource {
   }
 
   std::string path_;
-  std::ifstream in_;
+  int fd_ = -1;
   std::string buffer_;
   std::size_t pos_ = 0;
   std::uint64_t offset_ = 0;

@@ -1,18 +1,15 @@
 #include "util/atomic_file.hpp"
 
 #include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/parse_error.hpp"
 
 namespace pmacx::util {
@@ -26,14 +23,6 @@ std::string parent_directory(const std::string& path) {
   return parent.empty() ? std::string(".") : parent;
 }
 
-void fsync_fd_or_throw(int fd, const std::string& what) {
-  if (::fsync(fd) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(fd);
-    throw Error("fsync " + what + ": " + reason);
-  }
-}
-
 }  // namespace
 
 void write_file_atomic(const std::string& path, const std::string& bytes) {
@@ -43,55 +32,49 @@ void write_file_atomic(const std::string& path, const std::string& bytes) {
   // itself serializes whose bytes win.
   const std::string temp = path + ".tmp." + std::to_string(::getpid());
 
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  PMACX_CHECK(fd >= 0, "cannot create '" + temp + "': " + std::strerror(errno));
-
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      const std::string reason = n < 0 ? std::strerror(errno) : "short write";
-      ::close(fd);
-      ::unlink(temp.c_str());
-      throw Error("write '" + temp + "': " + reason);
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  // The data must be on disk before the rename publishes the name; a crash
-  // between rename and data writeback would otherwise yield a *new* file
-  // with stale or empty content — exactly the torn state this helper exists
-  // to rule out.
-  fsync_fd_or_throw(fd, "'" + temp + "'");
-  if (::close(fd) != 0) {
-    ::unlink(temp.c_str());
-    throw Error("close '" + temp + "': " + std::strerror(errno));
-  }
-
-  if (::rename(temp.c_str(), path.c_str()) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::unlink(temp.c_str());
-    throw Error("rename '" + temp + "' -> '" + path + "': " + reason);
+  int fd = io::open_file(temp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  try {
+    io::write_all(fd, bytes, temp);
+    // The data must be on disk before the rename publishes the name; a
+    // crash between rename and data writeback would otherwise yield a
+    // *new* file with stale or empty content — exactly the torn state this
+    // helper exists to rule out.
+    io::fsync_file(fd, temp);
+    io::close_file(fd, temp);
+    fd = -1;
+    io::rename_file(temp, path);
+  } catch (...) {
+    // Every failure path drops the temp: a leaked *.tmp.<pid> per failed
+    // fsync would accumulate forever in long-lived checkpoint directories.
+    // (Under a simulated crash unlink_quiet deliberately no-ops — a dead
+    // process cleans nothing up; the startup scrubber owns those.)
+    if (fd >= 0) io::close_quiet(fd);
+    io::unlink_quiet(temp);
+    throw;
   }
 
   // Durability of the rename itself: fsync the containing directory.  Some
   // filesystems reject directory fsync (EINVAL); best-effort there — the
   // write is still atomic, just not yet durable.
-  const std::string dir = parent_directory(path);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
+  io::fsync_dir_best_effort(parent_directory(path));
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PMACX_CHECK(in.good(), "cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  PMACX_CHECK(!in.bad(), "read '" + path + "' failed");
-  return buffer.str();
+  const int fd = io::open_file(path, O_RDONLY);
+  std::string out;
+  try {
+    char buffer[64 * 1024];
+    while (true) {
+      const std::size_t n = io::read_some(fd, buffer, sizeof buffer, path);
+      if (n == 0) break;
+      out.append(buffer, n);
+    }
+  } catch (...) {
+    io::close_quiet(fd);
+    throw;
+  }
+  io::close_quiet(fd);
+  return out;
 }
 
 void save_checked(const std::string& path, const std::string& payload) {
@@ -132,6 +115,8 @@ std::string load_checked(const std::string& path) {
 std::optional<std::string> try_load_checked(const std::string& path) {
   try {
     return load_checked(path);
+  } catch (const io::SimulatedCrash&) {
+    throw;  // the harness's crash model must never be absorbed as "torn file"
   } catch (const Error&) {
     return std::nullopt;
   }

@@ -9,8 +9,14 @@
 //   * write_file_atomic: write to a same-directory temp file, fsync it,
 //     rename() over the destination (atomic on POSIX), then fsync the
 //     directory so the rename itself is durable.  A crash before the rename
-//     leaves the old file untouched; the orphaned temp file is ignored (and
-//     cleaned up) by the next successful write.
+//     leaves the old file untouched; every *reported* failure (EIO, ENOSPC,
+//     failed fsync, failed rename) unlinks the temp before rethrowing, so
+//     only a genuine process death can orphan one — and the startup
+//     scrubber (ingest::Scrub) reclaims those.
+//
+// All syscalls go through util::io, so every path here is exercised under
+// the seeded storage-fault injector (tools/pmacx_diskchaos.cpp) and every
+// failure surfaces as a typed util::io::IoError with op + path + errno.
 //
 //   * checked records: save_checked appends a fixed trailer — payload length
 //     and CRC-32 (util::crc32) — so load_checked can tell a complete record
@@ -47,7 +53,8 @@ std::string load_checked(const std::string& path);
 /// load_checked that treats every failure (missing file, torn write, CRC
 /// mismatch) as "no usable record": returns nullopt instead of throwing.
 /// The crash-recovery primitive: callers redo the work a bad record stood
-/// for.
+/// for.  (util::io::SimulatedCrash is the one exception and is rethrown —
+/// the injector's crash model must not be absorbed by recovery paths.)
 std::optional<std::string> try_load_checked(const std::string& path);
 
 /// Creates `dir` (and parents) if missing.  Throws util::Error when the

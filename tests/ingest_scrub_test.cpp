@@ -1,0 +1,348 @@
+// ingest::Scrub + restart-recovery contract tests.
+//
+// The scenario that matters: a server died mid-upload (half-committed spool
+// session), mid-publish (stray atomic-write temp), or after a storage fault
+// corrupted a published trace.  On restart the scrubber must return the
+// ingest root to a serving state — exactly the committed-and-valid set is
+// served, everything else is quarantined or deleted, and every action is
+// visible in the ingest.scrub.* counters.  The ENOSPC tests pin the upload
+// manager's read-only degradation (reject with a typed error up front,
+// never crash-loop) and its recovery across a restart.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ingest/collection.hpp"
+#include "ingest/scrub.hpp"
+#include "ingest/upload.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/task_trace.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+
+namespace pmacx {
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = util::io;
+
+constexpr std::size_t kBudget = std::size_t{8} << 20;
+
+struct FaultGuard {
+  ~FaultGuard() { io::clear_faults(); }
+};
+
+std::string scratch_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/pmacx_scrub_" + name;
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  fs::create_directories(fs::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::uint64_t counter_value(const char* name) {
+  return util::metrics::Registry::global().counter(name).value();
+}
+
+/// A small but fully valid binary trace at the given core count.
+std::string trace_bytes(std::uint32_t cores) {
+  trace::TaskTrace task;
+  task.app = "scrub";
+  task.rank = 0;
+  task.core_count = cores;
+  task.target_system = "test target";
+  for (std::size_t b = 0; b < 4; ++b) {
+    trace::BasicBlockRecord block;
+    block.id = 10 + b;
+    block.location = {"kernel.f90", static_cast<std::uint32_t>(100 + b), "kernel"};
+    block.set(trace::BlockElement::VisitCount, 100.0 + static_cast<double>(b));
+    block.set(trace::BlockElement::MemLoads, 8.0e6 / cores);
+    block.set(trace::BlockElement::MemStores, 4.0e6 / cores);
+    block.set(trace::BlockElement::BytesPerRef, 8.0);
+    block.set(trace::BlockElement::HitRateL1, 0.9);
+    block.set(trace::BlockElement::HitRateL2, 0.95);
+    block.set(trace::BlockElement::HitRateL3, 0.99);
+    task.blocks.push_back(block);
+  }
+  task.sort_blocks();
+  return trace::to_binary(task);
+}
+
+ingest::ScrubOptions scrub_options(const std::string& root) {
+  ingest::ScrubOptions options;
+  options.root = root;
+  options.stream_budget = kBudget;
+  return options;
+}
+
+/// BEGIN/CHUNK*/COMMIT one payload through the manager (the tool-side half
+/// of the protocol, same as IngestService drives).
+ingest::UploadOutcome upload_file(ingest::UploadManager& manager,
+                                  const std::string& session,
+                                  const std::string& collection,
+                                  const std::string& name, const std::string& bytes,
+                                  std::uint32_t chunk_bytes = 199) {
+  ingest::UploadRequest begin;
+  begin.op = ingest::UploadOp::Begin;
+  begin.session = session;
+  begin.collection = collection;
+  begin.file_name = name;
+  begin.total_bytes = bytes.size();
+  begin.chunk_bytes = chunk_bytes;
+  begin.file_crc = util::crc32(bytes);
+  manager.handle(begin);
+  for (std::size_t offset = 0; offset < bytes.size(); offset += chunk_bytes) {
+    ingest::UploadRequest chunk;
+    chunk.op = ingest::UploadOp::Chunk;
+    chunk.session = session;
+    chunk.chunk_index = offset / chunk_bytes;
+    chunk.data = bytes.substr(offset, chunk_bytes);
+    manager.handle(chunk);
+  }
+  ingest::UploadRequest commit;
+  commit.op = ingest::UploadOp::Commit;
+  commit.session = session;
+  return manager.handle(commit);
+}
+
+// ---------------------------------------------------- restart recovery ------
+
+/// The satellite scenario end-to-end: committed files + a half-committed
+/// spool session + a stray atomic-write temp + a corrupt published trace.
+/// After the scrub, a fresh CollectionRegistry must serve exactly the
+/// committed-and-valid set; everything else is reported, not served.
+TEST(ScrubTest, RestartRecoveryServesExactlyTheCommittedSet) {
+  const std::string root = scratch_root("restart");
+  const std::string dir = root + "/collections/mix";
+  const std::string s8 = trace_bytes(8);
+  const std::string s16 = trace_bytes(16);
+
+  // Two cleanly committed files, registered in the manifest.
+  write_raw(dir + "/s8.btrace", s8);
+  write_raw(dir + "/s16.btrace", s16);
+  // A third file the manifest lists but whose bytes a storage fault tore.
+  write_raw(dir + "/s32.btrace", "not a trace at all");
+  util::save_checked(dir + "/manifest.pmx",
+                     "file 8 s8.btrace\nfile 16 s16.btrace\nfile 32 s32.btrace\n");
+  // A half-committed upload session and a stray atomic-write temp.
+  write_raw(root + "/spool/half-done.part", std::string(512, 'h'));
+  write_raw(dir + "/manifest.pmx.tmp.4242", "interrupted rewrite");
+
+  const std::uint64_t temps_before = counter_value("ingest.scrub.stale_temps");
+  const std::uint64_t quarantined_before = counter_value("ingest.scrub.quarantined");
+
+  const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub_options(root));
+  EXPECT_EQ(report.stale_temps, 2u) << "spool part + manifest temp";
+  EXPECT_EQ(report.quarantined, 1u) << "the torn trace";
+  EXPECT_EQ(report.files_ok, 2u);
+  EXPECT_GE(report.manifest_dropped, 1u) << "the torn trace's manifest entry";
+  EXPECT_TRUE(report.acted());
+  EXPECT_EQ(counter_value("ingest.scrub.stale_temps") - temps_before, 2u);
+  EXPECT_EQ(counter_value("ingest.scrub.quarantined") - quarantined_before, 1u);
+
+  // The registry's restart rescan serves exactly the committed survivors.
+  ingest::CollectionRegistry registry(root);
+  const std::vector<std::string> paths = registry.resolve("mix");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(fs::path(paths[0]).filename().string(), "s8.btrace");
+  EXPECT_EQ(fs::path(paths[1]).filename().string(), "s16.btrace");
+  EXPECT_EQ(slurp(paths[0]), s8);
+  EXPECT_EQ(slurp(paths[1]), s16);
+
+  // Source bytes are preserved for post-mortem, and the quarantine manifest
+  // names the file.
+  EXPECT_TRUE(fs::exists(root + "/quarantine/mix/s32.btrace"));
+  EXPECT_NE(slurp(root + "/quarantine/MANIFEST").find("mix/s32.btrace"),
+            std::string::npos);
+  // Nothing stale remains anywhere under the root.
+  EXPECT_FALSE(fs::exists(root + "/spool/half-done.part"));
+  EXPECT_FALSE(fs::exists(dir + "/manifest.pmx.tmp.4242"));
+  fs::remove_all(root);
+}
+
+TEST(ScrubTest, ValidUnregisteredFileIsReRegisteredWithItsTrueCoreCount) {
+  // A crash after COMMIT's rename but before the manifest rewrite leaves a
+  // perfectly valid published file with no manifest entry.  The scrub must
+  // re-register it — with the core count stream validation just proved, not
+  // a guess.
+  const std::string root = scratch_root("reregister");
+  const std::string dir = root + "/collections/orphan";
+  write_raw(dir + "/s64.btrace", trace_bytes(64));
+
+  const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub_options(root));
+  EXPECT_EQ(report.files_ok, 1u);
+  EXPECT_GE(report.manifest_dropped, 1u) << "the re-added entry counts as a repair";
+
+  ingest::CollectionRegistry registry(root);
+  ASSERT_TRUE(registry.contains("orphan"));
+  EXPECT_EQ(registry.resolve("orphan").size(), 1u);
+  EXPECT_NE(slurp(dir + "/manifest.pmx").find("file 64 s64.btrace"),
+            std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(ScrubTest, TornManifestIsQuarantinedAndRebuiltFromValidatedFiles) {
+  const std::string root = scratch_root("tornmanifest");
+  const std::string dir = root + "/collections/healed";
+  const std::string s8 = trace_bytes(8);
+  write_raw(dir + "/s8.btrace", s8);
+  write_raw(dir + "/manifest.pmx", "garbage with no integrity trailer");
+
+  const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub_options(root));
+  EXPECT_EQ(report.quarantined, 1u) << "the torn manifest moves to quarantine";
+  EXPECT_EQ(report.files_ok, 1u);
+
+  ingest::CollectionRegistry registry(root);
+  ASSERT_TRUE(registry.contains("healed"));
+  EXPECT_EQ(slurp(registry.resolve("healed")[0]), s8);
+  fs::remove_all(root);
+}
+
+TEST(ScrubTest, AllFilesGoneRemovesTheManifestInsteadOfServingGhosts) {
+  const std::string root = scratch_root("ghosts");
+  const std::string dir = root + "/collections/gone";
+  fs::create_directories(dir);
+  util::save_checked(dir + "/manifest.pmx", "file 8 vanished.btrace\n");
+
+  const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub_options(root));
+  EXPECT_GE(report.manifest_dropped, 1u);
+  EXPECT_FALSE(fs::exists(dir + "/manifest.pmx"));
+  ingest::CollectionRegistry registry(root);
+  EXPECT_FALSE(registry.contains("gone"));
+  fs::remove_all(root);
+}
+
+TEST(ScrubTest, PristineRootIsLeftUntouched) {
+  const std::string root = scratch_root("pristine");
+  const std::string dir = root + "/collections/clean";
+  write_raw(dir + "/s8.btrace", trace_bytes(8));
+  util::save_checked(dir + "/manifest.pmx", "file 8 s8.btrace\n");
+
+  const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub_options(root));
+  EXPECT_FALSE(report.acted());
+  EXPECT_EQ(report.files_ok, 1u);
+  EXPECT_TRUE(ingest::CollectionRegistry(root).contains("clean"));
+  fs::remove_all(root);
+}
+
+TEST(ScrubTest, CheckpointDirDropsTornDerivedStateOnly) {
+  const std::string root = scratch_root("ckpt");
+  const std::string dir = root + "/ckpt";
+  fs::create_directories(dir);
+  util::save_checked(dir + "/manifest.ckpt", "a valid record");
+  util::save_checked(dir + "/models_0.ckpt", "another valid record");
+  write_raw(dir + "/models_1.ckpt", "torn: no trailer");
+  write_raw(dir + "/manifest.ckpt.tmp.777", "interrupted write");
+
+  const ingest::ScrubReport report = ingest::scrub_checkpoint_dir(dir);
+  EXPECT_EQ(report.files_ok, 2u);
+  EXPECT_EQ(report.chunks_dropped, 1u);
+  EXPECT_EQ(report.stale_temps, 1u);
+  EXPECT_TRUE(fs::exists(dir + "/manifest.ckpt"));
+  EXPECT_TRUE(fs::exists(dir + "/models_0.ckpt"));
+  EXPECT_FALSE(fs::exists(dir + "/models_1.ckpt"));
+  EXPECT_FALSE(fs::exists(dir + "/manifest.ckpt.tmp.777"));
+
+  // A missing directory is a no-op, not an error (nothing fitted yet).
+  EXPECT_FALSE(ingest::scrub_checkpoint_dir(root + "/never_made").acted());
+  fs::remove_all(root);
+}
+
+// --------------------------------------------------- ENOSPC / read-only ------
+
+TEST(UploadReadOnlyTest, EnospcFlipsReadOnlyAndRejectsUpFront) {
+  FaultGuard guard;
+  const std::string root = scratch_root("readonly");
+  const std::string bytes = trace_bytes(8);
+
+  io::FaultConfig cfg;
+  cfg.enospc_after_bytes = 256;  // far less than one upload
+  io::install_faults(cfg);
+
+  ingest::UploadManager manager({root, kBudget});
+  const std::uint64_t rejected_before =
+      counter_value("ingest.uploads.rejected_read_only");
+  bool threw = false;
+  try {
+    upload_file(manager, "sess-ro", "full", "s8.btrace", bytes);
+  } catch (const util::Error&) {
+    threw = true;  // typed, survivable — exactly what a full disk must be
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(manager.read_only());
+
+  // Subsequent write ops are rejected before touching the disk, with an
+  // error an operator can act on; STATUS keeps answering.
+  try {
+    ingest::UploadRequest begin;
+    begin.op = ingest::UploadOp::Begin;
+    begin.session = "sess-after";
+    begin.collection = "full";
+    begin.file_name = "s8.btrace";
+    begin.total_bytes = bytes.size();
+    begin.chunk_bytes = 199;
+    begin.file_crc = util::crc32(bytes);
+    manager.handle(begin);
+    FAIL() << "read-only mode must reject BEGIN";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("read-only"), std::string::npos);
+  }
+  EXPECT_GE(counter_value("ingest.uploads.rejected_read_only") - rejected_before, 1u);
+
+  ingest::UploadRequest status;
+  status.op = ingest::UploadOp::Status;
+  status.session = "sess-ro";
+  EXPECT_FALSE(manager.handle(status).body.empty()) << "STATUS stays available";
+  fs::remove_all(root);
+}
+
+TEST(UploadReadOnlyTest, RestartAfterFreeingSpaceRecoversCompletely) {
+  FaultGuard guard;
+  const std::string root = scratch_root("recover");
+  const std::string bytes = trace_bytes(16);
+
+  {
+    io::FaultConfig cfg;
+    cfg.enospc_after_bytes = 256;
+    io::install_faults(cfg);
+    ingest::UploadManager manager({root, kBudget});
+    EXPECT_THROW(upload_file(manager, "sess-1", "col", "s16.btrace", bytes),
+                 util::Error);
+    EXPECT_TRUE(manager.read_only());
+  }
+
+  // The operator frees space and restarts: scrub, then a fresh manager.
+  io::clear_faults();
+  ingest::scrub_ingest_root(scrub_options(root));
+  ingest::UploadManager manager({root, kBudget});
+  EXPECT_FALSE(manager.read_only());
+  const ingest::UploadOutcome outcome =
+      upload_file(manager, "sess-2", "col", "s16.btrace", bytes);
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(outcome.core_count, 16u);
+  EXPECT_EQ(slurp(root + "/collections/col/s16.btrace"), bytes);
+  // The aborted session's spool file did not survive the restart scrub.
+  EXPECT_TRUE(fs::is_empty(root + "/spool"));
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pmacx

@@ -1,0 +1,476 @@
+// util::io fault-injector contract tests.
+//
+// The injector's promises — typed errors only, bounded retries, crash
+// latching, deterministic fail_op sweeps, realistic torn-rename/fsync-lie
+// disk states — are the foundation the diskchaos sweep and every recovery
+// path stand on, so each one is pinned here in isolation.  The atomic-file
+// sweep is the regression test for the temp-leak fix: every failure point
+// of write_file_atomic must leave no stray temp and the old bytes intact.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/binary_io.hpp"
+#include "trace/stream_reader.hpp"
+#include "trace/task_trace.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+
+namespace pmacx {
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = util::io;
+
+/// Every test leaves the process-wide injector clean, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { io::clear_faults(); }
+};
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/pmacx_io_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::uint64_t counter_value(const char* name) {
+  return util::metrics::Registry::global().counter(name).value();
+}
+
+trace::TaskTrace tiny_trace() {
+  trace::TaskTrace task;
+  task.app = "iofault";
+  task.rank = 0;
+  task.core_count = 16;
+  task.target_system = "test target";
+  for (std::size_t b = 0; b < 4; ++b) {
+    trace::BasicBlockRecord block;
+    block.id = 10 + b;
+    block.location = {"kernel.f90", static_cast<std::uint32_t>(100 + b), "kernel"};
+    block.set(trace::BlockElement::VisitCount, 100.0 + static_cast<double>(b));
+    block.set(trace::BlockElement::MemLoads, 5000.0);
+    block.set(trace::BlockElement::MemStores, 2500.0);
+    block.set(trace::BlockElement::BytesPerRef, 8.0);
+    block.set(trace::BlockElement::HitRateL1, 0.9);
+    block.set(trace::BlockElement::HitRateL2, 0.95);
+    block.set(trace::BlockElement::HitRateL3, 0.99);
+    task.blocks.push_back(block);
+  }
+  task.sort_blocks();
+  return task;
+}
+
+// ------------------------------------------------------------ fault spec ----
+
+TEST(FaultSpecTest, ParsesEveryField) {
+  const io::FaultConfig cfg = io::parse_fault_spec(
+      "seed=7,p_eio=0.25,p_enospc=0.5,p_short_write=0.125,p_short_read=0.0625,"
+      "p_eintr=1,p_torn_rename=0.75,p_fsync_lie=0.875,crash_after_ops=200,"
+      "enospc_after_bytes=4096,fail_op=3,fail_errno=enospc");
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg.p_eio, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.p_enospc, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.p_short_write, 0.125);
+  EXPECT_DOUBLE_EQ(cfg.p_short_read, 0.0625);
+  EXPECT_DOUBLE_EQ(cfg.p_eintr, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.p_torn_rename, 0.75);
+  EXPECT_DOUBLE_EQ(cfg.p_fsync_lie, 0.875);
+  EXPECT_EQ(cfg.crash_after_ops, 200u);
+  EXPECT_EQ(cfg.enospc_after_bytes, 4096u);
+  EXPECT_EQ(cfg.fail_op, 3u);
+  EXPECT_EQ(cfg.fail_errno, ENOSPC);
+}
+
+TEST(FaultSpecTest, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(io::parse_fault_spec("p_nonsense=1"), util::Error);
+  EXPECT_THROW(io::parse_fault_spec("p_eio=sideways"), util::Error);
+  EXPECT_THROW(io::parse_fault_spec("seed"), util::Error);
+}
+
+TEST(FaultSpecTest, EnvInstallRoundTrip) {
+  FaultGuard guard;
+  ::setenv("PMACX_IO_FAULTS", "seed=5,p_eio=0.25", 1);
+  EXPECT_TRUE(io::install_faults_from_env());
+  EXPECT_TRUE(io::faults_active());
+  io::clear_faults();
+  ::unsetenv("PMACX_IO_FAULTS");
+  EXPECT_FALSE(io::install_faults_from_env());
+  EXPECT_FALSE(io::faults_active());
+}
+
+// ------------------------------------------------------------ wrappers ------
+
+TEST(IoFaultTest, NoFaultsIsAPassthrough) {
+  const std::string dir = scratch_dir("passthrough");
+  const std::string path = dir + "/data.bin";
+  const std::string data(5000, 'x');
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  io::write_all(fd, data, path);
+  io::fsync_file(fd, path);
+  io::close_file(fd, path);
+  EXPECT_EQ(slurp(path), data);
+
+  const int rfd = io::open_file(path, O_RDONLY);
+  std::string got(data.size(), '\0');
+  std::size_t off = 0;
+  while (off < got.size()) {
+    const std::size_t n = io::read_some(rfd, got.data() + off, got.size() - off, path);
+    if (n == 0) break;
+    off += n;
+  }
+  io::close_quiet(rfd);
+  EXPECT_EQ(got, data);
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, FailOpIsFullyDeterministic) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("failop");
+  const std::string path = dir + "/data.bin";
+
+  io::FaultConfig cfg;
+  cfg.fail_op = 1;
+  cfg.fail_errno = EIO;
+  io::install_faults(cfg);
+  try {
+    io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+    FAIL() << "the first faultable op must fail";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.err(), EIO);
+    EXPECT_EQ(e.op(), "open");
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "the error must name the path";
+  }
+  // Only the Nth op fails: the very next call goes through untouched.
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  io::write_all(fd, "hello", path);
+  io::close_file(fd, path);
+  EXPECT_EQ(slurp(path), "hello");
+  EXPECT_GE(io::fault_ops_seen(), 3u);
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, EintrRetriesAreBounded) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("eintr");
+  const std::uint64_t retries_before = counter_value("io.retries.eintr");
+
+  const std::string path = dir + "/data.bin";
+  io::FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.p_eintr = 1.0;  // a permanent signal storm on every transfer
+  io::install_faults(cfg);
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  try {
+    io::write_all(fd, "never lands", path);
+    FAIL() << "a permanent EINTR storm must surface as a typed error";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.err(), EINTR);
+  }
+  io::close_quiet(fd);
+  EXPECT_GE(counter_value("io.retries.eintr") - retries_before,
+            static_cast<std::uint64_t>(io::kMaxEintrRetries));
+  io::clear_faults();
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, ShortTransfersAreRetriedToCompletion) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("short");
+  const std::string path = dir + "/data.bin";
+  const std::string data(64 * 1024, 'q');
+  const std::uint64_t short_writes_before = counter_value("io.retries.short_write");
+
+  io::FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.p_short_write = 1.0;  // every write transfers only a seeded prefix
+  cfg.p_short_read = 1.0;
+  io::install_faults(cfg);
+
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  io::write_all(fd, data, path);
+  io::close_file(fd, path);
+  EXPECT_GT(counter_value("io.retries.short_write"), short_writes_before);
+
+  const int rfd = io::open_file(path, O_RDONLY);
+  std::string got;
+  char buffer[4096];
+  while (true) {
+    const std::size_t n = io::read_some(rfd, buffer, sizeof(buffer), path);
+    if (n == 0) break;
+    got.append(buffer, n);
+  }
+  io::close_quiet(rfd);
+  io::clear_faults();
+  EXPECT_EQ(got, data) << "short transfers must degrade to retries, never to loss";
+  EXPECT_EQ(slurp(path), data);
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, StickyEnospcFailsEveryWriteSideOp) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("enospc");
+  const std::string path = dir + "/data.bin";
+
+  io::FaultConfig cfg;
+  cfg.enospc_after_bytes = 16;  // the disk "fills" almost immediately
+  io::install_faults(cfg);
+
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  io::write_all(fd, std::string(8, 'a'), path);  // still fits
+  try {
+    io::write_all(fd, std::string(64, 'b'), path);  // would cross the threshold
+    FAIL() << "writes past the threshold must fail ENOSPC";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.err(), ENOSPC);
+  }
+  io::close_quiet(fd);
+  // Sticky: write-intent opens fail too until the injector is reset.
+  EXPECT_THROW(io::open_file(dir + "/other.bin", O_WRONLY | O_CREAT), io::IoError);
+  // Read-side ops keep working on a full disk.
+  const int rfd = io::open_file(path, O_RDONLY);
+  char buffer[8];
+  EXPECT_GT(io::read_some(rfd, buffer, sizeof(buffer), path), 0u);
+  io::close_quiet(rfd);
+  io::clear_faults();
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, CrashLatchesAndDisablesCleanup) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("crash");
+  const std::string path = dir + "/data.bin";
+  { std::ofstream(path, std::ios::binary) << "survivor"; }
+
+  io::FaultConfig cfg;
+  cfg.crash_after_ops = 1;
+  io::install_faults(cfg);
+  EXPECT_THROW(io::open_file(path, O_RDONLY), io::SimulatedCrash);
+  // Latched: every subsequent faultable op is also the crash.
+  EXPECT_THROW(io::open_file(path, O_RDONLY), io::SimulatedCrash);
+  // A dead process cleans nothing up: best-effort unlink must be a no-op.
+  EXPECT_FALSE(io::unlink_quiet(path));
+  EXPECT_TRUE(fs::exists(path));
+  io::clear_faults();
+  EXPECT_EQ(slurp(path), "survivor");
+  EXPECT_TRUE(io::unlink_quiet(path));
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, TornRenameLeavesATruncatedPublishedFile) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("torn");
+  const std::string src = dir + "/staged.tmp.1";
+  const std::string dst = dir + "/published.bin";
+  const std::string data(4096, 'r');
+  { std::ofstream(src, std::ios::binary) << data; }
+
+  io::FaultConfig cfg;
+  cfg.seed = 17;
+  cfg.p_torn_rename = 1.0;
+  io::install_faults(cfg);
+  EXPECT_THROW(io::rename_file(src, dst), io::IoError);
+  io::clear_faults();
+  // The caller saw a failed publish; the disk holds the half-written file a
+  // crash between writeback and rename would leave.
+  EXPECT_FALSE(fs::exists(src));
+  ASSERT_TRUE(fs::exists(dst));
+  EXPECT_LT(fs::file_size(dst), data.size());
+  fs::remove_all(dir);
+}
+
+TEST(IoFaultTest, FsyncLieDropsBytesAndArmsACrash) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("fsynclie");
+  const std::string path = dir + "/data.bin";
+  const std::string data(4096, 'f');
+
+  const int fd = io::open_file(path, O_WRONLY | O_CREAT | O_TRUNC);
+  io::write_all(fd, data, path);
+
+  io::FaultConfig cfg;
+  cfg.seed = 19;
+  cfg.p_fsync_lie = 1.0;
+  io::install_faults(cfg);
+  io::fsync_file(fd, path);  // "succeeds" — the lie
+  io::close_quiet(fd);
+  EXPECT_LT(fs::file_size(path), data.size()) << "the lie must actually drop bytes";
+
+  // The armed crash fires within the next few faultable operations.
+  bool crashed = false;
+  for (int i = 0; i < 8 && !crashed; ++i) {
+    try {
+      io::close_quiet(io::open_file(path, O_RDONLY));
+    } catch (const io::SimulatedCrash&) {
+      crashed = true;
+    }
+  }
+  EXPECT_TRUE(crashed) << "a lying fsync must be followed by the crash it models";
+  io::clear_faults();
+  fs::remove_all(dir);
+}
+
+// ----------------------------------------------- atomic_file failure sweep ----
+
+/// The satellite-1 regression: write_file_atomic must unlink its temp on
+/// EVERY failure path (the fsync-failure path used to leak it) and never
+/// damage the previously published bytes.
+TEST(AtomicFileFaultTest, EveryFailurePointLeavesNoTempAndOldBytesIntact) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("atomic_sweep");
+  const std::string path = dir + "/state.bin";
+  const std::string old_content = "old committed state";
+  const std::string new_content = "candidate replacement";
+  util::write_file_atomic(path, old_content);
+
+  // Count the faultable ops one clean atomic write performs, using a benign
+  // (all-zero) fault config purely as an op meter.
+  io::install_faults(io::FaultConfig{});
+  util::write_file_atomic(path, new_content);
+  const std::uint64_t ops_per_write = io::fault_ops_seen();
+  ASSERT_GE(ops_per_write, 4u) << "open+write+fsync+close+rename expected";
+  util::write_file_atomic(path, old_content);  // restore the "old" state
+
+  for (std::uint64_t k = 1; k <= ops_per_write; ++k) {
+    io::FaultConfig cfg;
+    cfg.fail_op = k;
+    cfg.fail_errno = EIO;
+    io::install_faults(cfg);
+    EXPECT_THROW(util::write_file_atomic(path, new_content), io::IoError)
+        << "failure point " << k;
+    io::clear_faults();
+
+    std::size_t strays = 0;
+    for (const auto& entry : fs::directory_iterator(dir))
+      if (entry.path().filename().string() != "state.bin") ++strays;
+    EXPECT_EQ(strays, 0u) << "failure point " << k << " leaked a temp file";
+    EXPECT_EQ(slurp(path), old_content)
+        << "failure point " << k << " damaged the published bytes";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileFaultTest, SaveCheckedSurvivesATornRename) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("atomic_torn");
+  const std::string path = dir + "/state.bin";
+  util::save_checked(path, "first durable record");
+
+  io::FaultConfig cfg;
+  cfg.seed = 23;
+  cfg.p_torn_rename = 1.0;
+  io::install_faults(cfg);
+  EXPECT_THROW(util::save_checked(path, "second record that tears"), io::IoError);
+  io::clear_faults();
+
+  // The torn rename replaced the file with a truncated record; the CRC
+  // trailer must reject it — torn state reads as absent, never as data.
+  EXPECT_FALSE(util::try_load_checked(path).has_value());
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------- stream reader under IO ----
+
+TEST(StreamReaderFaultTest, BufferedReadsSurviveEintrAndShortReads) {
+  FaultGuard guard;
+  const std::string dir = scratch_dir("stream");
+  const std::string path = dir + "/trace.btrace";
+  const trace::TaskTrace original = tiny_trace();
+  { std::ofstream(path, std::ios::binary) << trace::to_binary(original); }
+
+  io::FaultConfig cfg;
+  cfg.seed = 29;
+  cfg.p_eintr = 0.4;      // absorbed by the bounded retry loop
+  cfg.p_short_read = 0.9; // every fill returns a seeded prefix
+  io::install_faults(cfg);
+
+  trace::TaskTrace header;
+  std::unique_ptr<trace::ByteSource> source =
+      trace::open_stream(path, /*budget=*/1 << 20, /*force_buffered=*/true);
+  trace::stream_validate(*source, &header);
+  io::clear_faults();
+  EXPECT_EQ(header.core_count, original.core_count);
+  EXPECT_EQ(header.app, original.app);
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------------------- sockets ----
+
+TEST(SocketFaultTest, SendRecvSurviveEintrAndShortTransfers) {
+  FaultGuard guard;
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+
+  io::FaultConfig cfg;
+  cfg.seed = 31;
+  cfg.p_eintr = 0.4;
+  cfg.p_short_write = 0.7;
+  cfg.p_short_read = 0.7;
+  io::install_faults(cfg);
+  const std::uint64_t disk_ops_before = io::fault_ops_seen();
+
+  const std::string data(96 * 1024, 's');
+  std::string got;
+  // AF_UNIX buffers are finite: drain the reader concurrently-ish by
+  // interleaving bounded sends and recvs.
+  std::size_t sent = 0;
+  char buffer[8192];
+  while (got.size() < data.size()) {
+    if (sent < data.size()) {
+      const std::size_t n = std::min<std::size_t>(16 * 1024, data.size() - sent);
+      ASSERT_TRUE(io::socket_send_all(pair[0], data.data() + sent, n));
+      sent += n;
+    }
+    const ssize_t n = io::socket_recv(pair[1], buffer, sizeof(buffer));
+    ASSERT_GT(n, 0);
+    got.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, data);
+  // Socket traffic must not advance the disk-op budget (crash schedules
+  // stay deterministic no matter how chatty the RPC layer is).
+  EXPECT_EQ(io::fault_ops_seen(), disk_ops_before);
+  io::clear_faults();
+  ::close(pair[0]);
+  ::close(pair[1]);
+}
+
+TEST(SocketFaultTest, PermanentEintrStormDegradesToATypedFailure) {
+  FaultGuard guard;
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+
+  io::FaultConfig cfg;
+  cfg.seed = 37;
+  cfg.p_eintr = 1.0;
+  io::install_faults(cfg);
+
+  char buffer[16];
+  errno = 0;
+  EXPECT_EQ(io::socket_recv(pair[1], buffer, sizeof(buffer)), -1);
+  EXPECT_EQ(errno, EINTR) << "budget exhaustion must report EINTR, not spin";
+  EXPECT_FALSE(io::socket_send_all(pair[0], "x", 1));
+  io::clear_faults();
+  ::close(pair[0]);
+  ::close(pair[1]);
+}
+
+}  // namespace
+}  // namespace pmacx

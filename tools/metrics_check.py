@@ -73,6 +73,14 @@ TOOL_REQUIRED_COUNTERS = {
     # and never constructs the BatchFitter that registers fits.simd_batches.
     "pmacx_extrapolate": ("fits.total", "fits.simd_batches",
                           "trace.mmap_bytes", "trace.mmap_fallbacks"),
+    # The fault layer registers its op/fault/retry counters up front, and
+    # the sweep registers io.temp_leaks before the first round — if any of
+    # these vanish from a diskchaos snapshot the fault-injection shim has
+    # been bypassed or compiled out.  Positivity of io.faults.injected
+    # (the sweep actually injected something) and the io.temp_leaks == 0
+    # ceiling are asserted per-run in CI.
+    "pmacx_diskchaos": ("io.ops.write", "io.ops.fsync", "io.ops.rename",
+                        "io.faults.injected", "io.temp_leaks"),
 }
 
 

@@ -22,6 +22,7 @@
 #include "trace/binary_io.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/threadpool.hpp"
@@ -111,6 +112,9 @@ int main(int argc, char** argv) {
   std::uint64_t crash_after_chunks = 0;
 
   try {
+    // PMACX_IO_FAULTS fault-injects every checkpoint/trace write in this
+    // process (spawn tests and operators rehearse disk failure with it).
+    util::io::install_faults_from_env();
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&]() -> std::string {

@@ -16,9 +16,11 @@
 #include <cstdio>
 #include <exception>
 
+#include "ingest/scrub.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 
@@ -56,11 +58,18 @@ int main(int argc, char** argv) {
   cli.add_u64("stream-budget-mb", 64,
               "buffer budget in MiB for streaming upload validation and "
               "background refit reloads");
+  cli.add_flag("scrub-on-start",
+               "before serving, scrub the ingest directory: delete stale "
+               "spool/temp files, quarantine corrupt traces, heal collection "
+               "manifests (requires --ingest-dir; see docs/RUNBOOK.md)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
     util::set_log_level(util::LogLevel::Warn);
     PMACX_CHECK(cli.get_u64("port") <= 65535, "--port must fit a TCP port");
+    // Operator/test hook: PMACX_IO_FAULTS="seed=7,p_eio=0.01,..." fault-
+    // injects every durable-state path in this process (docs/RUNBOOK.md).
+    util::io::install_faults_from_env();
 
     service::ServerOptions options;
     options.bind = cli.get_string("bind");
@@ -75,6 +84,18 @@ int main(int argc, char** argv) {
     }
     options.ingest_dir = cli.get_string("ingest-dir");
     options.ingest_stream_budget = cli.get_u64("stream-budget-mb") << 20;
+
+    if (cli.get_flag("scrub-on-start")) {
+      PMACX_CHECK(!options.ingest_dir.empty(),
+                  "--scrub-on-start requires --ingest-dir");
+      ingest::ScrubOptions scrub;
+      scrub.root = options.ingest_dir;
+      scrub.stream_budget = options.ingest_stream_budget;
+      const ingest::ScrubReport report = ingest::scrub_ingest_root(scrub);
+      std::printf("pmacx_serve: %s\n", report.summary().c_str());
+      for (const std::string& note : report.notes)
+        std::printf("pmacx_serve:   %s\n", note.c_str());
+    }
 
     service::Server server(options);
     g_server = &server;
